@@ -1,0 +1,110 @@
+// B+tree-on-LD microbenchmarks: insert/lookup cost (each Put is one
+// full ARU: begin, shadow writes, commit-time merge) and range scans.
+//
+// Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "bench_support/rig.h"
+#include "btree/btree.h"
+#include "util/rng.h"
+
+namespace aru::bench {
+namespace {
+
+struct TreeRig {
+  TreeRig() {
+    auto rig = MakeRig(NewConfig());
+    if (!rig.ok()) return;
+    holder = std::move(rig).value();
+    auto created = btree::BTree::Create(*holder->disk);
+    if (created.ok()) tree = std::move(created).value();
+  }
+  std::unique_ptr<Rig> holder;
+  std::unique_ptr<btree::BTree> tree;
+};
+
+void BM_BTreePutSequential(benchmark::State& state) {
+  TreeRig rig;
+  if (rig.tree == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    ++key;
+    if (!rig.tree->Put(key, key).ok()) {
+      state.SkipWithError("Put failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreePutSequential);
+
+void BM_BTreePutRandom(benchmark::State& state) {
+  TreeRig rig;
+  if (rig.tree == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    if (!rig.tree->Put(rng.Next() % 1000000, 1).ok()) {
+      state.SkipWithError("Put failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreePutRandom);
+
+void BM_BTreeGet(benchmark::State& state) {
+  const auto entries = static_cast<std::uint64_t>(state.range(0));
+  TreeRig rig;
+  if (rig.tree == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (std::uint64_t k = 1; k <= entries; ++k) {
+    if (!rig.tree->Put(k, k).ok()) {
+      state.SkipWithError("Put failed");
+      return;
+    }
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.tree->Get(rng.Range(1, entries)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreeGet)->Arg(1000)->Arg(30000)->Arg(100000);
+
+void BM_BTreeScan1000(benchmark::State& state) {
+  TreeRig rig;
+  if (rig.tree == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (std::uint64_t k = 1; k <= 50000; ++k) {
+    if (!rig.tree->Put(k, k).ok()) {
+      state.SkipWithError("Put failed");
+      return;
+    }
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    const std::uint64_t first = rng.Range(1, 49000);
+    std::uint64_t sum = 0;
+    (void)rig.tree->Scan(first, first + 999,
+                         [&sum](std::uint64_t, std::uint64_t value) {
+                           sum += value;
+                         });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_BTreeScan1000);
+
+}  // namespace
+}  // namespace aru::bench

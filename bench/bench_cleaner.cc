@@ -1,0 +1,121 @@
+// Ablation: segment-cleaner victim-selection policy (greedy vs the
+// Sprite-LFS cost-benefit rule) under an overwrite workload that
+// fragments the log.
+//
+// The workload fills a small disk with files, then repeatedly
+// overwrites a random subset, forcing the cleaner to run. We report
+// cleaning effort (segments cleaned, live blocks copied — i.e. write
+// amplification) and total runtime per policy.
+//
+// Flags: --rounds=30 --overwrites=400
+#include <cstdio>
+
+#include "bench_support/report.h"
+#include "bench_support/rig.h"
+#include "util/rng.h"
+
+namespace aru::bench {
+namespace {
+
+struct PolicyResult {
+  double wall_s = 0;
+  std::uint64_t cleaner_passes = 0;
+  std::uint64_t segments_cleaned = 0;
+  std::uint64_t blocks_copied = 0;
+};
+
+Result<PolicyResult> RunPolicy(lld::CleanerPolicy policy,
+                               std::uint64_t rounds,
+                               std::uint64_t overwrites) {
+  // A small, tight disk: 48 MB device, logical capacity sized so the
+  // workload keeps the cleaner busy.
+  MinixLldConfig config = NewConfig();
+  RigOptions rig_options;
+  rig_options.device_mb = 48;
+  rig_options.capacity_blocks = 6000;
+  ARU_ASSIGN_OR_RETURN(auto rig, MakeRig(config, rig_options));
+  // Rebuild the LLD with the requested cleaner policy.
+  rig->fs.reset();
+  rig->disk.reset();
+  lld::Options lld_options;
+  lld_options.capacity_blocks = rig_options.capacity_blocks;
+  lld_options.cleaner_policy = policy;
+  ARU_RETURN_IF_ERROR(lld::Lld::Format(*rig->device, lld_options));
+  ARU_ASSIGN_OR_RETURN(rig->disk,
+                       lld::Lld::Open(*rig->device, lld_options));
+  ARU_RETURN_IF_ERROR(minixfs::MinixFs::Mkfs(*rig->disk));
+  ARU_ASSIGN_OR_RETURN(rig->fs,
+                       minixfs::MinixFs::Mount(*rig->disk, config.policy));
+
+  constexpr std::uint64_t kFiles = 400;
+  Bytes payload(8192, std::byte{1});
+  Rng rng(99);
+
+  Stopwatch watch;
+  watch.Start();
+  for (std::uint64_t i = 0; i < kFiles; ++i) {
+    ARU_RETURN_IF_ERROR(
+        rig->fs->WriteFile("/f" + std::to_string(i), payload));
+  }
+  ARU_RETURN_IF_ERROR(rig->fs->Sync());
+
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    for (std::uint64_t i = 0; i < overwrites; ++i) {
+      // Skewed (hot/cold) overwrites: 90% of writes hit 10% of the
+      // files. Cold segments stay mostly live; cost-benefit should
+      // prefer them once they age, copying less in total than greedy.
+      const std::uint64_t target = rng.Chance(9, 10)
+                                       ? rng.Below(kFiles / 10)
+                                       : rng.Below(kFiles);
+      ARU_RETURN_IF_ERROR(
+          rig->fs->WriteFile("/f" + std::to_string(target), payload));
+    }
+    ARU_RETURN_IF_ERROR(rig->fs->Sync());
+  }
+
+  PolicyResult result;
+  result.wall_s = static_cast<double>(watch.StopUs()) / 1e6;
+  const lld::LldStats& stats = rig->disk->stats();
+  result.cleaner_passes = stats.cleaner_passes;
+  result.segments_cleaned = stats.segments_cleaned;
+  result.blocks_copied = stats.blocks_copied_by_cleaner;
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const std::uint64_t rounds = FlagU64(argc, argv, "rounds", 30);
+  const std::uint64_t overwrites = FlagU64(argc, argv, "overwrites", 400);
+
+  std::printf("Segment-cleaner policy ablation (%llu rounds x %llu "
+              "overwrites of 8 KB files on a tight 48 MB disk)\n",
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(overwrites));
+  Table table({"policy", "wall s", "cleaner passes", "segments cleaned",
+               "live blocks copied"});
+  for (const auto& [name, policy] :
+       {std::pair{"greedy", lld::CleanerPolicy::kGreedy},
+        std::pair{"cost-benefit", lld::CleanerPolicy::kCostBenefit}}) {
+    auto result = RunPolicy(policy, rounds, overwrites);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({name, FormatDouble(result->wall_s, 2),
+                  std::to_string(result->cleaner_passes),
+                  std::to_string(result->segments_cleaned),
+                  std::to_string(result->blocks_copied)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: greedy minimizes copies this instant (emptiest\n"
+      "victim first); cost-benefit deliberately also cleans old, fuller\n"
+      "cold segments (higher copy count now) to compact cold data away\n"
+      "from the hot log — the classic Sprite-LFS trade-off.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace aru::bench
+
+int main(int argc, char** argv) { return aru::bench::Main(argc, argv); }

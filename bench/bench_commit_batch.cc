@@ -1,0 +1,84 @@
+// Ablation: EndARU cost as a function of the number of operations in
+// the ARU. Commit re-executes the list-operation log against the
+// committed state and merges every shadow record (paper §4), so commit
+// latency should grow linearly with ARU size — while per-operation
+// cost stays flat (the whole point of batching meta-data updates into
+// one recovery unit).
+//
+// Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "bench_support/rig.h"
+
+namespace aru::bench {
+namespace {
+
+void BM_EndAruVsOpsPerAru(benchmark::State& state) {
+  const auto ops = static_cast<std::uint64_t>(state.range(0));
+  auto rig = MakeRig(NewConfig());
+  if (!rig.ok()) {
+    state.SkipWithError(rig.status().ToString().c_str());
+    return;
+  }
+  lld::Lld& disk = *(*rig)->disk;
+  Bytes payload(disk.block_size(), std::byte{7});
+
+  for (auto _ : state) {
+    const auto aru = disk.BeginARU();
+    const auto list = disk.NewList(*aru);
+    ld::BlockId pred = ld::kListHead;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      pred = *disk.NewBlock(*list, pred, *aru);
+      (void)disk.Write(pred, payload, *aru);
+    }
+    (void)disk.EndARU(*aru);
+    // Keep the disk from filling: drop the list again (simple op).
+    (void)disk.DeleteList(*list, ld::kNoAru);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_EndAruVsOpsPerAru)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EmptyAru(benchmark::State& state) {
+  auto rig = MakeRig(NewConfig());
+  if (!rig.ok()) {
+    state.SkipWithError(rig.status().ToString().c_str());
+    return;
+  }
+  lld::Lld& disk = *(*rig)->disk;
+  for (auto _ : state) {
+    const auto aru = disk.BeginARU();
+    (void)disk.EndARU(*aru);
+  }
+}
+BENCHMARK(BM_EmptyAru);
+
+// The same batched meta-data updates as individual simple operations:
+// the baseline ARUs compete against (synchronous-write-style usage
+// would add a Flush per op; see EXPERIMENTS.md).
+void BM_SimpleOpsNoAru(benchmark::State& state) {
+  const auto ops = static_cast<std::uint64_t>(state.range(0));
+  auto rig = MakeRig(NewConfig());
+  if (!rig.ok()) {
+    state.SkipWithError(rig.status().ToString().c_str());
+    return;
+  }
+  lld::Lld& disk = *(*rig)->disk;
+  Bytes payload(disk.block_size(), std::byte{7});
+  for (auto _ : state) {
+    const auto list = disk.NewList(ld::kNoAru);
+    ld::BlockId pred = ld::kListHead;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      pred = *disk.NewBlock(*list, pred, ld::kNoAru);
+      (void)disk.Write(pred, payload, ld::kNoAru);
+    }
+    (void)disk.DeleteList(*list, ld::kNoAru);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_SimpleOpsNoAru)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace aru::bench

@@ -1,0 +1,89 @@
+// Ablation: the DeleteBlock predecessor search (paper §5.3). LD keeps
+// successor pointers only, so removing a block walks its list from the
+// head; deleting a file's blocks in reverse (classic Minix truncate
+// order) is O(n^2), which is what the improved deletion policy of
+// "new, delete" avoids.
+//
+// Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "bench_support/rig.h"
+
+namespace aru::bench {
+namespace {
+
+// Deletes the tail block of a list of length n: one full walk.
+void BM_DeleteTailBlock_ListLength(benchmark::State& state) {
+  const auto length = static_cast<std::uint64_t>(state.range(0));
+  auto rig = MakeRig(NewConfig());
+  if (!rig.ok()) {
+    state.SkipWithError(rig.status().ToString().c_str());
+    return;
+  }
+  lld::Lld& disk = *(*rig)->disk;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto list = disk.NewList(ld::kNoAru);
+    ld::BlockId pred = ld::kListHead;
+    ld::BlockId tail;
+    for (std::uint64_t i = 0; i < length; ++i) {
+      tail = *disk.NewBlock(*list, pred, ld::kNoAru);
+      pred = tail;
+    }
+    state.ResumeTiming();
+    (void)disk.DeleteBlock(tail, ld::kNoAru);
+    state.PauseTiming();
+    (void)disk.DeleteList(*list, ld::kNoAru);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_DeleteTailBlock_ListLength)
+    ->Arg(1)->Arg(3)->Arg(10)->Arg(100)->Arg(1000);
+
+// Whole-file deletion, classic vs improved policy, vs file size.
+void DeleteFilePolicy(benchmark::State& state, bool improved) {
+  const auto blocks = static_cast<std::uint64_t>(state.range(0));
+  auto rig = MakeRig(improved ? NewDeleteConfig() : NewConfig());
+  if (!rig.ok()) {
+    state.SkipWithError(rig.status().ToString().c_str());
+    return;
+  }
+  lld::Lld& disk = *(*rig)->disk;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto list = disk.NewList(ld::kNoAru);
+    ld::BlockId pred = ld::kListHead;
+    std::vector<ld::BlockId> all;
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+      pred = *disk.NewBlock(*list, pred, ld::kNoAru);
+      all.push_back(pred);
+    }
+    state.ResumeTiming();
+    if (improved) {
+      // Improved: one DeleteList; LD frees from the head.
+      (void)disk.DeleteList(*list, ld::kNoAru);
+    } else {
+      // Classic: free blocks from the end backwards, then the list.
+      for (auto it = all.rbegin(); it != all.rend(); ++it) {
+        (void)disk.DeleteBlock(*it, ld::kNoAru);
+      }
+      (void)disk.DeleteList(*list, ld::kNoAru);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blocks));
+}
+
+void BM_DeleteFile_Classic(benchmark::State& state) {
+  DeleteFilePolicy(state, /*improved=*/false);
+}
+void BM_DeleteFile_Improved(benchmark::State& state) {
+  DeleteFilePolicy(state, /*improved=*/true);
+}
+BENCHMARK(BM_DeleteFile_Classic)->Arg(3)->Arg(25)->Arg(100)->Arg(400);
+BENCHMARK(BM_DeleteFile_Improved)->Arg(3)->Arg(25)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace aru::bench

@@ -1,0 +1,215 @@
+// Trace-driven workload replay: runs a file-system operation trace
+// against each MinixLLD configuration and reports throughput and LLD
+// statistics. With no trace file, generates and replays a synthetic
+// PostMark-like mix (create/write/read/delete over a pool of small
+// files) — the workload class the paper's small-file experiment
+// abstracts.
+//
+// Trace format (one op per line, '#' comments):
+//   mkdir  <path>
+//   create <path>
+//   write  <path> <bytes> [seed]
+//   read   <path>
+//   unlink <path>
+//   sync
+//
+// Flags: --trace=FILE | --ops=5000 --files=300 (synthetic)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_support/report.h"
+#include "bench_support/rig.h"
+#include "util/rng.h"
+
+namespace aru::bench {
+namespace {
+
+struct TraceOp {
+  enum class Kind { kMkdir, kCreate, kWrite, kRead, kUnlink, kSync };
+  Kind kind;
+  std::string path;
+  std::uint64_t bytes = 0;
+  std::uint64_t seed = 0;
+};
+
+Result<std::vector<TraceOp>> ParseTrace(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) return IoError("cannot open trace " + file);
+  std::vector<TraceOp> ops;
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream fields(line);
+    std::string verb;
+    if (!(fields >> verb) || verb[0] == '#') continue;
+    TraceOp op;
+    if (verb == "mkdir") {
+      op.kind = TraceOp::Kind::kMkdir;
+    } else if (verb == "create") {
+      op.kind = TraceOp::Kind::kCreate;
+    } else if (verb == "write") {
+      op.kind = TraceOp::Kind::kWrite;
+    } else if (verb == "read") {
+      op.kind = TraceOp::Kind::kRead;
+    } else if (verb == "unlink") {
+      op.kind = TraceOp::Kind::kUnlink;
+    } else if (verb == "sync") {
+      op.kind = TraceOp::Kind::kSync;
+      ops.push_back(op);
+      continue;
+    } else {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": unknown verb " + verb);
+    }
+    if (!(fields >> op.path)) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": missing path");
+    }
+    if (op.kind == TraceOp::Kind::kWrite) {
+      if (!(fields >> op.bytes)) {
+        return InvalidArgumentError("line " + std::to_string(line_number) +
+                                    ": write needs a byte count");
+      }
+      fields >> op.seed;  // optional
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// PostMark-ish: a pool of files under a few directories receives a mix
+// of creations, whole-file rewrites, reads, and deletions.
+std::vector<TraceOp> SyntheticTrace(std::uint64_t total_ops,
+                                    std::uint64_t pool) {
+  std::vector<TraceOp> ops;
+  Rng rng(1234);
+  std::vector<bool> exists(pool, false);
+  const std::uint64_t dirs = std::max<std::uint64_t>(1, pool / 100);
+  for (std::uint64_t d = 0; d < dirs; ++d) {
+    ops.push_back({TraceOp::Kind::kMkdir, "/d" + std::to_string(d), 0, 0});
+  }
+  auto path = [&](std::uint64_t i) {
+    return "/d" + std::to_string(i % dirs) + "/f" + std::to_string(i);
+  };
+  for (std::uint64_t n = 0; n < total_ops; ++n) {
+    const std::uint64_t i = rng.Below(pool);
+    const std::uint64_t roll = rng.Below(100);
+    if (!exists[i] || roll < 30) {
+      if (exists[i]) {
+        ops.push_back({TraceOp::Kind::kUnlink, path(i), 0, 0});
+      }
+      ops.push_back({TraceOp::Kind::kCreate, path(i), 0, 0});
+      ops.push_back(
+          {TraceOp::Kind::kWrite, path(i), rng.Range(512, 12288), rng.Next()});
+      exists[i] = true;
+    } else if (roll < 55) {
+      ops.push_back(
+          {TraceOp::Kind::kWrite, path(i), rng.Range(512, 12288), rng.Next()});
+    } else if (roll < 85) {
+      ops.push_back({TraceOp::Kind::kRead, path(i), 0, 0});
+    } else if (roll < 97) {
+      ops.push_back({TraceOp::Kind::kUnlink, path(i), 0, 0});
+      exists[i] = false;
+    } else {
+      ops.push_back({TraceOp::Kind::kSync, "", 0, 0});
+    }
+  }
+  ops.push_back({TraceOp::Kind::kSync, "", 0, 0});
+  return ops;
+}
+
+Status Replay(Rig& rig, const std::vector<TraceOp>& ops) {
+  Bytes payload;
+  for (const TraceOp& op : ops) {
+    switch (op.kind) {
+      case TraceOp::Kind::kMkdir:
+        ARU_RETURN_IF_ERROR(rig.fs->Mkdir(op.path).status());
+        break;
+      case TraceOp::Kind::kCreate:
+        ARU_RETURN_IF_ERROR(rig.fs->Create(op.path).status());
+        break;
+      case TraceOp::Kind::kWrite: {
+        payload.resize(op.bytes);
+        Rng rng(op.seed);
+        for (auto& b : payload) {
+          b = static_cast<std::byte>(rng.Next() & 0xff);
+        }
+        ARU_RETURN_IF_ERROR(rig.fs->WriteFile(op.path, payload));
+        break;
+      }
+      case TraceOp::Kind::kRead:
+        ARU_RETURN_IF_ERROR(rig.fs->ReadFile(op.path).status());
+        break;
+      case TraceOp::Kind::kUnlink:
+        ARU_RETURN_IF_ERROR(rig.fs->Unlink(op.path));
+        break;
+      case TraceOp::Kind::kSync:
+        ARU_RETURN_IF_ERROR(rig.fs->Sync());
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+int Main(int argc, char** argv) {
+  std::string trace_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) trace_file = arg.substr(8);
+  }
+  const std::uint64_t total_ops = FlagU64(argc, argv, "ops", 5000);
+  const std::uint64_t pool = FlagU64(argc, argv, "files", 300);
+
+  std::vector<TraceOp> ops;
+  if (trace_file.empty()) {
+    ops = SyntheticTrace(total_ops, pool);
+    std::printf("synthetic PostMark-like trace: %zu operations over %llu "
+                "files\n",
+                ops.size(), static_cast<unsigned long long>(pool));
+  } else {
+    auto parsed = ParseTrace(trace_file);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    ops = std::move(parsed).value();
+    std::printf("trace %s: %zu operations\n", trace_file.c_str(), ops.size());
+  }
+
+  Table table({"version", "wall s", "ops/s", "segments", "cleaner passes",
+               "pred-search steps", "link-log replays"});
+  for (const MinixLldConfig& config :
+       {OldConfig(), NewConfig(), NewDeleteConfig()}) {
+    auto rig = MakeRig(config);
+    if (!rig.ok()) {
+      std::fprintf(stderr, "rig: %s\n", rig.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch watch;
+    watch.Start();
+    if (const Status replayed = Replay(**rig, ops); !replayed.ok()) {
+      std::fprintf(stderr, "replay (%s): %s\n", config.name.c_str(),
+                   replayed.ToString().c_str());
+      return 1;
+    }
+    const double seconds = static_cast<double>(watch.StopUs()) / 1e6;
+    const lld::LldStats& stats = (*rig)->disk->stats();
+    table.AddRow({config.name, FormatDouble(seconds, 2),
+                  FormatDouble(static_cast<double>(ops.size()) / seconds, 0),
+                  std::to_string(stats.segments_written),
+                  std::to_string(stats.cleaner_passes),
+                  std::to_string(stats.predecessor_search_steps),
+                  std::to_string(stats.link_log_entries_replayed)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace aru::bench
+
+int main(int argc, char** argv) { return aru::bench::Main(argc, argv); }

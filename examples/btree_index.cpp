@@ -1,0 +1,89 @@
+// A database index as a direct Logical Disk client: a B+tree whose
+// node splits — multi-block structural updates — are crash-atomic
+// thanks to ARUs, with no write-ahead log of its own.
+//
+//   ./examples/btree_index
+#include <cstdio>
+
+#include "blockdev/mem_disk.h"
+#include "btree/btree.h"
+#include "lld/lld.h"
+
+using namespace aru;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto device = std::make_unique<MemDisk>(256 * 1024 * 1024 / 512);
+  lld::Options options;
+  Check(lld::Lld::Format(*device, options), "Format");
+  auto disk = lld::Lld::Open(*device, options);
+  Check(disk.status(), "Open");
+
+  auto tree = btree::BTree::Create(**disk);
+  Check(tree.status(), "Create");
+  const ld::ListId tree_list = (*tree)->list();
+
+  // Load an index of 50,000 entries.
+  for (std::uint64_t k = 1; k <= 50000; ++k) {
+    Check((*tree)->Put(k * 7 % 100000, k), "Put");
+  }
+  auto stats = (*tree)->Stats();
+  Check(stats.status(), "Stats");
+  std::printf("indexed %llu entries: height %u, %llu nodes, %llu splits "
+              "(each split = one ARU covering 3+ blocks)\n",
+              static_cast<unsigned long long>(stats->entries), stats->height,
+              static_cast<unsigned long long>(stats->nodes),
+              static_cast<unsigned long long>(stats->splits));
+
+  auto value = (*tree)->Get(7);
+  Check(value.status(), "Get");
+  std::printf("lookup key 7 -> %llu\n",
+              static_cast<unsigned long long>(*value));
+
+  std::uint64_t in_range = 0;
+  Check((*tree)->Scan(1000, 2000,
+                      [&in_range](std::uint64_t, std::uint64_t) {
+                        ++in_range;
+                      }),
+        "Scan");
+  std::printf("range scan [1000, 2000]: %llu entries\n",
+              static_cast<unsigned long long>(in_range));
+
+  Check((*tree)->Validate(), "Validate");
+  Check((*disk)->Flush(), "Flush");
+
+  // Crash mid-split: fill to a node boundary, split without flushing,
+  // pull the plug.
+  tree->reset();
+  {
+    auto reopened = btree::BTree::Open(**disk, tree_list);
+    Check(reopened.status(), "reopen");
+    for (std::uint64_t k = 200000; k < 200300; ++k) {
+      Check((*reopened)->Put(k, k), "Put (unflushed)");
+    }
+    // no Flush: the power goes now.
+  }
+  auto survivor = MemDisk::FromImage(device->CopyImage());
+  auto recovered_disk = lld::Lld::Open(*survivor, options);
+  Check(recovered_disk.status(), "recovery");
+  auto recovered = btree::BTree::Open(**recovered_disk, tree_list);
+  Check(recovered.status(), "reopen after crash");
+  Check((*recovered)->Validate(), "Validate after crash");
+  auto recovered_stats = (*recovered)->Stats();
+  Check(recovered_stats.status(), "Stats");
+  std::printf("after crash: tree validates clean with %llu entries — no "
+              "torn splits, no recovery code in the B+tree itself\n",
+              static_cast<unsigned long long>(recovered_stats->entries));
+  std::printf("btree_index OK\n");
+  return 0;
+}

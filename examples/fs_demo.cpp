@@ -1,0 +1,96 @@
+// MinixFS demo: the paper's headline use case. A file system whose
+// create/delete operations run inside ARUs needs no fsck — after a
+// power failure it mounts directly into a consistent state.
+//
+//   ./examples/fs_demo
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "blockdev/mem_disk.h"
+#include "lld/lld.h"
+#include "minixfs/minix_fs.h"
+
+using namespace aru;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto device = std::make_unique<MemDisk>(128 * 1024 * 1024 / 512);
+  lld::Options options;
+
+  // mkfs
+  Check(lld::Lld::Format(*device, options), "Format");
+  {
+    auto disk = lld::Lld::Open(*device, options);
+    Check(disk.status(), "Open");
+    Check(minixfs::MinixFs::Mkfs(**disk), "Mkfs");
+    auto fs = minixfs::MinixFs::Mount(**disk);
+    Check(fs.status(), "Mount");
+
+    // Build a small tree and make it durable.
+    Check((*fs)->Mkdir("/projects").status(), "Mkdir");
+    Check((*fs)->Mkdir("/projects/aru").status(), "Mkdir");
+    const std::string text = "atomic recovery units for logical disks\n";
+    Bytes content(text.size());
+    std::memcpy(content.data(), text.data(), text.size());
+    Check((*fs)->WriteFile("/projects/aru/README", content), "WriteFile");
+    Check((*fs)->Sync(), "Sync");
+    std::printf("wrote /projects/aru/README (%zu bytes), synced\n",
+                content.size());
+
+    // Now create a batch of files... and "lose power" before syncing.
+    for (int i = 0; i < 25; ++i) {
+      Check((*fs)->Create("/projects/aru/scratch" + std::to_string(i))
+                .status(),
+            "Create");
+    }
+    std::printf("created 25 unsynced files; pulling the plug now\n");
+    // (no Sync, no Close: the process state simply vanishes)
+  }
+
+  // Power comes back: recover from exactly what was on the platters.
+  auto survivor = MemDisk::FromImage(device->CopyImage());
+  auto disk = lld::Lld::Open(*survivor, options);
+  Check(disk.status(), "recovery Open");
+  const auto& report = (*disk)->recovery_report();
+  std::printf("recovered: %llu segments replayed, %llu ARUs committed, "
+              "%llu uncommitted ARUs undone, %llu orphan blocks reclaimed\n",
+              static_cast<unsigned long long>(report.segments_replayed),
+              static_cast<unsigned long long>(report.committed_arus),
+              static_cast<unsigned long long>(report.uncommitted_arus_undone),
+              static_cast<unsigned long long>(
+                  report.orphan_blocks_reclaimed));
+
+  // No fsck: mount directly.
+  auto fs = minixfs::MinixFs::Mount(**disk);
+  Check(fs.status(), "remount");
+  auto content = (*fs)->ReadFile("/projects/aru/README");
+  Check(content.status(), "ReadFile");
+  std::printf("README intact after crash: \"%.*s\"\n",
+              static_cast<int>(content->size()) - 1,
+              reinterpret_cast<const char*>(content->data()));
+
+  auto entries = (*fs)->ReadDir("/projects/aru");
+  Check(entries.status(), "ReadDir");
+  std::printf("/projects/aru holds %zu entries after recovery "
+              "(each unsynced create was undone whole — never a dangling "
+              "i-node or directory entry)\n",
+              entries->size());
+
+  // The file system keeps working.
+  Check((*fs)->WriteFile("/projects/aru/after-crash", content.value()),
+        "WriteFile after recovery");
+  Check((*fs)->Sync(), "Sync");
+  std::printf("fs_demo OK\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, every example, and every
+# benchmark, capturing the outputs the repository documents:
+#   test_output.txt   — ctest results
+#   bench_output.txt  — all benchmark tables (paper figures + ablations)
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for example in build/examples/*; do
+  [ -x "$example" ] || continue
+  echo "=== $example ==="
+  "$example" || echo "EXAMPLE FAILED: $example"
+done
+
+{
+  for bench in build/bench/*; do
+    [ -x "$bench" ] || continue
+    case "$bench" in
+      *CMake*|*cmake*|*CTest*) continue ;;
+    esac
+    echo "===== $(basename "$bench") ====="
+    "$bench"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,52 @@
+// Small table/statistics helpers shared by the benchmark binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aru::bench {
+
+// Wall-clock stopwatch in microseconds.
+class Stopwatch {
+ public:
+  void Start() { start_ = std::chrono::steady_clock::now(); }
+  std::uint64_t StopUs() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+double Mean(const std::vector<double>& xs);
+double Median(std::vector<double> xs);
+double StdDev(const std::vector<double>& xs);
+
+// (new - old) / old in percent; the paper's "percent-difference".
+double PercentDifference(double old_value, double new_value);
+
+// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FormatDouble(double value, int precision = 1);
+
+// Parses "--key=value" style flags; returns fallback when absent.
+std::uint64_t FlagU64(int argc, char** argv, const std::string& key,
+                      std::uint64_t fallback);
+bool FlagBool(int argc, char** argv, const std::string& key, bool fallback);
+
+}  // namespace aru::bench

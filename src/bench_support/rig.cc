@@ -1,0 +1,62 @@
+#include "bench_support/rig.h"
+
+namespace aru::bench {
+
+MinixLldConfig OldConfig() {
+  MinixLldConfig config;
+  config.name = "old";
+  config.aru_mode = lld::AruMode::kSequential;
+  config.policy.use_arus = false;
+  config.policy.improved_delete = false;
+  return config;
+}
+
+MinixLldConfig NewConfig() {
+  MinixLldConfig config;
+  config.name = "new";
+  config.aru_mode = lld::AruMode::kConcurrent;
+  config.policy.use_arus = true;
+  config.policy.improved_delete = false;
+  return config;
+}
+
+MinixLldConfig NewDeleteConfig() {
+  MinixLldConfig config;
+  config.name = "new, delete";
+  config.aru_mode = lld::AruMode::kConcurrent;
+  config.policy.use_arus = true;
+  config.policy.improved_delete = true;
+  return config;
+}
+
+Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
+                                     const RigOptions& options) {
+  auto rig = std::make_unique<Rig>();
+  rig->config = config;
+
+  const std::uint64_t sectors = options.device_mb * 1024 * 1024 / 512;
+  auto mem = std::make_unique<MemDisk>(sectors);
+  if (options.model_disk_time) {
+    rig->device = std::make_unique<ModeledDisk>(
+        std::move(mem), DiskModelParams::HpC3010(), &rig->clock);
+  } else {
+    rig->device = std::move(mem);
+  }
+
+  lld::Options lld_options;
+  lld_options.block_size = 4096;
+  lld_options.segment_size = options.segment_size;
+  lld_options.aru_mode = config.aru_mode;
+  lld_options.capacity_blocks = options.capacity_blocks;
+  ARU_RETURN_IF_ERROR(lld::Lld::Format(*rig->device, lld_options));
+  ARU_ASSIGN_OR_RETURN(rig->disk, lld::Lld::Open(*rig->device, lld_options));
+
+  ARU_RETURN_IF_ERROR(minixfs::MinixFs::Mkfs(*rig->disk));
+  ARU_ASSIGN_OR_RETURN(rig->fs,
+                       minixfs::MinixFs::Mount(*rig->disk, config.policy));
+  // Start the clock after setup so phases measure only workload I/O.
+  rig->clock.Reset();
+  return rig;
+}
+
+}  // namespace aru::bench

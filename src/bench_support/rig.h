@@ -1,0 +1,63 @@
+// Benchmark rigs: assembles the three MinixLLD configurations the paper
+// evaluates (Table 1) on a simulated disk.
+//
+//   old          the original MinixLLD: LLD with sequential ARUs, and a
+//                Minix that does NOT bracket creation/deletion in ARUs
+//                ("The new version … differs from the original version
+//                in that directory and file creation and deletion are
+//                bracketed by BeginARU and EndARU", §5.3);
+//   new          LLD with concurrent ARUs; creation and deletion each
+//                run in their own ARU;
+//   new, delete  same, with the improved file-deletion policy of §5.3.
+//
+// The substrate is a RAM-backed device; wall-clock throughput measures
+// the software path (the paper's concurrency overhead is CPU-side
+// meta-data work, so relative old/new differences survive the
+// substrate change). An optional HP C3010 service-time model reports
+// paper-scale I/O time on a virtual clock for absolute comparisons.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "blockdev/disk_model.h"
+#include "blockdev/mem_disk.h"
+#include "lld/lld.h"
+#include "minixfs/minix_fs.h"
+#include "util/clock.h"
+
+namespace aru::bench {
+
+struct MinixLldConfig {
+  std::string name;
+  lld::AruMode aru_mode = lld::AruMode::kConcurrent;
+  minixfs::Policy policy;
+};
+
+// The paper's Table 1.
+MinixLldConfig OldConfig();
+MinixLldConfig NewConfig();
+MinixLldConfig NewDeleteConfig();
+
+struct Rig {
+  MinixLldConfig config;
+  VirtualClock clock;                     // advanced by the disk model
+  std::unique_ptr<BlockDevice> device;    // MemDisk, optionally modeled
+  std::unique_ptr<lld::Lld> disk;
+  std::unique_ptr<minixfs::MinixFs> fs;
+
+  std::uint64_t virtual_io_us() const { return clock.now_us(); }
+};
+
+struct RigOptions {
+  std::uint64_t device_mb = 512;
+  std::uint64_t capacity_blocks = 100000;  // paper: 100,000 4 KB blocks
+  std::uint32_t segment_size = 512 * 1024;
+  bool model_disk_time = false;  // wrap the device in the HP C3010 model
+};
+
+// Builds a formatted LLD + mounted MinixFS per the config.
+Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
+                                     const RigOptions& options = {});
+
+}  // namespace aru::bench

@@ -1,0 +1,174 @@
+#include "bench_support/workloads.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_support/report.h"
+#include "util/rng.h"
+
+namespace aru::bench {
+namespace {
+
+// Files are spread over subdirectories (100 files each) so that the
+// figure measures creation/deletion meta-data cost rather than linear
+// directory scans; Minix 1.x's 16-byte entries made large flat
+// directories far cheaper to scan than our 64-byte entries.
+constexpr std::uint64_t kFilesPerDir = 100;
+
+std::string DirName(std::uint64_t i) {
+  return "/d" + std::to_string(i / kFilesPerDir);
+}
+
+std::string FileName(std::uint64_t i) {
+  return DirName(i) + "/f" + std::to_string(i);
+}
+
+class PhaseScope {
+ public:
+  explicit PhaseScope(Rig& rig, Phase& phase) : rig_(rig), phase_(phase) {
+    virtual_start_ = rig_.virtual_io_us();
+    watch_.Start();
+  }
+  ~PhaseScope() {
+    phase_.wall_s = static_cast<double>(watch_.StopUs()) / 1e6;
+    phase_.virtual_io_s =
+        static_cast<double>(rig_.virtual_io_us() - virtual_start_) / 1e6;
+  }
+
+ private:
+  Rig& rig_;
+  Phase& phase_;
+  Stopwatch watch_;
+  std::uint64_t virtual_start_ = 0;
+};
+
+}  // namespace
+
+Result<SmallFileResult> RunSmallFileWorkload(Rig& rig, std::uint64_t files,
+                                             std::uint64_t file_bytes) {
+  SmallFileResult result;
+  result.files = files;
+  result.file_bytes = file_bytes;
+
+  Bytes payload(file_bytes);
+  Rng rng(7);
+  for (auto& b : payload) b = static_cast<std::byte>(rng.Next() & 0xff);
+
+  {
+    PhaseScope scope(rig, result.create_write);
+    for (std::uint64_t i = 0; i < files; ++i) {
+      if (i % kFilesPerDir == 0) {
+        ARU_RETURN_IF_ERROR(rig.fs->Mkdir(DirName(i)).status());
+      }
+      ARU_ASSIGN_OR_RETURN(const auto inode, rig.fs->Create(FileName(i)));
+      ARU_ASSIGN_OR_RETURN(auto file, rig.fs->OpenInode(inode));
+      ARU_RETURN_IF_ERROR(rig.fs->WriteAt(file, 0, payload));
+      ARU_RETURN_IF_ERROR(rig.fs->Close(file));
+    }
+    ARU_RETURN_IF_ERROR(rig.fs->Sync());
+  }
+
+  {
+    PhaseScope scope(rig, result.read);
+    Bytes buffer(file_bytes);
+    for (std::uint64_t i = 0; i < files; ++i) {
+      ARU_ASSIGN_OR_RETURN(auto file, rig.fs->Open(FileName(i)));
+      ARU_RETURN_IF_ERROR(rig.fs->ReadAt(file, 0, buffer));
+    }
+  }
+
+  {
+    PhaseScope scope(rig, result.remove);
+    for (std::uint64_t i = 0; i < files; ++i) {
+      ARU_RETURN_IF_ERROR(rig.fs->Unlink(FileName(i)));
+    }
+    ARU_RETURN_IF_ERROR(rig.fs->Sync());
+  }
+  return result;
+}
+
+Result<LargeFileResult> RunLargeFileWorkload(Rig& rig,
+                                             std::uint64_t file_bytes,
+                                             std::uint64_t seed) {
+  LargeFileResult result;
+  result.file_bytes = file_bytes;
+  const std::uint32_t bs = rig.fs->block_size();
+  const std::uint64_t blocks = (file_bytes + bs - 1) / bs;
+
+  Bytes chunk(bs);
+  Rng rng(seed);
+  for (auto& b : chunk) b = static_cast<std::byte>(rng.Next() & 0xff);
+
+  ARU_RETURN_IF_ERROR(rig.fs->Create("/large").status());
+  ARU_ASSIGN_OR_RETURN(auto file, rig.fs->Open("/large"));
+
+  {
+    PhaseScope scope(rig, result.write1);
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+      ARU_RETURN_IF_ERROR(rig.fs->WriteAt(file, i * bs, chunk));
+    }
+    ARU_RETURN_IF_ERROR(rig.fs->Close(file));
+    ARU_RETURN_IF_ERROR(rig.fs->Sync());
+  }
+
+  Bytes buffer(bs);
+  {
+    PhaseScope scope(rig, result.read1);
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+      ARU_RETURN_IF_ERROR(rig.fs->ReadAt(file, i * bs, buffer));
+    }
+  }
+
+  std::vector<std::uint64_t> order(blocks);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::uint64_t i = blocks - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Below(i + 1)]);
+  }
+
+  {
+    PhaseScope scope(rig, result.write2);
+    for (const std::uint64_t i : order) {
+      ARU_RETURN_IF_ERROR(rig.fs->WriteAt(file, i * bs, chunk));
+    }
+    ARU_RETURN_IF_ERROR(rig.fs->Close(file));
+    ARU_RETURN_IF_ERROR(rig.fs->Sync());
+  }
+
+  for (std::uint64_t i = blocks - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Below(i + 1)]);
+  }
+  {
+    PhaseScope scope(rig, result.read2);
+    for (const std::uint64_t i : order) {
+      ARU_RETURN_IF_ERROR(rig.fs->ReadAt(file, i * bs, buffer));
+    }
+  }
+
+  {
+    PhaseScope scope(rig, result.read3);
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+      ARU_RETURN_IF_ERROR(rig.fs->ReadAt(file, i * bs, buffer));
+    }
+  }
+  return result;
+}
+
+double FilesPerSecond(std::uint64_t files, const Phase& phase) {
+  return phase.wall_s > 0.0 ? static_cast<double>(files) / phase.wall_s : 0.0;
+}
+
+double MBytesPerSecond(std::uint64_t bytes, const Phase& phase) {
+  return phase.wall_s > 0.0
+             ? static_cast<double>(bytes) / (1024.0 * 1024.0) / phase.wall_s
+             : 0.0;
+}
+
+double ModeledMBytesPerSecond(std::uint64_t bytes, const Phase& phase) {
+  return phase.virtual_io_s > 0.0 ? static_cast<double>(bytes) /
+                                        (1024.0 * 1024.0) / phase.virtual_io_s
+                                  : 0.0;
+}
+
+}  // namespace aru::bench

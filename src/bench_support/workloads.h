@@ -1,0 +1,52 @@
+// The paper's micro-benchmarks (§5.2), parameterized.
+//
+//  * Small-file workload: create and write, then read, then delete
+//    N files of S bytes (paper: 10,000 × 1 KB and 1,000 × 10 KB).
+//  * Large-file workload: one 78.125 MB file written sequentially
+//    (write1), read sequentially (read1), written in random order
+//    (write2), read in random order (read2), read sequentially again
+//    (read3).
+//
+// Each phase reports wall-clock time (the software path on the RAM
+// substrate) and, when the rig models disk service time, the virtual
+// I/O time accumulated by the HP C3010 model.
+#pragma once
+
+#include "bench_support/rig.h"
+#include "util/status.h"
+
+namespace aru::bench {
+
+struct Phase {
+  double wall_s = 0.0;
+  double virtual_io_s = 0.0;
+};
+
+struct SmallFileResult {
+  std::uint64_t files = 0;
+  std::uint64_t file_bytes = 0;
+  Phase create_write;
+  Phase read;
+  Phase remove;
+};
+
+Result<SmallFileResult> RunSmallFileWorkload(Rig& rig, std::uint64_t files,
+                                             std::uint64_t file_bytes);
+
+struct LargeFileResult {
+  std::uint64_t file_bytes = 0;
+  Phase write1, read1, write2, read2, read3;
+};
+
+Result<LargeFileResult> RunLargeFileWorkload(Rig& rig,
+                                             std::uint64_t file_bytes,
+                                             std::uint64_t seed = 42);
+
+// files/second for a small-file phase (wall clock).
+double FilesPerSecond(std::uint64_t files, const Phase& phase);
+// MB/second for a large-file phase (wall clock).
+double MBytesPerSecond(std::uint64_t bytes, const Phase& phase);
+// Same, against the modeled disk time.
+double ModeledMBytesPerSecond(std::uint64_t bytes, const Phase& phase);
+
+}  // namespace aru::bench

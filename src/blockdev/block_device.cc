@@ -1,0 +1,26 @@
+#include "blockdev/block_device.h"
+
+#include <string>
+
+namespace aru {
+
+Status BlockDevice::CheckRange(std::uint64_t first_sector,
+                               std::size_t size_bytes) const {
+  const std::uint32_t ssz = sector_size();
+  if (size_bytes == 0 || size_bytes % ssz != 0) {
+    return InvalidArgumentError("I/O size " + std::to_string(size_bytes) +
+                                " is not a positive multiple of sector size " +
+                                std::to_string(ssz));
+  }
+  const std::uint64_t sectors = size_bytes / ssz;
+  if (first_sector >= sector_count() ||
+      sectors > sector_count() - first_sector) {
+    return InvalidArgumentError(
+        "I/O range [" + std::to_string(first_sector) + ", " +
+        std::to_string(first_sector + sectors) + ") exceeds device size " +
+        std::to_string(sector_count()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace aru

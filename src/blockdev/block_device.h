@@ -1,0 +1,65 @@
+// BlockDevice: the raw-disk substrate underneath the logical disk.
+//
+// The 1996 prototype ran on a SunOS raw-disk partition of an HP C3010.
+// Here the substrate is an abstract sector-addressed device with
+// memory- and file-backed implementations, plus composable decorators
+// for fault injection (power cuts, torn writes, media errors), service-
+// time modeling, and I/O accounting.
+//
+// Durability contract: a successful Write() is persistent (the paper's
+// LLD issues whole-segment writes synchronously; the volatile state that
+// crash recovery contends with lives in LLD's in-memory segment buffer
+// and tables, not in a device write cache). Sync() exists for file-backed
+// devices that buffer in the host page cache.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace aru {
+
+struct DeviceStats {
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t sectors_read = 0;
+  std::uint64_t sectors_written = 0;
+  std::uint64_t syncs = 0;
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  // Sector size in bytes; a power of two. All I/O is whole sectors.
+  virtual std::uint32_t sector_size() const = 0;
+  virtual std::uint64_t sector_count() const = 0;
+
+  std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(sector_size()) * sector_count();
+  }
+
+  // Reads out.size() bytes starting at sector `first_sector`.
+  // out.size() must be a non-zero multiple of sector_size().
+  virtual Status Read(std::uint64_t first_sector, MutableByteSpan out) = 0;
+
+  // Writes data.size() bytes starting at sector `first_sector`.
+  // data.size() must be a non-zero multiple of sector_size().
+  virtual Status Write(std::uint64_t first_sector, ByteSpan data) = 0;
+
+  virtual Status Sync() = 0;
+
+  virtual const DeviceStats& stats() const = 0;
+
+ protected:
+  BlockDevice() = default;
+
+  // Validates the (sector, size) pair against the device geometry.
+  Status CheckRange(std::uint64_t first_sector, std::size_t size_bytes) const;
+};
+
+}  // namespace aru

@@ -1,0 +1,59 @@
+#include "blockdev/disk_model.h"
+
+#include <cmath>
+#include <utility>
+
+namespace aru {
+
+std::uint64_t DiskModel::ServiceUs(std::uint64_t first_sector,
+                                   std::uint64_t sectors,
+                                   std::uint32_t sector_size) {
+  double us = params_.controller_overhead_us;
+
+  const std::uint64_t distance = first_sector > head_sector_
+                                     ? first_sector - head_sector_
+                                     : head_sector_ - first_sector;
+  if (distance > 0) {
+    // Square-root seek curve through (0, t2t) and (total, max).
+    const double frac =
+        static_cast<double>(distance) / static_cast<double>(total_sectors_);
+    const double seek_ms =
+        params_.track_to_track_ms +
+        (params_.max_seek_ms - params_.track_to_track_ms) * std::sqrt(frac);
+    us += seek_ms * 1000.0;
+    // Rotational latency: half a rotation on average; sequential access
+    // (distance 0) continues under the head with no extra latency.
+    us += params_.rotation_ms() * 1000.0 / 2.0;
+  }
+
+  const double bytes =
+      static_cast<double>(sectors) * static_cast<double>(sector_size);
+  us += bytes / (params_.transfer_mb_s * 1e6) * 1e6;
+
+  head_sector_ = first_sector + sectors;
+  return static_cast<std::uint64_t>(us);
+}
+
+ModeledDisk::ModeledDisk(std::unique_ptr<BlockDevice> inner,
+                         DiskModelParams params, VirtualClock* clock)
+    : inner_(std::move(inner)),
+      model_(params, inner_->sector_count()),
+      clock_(clock) {}
+
+Status ModeledDisk::Read(std::uint64_t first_sector, MutableByteSpan out) {
+  ARU_RETURN_IF_ERROR(inner_->Read(first_sector, out));
+  clock_->Advance(
+      model_.ServiceUs(first_sector, out.size() / sector_size(),
+                       sector_size()));
+  return Status::Ok();
+}
+
+Status ModeledDisk::Write(std::uint64_t first_sector, ByteSpan data) {
+  ARU_RETURN_IF_ERROR(inner_->Write(first_sector, data));
+  clock_->Advance(
+      model_.ServiceUs(first_sector, data.size() / sector_size(),
+                       sector_size()));
+  return Status::Ok();
+}
+
+}  // namespace aru

@@ -1,0 +1,65 @@
+#include "blockdev/fault_disk.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aru {
+
+FaultInjectionDisk::FaultInjectionDisk(std::unique_ptr<BlockDevice> inner,
+                                       std::uint64_t seed)
+    : inner_(std::move(inner)), rng_(seed) {}
+
+void FaultInjectionDisk::SchedulePowerCut(std::uint64_t sectors, bool tear) {
+  cut_after_ = sectors_written_ + sectors;
+  tear_ = tear;
+}
+
+Status FaultInjectionDisk::Read(std::uint64_t first_sector,
+                                MutableByteSpan out) {
+  if (dead_) return UnavailableError("device is powered off");
+  ARU_RETURN_IF_ERROR(CheckRange(first_sector, out.size()));
+  const std::uint64_t sectors = out.size() / sector_size();
+  for (std::uint64_t s = first_sector; s < first_sector + sectors; ++s) {
+    if (bad_sectors_.contains(s)) {
+      return IoError("media failure at sector " + std::to_string(s));
+    }
+  }
+  return inner_->Read(first_sector, out);
+}
+
+Status FaultInjectionDisk::Write(std::uint64_t first_sector, ByteSpan data) {
+  if (dead_) return UnavailableError("device is powered off");
+  ARU_RETURN_IF_ERROR(CheckRange(first_sector, data.size()));
+  const std::uint32_t ssz = sector_size();
+  const std::uint64_t sectors = data.size() / ssz;
+
+  if (sectors_written_ + sectors <= cut_after_) {
+    sectors_written_ += sectors;
+    if (sectors_written_ == cut_after_) dead_ = true;
+    return inner_->Write(first_sector, data);
+  }
+
+  // The power fails part-way through this request: persist the prefix.
+  const std::uint64_t keep = cut_after_ - sectors_written_;
+  if (keep > 0) {
+    const Status s = inner_->Write(first_sector, data.first(keep * ssz));
+    if (!s.ok()) return s;
+  }
+  if (tear_ && keep < sectors) {
+    Bytes garbage(ssz);
+    for (auto& b : garbage) {
+      b = static_cast<std::byte>(rng_.Next() & 0xff);
+    }
+    (void)inner_->Write(first_sector + keep, garbage);
+  }
+  sectors_written_ = cut_after_;
+  dead_ = true;
+  return UnavailableError("power failed during write");
+}
+
+Status FaultInjectionDisk::Sync() {
+  if (dead_) return UnavailableError("device is powered off");
+  return inner_->Sync();
+}
+
+}  // namespace aru

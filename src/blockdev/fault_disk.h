@@ -1,0 +1,60 @@
+// FaultInjectionDisk: decorator that simulates the failures ARUs protect
+// against — power cuts (possibly mid-write, leaving a torn segment) and
+// partial media failures (unreadable sectors).
+//
+// Crash model: a crash is scheduled at a sector-write granularity. When
+// the cumulative count of written sectors reaches the scheduled point,
+// the current request persists only its prefix (optionally followed by
+// one garbage "torn" sector) and the device goes dead: every subsequent
+// operation returns kUnavailable. Tests then reopen the underlying image
+// with a fresh device and run recovery against exactly what a real power
+// failure would have left on the platters.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <unordered_set>
+
+#include "blockdev/block_device.h"
+#include "util/rng.h"
+
+namespace aru {
+
+class FaultInjectionDisk final : public BlockDevice {
+ public:
+  explicit FaultInjectionDisk(std::unique_ptr<BlockDevice> inner,
+                              std::uint64_t seed = 42);
+
+  std::uint32_t sector_size() const override { return inner_->sector_size(); }
+  std::uint64_t sector_count() const override { return inner_->sector_count(); }
+
+  Status Read(std::uint64_t first_sector, MutableByteSpan out) override;
+  Status Write(std::uint64_t first_sector, ByteSpan data) override;
+  Status Sync() override;
+
+  const DeviceStats& stats() const override { return inner_->stats(); }
+
+  // Schedules a power failure after `sectors` more sectors have been
+  // written. With `tear`, the first unpersisted sector of the interrupted
+  // request is additionally filled with garbage (a torn write).
+  void SchedulePowerCut(std::uint64_t sectors, bool tear = false);
+
+  // Marks a sector as unreadable (simulated partial media failure).
+  void AddBadSector(std::uint64_t sector) { bad_sectors_.insert(sector); }
+
+  bool dead() const { return dead_; }
+  std::uint64_t sectors_written() const { return sectors_written_; }
+
+  BlockDevice& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<BlockDevice> inner_;
+  Rng rng_;
+  std::uint64_t sectors_written_ = 0;
+  std::uint64_t cut_after_ = std::numeric_limits<std::uint64_t>::max();
+  bool tear_ = false;
+  bool dead_ = false;
+  std::unordered_set<std::uint64_t> bad_sectors_;
+};
+
+}  // namespace aru

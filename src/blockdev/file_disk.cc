@@ -1,0 +1,102 @@
+#include "blockdev/file_disk.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aru {
+namespace {
+
+Status Errno(const std::string& what) {
+  return IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FileDisk>> FileDisk::Create(const std::string& path,
+                                                   std::uint64_t sector_count,
+                                                   std::uint32_t sector_size) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open " + path);
+  const off_t size =
+      static_cast<off_t>(sector_count * static_cast<std::uint64_t>(sector_size));
+  if (::ftruncate(fd, size) != 0) {
+    const Status s = Errno("ftruncate " + path);
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<FileDisk>(
+      new FileDisk(fd, sector_count, sector_size));
+}
+
+Result<std::unique_ptr<FileDisk>> FileDisk::Open(const std::string& path,
+                                                 std::uint32_t sector_size) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Errno("open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status s = Errno("fstat " + path);
+    ::close(fd);
+    return s;
+  }
+  if (st.st_size <= 0 ||
+      static_cast<std::uint64_t>(st.st_size) % sector_size != 0) {
+    ::close(fd);
+    return InvalidArgumentError(path + " size is not a multiple of " +
+                                std::to_string(sector_size));
+  }
+  return std::unique_ptr<FileDisk>(new FileDisk(
+      fd, static_cast<std::uint64_t>(st.st_size) / sector_size, sector_size));
+}
+
+FileDisk::~FileDisk() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileDisk::Read(std::uint64_t first_sector, MutableByteSpan out) {
+  ARU_RETURN_IF_ERROR(CheckRange(first_sector, out.size()));
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(
+        fd_, out.data() + done, out.size() - done,
+        static_cast<off_t>(first_sector * sector_size_ + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread");
+    }
+    if (n == 0) return IoError("pread: unexpected EOF");
+    done += static_cast<std::size_t>(n);
+  }
+  ++stats_.read_ops;
+  stats_.sectors_read += out.size() / sector_size_;
+  return Status::Ok();
+}
+
+Status FileDisk::Write(std::uint64_t first_sector, ByteSpan data) {
+  ARU_RETURN_IF_ERROR(CheckRange(first_sector, data.size()));
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(
+        fd_, data.data() + done, data.size() - done,
+        static_cast<off_t>(first_sector * sector_size_ + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  ++stats_.write_ops;
+  stats_.sectors_written += data.size() / sector_size_;
+  return Status::Ok();
+}
+
+Status FileDisk::Sync() {
+  if (::fsync(fd_) != 0) return Errno("fsync");
+  ++stats_.syncs;
+  return Status::Ok();
+}
+
+}  // namespace aru

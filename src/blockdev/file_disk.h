@@ -1,0 +1,45 @@
+// FileDisk: block device backed by a regular file (pread/pwrite), for
+// examples and long-running workloads that should survive process exit.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "blockdev/block_device.h"
+
+namespace aru {
+
+class FileDisk final : public BlockDevice {
+ public:
+  // Creates (or truncates) a backing file of the given geometry.
+  static Result<std::unique_ptr<FileDisk>> Create(
+      const std::string& path, std::uint64_t sector_count,
+      std::uint32_t sector_size = 512);
+
+  // Opens an existing backing file; geometry derived from file size.
+  static Result<std::unique_ptr<FileDisk>> Open(const std::string& path,
+                                                std::uint32_t sector_size =
+                                                    512);
+
+  ~FileDisk() override;
+
+  std::uint32_t sector_size() const override { return sector_size_; }
+  std::uint64_t sector_count() const override { return sector_count_; }
+
+  Status Read(std::uint64_t first_sector, MutableByteSpan out) override;
+  Status Write(std::uint64_t first_sector, ByteSpan data) override;
+  Status Sync() override;
+
+  const DeviceStats& stats() const override { return stats_; }
+
+ private:
+  FileDisk(int fd, std::uint64_t sector_count, std::uint32_t sector_size)
+      : fd_(fd), sector_size_(sector_size), sector_count_(sector_count) {}
+
+  int fd_;
+  std::uint32_t sector_size_;
+  std::uint64_t sector_count_;
+  DeviceStats stats_;
+};
+
+}  // namespace aru

@@ -1,0 +1,48 @@
+#include "blockdev/mem_disk.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+namespace aru {
+
+MemDisk::MemDisk(std::uint64_t sector_count, std::uint32_t sector_size)
+    : sector_size_(sector_size),
+      sector_count_(sector_count),
+      data_(sector_count * sector_size) {
+  assert(sector_size > 0 && (sector_size & (sector_size - 1)) == 0);
+}
+
+std::unique_ptr<MemDisk> MemDisk::FromImage(Bytes image,
+                                            std::uint32_t sector_size) {
+  assert(image.size() % sector_size == 0);
+  auto disk = std::make_unique<MemDisk>(image.size() / sector_size,
+                                        sector_size);
+  disk->data_ = std::move(image);
+  return disk;
+}
+
+Status MemDisk::Read(std::uint64_t first_sector, MutableByteSpan out) {
+  ARU_RETURN_IF_ERROR(CheckRange(first_sector, out.size()));
+  std::memcpy(out.data(), data_.data() + first_sector * sector_size_,
+              out.size());
+  ++stats_.read_ops;
+  stats_.sectors_read += out.size() / sector_size_;
+  return Status::Ok();
+}
+
+Status MemDisk::Write(std::uint64_t first_sector, ByteSpan data) {
+  ARU_RETURN_IF_ERROR(CheckRange(first_sector, data.size()));
+  std::memcpy(data_.data() + first_sector * sector_size_, data.data(),
+              data.size());
+  ++stats_.write_ops;
+  stats_.sectors_written += data.size() / sector_size_;
+  return Status::Ok();
+}
+
+Status MemDisk::Sync() {
+  ++stats_.syncs;
+  return Status::Ok();
+}
+
+}  // namespace aru

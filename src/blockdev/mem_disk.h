@@ -1,0 +1,40 @@
+// MemDisk: RAM-backed block device. The workhorse substrate for tests
+// and benchmarks; a successful Write is immediately "persistent" (the
+// backing image survives for a post-crash reopen via TakeImage/FromImage).
+#pragma once
+
+#include <memory>
+
+#include "blockdev/block_device.h"
+
+namespace aru {
+
+class MemDisk final : public BlockDevice {
+ public:
+  MemDisk(std::uint64_t sector_count, std::uint32_t sector_size = 512);
+
+  // Re-opens a device over an existing image (e.g. after a simulated
+  // power failure, to run recovery against exactly what was on disk).
+  static std::unique_ptr<MemDisk> FromImage(Bytes image,
+                                            std::uint32_t sector_size = 512);
+
+  std::uint32_t sector_size() const override { return sector_size_; }
+  std::uint64_t sector_count() const override { return sector_count_; }
+
+  Status Read(std::uint64_t first_sector, MutableByteSpan out) override;
+  Status Write(std::uint64_t first_sector, ByteSpan data) override;
+  Status Sync() override;
+
+  const DeviceStats& stats() const override { return stats_; }
+
+  // Copies the current on-disk image (what a crash would leave behind).
+  Bytes CopyImage() const { return data_; }
+
+ private:
+  std::uint32_t sector_size_;
+  std::uint64_t sector_count_;
+  Bytes data_;
+  DeviceStats stats_;
+};
+
+}  // namespace aru

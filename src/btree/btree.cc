@@ -1,0 +1,513 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace aru::btree {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::ListId;
+
+constexpr std::uint32_t kMetaMagic = 0x42545231;  // "BTR1"
+constexpr std::uint32_t kNodeMagic = 0x42544e44;  // "BTND"
+
+// Entries per node: header (16 bytes) + 16 bytes per key/value or
+// key/child pair in a 4 KB block.
+constexpr std::uint16_t kMaxEntries = 254;
+
+struct Meta {
+  std::uint64_t root = 0;
+  std::uint16_t height = 1;
+  std::uint64_t entries = 0;
+};
+
+struct Node {
+  bool leaf = true;
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> values;  // leaf: values.size() == keys.size()
+  std::vector<BlockId> kids;          // internal: keys.size() + 1 children
+};
+
+Bytes EncodeMeta(const Meta& meta, std::uint32_t block_size) {
+  Bytes out;
+  PutU32(out, kMetaMagic);
+  PutU16(out, meta.height);
+  PutU16(out, 0);
+  PutU64(out, meta.root);
+  PutU64(out, meta.entries);
+  out.resize(block_size);
+  return out;
+}
+
+Result<Meta> DecodeMeta(ByteSpan block) {
+  Decoder dec(block);
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t magic, dec.ReadU32());
+  if (magic != kMetaMagic) return CorruptionError("not a B+tree meta block");
+  Meta meta;
+  ARU_ASSIGN_OR_RETURN(meta.height, dec.ReadU16());
+  ARU_ASSIGN_OR_RETURN(std::uint16_t pad, dec.ReadU16());
+  (void)pad;
+  ARU_ASSIGN_OR_RETURN(meta.root, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(meta.entries, dec.ReadU64());
+  return meta;
+}
+
+Bytes EncodeNode(const Node& node, std::uint32_t block_size) {
+  Bytes out;
+  PutU32(out, kNodeMagic);
+  PutU16(out, node.leaf ? 1 : 2);
+  PutU16(out, static_cast<std::uint16_t>(node.keys.size()));
+  PutU64(out, 0);  // reserved
+  for (const std::uint64_t key : node.keys) PutU64(out, key);
+  if (node.leaf) {
+    for (const std::uint64_t value : node.values) PutU64(out, value);
+  } else {
+    for (const BlockId kid : node.kids) PutU64(out, kid.value());
+  }
+  out.resize(block_size);
+  return out;
+}
+
+Result<Node> DecodeNode(ByteSpan block) {
+  Decoder dec(block);
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t magic, dec.ReadU32());
+  if (magic != kNodeMagic) return CorruptionError("not a B+tree node");
+  ARU_ASSIGN_OR_RETURN(const std::uint16_t type, dec.ReadU16());
+  ARU_ASSIGN_OR_RETURN(const std::uint16_t count, dec.ReadU16());
+  ARU_ASSIGN_OR_RETURN(std::uint64_t reserved, dec.ReadU64());
+  (void)reserved;
+  Node node;
+  node.leaf = type == 1;
+  node.keys.resize(count);
+  for (auto& key : node.keys) {
+    ARU_ASSIGN_OR_RETURN(key, dec.ReadU64());
+  }
+  if (node.leaf) {
+    node.values.resize(count);
+    for (auto& value : node.values) {
+      ARU_ASSIGN_OR_RETURN(value, dec.ReadU64());
+    }
+  } else {
+    node.kids.resize(count + 1u);
+    for (auto& kid : node.kids) {
+      ARU_ASSIGN_OR_RETURN(const std::uint64_t raw, dec.ReadU64());
+      kid = BlockId{raw};
+    }
+  }
+  return node;
+}
+
+// The child to descend into for `key`.
+std::size_t ChildIndex(const Node& node, std::uint64_t key) {
+  const auto it =
+      std::upper_bound(node.keys.begin(), node.keys.end(), key);
+  return static_cast<std::size_t>(it - node.keys.begin());
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Tree operations live in a helper with the disk/aru plumbing.
+
+namespace {
+
+class TreeOps {
+ public:
+  TreeOps(ld::Disk& disk, ListId list, BlockId meta_block, AruId aru)
+      : disk_(disk), list_(list), meta_block_(meta_block), aru_(aru) {}
+
+  Result<Meta> LoadMeta() {
+    Bytes block(disk_.block_size());
+    ARU_RETURN_IF_ERROR(disk_.Read(meta_block_, block, aru_));
+    return DecodeMeta(block);
+  }
+
+  Status StoreMeta(const Meta& meta) {
+    return disk_.Write(meta_block_, EncodeMeta(meta, disk_.block_size()),
+                       aru_);
+  }
+
+  Result<Node> Load(BlockId id) {
+    Bytes block(disk_.block_size());
+    ARU_RETURN_IF_ERROR(disk_.Read(id, block, aru_));
+    return DecodeNode(block);
+  }
+
+  Status Store(BlockId id, const Node& node) {
+    return disk_.Write(id, EncodeNode(node, disk_.block_size()), aru_);
+  }
+
+  Result<BlockId> Allocate() {
+    return disk_.NewBlock(list_, meta_block_, aru_);
+  }
+
+  struct SplitResult {
+    bool split = false;
+    std::uint64_t separator = 0;
+    BlockId right;
+  };
+
+  // Inserts into the subtree at `id`; splits propagate upward.
+  Result<SplitResult> Insert(BlockId id, std::uint64_t key,
+                             std::uint64_t value, bool* fresh_key,
+                             std::uint64_t* splits) {
+    ARU_ASSIGN_OR_RETURN(Node node, Load(id));
+    if (node.leaf) {
+      const auto it =
+          std::lower_bound(node.keys.begin(), node.keys.end(), key);
+      const auto at = static_cast<std::size_t>(it - node.keys.begin());
+      if (it != node.keys.end() && *it == key) {
+        node.values[at] = value;  // overwrite
+        *fresh_key = false;
+      } else {
+        node.keys.insert(it, key);
+        node.values.insert(node.values.begin() +
+                               static_cast<std::ptrdiff_t>(at),
+                           value);
+        *fresh_key = true;
+      }
+      return FinishInsert(id, std::move(node), splits);
+    }
+
+    const std::size_t child_index = ChildIndex(node, key);
+    ARU_ASSIGN_OR_RETURN(
+        const SplitResult child_split,
+        Insert(node.kids[child_index], key, value, fresh_key, splits));
+    if (child_split.split) {
+      node.keys.insert(node.keys.begin() +
+                           static_cast<std::ptrdiff_t>(child_index),
+                       child_split.separator);
+      node.kids.insert(node.kids.begin() +
+                           static_cast<std::ptrdiff_t>(child_index) + 1,
+                       child_split.right);
+    }
+    return FinishInsert(id, std::move(node), splits);
+  }
+
+  // Removes from the subtree at `id`. `emptied` reports that this
+  // child is now empty and was freed (the parent must drop it).
+  Result<bool> Remove(BlockId id, std::uint64_t key, bool* removed,
+                      std::uint64_t* frees) {
+    ARU_ASSIGN_OR_RETURN(Node node, Load(id));
+    if (node.leaf) {
+      const auto it =
+          std::lower_bound(node.keys.begin(), node.keys.end(), key);
+      if (it == node.keys.end() || *it != key) {
+        *removed = false;
+        return false;
+      }
+      const auto at = static_cast<std::size_t>(it - node.keys.begin());
+      node.keys.erase(it);
+      node.values.erase(node.values.begin() +
+                        static_cast<std::ptrdiff_t>(at));
+      *removed = true;
+      if (node.keys.empty()) return true;  // parent frees us
+      ARU_RETURN_IF_ERROR(Store(id, node));
+      return false;
+    }
+
+    const std::size_t child_index = ChildIndex(node, key);
+    const BlockId child = node.kids[child_index];
+    ARU_ASSIGN_OR_RETURN(const bool child_emptied,
+                         Remove(child, key, removed, frees));
+    if (!child_emptied) return false;
+
+    // Drop the emptied child and its separator.
+    ARU_RETURN_IF_ERROR(disk_.DeleteBlock(child, aru_));
+    ++*frees;
+    node.kids.erase(node.kids.begin() +
+                    static_cast<std::ptrdiff_t>(child_index));
+    if (!node.keys.empty()) {
+      const std::size_t sep =
+          child_index == 0 ? 0 : child_index - 1;
+      node.keys.erase(node.keys.begin() + static_cast<std::ptrdiff_t>(sep));
+    }
+    if (node.kids.empty()) return true;  // internal node now empty too
+    ARU_RETURN_IF_ERROR(Store(id, node));
+    return false;
+  }
+
+  Status ScanRange(BlockId id, std::uint64_t first, std::uint64_t last,
+                   const std::function<void(std::uint64_t, std::uint64_t)>&
+                       visit) {
+    ARU_ASSIGN_OR_RETURN(const Node node, Load(id));
+    if (node.leaf) {
+      for (std::size_t i = 0; i < node.keys.size(); ++i) {
+        if (node.keys[i] >= first && node.keys[i] <= last) {
+          visit(node.keys[i], node.values[i]);
+        }
+      }
+      return Status::Ok();
+    }
+    const std::size_t begin = ChildIndex(node, first);
+    std::size_t end = ChildIndex(node, last);
+    // upper_bound: keys equal to `last` live in the child to the right.
+    end = std::min(end, node.kids.size() - 1);
+    for (std::size_t i = begin; i <= end; ++i) {
+      ARU_RETURN_IF_ERROR(ScanRange(node.kids[i], first, last, visit));
+    }
+    return Status::Ok();
+  }
+
+  struct ValidationState {
+    std::uint64_t entries = 0;
+    std::uint64_t nodes = 0;
+  };
+
+  Status ValidateSubtree(BlockId id, std::uint16_t depth,
+                         std::uint16_t height,
+                         std::optional<std::uint64_t> lower,
+                         std::optional<std::uint64_t> upper,
+                         ValidationState& state) {
+    ARU_ASSIGN_OR_RETURN(const Node node, Load(id));
+    ++state.nodes;
+    if (!std::is_sorted(node.keys.begin(), node.keys.end())) {
+      return CorruptionError("unsorted keys in node " +
+                             std::to_string(id.value()));
+    }
+    if (std::adjacent_find(node.keys.begin(), node.keys.end()) !=
+        node.keys.end()) {
+      return CorruptionError("duplicate key in node " +
+                             std::to_string(id.value()));
+    }
+    for (const std::uint64_t key : node.keys) {
+      if ((lower && key < *lower) || (upper && key >= *upper)) {
+        return CorruptionError("key out of separator range in node " +
+                               std::to_string(id.value()));
+      }
+    }
+    if (node.leaf) {
+      if (depth != height) {
+        return CorruptionError("leaf at wrong depth");
+      }
+      state.entries += node.keys.size();
+      return Status::Ok();
+    }
+    if (node.kids.size() != node.keys.size() + 1) {
+      return CorruptionError("internal node fan-out mismatch");
+    }
+    for (std::size_t i = 0; i < node.kids.size(); ++i) {
+      const std::optional<std::uint64_t> kid_lower =
+          i == 0 ? lower : std::optional<std::uint64_t>(node.keys[i - 1]);
+      const std::optional<std::uint64_t> kid_upper =
+          i == node.keys.size() ? upper
+                                : std::optional<std::uint64_t>(node.keys[i]);
+      ARU_RETURN_IF_ERROR(ValidateSubtree(node.kids[i],
+                                          static_cast<std::uint16_t>(depth + 1),
+                                          height, kid_lower, kid_upper,
+                                          state));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Result<SplitResult> FinishInsert(BlockId id, Node node,
+                                   std::uint64_t* splits) {
+    if (node.keys.size() <= kMaxEntries) {
+      ARU_RETURN_IF_ERROR(Store(id, node));
+      return SplitResult{};
+    }
+    // Split: upper half moves to a fresh right sibling.
+    ++*splits;
+    const std::size_t mid = node.keys.size() / 2;
+    Node right;
+    right.leaf = node.leaf;
+    SplitResult result;
+    result.split = true;
+    if (node.leaf) {
+      result.separator = node.keys[mid];
+      right.keys.assign(node.keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                        node.keys.end());
+      right.values.assign(
+          node.values.begin() + static_cast<std::ptrdiff_t>(mid),
+          node.values.end());
+      node.keys.resize(mid);
+      node.values.resize(mid);
+    } else {
+      // The middle key moves up; it does not stay in either half.
+      result.separator = node.keys[mid];
+      right.keys.assign(
+          node.keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+          node.keys.end());
+      right.kids.assign(node.kids.begin() + static_cast<std::ptrdiff_t>(mid) +
+                            1,
+                        node.kids.end());
+      node.keys.resize(mid);
+      node.kids.resize(mid + 1);
+    }
+    ARU_ASSIGN_OR_RETURN(result.right, Allocate());
+    ARU_RETURN_IF_ERROR(Store(id, node));
+    ARU_RETURN_IF_ERROR(Store(result.right, right));
+    return result;
+  }
+
+  ld::Disk& disk_;
+  ListId list_;
+  BlockId meta_block_;
+  AruId aru_;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Public API.
+
+Result<std::unique_ptr<BTree>> BTree::Create(ld::Disk& disk) {
+  ARU_ASSIGN_OR_RETURN(const ListId list, disk.NewList());
+  ARU_ASSIGN_OR_RETURN(const BlockId meta_block,
+                       disk.NewBlock(list, ld::kListHead));
+  ARU_ASSIGN_OR_RETURN(const BlockId root, disk.NewBlock(list, meta_block));
+
+  Node empty_root;
+  empty_root.leaf = true;
+  ARU_RETURN_IF_ERROR(
+      disk.Write(root, EncodeNode(empty_root, disk.block_size())));
+  Meta meta;
+  meta.root = root.value();
+  ARU_RETURN_IF_ERROR(
+      disk.Write(meta_block, EncodeMeta(meta, disk.block_size())));
+  return std::unique_ptr<BTree>(new BTree(disk, list, meta_block));
+}
+
+Result<std::unique_ptr<BTree>> BTree::Open(ld::Disk& disk, ld::ListId list) {
+  ARU_ASSIGN_OR_RETURN(const auto blocks, disk.ListBlocks(list));
+  if (blocks.empty()) return CorruptionError("empty B+tree list");
+  const BlockId meta_block = blocks.front();
+  Bytes block(disk.block_size());
+  ARU_RETURN_IF_ERROR(disk.Read(meta_block, block));
+  ARU_RETURN_IF_ERROR(DecodeMeta(block).status());  // verify
+  return std::unique_ptr<BTree>(new BTree(disk, list, meta_block));
+}
+
+Status BTree::Put(std::uint64_t key, std::uint64_t value) {
+  ld::AruScope aru(disk_);
+  ARU_RETURN_IF_ERROR(aru.status());
+  TreeOps ops(disk_, list_, meta_block_, aru.id());
+  ARU_ASSIGN_OR_RETURN(Meta meta, ops.LoadMeta());
+
+  bool fresh_key = false;
+  ARU_ASSIGN_OR_RETURN(
+      const auto split,
+      ops.Insert(BlockId{meta.root}, key, value, &fresh_key, &splits_));
+  bool meta_dirty = fresh_key;
+  if (fresh_key) ++meta.entries;
+  if (split.split) {
+    // Grow a new root above the old one.
+    ARU_ASSIGN_OR_RETURN(const BlockId new_root, ops.Allocate());
+    Node root;
+    root.leaf = false;
+    root.keys.push_back(split.separator);
+    root.kids.push_back(BlockId{meta.root});
+    root.kids.push_back(split.right);
+    ARU_RETURN_IF_ERROR(ops.Store(new_root, root));
+    meta.root = new_root.value();
+    ++meta.height;
+    meta_dirty = true;
+  }
+  if (meta_dirty) {
+    ARU_RETURN_IF_ERROR(ops.StoreMeta(meta));
+  }
+  return aru.Commit();
+}
+
+Result<std::uint64_t> BTree::Get(std::uint64_t key) {
+  TreeOps ops(disk_, list_, meta_block_, ld::kNoAru);
+  ARU_ASSIGN_OR_RETURN(const Meta meta, ops.LoadMeta());
+  BlockId id{meta.root};
+  for (;;) {
+    ARU_ASSIGN_OR_RETURN(const Node node, ops.Load(id));
+    if (node.leaf) {
+      const auto it =
+          std::lower_bound(node.keys.begin(), node.keys.end(), key);
+      if (it == node.keys.end() || *it != key) {
+        return NotFoundError("key " + std::to_string(key));
+      }
+      return node.values[static_cast<std::size_t>(it - node.keys.begin())];
+    }
+    id = node.kids[ChildIndex(node, key)];
+  }
+}
+
+Status BTree::Remove(std::uint64_t key) {
+  ld::AruScope aru(disk_);
+  ARU_RETURN_IF_ERROR(aru.status());
+  TreeOps ops(disk_, list_, meta_block_, aru.id());
+  ARU_ASSIGN_OR_RETURN(Meta meta, ops.LoadMeta());
+
+  bool removed = false;
+  ARU_ASSIGN_OR_RETURN(
+      const bool root_emptied,
+      ops.Remove(BlockId{meta.root}, key, &removed, &frees_));
+  if (!removed) return NotFoundError("key " + std::to_string(key));
+  --meta.entries;
+
+  if (root_emptied) {
+    // The root leaf went empty: keep it (a tree is never rootless),
+    // just rewrite it empty. (An internal root that lost all children
+    // cannot happen: it always retains at least one child below.)
+    Node empty_root;
+    empty_root.leaf = true;
+    ARU_RETURN_IF_ERROR(ops.Store(BlockId{meta.root}, empty_root));
+  } else {
+    // Collapse a chain of single-child internal roots.
+    for (;;) {
+      ARU_ASSIGN_OR_RETURN(const Node root, ops.Load(BlockId{meta.root}));
+      if (root.leaf || root.kids.size() > 1) break;
+      const BlockId old_root{meta.root};
+      meta.root = root.kids.front().value();
+      --meta.height;
+      ARU_RETURN_IF_ERROR(disk_.DeleteBlock(old_root, aru.id()));
+      ++frees_;
+    }
+  }
+  ARU_RETURN_IF_ERROR(ops.StoreMeta(meta));
+  return aru.Commit();
+}
+
+Status BTree::Scan(std::uint64_t first, std::uint64_t last,
+                   const std::function<void(std::uint64_t, std::uint64_t)>&
+                       visit) {
+  TreeOps ops(disk_, list_, meta_block_, ld::kNoAru);
+  ARU_ASSIGN_OR_RETURN(const Meta meta, ops.LoadMeta());
+  return ops.ScanRange(BlockId{meta.root}, first, last, visit);
+}
+
+Status BTree::Validate() {
+  TreeOps ops(disk_, list_, meta_block_, ld::kNoAru);
+  ARU_ASSIGN_OR_RETURN(const Meta meta, ops.LoadMeta());
+  TreeOps::ValidationState state;
+  ARU_RETURN_IF_ERROR(ops.ValidateSubtree(BlockId{meta.root}, 1, meta.height,
+                                          std::nullopt, std::nullopt,
+                                          state));
+  if (state.entries != meta.entries) {
+    return CorruptionError("entry count mismatch: meta says " +
+                           std::to_string(meta.entries) + ", tree holds " +
+                           std::to_string(state.entries));
+  }
+  ARU_ASSIGN_OR_RETURN(const auto blocks, disk_.ListBlocks(list_));
+  if (blocks.size() != state.nodes + 1) {  // +1 for the meta block
+    return CorruptionError("node count mismatch: list holds " +
+                           std::to_string(blocks.size()) + " blocks, tree " +
+                           std::to_string(state.nodes) + " nodes");
+  }
+  return Status::Ok();
+}
+
+Result<BTreeStats> BTree::Stats() {
+  TreeOps ops(disk_, list_, meta_block_, ld::kNoAru);
+  ARU_ASSIGN_OR_RETURN(const Meta meta, ops.LoadMeta());
+  ARU_ASSIGN_OR_RETURN(const auto blocks, disk_.ListBlocks(list_));
+  BTreeStats stats;
+  stats.entries = meta.entries;
+  stats.height = meta.height;
+  stats.nodes = blocks.size() - 1;
+  stats.splits = splits_;
+  stats.frees = frees_;
+  return stats;
+}
+
+}  // namespace aru::btree

@@ -1,0 +1,80 @@
+// A B+tree on the Logical Disk — a database index as a direct LD
+// client, with every structural mutation protected by an ARU.
+//
+// This is the paper's second motivating client class (§3: transaction
+// systems "often … bypass the file system altogether and utilize the
+// raw disk interface"; ARUs give them multi-block failure atomicity
+// without a write-ahead log). A node split touches three or more
+// blocks — the overflowing node, its new sibling, and the parent (and
+// possibly a new root). Bracketing the whole insert in one ARU makes
+// the split atomic: after any crash the tree is either pre-split or
+// post-split, never a dangling half.
+//
+// Layout: fixed-size u64 → u64 entries; one 4 KB block per node; all
+// node blocks live on one LD list whose head block holds the tree
+// meta-data (root pointer, height, entry count). Range scans walk the
+// tree in order (no sibling chain: unlinking emptied leaves stays a
+// strictly local, ARU-friendly operation).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ld/disk.h"
+
+namespace aru::btree {
+
+struct BTreeStats {
+  std::uint64_t entries = 0;
+  std::uint32_t height = 0;   // 1 = a single leaf
+  std::uint64_t nodes = 0;
+  std::uint64_t splits = 0;   // this session
+  std::uint64_t frees = 0;    // emptied nodes freed, this session
+};
+
+class BTree {
+ public:
+  // Builds an empty tree on the disk. The returned handle's `list()`
+  // identifies the tree (persist it to reopen later).
+  static Result<std::unique_ptr<BTree>> Create(ld::Disk& disk);
+
+  // Opens an existing tree by its list id.
+  static Result<std::unique_ptr<BTree>> Open(ld::Disk& disk, ld::ListId list);
+
+  // Inserts or overwrites. Structural changes (splits, new root) and
+  // the data write commit in a single ARU.
+  Status Put(std::uint64_t key, std::uint64_t value);
+
+  Result<std::uint64_t> Get(std::uint64_t key);
+
+  // Removes a key (kNotFound if absent). Emptied non-root leaves are
+  // unlinked from their parents and freed, atomically.
+  Status Remove(std::uint64_t key);
+
+  // In-order [first, last] inclusive range scan.
+  Status Scan(std::uint64_t first, std::uint64_t last,
+              const std::function<void(std::uint64_t key,
+                                       std::uint64_t value)>& visit);
+
+  // Validates the whole structure: key ordering, child separators,
+  // leaf chaining, and entry count.
+  Status Validate();
+
+  Result<BTreeStats> Stats();
+
+  ld::ListId list() const { return list_; }
+
+ private:
+  BTree(ld::Disk& disk, ld::ListId list, ld::BlockId meta_block)
+      : disk_(disk), list_(list), meta_block_(meta_block) {}
+
+  ld::Disk& disk_;
+  ld::ListId list_;
+  ld::BlockId meta_block_;
+  std::uint64_t splits_ = 0;
+  std::uint64_t frees_ = 0;
+};
+
+}  // namespace aru::btree

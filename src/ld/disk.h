@@ -1,0 +1,176 @@
+// The Logical Disk (LD) interface [de Jonge, Kaashoek, Hsieh, SOSP'93],
+// extended with atomic recovery units (this paper).
+//
+// LD presents disk storage as a logical namespace of fixed-size blocks
+// arranged in ordered lists. Blocks are always allocated within a list,
+// either at the beginning or after a given predecessor; the list order
+// guides physical placement. ARUs bracket several operations into one
+// failure-atomic unit: after a crash, all or none of an ARU's operations
+// are persistent.
+//
+// Semantics implemented here (paper §3.3, Read option 3):
+//  * Every operation optionally names an ARU; AruId{} (kNoAru) marks a
+//    simple operation, which is an ARU by itself.
+//  * Writes, deletes and list manipulation inside an ARU affect only
+//    that ARU's shadow state until EndARU merges it into the committed
+//    state (serialization point: EndARU time).
+//  * Reads inside an ARU see that ARU's shadow state; simple reads see
+//    the committed state. Shadow states of concurrent ARUs are isolated.
+//  * NewBlock / NewList allocate in the committed state immediately,
+//    even inside an ARU, so concurrent ARUs can never be handed the same
+//    identifier; only the insertion into the list is shadowed.
+//  * Flush makes all committed state persistent. ARUs do NOT imply
+//    durability: a committed-but-unflushed ARU may be lost in a crash —
+//    but never partially.
+//  * ARUs provide no concurrency control; clients that share blocks or
+//    lists across concurrent ARUs must lock at their own level.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ld/ids.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace aru::ld {
+
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  // ------------------------------------------------------------------
+  // Geometry.
+
+  // Size of a logical block in bytes. Write/Read transfer whole blocks.
+  virtual std::uint32_t block_size() const = 0;
+
+  // Total and free logical block capacity.
+  virtual std::uint64_t capacity_blocks() const = 0;
+  virtual std::uint64_t free_blocks() const = 0;
+
+  // ------------------------------------------------------------------
+  // Lists.
+
+  // Allocates a new, empty block list.
+  virtual Result<ListId> NewList(AruId aru = kNoAru) = 0;
+
+  // Deletes a list and de-allocates every block still on it (walking
+  // from the head, so no predecessor searches are needed). Inside an
+  // ARU the deletion is shadowed and takes effect at EndARU.
+  virtual Status DeleteList(ListId list, AruId aru = kNoAru) = 0;
+
+  // Returns the blocks of `list` in list order, as visible to `aru`.
+  virtual Result<std::vector<BlockId>> ListBlocks(ListId list,
+                                                  AruId aru = kNoAru) = 0;
+
+  // The list `block` currently belongs to, as visible to `aru`.
+  // An invalid ListId for an allocated-but-uninserted block;
+  // kNotFound if the block is not allocated in this view.
+  virtual Result<ListId> ListOf(BlockId block, AruId aru = kNoAru) = 0;
+
+  // ------------------------------------------------------------------
+  // Blocks.
+
+  // Allocates a new block on `list`, after `predecessor`, or at the
+  // beginning of the list when predecessor == kListHead. The identifier
+  // is committed immediately (paper §3.3); the insertion is shadowed.
+  virtual Result<BlockId> NewBlock(ListId list, BlockId predecessor,
+                                   AruId aru = kNoAru) = 0;
+
+  // Removes `block` from its list and de-allocates it. Requires a
+  // predecessor search (LD keeps successor pointers only).
+  virtual Status DeleteBlock(BlockId block, AruId aru = kNoAru) = 0;
+
+  // Repositions `block` within or across lists: unlinks it from its
+  // current list (if any) and inserts it into `to_list` after
+  // `predecessor` (kListHead = at the beginning). The block keeps its
+  // identity and data — this is the list-manipulation surface LD's
+  // transparent reorganization builds on. Shadowed inside ARUs.
+  virtual Status MoveBlock(BlockId block, ListId to_list,
+                           BlockId predecessor, AruId aru = kNoAru) = 0;
+
+  // Writes one whole block. data.size() must equal block_size().
+  virtual Status Write(BlockId block, ByteSpan data, AruId aru = kNoAru) = 0;
+
+  // Reads one whole block as visible to `aru`. A block that was
+  // allocated but never written reads as zeroes.
+  virtual Status Read(BlockId block, MutableByteSpan out,
+                      AruId aru = kNoAru) = 0;
+
+  // Multi-block read (the LD interface's larger-granularity disk
+  // calls): reads `blocks` in order into `out`, which must hold
+  // blocks.size() * block_size() bytes. Implementations coalesce
+  // physically adjacent blocks into single device requests — on a
+  // log-structured disk a sequentially written file usually reads back
+  // as a handful of large I/Os.
+  virtual Status ReadMany(std::span<const BlockId> blocks,
+                          MutableByteSpan out, AruId aru = kNoAru) = 0;
+
+  // ------------------------------------------------------------------
+  // Atomicity and durability.
+
+  // Opens a new atomic recovery unit (a new concurrent stream).
+  virtual Result<AruId> BeginARU() = 0;
+
+  // Commits: merges the ARU's shadow state into the committed state and
+  // appends its commit record to the operation log. After EndARU the
+  // ARU's effects are visible to everyone and will be persistent in
+  // their entirety once flushed.
+  virtual Status EndARU(AruId aru) = 0;
+
+  // Discards the ARU's shadow state without committing. This is an
+  // extension beyond the paper (which notes ARUs, unlike Mime visibility
+  // groups, do not support unrolling); a crash before EndARU has the
+  // same effect.
+  virtual Status AbortARU(AruId aru) = 0;
+
+  // Forces all committed data and meta-data to persistent storage.
+  virtual Status Flush() = 0;
+
+ protected:
+  Disk() = default;
+};
+
+// RAII bracket for an ARU: begins on construction, aborts on destruction
+// unless Commit() was called. Prefer this over manual Begin/End pairs.
+class AruScope {
+ public:
+  explicit AruScope(Disk& disk) : disk_(disk) {
+    auto result = disk.BeginARU();
+    if (result.ok()) {
+      id_ = *result;
+    } else {
+      status_ = result.status();
+    }
+  }
+
+  ~AruScope() {
+    if (id_.valid() && !committed_) (void)disk_.AbortARU(id_);
+  }
+
+  AruScope(const AruScope&) = delete;
+  AruScope& operator=(const AruScope&) = delete;
+
+  // Status of BeginARU; check before use.
+  const Status& status() const { return status_; }
+  AruId id() const { return id_; }
+
+  Status Commit() {
+    ARU_RETURN_IF_ERROR(status_);
+    const Status s = disk_.EndARU(id_);
+    if (s.ok()) committed_ = true;
+    return s;
+  }
+
+ private:
+  Disk& disk_;
+  AruId id_;
+  Status status_;
+  bool committed_ = false;
+};
+
+}  // namespace aru::ld

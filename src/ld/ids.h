@@ -1,0 +1,78 @@
+// Strongly-typed identifiers for the Logical Disk namespace.
+//
+// Logical block numbers and list numbers are the heart of LD's
+// separation of file management from disk management: clients name
+// blocks logically and never see physical addresses. ARU identifiers
+// name the concurrent streams introduced by this paper.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace aru::ld {
+
+namespace internal {
+
+// CRTP-free strong integer id. Value 0 is reserved as "invalid/none"
+// for every id space.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t value) : value_(value) {}
+
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace internal
+
+struct BlockTag {};
+struct ListTag {};
+struct AruTag {};
+
+// A logical disk block number.
+using BlockId = internal::Id<BlockTag>;
+// A logical block-list number.
+using ListId = internal::Id<ListTag>;
+// An atomic-recovery-unit (stream) identifier.
+using AruId = internal::Id<AruTag>;
+
+// The "no ARU" stream: operations tagged with it are simple operations,
+// which are ARUs by themselves and commit upon completion.
+inline constexpr AruId kNoAru{};
+
+// Predecessor sentinel: insert at the beginning of a list.
+inline constexpr BlockId kListHead{};
+
+}  // namespace aru::ld
+
+template <>
+struct std::hash<aru::ld::BlockId> {
+  std::size_t operator()(aru::ld::BlockId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+template <>
+struct std::hash<aru::ld::ListId> {
+  std::size_t operator()(aru::ld::ListId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+template <>
+struct std::hash<aru::ld::AruId> {
+  std::size_t operator()(aru::ld::AruId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

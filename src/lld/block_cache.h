@@ -1,0 +1,94 @@
+// Read cache for disk blocks, keyed by *physical* address.
+//
+// The paper's LLD keeps a block cache (an implicit Flush happens "when
+// the block cache is full"). In a log-structured disk a physical block
+// address is written exactly once per segment lifetime, so a cache
+// keyed by PhysAddr is coherent by construction: logical overwrites go
+// to fresh addresses and simply strand the old entry (aged out by LRU).
+// The only re-use of a physical address is a segment slot being
+// recycled after cleaning, so the owner invalidates a slot's entries
+// when the slot is released for reuse.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "lld/types.h"
+#include "util/bytes.h"
+
+namespace aru::lld {
+
+struct BlockCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t invalidated = 0;
+};
+
+class BlockCache {
+ public:
+  // capacity = number of cached blocks (0 disables the cache).
+  BlockCache(std::size_t capacity, std::uint32_t block_size)
+      : capacity_(capacity), block_size_(block_size) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  // Copies the cached block into `out` on a hit.
+  bool Lookup(PhysAddr phys, MutableByteSpan out) {
+    if (!enabled()) return false;
+    const auto it = map_.find(phys.encoded());
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    std::copy(it->second->data.begin(), it->second->data.end(), out.begin());
+    ++stats_.hits;
+    return true;
+  }
+
+  void Insert(PhysAddr phys, ByteSpan data) {
+    if (!enabled()) return;
+    if (map_.contains(phys.encoded())) return;
+    lru_.push_front(Entry{phys, Bytes(data.begin(), data.end())});
+    map_[phys.encoded()] = lru_.begin();
+    ++stats_.insertions;
+    while (lru_.size() > capacity_) {
+      map_.erase(lru_.back().phys.encoded());
+      lru_.pop_back();
+    }
+  }
+
+  // Drops every entry whose data lives in `slot` (the slot is being
+  // recycled; its old contents are about to be overwritten).
+  void InvalidateSlot(std::uint32_t slot) {
+    if (!enabled()) return;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->phys.slot() == slot) {
+        map_.erase(it->phys.encoded());
+        it = lru_.erase(it);
+        ++stats_.invalidated;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::size_t size() const { return lru_.size(); }
+  const BlockCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    PhysAddr phys;
+    Bytes data;
+  };
+
+  std::size_t capacity_;
+  std::uint32_t block_size_;
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+  BlockCacheStats stats_;
+};
+
+}  // namespace aru::lld

@@ -1,0 +1,152 @@
+#include "lld/checkpoint.h"
+
+#include <string>
+
+#include "util/crc32.h"
+#include "util/log.h"
+
+namespace aru::lld {
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x4c444350;  // "LDCP"
+
+}  // namespace
+
+Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
+                       const ListTable& lists) {
+  Bytes out;
+  PutU32(out, kCheckpointMagic);
+  PutU32(out, 0);  // pad
+  PutU64(out, data.stamp);
+  PutU64(out, data.covered_seq);
+  PutU64(out, data.next_lsn);
+  PutU64(out, data.next_seq);
+  PutU64(out, data.next_block_id);
+  PutU64(out, data.next_list_id);
+  PutU64(out, data.next_aru_id);
+  PutU64(out, data.allocated_blocks);
+  PutU64(out, blocks.size());
+  PutU64(out, lists.size());
+  blocks.ForEach([&out](BlockId id, const BlockMeta& meta) {
+    PutU64(out, id.value());
+    PutU64(out, meta.phys.encoded());
+    PutU64(out, meta.successor.value());
+    PutU64(out, meta.list.value());
+    PutU64(out, meta.ts);
+  });
+  lists.ForEach([&out](ListId id, const ListMeta& meta) {
+    PutU64(out, id.value());
+    PutU64(out, meta.first.value());
+    PutU64(out, meta.last.value());
+  });
+  PutU32(out, Crc32c(out));
+  return out;
+}
+
+Status DecodeCheckpoint(ByteSpan encoded, CheckpointData& data,
+                        BlockMap& blocks, ListTable& lists) {
+  Decoder dec(encoded);
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t magic, dec.ReadU32());
+  if (magic != kCheckpointMagic) return CorruptionError("bad checkpoint magic");
+  ARU_ASSIGN_OR_RETURN(std::uint32_t pad, dec.ReadU32());
+  (void)pad;
+  ARU_ASSIGN_OR_RETURN(data.stamp, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.covered_seq, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.next_lsn, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.next_seq, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.next_block_id, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.next_list_id, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.next_aru_id, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.allocated_blocks, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(const std::uint64_t n_blocks, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(const std::uint64_t n_lists, dec.ReadU64());
+
+  blocks.Clear();
+  lists.Clear();
+  for (std::uint64_t i = 0; i < n_blocks; ++i) {
+    ARU_ASSIGN_OR_RETURN(const std::uint64_t id, dec.ReadU64());
+    BlockMeta meta;
+    meta.allocated = true;
+    ARU_ASSIGN_OR_RETURN(const std::uint64_t phys, dec.ReadU64());
+    meta.phys = PhysAddr::FromEncoded(phys);
+    ARU_ASSIGN_OR_RETURN(const std::uint64_t succ, dec.ReadU64());
+    meta.successor = BlockId{succ};
+    ARU_ASSIGN_OR_RETURN(const std::uint64_t list, dec.ReadU64());
+    meta.list = ListId{list};
+    ARU_ASSIGN_OR_RETURN(meta.ts, dec.ReadU64());
+    blocks.Set(BlockId{id}, meta);
+  }
+  for (std::uint64_t i = 0; i < n_lists; ++i) {
+    ARU_ASSIGN_OR_RETURN(const std::uint64_t id, dec.ReadU64());
+    ListMeta meta;
+    meta.exists = true;
+    ARU_ASSIGN_OR_RETURN(const std::uint64_t first, dec.ReadU64());
+    meta.first = BlockId{first};
+    ARU_ASSIGN_OR_RETURN(const std::uint64_t last, dec.ReadU64());
+    meta.last = BlockId{last};
+    lists.Set(ListId{id}, meta);
+  }
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t crc, dec.ReadU32());
+  if (crc != Crc32c(encoded.first(dec.position() - 4))) {
+    return CorruptionError("checkpoint CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+Status WriteCheckpointRegion(BlockDevice& device, const Geometry& geometry,
+                             const CheckpointData& data,
+                             const BlockMap& blocks, const ListTable& lists) {
+  Bytes encoded = EncodeCheckpoint(data, blocks, lists);
+  if (encoded.size() > geometry.checkpoint_capacity) {
+    return OutOfSpaceError("checkpoint larger than its region (" +
+                           std::to_string(encoded.size()) + " > " +
+                           std::to_string(geometry.checkpoint_capacity) + ")");
+  }
+  // Pad to whole sectors.
+  const std::uint32_t ssz = geometry.sector_size;
+  encoded.resize((encoded.size() + ssz - 1) / ssz * ssz);
+  const std::uint64_t sector = (data.stamp % 2 == 0)
+                                   ? geometry.checkpoint_a_sector
+                                   : geometry.checkpoint_b_sector;
+  return device.Write(sector, encoded);
+}
+
+Status ReadNewestCheckpoint(BlockDevice& device, const Geometry& geometry,
+                            CheckpointData& data, BlockMap& blocks,
+                            ListTable& lists) {
+  Bytes region(geometry.checkpoint_capacity);
+  bool found = false;
+  CheckpointData best;
+  BlockMap best_blocks;
+  ListTable best_lists;
+
+  for (const std::uint64_t sector :
+       {geometry.checkpoint_a_sector, geometry.checkpoint_b_sector}) {
+    const Status read = device.Read(sector, region);
+    if (!read.ok()) {
+      ARU_LOG(kWarning) << "checkpoint region unreadable: " << read;
+      continue;
+    }
+    CheckpointData candidate;
+    BlockMap candidate_blocks;
+    ListTable candidate_lists;
+    const Status decoded =
+        DecodeCheckpoint(region, candidate, candidate_blocks, candidate_lists);
+    if (!decoded.ok()) continue;  // torn or never written
+    if (!found || candidate.stamp > best.stamp) {
+      found = true;
+      best = candidate;
+      best_blocks = std::move(candidate_blocks);
+      best_lists = std::move(candidate_lists);
+    }
+  }
+  if (!found) {
+    return CorruptionError("no valid checkpoint found in either region");
+  }
+  data = best;
+  blocks = std::move(best_blocks);
+  lists = std::move(best_lists);
+  return Status::Ok();
+}
+
+}  // namespace aru::lld

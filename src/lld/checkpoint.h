@@ -1,0 +1,57 @@
+// Checkpoints: double-buffered snapshots of the persistent state.
+//
+// The paper's LLD reconstructs its tables "by scanning the segment
+// summaries"; like Sprite LFS (which LLD is modeled after), we bound
+// that scan with periodic checkpoints: recovery loads the newest valid
+// checkpoint and rolls forward through the summaries of segments whose
+// sequence number exceeds the checkpoint's covered horizon.
+//
+// A checkpoint may only cover segments whose every effect is captured:
+// covered_seq is capped by the earliest on-disk record that any live
+// (committed or shadow) in-memory version record still depends on.
+// The two regions are written alternately; a torn checkpoint write
+// simply loses the newer one and recovery falls back to the older.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "blockdev/block_device.h"
+#include "lld/layout.h"
+#include "lld/tables.h"
+#include "lld/types.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace aru::lld {
+
+struct CheckpointData {
+  std::uint64_t stamp = 0;        // monotone checkpoint counter
+  std::uint64_t covered_seq = 0;  // segments with seq > this are replayed
+  Lsn next_lsn = 1;
+  std::uint64_t next_seq = 1;
+  std::uint64_t next_block_id = 1;
+  std::uint64_t next_list_id = 1;
+  std::uint64_t next_aru_id = 1;
+  std::uint64_t allocated_blocks = 0;
+};
+
+Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
+                       const ListTable& lists);
+
+// Decodes into `data` and repopulates the tables (cleared first).
+Status DecodeCheckpoint(ByteSpan encoded, CheckpointData& data,
+                        BlockMap& blocks, ListTable& lists);
+
+// Writes a checkpoint into region A or B (chosen by stamp parity).
+Status WriteCheckpointRegion(BlockDevice& device, const Geometry& geometry,
+                             const CheckpointData& data,
+                             const BlockMap& blocks, const ListTable& lists);
+
+// Reads both regions and returns the newest valid checkpoint.
+// Fails with kCorruption if neither region holds a valid checkpoint.
+Status ReadNewestCheckpoint(BlockDevice& device, const Geometry& geometry,
+                            CheckpointData& data, BlockMap& blocks,
+                            ListTable& lists);
+
+}  // namespace aru::lld

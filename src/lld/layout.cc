@@ -1,0 +1,183 @@
+#include "lld/layout.h"
+
+#include <string>
+
+#include "util/crc32.h"
+
+namespace aru::lld {
+namespace {
+
+// Worst-case serialized sizes for checkpoint sizing (see checkpoint.cc).
+constexpr std::uint64_t kCheckpointHeader = 128;
+constexpr std::uint64_t kBlockEntrySize = 8 + 8 + 8 + 8 + 8;  // id,phys,succ,list,ts
+constexpr std::uint64_t kListEntrySize = 8 + 8 + 8;           // id,first,last
+
+std::uint64_t RoundUpSectors(std::uint64_t bytes, std::uint32_t sector_size) {
+  return (bytes + sector_size - 1) / sector_size;
+}
+
+}  // namespace
+
+Result<Geometry> DeriveGeometry(const BlockDevice& device,
+                                const Options& options) {
+  Geometry g;
+  g.sector_size = device.sector_size();
+  g.block_size = options.block_size;
+  g.segment_size = options.segment_size;
+
+  if (g.block_size == 0 || g.block_size % g.sector_size != 0) {
+    return InvalidArgumentError("block size must be a multiple of the sector size");
+  }
+  if (g.segment_size < 2 * g.block_size ||
+      g.segment_size % g.block_size != 0) {
+    return InvalidArgumentError(
+        "segment size must be a multiple of the block size and hold at "
+        "least two blocks");
+  }
+
+  const std::uint64_t total_sectors = device.sector_count();
+
+  // First sizing pass: assume all remaining space is segments to bound
+  // the logical capacity, then size checkpoint regions for it.
+  const std::uint64_t sectors_per_segment = g.segment_size / g.sector_size;
+  const std::uint64_t rough_slots = total_sectors / sectors_per_segment;
+  const std::uint64_t rough_blocks =
+      rough_slots * (g.segment_size / g.block_size);
+
+  std::uint64_t capacity = options.capacity_blocks != 0
+                               ? options.capacity_blocks
+                               : rough_blocks * 9 / 10;
+  std::uint64_t max_lists =
+      options.max_lists != 0 ? options.max_lists : capacity / 2 + 1;
+
+  const std::uint64_t ckpt_bytes = kCheckpointHeader +
+                                   capacity * kBlockEntrySize +
+                                   max_lists * kListEntrySize;
+  const std::uint64_t ckpt_sectors = RoundUpSectors(ckpt_bytes, g.sector_size);
+
+  g.checkpoint_a_sector = 1;
+  g.checkpoint_b_sector = 1 + ckpt_sectors;
+  g.checkpoint_capacity = ckpt_sectors * g.sector_size;
+
+  // Segments start at the next segment-aligned sector.
+  const std::uint64_t data_first = 1 + 2 * ckpt_sectors;
+  g.data_start_sector =
+      RoundUpSectors(data_first * g.sector_size,
+                     static_cast<std::uint32_t>(
+                         sectors_per_segment * g.sector_size)) *
+      sectors_per_segment;
+
+  if (g.data_start_sector >= total_sectors) {
+    return InvalidArgumentError("device too small for checkpoint regions");
+  }
+  const std::uint64_t slots =
+      (total_sectors - g.data_start_sector) / sectors_per_segment;
+  if (slots < 8) {
+    return InvalidArgumentError(
+        "device too small: fewer than 8 segment slots (" +
+        std::to_string(slots) + ")");
+  }
+  g.slot_count = static_cast<std::uint32_t>(slots);
+  g.capacity_blocks = capacity;
+  g.max_lists = max_lists;
+  return g;
+}
+
+Bytes EncodeSuperblock(const Geometry& g) {
+  Bytes body;
+  PutU32(body, kSuperblockMagic);
+  PutU16(body, kFormatVersion);
+  PutU16(body, 0);  // pad
+  PutU32(body, g.sector_size);
+  PutU32(body, g.block_size);
+  PutU32(body, g.segment_size);
+  PutU32(body, g.slot_count);
+  PutU64(body, g.checkpoint_a_sector);
+  PutU64(body, g.checkpoint_b_sector);
+  PutU64(body, g.checkpoint_capacity);
+  PutU64(body, g.data_start_sector);
+  PutU64(body, g.capacity_blocks);
+  PutU64(body, g.max_lists);
+  PutU32(body, Crc32c(body));
+  body.resize(g.sector_size);  // pad to one sector
+  return body;
+}
+
+Result<Geometry> DecodeSuperblock(ByteSpan sector) {
+  Decoder dec(sector);
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t magic, dec.ReadU32());
+  if (magic != kSuperblockMagic) {
+    return CorruptionError("bad superblock magic");
+  }
+  ARU_ASSIGN_OR_RETURN(const std::uint16_t version, dec.ReadU16());
+  if (version != kFormatVersion) {
+    return CorruptionError("unsupported format version " +
+                           std::to_string(version));
+  }
+  ARU_ASSIGN_OR_RETURN(std::uint16_t pad, dec.ReadU16());
+  (void)pad;
+  Geometry g;
+  ARU_ASSIGN_OR_RETURN(g.sector_size, dec.ReadU32());
+  ARU_ASSIGN_OR_RETURN(g.block_size, dec.ReadU32());
+  ARU_ASSIGN_OR_RETURN(g.segment_size, dec.ReadU32());
+  ARU_ASSIGN_OR_RETURN(g.slot_count, dec.ReadU32());
+  ARU_ASSIGN_OR_RETURN(g.checkpoint_a_sector, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(g.checkpoint_b_sector, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(g.checkpoint_capacity, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(g.data_start_sector, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(g.capacity_blocks, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(g.max_lists, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t crc, dec.ReadU32());
+  const std::uint32_t expected = Crc32c(sector.first(dec.position() - 4));
+  if (crc != expected) return CorruptionError("superblock CRC mismatch");
+  return g;
+}
+
+Status WriteSuperblock(BlockDevice& device, const Geometry& geometry) {
+  return device.Write(0, EncodeSuperblock(geometry));
+}
+
+Result<Geometry> ReadSuperblock(BlockDevice& device) {
+  Bytes sector(device.sector_size());
+  ARU_RETURN_IF_ERROR(device.Read(0, sector));
+  return DecodeSuperblock(sector);
+}
+
+void EncodeFooter(const SegmentFooter& footer, MutableByteSpan out) {
+  Bytes buf;
+  buf.reserve(kFooterSize);
+  PutU32(buf, kFooterMagic);
+  PutU32(buf, 0);  // pad for alignment
+  PutU64(buf, footer.seq);
+  PutU64(buf, footer.last_lsn);
+  PutU32(buf, footer.summary_len);
+  PutU32(buf, footer.record_count);
+  PutU32(buf, footer.summary_crc);
+  PutU32(buf, Crc32c(buf));
+  // buf is now exactly kFooterSize bytes.
+  for (std::size_t i = 0; i < kFooterSize; ++i) out[i] = buf[i];
+}
+
+Result<SegmentFooter> DecodeFooter(ByteSpan trailer) {
+  if (trailer.size() < kFooterSize) {
+    return CorruptionError("footer trailer too short");
+  }
+  Decoder dec(trailer);
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t magic, dec.ReadU32());
+  if (magic != kFooterMagic) return CorruptionError("bad footer magic");
+  ARU_ASSIGN_OR_RETURN(std::uint32_t pad, dec.ReadU32());
+  (void)pad;
+  SegmentFooter f;
+  ARU_ASSIGN_OR_RETURN(f.seq, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(f.last_lsn, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(f.summary_len, dec.ReadU32());
+  ARU_ASSIGN_OR_RETURN(f.record_count, dec.ReadU32());
+  ARU_ASSIGN_OR_RETURN(f.summary_crc, dec.ReadU32());
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t crc, dec.ReadU32());
+  if (crc != Crc32c(trailer.first(dec.position() - 4))) {
+    return CorruptionError("footer CRC mismatch");
+  }
+  return f;
+}
+
+}  // namespace aru::lld

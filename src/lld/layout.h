@@ -1,0 +1,86 @@
+// On-disk layout of an LLD partition:
+//
+//   sector 0        superblock (geometry, checkpoint locations)
+//   ckpt region A   double-buffered checkpoints of the persistent state
+//   ckpt region B
+//   slot 0..n-1     fixed-size segments (data blocks + summary + footer)
+//
+// Segments are filled in main memory and written to their slot in a
+// single device write. Within a slot, data blocks grow from the front;
+// the segment summary (the operation log) sits immediately before a
+// fixed-size footer at the very end of the slot, where recovery can
+// find and validate it.
+#pragma once
+
+#include <cstdint>
+
+#include "blockdev/block_device.h"
+#include "lld/types.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace aru::lld {
+
+inline constexpr std::uint32_t kSuperblockMagic = 0x41524c44;  // "ARLD"
+inline constexpr std::uint32_t kFooterMagic = 0x4c445347;      // "LDSG"
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+// Fixed geometry of a formatted partition, derived once and embedded in
+// the superblock.
+struct Geometry {
+  std::uint32_t sector_size = 0;
+  std::uint32_t block_size = 0;
+  std::uint32_t segment_size = 0;
+  std::uint32_t slot_count = 0;
+  std::uint64_t checkpoint_a_sector = 0;
+  std::uint64_t checkpoint_b_sector = 0;
+  std::uint64_t checkpoint_capacity = 0;  // bytes per region
+  std::uint64_t data_start_sector = 0;
+  std::uint64_t capacity_blocks = 0;      // logical capacity
+  std::uint64_t max_lists = 0;
+
+  std::uint32_t sectors_per_segment() const {
+    return segment_size / sector_size;
+  }
+  std::uint64_t slot_first_sector(std::uint32_t slot) const {
+    return data_start_sector +
+           static_cast<std::uint64_t>(slot) * sectors_per_segment();
+  }
+  std::uint32_t blocks_per_segment_max() const {
+    return segment_size / block_size;
+  }
+};
+
+// Derives the geometry for a device under the given options. Fails if
+// the device is too small to hold at least a handful of segments.
+Result<Geometry> DeriveGeometry(const BlockDevice& device,
+                                const Options& options);
+
+// Superblock serialization (one sector, CRC-protected).
+Bytes EncodeSuperblock(const Geometry& geometry);
+Result<Geometry> DecodeSuperblock(ByteSpan sector);
+
+Status WriteSuperblock(BlockDevice& device, const Geometry& geometry);
+Result<Geometry> ReadSuperblock(BlockDevice& device);
+
+// Segment footer: the fixed trailer at the end of every slot. `seq` is
+// the global, monotone segment sequence number; recovery orders valid
+// segments by it. `summary_len` bytes of summary records sit directly
+// before the footer. `last_lsn` is the LSN of the last record in the
+// summary (the persistence horizon advanced by writing this segment).
+struct SegmentFooter {
+  std::uint64_t seq = 0;
+  std::uint64_t last_lsn = 0;
+  std::uint32_t summary_len = 0;
+  std::uint32_t record_count = 0;
+  std::uint32_t summary_crc = 0;
+};
+
+inline constexpr std::size_t kFooterSize = 40;
+
+void EncodeFooter(const SegmentFooter& footer, MutableByteSpan out);
+// Returns the footer if the trailer bytes look like a valid footer
+// (magic + self-CRC); corruption status otherwise.
+Result<SegmentFooter> DecodeFooter(ByteSpan trailer);
+
+}  // namespace aru::lld

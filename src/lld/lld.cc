@@ -1,0 +1,1079 @@
+#include "lld/lld.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "util/log.h"
+
+namespace aru::lld {
+namespace {
+
+Status BlockNotFound(BlockId id) {
+  return NotFoundError("block " + std::to_string(id.value()) +
+                       " is not allocated in this view");
+}
+
+Status ListNotFound(ListId id) {
+  return NotFoundError("list " + std::to_string(id.value()) +
+                       " does not exist in this view");
+}
+
+}  // namespace
+
+Lld::Lld(BlockDevice& device, const Options& options, const Geometry& geometry)
+    : device_(device),
+      options_(options),
+      geometry_(geometry),
+      slots_(geometry.slot_count),
+      writer_(device, geometry_, slots_, stats_),
+      read_cache_(options.read_cache_blocks, geometry.block_size) {}
+
+Lld::~Lld() = default;
+
+Status Lld::Format(BlockDevice& device, const Options& options) {
+  ARU_ASSIGN_OR_RETURN(const Geometry g, DeriveGeometry(device, options));
+  ARU_RETURN_IF_ERROR(WriteSuperblock(device, g));
+
+  // Invalidate both checkpoint regions and every slot footer so that
+  // stale state from a previous format cannot masquerade as valid.
+  Bytes zero_sector(g.sector_size);
+  ARU_RETURN_IF_ERROR(device.Write(g.checkpoint_a_sector, zero_sector));
+  ARU_RETURN_IF_ERROR(device.Write(g.checkpoint_b_sector, zero_sector));
+  for (std::uint32_t slot = 0; slot < g.slot_count; ++slot) {
+    const std::uint64_t last_sector =
+        g.slot_first_sector(slot) + g.sectors_per_segment() - 1;
+    ARU_RETURN_IF_ERROR(device.Write(last_sector, zero_sector));
+  }
+
+  CheckpointData initial;
+  initial.stamp = 1;
+  BlockMap empty_blocks;
+  ListTable empty_lists;
+  ARU_RETURN_IF_ERROR(
+      WriteCheckpointRegion(device, g, initial, empty_blocks, empty_lists));
+  return device.Sync();
+}
+
+Result<std::unique_ptr<Lld>> Lld::Open(BlockDevice& device,
+                                       const Options& options) {
+  ARU_ASSIGN_OR_RETURN(const Geometry g, ReadSuperblock(device));
+  if (g.sector_size != device.sector_size()) {
+    return CorruptionError("superblock sector size mismatch");
+  }
+  std::unique_ptr<Lld> lld(new Lld(device, options, g));
+  {
+    const std::lock_guard<std::mutex> lock(lld->mu_);
+    ARU_RETURN_IF_ERROR(lld->RecoverLocked());
+  }
+  return lld;
+}
+
+std::uint64_t Lld::free_blocks() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return geometry_.capacity_blocks - allocated_blocks_;
+}
+
+std::uint64_t Lld::free_slots() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slots_.free_count();
+}
+
+// ---------------------------------------------------------------------
+// Visibility: shadow → committed → persistent (paper §3.3).
+
+BlockMeta Lld::VisibleBlock(BlockId id, AruId aru) const {
+  if (const auto* node = block_versions_.LookupVisible(id, aru)) {
+    return node->meta;
+  }
+  if (const BlockMeta* meta = block_map_.Find(id)) return *meta;
+  return BlockMeta{};  // allocated == false
+}
+
+ListMeta Lld::VisibleList(ListId id, AruId aru) const {
+  if (const auto* node = list_versions_.LookupVisible(id, aru)) {
+    return node->meta;
+  }
+  if (const ListMeta* meta = list_table_.Find(id)) return *meta;
+  return ListMeta{};  // exists == false
+}
+
+void Lld::PutBlock(BlockId id, AruId state, const BlockMeta& meta,
+                   Lsn gating_lsn, Lsn source_lsn) {
+  block_versions_.Put(id, state, meta, gating_lsn, source_lsn);
+}
+
+void Lld::PutList(ListId id, AruId state, const ListMeta& meta,
+                  Lsn gating_lsn, Lsn source_lsn) {
+  list_versions_.Put(id, state, meta, gating_lsn, source_lsn);
+}
+
+// ---------------------------------------------------------------------
+// List-operation executors (shared by shadow execution, simple
+// operations, commit-time re-execution and recovery replay).
+
+Status Lld::ExecInsert(AruId state, ListId list, BlockId block, BlockId pred,
+                       Lsn gating_lsn, Lsn source_lsn, Touched& touched) {
+  ListMeta lmeta = VisibleList(list, state);
+  if (!lmeta.exists) return ListNotFound(list);
+  BlockMeta bmeta = VisibleBlock(block, state);
+  if (!bmeta.allocated) return BlockNotFound(block);
+  if (bmeta.list.valid()) {
+    return FailedPreconditionError("block " + std::to_string(block.value()) +
+                                   " is already on list " +
+                                   std::to_string(bmeta.list.value()));
+  }
+
+  if (pred.valid()) {
+    BlockMeta pmeta = VisibleBlock(pred, state);
+    if (!pmeta.allocated || pmeta.list != list) {
+      return InvalidArgumentError("predecessor " +
+                                  std::to_string(pred.value()) +
+                                  " is not a member of list " +
+                                  std::to_string(list.value()));
+    }
+    bmeta.successor = pmeta.successor;
+    pmeta.successor = block;
+    PutBlock(pred, state, pmeta, gating_lsn, source_lsn);
+    touched.blocks.push_back(pred);
+    if (lmeta.last == pred) {
+      lmeta.last = block;
+      PutList(list, state, lmeta, gating_lsn, source_lsn);
+      touched.lists.push_back(list);
+    }
+  } else {
+    bmeta.successor = lmeta.first;
+    lmeta.first = block;
+    if (!lmeta.last.valid()) lmeta.last = block;
+    PutList(list, state, lmeta, gating_lsn, source_lsn);
+    touched.lists.push_back(list);
+  }
+  bmeta.list = list;
+  PutBlock(block, state, bmeta, gating_lsn, source_lsn);
+  touched.blocks.push_back(block);
+  return Status::Ok();
+}
+
+Status Lld::ExecUnlink(AruId state, BlockId block, BlockMeta& bmeta,
+                       Lsn gating_lsn, Lsn source_lsn, Touched& touched) {
+  const ListId list = bmeta.list;
+  ListMeta lmeta = VisibleList(list, state);
+  if (!lmeta.exists) {
+    return CorruptionError("block " + std::to_string(block.value()) +
+                           " references nonexistent list " +
+                           std::to_string(list.value()));
+  }
+  if (lmeta.first == block) {
+    lmeta.first = bmeta.successor;
+    if (lmeta.last == block) lmeta.last = BlockId{};
+    PutList(list, state, lmeta, gating_lsn, source_lsn);
+    touched.lists.push_back(list);
+  } else {
+    // Predecessor search: LD keeps successor pointers only, so removal
+    // walks the list from its head (paper §5.3 — the cost that
+    // dominates the file-deletion overhead).
+    BlockId cur = lmeta.first;
+    BlockMeta cmeta;
+    bool found = false;
+    while (cur.valid()) {
+      ++stats_.predecessor_search_steps;
+      cmeta = VisibleBlock(cur, state);
+      if (!cmeta.allocated) {
+        return CorruptionError("list " + std::to_string(list.value()) +
+                               " chains through unallocated block " +
+                               std::to_string(cur.value()));
+      }
+      if (cmeta.successor == block) {
+        found = true;
+        break;
+      }
+      cur = cmeta.successor;
+    }
+    if (!found) {
+      return CorruptionError("block " + std::to_string(block.value()) +
+                             " not reachable on its list " +
+                             std::to_string(list.value()));
+    }
+    cmeta.successor = bmeta.successor;
+    PutBlock(cur, state, cmeta, gating_lsn, source_lsn);
+    touched.blocks.push_back(cur);
+    if (lmeta.last == block) {
+      lmeta.last = cur;
+      PutList(list, state, lmeta, gating_lsn, source_lsn);
+      touched.lists.push_back(list);
+    }
+  }
+  bmeta.list = ListId{};
+  bmeta.successor = BlockId{};
+  return Status::Ok();
+}
+
+Status Lld::ExecDeleteBlock(AruId state, BlockId block, Lsn gating_lsn,
+                            Lsn source_lsn, Touched& touched) {
+  BlockMeta bmeta = VisibleBlock(block, state);
+  if (!bmeta.allocated) return BlockNotFound(block);
+
+  if (bmeta.list.valid()) {
+    ARU_RETURN_IF_ERROR(
+        ExecUnlink(state, block, bmeta, gating_lsn, source_lsn, touched));
+  }
+
+  PutBlock(block, state, BlockMeta{}, gating_lsn, source_lsn);
+  touched.blocks.push_back(block);
+  if (!state.valid()) {
+    assert(allocated_blocks_ > 0);
+    --allocated_blocks_;
+  }
+  return Status::Ok();
+}
+
+Status Lld::ExecMove(AruId state, BlockId block, ListId to_list, BlockId pred,
+                     Lsn gating_lsn, Lsn source_lsn, Touched& touched) {
+  if (pred == block) {
+    return InvalidArgumentError("cannot move a block after itself");
+  }
+  BlockMeta bmeta = VisibleBlock(block, state);
+  if (!bmeta.allocated) return BlockNotFound(block);
+  if (!VisibleList(to_list, state).exists) return ListNotFound(to_list);
+  if (pred.valid()) {
+    const BlockMeta pmeta = VisibleBlock(pred, state);
+    if (!pmeta.allocated || pmeta.list != to_list) {
+      return InvalidArgumentError(
+          "predecessor is not a member of the destination list");
+    }
+  }
+
+  if (bmeta.list.valid()) {
+    ARU_RETURN_IF_ERROR(
+        ExecUnlink(state, block, bmeta, gating_lsn, source_lsn, touched));
+    // The unlink changed list/neighbor records; write the detached
+    // state so ExecInsert starts from a listless block.
+    PutBlock(block, state, bmeta, gating_lsn, source_lsn);
+    touched.blocks.push_back(block);
+  }
+  return ExecInsert(state, to_list, block, pred, gating_lsn, source_lsn,
+                    touched);
+}
+
+Status Lld::ExecDeleteList(AruId state, ListId list, Lsn gating_lsn,
+                           Lsn source_lsn, Touched& touched) {
+  ListMeta lmeta = VisibleList(list, state);
+  if (!lmeta.exists) return ListNotFound(list);
+
+  // Free all member blocks walking from the head: no predecessor
+  // searches (the "improved file deletion" path of §5.3 relies on this).
+  BlockId cur = lmeta.first;
+  std::uint64_t steps = 0;
+  while (cur.valid()) {
+    if (++steps > geometry_.capacity_blocks + 1) {
+      return CorruptionError("cycle while deleting list " +
+                             std::to_string(list.value()));
+    }
+    const BlockMeta bmeta = VisibleBlock(cur, state);
+    if (!bmeta.allocated) {
+      return CorruptionError("list " + std::to_string(list.value()) +
+                             " chains through unallocated block " +
+                             std::to_string(cur.value()));
+    }
+    PutBlock(cur, state, BlockMeta{}, gating_lsn, source_lsn);
+    touched.blocks.push_back(cur);
+    if (!state.valid()) {
+      assert(allocated_blocks_ > 0);
+      --allocated_blocks_;
+    }
+    cur = bmeta.successor;
+  }
+
+  PutList(list, state, ListMeta{}, gating_lsn, source_lsn);
+  touched.lists.push_back(list);
+  if (!state.valid()) {
+    assert(list_count_ > 0);
+    --list_count_;
+  }
+  return Status::Ok();
+}
+
+void Lld::PushPromotions(const Touched& touched, Lsn eff_lsn,
+                         AruState* staged) {
+  auto push = [&](bool is_list, std::uint64_t id) {
+    const PromotionEntry entry{is_list, id, eff_lsn};
+    if (staged != nullptr) {
+      staged->staged.push_back(entry);
+    } else {
+      promotion_fifo_.push_back(entry);
+    }
+  };
+  for (const BlockId b : touched.blocks) push(false, b.value());
+  for (const ListId l : touched.lists) push(true, l.value());
+}
+
+// ---------------------------------------------------------------------
+// Promotion: committed → persistent once the backing records hit disk.
+
+void Lld::MaybePromoteLocked() {
+  const Lsn horizon = writer_.persisted_lsn();
+  while (!promotion_fifo_.empty() &&
+         promotion_fifo_.front().eff_lsn <= horizon) {
+    const PromotionEntry entry = promotion_fifo_.front();
+    promotion_fifo_.pop_front();
+    if (entry.is_list) {
+      const ListId id{entry.id};
+      if (auto* node = list_versions_.FindExact(id, ld::kNoAru);
+          node != nullptr && node->lsn <= horizon) {
+        if (node->meta.exists) {
+          list_table_.Set(id, node->meta);
+        } else {
+          list_table_.Erase(id);
+        }
+        list_versions_.Remove(node);
+      }
+    } else {
+      const BlockId id{entry.id};
+      if (auto* node = block_versions_.FindExact(id, ld::kNoAru);
+          node != nullptr && node->lsn <= horizon) {
+        if (node->meta.allocated) {
+          block_map_.Set(id, node->meta);
+        } else {
+          block_map_.Erase(id);
+        }
+        block_versions_.Remove(node);
+      }
+    }
+  }
+}
+
+void Lld::PromoteAllCommittedLocked() {
+  block_versions_.ForEachCommitted([this](const BlockVersions::Node& node) {
+    if (node.meta.allocated) {
+      block_map_.Set(node.id, node.meta);
+    } else {
+      block_map_.Erase(node.id);
+    }
+  });
+  block_versions_.ClearCommitted();
+  list_versions_.ForEachCommitted([this](const ListVersions::Node& node) {
+    if (node.meta.exists) {
+      list_table_.Set(node.id, node.meta);
+    } else {
+      list_table_.Erase(node.id);
+    }
+  });
+  list_versions_.ClearCommitted();
+  promotion_fifo_.clear();
+}
+
+// ---------------------------------------------------------------------
+// Lists.
+
+Result<Lld::AruState*> Lld::FindAru(AruId aru) {
+  const auto it = active_arus_.find(aru);
+  if (it == active_arus_.end()) {
+    return NotFoundError("ARU " + std::to_string(aru.value()) +
+                         " is not active");
+  }
+  return &it->second;
+}
+
+Result<ListId> Lld::NewList(AruId aru) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  AruState* state = nullptr;
+  if (aru.valid()) {
+    ARU_ASSIGN_OR_RETURN(state, FindAru(aru));
+  }
+  if (list_count_ >= geometry_.max_lists) {
+    return OutOfSpaceError("list table full (" +
+                           std::to_string(geometry_.max_lists) + " lists)");
+  }
+  ARU_RETURN_IF_ERROR(MaybeCleanLocked());
+
+  const ListId list{next_list_id_++};
+  const Lsn lsn = NextLsn();
+  // List allocation is always done in the merged stream and committed
+  // immediately, even inside an ARU (paper §3.3).
+  ARU_RETURN_IF_ERROR(
+      writer_.AppendRecord(AllocListRecord{list, aru, lsn}));
+  ListMeta meta;
+  meta.exists = true;
+  PutList(list, ld::kNoAru, meta, lsn, lsn);
+  promotion_fifo_.push_back(PromotionEntry{true, list.value(), lsn});
+  ++list_count_;
+  if (state != nullptr) state->allocated_lists.push_back(list);
+
+  MaybePromoteLocked();
+  ARU_RETURN_IF_ERROR(ParanoidCheck());
+  return list;
+}
+
+Status Lld::DeleteList(ListId list, AruId aru) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ARU_RETURN_IF_ERROR(MaybeCleanLocked());
+
+  if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
+    ARU_ASSIGN_OR_RETURN(AruState * state, FindAru(aru));
+    Touched touched;
+    ARU_RETURN_IF_ERROR(
+        ExecDeleteList(aru, list, NextLsn(), kLsnMax, touched));
+    state->link_log.push_back(
+        LinkOp{LinkOp::Kind::kDeleteList, list, BlockId{}, BlockId{}});
+    return ParanoidCheck();
+  }
+
+  AruState* staged = nullptr;
+  Lsn gating = kNoLsn;
+  if (aru.valid()) {  // sequential mode: direct, but promotion staged
+    ARU_ASSIGN_OR_RETURN(staged, FindAru(aru));
+    gating = kLsnMax;
+  }
+  const Lsn lsn = NextLsn();
+  Touched touched;
+  ARU_RETURN_IF_ERROR(ExecDeleteList(ld::kNoAru, list,
+                                     gating == kNoLsn ? lsn : gating, lsn,
+                                     touched));
+  ARU_RETURN_IF_ERROR(writer_.AppendRecord(DeleteListRecord{list, aru, lsn}));
+  PushPromotions(touched, lsn, staged);
+  MaybePromoteLocked();
+  return ParanoidCheck();
+}
+
+Result<std::vector<BlockId>> Lld::ListBlocks(ListId list, AruId aru) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (aru.valid()) {
+    ARU_RETURN_IF_ERROR(FindAru(aru).status());
+  }
+  const ListMeta lmeta = VisibleList(list, aru);
+  if (!lmeta.exists) return ListNotFound(list);
+  std::vector<BlockId> blocks;
+  BlockId cur = lmeta.first;
+  std::uint64_t steps = 0;
+  while (cur.valid()) {
+    if (++steps > geometry_.capacity_blocks + 1) {
+      return CorruptionError("cycle in list " + std::to_string(list.value()));
+    }
+    blocks.push_back(cur);
+    cur = VisibleBlock(cur, aru).successor;
+  }
+  return blocks;
+}
+
+Result<ListId> Lld::ListOf(BlockId block, AruId aru) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (aru.valid()) {
+    ARU_RETURN_IF_ERROR(FindAru(aru).status());
+  }
+  const BlockMeta meta = VisibleBlock(block, aru);
+  if (!meta.allocated) return BlockNotFound(block);
+  return meta.list;
+}
+
+// ---------------------------------------------------------------------
+// Blocks.
+
+Result<BlockId> Lld::NewBlock(ListId list, BlockId predecessor, AruId aru) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  AruState* state = nullptr;
+  if (aru.valid()) {
+    ARU_ASSIGN_OR_RETURN(state, FindAru(aru));
+  }
+  if (allocated_blocks_ >= geometry_.capacity_blocks) {
+    return OutOfSpaceError("logical capacity exhausted");
+  }
+  ARU_RETURN_IF_ERROR(MaybeCleanLocked());
+
+  // Validate against the caller's view before allocating.
+  if (!VisibleList(list, aru).exists) return ListNotFound(list);
+  if (predecessor.valid()) {
+    const BlockMeta pmeta = VisibleBlock(predecessor, aru);
+    if (!pmeta.allocated || pmeta.list != list) {
+      return InvalidArgumentError("predecessor is not a member of the list");
+    }
+  }
+
+  const BlockId block{next_block_id_++};
+  const Lsn alloc_lsn = NextLsn();
+  // Allocation happens in the merged stream, committed immediately
+  // (paper §3.3): other streams cannot obtain this id, but also do not
+  // see the block on any list until the allocating ARU commits.
+  ARU_RETURN_IF_ERROR(
+      writer_.AppendRecord(AllocBlockRecord{block, list, aru, alloc_lsn}));
+  BlockMeta ameta;
+  ameta.allocated = true;
+  PutBlock(block, ld::kNoAru, ameta, alloc_lsn, alloc_lsn);
+  promotion_fifo_.push_back(PromotionEntry{false, block.value(), alloc_lsn});
+  ++allocated_blocks_;
+  if (state != nullptr) state->allocated_blocks.push_back(block);
+
+  // The insertion into the list is part of the caller's stream.
+  if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
+    Touched touched;
+    ARU_RETURN_IF_ERROR(ExecInsert(aru, list, block, predecessor, NextLsn(),
+                                   kLsnMax, touched));
+    state->link_log.push_back(
+        LinkOp{LinkOp::Kind::kInsert, list, block, predecessor});
+  } else {
+    AruState* staged = aru.valid() ? state : nullptr;
+    const Lsn lsn = NextLsn();
+    Touched touched;
+    ARU_RETURN_IF_ERROR(ExecInsert(ld::kNoAru, list, block, predecessor,
+                                   staged != nullptr ? kLsnMax : lsn, lsn,
+                                   touched));
+    ARU_RETURN_IF_ERROR(writer_.AppendRecord(
+        InsertRecord{list, block, predecessor, aru, lsn}));
+    PushPromotions(touched, lsn, staged);
+  }
+
+  MaybePromoteLocked();
+  ARU_RETURN_IF_ERROR(ParanoidCheck());
+  return block;
+}
+
+Status Lld::DeleteBlock(BlockId block, AruId aru) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ARU_RETURN_IF_ERROR(MaybeCleanLocked());
+
+  if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
+    ARU_ASSIGN_OR_RETURN(AruState * state, FindAru(aru));
+    Touched touched;
+    ARU_RETURN_IF_ERROR(
+        ExecDeleteBlock(aru, block, NextLsn(), kLsnMax, touched));
+    state->link_log.push_back(
+        LinkOp{LinkOp::Kind::kDeleteBlock, ListId{}, block, BlockId{}});
+    return ParanoidCheck();
+  }
+
+  AruState* staged = nullptr;
+  Lsn gating = kNoLsn;
+  if (aru.valid()) {
+    ARU_ASSIGN_OR_RETURN(staged, FindAru(aru));
+    gating = kLsnMax;
+  }
+  const Lsn lsn = NextLsn();
+  Touched touched;
+  ARU_RETURN_IF_ERROR(ExecDeleteBlock(ld::kNoAru, block,
+                                      gating == kNoLsn ? lsn : gating, lsn,
+                                      touched));
+  ARU_RETURN_IF_ERROR(writer_.AppendRecord(DeleteBlockRecord{block, aru, lsn}));
+  PushPromotions(touched, lsn, staged);
+  MaybePromoteLocked();
+  return ParanoidCheck();
+}
+
+Status Lld::MoveBlock(BlockId block, ListId to_list, BlockId predecessor,
+                      AruId aru) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ARU_RETURN_IF_ERROR(MaybeCleanLocked());
+
+  if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
+    ARU_ASSIGN_OR_RETURN(AruState * state, FindAru(aru));
+    Touched touched;
+    ARU_RETURN_IF_ERROR(ExecMove(aru, block, to_list, predecessor, NextLsn(),
+                                 kLsnMax, touched));
+    state->link_log.push_back(
+        LinkOp{LinkOp::Kind::kMove, to_list, block, predecessor});
+    return ParanoidCheck();
+  }
+
+  AruState* staged = nullptr;
+  Lsn gating = kNoLsn;
+  if (aru.valid()) {
+    ARU_ASSIGN_OR_RETURN(staged, FindAru(aru));
+    gating = kLsnMax;
+  }
+  const Lsn lsn = NextLsn();
+  Touched touched;
+  ARU_RETURN_IF_ERROR(ExecMove(ld::kNoAru, block, to_list, predecessor,
+                               gating == kNoLsn ? lsn : gating, lsn,
+                               touched));
+  ARU_RETURN_IF_ERROR(writer_.AppendRecord(
+      MoveRecord{to_list, block, predecessor, aru, lsn}));
+  PushPromotions(touched, lsn, staged);
+  MaybePromoteLocked();
+  return ParanoidCheck();
+}
+
+Status Lld::Write(BlockId block, ByteSpan data, AruId aru) {
+  if (data.size() != geometry_.block_size) {
+    return InvalidArgumentError("write size " + std::to_string(data.size()) +
+                                " != block size " +
+                                std::to_string(geometry_.block_size));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  AruState* state = nullptr;
+  if (aru.valid()) {
+    ARU_ASSIGN_OR_RETURN(state, FindAru(aru));
+  }
+  ARU_RETURN_IF_ERROR(MaybeCleanLocked());
+
+  BlockMeta meta = VisibleBlock(block, aru);
+  if (!meta.allocated) return BlockNotFound(block);
+
+  const Lsn lsn = NextLsn();
+  ARU_ASSIGN_OR_RETURN(const PhysAddr phys,
+                       writer_.AppendWrite(WriteRecord{block, aru, lsn, {}},
+                                           data));
+  meta.phys = phys;
+  meta.ts = lsn;
+
+  if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
+    // Shadow version: local to the ARU until EndARU merges it.
+    PutBlock(block, aru, meta, lsn, lsn);
+  } else if (state != nullptr) {
+    // Sequential-mode ARU: committed state directly, promotion staged.
+    PutBlock(block, ld::kNoAru, meta, kLsnMax, lsn);
+    state->staged.push_back(PromotionEntry{false, block.value(), kNoLsn});
+  } else {
+    PutBlock(block, ld::kNoAru, meta, lsn, lsn);
+    promotion_fifo_.push_back(PromotionEntry{false, block.value(), lsn});
+  }
+
+  MaybePromoteLocked();
+  return ParanoidCheck();
+}
+
+Status Lld::Read(BlockId block, MutableByteSpan out, AruId aru) {
+  if (out.size() != geometry_.block_size) {
+    return InvalidArgumentError("read size != block size");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (aru.valid()) {
+    ARU_RETURN_IF_ERROR(FindAru(aru).status());
+  }
+  const BlockMeta meta = VisibleBlock(block, aru);
+  if (!meta.allocated) return BlockNotFound(block);
+  ++stats_.blocks_read;
+  if (!meta.phys.valid()) {
+    std::fill(out.begin(), out.end(), std::byte{0});
+    return Status::Ok();
+  }
+  if (writer_.InOpenSegment(meta.phys)) {
+    ++stats_.reads_from_open_segment;
+    writer_.ReadOpenBlock(meta.phys, out);
+    return Status::Ok();
+  }
+  if (read_cache_.Lookup(meta.phys, out)) return Status::Ok();
+  const std::uint64_t sector =
+      geometry_.slot_first_sector(meta.phys.slot()) +
+      static_cast<std::uint64_t>(meta.phys.index()) *
+          (geometry_.block_size / geometry_.sector_size);
+  ARU_RETURN_IF_ERROR(device_.Read(sector, out));
+  read_cache_.Insert(meta.phys, out);
+  return Status::Ok();
+}
+
+Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
+                     AruId aru) {
+  const std::uint32_t bs = geometry_.block_size;
+  if (out.size() != blocks.size() * bs) {
+    return InvalidArgumentError("ReadMany buffer size mismatch");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (aru.valid()) {
+    ARU_RETURN_IF_ERROR(FindAru(aru).status());
+  }
+
+  // Resolve all physical addresses up front, then coalesce consecutive
+  // on-disk runs (same slot, adjacent block indexes) into single device
+  // requests.
+  struct Target {
+    PhysAddr phys;  // invalid ⇒ zero-fill
+    bool from_open_segment = false;
+  };
+  std::vector<Target> targets(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const BlockMeta meta = VisibleBlock(blocks[i], aru);
+    if (!meta.allocated) return BlockNotFound(blocks[i]);
+    targets[i].phys = meta.phys;
+    targets[i].from_open_segment = writer_.InOpenSegment(meta.phys);
+    ++stats_.blocks_read;
+  }
+
+  const std::uint32_t sectors_per_block = bs / geometry_.sector_size;
+  std::size_t i = 0;
+  while (i < targets.size()) {
+    const Target& target = targets[i];
+    MutableByteSpan slice = out.subspan(i * bs, bs);
+    if (!target.phys.valid()) {
+      std::fill(slice.begin(), slice.end(), std::byte{0});
+      ++i;
+      continue;
+    }
+    if (target.from_open_segment) {
+      ++stats_.reads_from_open_segment;
+      writer_.ReadOpenBlock(target.phys, slice);
+      ++i;
+      continue;
+    }
+    if (read_cache_.Lookup(target.phys, slice)) {
+      ++i;
+      continue;
+    }
+    // Extend the run while blocks are physically consecutive.
+    std::size_t run = 1;
+    while (i + run < targets.size()) {
+      const Target& next = targets[i + run];
+      if (next.from_open_segment || !next.phys.valid()) break;
+      if (next.phys.slot() != target.phys.slot() ||
+          next.phys.index() != target.phys.index() + run) {
+        break;
+      }
+      ++run;
+    }
+    const std::uint64_t sector =
+        geometry_.slot_first_sector(target.phys.slot()) +
+        static_cast<std::uint64_t>(target.phys.index()) * sectors_per_block;
+    ARU_RETURN_IF_ERROR(
+        device_.Read(sector, out.subspan(i * bs, run * bs)));
+    for (std::size_t k = 0; k < run; ++k) {
+      read_cache_.Insert(targets[i + k].phys, out.subspan((i + k) * bs, bs));
+    }
+    i += run;
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// ARUs.
+
+Result<AruId> Lld::BeginARU() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (options_.aru_mode == AruMode::kSequential && !active_arus_.empty()) {
+    return FailedPreconditionError(
+        "sequential-ARU mode supports one ARU at a time");
+  }
+  const AruId aru{next_aru_id_++};
+  AruState state;
+  state.id = aru;
+  state.begin_lsn = NextLsn();
+  active_arus_.emplace(aru, std::move(state));
+  ++stats_.arus_begun;
+  return aru;
+}
+
+Status Lld::EndARU(AruId aru) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ARU_ASSIGN_OR_RETURN(AruState * state, FindAru(aru));
+  const Status status = options_.aru_mode == AruMode::kConcurrent
+                            ? EndAruConcurrentLocked(*state)
+                            : EndAruSequentialLocked(*state);
+  active_arus_.erase(aru);
+  if (status.ok()) ++stats_.arus_committed;
+  MaybePromoteLocked();
+  ARU_RETURN_IF_ERROR(status);
+  return ParanoidCheck();
+}
+
+Status Lld::EndAruConcurrentLocked(AruState& state) {
+  const AruId aru = state.id;
+
+  // 1. Re-execute the list operation log against the committed state,
+  //    generating the summary entries (paper §4). Gating LSNs are held
+  //    at kLsnMax until the commit record's LSN is known.
+  Touched touched;
+  for (const LinkOp& op : state.link_log) {
+    ++stats_.link_log_entries_replayed;
+    const Lsn lsn = NextLsn();
+    Status applied;
+    switch (op.kind) {
+      case LinkOp::Kind::kInsert:
+        applied = ExecInsert(ld::kNoAru, op.list, op.block, op.pred, kLsnMax,
+                             lsn, touched);
+        if (applied.ok()) {
+          applied = writer_.AppendRecord(
+              InsertRecord{op.list, op.block, op.pred, aru, lsn});
+        }
+        break;
+      case LinkOp::Kind::kDeleteBlock:
+        applied = ExecDeleteBlock(ld::kNoAru, op.block, kLsnMax, lsn, touched);
+        if (applied.ok()) {
+          applied = writer_.AppendRecord(DeleteBlockRecord{op.block, aru, lsn});
+        }
+        break;
+      case LinkOp::Kind::kDeleteList:
+        applied = ExecDeleteList(ld::kNoAru, op.list, kLsnMax, lsn, touched);
+        if (applied.ok()) {
+          applied = writer_.AppendRecord(DeleteListRecord{op.list, aru, lsn});
+        }
+        break;
+      case LinkOp::Kind::kMove:
+        applied = ExecMove(ld::kNoAru, op.block, op.list, op.pred, kLsnMax,
+                           lsn, touched);
+        if (applied.ok()) {
+          applied = writer_.AppendRecord(
+              MoveRecord{op.list, op.block, op.pred, aru, lsn});
+        }
+        break;
+    }
+    if (!applied.ok()) {
+      if (applied.code() == StatusCode::kIoError ||
+          applied.code() == StatusCode::kUnavailable ||
+          applied.code() == StatusCode::kOutOfSpace) {
+        return applied;  // substrate failure: surface it
+      }
+      // The operation no longer applies (a concurrent stream committed
+      // a conflicting change first). ARUs provide no concurrency
+      // control; the op is skipped and commit order decides.
+      ARU_LOG(kWarning) << "EndARU: skipping inapplicable list op: "
+                        << applied;
+    }
+  }
+
+  // 2. The commit record: everything before it becomes effective.
+  const Lsn commit_lsn = NextLsn();
+  ARU_RETURN_IF_ERROR(writer_.AppendRecord(CommitRecord{aru, commit_lsn}));
+
+  // 3. Merge the shadow versions into the committed state. Shadow
+  //    records win over whatever the link replay wrote (they are the
+  //    newest versions in this stream) — except versions of identifiers
+  //    a conflicting stream already deleted from the committed state:
+  //    those are dropped, exactly as recovery replay would drop them
+  //    (their kWrite records target a block with no committed
+  //    existence).
+  std::vector<BlockId> merged_blocks;
+  block_versions_.MergeIntoCommitted(
+      aru, commit_lsn, [](const BlockMeta&) {},
+      [this](BlockId id, const BlockMeta& shadow_meta) {
+        // A shadow deletion of an already-deleted block is a no-op;
+        // a shadow write/insert of a deleted block must not resurrect
+        // it. Either way: if the committed view says the block no
+        // longer exists, the shadow version dies with the ARU's claim
+        // to it. (The ARU's own uncommitted state is not consulted —
+        // kNoAru sees committed → persistent only.)
+        return shadow_meta.allocated &&
+               !VisibleBlock(id, ld::kNoAru).allocated;
+      },
+      merged_blocks);
+  std::vector<ListId> merged_lists;
+  list_versions_.MergeIntoCommitted(
+      aru, commit_lsn, [](const ListMeta&) {},
+      [this](ListId id, const ListMeta& shadow_meta) {
+        return shadow_meta.exists && !VisibleList(id, ld::kNoAru).exists;
+      },
+      merged_lists);
+
+  // 4. Release gating: restamp replay-touched committed records and
+  //    queue promotions, all at the commit LSN (ARUs serialize by the
+  //    time of the EndARU operation).
+  for (const BlockId b : touched.blocks) {
+    if (auto* node = block_versions_.FindExact(b, ld::kNoAru);
+        node != nullptr && node->lsn == kLsnMax) {
+      node->lsn = commit_lsn;
+    }
+  }
+  for (const ListId l : touched.lists) {
+    if (auto* node = list_versions_.FindExact(l, ld::kNoAru);
+        node != nullptr && node->lsn == kLsnMax) {
+      node->lsn = commit_lsn;
+    }
+  }
+  PushPromotions(touched, commit_lsn, nullptr);
+  for (const BlockId b : merged_blocks) {
+    promotion_fifo_.push_back(PromotionEntry{false, b.value(), commit_lsn});
+  }
+  for (const ListId l : merged_lists) {
+    promotion_fifo_.push_back(PromotionEntry{true, l.value(), commit_lsn});
+  }
+  return Status::Ok();
+}
+
+Status Lld::EndAruSequentialLocked(AruState& state) {
+  const Lsn commit_lsn = NextLsn();
+  ARU_RETURN_IF_ERROR(writer_.AppendRecord(CommitRecord{state.id, commit_lsn}));
+  for (PromotionEntry& entry : state.staged) {
+    entry.eff_lsn = commit_lsn;
+    if (entry.is_list) {
+      if (auto* node = list_versions_.FindExact(ListId{entry.id}, ld::kNoAru);
+          node != nullptr && node->lsn == kLsnMax) {
+        node->lsn = commit_lsn;
+      }
+    } else {
+      if (auto* node = block_versions_.FindExact(BlockId{entry.id}, ld::kNoAru);
+          node != nullptr && node->lsn == kLsnMax) {
+        node->lsn = commit_lsn;
+      }
+    }
+    promotion_fifo_.push_back(entry);
+  }
+  state.staged.clear();
+  return Status::Ok();
+}
+
+Status Lld::AbortARU(AruId aru) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (options_.aru_mode == AruMode::kSequential) {
+    return FailedPreconditionError(
+        "the sequential-ARU prototype cannot abort (operations were "
+        "applied to the committed state directly)");
+  }
+  ARU_ASSIGN_OR_RETURN(AruState * state, FindAru(aru));
+
+  const Lsn abort_lsn = NextLsn();
+  ARU_RETURN_IF_ERROR(writer_.AppendRecord(AbortRecord{aru, abort_lsn}));
+
+  block_versions_.DropState(aru, [](const BlockMeta&) {});
+  list_versions_.DropState(aru, [](const ListMeta&) {});
+
+  // Allocation is committed immediately, so ids handed to this ARU
+  // survive the abort as allocated-but-listless garbage unless freed
+  // here (recovery's consistency check would reclaim them after a
+  // crash; AbortARU reclaims them eagerly).
+  for (const BlockId block : state->allocated_blocks) {
+    const BlockMeta meta = VisibleBlock(block, ld::kNoAru);
+    if (!meta.allocated || meta.list.valid()) continue;
+    const Lsn lsn = NextLsn();
+    Touched touched;
+    ARU_RETURN_IF_ERROR(
+        ExecDeleteBlock(ld::kNoAru, block, lsn, lsn, touched));
+    ARU_RETURN_IF_ERROR(
+        writer_.AppendRecord(DeleteBlockRecord{block, ld::kNoAru, lsn}));
+    PushPromotions(touched, lsn, nullptr);
+  }
+  for (const ListId list : state->allocated_lists) {
+    const ListMeta meta = VisibleList(list, ld::kNoAru);
+    if (!meta.exists || meta.first.valid()) continue;
+    const Lsn lsn = NextLsn();
+    Touched touched;
+    ARU_RETURN_IF_ERROR(ExecDeleteList(ld::kNoAru, list, lsn, lsn, touched));
+    ARU_RETURN_IF_ERROR(
+        writer_.AppendRecord(DeleteListRecord{list, ld::kNoAru, lsn}));
+    PushPromotions(touched, lsn, nullptr);
+  }
+
+  active_arus_.erase(aru);
+  ++stats_.arus_aborted;
+  MaybePromoteLocked();
+  return ParanoidCheck();
+}
+
+Status Lld::Flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
+  ARU_RETURN_IF_ERROR(device_.Sync());
+  MaybePromoteLocked();
+  ++stats_.flushes;
+  return ParanoidCheck();
+}
+
+// ---------------------------------------------------------------------
+// Administration.
+
+Status Lld::Checkpoint() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return TakeCheckpointLocked();
+}
+
+Status Lld::Clean() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return RunCleanerLocked();
+}
+
+Status Lld::Close() {
+  std::vector<AruId> to_abort;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, state] : active_arus_) to_abort.push_back(id);
+  }
+  for (const AruId aru : to_abort) {
+    ARU_RETURN_IF_ERROR(AbortARU(aru));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
+  ARU_RETURN_IF_ERROR(device_.Sync());
+  MaybePromoteLocked();
+  return TakeCheckpointLocked();
+}
+
+Status Lld::RelocateShadowSourcesLocked() {
+  // A shadow write whose data already reached disk pins checkpoint
+  // coverage at its summary record: the record must stay replayable
+  // until its ARU commits. A long-lived ARU would thus hold every
+  // later segment hostage (cleaned slots could never be released).
+  // Re-emitting the write — same block, same ARU tag, fresh segment —
+  // moves the pin to the head of the log; within-ARU replay ordering by
+  // record LSN makes the newer copy win and the old one dead.
+  //
+  // Only concurrent-mode shadow records need this: committed records
+  // are fully promoted after the seal below, and the sequential-mode
+  // prototype (which applies ARU operations in place and keeps no
+  // re-executable operation log) simply holds coverage while its one
+  // ARU is open — mirroring the original prototype's limitation.
+  struct Relocation {
+    BlockId block;
+    AruId owner;
+    PhysAddr phys;
+    Lsn op_lsn;
+  };
+  std::vector<Relocation> relocations;
+  const Lsn persisted = writer_.persisted_lsn();
+  block_versions_.ForEachAll([&](const BlockVersions::Node& node) {
+    if (node.owner.valid() && node.meta.phys.valid() &&
+        node.source_lsn <= persisted) {
+      relocations.push_back(
+          Relocation{node.id, node.owner, node.meta.phys, node.lsn});
+    }
+  });
+  if (relocations.empty()) return Status::Ok();
+
+  Bytes data(geometry_.block_size);
+  for (const Relocation& relocation : relocations) {
+    if (writer_.InOpenSegment(relocation.phys)) continue;
+    const std::uint64_t sector =
+        geometry_.slot_first_sector(relocation.phys.slot()) +
+        static_cast<std::uint64_t>(relocation.phys.index()) *
+            (geometry_.block_size / geometry_.sector_size);
+    ARU_RETURN_IF_ERROR(device_.Read(sector, data));
+    const Lsn lsn = NextLsn();
+    ARU_ASSIGN_OR_RETURN(
+        const PhysAddr phys,
+        writer_.AppendWrite(
+            WriteRecord{relocation.block, relocation.owner, lsn, {}}, data));
+    auto* node = block_versions_.FindExact(relocation.block,
+                                           relocation.owner);
+    if (node == nullptr || node->meta.phys != relocation.phys) {
+      continue;  // superseded meanwhile (cannot happen under the lock)
+    }
+    node->meta.phys = phys;
+    node->meta.ts = lsn;
+    node->source_lsn = lsn;
+  }
+  return Status::Ok();
+}
+
+Status Lld::TakeCheckpointLocked() {
+  ARU_RETURN_IF_ERROR(RelocateShadowSourcesLocked());
+  ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
+  MaybePromoteLocked();
+
+  // A checkpoint may cover a segment only if no live in-memory record
+  // still depends on one of its summary records.
+  const Lsn min_source = std::min(block_versions_.MinSourceLsn(),
+                                  list_versions_.MinSourceLsn());
+  std::uint64_t covered = last_covered_seq_;
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    const SlotInfo& info = slots_[slot];
+    if ((info.state == SlotState::kWritten ||
+         info.state == SlotState::kPendingFree) &&
+        info.last_lsn < min_source) {
+      covered = std::max(covered, info.seq);
+    }
+  }
+
+  CheckpointData data;
+  data.stamp = ++checkpoint_stamp_;
+  data.covered_seq = covered;
+  data.next_lsn = next_lsn_;
+  data.next_seq = writer_.next_seq();
+  data.next_block_id = next_block_id_;
+  data.next_list_id = next_list_id_;
+  data.next_aru_id = next_aru_id_;
+  data.allocated_blocks = allocated_blocks_;
+  ARU_RETURN_IF_ERROR(WriteCheckpointRegion(device_, geometry_, data,
+                                            block_map_, list_table_));
+  ARU_RETURN_IF_ERROR(device_.Sync());
+  last_covered_seq_ = covered;
+  for (const std::uint32_t slot : slots_.ReleasePending(covered)) {
+    read_cache_.InvalidateSlot(slot);
+  }
+  ++stats_.checkpoints;
+  return Status::Ok();
+}
+
+}  // namespace aru::lld

@@ -1,0 +1,260 @@
+// LLD: the log-structured logical disk with concurrent atomic recovery
+// units — the paper's prototype system.
+//
+// State administration (paper §3.1, §4):
+//
+//   persistent state   block-number-map + list-table (tables.h), always
+//                      recoverable from checkpoint + segment summaries;
+//   committed state    alternative records in a VersionIndex, promoted
+//                      to the persistent tables once the segment
+//                      carrying their authority reaches disk;
+//   shadow states      one VersionIndex state per active ARU, plus the
+//                      per-ARU link log of list operations that are
+//                      re-executed against the committed state at
+//                      EndARU, generating the summary entries, followed
+//                      by the ARU's commit record.
+//
+// Promotion (committed → persistent) is gated by an LSN horizon: every
+// committed record carries the LSN at which it became authoritative (a
+// simple operation's own record, or its ARU's commit record), and is
+// applied to the persistent tables only once the segment writer has
+// persisted that LSN. This makes the in-memory persistent tables agree,
+// at all times, with what crash recovery would reconstruct from disk.
+//
+// Concurrency: all public operations are serialized by one mutex (the
+// paper's prototype is single-threaded; the mutex makes the multi-
+// stream API safe for multi-threaded clients). ARUs provide failure
+// atomicity, not concurrency control: clients that touch the same
+// blocks or lists from concurrent streams must lock at their own level;
+// with unsynchronized conflicting streams, commit order decides and
+// writes into blocks deleted by a committed stream are dropped.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "ld/disk.h"
+#include "lld/block_cache.h"
+#include "lld/checkpoint.h"
+#include "lld/layout.h"
+#include "lld/segment_writer.h"
+#include "lld/slot_table.h"
+#include "lld/tables.h"
+#include "lld/types.h"
+#include "lld/version_index.h"
+
+namespace aru::lld {
+
+// A recorded list operation, deferred for commit-time re-execution
+// (the paper's in-memory "list operation log").
+struct LinkOp {
+  enum class Kind : std::uint8_t { kInsert, kDeleteBlock, kDeleteList, kMove };
+  Kind kind;
+  ListId list;   // kInsert / kDeleteList / kMove (destination)
+  BlockId block; // kInsert / kDeleteBlock / kMove
+  BlockId pred;  // kInsert / kMove: kListHead ⇒ beginning of list
+};
+
+// What recovery found and did; exposed for tests and operators.
+struct RecoveryReport {
+  std::uint64_t segments_replayed = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t committed_arus = 0;
+  std::uint64_t uncommitted_arus_undone = 0;
+  std::uint64_t orphan_blocks_reclaimed = 0;
+  std::uint64_t orphan_lists_reclaimed = 0;
+  std::uint64_t ops_skipped = 0;  // inapplicable records (conflicts)
+};
+
+class Lld final : public ld::Disk {
+ public:
+  // Initializes an LLD partition on the device: superblock, invalidated
+  // segment slots, and an empty initial checkpoint.
+  static Status Format(BlockDevice& device, const Options& options);
+
+  // Opens a formatted partition, running crash recovery (checkpoint
+  // load + summary roll-forward + undo of uncommitted ARUs).
+  static Result<std::unique_ptr<Lld>> Open(BlockDevice& device,
+                                           const Options& options);
+
+  ~Lld() override;
+
+  // ------------------------------------------------------------------
+  // ld::Disk interface.
+  std::uint32_t block_size() const override { return geometry_.block_size; }
+  std::uint64_t capacity_blocks() const override {
+    return geometry_.capacity_blocks;
+  }
+  std::uint64_t free_blocks() const override;
+
+  Result<ListId> NewList(AruId aru = ld::kNoAru) override;
+  Status DeleteList(ListId list, AruId aru = ld::kNoAru) override;
+  Result<std::vector<BlockId>> ListBlocks(ListId list,
+                                          AruId aru = ld::kNoAru) override;
+  Result<ListId> ListOf(BlockId block, AruId aru = ld::kNoAru) override;
+
+  Result<BlockId> NewBlock(ListId list, BlockId predecessor,
+                           AruId aru = ld::kNoAru) override;
+  Status DeleteBlock(BlockId block, AruId aru = ld::kNoAru) override;
+  Status MoveBlock(BlockId block, ListId to_list, BlockId predecessor,
+                   AruId aru = ld::kNoAru) override;
+  Status Write(BlockId block, ByteSpan data,
+               AruId aru = ld::kNoAru) override;
+  Status Read(BlockId block, MutableByteSpan out,
+              AruId aru = ld::kNoAru) override;
+  Status ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
+                  AruId aru = ld::kNoAru) override;
+
+  Result<AruId> BeginARU() override;
+  Status EndARU(AruId aru) override;
+  Status AbortARU(AruId aru) override;
+  Status Flush() override;
+
+  // ------------------------------------------------------------------
+  // Administration.
+
+  // Flushes, checkpoints, and leaves the disk cleanly closed.
+  Status Close();
+
+  // Takes a checkpoint now (also releases cleaned slots for reuse).
+  Status Checkpoint();
+
+  // Runs a cleaning pass now regardless of free-space pressure.
+  Status Clean();
+
+  // Deep structural validation of tables, version indexes and lists.
+  Status CheckConsistency() const;
+
+  const LldStats& stats() const {
+    stats_.version_chain_steps =
+        block_versions_.chain_steps() + list_versions_.chain_steps();
+    return stats_;
+  }
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+  const BlockCacheStats& read_cache_stats() const {
+    return read_cache_.stats();
+  }
+  const Geometry& geometry() const { return geometry_; }
+  std::uint64_t free_slots() const;
+
+ private:
+  struct PromotionEntry {
+    bool is_list = false;
+    std::uint64_t id = 0;
+    Lsn eff_lsn = kNoLsn;
+  };
+
+  struct AruState {
+    AruId id;
+    Lsn begin_lsn = kNoLsn;
+    std::vector<LinkOp> link_log;
+    // Blocks/lists allocated inside this ARU (freed again on abort).
+    std::vector<BlockId> allocated_blocks;
+    std::vector<ListId> allocated_lists;
+    // Sequential mode: promotion entries staged until the commit record
+    // assigns their effective LSN.
+    std::vector<PromotionEntry> staged;
+  };
+
+  // Ids of records touched by a list-operation executor.
+  struct Touched {
+    std::vector<BlockId> blocks;
+    std::vector<ListId> lists;
+  };
+
+  Lld(BlockDevice& device, const Options& options, const Geometry& geometry);
+
+  Lsn NextLsn() { return next_lsn_++; }
+
+  // Newest version of an id visible to `aru` (shadow → committed →
+  // persistent). Returns meta with allocated/exists == false when the
+  // id does not exist in that view.
+  BlockMeta VisibleBlock(BlockId id, AruId aru) const;
+  ListMeta VisibleList(ListId id, AruId aru) const;
+
+  // Writes a version record into state `state`. `gating_lsn` controls
+  // promotion (kLsnMax = held until commit restamps it).
+  void PutBlock(BlockId id, AruId state, const BlockMeta& meta,
+                Lsn gating_lsn, Lsn source_lsn);
+  void PutList(ListId id, AruId state, const ListMeta& meta, Lsn gating_lsn,
+               Lsn source_lsn);
+
+  // List-operation executors. They mutate version state `state`
+  // (kNoAru = committed), looking through to deeper states, and collect
+  // the ids they touch. `source_lsn` backs the records they create.
+  Status ExecInsert(AruId state, ListId list, BlockId block, BlockId pred,
+                    Lsn gating_lsn, Lsn source_lsn, Touched& touched);
+  Status ExecDeleteBlock(AruId state, BlockId block, Lsn gating_lsn,
+                         Lsn source_lsn, Touched& touched);
+  Status ExecMove(AruId state, BlockId block, ListId to_list, BlockId pred,
+                  Lsn gating_lsn, Lsn source_lsn, Touched& touched);
+  // Unlinks `block` (with current meta `bmeta`) from its list without
+  // de-allocating it; shared by delete and move.
+  Status ExecUnlink(AruId state, BlockId block, BlockMeta& bmeta,
+                    Lsn gating_lsn, Lsn source_lsn, Touched& touched);
+  Status ExecDeleteList(AruId state, ListId list, Lsn gating_lsn,
+                        Lsn source_lsn, Touched& touched);
+
+  // Routes promotion entries for committed-state mutations: straight to
+  // the FIFO (simple ops / commit-time) or staged on the ARU
+  // (sequential mode).
+  void PushPromotions(const Touched& touched, Lsn eff_lsn, AruState* staged);
+
+  // Applies committed records whose effective LSN has reached disk to
+  // the persistent tables.
+  void MaybePromoteLocked();
+  void PromoteAllCommittedLocked();
+
+  Status MaybeCleanLocked();
+  Status RunCleanerLocked();
+  Status TakeCheckpointLocked();
+  // Re-homes on-disk shadow-write sources so they stop pinning
+  // checkpoint coverage (see the definition for the full story).
+  Status RelocateShadowSourcesLocked();
+
+  Status EndAruConcurrentLocked(AruState& state);
+  Status EndAruSequentialLocked(AruState& state);
+
+  Result<AruState*> FindAru(AruId aru);
+
+  Status RecoverLocked();
+  Status CheckConsistencyLocked() const;
+  Status ParanoidCheck() const {
+    return options_.paranoid_checks ? CheckConsistencyLocked() : Status::Ok();
+  }
+
+  BlockDevice& device_;
+  Options options_;
+  Geometry geometry_;
+
+  mutable std::mutex mu_;
+
+  BlockMap block_map_;
+  ListTable list_table_;
+  BlockVersions block_versions_;
+  ListVersions list_versions_;
+  SlotTable slots_;
+  SegmentWriter writer_;
+  BlockCache read_cache_;
+
+  std::deque<PromotionEntry> promotion_fifo_;
+  std::unordered_map<AruId, AruState> active_arus_;
+
+  Lsn next_lsn_ = 1;
+  std::uint64_t next_block_id_ = 1;
+  std::uint64_t next_list_id_ = 1;
+  std::uint64_t next_aru_id_ = 1;
+  std::uint64_t allocated_blocks_ = 0;
+  std::uint64_t list_count_ = 0;
+  std::uint64_t checkpoint_stamp_ = 0;
+  std::uint64_t last_covered_seq_ = 0;
+
+  mutable LldStats stats_;
+  RecoveryReport recovery_report_;
+};
+
+}  // namespace aru::lld

@@ -1,0 +1,158 @@
+// Segment cleaner: reclaims the dead space a log-structured disk
+// accumulates (paper §2: "If LLD runs out of disk space it uses a
+// segment cleaner to reclaim unused disk space").
+//
+// A victim segment's summary lists the blocks stored in it; a block is
+// live iff the persistent block-number-map still points at that copy.
+// Live blocks are copied into the current segment with kRewrite
+// records, the victim becomes PendingFree, and a checkpoint (taken at
+// the end of the pass) both captures the moves and releases the
+// victims for reuse — a slot may never be overwritten while a recovery
+// roll-forward could still need its summary.
+//
+// Segments referenced by any committed or shadow version record are
+// pinned: such data is recent (younger than the last flush), and its
+// on-disk write records must keep pointing at valid data until the
+// referencing ARU state promotes.
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lld/lld.h"
+#include "util/crc32.h"
+#include "util/log.h"
+
+namespace aru::lld {
+namespace {
+
+struct Victim {
+  std::uint32_t slot = 0;
+  std::uint64_t live_blocks = 0;
+  std::uint64_t seq = 0;
+  double score = 0.0;  // higher = better victim
+};
+
+}  // namespace
+
+Status Lld::MaybeCleanLocked() {
+  if (slots_.free_count() >= options_.cleaner_reserve_slots) {
+    return Status::Ok();
+  }
+  return RunCleanerLocked();
+}
+
+Status Lld::RunCleanerLocked() {
+  ++stats_.cleaner_passes;
+
+  // Liveness per slot, from the persistent map; pinned slots carry
+  // not-yet-persistent version data.
+  std::vector<std::uint64_t> live(geometry_.slot_count, 0);
+  block_map_.ForEach([&live](BlockId, const BlockMeta& meta) {
+    if (meta.phys.valid()) ++live[meta.phys.slot()];
+  });
+  std::unordered_set<std::uint32_t> pinned;
+  block_versions_.ForEachAll([&pinned](const BlockVersions::Node& node) {
+    if (node.meta.phys.valid()) pinned.insert(node.meta.phys.slot());
+  });
+
+  const std::uint64_t max_blocks = geometry_.blocks_per_segment_max();
+  const std::uint64_t now_seq = writer_.next_seq();
+
+  std::vector<Victim> victims;
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    const SlotInfo& info = slots_[slot];
+    if (info.state != SlotState::kWritten) continue;
+    if (pinned.contains(slot)) continue;
+    const double u =
+        static_cast<double>(live[slot]) / static_cast<double>(max_blocks);
+    if (u > 0.95) continue;  // no meaningful gain
+    Victim v;
+    v.slot = slot;
+    v.live_blocks = live[slot];
+    v.seq = info.seq;
+    const double age = static_cast<double>(now_seq - info.seq);
+    v.score = options_.cleaner_policy == CleanerPolicy::kGreedy
+                  ? 1.0 - u
+                  : (1.0 - u) * age / (1.0 + u);
+    victims.push_back(v);
+  }
+  if (victims.empty()) {
+    return OutOfSpaceError("cleaner found no reclaimable segments");
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) { return a.score > b.score; });
+
+  // Clean until the reserve is comfortably met (PendingFree slots count:
+  // the checkpoint at the end of the pass releases them).
+  const std::uint32_t target = options_.cleaner_reserve_slots * 2;
+  std::uint32_t gained = 0;
+  Bytes slot_buf(geometry_.segment_size);
+  Bytes block_buf(geometry_.block_size);
+
+  for (const Victim& victim : victims) {
+    if (slots_.free_count() + gained >= target) break;
+
+    ARU_RETURN_IF_ERROR(
+        device_.Read(geometry_.slot_first_sector(victim.slot), slot_buf));
+    const auto footer = DecodeFooter(ByteSpan(slot_buf).last(kFooterSize));
+    if (!footer.ok()) {
+      return CorruptionError("cleaner: bad footer in slot " +
+                             std::to_string(victim.slot));
+    }
+    const std::size_t summary_at =
+        geometry_.segment_size - kFooterSize - footer->summary_len;
+    const ByteSpan summary =
+        ByteSpan(slot_buf).subspan(summary_at, footer->summary_len);
+    if (Crc32c(summary) != footer->summary_crc) {
+      return CorruptionError("cleaner: summary CRC mismatch in slot " +
+                             std::to_string(victim.slot));
+    }
+    ARU_ASSIGN_OR_RETURN(const std::vector<Record> records,
+                         DecodeSummary(summary));
+
+    for (const Record& record : records) {
+      BlockId block;
+      PhysAddr phys;
+      if (const auto* w = std::get_if<WriteRecord>(&record)) {
+        block = w->block;
+        phys = w->phys;
+      } else if (const auto* r = std::get_if<RewriteRecord>(&record)) {
+        block = r->block;
+        phys = r->phys;
+      } else {
+        continue;
+      }
+      const BlockMeta* meta = block_map_.Find(block);
+      if (meta == nullptr || meta->phys != phys) continue;  // dead copy
+
+      const std::size_t offset =
+          static_cast<std::size_t>(phys.index()) * geometry_.block_size;
+      std::copy_n(slot_buf.begin() + static_cast<std::ptrdiff_t>(offset),
+                  geometry_.block_size, block_buf.begin());
+      RewriteRecord rewrite;
+      rewrite.block = block;
+      rewrite.orig_ts = meta->ts;
+      rewrite.lsn = NextLsn();
+      ARU_ASSIGN_OR_RETURN(const PhysAddr new_phys,
+                           writer_.AppendRewrite(rewrite, block_buf));
+      // The move is physical only: update the persistent map in place.
+      block_map_.FindMutable(block)->phys = new_phys;
+      ++stats_.blocks_copied_by_cleaner;
+    }
+
+    slots_[victim.slot].state = SlotState::kPendingFree;
+    ++gained;
+    ++stats_.segments_cleaned;
+  }
+
+  // Seal the copies and checkpoint: captures the moved addresses and
+  // releases the victims.
+  ARU_RETURN_IF_ERROR(TakeCheckpointLocked());
+  if (slots_.free_count() < 1) {
+    return OutOfSpaceError("disk full: cleaning could not free a segment");
+  }
+  return Status::Ok();
+}
+
+}  // namespace aru::lld

@@ -1,0 +1,121 @@
+// Deep structural validation. The persistent tables may transiently lag
+// the log during promotion (per-identifier, converging at the next
+// horizon advance), so structural invariants are checked on the *views*
+// clients can observe: the committed view (what simple operations see)
+// and each active ARU's shadow view. Each view must be a forest of
+// well-formed lists:
+//   * every list's first→successor chain terminates, cycle-free, at the
+//     recorded last block;
+//   * every chained block records the list it is on;
+//   * every allocated block that records a list is reachable on it;
+//   * version-index chains are structurally intact.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lld/lld.h"
+
+namespace aru::lld {
+namespace {
+
+Status Broken(const std::string& what) { return CorruptionError(what); }
+
+}  // namespace
+
+Status Lld::CheckConsistencyLocked() const {
+  if (!block_versions_.Validate()) {
+    return Broken("block version index chains are inconsistent");
+  }
+  if (!list_versions_.Validate()) {
+    return Broken("list version index chains are inconsistent");
+  }
+
+  std::vector<AruId> views;
+  views.push_back(ld::kNoAru);
+  for (const auto& [id, state] : active_arus_) views.push_back(id);
+
+  for (const AruId view : views) {
+    // Gather every identifier that exists in this view.
+    std::unordered_set<ListId> lists;
+    list_table_.ForEach(
+        [&lists](ListId id, const ListMeta&) { lists.insert(id); });
+    list_versions_.ForEachCommitted(
+        [&lists](const ListVersions::Node& n) { lists.insert(n.id); });
+    std::unordered_set<BlockId> blocks;
+    block_map_.ForEach(
+        [&blocks](BlockId id, const BlockMeta&) { blocks.insert(id); });
+    block_versions_.ForEachCommitted(
+        [&blocks](const BlockVersions::Node& n) { blocks.insert(n.id); });
+    if (view.valid()) {
+      list_versions_.ForEachInState(
+          view, [&lists](const ListVersions::Node& n) { lists.insert(n.id); });
+      block_versions_.ForEachInState(
+          view,
+          [&blocks](const BlockVersions::Node& n) { blocks.insert(n.id); });
+    }
+
+    std::unordered_map<BlockId, ListId> reached;
+    for (const ListId list : lists) {
+      const ListMeta lmeta = VisibleList(list, view);
+      if (!lmeta.exists) continue;
+      if (lmeta.first.valid() != lmeta.last.valid()) {
+        return Broken("list " + std::to_string(list.value()) +
+                      ": first/last validity mismatch");
+      }
+      BlockId cur = lmeta.first;
+      BlockId prev;
+      std::uint64_t steps = 0;
+      while (cur.valid()) {
+        if (++steps > geometry_.capacity_blocks + 1) {
+          return Broken("list " + std::to_string(list.value()) + ": cycle");
+        }
+        if (reached.contains(cur)) {
+          return Broken("block " + std::to_string(cur.value()) +
+                        " reachable twice");
+        }
+        const BlockMeta bmeta = VisibleBlock(cur, view);
+        if (!bmeta.allocated) {
+          return Broken("list " + std::to_string(list.value()) +
+                        " chains through unallocated block " +
+                        std::to_string(cur.value()));
+        }
+        if (bmeta.list != list) {
+          return Broken("block " + std::to_string(cur.value()) +
+                        " on list " + std::to_string(list.value()) +
+                        " records list " + std::to_string(bmeta.list.value()));
+        }
+        reached.emplace(cur, list);
+        prev = cur;
+        cur = bmeta.successor;
+      }
+      if (lmeta.last != prev) {
+        return Broken("list " + std::to_string(list.value()) +
+                      ": recorded last " + std::to_string(lmeta.last.value()) +
+                      " != walked last " + std::to_string(prev.value()));
+      }
+    }
+
+    for (const BlockId block : blocks) {
+      const BlockMeta bmeta = VisibleBlock(block, view);
+      if (!bmeta.allocated) continue;
+      if (bmeta.list.valid() && !reached.contains(block)) {
+        return Broken("block " + std::to_string(block.value()) +
+                      " records list " + std::to_string(bmeta.list.value()) +
+                      " but is not reachable on it");
+      }
+      if (!bmeta.list.valid() && bmeta.successor.valid()) {
+        return Broken("listless block " + std::to_string(block.value()) +
+                      " has a successor");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Lld::CheckConsistency() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return CheckConsistencyLocked();
+}
+
+}  // namespace aru::lld

@@ -1,0 +1,301 @@
+// Crash recovery: checkpoint load + segment-summary roll-forward.
+//
+// Recovery is always to the most recent persistent state (paper §3.1):
+//  1. load the newest valid checkpoint (persistent tables + counters);
+//  2. scan all slot footers; segments with seq > checkpoint.covered_seq
+//     form the roll-forward log, replayed in sequence order;
+//  3. pass 1 collects the set of ARUs whose commit record reached disk;
+//  4. pass 2 builds the effective event order: simple and commit-time
+//     records act at their own LSN, an ARU's data writes act at its
+//     commit record's LSN (ARUs serialize by EndARU time), and records
+//     of uncommitted or aborted ARUs are dropped — except allocations,
+//     which are always committed (paper §3.3);
+//  5. events are applied through the same committed-state machinery the
+//     runtime uses, then force-promoted into the persistent tables;
+//  6. the consistency check frees blocks that an interrupted ARU left
+//     allocated but listless, and a fresh checkpoint is written.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lld/lld.h"
+#include "util/crc32.h"
+#include "util/log.h"
+
+namespace aru::lld {
+namespace {
+
+struct ReplaySegment {
+  std::uint32_t slot = 0;
+  SegmentFooter footer;
+  std::vector<Record> records;
+};
+
+struct Event {
+  Lsn eff = kNoLsn;  // effective position (commit order)
+  Lsn lsn = kNoLsn;  // tie-break: original stream position
+  const Record* record = nullptr;
+};
+
+}  // namespace
+
+Status Lld::RecoverLocked() {
+  CheckpointData ckpt;
+  ARU_RETURN_IF_ERROR(ReadNewestCheckpoint(device_, geometry_, ckpt,
+                                           block_map_, list_table_));
+  next_lsn_ = ckpt.next_lsn;
+  next_block_id_ = ckpt.next_block_id;
+  next_list_id_ = ckpt.next_list_id;
+  next_aru_id_ = ckpt.next_aru_id;
+  checkpoint_stamp_ = ckpt.stamp;
+  last_covered_seq_ = ckpt.covered_seq;
+
+  // ------------------------------------------------------------------
+  // Scan slot footers; collect the roll-forward segments.
+  std::uint64_t max_seq = ckpt.covered_seq;
+  std::vector<ReplaySegment> replay;
+  {
+    Bytes last_sector(geometry_.sector_size);
+    for (std::uint32_t slot = 0; slot < geometry_.slot_count; ++slot) {
+      const std::uint64_t sector = geometry_.slot_first_sector(slot) +
+                                   geometry_.sectors_per_segment() - 1;
+      ARU_RETURN_IF_ERROR(device_.Read(sector, last_sector));
+      auto footer = DecodeFooter(
+          ByteSpan(last_sector).last(kFooterSize));
+      if (!footer.ok()) {
+        slots_[slot] = SlotInfo{};  // never written, or torn: free
+        continue;
+      }
+      slots_[slot] =
+          SlotInfo{SlotState::kWritten, footer->seq, footer->last_lsn};
+      max_seq = std::max(max_seq, footer->seq);
+      if (footer->seq > ckpt.covered_seq) {
+        ReplaySegment seg;
+        seg.slot = slot;
+        seg.footer = *footer;
+        replay.push_back(std::move(seg));
+      }
+    }
+  }
+  std::sort(replay.begin(), replay.end(),
+            [](const ReplaySegment& a, const ReplaySegment& b) {
+              return a.footer.seq < b.footer.seq;
+            });
+
+  // Read and validate the roll-forward summaries.
+  {
+    Bytes slot_buf(geometry_.segment_size);
+    for (ReplaySegment& seg : replay) {
+      ARU_RETURN_IF_ERROR(
+          device_.Read(geometry_.slot_first_sector(seg.slot), slot_buf));
+      const std::size_t summary_at =
+          geometry_.segment_size - kFooterSize - seg.footer.summary_len;
+      const ByteSpan summary =
+          ByteSpan(slot_buf).subspan(summary_at, seg.footer.summary_len);
+      if (Crc32c(summary) != seg.footer.summary_crc) {
+        return CorruptionError("summary CRC mismatch in slot " +
+                               std::to_string(seg.slot));
+      }
+      ARU_ASSIGN_OR_RETURN(seg.records, DecodeSummary(summary));
+      if (seg.records.size() != seg.footer.record_count) {
+        return CorruptionError("record count mismatch in slot " +
+                               std::to_string(seg.slot));
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Pass 1: which ARUs committed? Also restore the id/LSN counters
+  // above anything the log mentions, so a new epoch can never collide
+  // with identifiers from the interrupted one.
+  std::unordered_map<AruId, Lsn> commit_lsn;
+  std::unordered_set<AruId> seen_arus;
+  for (const ReplaySegment& seg : replay) {
+    for (const Record& record : seg.records) {
+      next_lsn_ = std::max(next_lsn_, RecordLsn(record) + 1);
+      const AruId aru = RecordAru(record);
+      if (aru.valid()) {
+        seen_arus.insert(aru);
+        next_aru_id_ = std::max(next_aru_id_, aru.value() + 1);
+      }
+      if (const auto* commit = std::get_if<CommitRecord>(&record)) {
+        commit_lsn[commit->aru] = commit->lsn;
+      } else if (const auto* alloc = std::get_if<AllocBlockRecord>(&record)) {
+        next_block_id_ = std::max(next_block_id_, alloc->block.value() + 1);
+      } else if (const auto* alist = std::get_if<AllocListRecord>(&record)) {
+        next_list_id_ = std::max(next_list_id_, alist->list.value() + 1);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Pass 2: effective event order.
+  std::vector<Event> events;
+  for (const ReplaySegment& seg : replay) {
+    for (const Record& record : seg.records) {
+      Event event;
+      event.lsn = RecordLsn(record);
+      event.record = &record;
+      const AruId aru = RecordAru(record);
+
+      if (std::holds_alternative<CommitRecord>(record) ||
+          std::holds_alternative<AbortRecord>(record)) {
+        continue;  // consumed in pass 1
+      }
+      if (std::holds_alternative<AllocBlockRecord>(record) ||
+          std::holds_alternative<AllocListRecord>(record)) {
+        event.eff = event.lsn;  // allocation is always committed
+      } else if (aru.valid()) {
+        const auto it = commit_lsn.find(aru);
+        if (it == commit_lsn.end()) continue;  // uncommitted: undone
+        if (std::holds_alternative<WriteRecord>(record)) {
+          event.eff = it->second;  // serialized by EndARU time
+        } else {
+          event.eff = event.lsn;  // emitted at commit time already
+        }
+      } else {
+        event.eff = event.lsn;  // simple operation
+      }
+      events.push_back(event);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.eff != b.eff ? a.eff < b.eff : a.lsn < b.lsn;
+                   });
+
+  // ------------------------------------------------------------------
+  // Apply events through the committed-state machinery, then promote.
+  allocated_blocks_ = block_map_.size();
+  list_count_ = list_table_.size();
+
+  for (const Event& event : events) {
+    ++recovery_report_.records_replayed;
+    const Record& record = *event.record;
+    Status applied;
+    Touched touched;  // unused: promotion is forced below
+    if (const auto* w = std::get_if<WriteRecord>(&record)) {
+      BlockMeta meta = VisibleBlock(w->block, ld::kNoAru);
+      if (!meta.allocated) {
+        // The block was deleted by a stream that committed earlier:
+        // the write is dropped, matching the runtime merge rule.
+        ++recovery_report_.ops_skipped;
+        continue;
+      }
+      meta.phys = w->phys;
+      meta.ts = w->lsn;
+      PutBlock(w->block, ld::kNoAru, meta, event.eff, kLsnMax);
+      continue;
+    }
+    if (const auto* a = std::get_if<AllocBlockRecord>(&record)) {
+      BlockMeta meta;
+      meta.allocated = true;
+      PutBlock(a->block, ld::kNoAru, meta, event.eff, kLsnMax);
+      ++allocated_blocks_;
+      continue;
+    }
+    if (const auto* a = std::get_if<AllocListRecord>(&record)) {
+      ListMeta meta;
+      meta.exists = true;
+      PutList(a->list, ld::kNoAru, meta, event.eff, kLsnMax);
+      ++list_count_;
+      continue;
+    }
+    if (const auto* i = std::get_if<InsertRecord>(&record)) {
+      applied = ExecInsert(ld::kNoAru, i->list, i->block, i->pred, event.eff,
+                           kLsnMax, touched);
+    } else if (const auto* m = std::get_if<MoveRecord>(&record)) {
+      applied = ExecMove(ld::kNoAru, m->block, m->list, m->pred, event.eff,
+                         kLsnMax, touched);
+    } else if (const auto* d = std::get_if<DeleteBlockRecord>(&record)) {
+      applied = ExecDeleteBlock(ld::kNoAru, d->block, event.eff, kLsnMax,
+                                touched);
+    } else if (const auto* dl = std::get_if<DeleteListRecord>(&record)) {
+      applied = ExecDeleteList(ld::kNoAru, dl->list, event.eff, kLsnMax,
+                               touched);
+    } else if (const auto* r = std::get_if<RewriteRecord>(&record)) {
+      BlockMeta meta = VisibleBlock(r->block, ld::kNoAru);
+      if (meta.allocated && meta.ts == r->orig_ts) {
+        meta.phys = r->phys;
+        PutBlock(r->block, ld::kNoAru, meta, event.eff, kLsnMax);
+      } else {
+        ++recovery_report_.ops_skipped;
+      }
+      continue;
+    }
+    if (!applied.ok()) {
+      // Mirrors the runtime rule for conflicting unsynchronized
+      // streams: the record no longer applies and is skipped.
+      ++recovery_report_.ops_skipped;
+      ARU_LOG(kWarning) << "recovery: skipping record: " << applied;
+    }
+  }
+  PromoteAllCommittedLocked();
+
+  recovery_report_.segments_replayed = replay.size();
+  recovery_report_.committed_arus = commit_lsn.size();
+  for (const AruId aru : seen_arus) {
+    if (!commit_lsn.contains(aru)) ++recovery_report_.uncommitted_arus_undone;
+  }
+
+  // ------------------------------------------------------------------
+  // Consistency check: free blocks an interrupted ARU left allocated
+  // but on no list (paper §3.3), and — analogously — lists allocated by
+  // an undone ARU that ended up empty (allocation is committed
+  // immediately; the insertion that would have populated the list was
+  // part of the shadow state and did not survive).
+  if (options_.reclaim_orphans_on_recovery) {
+    std::vector<BlockId> orphans;
+    block_map_.ForEach([&orphans](BlockId id, const BlockMeta& meta) {
+      if (!meta.list.valid()) orphans.push_back(id);
+    });
+    for (const BlockId id : orphans) {
+      block_map_.Erase(id);
+    }
+    recovery_report_.orphan_blocks_reclaimed = orphans.size();
+    stats_.orphan_blocks_reclaimed += orphans.size();
+
+    std::vector<ListId> undone_lists;
+    for (const ReplaySegment& seg : replay) {
+      for (const Record& record : seg.records) {
+        if (const auto* alloc = std::get_if<AllocListRecord>(&record)) {
+          if (alloc->aru.valid() && !commit_lsn.contains(alloc->aru)) {
+            undone_lists.push_back(alloc->list);
+          }
+        }
+      }
+    }
+    for (const ListId list : undone_lists) {
+      const ListMeta* meta = list_table_.Find(list);
+      if (meta != nullptr && !meta->first.valid()) {
+        list_table_.Erase(list);
+        ++recovery_report_.orphan_lists_reclaimed;
+      }
+    }
+  }
+  allocated_blocks_ = block_map_.size();
+  list_count_ = list_table_.size();
+
+  // ------------------------------------------------------------------
+  // Restore the writer, free dead slots, and bound the next recovery
+  // with a fresh checkpoint (its covered horizon includes everything).
+  writer_.Restore(max_seq + 1, next_lsn_ - 1, 0);
+
+  std::vector<std::uint64_t> live_per_slot(geometry_.slot_count, 0);
+  block_map_.ForEach([&live_per_slot](BlockId, const BlockMeta& meta) {
+    if (meta.phys.valid()) ++live_per_slot[meta.phys.slot()];
+  });
+  for (std::uint32_t slot = 0; slot < geometry_.slot_count; ++slot) {
+    if (slots_[slot].state == SlotState::kWritten &&
+        live_per_slot[slot] == 0) {
+      slots_[slot].state = SlotState::kPendingFree;
+    }
+  }
+
+  ARU_RETURN_IF_ERROR(TakeCheckpointLocked());
+  return CheckConsistencyLocked();
+}
+
+}  // namespace aru::lld

@@ -1,0 +1,153 @@
+#include "lld/segment_writer.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace aru::lld {
+
+SegmentWriter::SegmentWriter(BlockDevice& device, const Geometry& geometry,
+                             SlotTable& slots, LldStats& stats)
+    : device_(device), geometry_(geometry), slots_(slots), stats_(stats) {
+  buffer_.resize(geometry_.segment_size);
+}
+
+bool SegmentWriter::Fits(std::size_t data_bytes,
+                         std::size_t record_bytes) const {
+  const std::size_t usable = geometry_.segment_size - kFooterSize;
+  return data_bytes_ + data_bytes + records_.size() + record_bytes <= usable;
+}
+
+std::size_t SegmentWriter::open_room() const {
+  if (!open_) return 0;
+  const std::size_t usable = geometry_.segment_size - kFooterSize;
+  return usable - data_bytes_ - records_.size();
+}
+
+Status SegmentWriter::Open() {
+  assert(!open_);
+  const std::uint32_t slot = slots_.NextFree(slot_hint_);
+  if (slot == slots_.size()) {
+    return OutOfSpaceError("no free segment slots");
+  }
+  slots_[slot].state = SlotState::kOpen;
+  open_ = true;
+  open_slot_ = slot;
+  slot_hint_ = (slot + 1) % slots_.size();
+  std::memset(buffer_.data(), 0, buffer_.size());
+  data_bytes_ = 0;
+  data_blocks_ = 0;
+  records_.clear();
+  record_count_ = 0;
+  last_lsn_in_segment_ = kNoLsn;
+  return Status::Ok();
+}
+
+Status SegmentWriter::Seal() {
+  assert(open_);
+  if (data_blocks_ == 0 && record_count_ == 0) {
+    // Nothing buffered: return the slot untouched.
+    slots_[open_slot_].state = SlotState::kFree;
+    open_ = false;
+    return Status::Ok();
+  }
+
+  // Place the summary directly before the footer.
+  const std::size_t summary_at =
+      geometry_.segment_size - kFooterSize - records_.size();
+  assert(summary_at >= data_bytes_);
+  std::memcpy(buffer_.data() + summary_at, records_.data(), records_.size());
+
+  SegmentFooter footer;
+  footer.seq = next_seq_++;
+  footer.last_lsn = last_lsn_in_segment_;
+  footer.summary_len = static_cast<std::uint32_t>(records_.size());
+  footer.record_count = record_count_;
+  footer.summary_crc = Crc32c(records_);
+  EncodeFooter(footer, MutableByteSpan(buffer_).last(kFooterSize));
+
+  ARU_RETURN_IF_ERROR(
+      device_.Write(geometry_.slot_first_sector(open_slot_), buffer_));
+
+  SlotInfo& info = slots_[open_slot_];
+  info.state = SlotState::kWritten;
+  info.seq = footer.seq;
+  info.last_lsn = footer.last_lsn;
+
+  if (last_lsn_in_segment_ != kNoLsn) persisted_lsn_ = last_lsn_in_segment_;
+  ++stats_.segments_written;
+  const std::uint32_t max_blocks = geometry_.blocks_per_segment_max();
+  if (data_blocks_ < max_blocks && open_room() > geometry_.block_size) {
+    ++stats_.partial_segments_written;
+  }
+  stats_.bytes_written_to_disk += geometry_.segment_size;
+  open_ = false;
+  return Status::Ok();
+}
+
+Status SegmentWriter::SealIfOpen() {
+  if (!open_) return Status::Ok();
+  return Seal();
+}
+
+Result<PhysAddr> SegmentWriter::AppendDataAndRecord(Record record,
+                                                    ByteSpan data) {
+  assert(data.size() == geometry_.block_size);
+  if (open_ && !Fits(data.size(), kMaxRecordSize)) {
+    ARU_RETURN_IF_ERROR(Seal());
+  }
+  if (!open_) {
+    ARU_RETURN_IF_ERROR(Open());
+  }
+  const PhysAddr phys(open_slot_, data_blocks_);
+  std::memcpy(buffer_.data() + data_bytes_, data.data(), data.size());
+  data_bytes_ += data.size();
+  ++data_blocks_;
+
+  // Fill in the physical address now that it is known.
+  if (auto* w = std::get_if<WriteRecord>(&record)) {
+    w->phys = phys;
+  } else {
+    std::get<RewriteRecord>(record).phys = phys;
+  }
+  EncodeRecord(record, records_);
+  ++record_count_;
+  last_lsn_in_segment_ = RecordLsn(record);
+  return phys;
+}
+
+Result<PhysAddr> SegmentWriter::AppendWrite(WriteRecord record,
+                                            ByteSpan data) {
+  ++stats_.blocks_written;
+  return AppendDataAndRecord(record, data);
+}
+
+Result<PhysAddr> SegmentWriter::AppendRewrite(RewriteRecord record,
+                                              ByteSpan data) {
+  return AppendDataAndRecord(record, data);
+}
+
+Status SegmentWriter::AppendRecord(const Record& record) {
+  if (open_ && !Fits(0, kMaxRecordSize)) {
+    ARU_RETURN_IF_ERROR(Seal());
+  }
+  if (!open_) {
+    ARU_RETURN_IF_ERROR(Open());
+  }
+  EncodeRecord(record, records_);
+  ++record_count_;
+  last_lsn_in_segment_ = RecordLsn(record);
+  return Status::Ok();
+}
+
+void SegmentWriter::ReadOpenBlock(PhysAddr phys, MutableByteSpan out) const {
+  assert(InOpenSegment(phys));
+  assert(out.size() == geometry_.block_size);
+  const std::size_t offset =
+      static_cast<std::size_t>(phys.index()) * geometry_.block_size;
+  assert(offset + out.size() <= data_bytes_);
+  std::memcpy(out.data(), buffer_.data() + offset, out.size());
+}
+
+}  // namespace aru::lld

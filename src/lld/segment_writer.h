@@ -1,0 +1,95 @@
+// SegmentWriter: fills segments in main memory and writes each to its
+// slot in a single device operation (paper §2).
+//
+// Data blocks grow from the front of the slot buffer; summary records
+// accumulate separately and are placed immediately before the footer at
+// seal time. A kWrite/kRewrite record is kept in the same segment as
+// the data it describes — the cleaner and recovery rely on a segment's
+// summary describing exactly the blocks stored in that segment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "blockdev/block_device.h"
+#include "lld/layout.h"
+#include "lld/slot_table.h"
+#include "lld/summary.h"
+#include "lld/types.h"
+#include "util/bytes.h"
+
+namespace aru::lld {
+
+class SegmentWriter {
+ public:
+  SegmentWriter(BlockDevice& device, const Geometry& geometry,
+                SlotTable& slots, LldStats& stats);
+
+  // Restores counters after recovery.
+  void Restore(std::uint64_t next_seq, Lsn persisted_lsn,
+               std::uint32_t slot_hint) {
+    next_seq_ = next_seq;
+    persisted_lsn_ = persisted_lsn;
+    slot_hint_ = slot_hint;
+  }
+
+  // Appends one block of data together with its kWrite record.
+  // `record.phys` is filled in. May seal the current segment first.
+  Result<PhysAddr> AppendWrite(WriteRecord record, ByteSpan data);
+
+  // Appends a cleaner copy: data plus its kRewrite record.
+  Result<PhysAddr> AppendRewrite(RewriteRecord record, ByteSpan data);
+
+  // Appends a meta-data record (alloc/insert/delete/commit/abort).
+  Status AppendRecord(const Record& record);
+
+  // Seals and writes the current segment, if it has any content.
+  Status SealIfOpen();
+
+  // True if `phys` refers to a block in the not-yet-written open
+  // segment; Read serves such blocks from memory.
+  bool InOpenSegment(PhysAddr phys) const {
+    return open_ && phys.valid() && phys.slot() == open_slot_;
+  }
+
+  // Copies a block out of the open segment buffer.
+  void ReadOpenBlock(PhysAddr phys, MutableByteSpan out) const;
+
+  // LSN horizon: all records with lsn <= persisted_lsn() are on disk.
+  Lsn persisted_lsn() const { return persisted_lsn_; }
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  bool has_open_segment() const { return open_; }
+
+  // Bytes of payload the open segment still accepts (diagnostics).
+  std::size_t open_room() const;
+
+ private:
+  // Capacity left for (data_bytes, record_bytes) additions.
+  bool Fits(std::size_t data_bytes, std::size_t record_bytes) const;
+
+  Status Open();
+  Status Seal();
+
+  Result<PhysAddr> AppendDataAndRecord(Record record, ByteSpan data);
+
+  BlockDevice& device_;
+  const Geometry& geometry_;
+  SlotTable& slots_;
+  LldStats& stats_;
+
+  bool open_ = false;
+  std::uint32_t open_slot_ = 0;
+  std::uint32_t slot_hint_ = 0;
+  Bytes buffer_;           // full slot image; data blocks from the front
+  std::size_t data_bytes_ = 0;
+  std::uint32_t data_blocks_ = 0;
+  Bytes records_;          // encoded summary records
+  std::uint32_t record_count_ = 0;
+  Lsn last_lsn_in_segment_ = kNoLsn;
+
+  std::uint64_t next_seq_ = 1;
+  Lsn persisted_lsn_ = kNoLsn;
+};
+
+}  // namespace aru::lld

@@ -1,0 +1,83 @@
+// In-memory table of segment-slot states. Rebuilt from footers during
+// recovery, maintained at runtime by the segment writer and cleaner.
+//
+// Slot lifecycle: Free → Open → Written → PendingFree → Free.
+// A cleaned slot stays PendingFree until the next checkpoint: its
+// summary records may still be needed for roll-forward recovery, so it
+// must not be overwritten before a checkpoint captures their effects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lld/types.h"
+
+namespace aru::lld {
+
+enum class SlotState : std::uint8_t {
+  kFree,
+  kOpen,
+  kWritten,
+  kPendingFree,
+};
+
+struct SlotInfo {
+  SlotState state = SlotState::kFree;
+  std::uint64_t seq = 0;   // segment sequence number (valid when Written)
+  Lsn last_lsn = kNoLsn;   // last record LSN in the segment
+};
+
+class SlotTable {
+ public:
+  explicit SlotTable(std::uint32_t slot_count) : slots_(slot_count) {}
+
+  SlotInfo& operator[](std::uint32_t slot) { return slots_[slot]; }
+  const SlotInfo& operator[](std::uint32_t slot) const {
+    return slots_[slot];
+  }
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  std::uint32_t CountState(SlotState state) const {
+    std::uint32_t n = 0;
+    for (const SlotInfo& s : slots_) {
+      if (s.state == state) ++n;
+    }
+    return n;
+  }
+
+  std::uint32_t free_count() const { return CountState(SlotState::kFree); }
+
+  // Finds the next free slot at or after `hint`, wrapping around.
+  // Returns size() if none is free.
+  std::uint32_t NextFree(std::uint32_t hint) const {
+    for (std::uint32_t i = 0; i < size(); ++i) {
+      const std::uint32_t slot = (hint + i) % size();
+      if (slots_[slot].state == SlotState::kFree) return slot;
+    }
+    return size();
+  }
+
+  // The PendingFree → Free transition, legal only for slots whose
+  // summary records a checkpoint now covers. Returns the released
+  // slots (their old contents may now be overwritten — cache owners
+  // must invalidate).
+  std::vector<std::uint32_t> ReleasePending(std::uint64_t covered_seq) {
+    std::vector<std::uint32_t> released;
+    for (std::uint32_t slot = 0; slot < size(); ++slot) {
+      SlotInfo& s = slots_[slot];
+      if (s.state == SlotState::kPendingFree && s.seq <= covered_seq) {
+        s = SlotInfo{};
+        released.push_back(slot);
+      }
+    }
+    return released;
+  }
+
+ private:
+  std::vector<SlotInfo> slots_;
+};
+
+}  // namespace aru::lld

@@ -1,0 +1,212 @@
+#include "lld/summary.h"
+
+#include <string>
+
+namespace aru::lld {
+namespace {
+
+void PutId(Bytes& out, BlockId id) { PutU64(out, id.value()); }
+void PutId(Bytes& out, ListId id) { PutU64(out, id.value()); }
+void PutId(Bytes& out, AruId id) { PutU64(out, id.value()); }
+
+Result<BlockId> ReadBlockId(Decoder& dec) {
+  ARU_ASSIGN_OR_RETURN(const std::uint64_t v, dec.ReadU64());
+  return BlockId{v};
+}
+Result<ListId> ReadListId(Decoder& dec) {
+  ARU_ASSIGN_OR_RETURN(const std::uint64_t v, dec.ReadU64());
+  return ListId{v};
+}
+Result<AruId> ReadAruId(Decoder& dec) {
+  ARU_ASSIGN_OR_RETURN(const std::uint64_t v, dec.ReadU64());
+  return AruId{v};
+}
+Result<PhysAddr> ReadPhys(Decoder& dec) {
+  ARU_ASSIGN_OR_RETURN(const std::uint64_t v, dec.ReadU64());
+  return PhysAddr::FromEncoded(v);
+}
+
+}  // namespace
+
+Lsn RecordLsn(const Record& record) {
+  return std::visit([](const auto& r) { return r.lsn; }, record);
+}
+
+AruId RecordAru(const Record& record) {
+  return std::visit(
+      [](const auto& r) -> AruId {
+        if constexpr (requires { r.aru; }) {
+          return r.aru;
+        } else {
+          return ld::kNoAru;
+        }
+      },
+      record);
+}
+
+std::size_t EncodeRecord(const Record& record, Bytes& out) {
+  const std::size_t start = out.size();
+  std::visit(
+      [&out](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, WriteRecord>) {
+          out.push_back(static_cast<std::byte>(RecordType::kWrite));
+          PutId(out, r.block);
+          PutId(out, r.aru);
+          PutU64(out, r.lsn);
+          PutU64(out, r.phys.encoded());
+        } else if constexpr (std::is_same_v<T, AllocBlockRecord>) {
+          out.push_back(static_cast<std::byte>(RecordType::kAllocBlock));
+          PutId(out, r.block);
+          PutId(out, r.list);
+          PutId(out, r.aru);
+          PutU64(out, r.lsn);
+        } else if constexpr (std::is_same_v<T, AllocListRecord>) {
+          out.push_back(static_cast<std::byte>(RecordType::kAllocList));
+          PutId(out, r.list);
+          PutId(out, r.aru);
+          PutU64(out, r.lsn);
+        } else if constexpr (std::is_same_v<T, InsertRecord>) {
+          out.push_back(static_cast<std::byte>(RecordType::kInsert));
+          PutId(out, r.list);
+          PutId(out, r.block);
+          PutId(out, r.pred);
+          PutId(out, r.aru);
+          PutU64(out, r.lsn);
+        } else if constexpr (std::is_same_v<T, DeleteBlockRecord>) {
+          out.push_back(static_cast<std::byte>(RecordType::kDeleteBlock));
+          PutId(out, r.block);
+          PutId(out, r.aru);
+          PutU64(out, r.lsn);
+        } else if constexpr (std::is_same_v<T, DeleteListRecord>) {
+          out.push_back(static_cast<std::byte>(RecordType::kDeleteList));
+          PutId(out, r.list);
+          PutId(out, r.aru);
+          PutU64(out, r.lsn);
+        } else if constexpr (std::is_same_v<T, CommitRecord>) {
+          out.push_back(static_cast<std::byte>(RecordType::kCommit));
+          PutId(out, r.aru);
+          PutU64(out, r.lsn);
+        } else if constexpr (std::is_same_v<T, AbortRecord>) {
+          out.push_back(static_cast<std::byte>(RecordType::kAbort));
+          PutId(out, r.aru);
+          PutU64(out, r.lsn);
+        } else if constexpr (std::is_same_v<T, RewriteRecord>) {
+          out.push_back(static_cast<std::byte>(RecordType::kRewrite));
+          PutId(out, r.block);
+          PutU64(out, r.orig_ts);
+          PutU64(out, r.lsn);
+          PutU64(out, r.phys.encoded());
+        } else if constexpr (std::is_same_v<T, MoveRecord>) {
+          out.push_back(static_cast<std::byte>(RecordType::kMove));
+          PutId(out, r.list);
+          PutId(out, r.block);
+          PutId(out, r.pred);
+          PutId(out, r.aru);
+          PutU64(out, r.lsn);
+        }
+      },
+      record);
+  return out.size() - start;
+}
+
+Result<std::vector<Record>> DecodeSummary(ByteSpan summary) {
+  std::vector<Record> records;
+  Decoder dec(summary);
+  while (!dec.done()) {
+    ARU_ASSIGN_OR_RETURN(const std::uint8_t type_byte, dec.ReadU8());
+    switch (static_cast<RecordType>(type_byte)) {
+      case RecordType::kWrite: {
+        WriteRecord r;
+        ARU_ASSIGN_OR_RETURN(r.block, ReadBlockId(dec));
+        ARU_ASSIGN_OR_RETURN(r.aru, ReadAruId(dec));
+        ARU_ASSIGN_OR_RETURN(r.lsn, dec.ReadU64());
+        ARU_ASSIGN_OR_RETURN(r.phys, ReadPhys(dec));
+        records.emplace_back(r);
+        break;
+      }
+      case RecordType::kAllocBlock: {
+        AllocBlockRecord r;
+        ARU_ASSIGN_OR_RETURN(r.block, ReadBlockId(dec));
+        ARU_ASSIGN_OR_RETURN(r.list, ReadListId(dec));
+        ARU_ASSIGN_OR_RETURN(r.aru, ReadAruId(dec));
+        ARU_ASSIGN_OR_RETURN(r.lsn, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      case RecordType::kAllocList: {
+        AllocListRecord r;
+        ARU_ASSIGN_OR_RETURN(r.list, ReadListId(dec));
+        ARU_ASSIGN_OR_RETURN(r.aru, ReadAruId(dec));
+        ARU_ASSIGN_OR_RETURN(r.lsn, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      case RecordType::kInsert: {
+        InsertRecord r;
+        ARU_ASSIGN_OR_RETURN(r.list, ReadListId(dec));
+        ARU_ASSIGN_OR_RETURN(r.block, ReadBlockId(dec));
+        ARU_ASSIGN_OR_RETURN(r.pred, ReadBlockId(dec));
+        ARU_ASSIGN_OR_RETURN(r.aru, ReadAruId(dec));
+        ARU_ASSIGN_OR_RETURN(r.lsn, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      case RecordType::kDeleteBlock: {
+        DeleteBlockRecord r;
+        ARU_ASSIGN_OR_RETURN(r.block, ReadBlockId(dec));
+        ARU_ASSIGN_OR_RETURN(r.aru, ReadAruId(dec));
+        ARU_ASSIGN_OR_RETURN(r.lsn, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      case RecordType::kDeleteList: {
+        DeleteListRecord r;
+        ARU_ASSIGN_OR_RETURN(r.list, ReadListId(dec));
+        ARU_ASSIGN_OR_RETURN(r.aru, ReadAruId(dec));
+        ARU_ASSIGN_OR_RETURN(r.lsn, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      case RecordType::kCommit: {
+        CommitRecord r;
+        ARU_ASSIGN_OR_RETURN(r.aru, ReadAruId(dec));
+        ARU_ASSIGN_OR_RETURN(r.lsn, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      case RecordType::kAbort: {
+        AbortRecord r;
+        ARU_ASSIGN_OR_RETURN(r.aru, ReadAruId(dec));
+        ARU_ASSIGN_OR_RETURN(r.lsn, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      case RecordType::kRewrite: {
+        RewriteRecord r;
+        ARU_ASSIGN_OR_RETURN(r.block, ReadBlockId(dec));
+        ARU_ASSIGN_OR_RETURN(r.orig_ts, dec.ReadU64());
+        ARU_ASSIGN_OR_RETURN(r.lsn, dec.ReadU64());
+        ARU_ASSIGN_OR_RETURN(r.phys, ReadPhys(dec));
+        records.emplace_back(r);
+        break;
+      }
+      case RecordType::kMove: {
+        MoveRecord r;
+        ARU_ASSIGN_OR_RETURN(r.list, ReadListId(dec));
+        ARU_ASSIGN_OR_RETURN(r.block, ReadBlockId(dec));
+        ARU_ASSIGN_OR_RETURN(r.pred, ReadBlockId(dec));
+        ARU_ASSIGN_OR_RETURN(r.aru, ReadAruId(dec));
+        ARU_ASSIGN_OR_RETURN(r.lsn, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      default:
+        return CorruptionError("unknown summary record type " +
+                               std::to_string(type_byte));
+    }
+  }
+  return records;
+}
+
+}  // namespace aru::lld

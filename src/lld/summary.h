@@ -1,0 +1,127 @@
+// Segment-summary records: LLD's on-disk operation log.
+//
+// The mapping between logical and physical block identifiers and all
+// list information is contained in the segment summaries and can be
+// reconstructed during crash recovery by replaying them (paper §2, §4).
+//
+// Records carry the ARU they belong to (kNoAru for simple operations).
+// Recovery treats an ARU's records as effective only if the ARU's
+// commit record made it to disk — that single rule is what makes the
+// unit failure-atomic. Allocation records are the exception: block and
+// list allocation is always committed immediately (paper §3.3), so
+// kAllocBlock / kAllocList apply regardless of their ARU's fate.
+//
+// Note on link records: the paper emits two link records per insertion
+// (predecessor–block and block–successor). We encode the same
+// information as one kInsert record — a codec-level difference only;
+// the semantics (generated at commit time, gated on the commit record)
+// are the paper's.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "lld/types.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace aru::lld {
+
+enum class RecordType : std::uint8_t {
+  kWrite = 1,        // block data written; data lives at `phys`
+  kAllocBlock = 2,   // block id allocated (immediately committed)
+  kAllocList = 3,    // list id allocated (immediately committed)
+  kInsert = 4,       // block inserted into list after pred (commit-time)
+  kDeleteBlock = 5,  // block removed from its list and freed
+  kDeleteList = 6,   // list and all remaining member blocks freed
+  kCommit = 7,       // ARU commit record: everything above is effective
+  kAbort = 8,        // ARU abort record (extension; same as no commit)
+  kRewrite = 9,      // cleaner moved a block's data (physical only)
+  kMove = 10,        // block repositioned within/between lists
+};
+
+struct WriteRecord {
+  BlockId block;
+  AruId aru;
+  Lsn lsn = kNoLsn;
+  PhysAddr phys;
+};
+
+struct AllocBlockRecord {
+  BlockId block;
+  ListId list;  // list it will be inserted into (informational)
+  AruId aru;
+  Lsn lsn = kNoLsn;
+};
+
+struct AllocListRecord {
+  ListId list;
+  AruId aru;
+  Lsn lsn = kNoLsn;
+};
+
+struct InsertRecord {
+  ListId list;
+  BlockId block;
+  BlockId pred;  // kListHead ⇒ insert at the beginning
+  AruId aru;
+  Lsn lsn = kNoLsn;
+};
+
+struct DeleteBlockRecord {
+  BlockId block;
+  AruId aru;
+  Lsn lsn = kNoLsn;
+};
+
+struct DeleteListRecord {
+  ListId list;
+  AruId aru;
+  Lsn lsn = kNoLsn;
+};
+
+struct CommitRecord {
+  AruId aru;
+  Lsn lsn = kNoLsn;
+};
+
+struct AbortRecord {
+  AruId aru;
+  Lsn lsn = kNoLsn;
+};
+
+struct RewriteRecord {
+  BlockId block;
+  Lsn orig_ts = kNoLsn;  // ts of the version being moved
+  Lsn lsn = kNoLsn;
+  PhysAddr phys;
+};
+
+struct MoveRecord {
+  ListId list;   // destination
+  BlockId block;
+  BlockId pred;  // kListHead ⇒ beginning of the destination list
+  AruId aru;
+  Lsn lsn = kNoLsn;
+};
+
+using Record =
+    std::variant<WriteRecord, AllocBlockRecord, AllocListRecord, InsertRecord,
+                 DeleteBlockRecord, DeleteListRecord, CommitRecord,
+                 AbortRecord, RewriteRecord, MoveRecord>;
+
+// LSN accessor common to all alternatives.
+Lsn RecordLsn(const Record& record);
+// ARU accessor; kRewrite records return kNoAru.
+AruId RecordAru(const Record& record);
+
+// Appends the encoded record to `out`. Returns encoded size.
+std::size_t EncodeRecord(const Record& record, Bytes& out);
+
+// Upper bound on any record's encoded size (for segment space checks).
+inline constexpr std::size_t kMaxRecordSize = 1 + 5 * 8;
+
+// Decodes all records from a summary byte range.
+Result<std::vector<Record>> DecodeSummary(ByteSpan summary);
+
+}  // namespace aru::lld

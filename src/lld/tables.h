@@ -1,0 +1,72 @@
+// The two persistent-state tables (paper §4, Figure 3): the
+// block-number-map and the list-table. They mirror the information in
+// the on-disk segment summaries for fast access; recovery reconstructs
+// them from the newest checkpoint plus a summary replay.
+//
+// Only live entries are stored: an absent block-map entry means the
+// block id is unallocated, an absent list-table entry that the list
+// does not exist.
+#pragma once
+
+#include <unordered_map>
+
+#include "lld/types.h"
+
+namespace aru::lld {
+
+class BlockMap {
+ public:
+  // Meta of an allocated block, or nullptr.
+  const BlockMeta* Find(BlockId id) const {
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  BlockMeta* FindMutable(BlockId id) {
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void Set(BlockId id, const BlockMeta& meta) { map_[id] = meta; }
+  void Erase(BlockId id) { map_.erase(id); }
+  void Clear() { map_.clear(); }
+
+  std::size_t size() const { return map_.size(); }
+
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const auto& [id, meta] : map_) f(id, meta);
+  }
+
+ private:
+  std::unordered_map<BlockId, BlockMeta> map_;
+};
+
+class ListTable {
+ public:
+  const ListMeta* Find(ListId id) const {
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  ListMeta* FindMutable(ListId id) {
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void Set(ListId id, const ListMeta& meta) { map_[id] = meta; }
+  void Erase(ListId id) { map_.erase(id); }
+  void Clear() { map_.clear(); }
+
+  std::size_t size() const { return map_.size(); }
+
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const auto& [id, meta] : map_) f(id, meta);
+  }
+
+ private:
+  std::unordered_map<ListId, ListMeta> map_;
+};
+
+}  // namespace aru::lld

@@ -1,0 +1,139 @@
+// Internal types shared across the log-structured logical disk (LLD).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "ld/ids.h"
+
+namespace aru::lld {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::ListId;
+
+// Logical sequence number: a single monotone counter stamps every
+// operation and every summary record. Serves as both the paper's
+// "time of an operation" and the promotion horizon coordinate.
+using Lsn = std::uint64_t;
+
+inline constexpr Lsn kNoLsn = 0;
+
+// Physical address of a block: segment slot + block index within the
+// slot's data area. Encoded as a non-zero u64 so that 0 means "none"
+// (allocated but never written).
+class PhysAddr {
+ public:
+  constexpr PhysAddr() = default;
+  constexpr PhysAddr(std::uint32_t slot, std::uint32_t index)
+      : encoded_((static_cast<std::uint64_t>(slot) + 1) << 32 | index) {}
+
+  static constexpr PhysAddr FromEncoded(std::uint64_t encoded) {
+    PhysAddr a;
+    a.encoded_ = encoded;
+    return a;
+  }
+
+  constexpr bool valid() const { return encoded_ != 0; }
+  constexpr std::uint32_t slot() const {
+    return static_cast<std::uint32_t>((encoded_ >> 32) - 1);
+  }
+  constexpr std::uint32_t index() const {
+    return static_cast<std::uint32_t>(encoded_ & 0xffffffffu);
+  }
+  constexpr std::uint64_t encoded() const { return encoded_; }
+
+  friend constexpr bool operator==(PhysAddr, PhysAddr) = default;
+
+  std::string ToString() const {
+    if (!valid()) return "(none)";
+    return "(" + std::to_string(slot()) + "," + std::to_string(index()) + ")";
+  }
+
+ private:
+  std::uint64_t encoded_ = 0;
+};
+
+// Per-block persistent meta-data: the paper's block-number-map record
+// ("physical address and segment number … the state (allocated or not),
+// the position within a list (the successor) and the time-stamp for the
+// time when the block was last written"). We additionally carry the
+// owning list, which the consistency checker and orphan reclamation use.
+struct BlockMeta {
+  bool allocated = false;
+  PhysAddr phys;        // invalid ⇒ never written (reads as zeroes)
+  BlockId successor;    // next block on the list; invalid ⇒ tail
+  ListId list;          // owning list
+  Lsn ts = kNoLsn;      // time of last write (commit-time for ARU writes)
+};
+
+// Per-list persistent meta-data: the paper's list-table record
+// ("the first (and last) block of each list").
+struct ListMeta {
+  bool exists = false;
+  BlockId first;
+  BlockId last;
+};
+
+// Which ARU machinery the disk runs with. kSequential models the
+// original LLD prototype from [4] ("old" in Table 1): at most one ARU at
+// a time, operations applied directly to the committed state (no shadow
+// versions, no link-log replay). kConcurrent is this paper's prototype.
+enum class AruMode {
+  kSequential,
+  kConcurrent,
+};
+
+enum class CleanerPolicy {
+  kGreedy,       // least live data first
+  kCostBenefit,  // Sprite LFS benefit/cost: (1-u)*age / (1+u)
+};
+
+// Counters exposed for tests and the benchmark harness (e.g. the paper
+// reports "24 segments are written" for the 500,000-ARU experiment).
+struct LldStats {
+  std::uint64_t segments_written = 0;
+  std::uint64_t partial_segments_written = 0;  // sealed by Flush before full
+  std::uint64_t bytes_written_to_disk = 0;
+  std::uint64_t blocks_written = 0;       // logical block writes
+  std::uint64_t blocks_read = 0;
+  std::uint64_t reads_from_open_segment = 0;
+  std::uint64_t arus_begun = 0;
+  std::uint64_t arus_committed = 0;
+  std::uint64_t arus_aborted = 0;
+  std::uint64_t link_log_entries_replayed = 0;
+  std::uint64_t predecessor_search_steps = 0;
+  std::uint64_t version_chain_steps = 0;   // same-id chain traversals
+  std::uint64_t flushes = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t cleaner_passes = 0;
+  std::uint64_t segments_cleaned = 0;
+  std::uint64_t blocks_copied_by_cleaner = 0;
+  std::uint64_t orphan_blocks_reclaimed = 0;
+};
+
+struct Options {
+  std::uint32_t block_size = 4096;
+  std::uint32_t segment_size = 512 * 1024;  // paper: 0.5 MByte segments
+  AruMode aru_mode = AruMode::kConcurrent;
+  CleanerPolicy cleaner_policy = CleanerPolicy::kCostBenefit;
+  // Cleaning starts when fewer than this many slots are free.
+  std::uint32_t cleaner_reserve_slots = 4;
+  // Logical block capacity; 0 derives ~90% of the physical data capacity.
+  std::uint64_t capacity_blocks = 0;
+  // Sizing bound for the checkpoint regions; 0 derives capacity_blocks/2.
+  std::uint64_t max_lists = 0;
+  // Free blocks that an interrupted ARU left allocated-but-listless
+  // (paper §3.3: "a disk consistency check during recovery should free
+  // such blocks").
+  bool reclaim_orphans_on_recovery = true;
+  // Run the full consistency checker after every mutating operation.
+  // For tests; extremely slow.
+  bool paranoid_checks = false;
+  // Read-cache capacity in blocks (0 = disabled). Keyed by physical
+  // address; coherent by construction on a log-structured disk.
+  std::size_t read_cache_blocks = 0;
+};
+
+}  // namespace aru::lld

@@ -1,0 +1,291 @@
+// VersionIndex: the in-memory administration of the shadow and committed
+// states (paper §4, Figure 4).
+//
+// The persistent tables (block-number-map / list-table) are augmented by
+// singly-linked lists of *alternative records* describing blocks and
+// lists in the committed and shadow states: one list of records per
+// state (the committed state plus one per active ARU), and — to make
+// per-identifier lookup efficient — a second, perpendicular chain
+// linking all alternative records with the same logical identifier.
+// A record is a member of such a list only if it differs from the
+// record with the same identifier in the persistent state.
+//
+// Faithful to the paper, each state keeps at most the *most recent*
+// version of an identifier: writing twice in one ARU replaces the
+// ARU's record in place, and merging on commit replaces the committed
+// record in place ("during this transition the shadow version either
+// replaces the current committed version … or it is discarded").
+//
+// `source_lsn` tracks the earliest on-disk summary record still needed
+// to reconstruct this in-memory record during recovery. Checkpoints may
+// only declare segments "covered" beyond the minimum source LSN of all
+// live records; the value min-accumulates on replacement, which
+// over-approximates (replays a little more than strictly needed) and is
+// therefore always safe.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "lld/types.h"
+
+namespace aru::lld {
+
+inline constexpr Lsn kLsnMax = ~Lsn{0};
+
+template <typename Id, typename Meta>
+class VersionIndex {
+ public:
+  struct Node {
+    Id id;
+    AruId owner;      // kNoAru ⇒ committed state
+    Meta meta;
+    Lsn lsn = kNoLsn;         // effective (promotion-gating) LSN
+    Lsn source_lsn = kLsnMax; // earliest on-disk record backing this node
+    Node* next_same_id = nullptr;
+
+   private:
+    friend class VersionIndex;
+    typename std::list<Node>::iterator self_;
+  };
+
+  // ------------------------------------------------------------------
+  // Lookup.
+
+  // The record of `id` owned by exactly the state `owner`, or nullptr.
+  Node* FindExact(Id id, AruId owner) {
+    auto it = same_id_head_.find(id);
+    if (it == same_id_head_.end()) return nullptr;
+    for (Node* n = it->second; n != nullptr; n = n->next_same_id) {
+      ++chain_steps_;
+      if (n->owner == owner) return n;
+    }
+    return nullptr;
+  }
+  const Node* FindExact(Id id, AruId owner) const {
+    return const_cast<VersionIndex*>(this)->FindExact(id, owner);
+  }
+
+  // The newest version of `id` visible to `aru`: the ARU's shadow
+  // record if any, else the committed record, else nullptr (meaning the
+  // persistent version applies). Simple operations pass kNoAru and see
+  // the committed record or fall through to persistent.
+  const Node* LookupVisible(Id id, AruId aru) const {
+    auto it = same_id_head_.find(id);
+    if (it == same_id_head_.end()) return nullptr;
+    const Node* committed = nullptr;
+    for (const Node* n = it->second; n != nullptr; n = n->next_same_id) {
+      ++chain_steps_;
+      if (aru.valid() && n->owner == aru) return n;
+      if (!n->owner.valid()) committed = n;
+    }
+    return committed;
+  }
+
+  // ------------------------------------------------------------------
+  // Mutation.
+
+  // Inserts or replaces the record of `id` in state `owner`.
+  // On replacement, `source_lsn` min-accumulates and `on_replace` is
+  // invoked with the old meta (for space accounting).
+  template <typename OnReplace>
+  Node& Put(Id id, AruId owner, const Meta& meta, Lsn lsn, Lsn source_lsn,
+            OnReplace&& on_replace) {
+    if (Node* existing = FindExact(id, owner)) {
+      on_replace(existing->meta);
+      existing->meta = meta;
+      existing->lsn = lsn;
+      existing->source_lsn = std::min(existing->source_lsn, source_lsn);
+      return *existing;
+    }
+    std::list<Node>& state = StateList(owner);
+    state.emplace_back();
+    Node& node = state.back();
+    node.id = id;
+    node.owner = owner;
+    node.meta = meta;
+    node.lsn = lsn;
+    node.source_lsn = source_lsn;
+    node.self_ = std::prev(state.end());
+    Node*& head = same_id_head_[id];
+    node.next_same_id = head;
+    head = &node;
+    return node;
+  }
+
+  Node& Put(Id id, AruId owner, const Meta& meta, Lsn lsn, Lsn source_lsn) {
+    return Put(id, owner, meta, lsn, source_lsn, [](const Meta&) {});
+  }
+
+  // Unlinks and destroys a record.
+  void Remove(Node* node) {
+    UnlinkFromChain(node);
+    StateList(node->owner).erase(node->self_);
+  }
+
+  // Merges all records of `aru`'s shadow state into the committed state
+  // (the EndARU transition). Every merged record gets `commit_lsn` as
+  // its effective LSN — ARUs are serialized by the time of the EndARU
+  // operation. `on_replace(old_meta)` fires when a committed record is
+  // superseded; `touched` receives the id of every merged record.
+  // `drop_if(id, meta)` vetoes a merge: a shadow version whose target no
+  // longer exists in the committed state (a conflicting stream's
+  // deletion committed first) is discarded, matching what recovery
+  // replay would reconstruct from the log.
+  template <typename OnReplace, typename DropIf>
+  void MergeIntoCommitted(AruId aru, Lsn commit_lsn, OnReplace&& on_replace,
+                          DropIf&& drop_if, std::vector<Id>& touched) {
+    auto it = shadow_.find(aru);
+    if (it == shadow_.end()) return;
+    std::list<Node>& shadow = it->second;
+    while (!shadow.empty()) {
+      Node& node = shadow.front();
+      if (drop_if(node.id, node.meta)) {
+        UnlinkFromChain(&node);
+        shadow.pop_front();
+        continue;
+      }
+      touched.push_back(node.id);
+      if (Node* committed = FindExactSkipping(node.id, ld::kNoAru, &node)) {
+        on_replace(committed->meta);
+        committed->meta = node.meta;
+        committed->lsn = commit_lsn;
+        committed->source_lsn =
+            std::min(committed->source_lsn, node.source_lsn);
+        UnlinkFromChain(&node);
+        shadow.pop_front();
+      } else {
+        // Move the node itself into the committed state; its address is
+        // stable, so the same-id chain stays valid.
+        node.owner = ld::kNoAru;
+        node.lsn = commit_lsn;
+        committed_.splice(committed_.end(), shadow, node.self_);
+        node.self_ = std::prev(committed_.end());
+      }
+    }
+    shadow_.erase(it);
+  }
+
+  // Discards all records of a shadow state (AbortARU / crash).
+  template <typename OnDrop>
+  void DropState(AruId aru, OnDrop&& on_drop) {
+    auto it = shadow_.find(aru);
+    if (it == shadow_.end()) return;
+    for (Node& node : it->second) {
+      on_drop(node.meta);
+      UnlinkFromChain(&node);
+    }
+    shadow_.erase(it);
+  }
+
+  // ------------------------------------------------------------------
+  // Iteration / introspection.
+
+  template <typename F>
+  void ForEachCommitted(F&& f) const {
+    for (const Node& n : committed_) f(n);
+  }
+
+  // Iterates every record in every state (committed and all shadows).
+  template <typename F>
+  void ForEachAll(F&& f) const {
+    for (const Node& n : committed_) f(n);
+    for (const auto& [aru, nodes] : shadow_) {
+      for (const Node& n : nodes) f(n);
+    }
+  }
+
+  // Unlinks and destroys all committed records (used by recovery after
+  // force-promoting them into the persistent tables).
+  void ClearCommitted() {
+    for (Node& node : committed_) UnlinkFromChain(&node);
+    committed_.clear();
+  }
+
+  template <typename F>
+  void ForEachInState(AruId aru, F&& f) const {
+    if (!aru.valid()) {
+      ForEachCommitted(f);
+      return;
+    }
+    auto it = shadow_.find(aru);
+    if (it == shadow_.end()) return;
+    for (const Node& n : it->second) f(n);
+  }
+
+  std::size_t committed_size() const { return committed_.size(); }
+  std::size_t shadow_size(AruId aru) const {
+    auto it = shadow_.find(aru);
+    return it == shadow_.end() ? 0 : it->second.size();
+  }
+  bool empty() const { return committed_.empty() && shadow_.empty(); }
+
+  // Earliest on-disk record any live in-memory record still depends on.
+  Lsn MinSourceLsn() const {
+    Lsn min = kLsnMax;
+    for (const Node& n : committed_) min = std::min(min, n.source_lsn);
+    for (const auto& [aru, nodes] : shadow_) {
+      for (const Node& n : nodes) min = std::min(min, n.source_lsn);
+    }
+    return min;
+  }
+
+  // Cumulative same-id chain traversal steps (ablation instrumentation).
+  std::uint64_t chain_steps() const { return chain_steps_; }
+
+  // Internal structure validation, used by the consistency checker.
+  bool Validate() const {
+    std::size_t chained = 0;
+    for (const auto& [id, head] : same_id_head_) {
+      for (const Node* n = head; n != nullptr; n = n->next_same_id) {
+        if (n->id != id) return false;
+        ++chained;
+      }
+    }
+    std::size_t total = committed_.size();
+    for (const auto& [aru, nodes] : shadow_) total += nodes.size();
+    return chained == total;
+  }
+
+ private:
+  std::list<Node>& StateList(AruId owner) {
+    return owner.valid() ? shadow_[owner] : committed_;
+  }
+
+  // FindExact that skips a specific node (used during merge, where the
+  // shadow node being merged is still chained).
+  Node* FindExactSkipping(Id id, AruId owner, const Node* skip) {
+    auto it = same_id_head_.find(id);
+    if (it == same_id_head_.end()) return nullptr;
+    for (Node* n = it->second; n != nullptr; n = n->next_same_id) {
+      ++chain_steps_;
+      if (n != skip && n->owner == owner) return n;
+    }
+    return nullptr;
+  }
+
+  void UnlinkFromChain(Node* node) {
+    auto it = same_id_head_.find(node->id);
+    assert(it != same_id_head_.end());
+    Node** link = &it->second;
+    while (*link != node) {
+      link = &(*link)->next_same_id;
+      assert(*link != nullptr && "node missing from same-id chain");
+    }
+    *link = node->next_same_id;
+    if (it->second == nullptr) same_id_head_.erase(it);
+  }
+
+  std::list<Node> committed_;
+  std::unordered_map<AruId, std::list<Node>> shadow_;
+  std::unordered_map<Id, Node*> same_id_head_;
+  mutable std::uint64_t chain_steps_ = 0;
+};
+
+using BlockVersions = VersionIndex<BlockId, BlockMeta>;
+using ListVersions = VersionIndex<ListId, ListMeta>;
+
+}  // namespace aru::lld

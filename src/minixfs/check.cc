@@ -1,0 +1,154 @@
+#include "minixfs/check.h"
+
+#include <map>
+#include <set>
+
+namespace aru::minixfs {
+namespace {
+
+using ld::BlockId;
+using ld::ListId;
+
+constexpr ListId kSuperList{1};
+
+struct Checker {
+  explicit Checker(ld::Disk& fs_disk) : disk(fs_disk) {}
+
+  ld::Disk& disk;
+  CheckReport report;
+  SuperBlock sb;
+  std::vector<BlockId> inode_blocks;
+  std::map<InodeNum, Inode> in_use;
+  std::map<InodeNum, std::uint64_t> reference_counts;
+
+  void Problem(std::string description) {
+    report.problems.push_back(std::move(description));
+  }
+
+  Status LoadInodeTable() {
+    ARU_ASSIGN_OR_RETURN(const auto super_blocks,
+                         disk.ListBlocks(kSuperList));
+    if (super_blocks.empty()) {
+      return CorruptionError("superblock list is empty");
+    }
+    Bytes block(disk.block_size());
+    ARU_RETURN_IF_ERROR(disk.Read(super_blocks.front(), block));
+    ARU_ASSIGN_OR_RETURN(sb, DecodeSuperBlock(block));
+    ARU_ASSIGN_OR_RETURN(inode_blocks, disk.ListBlocks(sb.inode_list));
+
+    const std::size_t per_block = disk.block_size() / kInodeSize;
+    InodeNum number = 0;
+    for (const BlockId inode_block : inode_blocks) {
+      ARU_RETURN_IF_ERROR(disk.Read(inode_block, block));
+      for (std::size_t i = 0; i < per_block; ++i, ++number) {
+        const Inode inode = DecodeInode(
+            ByteSpan(block).subspan(i * kInodeSize, kInodeSize));
+        if (inode.type == InodeType::kFree) continue;
+        if (inode.type != InodeType::kFile &&
+            inode.type != InodeType::kDirectory) {
+          Problem("i-node " + std::to_string(number) +
+                  " has invalid type " +
+                  std::to_string(static_cast<int>(inode.type)));
+          continue;
+        }
+        in_use[number] = inode;
+        ++report.inodes_in_use;
+        if (inode.type == InodeType::kDirectory) {
+          ++report.directories;
+        } else {
+          ++report.files;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status CheckDataList(InodeNum number, const Inode& inode) {
+    auto blocks = disk.ListBlocks(inode.data_list);
+    if (!blocks.ok()) {
+      Problem("i-node " + std::to_string(number) + " references list " +
+              std::to_string(inode.data_list.value()) + ": " +
+              blocks.status().ToString());
+      return Status::Ok();
+    }
+    report.data_blocks += blocks->size();
+    const std::uint64_t needed =
+        (inode.size + disk.block_size() - 1) / disk.block_size();
+    if (blocks->size() < needed) {
+      Problem("i-node " + std::to_string(number) + " records size " +
+              std::to_string(inode.size) + " but its list holds only " +
+              std::to_string(blocks->size()) + " blocks");
+    }
+    return Status::Ok();
+  }
+
+  Status WalkDirectory(InodeNum dir, std::set<InodeNum>& visiting) {
+    if (!visiting.insert(dir).second) {
+      Problem("directory cycle through i-node " + std::to_string(dir));
+      return Status::Ok();
+    }
+    const Inode& meta = in_use.at(dir);
+    ARU_ASSIGN_OR_RETURN(const auto blocks, disk.ListBlocks(meta.data_list));
+    Bytes data(disk.block_size());
+    const std::size_t per_block = disk.block_size() / kDirEntrySize;
+    for (const BlockId block : blocks) {
+      ARU_RETURN_IF_ERROR(disk.Read(block, data));
+      for (std::size_t i = 0; i < per_block; ++i) {
+        const DirEntry entry = DecodeDirEntry(
+            ByteSpan(data).subspan(i * kDirEntrySize, kDirEntrySize));
+        if (entry.inode == kNoInode) continue;
+        const auto target = in_use.find(entry.inode);
+        if (target == in_use.end()) {
+          Problem("dangling entry \"" + entry.name + "\" in directory " +
+                  std::to_string(dir) + " -> free i-node " +
+                  std::to_string(entry.inode));
+          continue;
+        }
+        ++reference_counts[entry.inode];
+        if (target->second.type == InodeType::kDirectory) {
+          ARU_RETURN_IF_ERROR(WalkDirectory(entry.inode, visiting));
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status Run() {
+    ARU_RETURN_IF_ERROR(LoadInodeTable());
+    if (!in_use.contains(sb.root)) {
+      Problem("root i-node " + std::to_string(sb.root) + " is not in use");
+      return Status::Ok();
+    }
+    for (const auto& [number, inode] : in_use) {
+      ARU_RETURN_IF_ERROR(CheckDataList(number, inode));
+    }
+    std::set<InodeNum> visiting;
+    reference_counts[sb.root] = 1;  // the root is its own reference
+    ARU_RETURN_IF_ERROR(WalkDirectory(sb.root, visiting));
+
+    for (const auto& [number, inode] : in_use) {
+      const auto it = reference_counts.find(number);
+      const std::uint64_t refs =
+          it == reference_counts.end() ? 0 : it->second;
+      if (refs == 0) {
+        Problem("orphaned i-node " + std::to_string(number) +
+                " (in use but unreachable from the root)");
+      } else if (refs != inode.links) {
+        Problem("i-node " + std::to_string(number) + " has " +
+                std::to_string(refs) + " references but records links=" +
+                std::to_string(inode.links));
+      }
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+Result<CheckReport> CheckFileSystem(ld::Disk& disk) {
+  Checker checker(disk);
+  ARU_RETURN_IF_ERROR(checker.Run());
+  return checker.report;
+}
+
+}  // namespace aru::minixfs

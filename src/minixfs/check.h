@@ -1,0 +1,41 @@
+// File-system integrity checker ("fsck" for MinixFS).
+//
+// The paper's thesis is that with ARUs this tool never finds anything
+// to repair: after recovery the file system is consistent by
+// construction. It exists (a) to prove that in tests — runs after
+// crash/recovery must report zero inconsistencies when creation and
+// deletion were bracketed in ARUs — and (b) to show what a non-ARU
+// configuration risks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ld/disk.h"
+#include "minixfs/format.h"
+
+namespace aru::minixfs {
+
+struct CheckReport {
+  std::uint64_t inodes_in_use = 0;
+  std::uint64_t directories = 0;
+  std::uint64_t files = 0;
+  std::uint64_t data_blocks = 0;
+  // Human-readable descriptions of every inconsistency found.
+  std::vector<std::string> problems;
+
+  bool clean() const { return problems.empty(); }
+};
+
+// Walks the whole file system (i-node table, directory tree, data
+// lists) and cross-checks every invariant:
+//  * the superblock and i-node table are readable;
+//  * every directory entry names an allocated i-node;
+//  * every in-use i-node is referenced by exactly `links` entries
+//    (and every directory by exactly one);
+//  * every i-node's data list exists on the logical disk and holds
+//    enough blocks for the recorded size;
+//  * no i-node is orphaned (in use but unreachable from the root).
+Result<CheckReport> CheckFileSystem(ld::Disk& disk);
+
+}  // namespace aru::minixfs

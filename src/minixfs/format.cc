@@ -1,0 +1,107 @@
+#include "minixfs/format.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace aru::minixfs {
+
+void EncodeInode(const Inode& inode, MutableByteSpan slot64) {
+  Bytes buf;
+  buf.reserve(kInodeSize);
+  PutU16(buf, static_cast<std::uint16_t>(inode.type));
+  PutU16(buf, inode.links);
+  PutU32(buf, 0);  // pad
+  PutU64(buf, inode.size);
+  PutU64(buf, inode.data_list.value());
+  PutU64(buf, inode.mtime);
+  buf.resize(kInodeSize);
+  std::copy(buf.begin(), buf.end(), slot64.begin());
+}
+
+Inode DecodeInode(ByteSpan slot64) {
+  Inode inode;
+  inode.type = static_cast<InodeType>(GetU16(slot64));
+  inode.links = GetU16(slot64.subspan(2));
+  inode.size = GetU64(slot64.subspan(8));
+  inode.data_list = ld::ListId{GetU64(slot64.subspan(16))};
+  inode.mtime = GetU64(slot64.subspan(24));
+  return inode;
+}
+
+void EncodeDirEntry(const DirEntry& entry, MutableByteSpan slot64) {
+  Bytes buf;
+  buf.reserve(kDirEntrySize);
+  PutU64(buf, entry.inode == kNoInode
+                  ? 0
+                  : static_cast<std::uint64_t>(entry.inode) + 1);
+  buf.resize(kDirEntrySize);
+  std::copy(buf.begin(), buf.end(), slot64.begin());
+  const std::size_t n = std::min(entry.name.size(), kMaxNameLen);
+  std::memcpy(slot64.data() + 8, entry.name.data(), n);
+}
+
+DirEntry DecodeDirEntry(ByteSpan slot64) {
+  DirEntry entry;
+  const std::uint64_t raw = GetU64(slot64);
+  if (raw == 0) {
+    entry.inode = kNoInode;
+    return entry;
+  }
+  entry.inode = static_cast<InodeNum>(raw - 1);
+  const char* name = reinterpret_cast<const char*>(slot64.data() + 8);
+  entry.name.assign(name, strnlen(name, kMaxNameLen));
+  return entry;
+}
+
+Bytes EncodeSuperBlock(const SuperBlock& sb, std::uint32_t block_size) {
+  Bytes out;
+  PutU32(out, kSuperMagic);
+  PutU16(out, kFsVersion);
+  PutU16(out, 0);
+  PutU64(out, sb.inode_list.value());
+  PutU32(out, sb.root);
+  PutU32(out, Crc32c(out));
+  out.resize(block_size);
+  return out;
+}
+
+Result<SuperBlock> DecodeSuperBlock(ByteSpan block) {
+  Decoder dec(block);
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t magic, dec.ReadU32());
+  if (magic != kSuperMagic) {
+    return CorruptionError("not a MinixFS superblock");
+  }
+  ARU_ASSIGN_OR_RETURN(const std::uint16_t version, dec.ReadU16());
+  if (version != kFsVersion) {
+    return CorruptionError("unsupported MinixFS version");
+  }
+  ARU_ASSIGN_OR_RETURN(std::uint16_t pad, dec.ReadU16());
+  (void)pad;
+  SuperBlock sb;
+  ARU_ASSIGN_OR_RETURN(const std::uint64_t inode_list, dec.ReadU64());
+  sb.inode_list = ld::ListId{inode_list};
+  ARU_ASSIGN_OR_RETURN(sb.root, dec.ReadU32());
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t crc, dec.ReadU32());
+  if (crc != Crc32c(block.first(dec.position() - 4))) {
+    return CorruptionError("MinixFS superblock CRC mismatch");
+  }
+  return sb;
+}
+
+Status ValidateName(std::string_view name) {
+  if (name.empty()) return InvalidArgumentError("empty path component");
+  if (name.size() > kMaxNameLen) {
+    return InvalidArgumentError("name too long: " + std::string(name));
+  }
+  if (name.find('/') != std::string_view::npos) {
+    return InvalidArgumentError("name contains '/'");
+  }
+  if (name == "." || name == "..") {
+    return InvalidArgumentError("reserved name: " + std::string(name));
+  }
+  return Status::Ok();
+}
+
+}  // namespace aru::minixfs

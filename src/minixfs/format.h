@@ -1,0 +1,76 @@
+// On-disk format of the Minix-like file system (MinixFS).
+//
+// MinixFS is a deliberately faithful stand-in for the Minix 1.x file
+// system the paper runs on top of LLD: i-nodes plus directories whose
+// data blocks hold fixed-size entries, with all disk management
+// delegated to LD. As in the paper's MinixLLD, each file's data lives
+// on its own LD block list; the i-node table occupies a dedicated list;
+// a one-block superblock list ties everything together.
+//
+//   list 1                superblock (one block)
+//   inode list            i-node table, 64 i-nodes per 4 KB block
+//   one list per file     data blocks, in file order
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ld/ids.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace aru::minixfs {
+
+inline constexpr std::uint32_t kSuperMagic = 0x4d4e5846;  // "MNXF"
+inline constexpr std::uint16_t kFsVersion = 1;
+
+// 64-byte on-disk i-node.
+inline constexpr std::size_t kInodeSize = 64;
+
+enum class InodeType : std::uint16_t {
+  kFree = 0,
+  kFile = 1,
+  kDirectory = 2,
+};
+
+using InodeNum = std::uint32_t;
+inline constexpr InodeNum kNoInode = 0xffffffffu;
+
+struct Inode {
+  InodeType type = InodeType::kFree;
+  std::uint16_t links = 0;
+  std::uint64_t size = 0;       // bytes
+  ld::ListId data_list;         // the file's LD list
+  std::uint64_t mtime = 0;      // logical modification counter
+};
+
+// 64-byte directory entry: 8-byte i-node field (0 = free slot, else
+// i-node number + 1), 55-byte name, NUL.
+inline constexpr std::size_t kDirEntrySize = 64;
+inline constexpr std::size_t kMaxNameLen = 55;
+
+struct DirEntry {
+  InodeNum inode = kNoInode;
+  std::string name;
+};
+
+struct SuperBlock {
+  ld::ListId inode_list;
+  InodeNum root = 0;
+};
+
+// Codecs: fixed offsets within a block buffer.
+void EncodeInode(const Inode& inode, MutableByteSpan slot64);
+Inode DecodeInode(ByteSpan slot64);
+
+void EncodeDirEntry(const DirEntry& entry, MutableByteSpan slot64);
+// Returns an entry with inode == kNoInode for a free slot.
+DirEntry DecodeDirEntry(ByteSpan slot64);
+
+Bytes EncodeSuperBlock(const SuperBlock& sb, std::uint32_t block_size);
+Result<SuperBlock> DecodeSuperBlock(ByteSpan block);
+
+// Validates a path component (no '/', nonempty, short enough).
+Status ValidateName(std::string_view name);
+
+}  // namespace aru::minixfs

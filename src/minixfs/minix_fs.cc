@@ -1,0 +1,823 @@
+#include "minixfs/minix_fs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/log.h"
+
+namespace aru::minixfs {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+// The superblock lives on the first list a fresh disk hands out.
+constexpr ListId kSuperList{1};
+
+Status NotADirectory(std::string_view name) {
+  return FailedPreconditionError("not a directory: " + std::string(name));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Mkfs / Mount.
+
+Status MinixFs::Mkfs(ld::Disk& disk) {
+  ARU_ASSIGN_OR_RETURN(const ListId super_list, disk.NewList());
+  if (super_list != kSuperList) {
+    return FailedPreconditionError(
+        "Mkfs requires a freshly formatted logical disk");
+  }
+  ARU_ASSIGN_OR_RETURN(const BlockId super_block,
+                       disk.NewBlock(super_list, kListHead));
+
+  SuperBlock sb;
+  ARU_ASSIGN_OR_RETURN(sb.inode_list, disk.NewList());
+  ARU_ASSIGN_OR_RETURN(const BlockId inode_block0,
+                       disk.NewBlock(sb.inode_list, kListHead));
+
+  // Root directory: i-node 0, with an (empty) data list of its own.
+  ARU_ASSIGN_OR_RETURN(const ListId root_list, disk.NewList());
+  Inode root;
+  root.type = InodeType::kDirectory;
+  root.links = 1;
+  root.data_list = root_list;
+  Bytes inode_block(disk.block_size());
+  EncodeInode(root, MutableByteSpan(inode_block).first(kInodeSize));
+  ARU_RETURN_IF_ERROR(disk.Write(inode_block0, inode_block));
+
+  sb.root = 0;
+  ARU_RETURN_IF_ERROR(
+      disk.Write(super_block, EncodeSuperBlock(sb, disk.block_size())));
+  return disk.Flush();
+}
+
+Result<std::unique_ptr<MinixFs>> MinixFs::Mount(ld::Disk& disk,
+                                                Policy policy) {
+  ARU_ASSIGN_OR_RETURN(const auto super_blocks,
+                       disk.ListBlocks(kSuperList));
+  if (super_blocks.empty()) {
+    return CorruptionError("superblock list is empty");
+  }
+  Bytes block(disk.block_size());
+  ARU_RETURN_IF_ERROR(disk.Read(super_blocks.front(), block));
+  ARU_ASSIGN_OR_RETURN(const SuperBlock sb, DecodeSuperBlock(block));
+
+  std::unique_ptr<MinixFs> fs(new MinixFs(disk, policy));
+  fs->sb_ = sb;
+  ARU_ASSIGN_OR_RETURN(fs->inode_blocks_, disk.ListBlocks(sb.inode_list));
+  if (fs->inode_blocks_.empty()) {
+    return CorruptionError("i-node table is empty");
+  }
+  return fs;
+}
+
+// ---------------------------------------------------------------------
+// Block cache.
+
+Result<Bytes> MinixFs::ReadBlockCached(BlockId block, AruId aru) {
+  if (const auto it = cache_map_.find(block); it != cache_map_.end()) {
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return it->second->second;
+  }
+  Bytes data(disk_.block_size());
+  ARU_RETURN_IF_ERROR(disk_.Read(block, data, aru));
+  cache_lru_.emplace_front(block, data);
+  cache_map_[block] = cache_lru_.begin();
+  CacheEvictIfNeeded();
+  return data;
+}
+
+Status MinixFs::WriteBlockCached(BlockId block, const Bytes& data,
+                                 AruId aru) {
+  ARU_RETURN_IF_ERROR(disk_.Write(block, data, aru));
+  if (const auto it = cache_map_.find(block); it != cache_map_.end()) {
+    it->second->second = data;
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  } else {
+    cache_lru_.emplace_front(block, data);
+    cache_map_[block] = cache_lru_.begin();
+    CacheEvictIfNeeded();
+  }
+  return Status::Ok();
+}
+
+void MinixFs::CacheEvictIfNeeded() {
+  while (cache_lru_.size() > policy_.cache_blocks) {
+    cache_map_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+  }
+}
+
+void MinixFs::CacheDrop(BlockId block) {
+  if (const auto it = cache_map_.find(block); it != cache_map_.end()) {
+    cache_lru_.erase(it->second);
+    cache_map_.erase(it);
+  }
+}
+
+void MinixFs::InvalidateCaches() {
+  cache_lru_.clear();
+  cache_map_.clear();
+  if (auto blocks = disk_.ListBlocks(sb_.inode_list); blocks.ok()) {
+    inode_blocks_ = std::move(blocks).value();
+  }
+}
+
+// ---------------------------------------------------------------------
+// I-nodes.
+
+Result<Inode> MinixFs::GetInode(InodeNum inode, AruId aru) {
+  const std::size_t per_block = disk_.block_size() / kInodeSize;
+  const std::size_t block_index = inode / per_block;
+  if (block_index >= inode_blocks_.size()) {
+    return NotFoundError("i-node " + std::to_string(inode) +
+                         " out of range");
+  }
+  ARU_ASSIGN_OR_RETURN(const Bytes block,
+                       ReadBlockCached(inode_blocks_[block_index], aru));
+  return DecodeInode(
+      ByteSpan(block).subspan((inode % per_block) * kInodeSize, kInodeSize));
+}
+
+Status MinixFs::PutInode(InodeNum inode, const Inode& meta, AruId aru) {
+  const std::size_t per_block = disk_.block_size() / kInodeSize;
+  const std::size_t block_index = inode / per_block;
+  if (block_index >= inode_blocks_.size()) {
+    return NotFoundError("i-node " + std::to_string(inode) +
+                         " out of range");
+  }
+  ARU_ASSIGN_OR_RETURN(Bytes block,
+                       ReadBlockCached(inode_blocks_[block_index], aru));
+  EncodeInode(meta, MutableByteSpan(block).subspan(
+                        (inode % per_block) * kInodeSize, kInodeSize));
+  return WriteBlockCached(inode_blocks_[block_index], block, aru);
+}
+
+Result<InodeNum> MinixFs::AllocInode(const Inode& meta, AruId aru) {
+  const std::size_t per_block = disk_.block_size() / kInodeSize;
+  const InodeNum total =
+      static_cast<InodeNum>(inode_blocks_.size() * per_block);
+  for (InodeNum probe = 0; probe < total; ++probe) {
+    const InodeNum candidate =
+        static_cast<InodeNum>((alloc_hint_ + probe) % total);
+    ARU_ASSIGN_OR_RETURN(const Inode existing, GetInode(candidate, aru));
+    if (existing.type == InodeType::kFree) {
+      ARU_RETURN_IF_ERROR(PutInode(candidate, meta, aru));
+      alloc_hint_ = candidate + 1;
+      return candidate;
+    }
+  }
+  // Grow the i-node table by one block (zeroed).
+  ARU_ASSIGN_OR_RETURN(
+      const BlockId grown,
+      disk_.NewBlock(sb_.inode_list, inode_blocks_.back(), aru));
+  ARU_RETURN_IF_ERROR(WriteBlockCached(grown, Bytes(disk_.block_size()), aru));
+  inode_blocks_.push_back(grown);
+  const InodeNum candidate = total;
+  ARU_RETURN_IF_ERROR(PutInode(candidate, meta, aru));
+  alloc_hint_ = candidate + 1;
+  return candidate;
+}
+
+// ---------------------------------------------------------------------
+// Directories.
+
+Result<InodeNum> MinixFs::LookupIn(InodeNum dir, std::string_view name,
+                                   AruId aru) {
+  ARU_ASSIGN_OR_RETURN(const Inode meta, GetInode(dir, aru));
+  if (meta.type != InodeType::kDirectory) return NotADirectory(name);
+  ARU_ASSIGN_OR_RETURN(const auto blocks,
+                       disk_.ListBlocks(meta.data_list, aru));
+  const std::size_t per_block = disk_.block_size() / kDirEntrySize;
+  for (const BlockId block : blocks) {
+    ARU_ASSIGN_OR_RETURN(const Bytes data, ReadBlockCached(block, aru));
+    for (std::size_t i = 0; i < per_block; ++i) {
+      const DirEntry entry =
+          DecodeDirEntry(ByteSpan(data).subspan(i * kDirEntrySize,
+                                                kDirEntrySize));
+      if (entry.inode != kNoInode && entry.name == name) return entry.inode;
+    }
+  }
+  return NotFoundError("no such entry: " + std::string(name));
+}
+
+Status MinixFs::AddEntry(InodeNum dir, std::string_view name,
+                         InodeNum target, AruId aru) {
+  ARU_ASSIGN_OR_RETURN(Inode meta, GetInode(dir, aru));
+  if (meta.type != InodeType::kDirectory) return NotADirectory(name);
+  ARU_ASSIGN_OR_RETURN(const auto blocks,
+                       disk_.ListBlocks(meta.data_list, aru));
+  const std::size_t per_block = disk_.block_size() / kDirEntrySize;
+
+  DirEntry entry;
+  entry.inode = target;
+  entry.name = std::string(name);
+
+  for (const BlockId block : blocks) {
+    ARU_ASSIGN_OR_RETURN(Bytes data, ReadBlockCached(block, aru));
+    for (std::size_t i = 0; i < per_block; ++i) {
+      const std::size_t at = i * kDirEntrySize;
+      if (DecodeDirEntry(ByteSpan(data).subspan(at, kDirEntrySize)).inode ==
+          kNoInode) {
+        EncodeDirEntry(entry,
+                       MutableByteSpan(data).subspan(at, kDirEntrySize));
+        ARU_RETURN_IF_ERROR(WriteBlockCached(block, data, aru));
+        meta.mtime = ++mtime_counter_;
+        return PutInode(dir, meta, aru);
+      }
+    }
+  }
+
+  // Directory full: append a data block.
+  const BlockId pred = blocks.empty() ? kListHead : blocks.back();
+  ARU_ASSIGN_OR_RETURN(const BlockId grown,
+                       disk_.NewBlock(meta.data_list, pred, aru));
+  Bytes data(disk_.block_size());
+  EncodeDirEntry(entry, MutableByteSpan(data).first(kDirEntrySize));
+  ARU_RETURN_IF_ERROR(WriteBlockCached(grown, data, aru));
+  meta.size += disk_.block_size();
+  meta.mtime = ++mtime_counter_;
+  return PutInode(dir, meta, aru);
+}
+
+Status MinixFs::RemoveEntry(InodeNum dir, std::string_view name, AruId aru) {
+  ARU_ASSIGN_OR_RETURN(Inode meta, GetInode(dir, aru));
+  if (meta.type != InodeType::kDirectory) return NotADirectory(name);
+  ARU_ASSIGN_OR_RETURN(const auto blocks,
+                       disk_.ListBlocks(meta.data_list, aru));
+  const std::size_t per_block = disk_.block_size() / kDirEntrySize;
+  for (const BlockId block : blocks) {
+    ARU_ASSIGN_OR_RETURN(Bytes data, ReadBlockCached(block, aru));
+    for (std::size_t i = 0; i < per_block; ++i) {
+      const std::size_t at = i * kDirEntrySize;
+      const DirEntry entry =
+          DecodeDirEntry(ByteSpan(data).subspan(at, kDirEntrySize));
+      if (entry.inode != kNoInode && entry.name == name) {
+        std::fill(data.begin() + static_cast<std::ptrdiff_t>(at),
+                  data.begin() + static_cast<std::ptrdiff_t>(at) +
+                      kDirEntrySize,
+                  std::byte{0});
+        ARU_RETURN_IF_ERROR(WriteBlockCached(block, data, aru));
+        meta.mtime = ++mtime_counter_;
+        return PutInode(dir, meta, aru);
+      }
+    }
+  }
+  return NotFoundError("no such entry: " + std::string(name));
+}
+
+// ---------------------------------------------------------------------
+// Path resolution.
+
+Result<MinixFs::Resolved> MinixFs::Resolve(std::string_view path,
+                                           AruId aru) {
+  if (path.empty() || path.front() != '/') {
+    return InvalidArgumentError("path must be absolute: " +
+                                std::string(path));
+  }
+  Resolved out;
+  InodeNum current = sb_.root;
+  std::string_view rest = path.substr(1);
+  while (!rest.empty() && rest.back() == '/') rest.remove_suffix(1);
+  if (rest.empty()) {  // the root itself
+    out.parent = kNoInode;
+    out.inode = sb_.root;
+    return out;
+  }
+  for (;;) {
+    const std::size_t slash = rest.find('/');
+    const std::string_view component =
+        slash == std::string_view::npos ? rest : rest.substr(0, slash);
+    ARU_RETURN_IF_ERROR(ValidateName(component));
+    if (slash == std::string_view::npos) {
+      out.parent = current;
+      out.name = std::string(component);
+      auto leaf = LookupIn(current, component, aru);
+      out.inode = leaf.ok() ? *leaf : kNoInode;
+      if (!leaf.ok() && leaf.status().code() != StatusCode::kNotFound) {
+        return leaf.status();
+      }
+      return out;
+    }
+    ARU_ASSIGN_OR_RETURN(current, LookupIn(current, component, aru));
+    rest = rest.substr(slash + 1);
+  }
+}
+
+// ---------------------------------------------------------------------
+// ARU bracketing.
+
+Result<AruId> MinixFs::BeginOp() {
+  if (!policy_.use_arus) return kNoAru;
+  return disk_.BeginARU();
+}
+
+Status MinixFs::CommitOp(AruId aru) {
+  if (!aru.valid()) return Status::Ok();
+  return disk_.EndARU(aru);
+}
+
+Status MinixFs::FailOp(AruId aru, Status error) {
+  if (aru.valid()) {
+    const Status aborted = disk_.AbortARU(aru);
+    if (!aborted.ok()) {
+      // The sequential-ARU prototype cannot unroll; close the stream so
+      // the disk stays usable (partial meta-data may persist — exactly
+      // the weakness ARUs remove in the concurrent prototype).
+      (void)disk_.EndARU(aru);
+    }
+    InvalidateCaches();
+  }
+  return error;
+}
+
+// ---------------------------------------------------------------------
+// Namespace operations.
+
+Result<InodeNum> MinixFs::Create(std::string_view path) {
+  ARU_ASSIGN_OR_RETURN(const AruId aru, BeginOp());
+  Resolved resolved;
+  {
+    auto r = Resolve(path, aru);
+    if (!r.ok()) return FailOp(aru, r.status());
+    resolved = std::move(r).value();
+  }
+  if (resolved.inode != kNoInode) {
+    return FailOp(aru, AlreadyExistsError(std::string(path)));
+  }
+
+  auto list = disk_.NewList(aru);
+  if (!list.ok()) return FailOp(aru, list.status());
+  Inode meta;
+  meta.type = InodeType::kFile;
+  meta.links = 1;
+  meta.data_list = *list;
+  meta.mtime = ++mtime_counter_;
+
+  auto inode = AllocInode(meta, aru);
+  if (!inode.ok()) return FailOp(aru, inode.status());
+  if (Status s = AddEntry(resolved.parent, resolved.name, *inode, aru);
+      !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  if (Status s = CommitOp(aru); !s.ok()) return FailOp(kNoAru, std::move(s));
+  return *inode;
+}
+
+Result<InodeNum> MinixFs::Mkdir(std::string_view path) {
+  ARU_ASSIGN_OR_RETURN(const AruId aru, BeginOp());
+  Resolved resolved;
+  {
+    auto r = Resolve(path, aru);
+    if (!r.ok()) return FailOp(aru, r.status());
+    resolved = std::move(r).value();
+  }
+  if (resolved.inode != kNoInode) {
+    return FailOp(aru, AlreadyExistsError(std::string(path)));
+  }
+
+  auto list = disk_.NewList(aru);
+  if (!list.ok()) return FailOp(aru, list.status());
+  Inode meta;
+  meta.type = InodeType::kDirectory;
+  meta.links = 1;
+  meta.data_list = *list;
+  meta.mtime = ++mtime_counter_;
+
+  auto inode = AllocInode(meta, aru);
+  if (!inode.ok()) return FailOp(aru, inode.status());
+  if (Status s = AddEntry(resolved.parent, resolved.name, *inode, aru);
+      !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  if (Status s = CommitOp(aru); !s.ok()) return FailOp(kNoAru, std::move(s));
+  return *inode;
+}
+
+Status MinixFs::FreeFileStorage(const Inode& meta, AruId aru) {
+  if (policy_.improved_delete) {
+    // §5.3 "new, delete": delete the list wholesale; LD walks it from
+    // the head, freeing blocks without predecessor searches.
+    return disk_.DeleteList(meta.data_list, aru);
+  }
+  // Classic Minix truncate order: free data blocks from the end of the
+  // file backwards — each DeleteBlock makes LD search the list for the
+  // block's predecessor — then delete the emptied list.
+  ARU_ASSIGN_OR_RETURN(const auto blocks,
+                       disk_.ListBlocks(meta.data_list, aru));
+  for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+    ARU_RETURN_IF_ERROR(disk_.DeleteBlock(*it, aru));
+  }
+  return disk_.DeleteList(meta.data_list, aru);
+}
+
+Status MinixFs::Unlink(std::string_view path) {
+  ARU_ASSIGN_OR_RETURN(const AruId aru, BeginOp());
+  Resolved resolved;
+  {
+    auto r = Resolve(path, aru);
+    if (!r.ok()) return FailOp(aru, r.status());
+    resolved = std::move(r).value();
+  }
+  if (resolved.inode == kNoInode) {
+    return FailOp(aru, NotFoundError(std::string(path)));
+  }
+  Inode meta;
+  {
+    auto m = GetInode(resolved.inode, aru);
+    if (!m.ok()) return FailOp(aru, m.status());
+    meta = *m;
+  }
+  if (meta.type != InodeType::kFile) {
+    return FailOp(aru, FailedPreconditionError("not a file: " +
+                                               std::string(path)));
+  }
+
+  if (Status s = RemoveEntry(resolved.parent, resolved.name, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  if (meta.links > 1) {
+    // Other hard links remain: only the entry and the count go.
+    --meta.links;
+    meta.mtime = ++mtime_counter_;
+    if (Status s = PutInode(resolved.inode, meta, aru); !s.ok()) {
+      return FailOp(aru, std::move(s));
+    }
+    return CommitOp(aru);
+  }
+  if (Status s = FreeFileStorage(meta, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  if (Status s = PutInode(resolved.inode, Inode{}, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  if (resolved.inode < alloc_hint_) alloc_hint_ = resolved.inode;
+  return CommitOp(aru);
+}
+
+Status MinixFs::Link(std::string_view existing, std::string_view link_path) {
+  ARU_ASSIGN_OR_RETURN(const AruId aru, BeginOp());
+  Resolved src;
+  {
+    auto r = Resolve(existing, aru);
+    if (!r.ok()) return FailOp(aru, r.status());
+    src = std::move(r).value();
+  }
+  if (src.inode == kNoInode) {
+    return FailOp(aru, NotFoundError(std::string(existing)));
+  }
+  Inode meta;
+  {
+    auto m = GetInode(src.inode, aru);
+    if (!m.ok()) return FailOp(aru, m.status());
+    meta = *m;
+  }
+  if (meta.type != InodeType::kFile) {
+    return FailOp(aru, FailedPreconditionError(
+                           "hard links to directories are not allowed"));
+  }
+  Resolved dst;
+  {
+    auto r = Resolve(link_path, aru);
+    if (!r.ok()) return FailOp(aru, r.status());
+    dst = std::move(r).value();
+  }
+  if (dst.inode != kNoInode) {
+    return FailOp(aru, AlreadyExistsError(std::string(link_path)));
+  }
+  if (Status s = AddEntry(dst.parent, dst.name, src.inode, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  ++meta.links;
+  meta.mtime = ++mtime_counter_;
+  if (Status s = PutInode(src.inode, meta, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  return CommitOp(aru);
+}
+
+Status MinixFs::Rmdir(std::string_view path) {
+  ARU_ASSIGN_OR_RETURN(const AruId aru, BeginOp());
+  Resolved resolved;
+  {
+    auto r = Resolve(path, aru);
+    if (!r.ok()) return FailOp(aru, r.status());
+    resolved = std::move(r).value();
+  }
+  if (resolved.inode == kNoInode) {
+    return FailOp(aru, NotFoundError(std::string(path)));
+  }
+  if (resolved.parent == kNoInode) {
+    return FailOp(aru, FailedPreconditionError("cannot remove the root"));
+  }
+  Inode meta;
+  {
+    auto m = GetInode(resolved.inode, aru);
+    if (!m.ok()) return FailOp(aru, m.status());
+    meta = *m;
+  }
+  if (meta.type != InodeType::kDirectory) {
+    return FailOp(aru, NotADirectory(path));
+  }
+  // Must be empty.
+  {
+    auto blocks = disk_.ListBlocks(meta.data_list, aru);
+    if (!blocks.ok()) return FailOp(aru, blocks.status());
+    const std::size_t per_block = disk_.block_size() / kDirEntrySize;
+    for (const BlockId block : *blocks) {
+      auto data = ReadBlockCached(block, aru);
+      if (!data.ok()) return FailOp(aru, data.status());
+      for (std::size_t i = 0; i < per_block; ++i) {
+        if (DecodeDirEntry(ByteSpan(*data).subspan(i * kDirEntrySize,
+                                                   kDirEntrySize))
+                .inode != kNoInode) {
+          return FailOp(aru, FailedPreconditionError("directory not empty"));
+        }
+      }
+    }
+  }
+
+  if (Status s = RemoveEntry(resolved.parent, resolved.name, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  if (Status s = disk_.DeleteList(meta.data_list, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  if (Status s = PutInode(resolved.inode, Inode{}, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  if (resolved.inode < alloc_hint_) alloc_hint_ = resolved.inode;
+  return CommitOp(aru);
+}
+
+Status MinixFs::Rename(std::string_view from, std::string_view to) {
+  // Moving a directory under itself would disconnect it from the root
+  // (the classic rename cycle). Paths are the only way to name nodes,
+  // so a string prefix check suffices.
+  if (to.size() > from.size() && to.substr(0, from.size()) == from &&
+      to[from.size()] == '/') {
+    return FailedPreconditionError(
+        "cannot move a directory into its own subtree");
+  }
+  ARU_ASSIGN_OR_RETURN(const AruId aru, BeginOp());
+  Resolved src;
+  {
+    auto r = Resolve(from, aru);
+    if (!r.ok()) return FailOp(aru, r.status());
+    src = std::move(r).value();
+  }
+  if (src.inode == kNoInode) {
+    return FailOp(aru, NotFoundError(std::string(from)));
+  }
+  Resolved dst;
+  {
+    auto r = Resolve(to, aru);
+    if (!r.ok()) return FailOp(aru, r.status());
+    dst = std::move(r).value();
+  }
+  if (dst.inode != kNoInode) {
+    return FailOp(aru, AlreadyExistsError(std::string(to)));
+  }
+  if (Status s = AddEntry(dst.parent, dst.name, src.inode, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  if (Status s = RemoveEntry(src.parent, src.name, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  return CommitOp(aru);
+}
+
+Status MinixFs::Truncate(std::string_view path, std::uint64_t size) {
+  ARU_ASSIGN_OR_RETURN(const AruId aru, BeginOp());
+  Resolved resolved;
+  {
+    auto r = Resolve(path, aru);
+    if (!r.ok()) return FailOp(aru, r.status());
+    resolved = std::move(r).value();
+  }
+  if (resolved.inode == kNoInode) {
+    return FailOp(aru, NotFoundError(std::string(path)));
+  }
+  Inode meta;
+  {
+    auto m = GetInode(resolved.inode, aru);
+    if (!m.ok()) return FailOp(aru, m.status());
+    meta = *m;
+  }
+  if (meta.type != InodeType::kFile) {
+    return FailOp(aru, FailedPreconditionError("not a file: " +
+                                               std::string(path)));
+  }
+
+  if (size < meta.size) {
+    const std::uint32_t bs = disk_.block_size();
+    const std::uint64_t keep = (size + bs - 1) / bs;
+    auto blocks = disk_.ListBlocks(meta.data_list, aru);
+    if (!blocks.ok()) return FailOp(aru, blocks.status());
+    // Free from the end backwards — Minix truncate order.
+    for (std::size_t i = blocks->size(); i > keep; --i) {
+      if (Status s = disk_.DeleteBlock((*blocks)[i - 1], aru); !s.ok()) {
+        return FailOp(aru, std::move(s));
+      }
+    }
+    // Zero the now-trailing bytes of the last kept block so a later
+    // extension reads zeroes, not stale data.
+    if (keep > 0 && size % bs != 0) {
+      Bytes data(bs);
+      if (Status s = disk_.Read((*blocks)[keep - 1], data, aru); !s.ok()) {
+        return FailOp(aru, std::move(s));
+      }
+      std::fill(data.begin() + static_cast<std::ptrdiff_t>(size % bs),
+                data.end(), std::byte{0});
+      if (Status s = disk_.Write((*blocks)[keep - 1], data, aru); !s.ok()) {
+        return FailOp(aru, std::move(s));
+      }
+    }
+  }
+  meta.size = size;
+  meta.mtime = ++mtime_counter_;
+  if (Status s = PutInode(resolved.inode, meta, aru); !s.ok()) {
+    return FailOp(aru, std::move(s));
+  }
+  return CommitOp(aru);
+}
+
+Result<std::vector<DirEntry>> MinixFs::ReadDir(std::string_view path) {
+  ARU_ASSIGN_OR_RETURN(const Resolved resolved, Resolve(path, kNoAru));
+  if (resolved.inode == kNoInode) return NotFoundError(std::string(path));
+  ARU_ASSIGN_OR_RETURN(const Inode meta, GetInode(resolved.inode, kNoAru));
+  if (meta.type != InodeType::kDirectory) return NotADirectory(path);
+  ARU_ASSIGN_OR_RETURN(const auto blocks,
+                       disk_.ListBlocks(meta.data_list, kNoAru));
+  std::vector<DirEntry> entries;
+  const std::size_t per_block = disk_.block_size() / kDirEntrySize;
+  for (const BlockId block : blocks) {
+    ARU_ASSIGN_OR_RETURN(const Bytes data, ReadBlockCached(block, kNoAru));
+    for (std::size_t i = 0; i < per_block; ++i) {
+      DirEntry entry = DecodeDirEntry(
+          ByteSpan(data).subspan(i * kDirEntrySize, kDirEntrySize));
+      if (entry.inode != kNoInode) entries.push_back(std::move(entry));
+    }
+  }
+  return entries;
+}
+
+Result<FileStat> MinixFs::Stat(std::string_view path) {
+  ARU_ASSIGN_OR_RETURN(const Resolved resolved, Resolve(path, kNoAru));
+  if (resolved.inode == kNoInode) return NotFoundError(std::string(path));
+  ARU_ASSIGN_OR_RETURN(const Inode meta, GetInode(resolved.inode, kNoAru));
+  FileStat stat;
+  stat.type = meta.type;
+  stat.size = meta.size;
+  stat.inode = resolved.inode;
+  stat.links = meta.links;
+  return stat;
+}
+
+bool MinixFs::Exists(std::string_view path) {
+  auto resolved = Resolve(path, kNoAru);
+  return resolved.ok() && resolved->inode != kNoInode;
+}
+
+// ---------------------------------------------------------------------
+// File I/O.
+
+Result<OpenFile> MinixFs::Open(std::string_view path) {
+  ARU_ASSIGN_OR_RETURN(const Resolved resolved, Resolve(path, kNoAru));
+  if (resolved.inode == kNoInode) return NotFoundError(std::string(path));
+  return OpenInode(resolved.inode);
+}
+
+Result<OpenFile> MinixFs::OpenInode(InodeNum inode) {
+  ARU_ASSIGN_OR_RETURN(const Inode meta, GetInode(inode, kNoAru));
+  if (meta.type != InodeType::kFile) {
+    return FailedPreconditionError("i-node " + std::to_string(inode) +
+                                   " is not a file");
+  }
+  OpenFile file;
+  file.inode_ = inode;
+  file.meta_ = meta;
+  ARU_ASSIGN_OR_RETURN(file.blocks_, disk_.ListBlocks(meta.data_list));
+  return file;
+}
+
+Status MinixFs::WriteAt(OpenFile& file, std::uint64_t offset, ByteSpan data) {
+  const std::uint32_t bs = disk_.block_size();
+  std::uint64_t pos = offset;
+  std::size_t done = 0;
+
+  while (done < data.size()) {
+    const std::uint64_t block_index = pos / bs;
+    const std::uint32_t in_block = static_cast<std::uint32_t>(pos % bs);
+    const std::size_t chunk =
+        std::min<std::size_t>(bs - in_block, data.size() - done);
+
+    // Extend the file with fresh blocks up to the target block.
+    while (file.blocks_.size() <= block_index) {
+      const BlockId pred =
+          file.blocks_.empty() ? kListHead : file.blocks_.back();
+      ARU_ASSIGN_OR_RETURN(const BlockId grown,
+                           disk_.NewBlock(file.meta_.data_list, pred));
+      file.blocks_.push_back(grown);
+    }
+
+    const BlockId block = file.blocks_[block_index];
+    if (chunk == bs) {
+      ARU_RETURN_IF_ERROR(disk_.Write(block, data.subspan(done, chunk)));
+    } else {
+      Bytes buffer(bs);
+      ARU_RETURN_IF_ERROR(disk_.Read(block, buffer));
+      std::memcpy(buffer.data() + in_block, data.data() + done, chunk);
+      ARU_RETURN_IF_ERROR(disk_.Write(block, buffer));
+    }
+    pos += chunk;
+    done += chunk;
+  }
+
+  if (pos > file.meta_.size) file.meta_.size = pos;
+  file.meta_.mtime = ++mtime_counter_;
+  file.dirty_ = true;
+  return Status::Ok();
+}
+
+Status MinixFs::ReadAt(OpenFile& file, std::uint64_t offset,
+                       MutableByteSpan out) {
+  const std::uint32_t bs = disk_.block_size();
+  if (offset + out.size() > file.meta_.size) {
+    return InvalidArgumentError("read beyond end of file");
+  }
+  std::uint64_t pos = offset;
+  std::size_t done = 0;
+  Bytes buffer(bs);
+  while (done < out.size()) {
+    const std::uint64_t block_index = pos / bs;
+    const std::uint32_t in_block = static_cast<std::uint32_t>(pos % bs);
+    std::size_t chunk = std::min<std::size_t>(bs - in_block,
+                                              out.size() - done);
+    if (block_index >= file.blocks_.size()) {
+      // Tail hole (a Truncate extension): no blocks back this range.
+      const std::size_t rest = out.size() - done;
+      std::fill(out.begin() + static_cast<std::ptrdiff_t>(done), out.end(),
+                std::byte{0});
+      done += rest;
+      break;
+    }
+    const std::size_t whole_blocks_left =
+        (std::min<std::size_t>(out.size() - done,
+                               (file.blocks_.size() - block_index) * bs)) /
+        bs;
+    if (in_block == 0 && whole_blocks_left >= 2) {
+      // A run of whole blocks: use LD's multi-block read, which
+      // coalesces physically adjacent blocks into single device I/Os.
+      const std::span<const BlockId> blocks(
+          file.blocks_.data() + block_index, whole_blocks_left);
+      ARU_RETURN_IF_ERROR(disk_.ReadMany(
+          blocks, out.subspan(done, whole_blocks_left * bs)));
+      chunk = whole_blocks_left * bs;
+    } else if (chunk == bs) {
+      ARU_RETURN_IF_ERROR(disk_.Read(file.blocks_[block_index],
+                                     out.subspan(done, chunk)));
+    } else {
+      ARU_RETURN_IF_ERROR(disk_.Read(file.blocks_[block_index], buffer));
+      std::memcpy(out.data() + done, buffer.data() + in_block, chunk);
+    }
+    pos += chunk;
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Status MinixFs::Close(OpenFile& file) {
+  if (!file.dirty_) return Status::Ok();
+  ARU_RETURN_IF_ERROR(PutInode(file.inode_, file.meta_, kNoAru));
+  file.dirty_ = false;
+  return Status::Ok();
+}
+
+Status MinixFs::WriteFile(std::string_view path, ByteSpan data) {
+  if (!Exists(path)) {
+    ARU_RETURN_IF_ERROR(Create(path).status());
+  }
+  ARU_ASSIGN_OR_RETURN(OpenFile file, Open(path));
+  ARU_RETURN_IF_ERROR(WriteAt(file, 0, data));
+  return Close(file);
+}
+
+Result<Bytes> MinixFs::ReadFile(std::string_view path) {
+  ARU_ASSIGN_OR_RETURN(OpenFile file, Open(path));
+  Bytes data(file.size());
+  if (!data.empty()) {
+    ARU_RETURN_IF_ERROR(ReadAt(file, 0, data));
+  }
+  return data;
+}
+
+Status MinixFs::Sync() { return disk_.Flush(); }
+
+}  // namespace aru::minixfs

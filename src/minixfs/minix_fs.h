@@ -1,0 +1,178 @@
+// MinixFS: a Minix-like file system running as a client of the Logical
+// Disk — the paper's "MinixLLD" configuration.
+//
+// All disk management lives below the LD interface; the file system
+// only organizes files. Per the paper's §5.1:
+//  * every file and directory keeps its data on its own LD block list;
+//  * directory and file creation as well as file deletion execute
+//    inside their own ARU (when Policy::use_arus is set), bracketing
+//    the i-node update and the directory-data update so that after a
+//    failure all or none of the meta-data is persistent — no fsck;
+//  * Policy::improved_delete switches file deletion from the classic
+//    Minix truncate order (free data blocks last-to-first, each
+//    requiring an LD predecessor search, then delete the emptied list)
+//    to the improved policy of §5.3 (delete the list wholesale; LD
+//    frees blocks from the head without predecessor searches).
+//
+// The file system is single-threaded, like the paper's Minix. A small
+// write-through block cache stands in for the Minix buffer cache; all
+// ARUs the file system opens are committed (or aborted) before the
+// operation returns, so the cache always holds the file system's own
+// coherent view.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ld/disk.h"
+#include "minixfs/format.h"
+
+namespace aru::minixfs {
+
+struct Policy {
+  // Bracket create/mkdir/unlink/rmdir in BeginARU/EndARU.
+  bool use_arus = true;
+  // Delete files by deleting the whole list (§5.3 "new, delete").
+  bool improved_delete = false;
+  // Block-cache capacity for meta-data blocks (i-nodes, directories).
+  std::size_t cache_blocks = 512;
+};
+
+struct FileStat {
+  InodeType type = InodeType::kFree;
+  std::uint64_t size = 0;
+  InodeNum inode = kNoInode;
+  std::uint16_t links = 0;
+};
+
+// An open file: caches the i-node and the data-block vector so that
+// sequential and random I/O need not re-walk the LD list per call.
+// Handles are invalidated by Unlink/Rename of the same file.
+class OpenFile {
+ public:
+  InodeNum inode() const { return inode_; }
+  std::uint64_t size() const { return meta_.size; }
+
+ private:
+  friend class MinixFs;
+  InodeNum inode_ = kNoInode;
+  Inode meta_;
+  std::vector<ld::BlockId> blocks_;
+  bool dirty_ = false;
+};
+
+class MinixFs {
+ public:
+  // Builds an empty file system. The LD disk must be freshly formatted
+  // (MinixFS claims the first list the disk hands out for its
+  // superblock).
+  static Status Mkfs(ld::Disk& disk);
+
+  static Result<std::unique_ptr<MinixFs>> Mount(ld::Disk& disk,
+                                                Policy policy = {});
+
+  // ------------------------------------------------------------------
+  // Namespace operations (failure-atomic when policy.use_arus).
+
+  Result<InodeNum> Create(std::string_view path);
+  Result<InodeNum> Mkdir(std::string_view path);
+  Status Unlink(std::string_view path);
+  Status Rmdir(std::string_view path);
+  // Moves/renames a file or empty-target rename; one ARU.
+  Status Rename(std::string_view from, std::string_view to);
+  // Creates a second directory entry for an existing file (hard link);
+  // one ARU covering the new entry and the link-count update. Unlink
+  // frees the file's storage only when the last link goes.
+  Status Link(std::string_view existing, std::string_view link_path);
+
+  // Shrinks (or extends with a hole) a file to `size` bytes; one ARU
+  // covering the i-node update and every block de-allocation. Freed
+  // blocks go tail-first (the classic Minix truncate order — each one
+  // costs LD a predecessor search) or, when the whole file goes and
+  // policy.improved_delete is set, via wholesale list deletion.
+  Status Truncate(std::string_view path, std::uint64_t size);
+
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path);
+  Result<FileStat> Stat(std::string_view path);
+  bool Exists(std::string_view path);
+
+  // ------------------------------------------------------------------
+  // File I/O (simple LD operations, like Minix data writes).
+
+  Result<OpenFile> Open(std::string_view path);
+  // Opens directly by i-node number (as a fd-based client would after
+  // Create), skipping path resolution.
+  Result<OpenFile> OpenInode(InodeNum inode);
+  // Writes may extend the file; holes read as zeroes.
+  Status WriteAt(OpenFile& file, std::uint64_t offset, ByteSpan data);
+  Status ReadAt(OpenFile& file, std::uint64_t offset, MutableByteSpan out);
+  // Writes back a dirty i-node (size/mtime). Also called by Sync paths.
+  Status Close(OpenFile& file);
+
+  // Convenience: whole-file write (create if missing) and read.
+  Status WriteFile(std::string_view path, ByteSpan data);
+  Result<Bytes> ReadFile(std::string_view path);
+
+  // Flushes all committed state to persistent storage.
+  Status Sync();
+
+  std::uint32_t block_size() const { return disk_.block_size(); }
+  const Policy& policy() const { return policy_; }
+
+ private:
+  MinixFs(ld::Disk& disk, Policy policy) : disk_(disk), policy_(policy) {}
+
+  // --- block cache (write-through) ---
+  Result<Bytes> ReadBlockCached(ld::BlockId block, ld::AruId aru);
+  Status WriteBlockCached(ld::BlockId block, const Bytes& data,
+                          ld::AruId aru);
+  void CacheEvictIfNeeded();
+  void CacheDrop(ld::BlockId block);
+  void InvalidateCaches();
+
+  // --- i-nodes ---
+  Result<Inode> GetInode(InodeNum inode, ld::AruId aru);
+  Status PutInode(InodeNum inode, const Inode& meta, ld::AruId aru);
+  Result<InodeNum> AllocInode(const Inode& meta, ld::AruId aru);
+
+  // --- directories ---
+  Result<InodeNum> LookupIn(InodeNum dir, std::string_view name,
+                            ld::AruId aru);
+  Status AddEntry(InodeNum dir, std::string_view name, InodeNum target,
+                  ld::AruId aru);
+  Status RemoveEntry(InodeNum dir, std::string_view name, ld::AruId aru);
+
+  struct Resolved {
+    InodeNum parent = kNoInode;
+    std::string name;        // final component
+    InodeNum inode = kNoInode;  // kNoInode if the leaf does not exist
+  };
+  Result<Resolved> Resolve(std::string_view path, ld::AruId aru);
+
+  // --- ARU bracketing ---
+  Result<ld::AruId> BeginOp();
+  Status CommitOp(ld::AruId aru);
+  // Unwinds a failed bracketed operation and returns `error`.
+  Status FailOp(ld::AruId aru, Status error);
+
+  // Frees an i-node and its data blocks per the deletion policy.
+  Status FreeFileStorage(const Inode& meta, ld::AruId aru);
+
+  ld::Disk& disk_;
+  Policy policy_;
+  SuperBlock sb_;
+  std::vector<ld::BlockId> inode_blocks_;  // i-node table, in order
+  std::uint64_t mtime_counter_ = 0;
+  InodeNum alloc_hint_ = 0;
+
+  // LRU write-through cache of meta-data blocks.
+  using CacheList = std::list<std::pair<ld::BlockId, Bytes>>;
+  CacheList cache_lru_;
+  std::unordered_map<ld::BlockId, CacheList::iterator> cache_map_;
+};
+
+}  // namespace aru::minixfs

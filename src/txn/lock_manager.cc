@@ -1,0 +1,78 @@
+#include "txn/lock_manager.h"
+
+#include <string>
+
+namespace aru::txn {
+
+bool LockManager::Compatible(const ResourceState& state, TxnId txn,
+                             LockMode mode) {
+  for (const auto& [holder, held] : state.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockManager::MayWait(const ResourceState& state, TxnId txn,
+                          LockMode mode) {
+  for (const auto& [holder, held] : state.holders) {
+    if (holder == txn) continue;
+    const bool conflicts =
+        mode == LockMode::kExclusive || held == LockMode::kExclusive;
+    // Wait-die: only an older transaction (smaller id) may wait for a
+    // younger holder; a younger requester dies.
+    if (conflicts && holder < txn) return false;
+  }
+  return true;
+}
+
+Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ResourceState& state = resources_[resource];
+
+  // Already held? Upgrade if needed.
+  if (const auto it = state.holders.find(txn); it != state.holders.end()) {
+    if (it->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::Ok();
+    }
+    // Shared → exclusive upgrade: same protocol as a fresh acquire.
+  }
+
+  while (!Compatible(state, txn, mode)) {
+    if (!MayWait(state, txn, mode)) {
+      return FailedPreconditionError(
+          "wait-die: transaction " + std::to_string(txn) +
+          " must abort (conflicting lock held by an older transaction)");
+    }
+    ++state.waiters;
+    released_.wait(lock);
+    --state.waiters;
+  }
+  LockMode& held = state.holders[txn];
+  held = (held == LockMode::kExclusive) ? held : mode;
+  return Status::Ok();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = resources_.begin(); it != resources_.end();) {
+      it->second.holders.erase(txn);
+      if (it->second.holders.empty() && it->second.waiters == 0) {
+        it = resources_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  released_.notify_all();
+}
+
+std::size_t LockManager::LockedResources() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return resources_.size();
+}
+
+}  // namespace aru::txn

@@ -1,0 +1,79 @@
+// Lock manager for the transaction layer: strict two-phase locking on
+// logical-disk resources (blocks and lists), with wait-die deadlock
+// avoidance.
+//
+// ARUs deliberately provide no concurrency control (paper §3: "clients
+// need to define and implement their own locking mechanisms"); this is
+// that client-side mechanism, built the way a database on top of LD
+// would build it.
+//
+// Wait-die: lock requests carry the requesting transaction's birth
+// order. A request that conflicts with locks held by *older*
+// transactions dies immediately (kFailedPrecondition, "wait-die");
+// a request conflicting only with younger holders waits. Older
+// transactions therefore never wait on younger ones and no cycle can
+// form.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "ld/ids.h"
+#include "util/status.h"
+
+namespace aru::txn {
+
+using TxnId = std::uint64_t;
+
+enum class LockMode : std::uint8_t { kShared, kExclusive };
+
+// A lockable resource: a block, a list, or a whole-disk namespace lock
+// (used for id allocation fairness; kind 2).
+struct ResourceId {
+  std::uint8_t kind = 0;  // 0 = block, 1 = list, 2 = namespace
+  std::uint64_t id = 0;
+
+  static ResourceId Block(ld::BlockId block) { return {0, block.value()}; }
+  static ResourceId List(ld::ListId list) { return {1, list.value()}; }
+  static ResourceId Namespace() { return {2, 0}; }
+
+  friend auto operator<=>(const ResourceId&, const ResourceId&) = default;
+};
+
+class LockManager {
+ public:
+  // Acquires (or upgrades to) `mode` on `resource` for `txn`.
+  // Returns kFailedPrecondition when wait-die kills the request; the
+  // caller is expected to abort and retry the whole transaction.
+  Status Acquire(TxnId txn, ResourceId resource, LockMode mode);
+
+  // Releases every lock `txn` holds (commit or abort time — strict 2PL
+  // releases nothing earlier).
+  void ReleaseAll(TxnId txn);
+
+  // Introspection for tests.
+  std::size_t LockedResources() const;
+
+ private:
+  struct ResourceState {
+    std::map<TxnId, LockMode> holders;
+    std::uint64_t waiters = 0;
+  };
+
+  // True if `txn` may take `mode` alongside the current holders.
+  static bool Compatible(const ResourceState& state, TxnId txn,
+                         LockMode mode);
+  // True if every conflicting holder is younger than `txn` (wait is
+  // allowed under wait-die).
+  static bool MayWait(const ResourceState& state, TxnId txn, LockMode mode);
+
+  mutable std::mutex mu_;
+  std::condition_variable released_;
+  std::map<ResourceId, ResourceState> resources_;
+};
+
+}  // namespace aru::txn

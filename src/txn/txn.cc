@@ -1,0 +1,153 @@
+#include "txn/txn.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/log.h"
+
+namespace aru::txn {
+
+Transaction::~Transaction() {
+  if (!finished_) (void)Abort();
+}
+
+Status Transaction::Lock(ResourceId resource, LockMode mode) {
+  return manager_.locks().Acquire(id_, resource, mode);
+}
+
+Status Transaction::Fail(Status status) {
+  poisoned_ = true;
+  return status;
+}
+
+Status Transaction::Read(ld::BlockId block, MutableByteSpan out) {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  ARU_RETURN_IF_ERROR(Lock(ResourceId::Block(block), LockMode::kShared));
+  // Reads in the ARU see this transaction's own shadow versions.
+  if (Status s = manager_.disk().Read(block, out, aru_); !s.ok()) {
+    return Fail(std::move(s));
+  }
+  return Status::Ok();
+}
+
+Status Transaction::Write(ld::BlockId block, ByteSpan data) {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  ARU_RETURN_IF_ERROR(Lock(ResourceId::Block(block), LockMode::kExclusive));
+  if (Status s = manager_.disk().Write(block, data, aru_); !s.ok()) {
+    return Fail(std::move(s));
+  }
+  return Status::Ok();
+}
+
+Result<ld::BlockId> Transaction::NewBlock(ld::ListId list,
+                                          ld::BlockId predecessor) {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  // Structural change: exclusive on the list (covers the predecessor's
+  // successor pointer too, since only list members are touched).
+  ARU_RETURN_IF_ERROR(Lock(ResourceId::List(list), LockMode::kExclusive));
+  auto block = manager_.disk().NewBlock(list, predecessor, aru_);
+  if (!block.ok()) return Fail(block.status());
+  // The new id is ours alone until commit, but lock it so that a later
+  // same-transaction DeleteBlock upgrade path stays uniform.
+  ARU_RETURN_IF_ERROR(Lock(ResourceId::Block(*block), LockMode::kExclusive));
+  return block;
+}
+
+Status Transaction::DeleteBlock(ld::BlockId block) {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  ARU_RETURN_IF_ERROR(Lock(ResourceId::Block(block), LockMode::kExclusive));
+  // Unlinking rewrites the predecessor's successor pointer: the whole
+  // list structure must be locked, not just the block.
+  auto list = manager_.disk().ListOf(block, aru_);
+  if (!list.ok()) return Fail(list.status());
+  if (list->valid()) {
+    ARU_RETURN_IF_ERROR(Lock(ResourceId::List(*list), LockMode::kExclusive));
+  }
+  if (Status s = manager_.disk().DeleteBlock(block, aru_); !s.ok()) {
+    return Fail(std::move(s));
+  }
+  return Status::Ok();
+}
+
+Result<ld::ListId> Transaction::NewList() {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  auto list = manager_.disk().NewList(aru_);
+  if (!list.ok()) return Fail(list.status());
+  ARU_RETURN_IF_ERROR(Lock(ResourceId::List(*list), LockMode::kExclusive));
+  return list;
+}
+
+Status Transaction::DeleteList(ld::ListId list) {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  ARU_RETURN_IF_ERROR(Lock(ResourceId::List(list), LockMode::kExclusive));
+  if (Status s = manager_.disk().DeleteList(list, aru_); !s.ok()) {
+    return Fail(std::move(s));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<ld::BlockId>> Transaction::ListBlocks(ld::ListId list) {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  ARU_RETURN_IF_ERROR(Lock(ResourceId::List(list), LockMode::kShared));
+  auto blocks = manager_.disk().ListBlocks(list, aru_);
+  if (!blocks.ok()) return Fail(blocks.status());
+  return blocks;
+}
+
+Status Transaction::Commit(Durability durability) {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  if (poisoned_) {
+    return FailedPreconditionError(
+        "transaction had a failed operation; Abort() it");
+  }
+  finished_ = true;
+  const Status committed = manager_.disk().EndARU(aru_);
+  manager_.locks().ReleaseAll(id_);
+  ARU_RETURN_IF_ERROR(committed);
+  if (durability == Durability::kFlush) {
+    return manager_.disk().Flush();
+  }
+  return Status::Ok();
+}
+
+Status Transaction::Abort() {
+  if (finished_) return Status::Ok();
+  finished_ = true;
+  const Status aborted = manager_.disk().AbortARU(aru_);
+  manager_.locks().ReleaseAll(id_);
+  return aborted;
+}
+
+Result<std::unique_ptr<Transaction>> TransactionManager::Begin() {
+  ARU_ASSIGN_OR_RETURN(const ld::AruId aru, disk_.BeginARU());
+  const TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Transaction>(new Transaction(*this, id, aru));
+}
+
+Status TransactionManager::RunTransaction(
+    const std::function<Status(Transaction&)>& body, Durability durability,
+    int max_attempts) {
+  Status last;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ARU_ASSIGN_OR_RETURN(auto txn, Begin());
+    Status status = body(*txn);
+    if (status.ok()) {
+      status = txn->Commit(durability);
+      if (status.ok()) return Status::Ok();
+    }
+    (void)txn->Abort();
+    if (status.code() != StatusCode::kFailedPrecondition) {
+      return status;  // a real error, not a wait-die conflict
+    }
+    last = std::move(status);
+    // Back off so a freshly-begun (hence younger, hence wait-die-losing)
+    // retry does not spin itself out of attempts while the conflicting
+    // older transaction finishes.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(50u << std::min(attempt, 8)));
+  }
+  return FailedPreconditionError("transaction retries exhausted: " +
+                                 last.message());
+}
+
+}  // namespace aru::txn

@@ -1,0 +1,107 @@
+// Transactions on top of atomic recovery units.
+//
+// The paper positions ARUs as the disk-level mechanism on which
+// transaction systems can be built directly ("failure atomicity over
+// several disk operations is necessary to efficiently support
+// transaction-based systems as direct disk system clients", §3) while
+// explicitly leaving isolation and durability to the client. This layer
+// supplies exactly those two pieces:
+//
+//   atomicity    = the ARU (BeginARU … EndARU);
+//   isolation    = strict two-phase locking on blocks and lists, with
+//                  wait-die deadlock avoidance (LockManager);
+//   durability   = optional Flush at commit;
+//   consistency  = the client's business, as always.
+//
+// A transaction that loses a wait-die conflict returns kAborted-style
+// kFailedPrecondition from the failing operation; the caller aborts and
+// retries (RunTransaction automates the retry loop).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "ld/disk.h"
+#include "txn/lock_manager.h"
+
+namespace aru::txn {
+
+enum class Durability : std::uint8_t {
+  kNone,   // EndARU only: atomic, may be lost whole (never torn)
+  kFlush,  // EndARU + Flush: atomic and durable at commit return
+};
+
+class TransactionManager;
+
+// One transaction: a lock set + an ARU. Not thread-safe (one thread per
+// transaction); different transactions may run on different threads.
+class Transaction {
+ public:
+  ~Transaction();
+
+  Transaction(Transaction&&) = delete;
+  Transaction& operator=(Transaction&&) = delete;
+
+  TxnId id() const { return id_; }
+
+  // Data operations: take the needed lock, then issue the LD operation
+  // in this transaction's ARU stream.
+  Status Read(ld::BlockId block, MutableByteSpan out);
+  Status Write(ld::BlockId block, ByteSpan data);
+  Result<ld::BlockId> NewBlock(ld::ListId list, ld::BlockId predecessor);
+  Status DeleteBlock(ld::BlockId block);
+  Result<ld::ListId> NewList();
+  Status DeleteList(ld::ListId list);
+  Result<std::vector<ld::BlockId>> ListBlocks(ld::ListId list);
+
+  // Commits the ARU and releases all locks. After an error from any
+  // operation, call Abort() instead (Commit refuses).
+  Status Commit(Durability durability = Durability::kNone);
+  // Discards all effects and releases locks. Idempotent-ish: safe after
+  // failed operations; implied by destruction.
+  Status Abort();
+
+ private:
+  friend class TransactionManager;
+  Transaction(TransactionManager& manager, TxnId id, ld::AruId aru)
+      : manager_(manager), id_(id), aru_(aru) {}
+
+  Status Lock(ResourceId resource, LockMode mode);
+  // Marks the transaction poisoned after a failed op.
+  Status Fail(Status status);
+
+  TransactionManager& manager_;
+  TxnId id_;
+  ld::AruId aru_;
+  bool finished_ = false;
+  bool poisoned_ = false;
+};
+
+class TransactionManager {
+ public:
+  explicit TransactionManager(ld::Disk& disk) : disk_(disk) {}
+
+  // Begins a transaction. The returned object must Commit() or Abort()
+  // before destruction (destruction aborts as a safety net).
+  Result<std::unique_ptr<Transaction>> Begin();
+
+  // Runs `body` in a transaction, retrying on wait-die aborts (with the
+  // transaction freshly begun each attempt). `body` returns OK to
+  // commit; any error aborts. kFailedPrecondition from lock conflicts
+  // triggers a retry up to `max_attempts`.
+  Status RunTransaction(const std::function<Status(Transaction&)>& body,
+                        Durability durability = Durability::kNone,
+                        int max_attempts = 16);
+
+  ld::Disk& disk() { return disk_; }
+  LockManager& locks() { return locks_; }
+
+ private:
+  ld::Disk& disk_;
+  LockManager locks_;
+  std::atomic<TxnId> next_id_{1};
+};
+
+}  // namespace aru::txn

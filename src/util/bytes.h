@@ -1,0 +1,115 @@
+// Byte-buffer helpers: fixed-width little-endian codecs used by the
+// on-disk segment-summary format, plus a checked Decoder cursor.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aru {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+
+inline void PutU16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+}
+
+inline void PutU32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutBytes(Bytes& out, ByteSpan data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+inline std::uint16_t GetU16(ByteSpan in) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(in[0]) |
+                                    (static_cast<std::uint16_t>(in[1]) << 8));
+}
+
+inline std::uint32_t GetU32(ByteSpan in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint64_t GetU64(ByteSpan in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+// A bounds-checked read cursor over an immutable byte span. All reads
+// report kCorruption on underflow, so decoding truncated or damaged
+// summaries degrades into an error instead of undefined behaviour.
+class Decoder {
+ public:
+  explicit Decoder(ByteSpan data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return remaining() == 0; }
+
+  Result<std::uint8_t> ReadU8() {
+    if (remaining() < 1) return Underflow(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  Result<std::uint16_t> ReadU16() {
+    if (remaining() < 2) return Underflow(2);
+    const std::uint16_t v = GetU16(data_.subspan(pos_));
+    pos_ += 2;
+    return v;
+  }
+
+  Result<std::uint32_t> ReadU32() {
+    if (remaining() < 4) return Underflow(4);
+    const std::uint32_t v = GetU32(data_.subspan(pos_));
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::uint64_t> ReadU64() {
+    if (remaining() < 8) return Underflow(8);
+    const std::uint64_t v = GetU64(data_.subspan(pos_));
+    pos_ += 8;
+    return v;
+  }
+
+  Result<ByteSpan> ReadBytes(std::size_t n) {
+    if (remaining() < n) return Underflow(n);
+    ByteSpan v = data_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+ private:
+  Status Underflow(std::size_t need) const {
+    return CorruptionError("decode underflow: need " + std::to_string(need) +
+                           " bytes, have " + std::to_string(remaining()));
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace aru

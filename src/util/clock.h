@@ -1,0 +1,30 @@
+// Virtual time used by the disk service-time model. The simulated disk
+// advances this clock by each request's modeled service time, which lets
+// benchmarks report paper-comparable throughput (MB/s, files/s on a 1996
+// SCSI disk) deterministically and independent of host speed.
+#pragma once
+
+#include <cstdint>
+
+namespace aru {
+
+// Monotone virtual clock with microsecond resolution.
+class VirtualClock {
+ public:
+  std::uint64_t now_us() const { return now_us_; }
+
+  void Advance(std::uint64_t delta_us) { now_us_ += delta_us; }
+
+  // Moves the clock to `t` if `t` is in the future (e.g. the disk arm is
+  // busy until `t`); no-op otherwise.
+  void AdvanceTo(std::uint64_t t_us) {
+    if (t_us > now_us_) now_us_ = t_us;
+  }
+
+  void Reset() { now_us_ = 0; }
+
+ private:
+  std::uint64_t now_us_ = 0;
+};
+
+}  // namespace aru

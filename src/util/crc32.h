@@ -1,0 +1,15 @@
+// CRC-32C (Castagnoli), used to validate segment summaries and
+// checkpoint regions during recovery.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace aru {
+
+// Computes CRC-32C over `data`, seeding with `seed` (pass the result of a
+// previous call to checksum data incrementally).
+std::uint32_t Crc32c(ByteSpan data, std::uint32_t seed = 0);
+
+}  // namespace aru

@@ -1,0 +1,47 @@
+#include "util/log.h"
+
+#include <atomic>
+
+namespace aru {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_output_mutex;
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
+    : level_(level) {
+  stream_ << '[' << LevelName(level) << ' ' << Basename(file) << ':' << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::cerr << stream_.str() << '\n';
+}
+
+}  // namespace internal
+}  // namespace aru

@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr. Off by default above WARNING so
+// tests and benchmarks stay quiet; raise with aru::SetLogLevel.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace aru {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ARU_LOG(level)                                              \
+  if (::aru::LogLevel::level < ::aru::GetLogLevel()) {              \
+  } else                                                            \
+    ::aru::internal::LogMessage(::aru::LogLevel::level, __FILE__,   \
+                                __LINE__)                           \
+        .stream()
+
+}  // namespace aru

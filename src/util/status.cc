@@ -1,0 +1,59 @@
+#include "util/status.h"
+
+namespace aru {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfSpace: return "OUT_OF_SPACE";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgumentError(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+Status NotFoundError(std::string message) {
+  return {StatusCode::kNotFound, std::move(message)};
+}
+Status AlreadyExistsError(std::string message) {
+  return {StatusCode::kAlreadyExists, std::move(message)};
+}
+Status FailedPreconditionError(std::string message) {
+  return {StatusCode::kFailedPrecondition, std::move(message)};
+}
+Status OutOfSpaceError(std::string message) {
+  return {StatusCode::kOutOfSpace, std::move(message)};
+}
+Status IoError(std::string message) {
+  return {StatusCode::kIoError, std::move(message)};
+}
+Status CorruptionError(std::string message) {
+  return {StatusCode::kCorruption, std::move(message)};
+}
+Status UnavailableError(std::string message) {
+  return {StatusCode::kUnavailable, std::move(message)};
+}
+
+}  // namespace aru

@@ -1,0 +1,125 @@
+// Status and Result<T>: explicit, allocation-light error propagation.
+//
+// The disk system reports expected failures (unallocated block, unknown
+// list, out of space, I/O error, corruption) through these types rather
+// than exceptions; exceptions remain reserved for programming errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace aru {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something nonsensical
+  kNotFound,          // block/list/ARU id does not exist
+  kAlreadyExists,     // id already allocated
+  kFailedPrecondition,// operation not legal in current state
+  kOutOfSpace,        // disk full even after cleaning
+  kIoError,           // substrate read/write failed
+  kCorruption,        // on-disk data failed validation
+  kUnavailable,       // device is offline (e.g. simulated power failure)
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no
+// allocation); error path carries a code and a human-readable message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Convenience constructors, mirroring the StatusCode enumerators.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfSpaceError(std::string message);
+Status IoError(std::string message);
+Status CorruptionError(std::string message);
+Status UnavailableError(std::string message);
+
+// Result<T> holds either a T or an error Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from an OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // OK when a value is present
+  std::optional<T> value_;
+};
+
+// Propagate an error Status from an expression producing Status.
+#define ARU_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::aru::Status aru_status_ = (expr);             \
+    if (!aru_status_.ok()) return aru_status_;      \
+  } while (false)
+
+#define ARU_CONCAT_INNER(a, b) a##b
+#define ARU_CONCAT(a, b) ARU_CONCAT_INNER(a, b)
+
+// Assign the value of a Result<T> expression or propagate its error.
+#define ARU_ASSIGN_OR_RETURN(lhs, expr)                          \
+  ARU_ASSIGN_OR_RETURN_IMPL(ARU_CONCAT(aru_result_, __LINE__), lhs, expr)
+
+#define ARU_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace aru

@@ -1,0 +1,190 @@
+// Remaining public-API surface: AruScope RAII semantics, logical
+// capacity enforcement, degenerate cache sizes, ListOf, and threaded
+// churn with the cleaner active.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "minixfs/minix_fs.h"
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::AruId;
+using ld::AruScope;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+TEST(AruScopeTest, CommitPublishes) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  {
+    AruScope aru(*t.disk);
+    ASSERT_OK(aru.status());
+    ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), aru.id()));
+    ASSERT_OK(aru.Commit());
+  }
+  Bytes out(4096);
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 1));
+}
+
+TEST(AruScopeTest, DestructionWithoutCommitAborts) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), kNoAru));
+  {
+    AruScope aru(*t.disk);
+    ASSERT_OK(aru.status());
+    ASSERT_OK(t.disk->Write(block, TestPattern(4096, 2), aru.id()));
+    // No Commit(): the scope aborts.
+  }
+  Bytes out(4096);
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 1));
+  EXPECT_EQ(t.disk->stats().arus_aborted, 1u);
+}
+
+TEST(AruScopeTest, DoubleCommitFails) {
+  TestDisk t;
+  AruScope aru(*t.disk);
+  ASSERT_OK(aru.status());
+  ASSERT_OK(aru.Commit());
+  EXPECT_EQ(aru.Commit().code(), StatusCode::kNotFound);
+}
+
+TEST(CapacityTest, LogicalCapacityEnforced) {
+  lld::Options options = TestDisk::SmallOptions();
+  options.capacity_blocks = 10;
+  options.paranoid_checks = false;
+  TestDisk t(options);
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+  }
+  EXPECT_EQ(t.disk->free_blocks(), 0u);
+  EXPECT_EQ(t.disk->NewBlock(list, pred, kNoAru).status().code(),
+            StatusCode::kOutOfSpace);
+  // Freeing one block makes room again.
+  ASSERT_OK(t.disk->DeleteBlock(pred, kNoAru));
+  ASSERT_OK(t.disk->NewBlock(list, kListHead, kNoAru).status());
+}
+
+TEST(ListOfTest, TracksMembershipPerView) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const ListId of, t.disk->ListOf(block, kNoAru));
+  EXPECT_EQ(of, list);
+
+  // Inside an ARU that deletes the block, ListOf reports not-found;
+  // outside it still reports the list.
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK(t.disk->DeleteBlock(block, aru));
+  EXPECT_EQ(t.disk->ListOf(block, aru).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_OK_AND_ASSIGN(const ListId still, t.disk->ListOf(block, kNoAru));
+  EXPECT_EQ(still, list);
+  ASSERT_OK(t.disk->AbortARU(aru));
+
+  EXPECT_EQ(t.disk->ListOf(BlockId{9999}, kNoAru).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TinyCacheTest, MinixFsCorrectWithTwoBlockCache) {
+  TestDisk t;
+  ASSERT_OK(minixfs::MinixFs::Mkfs(*t.disk));
+  minixfs::Policy policy;
+  policy.cache_blocks = 2;  // constant eviction pressure
+  ASSERT_OK_AND_ASSIGN(auto fs, minixfs::MinixFs::Mount(*t.disk, policy));
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_OK(fs->WriteFile("/f" + std::to_string(i),
+                            Bytes(2000, std::byte{static_cast<unsigned char>(i)})));
+  }
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_OK_AND_ASSIGN(const auto data,
+                         fs->ReadFile("/f" + std::to_string(i)));
+    ASSERT_EQ(data, Bytes(2000, std::byte{static_cast<unsigned char>(i)}));
+  }
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+TEST(TinyCacheTest, LldReadCacheOfOneBlock) {
+  lld::Options options = TestDisk::SmallOptions();
+  options.read_cache_blocks = 1;
+  TestDisk t(options);
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId a, t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b, t.disk->NewBlock(list, a, kNoAru));
+  ASSERT_OK(t.disk->Write(a, TestPattern(4096, 1), kNoAru));
+  ASSERT_OK(t.disk->Write(b, TestPattern(4096, 2), kNoAru));
+  ASSERT_OK(t.disk->Flush());
+  Bytes out(4096);
+  for (int i = 0; i < 10; ++i) {  // ping-pong evicts every time
+    ASSERT_OK(t.disk->Read(a, out, kNoAru));
+    ASSERT_EQ(out, TestPattern(4096, 1));
+    ASSERT_OK(t.disk->Read(b, out, kNoAru));
+    ASSERT_EQ(out, TestPattern(4096, 2));
+  }
+}
+
+TEST(ThreadedCleaningTest, ChurnFromThreadsWithCleanerActive) {
+  lld::Options options = TestDisk::SmallOptions();
+  options.cleaner_reserve_slots = 3;
+  TestDisk t(options, /*sectors=*/6 * 1024 * 1024 / 512);  // tight: 6 MB
+
+  constexpr int kThreads = 4;
+  std::vector<BlockId> blocks(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+    ASSERT_OK_AND_ASSIGN(blocks[static_cast<std::size_t>(i)],
+                         t.disk->NewBlock(list, kListHead, kNoAru));
+  }
+
+  std::atomic<int> failures{0};
+  auto worker = [&](int id) {
+    const BlockId block = blocks[static_cast<std::size_t>(id)];
+    for (std::uint64_t v = 1; v <= 400; ++v) {
+      const Bytes data =
+          TestPattern(4096, static_cast<std::uint64_t>(id) * 10000 + v);
+      const Status wrote = t.disk->Write(block, data, kNoAru);
+      if (!wrote.ok()) {
+        ++failures;
+        return;
+      }
+      Bytes out(4096);
+      if (!t.disk->Read(block, out, kNoAru).ok() || out != data) {
+        ++failures;
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) threads.emplace_back(worker, i);
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(t.disk->stats().cleaner_passes, 0u);
+  ASSERT_OK(t.disk->CheckConsistency());
+
+  // Each thread's final version survives a crash after a flush.
+  ASSERT_OK(t.disk->Flush());
+  t.CrashAndRecover();
+  for (int i = 0; i < kThreads; ++i) {
+    Bytes out(4096);
+    ASSERT_OK(t.disk->Read(blocks[static_cast<std::size_t>(i)], out, kNoAru));
+    EXPECT_EQ(out, TestPattern(4096,
+                               static_cast<std::uint64_t>(i) * 10000 + 400));
+  }
+}
+
+}  // namespace
+}  // namespace aru::testing

@@ -1,0 +1,310 @@
+// Semantics of concurrent atomic recovery units (paper §3): shadow
+// isolation (Read option 3), commit-time visibility, serialization by
+// EndARU time, immediately-committed allocation, and the AbortARU
+// extension.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+class AruSemanticsTest : public ::testing::Test {
+ protected:
+  AruSemanticsTest() : t_() {}
+
+  // A committed single-block list with known contents.
+  void MakeBlock(ListId* list, BlockId* block, std::uint64_t seed) {
+    ASSERT_OK_AND_ASSIGN(*list, t_.disk->NewList(kNoAru));
+    ASSERT_OK_AND_ASSIGN(*block, t_.disk->NewBlock(*list, kListHead, kNoAru));
+    ASSERT_OK(t_.disk->Write(*block, TestPattern(Bs(), seed), kNoAru));
+  }
+
+  std::uint32_t Bs() const { return t_.disk->block_size(); }
+
+  Bytes ReadBlock(BlockId block, AruId aru) {
+    Bytes out(Bs());
+    EXPECT_OK(t_.disk->Read(block, out, aru));
+    return out;
+  }
+
+  TestDisk t_;
+};
+
+TEST_F(AruSemanticsTest, WriteInAruInvisibleToSimpleReads) {
+  ListId list;
+  BlockId block;
+  MakeBlock(&list, &block, 1);
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->Write(block, TestPattern(Bs(), 2), aru));
+
+  // The shadow version is local to the ARU (Read option 3).
+  EXPECT_EQ(ReadBlock(block, kNoAru), TestPattern(Bs(), 1));
+  EXPECT_EQ(ReadBlock(block, aru), TestPattern(Bs(), 2));
+
+  ASSERT_OK(t_.disk->EndARU(aru));
+  EXPECT_EQ(ReadBlock(block, kNoAru), TestPattern(Bs(), 2));
+}
+
+TEST_F(AruSemanticsTest, ShadowStatesOfConcurrentArusAreIsolated) {
+  ListId list;
+  BlockId block;
+  MakeBlock(&list, &block, 1);
+
+  ASSERT_OK_AND_ASSIGN(const AruId a, t_.disk->BeginARU());
+  ASSERT_OK_AND_ASSIGN(const AruId b, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->Write(block, TestPattern(Bs(), 10), a));
+
+  EXPECT_EQ(ReadBlock(block, a), TestPattern(Bs(), 10));
+  EXPECT_EQ(ReadBlock(block, b), TestPattern(Bs(), 1));  // not a's shadow
+  EXPECT_EQ(ReadBlock(block, kNoAru), TestPattern(Bs(), 1));
+
+  ASSERT_OK(t_.disk->EndARU(a));
+  ASSERT_OK(t_.disk->EndARU(b));
+}
+
+TEST_F(AruSemanticsTest, LaterCommitWinsWhenArusWriteSameBlock) {
+  ListId list;
+  BlockId block;
+  MakeBlock(&list, &block, 1);
+
+  ASSERT_OK_AND_ASSIGN(const AruId a, t_.disk->BeginARU());
+  ASSERT_OK_AND_ASSIGN(const AruId b, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->Write(block, TestPattern(Bs(), 10), a));
+  ASSERT_OK(t_.disk->Write(block, TestPattern(Bs(), 20), b));
+
+  // ARUs are serialized by the time of the EndARU operation: b commits
+  // first, then a — a's version is the most recent.
+  ASSERT_OK(t_.disk->EndARU(b));
+  EXPECT_EQ(ReadBlock(block, kNoAru), TestPattern(Bs(), 20));
+  ASSERT_OK(t_.disk->EndARU(a));
+  EXPECT_EQ(ReadBlock(block, kNoAru), TestPattern(Bs(), 10));
+}
+
+TEST_F(AruSemanticsTest, ListOpsInAruInvisibleUntilCommit) {
+  ASSERT_OK_AND_ASSIGN(const ListId list, t_.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t_.disk->NewBlock(list, kListHead, aru));
+
+  // Simple readers see an empty list; the ARU sees its insertion.
+  ASSERT_OK_AND_ASSIGN(const auto outside, t_.disk->ListBlocks(list, kNoAru));
+  EXPECT_TRUE(outside.empty());
+  ASSERT_OK_AND_ASSIGN(const auto inside, t_.disk->ListBlocks(list, aru));
+  ASSERT_EQ(inside.size(), 1u);
+  EXPECT_EQ(inside[0], block);
+
+  ASSERT_OK(t_.disk->EndARU(aru));
+  ASSERT_OK_AND_ASSIGN(const auto after, t_.disk->ListBlocks(list, kNoAru));
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0], block);
+}
+
+TEST_F(AruSemanticsTest, AllocationIsCommittedImmediately) {
+  ASSERT_OK_AND_ASSIGN(const ListId list, t_.disk->NewList(kNoAru));
+  const std::uint64_t free_before = t_.disk->free_blocks();
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->NewBlock(list, kListHead, aru).status());
+
+  // Even before the ARU commits, the id is consumed: the allocation is
+  // done in the merged stream (paper §3.3).
+  EXPECT_EQ(t_.disk->free_blocks(), free_before - 1);
+  ASSERT_OK(t_.disk->EndARU(aru));
+}
+
+TEST_F(AruSemanticsTest, DeleteListInsideAruIsShadowed) {
+  ListId list;
+  BlockId block;
+  MakeBlock(&list, &block, 1);
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->DeleteList(list, aru));
+
+  // Still visible outside; gone inside.
+  ASSERT_OK(t_.disk->ListBlocks(list, kNoAru).status());
+  EXPECT_EQ(t_.disk->ListBlocks(list, aru).status().code(),
+            StatusCode::kNotFound);
+  Bytes scratch(Bs());
+  EXPECT_EQ(t_.disk->Read(block, scratch, aru).code(),
+            StatusCode::kNotFound);
+
+  ASSERT_OK(t_.disk->EndARU(aru));
+  EXPECT_EQ(t_.disk->ListBlocks(list, kNoAru).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AruSemanticsTest, DeleteBlockInsideAruIsShadowed) {
+  ASSERT_OK_AND_ASSIGN(const ListId list, t_.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b1,
+                       t_.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b2, t_.disk->NewBlock(list, b1, kNoAru));
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->DeleteBlock(b2, aru));
+
+  ASSERT_OK_AND_ASSIGN(const auto outside, t_.disk->ListBlocks(list, kNoAru));
+  EXPECT_EQ(outside.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(const auto inside, t_.disk->ListBlocks(list, aru));
+  EXPECT_EQ(inside.size(), 1u);
+
+  ASSERT_OK(t_.disk->EndARU(aru));
+  ASSERT_OK_AND_ASSIGN(const auto after, t_.disk->ListBlocks(list, kNoAru));
+  EXPECT_EQ(after.size(), 1u);
+}
+
+TEST_F(AruSemanticsTest, AbortDiscardsShadowState) {
+  ListId list;
+  BlockId block;
+  MakeBlock(&list, &block, 1);
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->Write(block, TestPattern(Bs(), 99), aru));
+  ASSERT_OK(t_.disk->DeleteList(list, aru));
+  ASSERT_OK(t_.disk->AbortARU(aru));
+
+  EXPECT_EQ(ReadBlock(block, kNoAru), TestPattern(Bs(), 1));
+  ASSERT_OK(t_.disk->ListBlocks(list, kNoAru).status());
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(AruSemanticsTest, AbortReclaimsAllocations) {
+  ASSERT_OK_AND_ASSIGN(const ListId list, t_.disk->NewList(kNoAru));
+  const std::uint64_t free_before = t_.disk->free_blocks();
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->NewBlock(list, kListHead, aru).status());
+  ASSERT_OK(t_.disk->NewList(aru).status());
+  ASSERT_OK(t_.disk->AbortARU(aru));
+
+  EXPECT_EQ(t_.disk->free_blocks(), free_before);
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(AruSemanticsTest, EndUnknownAruFails) {
+  EXPECT_EQ(t_.disk->EndARU(AruId{1234}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(AruSemanticsTest, DoubleEndFails) {
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->EndARU(aru));
+  EXPECT_EQ(t_.disk->EndARU(aru).code(), StatusCode::kNotFound);
+}
+
+TEST_F(AruSemanticsTest, OperationsOnEndedAruFail) {
+  ListId list;
+  BlockId block;
+  MakeBlock(&list, &block, 1);
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->EndARU(aru));
+  EXPECT_EQ(t_.disk->Write(block, TestPattern(Bs(), 2), aru).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AruSemanticsTest, ManyConcurrentArusOnDistinctLists) {
+  constexpr int kArus = 8;
+  std::vector<AruId> arus(kArus);
+  std::vector<ListId> lists(kArus);
+  std::vector<BlockId> blocks(kArus);
+  for (int i = 0; i < kArus; ++i) {
+    ASSERT_OK_AND_ASSIGN(arus[static_cast<std::size_t>(i)],
+                         t_.disk->BeginARU());
+  }
+  for (int i = 0; i < kArus; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    ASSERT_OK_AND_ASSIGN(lists[idx], t_.disk->NewList(arus[idx]));
+    ASSERT_OK_AND_ASSIGN(blocks[idx],
+                         t_.disk->NewBlock(lists[idx], kListHead, arus[idx]));
+    ASSERT_OK(t_.disk->Write(blocks[idx],
+                             TestPattern(Bs(), static_cast<std::uint64_t>(i)),
+                             arus[idx]));
+  }
+  // Commit in reverse order; each ARU's state lands intact.
+  for (int i = kArus - 1; i >= 0; --i) {
+    ASSERT_OK(t_.disk->EndARU(arus[static_cast<std::size_t>(i)]));
+  }
+  for (int i = 0; i < kArus; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(ReadBlock(blocks[idx], kNoAru),
+              TestPattern(Bs(), static_cast<std::uint64_t>(i)));
+  }
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(AruSemanticsTest, EmptyAruCommitsCheaply) {
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+    ASSERT_OK(t_.disk->EndARU(aru));
+  }
+  EXPECT_EQ(t_.disk->stats().arus_committed, 1000u);
+}
+
+// --- Sequential mode (the "old" LLD of Table 1) ---
+
+class SequentialAruTest : public ::testing::Test {
+ protected:
+  SequentialAruTest() : t_(SequentialOptions()) {}
+
+  static lld::Options SequentialOptions() {
+    lld::Options opts = TestDisk::SmallOptions();
+    opts.aru_mode = lld::AruMode::kSequential;
+    return opts;
+  }
+
+  TestDisk t_;
+};
+
+TEST_F(SequentialAruTest, OnlyOneAruAtATime) {
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  EXPECT_EQ(t_.disk->BeginARU().status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_OK(t_.disk->EndARU(aru));
+  ASSERT_OK(t_.disk->BeginARU().status());
+}
+
+TEST_F(SequentialAruTest, AbortUnsupported) {
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  EXPECT_EQ(t_.disk->AbortARU(aru).code(), StatusCode::kFailedPrecondition);
+  ASSERT_OK(t_.disk->EndARU(aru));
+}
+
+TEST_F(SequentialAruTest, AruOpsApplyDirectly) {
+  ASSERT_OK_AND_ASSIGN(const ListId list, t_.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t_.disk->NewBlock(list, kListHead, aru));
+  // No shadow isolation in the old prototype: visible right away.
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t_.disk->ListBlocks(list, kNoAru));
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], block);
+  ASSERT_OK(t_.disk->EndARU(aru));
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(SequentialAruTest, CreateDeleteCycleStaysConsistent) {
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+    ASSERT_OK_AND_ASSIGN(const ListId list, t_.disk->NewList(aru));
+    ASSERT_OK_AND_ASSIGN(const BlockId block,
+                         t_.disk->NewBlock(list, kListHead, aru));
+    ASSERT_OK(t_.disk->Write(block,
+                             TestPattern(t_.disk->block_size(), i), aru));
+    ASSERT_OK(t_.disk->EndARU(aru));
+
+    ASSERT_OK_AND_ASSIGN(const AruId del, t_.disk->BeginARU());
+    ASSERT_OK(t_.disk->DeleteList(list, del));
+    ASSERT_OK(t_.disk->EndARU(del));
+  }
+  ASSERT_OK(t_.disk->CheckConsistency());
+  EXPECT_EQ(t_.disk->free_blocks(), t_.disk->capacity_blocks());
+}
+
+}  // namespace
+}  // namespace aru::testing

@@ -1,0 +1,217 @@
+// Unit tests for the block-device substrate: MemDisk, FileDisk,
+// FaultInjectionDisk, and the HP C3010 service-time model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "blockdev/disk_model.h"
+#include "blockdev/fault_disk.h"
+#include "blockdev/file_disk.h"
+#include "blockdev/mem_disk.h"
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+TEST(MemDiskTest, Geometry) {
+  MemDisk disk(1000, 512);
+  EXPECT_EQ(disk.sector_size(), 512u);
+  EXPECT_EQ(disk.sector_count(), 1000u);
+  EXPECT_EQ(disk.capacity_bytes(), 512000u);
+}
+
+TEST(MemDiskTest, WriteReadRoundTrip) {
+  MemDisk disk(64);
+  const Bytes data = TestPattern(1024, 1);  // 2 sectors
+  ASSERT_OK(disk.Write(10, data));
+  Bytes out(1024);
+  ASSERT_OK(disk.Read(10, out));
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemDiskTest, FreshDiskReadsZeroes) {
+  MemDisk disk(8);
+  Bytes out(512, std::byte{0xff});
+  ASSERT_OK(disk.Read(3, out));
+  EXPECT_EQ(out, Bytes(512));
+}
+
+TEST(MemDiskTest, RangeValidation) {
+  MemDisk disk(8);
+  Bytes buf(512);
+  EXPECT_EQ(disk.Read(8, buf).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.Write(7, Bytes(1024)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.Write(0, Bytes(100)).code(), StatusCode::kInvalidArgument);
+  Bytes empty;
+  EXPECT_EQ(disk.Read(0, empty).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MemDiskTest, StatsCount) {
+  MemDisk disk(16);
+  Bytes buf(1024);
+  ASSERT_OK(disk.Write(0, buf));
+  ASSERT_OK(disk.Read(0, buf));
+  ASSERT_OK(disk.Read(2, buf));
+  ASSERT_OK(disk.Sync());
+  EXPECT_EQ(disk.stats().write_ops, 1u);
+  EXPECT_EQ(disk.stats().sectors_written, 2u);
+  EXPECT_EQ(disk.stats().read_ops, 2u);
+  EXPECT_EQ(disk.stats().sectors_read, 4u);
+  EXPECT_EQ(disk.stats().syncs, 1u);
+}
+
+TEST(MemDiskTest, ImageRoundTrip) {
+  MemDisk disk(16);
+  const Bytes data = TestPattern(512, 3);
+  ASSERT_OK(disk.Write(5, data));
+  auto copy = MemDisk::FromImage(disk.CopyImage());
+  Bytes out(512);
+  ASSERT_OK(copy->Read(5, out));
+  EXPECT_EQ(out, data);
+}
+
+class FileDiskTest : public ::testing::Test {
+ protected:
+  FileDiskTest() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("aru_filedisk_" + std::to_string(::getpid()) + ".img");
+  }
+  ~FileDiskTest() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(FileDiskTest, CreateWriteReopenRead) {
+  {
+    ASSERT_OK_AND_ASSIGN(auto disk,
+                         FileDisk::Create(path_.string(), 128));
+    ASSERT_OK(disk->Write(7, TestPattern(512, 9)));
+    ASSERT_OK(disk->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(auto disk, FileDisk::Open(path_.string()));
+  EXPECT_EQ(disk->sector_count(), 128u);
+  Bytes out(512);
+  ASSERT_OK(disk->Read(7, out));
+  EXPECT_EQ(out, TestPattern(512, 9));
+}
+
+TEST_F(FileDiskTest, OpenMissingFails) {
+  const auto result = FileDisk::Open("/nonexistent/path/disk.img");
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FileDiskTest, FullLldStackOnFileDisk) {
+  // The whole system runs on a file-backed device too.
+  ASSERT_OK_AND_ASSIGN(auto disk,
+                       FileDisk::Create(path_.string(), 32768));
+  lld::Options options = TestDisk::SmallOptions();
+  ASSERT_OK(lld::Lld::Format(*disk, options));
+  ASSERT_OK_AND_ASSIGN(auto lld, lld::Lld::Open(*disk, options));
+  ASSERT_OK_AND_ASSIGN(const auto list, lld->NewList());
+  ASSERT_OK_AND_ASSIGN(const auto block, lld->NewBlock(list, ld::kListHead));
+  ASSERT_OK(lld->Write(block, TestPattern(4096, 4)));
+  ASSERT_OK(lld->Close());
+  lld.reset();
+
+  ASSERT_OK_AND_ASSIGN(auto reopened, lld::Lld::Open(*disk, options));
+  Bytes out(4096);
+  ASSERT_OK(reopened->Read(block, out));
+  EXPECT_EQ(out, TestPattern(4096, 4));
+}
+
+TEST(FaultDiskTest, PowerCutAtExactSector) {
+  FaultInjectionDisk disk(std::make_unique<MemDisk>(64));
+  disk.SchedulePowerCut(4);
+  ASSERT_OK(disk.Write(0, Bytes(2 * 512, std::byte{1})));  // 2 sectors
+  ASSERT_OK(disk.Write(2, Bytes(2 * 512, std::byte{2})));  // 2 more: dead
+  EXPECT_TRUE(disk.dead());
+  Bytes buf(512);
+  EXPECT_EQ(disk.Read(0, buf).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(disk.Write(0, Bytes(512)).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(disk.Sync().code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultDiskTest, PartialWritePersistsPrefixOnly) {
+  auto inner = std::make_unique<MemDisk>(64);
+  auto* mem = inner.get();
+  FaultInjectionDisk disk(std::move(inner));
+  disk.SchedulePowerCut(2, /*tear=*/false);
+  // A 4-sector write: sectors 0-1 persist, 2-3 are lost.
+  EXPECT_EQ(disk.Write(0, Bytes(4 * 512, std::byte{7})).code(),
+            StatusCode::kUnavailable);
+  Bytes out(512);
+  ASSERT_OK(mem->Read(1, out));
+  EXPECT_EQ(out, Bytes(512, std::byte{7}));
+  ASSERT_OK(mem->Read(2, out));
+  EXPECT_EQ(out, Bytes(512));  // never written
+}
+
+TEST(FaultDiskTest, TearGarblesNextSector) {
+  auto inner = std::make_unique<MemDisk>(64);
+  auto* mem = inner.get();
+  FaultInjectionDisk disk(std::move(inner), /*seed=*/1);
+  disk.SchedulePowerCut(1, /*tear=*/true);
+  EXPECT_EQ(disk.Write(0, Bytes(3 * 512, std::byte{7})).code(),
+            StatusCode::kUnavailable);
+  Bytes out(512);
+  ASSERT_OK(mem->Read(1, out));
+  EXPECT_NE(out, Bytes(512));                   // torn garbage
+  EXPECT_NE(out, Bytes(512, std::byte{7}));     // not the payload either
+}
+
+TEST(FaultDiskTest, BadSectorFailsReads) {
+  FaultInjectionDisk disk(std::make_unique<MemDisk>(64));
+  ASSERT_OK(disk.Write(0, Bytes(4 * 512, std::byte{1})));
+  disk.AddBadSector(2);
+  Bytes buf(512);
+  ASSERT_OK(disk.Read(1, buf));
+  EXPECT_EQ(disk.Read(2, buf).code(), StatusCode::kIoError);
+  Bytes big(4 * 512);
+  EXPECT_EQ(disk.Read(0, big).code(), StatusCode::kIoError);  // spans it
+}
+
+TEST(DiskModelTest, SequentialIsCheaperThanSeek) {
+  DiskModel model(DiskModelParams::HpC3010(), 4'000'000);
+  // Position the head, then compare a sequential next request with a
+  // far seek of the same size.
+  (void)model.ServiceUs(0, 256, 512);
+  const std::uint64_t sequential = model.ServiceUs(256, 256, 512);
+  const std::uint64_t far = model.ServiceUs(3'000'000, 256, 512);
+  EXPECT_LT(sequential, far);
+  // Sequential 128 KB at ~2.3 MB/s ≈ 57 ms incl. overhead.
+  EXPECT_GT(sequential, 40'000u);
+  EXPECT_LT(sequential, 80'000u);
+  // Far seek adds ~15-25 ms of seek + rotation.
+  EXPECT_GT(far, sequential + 10'000u);
+}
+
+TEST(DiskModelTest, ModeledDiskAdvancesClock) {
+  VirtualClock clock;
+  auto modeled = std::make_unique<ModeledDisk>(
+      std::make_unique<MemDisk>(65536), DiskModelParams::HpC3010(), &clock);
+  ASSERT_OK(modeled->Write(0, Bytes(1024 * 512)));  // 512 KB segment
+  const std::uint64_t after_write = clock.now_us();
+  EXPECT_GT(after_write, 100'000u);  // >100 ms on a 2.3 MB/s disk
+  Bytes out(512);
+  ASSERT_OK(modeled->Read(1024, out));
+  EXPECT_GT(clock.now_us(), after_write);
+}
+
+TEST(DiskModelTest, ThroughputMatchesEraDisk) {
+  // Writing 10 MB sequentially through the model should take roughly
+  // 10 MB / 2.3 MB/s ≈ 4.3 s of virtual time.
+  VirtualClock clock;
+  ModeledDisk disk(std::make_unique<MemDisk>(65536),
+                   DiskModelParams::HpC3010(), &clock);
+  const Bytes segment(1024 * 512);  // 512 KB
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_OK(disk.Write(i * 1024, segment));
+  }
+  const double seconds = static_cast<double>(clock.now_us()) / 1e6;
+  EXPECT_GT(seconds, 3.5);
+  EXPECT_LT(seconds, 6.0);
+}
+
+}  // namespace
+}  // namespace aru::testing

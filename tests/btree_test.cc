@@ -1,0 +1,204 @@
+// B+tree on LD: functional tests, structural validation after heavy
+// churn, reopen, and — the point of building it — crash atomicity of
+// multi-block structural updates (splits, root growth/collapse).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "btree/btree.h"
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using btree::BTree;
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : t_(TestDisk::SmallOptions(), /*sectors=*/131072) {
+    auto tree = BTree::Create(*t_.disk);
+    EXPECT_OK(tree.status());
+    tree_ = std::move(tree).value();
+  }
+
+  TestDisk t_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_->Get(1).status().code(), StatusCode::kNotFound);
+  ASSERT_OK(tree_->Validate());
+  ASSERT_OK_AND_ASSIGN(const auto stats, tree_->Stats());
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.height, 1u);
+  EXPECT_EQ(stats.nodes, 1u);
+}
+
+TEST_F(BTreeTest, PutGetSingle) {
+  ASSERT_OK(tree_->Put(42, 4200));
+  ASSERT_OK_AND_ASSIGN(const auto value, tree_->Get(42));
+  EXPECT_EQ(value, 4200u);
+  ASSERT_OK(tree_->Validate());
+}
+
+TEST_F(BTreeTest, OverwriteKeepsSingleEntry) {
+  ASSERT_OK(tree_->Put(7, 1));
+  ASSERT_OK(tree_->Put(7, 2));
+  ASSERT_OK_AND_ASSIGN(const auto value, tree_->Get(7));
+  EXPECT_EQ(value, 2u);
+  ASSERT_OK_AND_ASSIGN(const auto stats, tree_->Stats());
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(BTreeTest, SequentialInsertSplitsAndStaysValid) {
+  constexpr std::uint64_t kKeys = 2000;  // forces several splits (254/node)
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_OK(tree_->Put(k, k * 10));
+  }
+  ASSERT_OK(tree_->Validate());
+  ASSERT_OK_AND_ASSIGN(const auto stats, tree_->Stats());
+  EXPECT_EQ(stats.entries, kKeys);
+  EXPECT_GE(stats.height, 2u);
+  EXPECT_GT(stats.splits, 0u);
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_OK_AND_ASSIGN(const auto value, tree_->Get(k));
+    ASSERT_EQ(value, k * 10);
+  }
+}
+
+TEST_F(BTreeTest, RandomChurnMatchesStdMap) {
+  Rng rng(77);
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (int op = 0; op < 6000; ++op) {
+    const std::uint64_t key = rng.Range(1, 900);
+    if (rng.Chance(2, 3)) {
+      const std::uint64_t value = rng.Next();
+      ASSERT_OK(tree_->Put(key, value));
+      model[key] = value;
+    } else {
+      const Status removed = tree_->Remove(key);
+      ASSERT_EQ(removed.ok(), model.erase(key) == 1)
+          << "key " << key << ": " << removed.ToString();
+    }
+  }
+  ASSERT_OK(tree_->Validate());
+  ASSERT_OK_AND_ASSIGN(const auto stats, tree_->Stats());
+  EXPECT_EQ(stats.entries, model.size());
+  for (const auto& [key, value] : model) {
+    ASSERT_OK_AND_ASSIGN(const auto got, tree_->Get(key));
+    ASSERT_EQ(got, value) << "key " << key;
+  }
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(BTreeTest, RemoveEverythingCollapsesTree) {
+  for (std::uint64_t k = 1; k <= 1500; ++k) {
+    ASSERT_OK(tree_->Put(k, k));
+  }
+  for (std::uint64_t k = 1; k <= 1500; ++k) {
+    ASSERT_OK(tree_->Remove(k));
+  }
+  ASSERT_OK(tree_->Validate());
+  ASSERT_OK_AND_ASSIGN(const auto stats, tree_->Stats());
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.height, 1u);
+  EXPECT_EQ(stats.nodes, 1u);  // everything but the root leaf was freed
+  EXPECT_GT(stats.frees, 0u);
+}
+
+TEST_F(BTreeTest, ScanRange) {
+  for (std::uint64_t k = 0; k < 1000; k += 2) {  // even keys only
+    ASSERT_OK(tree_->Put(k, k + 1));
+  }
+  std::vector<std::uint64_t> seen;
+  ASSERT_OK(tree_->Scan(100, 200, [&seen](std::uint64_t key,
+                                          std::uint64_t value) {
+    EXPECT_EQ(value, key + 1);
+    seen.push_back(key);
+  }));
+  ASSERT_EQ(seen.size(), 51u);  // 100, 102, ..., 200
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.front(), 100u);
+  EXPECT_EQ(seen.back(), 200u);
+}
+
+TEST_F(BTreeTest, ReopenFindsEverything) {
+  for (std::uint64_t k = 1; k <= 600; ++k) {
+    ASSERT_OK(tree_->Put(k, k * 3));
+  }
+  const ld::ListId list = tree_->list();
+  ASSERT_OK(t_.disk->Flush());
+  tree_.reset();
+
+  ASSERT_OK_AND_ASSIGN(tree_, BTree::Open(*t_.disk, list));
+  ASSERT_OK(tree_->Validate());
+  ASSERT_OK_AND_ASSIGN(const auto value, tree_->Get(500));
+  EXPECT_EQ(value, 1500u);
+}
+
+TEST_F(BTreeTest, SplitsAreCrashAtomic) {
+  // Fill a leaf to the brink, flush, then insert the key that forces a
+  // split — and crash before the commit can reach disk. Recovery must
+  // restore the pre-split tree exactly.
+  constexpr std::uint64_t kBrink = 254;  // node capacity
+  for (std::uint64_t k = 1; k <= kBrink; ++k) {
+    ASSERT_OK(tree_->Put(k, k));
+  }
+  ASSERT_OK(t_.disk->Flush());
+  ASSERT_OK_AND_ASSIGN(const auto before, tree_->Stats());
+  ASSERT_EQ(before.height, 1u);
+
+  ASSERT_OK(tree_->Put(kBrink + 1, 0));  // split + new root, unflushed
+  ASSERT_OK_AND_ASSIGN(const auto after, tree_->Stats());
+  EXPECT_EQ(after.height, 2u);
+
+  const ld::ListId list = tree_->list();
+  tree_.reset();
+  t_.CrashAndRecover();
+
+  ASSERT_OK_AND_ASSIGN(tree_, BTree::Open(*t_.disk, list));
+  ASSERT_OK(tree_->Validate());
+  ASSERT_OK_AND_ASSIGN(const auto recovered, tree_->Stats());
+  // All-or-nothing: the unflushed split vanished entirely — height,
+  // node count and entries are exactly pre-split.
+  EXPECT_EQ(recovered.height, 1u);
+  EXPECT_EQ(recovered.entries, kBrink);
+  EXPECT_EQ(recovered.nodes, before.nodes);
+  for (std::uint64_t k = 1; k <= kBrink; ++k) {
+    ASSERT_OK(tree_->Get(k).status());
+  }
+  EXPECT_EQ(tree_->Get(kBrink + 1).status().code(), StatusCode::kNotFound);
+  // And the tree keeps working: redo the split.
+  ASSERT_OK(tree_->Put(kBrink + 1, 0));
+  ASSERT_OK(tree_->Validate());
+}
+
+TEST_F(BTreeTest, CrashSweepNeverLeavesHalfASplit) {
+  // Random inserts/removes with periodic flushes; crash at random op
+  // boundaries; after recovery the tree must always validate.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    TestDisk t(TestDisk::SmallOptions(), /*sectors=*/131072);
+    ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(*t.disk));
+    const ld::ListId list = tree->list();
+    Rng rng(seed);
+    const std::uint64_t ops = rng.Range(300, 1200);
+    for (std::uint64_t op = 0; op < ops; ++op) {
+      const std::uint64_t key = rng.Range(1, 500);
+      if (rng.Chance(3, 4)) {
+        ASSERT_OK(tree->Put(key, op));
+      } else {
+        (void)tree->Remove(key);
+      }
+      if (rng.Chance(1, 50)) ASSERT_OK(t.disk->Flush());
+    }
+    tree.reset();
+    t.CrashAndRecover();
+    ASSERT_OK_AND_ASSIGN(tree, BTree::Open(*t.disk, list));
+    ASSERT_OK(tree->Validate());
+    ASSERT_OK(t.disk->CheckConsistency());
+  }
+}
+
+}  // namespace
+}  // namespace aru::testing

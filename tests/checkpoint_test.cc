@@ -1,0 +1,137 @@
+// Checkpoint administration: explicit Checkpoint(), coverage horizons,
+// recovery-time bounding, and the interplay with open ARUs (source
+// relocation).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+TEST(CheckpointTest2, ExplicitCheckpointBoundsRecoveryReplay) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, i), kNoAru));
+  }
+  ASSERT_OK(t.disk->Checkpoint());
+
+  t.CrashAndRecover();
+  // Everything was captured by the checkpoint: no roll-forward needed.
+  EXPECT_EQ(t.disk->recovery_report().segments_replayed, 0u);
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  EXPECT_EQ(blocks.size(), 50u);
+}
+
+TEST(CheckpointTest2, WithoutCheckpointRecoveryReplays) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, i), kNoAru));
+  }
+  ASSERT_OK(t.disk->Flush());
+
+  t.CrashAndRecover();
+  EXPECT_GT(t.disk->recovery_report().segments_replayed, 0u);
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  EXPECT_EQ(blocks.size(), 50u);
+}
+
+TEST(CheckpointTest2, CheckpointWithOpenAruKeepsItsShadowRecoverable) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), kNoAru));
+  ASSERT_OK(t.disk->Flush());
+
+  // Shadow write hits disk, then a checkpoint runs with the ARU open
+  // (relocating the shadow source), then the ARU commits and flushes.
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 2), aru));
+  ASSERT_OK(t.disk->Flush());
+  ASSERT_OK(t.disk->Checkpoint());
+  ASSERT_OK(t.disk->EndARU(aru));
+  ASSERT_OK(t.disk->Flush());
+
+  t.CrashAndRecover();
+  Bytes out(4096);
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 2));
+}
+
+TEST(CheckpointTest2, CheckpointThenUncommittedAruStillUndone) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), kNoAru));
+  ASSERT_OK(t.disk->Flush());
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 2), aru));
+  ASSERT_OK(t.disk->Flush());
+  // The checkpoint relocates the shadow source but must not commit it.
+  ASSERT_OK(t.disk->Checkpoint());
+
+  t.CrashAndRecover();
+  Bytes out(4096);
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 1));  // the ARU never committed
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+TEST(CheckpointTest2, RepeatedCheckpointsAreIdempotent) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK(t.disk->NewBlock(list, kListHead, kNoAru).status());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(t.disk->Checkpoint());
+  }
+  t.CrashAndRecover();
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  EXPECT_EQ(blocks.size(), 1u);
+}
+
+TEST(CheckpointTest2, CloseWritesCheckpointForFastReopen) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+  }
+  ASSERT_OK(t.disk->Close());
+  t.disk.reset();
+  ASSERT_OK_AND_ASSIGN(t.disk, lld::Lld::Open(*t.device, t.options));
+  EXPECT_EQ(t.disk->recovery_report().segments_replayed, 0u);
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  EXPECT_EQ(blocks.size(), 30u);
+}
+
+TEST(CheckpointTest2, CloseAbortsOpenArus) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  const std::uint64_t free_before = t.disk->free_blocks();
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK(t.disk->NewBlock(list, kListHead, aru).status());
+  ASSERT_OK(t.disk->Close());
+  t.disk.reset();
+  ASSERT_OK_AND_ASSIGN(t.disk, lld::Lld::Open(*t.device, t.options));
+  // The allocation was reclaimed by the abort-on-close.
+  EXPECT_EQ(t.disk->free_blocks(), free_before);
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  EXPECT_TRUE(blocks.empty());
+}
+
+}  // namespace
+}  // namespace aru::testing

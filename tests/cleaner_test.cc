@@ -1,0 +1,196 @@
+// Segment-cleaner tests: space reclamation under log churn, state
+// preservation, interaction with checkpoints and crash recovery, and
+// out-of-space behaviour.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+// A deliberately tight disk: 4 MB device, 128 KB segments (~28 usable
+// slots), so overwrites quickly exhaust free slots.
+lld::Options TightOptions() {
+  lld::Options options;
+  options.block_size = 4096;
+  options.segment_size = 128 * 1024;
+  options.cleaner_reserve_slots = 3;
+  return options;
+}
+
+TEST(CleanerTest, OverwriteChurnTriggersCleaningAndPreservesData) {
+  TestDisk t(TightOptions(), /*sectors=*/4 * 1024 * 1024 / 512);
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+
+  // 100 live blocks ≈ 400 KB on a ~3.5 MB data area.
+  std::vector<BlockId> blocks;
+  BlockId pred = kListHead;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    blocks.push_back(pred);
+  }
+
+  // Overwrite them many times over: ~8 MB of writes > the disk size,
+  // so the cleaner must reclaim dead versions.
+  std::uint64_t version = 0;
+  std::vector<std::uint64_t> current(blocks.size());
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      ++version;
+      current[i] = version;
+      ASSERT_OK(t.disk->Write(blocks[i],
+                              TestPattern(t.disk->block_size(), version),
+                              kNoAru));
+    }
+  }
+  EXPECT_GT(t.disk->stats().cleaner_passes, 0u);
+  EXPECT_GT(t.disk->stats().segments_cleaned, 0u);
+
+  // Every block must still hold its newest version.
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    Bytes out(t.disk->block_size());
+    ASSERT_OK(t.disk->Read(blocks[i], out, kNoAru));
+    EXPECT_EQ(out, TestPattern(t.disk->block_size(), current[i]))
+        << "block index " << i;
+  }
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+TEST(CleanerTest, CleanedStateSurvivesCrash) {
+  TestDisk t(TightOptions(), /*sectors=*/4 * 1024 * 1024 / 512);
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  std::vector<BlockId> blocks;
+  BlockId pred = kListHead;
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    blocks.push_back(pred);
+  }
+  for (int round = 0; round < 15; ++round) {
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      ASSERT_OK(t.disk->Write(
+          blocks[i],
+          TestPattern(t.disk->block_size(),
+                      static_cast<std::uint64_t>(round) * 1000 + i),
+          kNoAru));
+    }
+  }
+  ASSERT_OK(t.disk->Flush());
+  EXPECT_GT(t.disk->stats().cleaner_passes, 0u);
+
+  t.CrashAndRecover();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    Bytes out(t.disk->block_size());
+    ASSERT_OK(t.disk->Read(blocks[i], out, kNoAru));
+    EXPECT_EQ(out, TestPattern(t.disk->block_size(), 14000 + i));
+  }
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+TEST(CleanerTest, ExplicitCleanIsSafeOnQuietDisk) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(t.disk->block_size(), 1),
+                          kNoAru));
+  ASSERT_OK(t.disk->Flush());
+  ASSERT_OK(t.disk->Clean());
+  Bytes out(t.disk->block_size());
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(t.disk->block_size(), 1));
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+TEST(CleanerTest, CleanerSkipsShadowReferencedSegments) {
+  // An open ARU holds shadow versions whose data lives in flushed
+  // segments; cleaning must not invalidate them.
+  TestDisk t(TightOptions(), /*sectors=*/4 * 1024 * 1024 / 512);
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK(t.disk->Write(block, TestPattern(t.disk->block_size(), 42), aru));
+  ASSERT_OK(t.disk->Flush());  // the shadow data is now on disk
+
+  // Churn outside the ARU until the cleaner runs.
+  ASSERT_OK_AND_ASSIGN(const ListId churn, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId churn_block,
+                       t.disk->NewBlock(churn, kListHead, kNoAru));
+  for (std::uint64_t i = 0; i < 1500; ++i) {
+    ASSERT_OK(t.disk->Write(churn_block,
+                            TestPattern(t.disk->block_size(), i), kNoAru));
+  }
+  EXPECT_GT(t.disk->stats().cleaner_passes, 0u);
+
+  // The shadow version must still read back intact inside the ARU.
+  Bytes out(t.disk->block_size());
+  ASSERT_OK(t.disk->Read(block, out, aru));
+  EXPECT_EQ(out, TestPattern(t.disk->block_size(), 42));
+  ASSERT_OK(t.disk->EndARU(aru));
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(t.disk->block_size(), 42));
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+TEST(CleanerTest, TrulyFullDiskReportsOutOfSpace) {
+  lld::Options options = TightOptions();
+  TestDisk t(options, /*sectors=*/4 * 1024 * 1024 / 512);
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+
+  // Fill with LIVE data until the disk gives up.
+  Status status;
+  BlockId pred = kListHead;
+  std::uint64_t written = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    auto block = t.disk->NewBlock(list, pred, kNoAru);
+    if (!block.ok()) {
+      status = block.status();
+      break;
+    }
+    pred = *block;
+    const Status write = t.disk->Write(
+        pred, TestPattern(t.disk->block_size(), i), kNoAru);
+    if (!write.ok()) {
+      status = write;
+      break;
+    }
+    ++written;
+  }
+  EXPECT_EQ(status.code(), StatusCode::kOutOfSpace);
+  EXPECT_GT(written, 100u);  // most of the disk was usable
+
+  // The disk must still be readable and consistent after ENOSPC.
+  ASSERT_OK(t.disk->CheckConsistency());
+  Bytes out(t.disk->block_size());
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  ASSERT_OK(t.disk->Read(blocks.front(), out, kNoAru));
+}
+
+TEST(CleanerTest, GreedyPolicyAlsoCorrect) {
+  lld::Options options = TightOptions();
+  options.cleaner_policy = lld::CleanerPolicy::kGreedy;
+  TestDisk t(options, /*sectors=*/4 * 1024 * 1024 / 512);
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_OK(t.disk->Write(block, TestPattern(t.disk->block_size(), i),
+                            kNoAru));
+  }
+  EXPECT_GT(t.disk->stats().cleaner_passes, 0u);
+  Bytes out(t.disk->block_size());
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(t.disk->block_size(), 1999));
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+}  // namespace
+}  // namespace aru::testing

@@ -1,0 +1,359 @@
+// Unit tests for all on-disk codecs: superblock, segment footer,
+// summary records, checkpoints, and the MinixFS formats — round trips
+// plus corruption detection.
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_disk.h"
+#include "lld/checkpoint.h"
+#include "lld/layout.h"
+#include "lld/summary.h"
+#include "minixfs/format.h"
+#include "tests/test_util.h"
+#include "util/crc32.h"
+
+namespace aru::testing {
+namespace {
+
+using lld::Geometry;
+using lld::Options;
+
+Geometry TestGeometry() {
+  MemDisk disk(32768);
+  Options options;
+  options.block_size = 4096;
+  options.segment_size = 128 * 1024;
+  auto geometry = lld::DeriveGeometry(disk, options);
+  EXPECT_TRUE(geometry.ok());
+  return *geometry;
+}
+
+// --- geometry derivation ---
+
+TEST(GeometryTest, DerivesSaneLayout) {
+  const Geometry g = TestGeometry();
+  EXPECT_EQ(g.sector_size, 512u);
+  EXPECT_EQ(g.block_size, 4096u);
+  EXPECT_EQ(g.segment_size, 128u * 1024u);
+  EXPECT_GT(g.slot_count, 8u);
+  EXPECT_GT(g.capacity_blocks, 0u);
+  // Checkpoint regions must not overlap segments.
+  EXPECT_GE(g.data_start_sector,
+            g.checkpoint_b_sector + g.checkpoint_capacity / g.sector_size);
+  // All slots must fit on the device.
+  EXPECT_LE(g.slot_first_sector(g.slot_count - 1) + g.sectors_per_segment(),
+            32768u);
+}
+
+TEST(GeometryTest, RejectsTinyDevice) {
+  MemDisk disk(128);  // 64 KB
+  Options options;
+  EXPECT_FALSE(lld::DeriveGeometry(disk, options).ok());
+}
+
+TEST(GeometryTest, RejectsBadBlockSize) {
+  MemDisk disk(32768);
+  Options options;
+  options.block_size = 1000;  // not a multiple of the sector size
+  EXPECT_FALSE(lld::DeriveGeometry(disk, options).ok());
+  options.block_size = 4096;
+  options.segment_size = 4096;  // must hold at least two blocks
+  EXPECT_FALSE(lld::DeriveGeometry(disk, options).ok());
+}
+
+// --- superblock ---
+
+TEST(SuperblockTest, RoundTrip) {
+  const Geometry g = TestGeometry();
+  const Bytes encoded = lld::EncodeSuperblock(g);
+  ASSERT_EQ(encoded.size(), g.sector_size);
+  ASSERT_OK_AND_ASSIGN(const Geometry decoded, lld::DecodeSuperblock(encoded));
+  EXPECT_EQ(decoded.block_size, g.block_size);
+  EXPECT_EQ(decoded.segment_size, g.segment_size);
+  EXPECT_EQ(decoded.slot_count, g.slot_count);
+  EXPECT_EQ(decoded.capacity_blocks, g.capacity_blocks);
+  EXPECT_EQ(decoded.data_start_sector, g.data_start_sector);
+}
+
+TEST(SuperblockTest, DetectsCorruption) {
+  const Geometry g = TestGeometry();
+  Bytes encoded = lld::EncodeSuperblock(g);
+  encoded[10] ^= std::byte{0xff};
+  EXPECT_EQ(lld::DecodeSuperblock(encoded).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(SuperblockTest, RejectsWrongMagic) {
+  Bytes zeros(512);
+  EXPECT_FALSE(lld::DecodeSuperblock(zeros).ok());
+}
+
+// --- segment footer ---
+
+TEST(FooterTest, RoundTrip) {
+  lld::SegmentFooter footer;
+  footer.seq = 42;
+  footer.last_lsn = 999;
+  footer.summary_len = 1234;
+  footer.record_count = 56;
+  footer.summary_crc = 0xabcdef01;
+  Bytes buf(lld::kFooterSize);
+  lld::EncodeFooter(footer, buf);
+  ASSERT_OK_AND_ASSIGN(const auto decoded, lld::DecodeFooter(buf));
+  EXPECT_EQ(decoded.seq, 42u);
+  EXPECT_EQ(decoded.last_lsn, 999u);
+  EXPECT_EQ(decoded.summary_len, 1234u);
+  EXPECT_EQ(decoded.record_count, 56u);
+  EXPECT_EQ(decoded.summary_crc, 0xabcdef01u);
+}
+
+TEST(FooterTest, DetectsBitFlip) {
+  lld::SegmentFooter footer;
+  footer.seq = 7;
+  Bytes buf(lld::kFooterSize);
+  lld::EncodeFooter(footer, buf);
+  buf[8] ^= std::byte{1};
+  EXPECT_FALSE(lld::DecodeFooter(buf).ok());
+}
+
+TEST(FooterTest, ZeroesAreInvalid) {
+  const Bytes zeros(lld::kFooterSize);
+  EXPECT_FALSE(lld::DecodeFooter(zeros).ok());
+}
+
+// --- summary records ---
+
+TEST(SummaryTest, AllRecordTypesRoundTrip) {
+  using namespace lld;
+  std::vector<Record> records;
+  records.emplace_back(WriteRecord{ld::BlockId{1}, ld::AruId{2}, 3,
+                                   PhysAddr(4, 5)});
+  records.emplace_back(AllocBlockRecord{ld::BlockId{6}, ld::ListId{7},
+                                        ld::AruId{}, 8});
+  records.emplace_back(AllocListRecord{ld::ListId{9}, ld::AruId{10}, 11});
+  records.emplace_back(InsertRecord{ld::ListId{12}, ld::BlockId{13},
+                                    ld::BlockId{}, ld::AruId{14}, 15});
+  records.emplace_back(DeleteBlockRecord{ld::BlockId{16}, ld::AruId{}, 17});
+  records.emplace_back(DeleteListRecord{ld::ListId{18}, ld::AruId{19}, 20});
+  records.emplace_back(CommitRecord{ld::AruId{21}, 22});
+  records.emplace_back(AbortRecord{ld::AruId{23}, 24});
+  records.emplace_back(RewriteRecord{ld::BlockId{25}, 26, 27,
+                                     PhysAddr(28, 29)});
+  records.emplace_back(MoveRecord{ld::ListId{30}, ld::BlockId{31},
+                                  ld::BlockId{32}, ld::AruId{33}, 34});
+
+  Bytes encoded;
+  for (const Record& record : records) {
+    const std::size_t n = EncodeRecord(record, encoded);
+    EXPECT_LE(n, kMaxRecordSize);
+  }
+  ASSERT_OK_AND_ASSIGN(const auto decoded, DecodeSummary(encoded));
+  ASSERT_EQ(decoded.size(), records.size());
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded[i].index(), records[i].index()) << "record " << i;
+    EXPECT_EQ(RecordLsn(decoded[i]), RecordLsn(records[i])) << "record " << i;
+    EXPECT_EQ(RecordAru(decoded[i]), RecordAru(records[i])) << "record " << i;
+  }
+  const auto& write = std::get<WriteRecord>(decoded[0]);
+  EXPECT_EQ(write.block, ld::BlockId{1});
+  EXPECT_EQ(write.phys, PhysAddr(4, 5));
+  const auto& insert = std::get<InsertRecord>(decoded[3]);
+  EXPECT_EQ(insert.pred, ld::kListHead);
+  const auto& rewrite = std::get<RewriteRecord>(decoded[8]);
+  EXPECT_EQ(rewrite.orig_ts, 26u);
+  const auto& move = std::get<MoveRecord>(decoded.back());
+  EXPECT_EQ(move.list, ld::ListId{30});
+  EXPECT_EQ(move.block, ld::BlockId{31});
+  EXPECT_EQ(move.pred, ld::BlockId{32});
+}
+
+TEST(SummaryTest, GarbageIsCorruption) {
+  Bytes garbage(50, std::byte{0xee});
+  EXPECT_EQ(lld::DecodeSummary(garbage).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(SummaryTest, TruncatedRecordIsCorruption) {
+  Bytes encoded;
+  lld::EncodeRecord(lld::CommitRecord{ld::AruId{1}, 2}, encoded);
+  encoded.pop_back();
+  EXPECT_FALSE(lld::DecodeSummary(encoded).ok());
+}
+
+TEST(PhysAddrTest, EncodingInvariants) {
+  const lld::PhysAddr none;
+  EXPECT_FALSE(none.valid());
+  const lld::PhysAddr addr(0, 0);
+  EXPECT_TRUE(addr.valid());  // slot 0 / index 0 is distinct from "none"
+  EXPECT_EQ(addr.slot(), 0u);
+  EXPECT_EQ(addr.index(), 0u);
+  const lld::PhysAddr other(7, 123);
+  EXPECT_EQ(lld::PhysAddr::FromEncoded(other.encoded()), other);
+  EXPECT_NE(addr, other);
+}
+
+// --- checkpoint ---
+
+TEST(CheckpointTest, RoundTripWithTables) {
+  lld::CheckpointData data;
+  data.stamp = 5;
+  data.covered_seq = 17;
+  data.next_lsn = 1000;
+  data.next_block_id = 200;
+  lld::BlockMap blocks;
+  lld::BlockMeta meta;
+  meta.allocated = true;
+  meta.phys = lld::PhysAddr(3, 4);
+  meta.successor = ld::BlockId{12};
+  meta.list = ld::ListId{2};
+  meta.ts = 77;
+  blocks.Set(ld::BlockId{11}, meta);
+  lld::ListTable lists;
+  lld::ListMeta lmeta;
+  lmeta.exists = true;
+  lmeta.first = ld::BlockId{11};
+  lmeta.last = ld::BlockId{12};
+  lists.Set(ld::ListId{2}, lmeta);
+
+  const Bytes encoded = lld::EncodeCheckpoint(data, blocks, lists);
+  lld::CheckpointData out;
+  lld::BlockMap out_blocks;
+  lld::ListTable out_lists;
+  ASSERT_OK(lld::DecodeCheckpoint(encoded, out, out_blocks, out_lists));
+  EXPECT_EQ(out.stamp, 5u);
+  EXPECT_EQ(out.covered_seq, 17u);
+  EXPECT_EQ(out.next_lsn, 1000u);
+  ASSERT_NE(out_blocks.Find(ld::BlockId{11}), nullptr);
+  EXPECT_EQ(out_blocks.Find(ld::BlockId{11})->phys, lld::PhysAddr(3, 4));
+  EXPECT_EQ(out_blocks.Find(ld::BlockId{11})->ts, 77u);
+  ASSERT_NE(out_lists.Find(ld::ListId{2}), nullptr);
+  EXPECT_EQ(out_lists.Find(ld::ListId{2})->first, ld::BlockId{11});
+}
+
+TEST(CheckpointTest, CorruptionDetected) {
+  lld::CheckpointData data;
+  lld::BlockMap blocks;
+  lld::ListTable lists;
+  Bytes encoded = lld::EncodeCheckpoint(data, blocks, lists);
+  encoded[20] ^= std::byte{1};
+  lld::CheckpointData out;
+  EXPECT_EQ(lld::DecodeCheckpoint(encoded, out, blocks, lists).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CheckpointTest, DoubleBufferPicksNewest) {
+  MemDisk device(32768);
+  Options options;
+  options.block_size = 4096;
+  options.segment_size = 128 * 1024;
+  ASSERT_OK_AND_ASSIGN(const Geometry g, lld::DeriveGeometry(device, options));
+
+  lld::BlockMap blocks;
+  lld::ListTable lists;
+  lld::CheckpointData first;
+  first.stamp = 2;  // region A
+  first.next_lsn = 100;
+  ASSERT_OK(lld::WriteCheckpointRegion(device, g, first, blocks, lists));
+  lld::CheckpointData second;
+  second.stamp = 3;  // region B
+  second.next_lsn = 200;
+  ASSERT_OK(lld::WriteCheckpointRegion(device, g, second, blocks, lists));
+
+  lld::CheckpointData out;
+  ASSERT_OK(lld::ReadNewestCheckpoint(device, g, out, blocks, lists));
+  EXPECT_EQ(out.stamp, 3u);
+  EXPECT_EQ(out.next_lsn, 200u);
+}
+
+TEST(CheckpointTest, TornNewerFallsBackToOlder) {
+  MemDisk device(32768);
+  Options options;
+  options.block_size = 4096;
+  options.segment_size = 128 * 1024;
+  ASSERT_OK_AND_ASSIGN(const Geometry g, lld::DeriveGeometry(device, options));
+
+  lld::BlockMap blocks;
+  lld::ListTable lists;
+  lld::CheckpointData old_ckpt;
+  old_ckpt.stamp = 2;
+  old_ckpt.next_lsn = 100;
+  ASSERT_OK(lld::WriteCheckpointRegion(device, g, old_ckpt, blocks, lists));
+  lld::CheckpointData new_ckpt;
+  new_ckpt.stamp = 3;
+  new_ckpt.next_lsn = 200;
+  ASSERT_OK(lld::WriteCheckpointRegion(device, g, new_ckpt, blocks, lists));
+  // Tear region B (stamp 3): scribble over its first sector.
+  ASSERT_OK(device.Write(g.checkpoint_b_sector, Bytes(512, std::byte{0x5a})));
+
+  lld::CheckpointData out;
+  ASSERT_OK(lld::ReadNewestCheckpoint(device, g, out, blocks, lists));
+  EXPECT_EQ(out.stamp, 2u);  // fell back to the intact region A
+}
+
+// --- MinixFS formats ---
+
+TEST(MinixFormatTest, InodeRoundTrip) {
+  minixfs::Inode inode;
+  inode.type = minixfs::InodeType::kDirectory;
+  inode.links = 3;
+  inode.size = 123456;
+  inode.data_list = ld::ListId{42};
+  inode.mtime = 99;
+  Bytes slot(minixfs::kInodeSize);
+  minixfs::EncodeInode(inode, slot);
+  const minixfs::Inode out = minixfs::DecodeInode(slot);
+  EXPECT_EQ(out.type, minixfs::InodeType::kDirectory);
+  EXPECT_EQ(out.links, 3u);
+  EXPECT_EQ(out.size, 123456u);
+  EXPECT_EQ(out.data_list, ld::ListId{42});
+  EXPECT_EQ(out.mtime, 99u);
+}
+
+TEST(MinixFormatTest, DirEntryRoundTrip) {
+  minixfs::DirEntry entry;
+  entry.inode = 0;  // i-node 0 must be distinguishable from "free"
+  entry.name = "README";
+  Bytes slot(minixfs::kDirEntrySize);
+  minixfs::EncodeDirEntry(entry, slot);
+  const minixfs::DirEntry out = minixfs::DecodeDirEntry(slot);
+  EXPECT_EQ(out.inode, 0u);
+  EXPECT_EQ(out.name, "README");
+}
+
+TEST(MinixFormatTest, FreeSlotDecodes) {
+  const Bytes zeros(minixfs::kDirEntrySize);
+  EXPECT_EQ(minixfs::DecodeDirEntry(zeros).inode, minixfs::kNoInode);
+}
+
+TEST(MinixFormatTest, MaxLengthName) {
+  minixfs::DirEntry entry;
+  entry.inode = 5;
+  entry.name = std::string(minixfs::kMaxNameLen, 'x');
+  Bytes slot(minixfs::kDirEntrySize);
+  minixfs::EncodeDirEntry(entry, slot);
+  EXPECT_EQ(minixfs::DecodeDirEntry(slot).name, entry.name);
+}
+
+TEST(MinixFormatTest, SuperBlockRoundTripAndCorruption) {
+  minixfs::SuperBlock sb;
+  sb.inode_list = ld::ListId{2};
+  sb.root = 0;
+  Bytes block = minixfs::EncodeSuperBlock(sb, 4096);
+  ASSERT_EQ(block.size(), 4096u);
+  ASSERT_OK_AND_ASSIGN(const auto out, minixfs::DecodeSuperBlock(block));
+  EXPECT_EQ(out.inode_list, ld::ListId{2});
+  block[3] ^= std::byte{1};
+  EXPECT_FALSE(minixfs::DecodeSuperBlock(block).ok());
+}
+
+TEST(MinixFormatTest, NameValidation) {
+  EXPECT_OK(minixfs::ValidateName("ok-name_1.txt"));
+  EXPECT_FALSE(minixfs::ValidateName("").ok());
+  EXPECT_FALSE(minixfs::ValidateName("a/b").ok());
+  EXPECT_FALSE(minixfs::ValidateName(".").ok());
+  EXPECT_FALSE(minixfs::ValidateName("..").ok());
+  EXPECT_FALSE(minixfs::ValidateName(std::string(56, 'x')).ok());
+}
+
+}  // namespace
+}  // namespace aru::testing

@@ -1,0 +1,246 @@
+// The paper's headline claim, checked with an actual fsck: a file
+// system whose creation/deletion runs in ARUs is consistent after any
+// crash — the checker finds nothing to repair, ever. A model-based
+// sweep runs random FS workloads, crashes at random points (including
+// torn device writes), recovers, and fscks.
+#include <gtest/gtest.h>
+
+#include "blockdev/fault_disk.h"
+#include "minixfs/check.h"
+#include "minixfs/minix_fs.h"
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using minixfs::CheckFileSystem;
+using minixfs::MinixFs;
+using minixfs::Policy;
+
+TEST(FsckTest, FreshFileSystemIsClean) {
+  TestDisk t;
+  ASSERT_OK(MinixFs::Mkfs(*t.disk));
+  ASSERT_OK_AND_ASSIGN(const auto report, CheckFileSystem(*t.disk));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.inodes_in_use, 1u);  // the root
+  EXPECT_EQ(report.directories, 1u);
+}
+
+TEST(FsckTest, PopulatedFileSystemIsClean) {
+  TestDisk t;
+  ASSERT_OK(MinixFs::Mkfs(*t.disk));
+  ASSERT_OK_AND_ASSIGN(auto fs, MinixFs::Mount(*t.disk));
+  ASSERT_OK(fs->Mkdir("/d").status());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(fs->WriteFile("/d/f" + std::to_string(i),
+                            Bytes(5000, std::byte{1})));
+  }
+  ASSERT_OK(fs->Unlink("/d/f3"));
+  ASSERT_OK(fs->Unlink("/d/f7"));
+  ASSERT_OK_AND_ASSIGN(const auto report, CheckFileSystem(*t.disk));
+  EXPECT_TRUE(report.clean()) << report.problems.front();
+  EXPECT_EQ(report.files, 18u);
+  EXPECT_EQ(report.directories, 2u);
+  EXPECT_GE(report.data_blocks, 36u);  // 18 files x 2 blocks
+}
+
+TEST(FsckTest, DetectsDanglingEntry) {
+  // Sanity: the checker is not a rubber stamp. Corrupt a directory
+  // entry by hand and watch it complain.
+  TestDisk t;
+  ASSERT_OK(MinixFs::Mkfs(*t.disk));
+  ASSERT_OK_AND_ASSIGN(auto fs, MinixFs::Mount(*t.disk));
+  ASSERT_OK(fs->Create("/victim").status());
+  fs.reset();
+
+  // Scribble a bogus entry straight into the root directory's block.
+  // Root dir = i-node 0; its data list is discoverable via the checker
+  // machinery, but here we just overwrite the entry's i-node field.
+  ASSERT_OK_AND_ASSIGN(const auto super_blocks,
+                       t.disk->ListBlocks(ld::ListId{1}));
+  Bytes sb_block(t.disk->block_size());
+  ASSERT_OK(t.disk->Read(super_blocks.front(), sb_block));
+  ASSERT_OK_AND_ASSIGN(const auto sb, minixfs::DecodeSuperBlock(sb_block));
+  ASSERT_OK_AND_ASSIGN(const auto inode_blocks,
+                       t.disk->ListBlocks(sb.inode_list));
+  Bytes iblock(t.disk->block_size());
+  ASSERT_OK(t.disk->Read(inode_blocks.front(), iblock));
+  const minixfs::Inode root =
+      minixfs::DecodeInode(ByteSpan(iblock).first(minixfs::kInodeSize));
+  ASSERT_OK_AND_ASSIGN(const auto root_blocks,
+                       t.disk->ListBlocks(root.data_list));
+  Bytes dir_block(t.disk->block_size());
+  ASSERT_OK(t.disk->Read(root_blocks.front(), dir_block));
+  minixfs::DirEntry bogus;
+  bogus.inode = 55;  // far beyond any allocated i-node
+  bogus.name = "ghost";
+  minixfs::EncodeDirEntry(
+      bogus, MutableByteSpan(dir_block)
+                 .subspan(minixfs::kDirEntrySize, minixfs::kDirEntrySize));
+  ASSERT_OK(t.disk->Write(root_blocks.front(), dir_block));
+
+  ASSERT_OK_AND_ASSIGN(const auto report, CheckFileSystem(*t.disk));
+  EXPECT_FALSE(report.clean());
+}
+
+// --- the crash sweep ---
+
+struct SweepParams {
+  std::uint64_t seed = 1;
+  bool use_arus = true;
+  bool improved_delete = false;
+  bool torn = false;
+};
+
+void RunFsckSweep(const SweepParams& params, bool expect_clean) {
+  auto inner = std::make_unique<MemDisk>(TestDisk::kDefaultSectors);
+  auto* mem = inner.get();
+  FaultInjectionDisk device(std::move(inner), params.seed);
+
+  lld::Options options;
+  options.block_size = 4096;
+  options.segment_size = 64 * 1024;
+  ASSERT_OK(lld::Lld::Format(device, options));
+  {
+    auto opened = lld::Lld::Open(device, options);
+    ASSERT_OK(opened.status());
+    ASSERT_OK(MinixFs::Mkfs(**opened));
+    Policy policy;
+    policy.use_arus = params.use_arus;
+    policy.improved_delete = params.improved_delete;
+    auto fs = MinixFs::Mount(**opened, policy);
+    ASSERT_OK(fs.status());
+
+    if (params.torn) {
+      device.SchedulePowerCut(500 + (params.seed * 977) % 3000,
+                              /*tear=*/true);
+    }
+
+    // Random namespace churn until the op budget or the power runs out.
+    Rng rng(params.seed);
+    std::vector<std::string> live;
+    for (int op = 0; op < 120; ++op) {
+      Status status;
+      const std::uint64_t roll = rng.Below(100);
+      if (roll < 45 || live.empty()) {
+        const std::string path = "/f" + std::to_string(op);
+        auto created = (*fs)->Create(path);
+        status = created.status();
+        if (status.ok()) {
+          live.push_back(path);
+          Bytes payload(rng.Range(100, 9000), std::byte{9});
+          auto file = (*fs)->OpenInode(*created);
+          if (file.ok()) {
+            status = (*fs)->WriteAt(*file, 0, payload);
+            if (status.ok()) status = (*fs)->Close(*file);
+          }
+        }
+      } else if (roll < 75) {
+        const std::size_t pick = rng.Below(live.size());
+        status = (*fs)->Unlink(live[pick]);
+        if (status.ok()) {
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+      } else if (roll < 90) {
+        status = (*fs)->Mkdir("/dir" + std::to_string(op)).status();
+      } else {
+        status = (*fs)->Sync();
+      }
+      if (!status.ok()) {
+        ASSERT_EQ(status.code(), StatusCode::kUnavailable)
+            << status.ToString();
+        break;  // the power failed
+      }
+    }
+    // Crash here (no Sync, no Close).
+  }
+
+  auto survivor = MemDisk::FromImage(mem->CopyImage());
+  auto recovered = lld::Lld::Open(*survivor, options);
+  ASSERT_OK(recovered.status());
+  ASSERT_OK_AND_ASSIGN(const auto report, CheckFileSystem(**recovered));
+  if (expect_clean) {
+    EXPECT_TRUE(report.clean())
+        << "seed " << params.seed << ": " << report.problems.size()
+        << " problems, first: " << report.problems.front();
+  }
+  // Either way, the disk itself must be consistent.
+  ASSERT_OK((*recovered)->CheckConsistency());
+}
+
+TEST(FsckTest, CrashSweepWithArusAlwaysClean) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SweepParams params;
+    params.seed = seed;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunFsckSweep(params, /*expect_clean=*/true);
+  }
+}
+
+TEST(FsckTest, CrashSweepWithArusImprovedDeleteAlwaysClean) {
+  for (std::uint64_t seed = 40; seed <= 52; ++seed) {
+    SweepParams params;
+    params.seed = seed;
+    params.improved_delete = true;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunFsckSweep(params, /*expect_clean=*/true);
+  }
+}
+
+TEST(FsckTest, TornCrashSweepWithArusAlwaysClean) {
+  for (std::uint64_t seed = 60; seed <= 80; ++seed) {
+    SweepParams params;
+    params.seed = seed;
+    params.torn = true;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunFsckSweep(params, /*expect_clean=*/true);
+  }
+}
+
+TEST(FsckTest, WithoutArusCrashesCanDirtyTheFileSystem) {
+  // The contrast case. Without ARUs, some crash points strand
+  // half-done creates/deletes. We don't assert dirt on any particular
+  // seed (timing-dependent); we only require that the sweep never
+  // breaks LLD itself, and we count how often fsck would have had work.
+  int dirty = 0;
+  for (std::uint64_t seed = 100; seed <= 120; ++seed) {
+    SweepParams params;
+    params.seed = seed;
+    params.use_arus = false;
+    params.torn = true;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    auto inner = std::make_unique<MemDisk>(TestDisk::kDefaultSectors);
+    auto* mem = inner.get();
+    FaultInjectionDisk device(std::move(inner), seed);
+    lld::Options options;
+    options.block_size = 4096;
+    options.segment_size = 64 * 1024;
+    ASSERT_OK(lld::Lld::Format(device, options));
+    {
+      auto opened = lld::Lld::Open(device, options);
+      ASSERT_OK(opened.status());
+      ASSERT_OK(MinixFs::Mkfs(**opened));
+      auto fs = MinixFs::Mount(**opened, Policy{.use_arus = false});
+      ASSERT_OK(fs.status());
+      device.SchedulePowerCut(300 + (seed * 577) % 1500, true);
+      for (int op = 0; op < 200; ++op) {
+        const Status status =
+            (*fs)->Create("/x" + std::to_string(op)).status();
+        if (!status.ok()) break;
+      }
+    }
+    auto survivor = MemDisk::FromImage(mem->CopyImage());
+    auto recovered = lld::Lld::Open(*survivor, options);
+    ASSERT_OK(recovered.status());
+    ASSERT_OK((*recovered)->CheckConsistency());
+    auto report = CheckFileSystem(**recovered);
+    ASSERT_OK(report.status());
+    if (!report->clean()) ++dirty;
+  }
+  // Informational: at least LLD survived everything.
+  SUCCEED() << dirty << " of 21 non-ARU crashes left fsck work";
+}
+
+}  // namespace
+}  // namespace aru::testing

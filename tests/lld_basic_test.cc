@@ -1,0 +1,267 @@
+// Basic LLD behaviour: format/open, allocation, list structure,
+// read/write, flush durability, reopen.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+TEST(LldBasic, FormatAndOpenEmpty) {
+  TestDisk t;
+  EXPECT_EQ(t.disk->block_size(), 4096u);
+  EXPECT_GT(t.disk->capacity_blocks(), 0u);
+  EXPECT_EQ(t.disk->free_blocks(), t.disk->capacity_blocks());
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+TEST(LldBasic, OpenUnformattedDeviceFails) {
+  MemDisk device(TestDisk::kDefaultSectors);
+  auto opened = lld::Lld::Open(device, TestDisk::SmallOptions());
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LldBasic, NewListStartsEmpty) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  EXPECT_TRUE(blocks.empty());
+}
+
+TEST(LldBasic, ListBlocksOfUnknownListFails) {
+  TestDisk t;
+  const auto result = t.disk->ListBlocks(ListId{42}, kNoAru);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(LldBasic, NewBlockAtHead) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b1,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b2,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], b2);  // most recent head insertion first
+  EXPECT_EQ(blocks[1], b1);
+}
+
+TEST(LldBasic, NewBlockAfterPredecessor) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b1,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b2, t.disk->NewBlock(list, b1, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b3, t.disk->NewBlock(list, b1, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], b1);
+  EXPECT_EQ(blocks[1], b3);  // inserted after b1, most recently
+  EXPECT_EQ(blocks[2], b2);
+}
+
+TEST(LldBasic, NewBlockWithForeignPredecessorFails) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId l1, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const ListId l2, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b1,
+                       t.disk->NewBlock(l1, kListHead, kNoAru));
+  const auto result = t.disk->NewBlock(l2, b1, kNoAru);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LldBasic, UnwrittenBlockReadsAsZeroes) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  Bytes out(t.disk->block_size(), std::byte{0xff});
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, Bytes(t.disk->block_size()));
+}
+
+TEST(LldBasic, WriteThenReadBack) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  const Bytes data = TestPattern(t.disk->block_size(), 1);
+  ASSERT_OK(t.disk->Write(block, data, kNoAru));
+  Bytes out(t.disk->block_size());
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, data);
+}
+
+TEST(LldBasic, OverwriteReturnsNewestData) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(t.disk->block_size(), 1), kNoAru));
+  const Bytes newer = TestPattern(t.disk->block_size(), 2);
+  ASSERT_OK(t.disk->Write(block, newer, kNoAru));
+  Bytes out(t.disk->block_size());
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, newer);
+}
+
+TEST(LldBasic, ReadAfterFlushComesFromDisk) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  const Bytes data = TestPattern(t.disk->block_size(), 7);
+  ASSERT_OK(t.disk->Write(block, data, kNoAru));
+  ASSERT_OK(t.disk->Flush());
+  Bytes out(t.disk->block_size());
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, data);
+}
+
+TEST(LldBasic, WrongWriteSizeRejected) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  Bytes tiny(16);
+  EXPECT_EQ(t.disk->Write(block, tiny, kNoAru).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LldBasic, DeleteBlockUnlinksAndFrees) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b1,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b2, t.disk->NewBlock(list, b1, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b3, t.disk->NewBlock(list, b2, kNoAru));
+  const std::uint64_t free_before = t.disk->free_blocks();
+
+  ASSERT_OK(t.disk->DeleteBlock(b2, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], b1);
+  EXPECT_EQ(blocks[1], b3);
+  EXPECT_EQ(t.disk->free_blocks(), free_before + 1);
+
+  Bytes out(t.disk->block_size());
+  EXPECT_EQ(t.disk->Read(b2, out, kNoAru).code(), StatusCode::kNotFound);
+}
+
+TEST(LldBasic, DeleteHeadAndTailBlocks) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b1,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b2, t.disk->NewBlock(list, b1, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b3, t.disk->NewBlock(list, b2, kNoAru));
+
+  ASSERT_OK(t.disk->DeleteBlock(b1, kNoAru));  // head
+  ASSERT_OK(t.disk->DeleteBlock(b3, kNoAru));  // tail
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], b2);
+
+  ASSERT_OK(t.disk->DeleteBlock(b2, kNoAru));  // only element
+  ASSERT_OK_AND_ASSIGN(const auto empty, t.disk->ListBlocks(list, kNoAru));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(LldBasic, DeleteListFreesAllBlocks) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = ld::kListHead;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+  }
+  const std::uint64_t free_before = t.disk->free_blocks();
+  ASSERT_OK(t.disk->DeleteList(list, kNoAru));
+  EXPECT_EQ(t.disk->free_blocks(), free_before + 5);
+  EXPECT_EQ(t.disk->ListBlocks(list, kNoAru).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LldBasic, DeleteBlockTwiceFails) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->DeleteBlock(block, kNoAru));
+  EXPECT_EQ(t.disk->DeleteBlock(block, kNoAru).code(), StatusCode::kNotFound);
+}
+
+TEST(LldBasic, BlockIdsAreNeverReused) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b1,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->DeleteBlock(b1, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId b2,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  EXPECT_NE(b1, b2);
+}
+
+TEST(LldBasic, StatePersistsAcrossCleanReopen) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  const Bytes data = TestPattern(t.disk->block_size(), 3);
+  ASSERT_OK(t.disk->Write(block, data, kNoAru));
+  ASSERT_OK(t.disk->Close());
+  t.disk.reset();
+
+  ASSERT_OK_AND_ASSIGN(t.disk, lld::Lld::Open(*t.device, t.options));
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], block);
+  Bytes out(t.disk->block_size());
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, data);
+}
+
+TEST(LldBasic, ManyBlocksSpanningSegments) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  // 128 KB segments hold ~31 4 KB blocks; write 100 to force several
+  // segment seals.
+  std::vector<BlockId> blocks;
+  BlockId pred = ld::kListHead;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(t.disk->block_size(), i),
+                            kNoAru));
+    blocks.push_back(pred);
+  }
+  EXPECT_GT(t.disk->stats().segments_written, 2u);
+  for (std::uint64_t i = 0; i < blocks.size(); ++i) {
+    Bytes out(t.disk->block_size());
+    ASSERT_OK(t.disk->Read(blocks[i], out, kNoAru));
+    EXPECT_EQ(out, TestPattern(t.disk->block_size(), i)) << "block " << i;
+  }
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+TEST(LldBasic, ListCountLimitEnforced) {
+  lld::Options opts = TestDisk::SmallOptions();
+  opts.max_lists = 3;
+  TestDisk t(opts);
+  ASSERT_OK(t.disk->NewList(kNoAru).status());
+  ASSERT_OK(t.disk->NewList(kNoAru).status());
+  ASSERT_OK(t.disk->NewList(kNoAru).status());
+  EXPECT_EQ(t.disk->NewList(kNoAru).status().code(),
+            StatusCode::kOutOfSpace);
+}
+
+}  // namespace
+}  // namespace aru::testing

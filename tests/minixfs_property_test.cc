@@ -1,0 +1,309 @@
+// Model-based MinixFS property test: a random mix of namespace and
+// file I/O operations runs against the file system and an in-memory
+// reference model; every operation must succeed/fail identically in
+// both, and the full observable state (directory tree + file contents)
+// must match at the end — including after a clean sync + crash +
+// remount cycle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <optional>
+#include <string>
+
+#include "minixfs/check.h"
+#include "minixfs/minix_fs.h"
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using minixfs::MinixFs;
+using minixfs::Policy;
+
+// The reference model: a tree of directories and files.
+struct ModelNode {
+  bool is_dir = false;
+  Bytes content;                          // files
+  std::map<std::string, ModelNode> kids;  // directories
+};
+
+class FsModel {
+ public:
+  FsModel() { root_.is_dir = true; }
+
+  // Splits "/a/b/c" into components; empty for "/".
+  static std::vector<std::string> Split(const std::string& path) {
+    std::vector<std::string> parts;
+    std::size_t at = 1;
+    while (at < path.size()) {
+      const std::size_t slash = path.find('/', at);
+      const std::size_t end = slash == std::string::npos ? path.size() : slash;
+      if (end > at) parts.push_back(path.substr(at, end - at));
+      at = end + 1;
+    }
+    return parts;
+  }
+
+  ModelNode* Find(const std::string& path) {
+    ModelNode* node = &root_;
+    for (const std::string& part : Split(path)) {
+      if (!node->is_dir) return nullptr;
+      const auto it = node->kids.find(part);
+      if (it == node->kids.end()) return nullptr;
+      node = &it->second;
+    }
+    return node;
+  }
+
+  ModelNode* Parent(const std::string& path) {
+    const auto parts = Split(path);
+    if (parts.empty()) return nullptr;
+    ModelNode* node = &root_;
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+      if (!node->is_dir) return nullptr;
+      const auto it = node->kids.find(parts[i]);
+      if (it == node->kids.end()) return nullptr;
+      node = &it->second;
+    }
+    return node->is_dir ? node : nullptr;
+  }
+
+  static std::string Leaf(const std::string& path) {
+    const auto parts = Split(path);
+    return parts.empty() ? "" : parts.back();
+  }
+
+  ModelNode root_;
+};
+
+class FsPropertyRunner {
+ public:
+  FsPropertyRunner(MinixFs& fs, std::uint64_t seed) : fs_(fs), rng_(seed) {}
+
+  void Step() {
+    const std::uint64_t roll = rng_.Below(100);
+    if (roll < 30) {
+      DoCreateOrWrite();
+    } else if (roll < 45) {
+      DoMkdir();
+    } else if (roll < 65) {
+      DoUnlink();
+    } else if (roll < 72) {
+      DoRmdir();
+    } else if (roll < 80) {
+      DoRename();
+    } else if (roll < 86) {
+      DoLink();
+    } else {
+      DoVerifyOne();
+    }
+  }
+
+  const ModelNode& root() const { return model_.root_; }
+  const std::set<std::string>& linked() const { return linked_; }
+
+ private:
+  std::string RandomPath(bool prefer_existing) {
+    // Paths drawn from a small namespace so collisions and nesting
+    // happen often.
+    std::string path;
+    const std::uint64_t depth = rng_.Range(1, 3);
+    for (std::uint64_t i = 0; i < depth; ++i) {
+      path += "/n" + std::to_string(rng_.Below(prefer_existing ? 6 : 10));
+    }
+    return path;
+  }
+
+  void DoCreateOrWrite() {
+    const std::string path = RandomPath(false);
+    Bytes payload(rng_.Range(0, 9000));
+    for (auto& b : payload) b = static_cast<std::byte>(rng_.Next() & 0xff);
+
+    ModelNode* parent = model_.Parent(path);
+    ModelNode* existing = model_.Find(path);
+    const bool model_ok =
+        parent != nullptr && (existing == nullptr || !existing->is_dir);
+    const Status status = fs_.WriteFile(path, payload);
+    ASSERT_EQ(status.ok(), model_ok) << path << ": " << status.ToString();
+    if (model_ok) {
+      ModelNode& node = parent->kids[FsModel::Leaf(path)];
+      node.is_dir = false;
+      // WriteFile overwrites from offset 0 but never shrinks.
+      if (payload.size() >= node.content.size()) {
+        node.content = std::move(payload);
+      } else {
+        std::copy(payload.begin(), payload.end(), node.content.begin());
+      }
+    }
+  }
+
+  void DoMkdir() {
+    const std::string path = RandomPath(false);
+    ModelNode* parent = model_.Parent(path);
+    const bool model_ok =
+        parent != nullptr && !parent->kids.contains(FsModel::Leaf(path));
+    const Status status = fs_.Mkdir(path).status();
+    ASSERT_EQ(status.ok(), model_ok) << path << ": " << status.ToString();
+    if (model_ok) parent->kids[FsModel::Leaf(path)].is_dir = true;
+  }
+
+  void DoUnlink() {
+    const std::string path = RandomPath(true);
+    ModelNode* node = model_.Find(path);
+    const bool model_ok = node != nullptr && !node->is_dir;
+    const Status status = fs_.Unlink(path);
+    ASSERT_EQ(status.ok(), model_ok) << path << ": " << status.ToString();
+    if (model_ok) model_.Parent(path)->kids.erase(FsModel::Leaf(path));
+  }
+
+  void DoRmdir() {
+    const std::string path = RandomPath(true);
+    ModelNode* node = model_.Find(path);
+    const bool model_ok =
+        node != nullptr && node != &model_.root_ && node->is_dir &&
+        node->kids.empty();
+    const Status status = fs_.Rmdir(path);
+    ASSERT_EQ(status.ok(), model_ok) << path << ": " << status.ToString();
+    if (model_ok) model_.Parent(path)->kids.erase(FsModel::Leaf(path));
+  }
+
+  void DoRename() {
+    const std::string from = RandomPath(true);
+    const std::string to = RandomPath(false);
+    ModelNode* src = model_.Find(from);
+    ModelNode* dst_parent = model_.Parent(to);
+    // Reject self-moves and moves into one's own subtree (the model
+    // keeps it simple; MinixFS's Rename has the same structure since
+    // directories cannot be renamed onto existing names).
+    bool model_ok = src != nullptr && src != &model_.root_ &&
+                    dst_parent != nullptr &&
+                    model_.Find(to) == nullptr && from != to;
+    // Renaming a node under its own subtree is rejected by the file
+    // system (it would disconnect the subtree from the root).
+    if (to.size() > from.size() && to.compare(0, from.size(), from) == 0 &&
+        to[from.size()] == '/') {
+      model_ok = false;
+    }
+    const Status status = fs_.Rename(from, to);
+    ASSERT_EQ(status.ok(), model_ok)
+        << from << " -> " << to << ": " << status.ToString();
+    if (model_ok) {
+      ModelNode moved = std::move(*src);
+      model_.Parent(from)->kids.erase(FsModel::Leaf(from));
+      model_.Parent(to)->kids[FsModel::Leaf(to)] = std::move(moved);
+    }
+  }
+
+  void DoLink() {
+    const std::string from = RandomPath(true);
+    const std::string to = RandomPath(false);
+    ModelNode* src = model_.Find(from);
+    ModelNode* dst_parent = model_.Parent(to);
+    const bool model_ok = src != nullptr && !src->is_dir &&
+                          dst_parent != nullptr &&
+                          model_.Find(to) == nullptr && from != to;
+    const Status status = fs_.Link(from, to);
+    ASSERT_EQ(status.ok(), model_ok)
+        << from << " -> " << to << ": " << status.ToString();
+    if (model_ok) {
+      // The model copies content; true aliasing is checked separately
+      // in LinkTest. Subsequent whole-file writes diverge only in
+      // aliasing, so the property runner never rewrites linked files:
+      // easiest is to model the link as a snapshot copy and accept
+      // that WriteFile-to-one-alias would diverge — exclude by never
+      // generating a write to a path that is a link target. To keep
+      // the generator simple we instead copy and tolerate: writes via
+      // either name update both in the FS but only one in the model.
+      // => Use content-equality at link time and delete the other name
+      //    from the write candidates by copying content now.
+      dst_parent->kids[FsModel::Leaf(to)] = *src;
+      linked_.insert(from);
+      linked_.insert(to);
+    }
+  }
+
+  void DoVerifyOne() {
+    const std::string path = RandomPath(true);
+    ModelNode* node = model_.Find(path);
+    if (node == nullptr || node->is_dir) {
+      EXPECT_EQ(fs_.ReadFile(path).ok(), false) << path;
+      return;
+    }
+    if (linked_.contains(path)) return;  // aliased: see DoLink comment
+    auto data = fs_.ReadFile(path);
+    ASSERT_OK(data.status());
+    EXPECT_EQ(*data, node->content) << path;
+  }
+
+  MinixFs& fs_;
+  Rng rng_;
+  FsModel model_;
+  std::set<std::string> linked_;
+};
+
+// Walks the model tree and checks the file system agrees exactly
+// (entry sets, types, and — for unaliased files — contents).
+void VerifyDir(MinixFs& fs, const std::string& path, const ModelNode& node,
+               const std::set<std::string>& linked) {
+  auto entries = fs.ReadDir(path);
+  ASSERT_OK(entries.status());
+  ASSERT_EQ(entries->size(), node.kids.size()) << path;
+  for (const auto& [name, kid] : node.kids) {
+    const std::string kid_path = path == "/" ? "/" + name : path + "/" + name;
+    auto stat = fs.Stat(kid_path);
+    ASSERT_OK(stat.status());
+    EXPECT_EQ(stat->type == minixfs::InodeType::kDirectory, kid.is_dir)
+        << kid_path;
+    if (kid.is_dir) {
+      VerifyDir(fs, kid_path, kid, linked);
+      if (::testing::Test::HasFatalFailure()) return;
+    } else if (!linked.contains(kid_path)) {
+      auto data = fs.ReadFile(kid_path);
+      ASSERT_OK(data.status());
+      EXPECT_EQ(*data, kid.content) << kid_path;
+    }
+  }
+}
+
+class MinixFsPropertyTest : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(MinixFsPropertyTest, RandomOpsMatchModel) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    TestDisk t(TestDisk::SmallOptions(), /*sectors=*/65536);
+    ASSERT_OK(MinixFs::Mkfs(*t.disk));
+    ASSERT_OK_AND_ASSIGN(auto fs, MinixFs::Mount(*t.disk, GetParam()));
+    FsPropertyRunner runner(*fs, seed);
+    for (int op = 0; op < 250; ++op) {
+      runner.Step();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    VerifyDir(*fs, "/", runner.root(), runner.linked());
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_OK(t.disk->CheckConsistency());
+    ASSERT_OK_AND_ASSIGN(const auto report,
+                         minixfs::CheckFileSystem(*t.disk));
+    EXPECT_TRUE(report.clean()) << report.problems.front();
+
+    // Sync, crash, remount: the synced state must be fully intact.
+    ASSERT_OK(fs->Sync());
+    fs.reset();
+    t.CrashAndRecover();
+    ASSERT_OK_AND_ASSIGN(fs, MinixFs::Mount(*t.disk, GetParam()));
+    VerifyDir(*fs, "/", runner.root(), runner.linked());
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, MinixFsPropertyTest,
+    ::testing::Values(Policy{.use_arus = true, .improved_delete = false},
+                      Policy{.use_arus = true, .improved_delete = true}),
+    [](const ::testing::TestParamInfo<Policy>& param_info) {
+      return param_info.param.improved_delete ? std::string("improvedDelete")
+                                              : std::string("classicDelete");
+    });
+
+}  // namespace
+}  // namespace aru::testing

@@ -1,0 +1,523 @@
+// MinixFS behaviour: namespace operations, file I/O, ARU-backed crash
+// atomicity of create/delete, and the deletion-policy variants.
+#include <gtest/gtest.h>
+
+#include "minixfs/check.h"
+#include "minixfs/minix_fs.h"
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using minixfs::DirEntry;
+using minixfs::InodeType;
+using minixfs::MinixFs;
+using minixfs::OpenFile;
+using minixfs::Policy;
+
+class MinixFsTest : public ::testing::TestWithParam<Policy> {
+ protected:
+  MinixFsTest() : t_() {
+    EXPECT_OK(MinixFs::Mkfs(*t_.disk));
+    auto mounted = MinixFs::Mount(*t_.disk, GetParam());
+    EXPECT_OK(mounted.status());
+    fs_ = std::move(mounted).value();
+  }
+
+  Bytes Payload(std::size_t size, std::uint64_t seed) {
+    Bytes data(size);
+    Rng rng(seed);
+    for (auto& b : data) b = static_cast<std::byte>(rng.Next() & 0xff);
+    return data;
+  }
+
+  // Re-mounts after a simulated power failure.
+  void CrashAndRemount() {
+    fs_.reset();
+    t_.CrashAndRecover();
+    auto mounted = MinixFs::Mount(*t_.disk, GetParam());
+    ASSERT_OK(mounted.status());
+    fs_ = std::move(mounted).value();
+  }
+
+  TestDisk t_;
+  std::unique_ptr<MinixFs> fs_;
+};
+
+TEST_P(MinixFsTest, RootExistsAndIsEmpty) {
+  ASSERT_OK_AND_ASSIGN(const auto entries, fs_->ReadDir("/"));
+  EXPECT_TRUE(entries.empty());
+  ASSERT_OK_AND_ASSIGN(const auto stat, fs_->Stat("/"));
+  EXPECT_EQ(stat.type, InodeType::kDirectory);
+}
+
+TEST_P(MinixFsTest, CreateAndStat) {
+  ASSERT_OK(fs_->Create("/hello").status());
+  ASSERT_OK_AND_ASSIGN(const auto stat, fs_->Stat("/hello"));
+  EXPECT_EQ(stat.type, InodeType::kFile);
+  EXPECT_EQ(stat.size, 0u);
+}
+
+TEST_P(MinixFsTest, CreateExistingFails) {
+  ASSERT_OK(fs_->Create("/hello").status());
+  EXPECT_EQ(fs_->Create("/hello").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_P(MinixFsTest, CreateInMissingDirectoryFails) {
+  EXPECT_EQ(fs_->Create("/no/such/dir/file").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(MinixFsTest, PathValidation) {
+  EXPECT_EQ(fs_->Create("relative").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Create("/").status().code(), StatusCode::kAlreadyExists);
+  const std::string long_name(100, 'x');
+  EXPECT_EQ(fs_->Create("/" + long_name).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_P(MinixFsTest, WriteAndReadBack) {
+  const Bytes data = Payload(1024, 1);
+  ASSERT_OK(fs_->WriteFile("/f", data));
+  ASSERT_OK_AND_ASSIGN(const Bytes read, fs_->ReadFile("/f"));
+  EXPECT_EQ(read, data);
+}
+
+TEST_P(MinixFsTest, MultiBlockFile) {
+  const Bytes data = Payload(10 * 1024, 2);  // 3 blocks at 4 KB
+  ASSERT_OK(fs_->WriteFile("/f", data));
+  ASSERT_OK_AND_ASSIGN(const auto stat, fs_->Stat("/f"));
+  EXPECT_EQ(stat.size, data.size());
+  ASSERT_OK_AND_ASSIGN(const Bytes read, fs_->ReadFile("/f"));
+  EXPECT_EQ(read, data);
+}
+
+TEST_P(MinixFsTest, RandomAccessReadWrite) {
+  ASSERT_OK(fs_->Create("/f").status());
+  ASSERT_OK_AND_ASSIGN(OpenFile file, fs_->Open("/f"));
+  const Bytes a = Payload(4096, 10);
+  const Bytes b = Payload(4096, 11);
+  ASSERT_OK(fs_->WriteAt(file, 0, a));
+  ASSERT_OK(fs_->WriteAt(file, 8192, b));  // leaves a hole in block 1
+  ASSERT_OK(fs_->Close(file));
+
+  Bytes out(4096);
+  ASSERT_OK(fs_->ReadAt(file, 8192, out));
+  EXPECT_EQ(out, b);
+  ASSERT_OK(fs_->ReadAt(file, 4096, out));
+  EXPECT_EQ(out, Bytes(4096));  // the hole reads as zeroes
+}
+
+TEST_P(MinixFsTest, UnalignedWrites) {
+  ASSERT_OK(fs_->Create("/f").status());
+  ASSERT_OK_AND_ASSIGN(OpenFile file, fs_->Open("/f"));
+  const Bytes data = Payload(10000, 3);
+  ASSERT_OK(fs_->WriteAt(file, 123, data));
+  ASSERT_OK(fs_->Close(file));
+  Bytes out(10000);
+  ASSERT_OK(fs_->ReadAt(file, 123, out));
+  EXPECT_EQ(out, data);
+  Bytes head(123);
+  ASSERT_OK(fs_->ReadAt(file, 0, head));
+  EXPECT_EQ(head, Bytes(123));
+}
+
+TEST_P(MinixFsTest, ReadPastEndFails) {
+  ASSERT_OK(fs_->WriteFile("/f", Payload(100, 1)));
+  ASSERT_OK_AND_ASSIGN(OpenFile file, fs_->Open("/f"));
+  Bytes out(200);
+  EXPECT_EQ(fs_->ReadAt(file, 0, out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(MinixFsTest, UnlinkRemovesFileAndFreesBlocks) {
+  // Warm the root directory so its data block is already allocated.
+  ASSERT_OK(fs_->Create("/warm").status());
+  const std::uint64_t free_before = t_.disk->free_blocks();
+  ASSERT_OK(fs_->WriteFile("/f", Payload(10 * 1024, 4)));
+  ASSERT_OK(fs_->Unlink("/f"));
+  EXPECT_FALSE(fs_->Exists("/f"));
+  EXPECT_EQ(t_.disk->free_blocks(), free_before);
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_P(MinixFsTest, UnlinkMissingFails) {
+  EXPECT_EQ(fs_->Unlink("/missing").code(), StatusCode::kNotFound);
+}
+
+TEST_P(MinixFsTest, MkdirAndNestedCreate) {
+  ASSERT_OK(fs_->Mkdir("/a").status());
+  ASSERT_OK(fs_->Mkdir("/a/b").status());
+  ASSERT_OK(fs_->Create("/a/b/c").status());
+  ASSERT_OK_AND_ASSIGN(const auto entries, fs_->ReadDir("/a/b"));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "c");
+}
+
+TEST_P(MinixFsTest, RmdirOnlyWhenEmpty) {
+  ASSERT_OK(fs_->Mkdir("/d").status());
+  ASSERT_OK(fs_->Create("/d/f").status());
+  EXPECT_EQ(fs_->Rmdir("/d").code(), StatusCode::kFailedPrecondition);
+  ASSERT_OK(fs_->Unlink("/d/f"));
+  ASSERT_OK(fs_->Rmdir("/d"));
+  EXPECT_FALSE(fs_->Exists("/d"));
+}
+
+TEST_P(MinixFsTest, UnlinkOnDirectoryFails) {
+  ASSERT_OK(fs_->Mkdir("/d").status());
+  EXPECT_EQ(fs_->Unlink("/d").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_P(MinixFsTest, Rename) {
+  ASSERT_OK(fs_->WriteFile("/old", Payload(500, 5)));
+  ASSERT_OK(fs_->Mkdir("/dir").status());
+  ASSERT_OK(fs_->Rename("/old", "/dir/new"));
+  EXPECT_FALSE(fs_->Exists("/old"));
+  ASSERT_OK_AND_ASSIGN(const Bytes read, fs_->ReadFile("/dir/new"));
+  EXPECT_EQ(read, Payload(500, 5));
+}
+
+TEST_P(MinixFsTest, ManyFilesInOneDirectory) {
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(fs_->Create("/f" + std::to_string(i)).status());
+  }
+  ASSERT_OK_AND_ASSIGN(const auto entries, fs_->ReadDir("/"));
+  EXPECT_EQ(entries.size(), 200u);
+  for (int i = 0; i < 200; i += 2) {
+    ASSERT_OK(fs_->Unlink("/f" + std::to_string(i)));
+  }
+  ASSERT_OK_AND_ASSIGN(const auto after, fs_->ReadDir("/"));
+  EXPECT_EQ(after.size(), 100u);
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_P(MinixFsTest, InodeTableGrowsBeyondOneBlock) {
+  // 64 i-nodes per block; create enough to force growth.
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_OK(fs_->Create("/g" + std::to_string(i)).status());
+  }
+  ASSERT_OK_AND_ASSIGN(const auto entries, fs_->ReadDir("/"));
+  EXPECT_EQ(entries.size(), 80u);
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_P(MinixFsTest, SurvivesRemountAfterSync) {
+  ASSERT_OK(fs_->WriteFile("/persist", Payload(5000, 6)));
+  ASSERT_OK(fs_->Sync());
+  CrashAndRemount();
+  ASSERT_OK_AND_ASSIGN(const Bytes read, fs_->ReadFile("/persist"));
+  EXPECT_EQ(read, Payload(5000, 6));
+}
+
+TEST_P(MinixFsTest, InodeReuseAfterUnlink) {
+  ASSERT_OK_AND_ASSIGN(const auto first, fs_->Create("/a"));
+  ASSERT_OK(fs_->Unlink("/a"));
+  ASSERT_OK_AND_ASSIGN(const auto second, fs_->Create("/b"));
+  EXPECT_EQ(first, second);  // i-node slot is recycled
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, MinixFsTest,
+    ::testing::Values(Policy{.use_arus = true, .improved_delete = false},
+                      Policy{.use_arus = true, .improved_delete = true},
+                      Policy{.use_arus = false, .improved_delete = false}),
+    [](const ::testing::TestParamInfo<Policy>& param_info) {
+      std::string name = param_info.param.use_arus ? "arus" : "noArus";
+      if (param_info.param.improved_delete) name += "ImprovedDelete";
+      return name;
+    });
+
+// --- Crash atomicity of file creation (the paper's headline example) ---
+
+TEST(MinixFsCrashTest, CreateIsAllOrNothingAcrossCrash) {
+  TestDisk t;
+  ASSERT_OK(MinixFs::Mkfs(*t.disk));
+  {
+    ASSERT_OK_AND_ASSIGN(auto fs, MinixFs::Mount(*t.disk));
+    ASSERT_OK(fs->WriteFile("/stable", Bytes(100, std::byte{7})));
+    ASSERT_OK(fs->Sync());
+    // Create more files but crash before anything is flushed.
+    ASSERT_OK(fs->Create("/lost1").status());
+    ASSERT_OK(fs->Create("/lost2").status());
+  }
+  t.CrashAndRecover();
+  ASSERT_OK_AND_ASSIGN(auto fs, MinixFs::Mount(*t.disk));
+  // No fsck needed: the file system is consistent immediately.
+  EXPECT_TRUE(fs->Exists("/stable"));
+  EXPECT_FALSE(fs->Exists("/lost1"));
+  EXPECT_FALSE(fs->Exists("/lost2"));
+  ASSERT_OK_AND_ASSIGN(const auto entries, fs->ReadDir("/"));
+  EXPECT_EQ(entries.size(), 1u);
+  ASSERT_OK(t.disk->CheckConsistency());
+  // The file system still works.
+  ASSERT_OK(fs->Create("/new").status());
+  ASSERT_OK(fs->Sync());
+}
+
+TEST(MinixFsCrashTest, DeleteIsAllOrNothingAcrossCrash) {
+  TestDisk t;
+  ASSERT_OK(MinixFs::Mkfs(*t.disk));
+  {
+    ASSERT_OK_AND_ASSIGN(auto fs, MinixFs::Mount(*t.disk));
+    ASSERT_OK(fs->WriteFile("/doomed", Bytes(10 * 1024, std::byte{1})));
+    ASSERT_OK(fs->Sync());
+    ASSERT_OK(fs->Unlink("/doomed"));
+    // Crash with the deletion committed but unflushed.
+  }
+  t.CrashAndRecover();
+  ASSERT_OK_AND_ASSIGN(auto fs, MinixFs::Mount(*t.disk));
+  // The deletion never became persistent: the file is intact, with all
+  // its meta-data (all-or-nothing, in the "nothing" direction).
+  ASSERT_OK_AND_ASSIGN(const Bytes data, fs->ReadFile("/doomed"));
+  EXPECT_EQ(data, Bytes(10 * 1024, std::byte{1}));
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+TEST(MinixFsCrashTest, CommittedAndFlushedCreateSurvives) {
+  TestDisk t;
+  ASSERT_OK(MinixFs::Mkfs(*t.disk));
+  {
+    ASSERT_OK_AND_ASSIGN(auto fs, MinixFs::Mount(*t.disk));
+    ASSERT_OK(fs->WriteFile("/kept", Bytes(2048, std::byte{9})));
+    ASSERT_OK(fs->Sync());
+  }
+  t.CrashAndRecover();
+  ASSERT_OK_AND_ASSIGN(auto fs, MinixFs::Mount(*t.disk));
+  ASSERT_OK_AND_ASSIGN(const Bytes data, fs->ReadFile("/kept"));
+  EXPECT_EQ(data, Bytes(2048, std::byte{9}));
+}
+
+TEST(MinixFsCrashTest, WithoutArusCreateCanTearAcrossCrash) {
+  // The contrast case: without ARUs the meta-data updates are separate
+  // simple operations; a crash can strand an allocated i-node whose
+  // directory entry was lost (or vice versa). We only assert that LLD
+  // itself stays consistent — the FS-level tear is exactly what the
+  // paper's ARUs eliminate.
+  TestDisk t;
+  ASSERT_OK(MinixFs::Mkfs(*t.disk));
+  {
+    ASSERT_OK_AND_ASSIGN(auto fs,
+                         MinixFs::Mount(*t.disk, Policy{.use_arus = false}));
+    ASSERT_OK(fs->Sync());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(fs->Create("/t" + std::to_string(i)).status());
+    }
+  }
+  t.CrashAndRecover();
+  ASSERT_OK(t.disk->CheckConsistency());
+  ASSERT_OK_AND_ASSIGN(auto fs,
+                       MinixFs::Mount(*t.disk, Policy{.use_arus = false}));
+  ASSERT_OK(fs->ReadDir("/").status());
+}
+
+}  // namespace
+}  // namespace aru::testing
+
+// Hard links (paper-era Minix supported them; Link is one ARU covering
+// the new entry and the link-count bump).
+namespace aru::testing {
+namespace {
+
+using minixfs::CheckReport;
+
+class LinkTest : public ::testing::Test {
+ protected:
+  LinkTest() {
+    EXPECT_OK(minixfs::MinixFs::Mkfs(*t_.disk));
+    auto mounted = minixfs::MinixFs::Mount(*t_.disk);
+    EXPECT_OK(mounted.status());
+    fs_ = std::move(mounted).value();
+  }
+  TestDisk t_;
+  std::unique_ptr<minixfs::MinixFs> fs_;
+};
+
+TEST_F(LinkTest, LinkSharesContent) {
+  ASSERT_OK(fs_->WriteFile("/a", Bytes(100, std::byte{7})));
+  ASSERT_OK(fs_->Link("/a", "/b"));
+  ASSERT_OK_AND_ASSIGN(const auto data, fs_->ReadFile("/b"));
+  EXPECT_EQ(data, Bytes(100, std::byte{7}));
+  ASSERT_OK_AND_ASSIGN(const auto stat_a, fs_->Stat("/a"));
+  ASSERT_OK_AND_ASSIGN(const auto stat_b, fs_->Stat("/b"));
+  EXPECT_EQ(stat_a.inode, stat_b.inode);
+  EXPECT_EQ(stat_a.links, 2u);
+}
+
+TEST_F(LinkTest, UnlinkKeepsStorageUntilLastLink) {
+  ASSERT_OK(fs_->WriteFile("/a", Bytes(10 * 1024, std::byte{1})));
+  ASSERT_OK(fs_->Link("/a", "/b"));
+  const std::uint64_t free_linked = t_.disk->free_blocks();
+  ASSERT_OK(fs_->Unlink("/a"));
+  EXPECT_EQ(t_.disk->free_blocks(), free_linked);  // storage kept
+  ASSERT_OK_AND_ASSIGN(const auto data, fs_->ReadFile("/b"));
+  EXPECT_EQ(data.size(), 10u * 1024u);
+  ASSERT_OK(fs_->Unlink("/b"));
+  EXPECT_GT(t_.disk->free_blocks(), free_linked);  // storage freed
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(LinkTest, LinkToDirectoryRefused) {
+  ASSERT_OK(fs_->Mkdir("/d").status());
+  EXPECT_EQ(fs_->Link("/d", "/d2").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LinkTest, LinkOverExistingRefused) {
+  ASSERT_OK(fs_->Create("/a").status());
+  ASSERT_OK(fs_->Create("/b").status());
+  EXPECT_EQ(fs_->Link("/a", "/b").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(LinkTest, FsckValidatesLinkCounts) {
+  ASSERT_OK(fs_->WriteFile("/a", Bytes(100, std::byte{1})));
+  ASSERT_OK(fs_->Link("/a", "/b"));
+  ASSERT_OK(fs_->Mkdir("/sub").status());
+  ASSERT_OK(fs_->Link("/a", "/sub/c"));
+  ASSERT_OK_AND_ASSIGN(const auto report,
+                       minixfs::CheckFileSystem(*t_.disk));
+  EXPECT_TRUE(report.clean()) << report.problems.front();
+}
+
+TEST_F(LinkTest, LinkIsCrashAtomic) {
+  ASSERT_OK(fs_->WriteFile("/a", Bytes(100, std::byte{1})));
+  ASSERT_OK(fs_->Sync());
+  ASSERT_OK(fs_->Link("/a", "/b"));  // committed but never flushed
+  fs_.reset();
+  t_.CrashAndRecover();
+  ASSERT_OK_AND_ASSIGN(auto fs, minixfs::MinixFs::Mount(*t_.disk));
+  // All-or-nothing: either the link exists AND links == 2, or neither.
+  ASSERT_OK_AND_ASSIGN(const auto stat_a, fs->Stat("/a"));
+  if (fs->Exists("/b")) {
+    EXPECT_EQ(stat_a.links, 2u);
+  } else {
+    EXPECT_EQ(stat_a.links, 1u);
+  }
+  ASSERT_OK_AND_ASSIGN(const auto report,
+                       minixfs::CheckFileSystem(*t_.disk));
+  EXPECT_TRUE(report.clean()) << report.problems.front();
+}
+
+}  // namespace
+}  // namespace aru::testing
+
+// Truncate (one ARU covering the i-node update and all de-allocations).
+namespace aru::testing {
+namespace {
+
+class TruncateTest : public ::testing::Test {
+ protected:
+  TruncateTest() {
+    EXPECT_OK(minixfs::MinixFs::Mkfs(*t_.disk));
+    auto mounted = minixfs::MinixFs::Mount(*t_.disk);
+    EXPECT_OK(mounted.status());
+    fs_ = std::move(mounted).value();
+  }
+  TestDisk t_;
+  std::unique_ptr<minixfs::MinixFs> fs_;
+};
+
+TEST_F(TruncateTest, ShrinkFreesBlocksAndZeroesTail) {
+  Bytes data(10 * 1024, std::byte{7});  // 3 blocks
+  ASSERT_OK(fs_->WriteFile("/f", data));
+  const std::uint64_t free_before = t_.disk->free_blocks();
+  ASSERT_OK(fs_->Truncate("/f", 5000));  // keeps 2 blocks
+  EXPECT_EQ(t_.disk->free_blocks(), free_before + 1);
+  ASSERT_OK_AND_ASSIGN(const auto stat, fs_->Stat("/f"));
+  EXPECT_EQ(stat.size, 5000u);
+  ASSERT_OK_AND_ASSIGN(const auto readback, fs_->ReadFile("/f"));
+  EXPECT_EQ(readback, Bytes(data.begin(), data.begin() + 5000));
+
+  // Extending again after the shrink reads zeroes past 5000.
+  ASSERT_OK_AND_ASSIGN(auto file, fs_->Open("/f"));
+  ASSERT_OK(fs_->WriteAt(file, 8000, Bytes(16, std::byte{9})));
+  ASSERT_OK(fs_->Close(file));
+  Bytes gap(3000);
+  ASSERT_OK(fs_->ReadAt(file, 5000, gap));
+  EXPECT_EQ(gap, Bytes(3000));
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(TruncateTest, TruncateToZeroFreesEverything) {
+  ASSERT_OK(fs_->Create("/warm").status());
+  const std::uint64_t free_before = t_.disk->free_blocks();
+  ASSERT_OK(fs_->WriteFile("/f", Bytes(20 * 1024, std::byte{1})));
+  ASSERT_OK(fs_->Truncate("/f", 0));
+  // All 5 data blocks freed; the i-node stays.
+  EXPECT_EQ(t_.disk->free_blocks(), free_before);
+  ASSERT_OK_AND_ASSIGN(const auto data, fs_->ReadFile("/f"));
+  EXPECT_TRUE(data.empty());
+}
+
+TEST_F(TruncateTest, ExtendLeavesAHole) {
+  ASSERT_OK(fs_->WriteFile("/f", Bytes(100, std::byte{1})));
+  ASSERT_OK(fs_->Truncate("/f", 5000));
+  ASSERT_OK_AND_ASSIGN(const auto stat, fs_->Stat("/f"));
+  EXPECT_EQ(stat.size, 5000u);
+  ASSERT_OK_AND_ASSIGN(auto file, fs_->Open("/f"));
+  Bytes tail(4900);
+  ASSERT_OK(fs_->ReadAt(file, 100, tail));
+  EXPECT_EQ(tail, Bytes(4900));
+}
+
+TEST_F(TruncateTest, TruncateDirectoryFails) {
+  ASSERT_OK(fs_->Mkdir("/d").status());
+  EXPECT_EQ(fs_->Truncate("/d", 0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TruncateTest, TruncateIsCrashAtomic) {
+  ASSERT_OK(fs_->WriteFile("/f", Bytes(40 * 1024, std::byte{3})));
+  ASSERT_OK(fs_->Sync());
+  ASSERT_OK(fs_->Truncate("/f", 1000));  // committed, unflushed
+  fs_.reset();
+  t_.CrashAndRecover();
+  ASSERT_OK_AND_ASSIGN(auto fs, minixfs::MinixFs::Mount(*t_.disk));
+  ASSERT_OK_AND_ASSIGN(const auto stat, fs->Stat("/f"));
+  // All-or-nothing: full size or truncated size, never in between.
+  EXPECT_TRUE(stat.size == 40 * 1024 || stat.size == 1000) << stat.size;
+  ASSERT_OK_AND_ASSIGN(const auto report,
+                       minixfs::CheckFileSystem(*t_.disk));
+  EXPECT_TRUE(report.clean()) << report.problems.front();
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+// ReadAt's multi-block fast path keeps device I/O low on big reads.
+TEST_F(TruncateTest, LargeReadsCoalesce) {
+  const Bytes data = [&] {
+    Bytes d(64 * 1024);
+    Rng rng(12);
+    for (auto& b : d) b = static_cast<std::byte>(rng.Next() & 0xff);
+    return d;
+  }();
+  ASSERT_OK(fs_->WriteFile("/big", data));
+  ASSERT_OK(fs_->Sync());
+  const std::uint64_t reads_before = t_.device->stats().read_ops;
+  ASSERT_OK_AND_ASSIGN(const auto readback, fs_->ReadFile("/big"));
+  EXPECT_EQ(readback, data);
+  // 16 blocks in 128 KB segments: at most a few coalesced reads.
+  EXPECT_LE(t_.device->stats().read_ops - reads_before, 4u);
+}
+
+}  // namespace
+}  // namespace aru::testing
+
+namespace aru::testing {
+namespace {
+
+TEST(RenameCycleTest, MoveIntoOwnSubtreeRefused) {
+  TestDisk t;
+  ASSERT_OK(minixfs::MinixFs::Mkfs(*t.disk));
+  ASSERT_OK_AND_ASSIGN(auto fs, minixfs::MinixFs::Mount(*t.disk));
+  ASSERT_OK(fs->Mkdir("/a").status());
+  ASSERT_OK(fs->Mkdir("/a/b").status());
+  EXPECT_EQ(fs->Rename("/a", "/a/b/c").code(),
+            StatusCode::kFailedPrecondition);
+  // Sibling with a common name prefix is NOT a subtree: must work.
+  ASSERT_OK(fs->Mkdir("/ax").status());
+  ASSERT_OK(fs->Rename("/ax", "/a/b/ax"));
+  ASSERT_OK_AND_ASSIGN(const auto report,
+                       minixfs::CheckFileSystem(*t.disk));
+  EXPECT_TRUE(report.clean()) << report.problems.front();
+}
+
+}  // namespace
+}  // namespace aru::testing

@@ -1,0 +1,151 @@
+// MoveBlock: repositioning a block within or between lists — the
+// list-manipulation surface the Logical Disk uses for transparent
+// reorganization. Shadowed in ARUs like every other list operation.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+class MoveBlockTest : public ::testing::Test {
+ protected:
+  MoveBlockTest() : t_() {
+    auto list = t_.disk->NewList(kNoAru);
+    EXPECT_OK(list.status());
+    list_ = *list;
+    BlockId pred = kListHead;
+    for (int i = 0; i < 4; ++i) {
+      auto block = t_.disk->NewBlock(list_, pred, kNoAru);
+      EXPECT_OK(block.status());
+      pred = *block;
+      EXPECT_OK(t_.disk->Write(pred, TestPattern(4096,
+                                                 static_cast<std::uint64_t>(i)),
+                               kNoAru));
+      blocks_.push_back(pred);
+    }
+  }
+
+  std::vector<BlockId> Order() {
+    auto blocks = t_.disk->ListBlocks(list_, kNoAru);
+    EXPECT_OK(blocks.status());
+    return *blocks;
+  }
+
+  TestDisk t_;
+  ListId list_;
+  std::vector<BlockId> blocks_;  // [b0, b1, b2, b3] in list order
+};
+
+TEST_F(MoveBlockTest, MoveToHead) {
+  ASSERT_OK(t_.disk->MoveBlock(blocks_[2], list_, kListHead, kNoAru));
+  const auto order = Order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], blocks_[2]);
+  EXPECT_EQ(order[1], blocks_[0]);
+  EXPECT_EQ(order[2], blocks_[1]);
+  EXPECT_EQ(order[3], blocks_[3]);
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(MoveBlockTest, MoveAfterPredecessor) {
+  ASSERT_OK(t_.disk->MoveBlock(blocks_[0], list_, blocks_[3], kNoAru));
+  const auto order = Order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], blocks_[1]);
+  EXPECT_EQ(order[3], blocks_[0]);
+  // Data follows the block.
+  Bytes out(4096);
+  ASSERT_OK(t_.disk->Read(blocks_[0], out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 0));
+}
+
+TEST_F(MoveBlockTest, MoveBetweenLists) {
+  ASSERT_OK_AND_ASSIGN(const ListId other, t_.disk->NewList(kNoAru));
+  ASSERT_OK(t_.disk->MoveBlock(blocks_[1], other, kListHead, kNoAru));
+  EXPECT_EQ(Order().size(), 3u);
+  ASSERT_OK_AND_ASSIGN(const auto moved, t_.disk->ListBlocks(other, kNoAru));
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0], blocks_[1]);
+  ASSERT_OK_AND_ASSIGN(const ListId of, t_.disk->ListOf(blocks_[1], kNoAru));
+  EXPECT_EQ(of, other);
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(MoveBlockTest, MoveAfterItselfRejected) {
+  EXPECT_EQ(t_.disk->MoveBlock(blocks_[1], list_, blocks_[1], kNoAru).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MoveBlockTest, NoopMoveKeepsOrder) {
+  // Moving b1 after b0 (where it already is) must be a clean no-op.
+  ASSERT_OK(t_.disk->MoveBlock(blocks_[1], list_, blocks_[0], kNoAru));
+  const auto order = Order();
+  EXPECT_EQ(order, blocks_);
+}
+
+TEST_F(MoveBlockTest, ShadowedInAru) {
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->MoveBlock(blocks_[3], list_, kListHead, aru));
+  // Outside: unchanged. Inside: moved.
+  EXPECT_EQ(Order(), blocks_);
+  ASSERT_OK_AND_ASSIGN(const auto inside, t_.disk->ListBlocks(list_, aru));
+  EXPECT_EQ(inside[0], blocks_[3]);
+  ASSERT_OK(t_.disk->EndARU(aru));
+  EXPECT_EQ(Order()[0], blocks_[3]);
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(MoveBlockTest, AbortUndoesMove) {
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->MoveBlock(blocks_[3], list_, kListHead, aru));
+  ASSERT_OK(t_.disk->AbortARU(aru));
+  EXPECT_EQ(Order(), blocks_);
+}
+
+TEST_F(MoveBlockTest, MoveIsCrashAtomic) {
+  ASSERT_OK(t_.disk->Flush());
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->MoveBlock(blocks_[0], list_, blocks_[3], aru));
+  ASSERT_OK(t_.disk->EndARU(aru));
+  // Committed but not flushed: after a crash the move either happened
+  // entirely or not at all — the block is on exactly one list position.
+  t_.CrashAndRecover();
+  const auto order = Order();
+  ASSERT_EQ(order.size(), 4u);
+  const bool moved = order[3] == blocks_[0];
+  const bool original = order[0] == blocks_[0];
+  EXPECT_TRUE(moved || original);
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(MoveBlockTest, MoveUnknownBlockFails) {
+  EXPECT_EQ(t_.disk->MoveBlock(BlockId{9999}, list_, kListHead, kNoAru).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MoveBlockTest, ManyRandomMovesStayConsistent) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const auto order = Order();
+    const BlockId victim = order[rng.Below(order.size())];
+    BlockId pred = kListHead;
+    if (rng.Chance(2, 3)) {
+      const BlockId candidate = order[rng.Below(order.size())];
+      if (candidate == victim) continue;
+      pred = candidate;
+    }
+    ASSERT_OK(t_.disk->MoveBlock(victim, list_, pred, kNoAru));
+  }
+  EXPECT_EQ(Order().size(), 4u);
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+}  // namespace
+}  // namespace aru::testing

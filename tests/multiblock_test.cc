@@ -1,0 +1,163 @@
+// Multi-block reads: correctness (ordering, zero-fill, shadow
+// visibility, cache interplay) and coalescing behaviour.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+class MultiBlockTest : public ::testing::Test {
+ protected:
+  MultiBlockTest() : t_() {}
+
+  // A list of n written blocks; returns them in list order.
+  std::vector<BlockId> MakeFile(std::uint64_t n, std::uint64_t seed_base) {
+    std::vector<BlockId> blocks;
+    auto list = t_.disk->NewList();
+    EXPECT_OK(list.status());
+    BlockId pred = kListHead;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto block = t_.disk->NewBlock(*list, pred);
+      EXPECT_OK(block.status());
+      pred = *block;
+      EXPECT_OK(t_.disk->Write(pred, TestPattern(4096, seed_base + i)));
+      blocks.push_back(pred);
+    }
+    return blocks;
+  }
+
+  TestDisk t_;
+};
+
+TEST_F(MultiBlockTest, ReadsInOrder) {
+  const auto blocks = MakeFile(10, 100);
+  ASSERT_OK(t_.disk->Flush());
+  Bytes out(10 * 4096);
+  ASSERT_OK(t_.disk->ReadMany(blocks, out));
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(Bytes(out.begin() + static_cast<std::ptrdiff_t>(i * 4096),
+                    out.begin() + static_cast<std::ptrdiff_t>((i + 1) * 4096)),
+              TestPattern(4096, 100 + i))
+        << "block " << i;
+  }
+}
+
+TEST_F(MultiBlockTest, SequentialFileCoalescesIntoFewDeviceReads) {
+  const auto blocks = MakeFile(20, 200);
+  ASSERT_OK(t_.disk->Flush());
+  const std::uint64_t reads_before = t_.device->stats().read_ops;
+  Bytes out(20 * 4096);
+  ASSERT_OK(t_.disk->ReadMany(blocks, out));
+  const std::uint64_t device_reads =
+      t_.device->stats().read_ops - reads_before;
+  // 20 sequentially written 4 KB blocks in 128 KB segments: at most
+  // one read per touched segment (128 KB holds ~31 blocks).
+  EXPECT_LE(device_reads, 3u);
+  EXPECT_GE(device_reads, 1u);
+}
+
+TEST_F(MultiBlockTest, ScatteredBlocksStillCorrect) {
+  auto blocks = MakeFile(16, 300);
+  ASSERT_OK(t_.disk->Flush());
+  // Rewrite every other block so physical placement interleaves old
+  // and new segments.
+  for (std::size_t i = 0; i < blocks.size(); i += 2) {
+    ASSERT_OK(t_.disk->Write(blocks[i], TestPattern(4096, 900 + i)));
+  }
+  ASSERT_OK(t_.disk->Flush());
+  Bytes out(blocks.size() * 4096);
+  ASSERT_OK(t_.disk->ReadMany(blocks, out));
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const std::uint64_t want = (i % 2 == 0) ? 900 + i : 300 + i;
+    EXPECT_EQ(Bytes(out.begin() + static_cast<std::ptrdiff_t>(i * 4096),
+                    out.begin() + static_cast<std::ptrdiff_t>((i + 1) * 4096)),
+              TestPattern(4096, want))
+        << "block " << i;
+  }
+}
+
+TEST_F(MultiBlockTest, UnwrittenBlocksZeroFill) {
+  auto list = t_.disk->NewList();
+  ASSERT_OK(list.status());
+  ASSERT_OK_AND_ASSIGN(const BlockId a, t_.disk->NewBlock(*list, kListHead));
+  ASSERT_OK_AND_ASSIGN(const BlockId b, t_.disk->NewBlock(*list, a));
+  ASSERT_OK(t_.disk->Write(a, TestPattern(4096, 1)));
+  ASSERT_OK(t_.disk->Flush());
+  const std::vector<BlockId> both = {a, b};
+  Bytes out(2 * 4096);
+  ASSERT_OK(t_.disk->ReadMany(both, out));
+  EXPECT_EQ(Bytes(out.begin(), out.begin() + 4096), TestPattern(4096, 1));
+  EXPECT_EQ(Bytes(out.begin() + 4096, out.end()), Bytes(4096));
+}
+
+TEST_F(MultiBlockTest, SeesOwnShadowVersions) {
+  const auto blocks = MakeFile(3, 400);
+  ASSERT_OK(t_.disk->Flush());
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t_.disk->BeginARU());
+  ASSERT_OK(t_.disk->Write(blocks[1], TestPattern(4096, 999), aru));
+
+  Bytes inside(3 * 4096), outside(3 * 4096);
+  ASSERT_OK(t_.disk->ReadMany(blocks, inside, aru));
+  ASSERT_OK(t_.disk->ReadMany(blocks, outside, kNoAru));
+  EXPECT_EQ(Bytes(inside.begin() + 4096, inside.begin() + 8192),
+            TestPattern(4096, 999));
+  EXPECT_EQ(Bytes(outside.begin() + 4096, outside.begin() + 8192),
+            TestPattern(4096, 401));
+  ASSERT_OK(t_.disk->EndARU(aru));
+}
+
+TEST_F(MultiBlockTest, ServesFromOpenSegment) {
+  const auto blocks = MakeFile(5, 500);  // no flush: still buffered
+  Bytes out(5 * 4096);
+  ASSERT_OK(t_.disk->ReadMany(blocks, out));
+  EXPECT_EQ(Bytes(out.begin(), out.begin() + 4096), TestPattern(4096, 500));
+  EXPECT_GT(t_.disk->stats().reads_from_open_segment, 0u);
+}
+
+TEST_F(MultiBlockTest, WrongBufferSizeRejected) {
+  const auto blocks = MakeFile(2, 600);
+  Bytes out(4096);
+  EXPECT_EQ(t_.disk->ReadMany(blocks, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MultiBlockTest, UnknownBlockFails) {
+  const std::vector<BlockId> bogus = {BlockId{424242}};
+  Bytes out(4096);
+  EXPECT_EQ(t_.disk->ReadMany(bogus, out).code(), StatusCode::kNotFound);
+}
+
+TEST_F(MultiBlockTest, EmptySpanIsNoop) {
+  Bytes out;
+  ASSERT_OK(t_.disk->ReadMany({}, out));
+}
+
+TEST_F(MultiBlockTest, MatchesPerBlockReads) {
+  auto blocks = MakeFile(40, 700);
+  ASSERT_OK(t_.disk->Flush());
+  // Shuffle so runs break unpredictably.
+  Rng rng(9);
+  for (std::size_t i = blocks.size() - 1; i > 0; --i) {
+    std::swap(blocks[i], blocks[rng.Below(i + 1)]);
+  }
+  Bytes many(blocks.size() * 4096);
+  ASSERT_OK(t_.disk->ReadMany(blocks, many));
+  Bytes one(4096);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    ASSERT_OK(t_.disk->Read(blocks[i], one));
+    EXPECT_EQ(Bytes(many.begin() + static_cast<std::ptrdiff_t>(i * 4096),
+                    many.begin() + static_cast<std::ptrdiff_t>((i + 1) * 4096)),
+              one)
+        << "block " << i;
+  }
+}
+
+}  // namespace
+}  // namespace aru::testing

@@ -1,0 +1,150 @@
+// The LLD read cache: correctness under overwrites, deletion, ARU
+// shadow reads, cleaning and slot reuse. Cache coherence rests on the
+// log-structured invariant that physical addresses are never
+// overwritten in place (slot reuse invalidates).
+#include <gtest/gtest.h>
+
+#include "lld/block_cache.h"
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+lld::Options CachedOptions() {
+  lld::Options options = TestDisk::SmallOptions();
+  options.read_cache_blocks = 64;
+  return options;
+}
+
+TEST(BlockCacheUnitTest, LookupInsertEvict) {
+  lld::BlockCache cache(2, 16);
+  Bytes a(16, std::byte{1}), b(16, std::byte{2}), c(16, std::byte{3});
+  Bytes out(16);
+  EXPECT_FALSE(cache.Lookup(lld::PhysAddr(0, 0), out));
+  cache.Insert(lld::PhysAddr(0, 0), a);
+  cache.Insert(lld::PhysAddr(0, 1), b);
+  EXPECT_TRUE(cache.Lookup(lld::PhysAddr(0, 0), out));
+  EXPECT_EQ(out, a);
+  cache.Insert(lld::PhysAddr(1, 0), c);  // evicts LRU = (0,1)
+  EXPECT_FALSE(cache.Lookup(lld::PhysAddr(0, 1), out));
+  EXPECT_TRUE(cache.Lookup(lld::PhysAddr(1, 0), out));
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(BlockCacheUnitTest, InvalidateSlot) {
+  lld::BlockCache cache(8, 16);
+  cache.Insert(lld::PhysAddr(3, 0), Bytes(16, std::byte{1}));
+  cache.Insert(lld::PhysAddr(3, 1), Bytes(16, std::byte{2}));
+  cache.Insert(lld::PhysAddr(4, 0), Bytes(16, std::byte{3}));
+  cache.InvalidateSlot(3);
+  Bytes out(16);
+  EXPECT_FALSE(cache.Lookup(lld::PhysAddr(3, 0), out));
+  EXPECT_FALSE(cache.Lookup(lld::PhysAddr(3, 1), out));
+  EXPECT_TRUE(cache.Lookup(lld::PhysAddr(4, 0), out));
+  EXPECT_EQ(cache.stats().invalidated, 2u);
+}
+
+TEST(BlockCacheUnitTest, DisabledCacheIsInert) {
+  lld::BlockCache cache(0, 16);
+  cache.Insert(lld::PhysAddr(0, 0), Bytes(16));
+  Bytes out(16);
+  EXPECT_FALSE(cache.Lookup(lld::PhysAddr(0, 0), out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ReadCacheTest, RepeatedReadsHit) {
+  TestDisk t(CachedOptions());
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), kNoAru));
+  ASSERT_OK(t.disk->Flush());  // get it out of the open segment
+
+  Bytes out(4096);
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));  // miss + fill
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));  // hit
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));  // hit
+  EXPECT_EQ(out, TestPattern(4096, 1));
+  EXPECT_GE(t.disk->read_cache_stats().hits, 2u);
+}
+
+TEST(ReadCacheTest, OverwriteNeverServesStaleData) {
+  TestDisk t(CachedOptions());
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  Bytes out(4096);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_OK(t.disk->Write(block, TestPattern(4096, i), kNoAru));
+    ASSERT_OK(t.disk->Flush());
+    ASSERT_OK(t.disk->Read(block, out, kNoAru));
+    ASSERT_EQ(out, TestPattern(4096, i)) << "version " << i;
+    ASSERT_OK(t.disk->Read(block, out, kNoAru));
+    ASSERT_EQ(out, TestPattern(4096, i));
+  }
+}
+
+TEST(ReadCacheTest, ShadowReadsBypassStaleCacheEntries) {
+  TestDisk t(CachedOptions());
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), kNoAru));
+  ASSERT_OK(t.disk->Flush());
+  Bytes out(4096);
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));  // cache the committed copy
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 2), aru));
+  ASSERT_OK(t.disk->Flush());  // shadow data on disk too
+  ASSERT_OK(t.disk->Read(block, out, aru));
+  EXPECT_EQ(out, TestPattern(4096, 2));  // the ARU sees its shadow
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 1));  // simple readers do not
+  ASSERT_OK(t.disk->EndARU(aru));
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 2));
+}
+
+TEST(ReadCacheTest, SurvivesCleanerChurnAndSlotReuse) {
+  lld::Options options = CachedOptions();
+  options.cleaner_reserve_slots = 3;
+  TestDisk t(options, /*sectors=*/4 * 1024 * 1024 / 512);
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  std::vector<BlockId> blocks;
+  BlockId pred = kListHead;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    blocks.push_back(pred);
+  }
+  Rng rng(5);
+  std::vector<std::uint64_t> current(blocks.size(), 0);
+  Bytes out(4096);
+  for (int round = 0; round < 25; ++round) {
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      const std::uint64_t version =
+          static_cast<std::uint64_t>(round) * 100 + i + 1;
+      current[i] = version;
+      ASSERT_OK(t.disk->Write(blocks[i], TestPattern(4096, version), kNoAru));
+    }
+    ASSERT_OK(t.disk->Flush());
+    // Interleave reads so the cache keeps hot entries across cleaning.
+    for (int probe = 0; probe < 20; ++probe) {
+      const std::size_t i = rng.Below(blocks.size());
+      ASSERT_OK(t.disk->Read(blocks[i], out, kNoAru));
+      ASSERT_EQ(out, TestPattern(4096, current[i]))
+          << "round " << round << " block " << i;
+    }
+  }
+  EXPECT_GT(t.disk->stats().cleaner_passes, 0u);  // slots were recycled
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+}  // namespace
+}  // namespace aru::testing

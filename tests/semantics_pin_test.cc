@@ -1,0 +1,167 @@
+// Pins the *documented* semantics of edge cases the paper leaves to
+// client concurrency control. These are not desirable behaviours to
+// rely on — they are the defined outcomes of races that properly
+// locked clients never create, and these tests exist so that any
+// accidental change to them is noticed.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+// Paper §3.3 / lld.h: a write whose target was deleted by a stream
+// that committed first is dropped at merge time.
+TEST(SemanticsPin, WriteIntoBlockDeletedByCommittedStreamIsDropped) {
+  // The unlocked race deliberately leaves the open ARU's view
+  // structurally stale mid-flight; paranoid per-op view validation
+  // assumes properly locked clients, so it is off here.
+  lld::Options options = TestDisk::SmallOptions();
+  options.paranoid_checks = false;
+  TestDisk t(options);
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), kNoAru));
+
+  ASSERT_OK_AND_ASSIGN(const AruId writer, t.disk->BeginARU());
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 2), writer));
+
+  // A simple delete commits while the ARU is open.
+  ASSERT_OK(t.disk->DeleteBlock(block, kNoAru));
+
+  // The ARU commits afterwards; its write has nowhere to land.
+  ASSERT_OK(t.disk->EndARU(writer));
+  Bytes out(4096);
+  EXPECT_EQ(t.disk->Read(block, out, kNoAru).code(), StatusCode::kNotFound);
+  ASSERT_OK(t.disk->CheckConsistency());
+
+  // And recovery reproduces the same outcome.
+  ASSERT_OK(t.disk->Flush());
+  t.CrashAndRecover();
+  EXPECT_EQ(t.disk->Read(block, out, kNoAru).code(), StatusCode::kNotFound);
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+// EndARU skips list operations that no longer apply (a conflicting
+// stream committed first); the rest of the ARU still commits.
+TEST(SemanticsPin, InapplicableListOpIsSkippedAtCommit) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId victim,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK_AND_ASSIGN(const ListId other, t.disk->NewList(kNoAru));
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  // The ARU deletes `victim` (shadowed) and creates a block elsewhere.
+  ASSERT_OK(t.disk->DeleteBlock(victim, aru));
+  ASSERT_OK_AND_ASSIGN(const BlockId kept,
+                       t.disk->NewBlock(other, kListHead, aru));
+
+  // A simple op deletes `victim` first: the ARU's delete re-execution
+  // will find nothing to delete.
+  ASSERT_OK(t.disk->DeleteBlock(victim, kNoAru));
+
+  ASSERT_OK(t.disk->EndARU(aru));  // skips the inapplicable delete
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(other, kNoAru));
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], kept);
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+// Sequential mode applies ARU operations to the committed state in
+// place; after recovery, an ARU's writes take effect at the COMMIT
+// position. A simple write interleaved into an open sequential ARU on
+// the *same block* therefore resolves differently in memory (stream
+// order) and after recovery (commit order) — the degenerate race the
+// old prototype never guarded against. This test pins the recovery
+// outcome.
+TEST(SemanticsPin, SequentialModeInterleavedSimpleWriteCommitWins) {
+  lld::Options options = TestDisk::SmallOptions();
+  options.aru_mode = lld::AruMode::kSequential;
+  TestDisk t(options);
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Flush());
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), aru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 2), kNoAru));  // racy!
+  ASSERT_OK(t.disk->EndARU(aru));
+  ASSERT_OK(t.disk->Flush());
+
+  // In-memory view after the race: stream order, the simple write is
+  // newest.
+  Bytes out(4096);
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 2));
+
+  // After recovery: the ARU's write is effective at its commit record,
+  // which follows the simple write in the log.
+  t.CrashAndRecover();
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 1));
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+// In concurrent mode the same interleaving is well-defined (and
+// recovery-equivalent): the ARU commits later, so the ARU wins both in
+// memory and after recovery.
+TEST(SemanticsPin, ConcurrentModeInterleavedSimpleWriteIsConsistent) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Flush());
+
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), aru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 2), kNoAru));
+  ASSERT_OK(t.disk->EndARU(aru));
+  ASSERT_OK(t.disk->Flush());
+
+  Bytes out(4096);
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 1));  // commit (serialization point) wins
+
+  t.CrashAndRecover();
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  EXPECT_EQ(out, TestPattern(4096, 1));  // same after recovery
+}
+
+// Aborting an ARU that deleted blocks restores full visibility — the
+// deletes only ever lived in the shadow state.
+TEST(SemanticsPin, AbortAfterDeletesIsComplete) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  std::vector<BlockId> blocks;
+  BlockId pred = kListHead;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, i), kNoAru));
+    blocks.push_back(pred);
+  }
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  for (const BlockId block : blocks) {
+    ASSERT_OK(t.disk->DeleteBlock(block, aru));
+  }
+  ASSERT_OK(t.disk->AbortARU(aru));
+
+  ASSERT_OK_AND_ASSIGN(const auto after, t.disk->ListBlocks(list, kNoAru));
+  EXPECT_EQ(after.size(), blocks.size());
+  Bytes out(4096);
+  for (std::uint64_t i = 0; i < blocks.size(); ++i) {
+    ASSERT_OK(t.disk->Read(blocks[i], out, kNoAru));
+    EXPECT_EQ(out, TestPattern(4096, i));
+  }
+}
+
+}  // namespace
+}  // namespace aru::testing

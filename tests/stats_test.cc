@@ -1,0 +1,96 @@
+// LldStats counters: the benchmark harness reads these (the paper
+// reports segment counts), so their meanings are pinned here.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::AruId;
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+TEST(StatsTest, CountersTrackOperations) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), kNoAru));
+  Bytes out(4096);
+  ASSERT_OK(t.disk->Read(block, out, kNoAru));
+  ASSERT_OK(t.disk->Flush());
+
+  const lld::LldStats& stats = t.disk->stats();
+  EXPECT_EQ(stats.blocks_written, 1u);
+  EXPECT_EQ(stats.blocks_read, 1u);
+  EXPECT_EQ(stats.reads_from_open_segment, 1u);
+  EXPECT_EQ(stats.flushes, 1u);
+  EXPECT_GE(stats.segments_written, 1u);
+  EXPECT_GE(stats.bytes_written_to_disk,
+            static_cast<std::uint64_t>(t.options.segment_size));
+}
+
+TEST(StatsTest, AruCountersAndCommitRecordSegments) {
+  TestDisk t;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+    if (i % 3 == 0) {
+      ASSERT_OK(t.disk->AbortARU(aru));
+    } else {
+      ASSERT_OK(t.disk->EndARU(aru));
+    }
+  }
+  const lld::LldStats& stats = t.disk->stats();
+  EXPECT_EQ(stats.arus_begun, 10u);
+  EXPECT_EQ(stats.arus_committed, 6u);
+  EXPECT_EQ(stats.arus_aborted, 4u);
+}
+
+TEST(StatsTest, LinkLogReplayCounter) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(aru));
+  BlockId pred = kListHead;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, aru));
+  }
+  EXPECT_EQ(t.disk->stats().link_log_entries_replayed, 0u);
+  ASSERT_OK(t.disk->EndARU(aru));
+  // 5 inserts re-executed at commit (paper §4).
+  EXPECT_EQ(t.disk->stats().link_log_entries_replayed, 5u);
+}
+
+TEST(StatsTest, PredecessorSearchCounter) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  std::vector<BlockId> blocks;
+  BlockId pred = kListHead;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    blocks.push_back(pred);
+  }
+  const std::uint64_t before = t.disk->stats().predecessor_search_steps;
+  // Deleting the tail walks the 9 predecessors.
+  ASSERT_OK(t.disk->DeleteBlock(blocks.back(), kNoAru));
+  EXPECT_EQ(t.disk->stats().predecessor_search_steps, before + 9);
+  // Deleting the head needs no search.
+  const std::uint64_t after_tail = t.disk->stats().predecessor_search_steps;
+  ASSERT_OK(t.disk->DeleteBlock(blocks.front(), kNoAru));
+  EXPECT_EQ(t.disk->stats().predecessor_search_steps, after_tail);
+}
+
+TEST(StatsTest, PartialSegmentCounterOnFlush) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 1), kNoAru));
+  ASSERT_OK(t.disk->Flush());  // seals a nearly-empty segment
+  EXPECT_GE(t.disk->stats().partial_segments_written, 1u);
+}
+
+}  // namespace
+}  // namespace aru::testing

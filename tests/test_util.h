@@ -1,0 +1,85 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "blockdev/mem_disk.h"
+#include "lld/lld.h"
+#include "util/rng.h"
+
+namespace aru::testing {
+
+#define ASSERT_OK(expr)                                     \
+  do {                                                      \
+    const ::aru::Status aru_test_status_ = (expr);          \
+    ASSERT_TRUE(aru_test_status_.ok())                      \
+        << "status: " << aru_test_status_.ToString();       \
+  } while (false)
+
+#define EXPECT_OK(expr)                                     \
+  do {                                                      \
+    const ::aru::Status aru_test_status_ = (expr);          \
+    EXPECT_TRUE(aru_test_status_.ok())                      \
+        << "status: " << aru_test_status_.ToString();       \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                       \
+  ASSERT_OK_AND_ASSIGN_IMPL(ARU_CONCAT(aru_test_result_, __LINE__), lhs, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)             \
+  auto tmp = (expr);                                          \
+  ASSERT_TRUE(tmp.ok()) << "status: " << tmp.status().ToString(); \
+  lhs = std::move(tmp).value()
+
+// A small formatted LLD on a RAM disk: ~16 MB by default, 4 KB blocks,
+// 128 KB segments (small, to exercise sealing and cleaning quickly).
+struct TestDisk {
+  static constexpr std::uint64_t kDefaultSectors = 32768;  // 16 MB @ 512B
+
+  explicit TestDisk(lld::Options opts = SmallOptions(),
+                    std::uint64_t sectors = kDefaultSectors) {
+    options = opts;
+    device = std::make_unique<MemDisk>(sectors);
+    auto format = lld::Lld::Format(*device, options);
+    EXPECT_TRUE(format.ok()) << format.ToString();
+    auto opened = lld::Lld::Open(*device, options);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    disk = std::move(opened).value();
+  }
+
+  static lld::Options SmallOptions() {
+    lld::Options opts;
+    opts.block_size = 4096;
+    opts.segment_size = 128 * 1024;
+    opts.paranoid_checks = true;
+    return opts;
+  }
+
+  // Simulates a power failure: drops all volatile state and re-opens
+  // the disk from the current device image, running recovery.
+  void CrashAndRecover() {
+    Bytes image = device->CopyImage();
+    disk.reset();
+    device = MemDisk::FromImage(std::move(image));
+    auto opened = lld::Lld::Open(*device, options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    disk = std::move(opened).value();
+  }
+
+  lld::Options options;
+  std::unique_ptr<MemDisk> device;
+  std::unique_ptr<lld::Lld> disk;
+};
+
+// Deterministic block-sized payload derived from a seed.
+inline Bytes TestPattern(std::uint32_t block_size, std::uint64_t seed) {
+  Bytes data(block_size);
+  Rng rng(seed);
+  for (auto& b : data) b = static_cast<std::byte>(rng.Next() & 0xff);
+  return data;
+}
+
+}  // namespace aru::testing

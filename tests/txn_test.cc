@@ -1,0 +1,299 @@
+// Transaction layer: isolation via strict 2PL + wait-die on top of ARU
+// atomicity — the "transaction systems as direct disk clients" story
+// from paper §3.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "tests/test_util.h"
+#include "txn/txn.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+using txn::Durability;
+using txn::LockManager;
+using txn::LockMode;
+using txn::ResourceId;
+using txn::Transaction;
+using txn::TransactionManager;
+
+// --- LockManager unit tests ---
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager locks;
+  const ResourceId r = ResourceId::Block(BlockId{1});
+  ASSERT_OK(locks.Acquire(1, r, LockMode::kShared));
+  ASSERT_OK(locks.Acquire(2, r, LockMode::kShared));
+  EXPECT_EQ(locks.LockedResources(), 1u);
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+  EXPECT_EQ(locks.LockedResources(), 0u);
+}
+
+TEST(LockManagerTest, YoungerDiesOnConflictWithOlder) {
+  LockManager locks;
+  const ResourceId r = ResourceId::Block(BlockId{1});
+  ASSERT_OK(locks.Acquire(1, r, LockMode::kExclusive));  // older holds X
+  // Younger (id 2) requesting a conflicting lock dies immediately.
+  EXPECT_EQ(locks.Acquire(2, r, LockMode::kShared).code(),
+            StatusCode::kFailedPrecondition);
+  locks.ReleaseAll(1);
+  ASSERT_OK(locks.Acquire(2, r, LockMode::kShared));
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, OlderWaitsForYounger) {
+  LockManager locks;
+  const ResourceId r = ResourceId::Block(BlockId{1});
+  ASSERT_OK(locks.Acquire(5, r, LockMode::kExclusive));  // younger holds
+
+  std::atomic<bool> acquired{false};
+  std::thread older([&] {
+    // Older (id 3) waits instead of dying.
+    EXPECT_OK(locks.Acquire(3, r, LockMode::kExclusive));
+    acquired = true;
+  });
+  // Give the older transaction a moment to block, then release.
+  for (int i = 0; i < 100 && !acquired; ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(acquired.load());
+  locks.ReleaseAll(5);
+  older.join();
+  EXPECT_TRUE(acquired.load());
+  locks.ReleaseAll(3);
+}
+
+TEST(LockManagerTest, ReacquireAndUpgrade) {
+  LockManager locks;
+  const ResourceId r = ResourceId::List(ListId{9});
+  ASSERT_OK(locks.Acquire(1, r, LockMode::kShared));
+  ASSERT_OK(locks.Acquire(1, r, LockMode::kShared));     // re-entrant
+  ASSERT_OK(locks.Acquire(1, r, LockMode::kExclusive));  // upgrade
+  ASSERT_OK(locks.Acquire(1, r, LockMode::kShared));     // still exclusive
+  locks.ReleaseAll(1);
+}
+
+// --- Transaction tests ---
+
+class TxnTest : public ::testing::Test {
+ protected:
+  TxnTest() : manager_(*t_.disk) {
+    // A list of 4 "account" blocks, each holding a u64 balance.
+    auto list = t_.disk->NewList();
+    EXPECT_OK(list.status());
+    list_ = *list;
+    BlockId pred = kListHead;
+    for (int i = 0; i < 4; ++i) {
+      auto block = t_.disk->NewBlock(list_, pred);
+      EXPECT_OK(block.status());
+      pred = *block;
+      accounts_.push_back(pred);
+      EXPECT_OK(WriteBalance(pred, 100));
+    }
+    EXPECT_OK(t_.disk->Flush());
+  }
+
+  Status WriteBalance(BlockId block, std::uint64_t value) {
+    Bytes data(t_.disk->block_size());
+    Bytes encoded;
+    PutU64(encoded, value);
+    std::copy(encoded.begin(), encoded.end(), data.begin());
+    return t_.disk->Write(block, data);
+  }
+
+  std::uint64_t ReadBalance(BlockId block) {
+    Bytes data(t_.disk->block_size());
+    EXPECT_OK(t_.disk->Read(block, data));
+    return GetU64(data);
+  }
+
+  static std::uint64_t BalanceOf(const Bytes& block) { return GetU64(block); }
+
+  Status Transfer(Transaction& txn, BlockId from, BlockId to,
+                  std::uint64_t amount) {
+    Bytes data(t_.disk->block_size());
+    ARU_RETURN_IF_ERROR(txn.Read(from, data));
+    const std::uint64_t from_balance = GetU64(data);
+    if (from_balance < amount) {
+      return FailedPreconditionError("insufficient funds");
+    }
+    Bytes encoded;
+    PutU64(encoded, from_balance - amount);
+    std::copy(encoded.begin(), encoded.end(), data.begin());
+    ARU_RETURN_IF_ERROR(txn.Write(from, data));
+
+    ARU_RETURN_IF_ERROR(txn.Read(to, data));
+    const std::uint64_t to_balance = GetU64(data);
+    encoded.clear();
+    PutU64(encoded, to_balance + amount);
+    std::copy(encoded.begin(), encoded.end(), data.begin());
+    return txn.Write(to, data);
+  }
+
+  TestDisk t_;
+  TransactionManager manager_;
+  ListId list_;
+  std::vector<BlockId> accounts_;
+};
+
+TEST_F(TxnTest, CommitPublishesAtomically) {
+  ASSERT_OK_AND_ASSIGN(auto txn, manager_.Begin());
+  ASSERT_OK(Transfer(*txn, accounts_[0], accounts_[1], 30));
+  // Uncommitted: outside view unchanged.
+  EXPECT_EQ(ReadBalance(accounts_[0]), 100u);
+  ASSERT_OK(txn->Commit());
+  EXPECT_EQ(ReadBalance(accounts_[0]), 70u);
+  EXPECT_EQ(ReadBalance(accounts_[1]), 130u);
+}
+
+TEST_F(TxnTest, AbortDiscardsEverything) {
+  ASSERT_OK_AND_ASSIGN(auto txn, manager_.Begin());
+  ASSERT_OK(Transfer(*txn, accounts_[0], accounts_[1], 30));
+  ASSERT_OK(txn->Abort());
+  EXPECT_EQ(ReadBalance(accounts_[0]), 100u);
+  EXPECT_EQ(ReadBalance(accounts_[1]), 100u);
+  EXPECT_EQ(manager_.locks().LockedResources(), 0u);
+}
+
+TEST_F(TxnTest, DestructionAborts) {
+  {
+    ASSERT_OK_AND_ASSIGN(auto txn, manager_.Begin());
+    ASSERT_OK(Transfer(*txn, accounts_[0], accounts_[1], 30));
+  }
+  EXPECT_EQ(ReadBalance(accounts_[0]), 100u);
+  EXPECT_EQ(manager_.locks().LockedResources(), 0u);
+}
+
+TEST_F(TxnTest, CommitAfterFailedOpRefused) {
+  ASSERT_OK_AND_ASSIGN(auto txn, manager_.Begin());
+  Bytes data(t_.disk->block_size());
+  EXPECT_FALSE(txn->Read(BlockId{99999}, data).ok());
+  EXPECT_EQ(txn->Commit().code(), StatusCode::kFailedPrecondition);
+  ASSERT_OK(txn->Abort());
+}
+
+TEST_F(TxnTest, WaitDieConflictSurfacesAsRetryable) {
+  ASSERT_OK_AND_ASSIGN(auto older, manager_.Begin());
+  ASSERT_OK_AND_ASSIGN(auto younger, manager_.Begin());
+  Bytes data(t_.disk->block_size());
+  ASSERT_OK(older->Read(accounts_[0], data));
+  // The younger transaction's exclusive request dies.
+  EXPECT_EQ(younger->Write(accounts_[0], data).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_OK(younger->Abort());
+  ASSERT_OK(older->Commit());
+}
+
+TEST_F(TxnTest, DurableCommitSurvivesCrash) {
+  ASSERT_OK(manager_.RunTransaction(
+      [&](Transaction& txn) {
+        return Transfer(txn, accounts_[0], accounts_[1], 25);
+      },
+      Durability::kFlush));
+  t_.CrashAndRecover();
+  EXPECT_EQ(ReadBalance(accounts_[0]), 75u);
+  EXPECT_EQ(ReadBalance(accounts_[1]), 125u);
+}
+
+TEST_F(TxnTest, NonDurableCommitMayVanishButNeverTears) {
+  ASSERT_OK(manager_.RunTransaction([&](Transaction& txn) {
+    return Transfer(txn, accounts_[0], accounts_[1], 25);
+  }));
+  t_.CrashAndRecover();
+  const std::uint64_t a = ReadBalance(accounts_[0]);
+  const std::uint64_t b = ReadBalance(accounts_[1]);
+  EXPECT_EQ(a + b, 200u);                    // never half a transfer
+  EXPECT_TRUE(a == 100 || a == 75) << a;     // all or nothing
+}
+
+TEST_F(TxnTest, StructuralOpsInTransactions) {
+  ASSERT_OK(manager_.RunTransaction([&](Transaction& txn) {
+    auto list = txn.NewList();
+    ARU_RETURN_IF_ERROR(list.status());
+    auto block = txn.NewBlock(*list, kListHead);
+    ARU_RETURN_IF_ERROR(block.status());
+    Bytes data(t_.disk->block_size(), std::byte{5});
+    return txn.Write(*block, data);
+  }));
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(TxnTest, ConcurrentTransfersConserveMoney) {
+  constexpr int kThreads = 6;
+  constexpr int kTransfersPerThread = 40;
+  std::atomic<int> hard_failures{0};
+
+  auto worker = [&](int id) {
+    Rng rng(static_cast<std::uint64_t>(id) + 11);
+    for (int i = 0; i < kTransfersPerThread; ++i) {
+      const BlockId from = accounts_[rng.Below(accounts_.size())];
+      const BlockId to = accounts_[rng.Below(accounts_.size())];
+      if (from == to) continue;
+      const Status status = manager_.RunTransaction(
+          [&](Transaction& txn) {
+            return Transfer(txn, from, to, rng.Range(1, 10));
+          },
+          Durability::kNone, /*max_attempts=*/64);
+      // "insufficient funds" is a legitimate business outcome; lock
+      // exhaustion after 64 attempts would be a real failure.
+      if (!status.ok() && status.message() != "insufficient funds" &&
+          status.code() != StatusCode::kFailedPrecondition) {
+        ++hard_failures;
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) threads.emplace_back(worker, i);
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(hard_failures.load(), 0);
+
+  std::uint64_t total = 0;
+  for (const BlockId account : accounts_) total += ReadBalance(account);
+  EXPECT_EQ(total, 400u);  // 4 accounts x 100, conserved exactly
+  EXPECT_EQ(manager_.locks().LockedResources(), 0u);
+  ASSERT_OK(t_.disk->CheckConsistency());
+}
+
+TEST_F(TxnTest, OppositeOrderLockingResolvesViaWaitDie) {
+  // Two threads repeatedly locking (a,b) and (b,a): classic deadlock
+  // shape; wait-die must always resolve it.
+  std::atomic<int> committed{0};
+  std::atomic<int> hard_failures{0};
+  auto worker = [&](bool forward) {
+    for (int i = 0; i < 50; ++i) {
+      const Status status = manager_.RunTransaction(
+          [&](Transaction& txn) {
+            const BlockId first = forward ? accounts_[0] : accounts_[1];
+            const BlockId second = forward ? accounts_[1] : accounts_[0];
+            Bytes data(t_.disk->block_size());
+            ARU_RETURN_IF_ERROR(txn.Read(first, data));
+            ARU_RETURN_IF_ERROR(txn.Write(first, data));
+            ARU_RETURN_IF_ERROR(txn.Read(second, data));
+            return txn.Write(second, data);
+          },
+          Durability::kNone, /*max_attempts=*/128);
+      if (status.ok()) {
+        ++committed;
+      } else {
+        ++hard_failures;
+      }
+    }
+  };
+  std::thread a(worker, true), b(worker, false);
+  a.join();
+  b.join();
+  EXPECT_EQ(hard_failures.load(), 0);
+  EXPECT_EQ(committed.load(), 100);
+}
+
+}  // namespace
+}  // namespace aru::testing

@@ -1,0 +1,234 @@
+// Unit tests for the util module: Status/Result, byte codecs, CRC-32C,
+// the deterministic RNG, and the virtual clock.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tests/test_util.h"
+#include "util/bytes.h"
+#include "util/clock.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aru::testing {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = NotFoundError("block 7");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "block 7");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: block 7");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfSpaceError("").code(), StatusCode::kOutOfSpace);
+  EXPECT_EQ(IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(CorruptionError("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(UnavailableError("").code(), StatusCode::kUnavailable);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(IoError("boom"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 5);
+}
+
+Status FailsThrough() {
+  ARU_RETURN_IF_ERROR(IoError("inner"));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kIoError);
+}
+
+Result<int> Doubles(Result<int> input) {
+  ARU_ASSIGN_OR_RETURN(const int v, std::move(input));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  EXPECT_EQ(*Doubles(21), 42);
+  EXPECT_EQ(Doubles(NotFoundError("x")).status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- byte codecs ---
+
+TEST(BytesTest, RoundTripFixedWidths) {
+  Bytes out;
+  PutU16(out, 0xbeef);
+  PutU32(out, 0xdeadbeef);
+  PutU64(out, 0x0123456789abcdefull);
+  ASSERT_EQ(out.size(), 14u);
+  EXPECT_EQ(GetU16(out), 0xbeef);
+  EXPECT_EQ(GetU32(ByteSpan(out).subspan(2)), 0xdeadbeefu);
+  EXPECT_EQ(GetU64(ByteSpan(out).subspan(6)), 0x0123456789abcdefull);
+}
+
+TEST(BytesTest, LittleEndianLayout) {
+  Bytes out;
+  PutU32(out, 0x01020304);
+  EXPECT_EQ(out[0], std::byte{0x04});
+  EXPECT_EQ(out[3], std::byte{0x01});
+}
+
+TEST(DecoderTest, SequentialReads) {
+  Bytes data;
+  data.push_back(std::byte{7});
+  PutU16(data, 300);
+  PutU64(data, 1ull << 40);
+  Decoder dec(data);
+  EXPECT_EQ(*dec.ReadU8(), 7);
+  EXPECT_EQ(*dec.ReadU16(), 300);
+  EXPECT_EQ(*dec.ReadU64(), 1ull << 40);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(DecoderTest, UnderflowIsCorruption) {
+  Bytes data;
+  PutU16(data, 1);
+  Decoder dec(data);
+  EXPECT_TRUE(dec.ReadU16().ok());
+  const auto result = dec.ReadU32();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DecoderTest, ReadBytesSlices) {
+  Bytes data(10, std::byte{9});
+  Decoder dec(data);
+  ASSERT_OK_AND_ASSIGN(const ByteSpan head, dec.ReadBytes(4));
+  EXPECT_EQ(head.size(), 4u);
+  EXPECT_EQ(dec.remaining(), 6u);
+  EXPECT_FALSE(dec.ReadBytes(7).ok());
+}
+
+// --- CRC-32C ---
+
+TEST(Crc32Test, KnownVectors) {
+  // RFC 3720 test vector: CRC-32C of 32 zero bytes.
+  const Bytes zeros(32, std::byte{0});
+  EXPECT_EQ(Crc32c(zeros), 0x8a9136aau);
+  // "123456789"
+  Bytes digits;
+  for (const char c : std::string("123456789")) {
+    digits.push_back(static_cast<std::byte>(c));
+  }
+  EXPECT_EQ(Crc32c(digits), 0xe3069283u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalUse) {
+  const Bytes data = TestPattern(1024, 5);
+  const std::uint32_t whole = Crc32c(data);
+  const std::uint32_t first = Crc32c(ByteSpan(data).first(100));
+  const std::uint32_t chained = Crc32c(ByteSpan(data).subspan(100), first);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  Bytes data = TestPattern(512, 6);
+  const std::uint32_t before = Crc32c(data);
+  data[200] ^= std::byte{0x01};
+  EXPECT_NE(before, Crc32c(data));
+}
+
+// --- RNG ---
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(10), 10u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChanceRoughlyFair) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(1, 4)) ++hits;
+  }
+  EXPECT_GT(hits, 2200);
+  EXPECT_LT(hits, 2800);
+}
+
+// --- VirtualClock ---
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now_us(), 0u);
+  clock.Advance(100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.now_us(), 150u);
+}
+
+TEST(VirtualClockTest, AdvanceToNeverGoesBack) {
+  VirtualClock clock;
+  clock.AdvanceTo(500);
+  EXPECT_EQ(clock.now_us(), 500u);
+  clock.AdvanceTo(300);
+  EXPECT_EQ(clock.now_us(), 500u);
+  clock.Reset();
+  EXPECT_EQ(clock.now_us(), 0u);
+}
+
+}  // namespace
+}  // namespace aru::testing

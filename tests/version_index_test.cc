@@ -1,0 +1,198 @@
+// Unit tests for the version index — the paper's perpendicular-lists
+// mesh of alternative records (shadow + committed states).
+#include <gtest/gtest.h>
+
+#include "lld/version_index.h"
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using lld::BlockMeta;
+using lld::BlockVersions;
+using ld::AruId;
+using ld::BlockId;
+using ld::kNoAru;
+
+BlockMeta Meta(std::uint64_t ts) {
+  BlockMeta meta;
+  meta.allocated = true;
+  meta.ts = ts;
+  return meta;
+}
+
+TEST(VersionIndexTest, EmptyLookupReturnsNull) {
+  BlockVersions index;
+  EXPECT_EQ(index.LookupVisible(BlockId{1}, kNoAru), nullptr);
+  EXPECT_EQ(index.FindExact(BlockId{1}, AruId{2}), nullptr);
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(VersionIndexTest, CommittedVisibleToEveryone) {
+  BlockVersions index;
+  index.Put(BlockId{1}, kNoAru, Meta(10), 10, 10);
+  const auto* simple = index.LookupVisible(BlockId{1}, kNoAru);
+  ASSERT_NE(simple, nullptr);
+  EXPECT_EQ(simple->meta.ts, 10u);
+  const auto* in_aru = index.LookupVisible(BlockId{1}, AruId{5});
+  ASSERT_NE(in_aru, nullptr);
+  EXPECT_EQ(in_aru->meta.ts, 10u);  // falls through to committed
+}
+
+TEST(VersionIndexTest, ShadowShadowsCommittedForItsOwnerOnly) {
+  BlockVersions index;
+  index.Put(BlockId{1}, kNoAru, Meta(10), 10, 10);
+  index.Put(BlockId{1}, AruId{2}, Meta(20), 20, 20);
+  EXPECT_EQ(index.LookupVisible(BlockId{1}, AruId{2})->meta.ts, 20u);
+  EXPECT_EQ(index.LookupVisible(BlockId{1}, kNoAru)->meta.ts, 10u);
+  EXPECT_EQ(index.LookupVisible(BlockId{1}, AruId{3})->meta.ts, 10u);
+}
+
+TEST(VersionIndexTest, PutReplacesInPlace) {
+  BlockVersions index;
+  index.Put(BlockId{1}, AruId{2}, Meta(20), 20, 20);
+  index.Put(BlockId{1}, AruId{2}, Meta(21), 21, 21);
+  EXPECT_EQ(index.shadow_size(AruId{2}), 1u);  // most recent version only
+  EXPECT_EQ(index.FindExact(BlockId{1}, AruId{2})->meta.ts, 21u);
+}
+
+TEST(VersionIndexTest, SourceLsnMinAccumulates) {
+  BlockVersions index;
+  index.Put(BlockId{1}, AruId{2}, Meta(20), 20, 20);
+  index.Put(BlockId{1}, AruId{2}, Meta(21), 21, 35);
+  EXPECT_EQ(index.FindExact(BlockId{1}, AruId{2})->source_lsn, 20u);
+  EXPECT_EQ(index.MinSourceLsn(), 20u);
+}
+
+TEST(VersionIndexTest, MinSourceLsnAcrossStates) {
+  BlockVersions index;
+  EXPECT_EQ(index.MinSourceLsn(), lld::kLsnMax);
+  index.Put(BlockId{1}, kNoAru, Meta(1), 1, 50);
+  index.Put(BlockId{2}, AruId{9}, Meta(2), 2, 30);
+  EXPECT_EQ(index.MinSourceLsn(), 30u);
+}
+
+TEST(VersionIndexTest, MergeMovesFreshRecords) {
+  BlockVersions index;
+  index.Put(BlockId{1}, AruId{2}, Meta(20), 20, 20);
+  index.Put(BlockId{3}, AruId{2}, Meta(21), 21, 21);
+  std::vector<BlockId> touched;
+  index.MergeIntoCommitted(AruId{2}, 50, [](const BlockMeta&) {},
+                           [](BlockId, const BlockMeta&) { return false; },
+                           touched);
+  EXPECT_EQ(touched.size(), 2u);
+  EXPECT_EQ(index.shadow_size(AruId{2}), 0u);
+  EXPECT_EQ(index.committed_size(), 2u);
+  const auto* node = index.FindExact(BlockId{1}, kNoAru);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->lsn, 50u);  // serialized at commit time
+  EXPECT_EQ(node->meta.ts, 20u);
+}
+
+TEST(VersionIndexTest, MergeReplacesExistingCommitted) {
+  BlockVersions index;
+  index.Put(BlockId{1}, kNoAru, Meta(10), 10, 10);
+  index.Put(BlockId{1}, AruId{2}, Meta(20), 20, 20);
+  std::uint64_t replaced = 0;
+  std::vector<BlockId> touched;
+  index.MergeIntoCommitted(AruId{2}, 50,
+                           [&replaced](const BlockMeta&) { ++replaced; },
+                           [](BlockId, const BlockMeta&) { return false; },
+                           touched);
+  EXPECT_EQ(replaced, 1u);
+  EXPECT_EQ(index.committed_size(), 1u);
+  EXPECT_EQ(index.FindExact(BlockId{1}, kNoAru)->meta.ts, 20u);
+  EXPECT_EQ(index.FindExact(BlockId{1}, kNoAru)->source_lsn, 10u);  // min
+  EXPECT_TRUE(index.Validate());
+}
+
+TEST(VersionIndexTest, MergeOfUnknownAruIsNoop) {
+  BlockVersions index;
+  index.Put(BlockId{1}, kNoAru, Meta(10), 10, 10);
+  std::vector<BlockId> touched;
+  index.MergeIntoCommitted(AruId{99}, 50, [](const BlockMeta&) {},
+                           [](BlockId, const BlockMeta&) { return false; },
+                           touched);
+  EXPECT_TRUE(touched.empty());
+  EXPECT_EQ(index.committed_size(), 1u);
+}
+
+TEST(VersionIndexTest, DropStateDiscardsShadow) {
+  BlockVersions index;
+  index.Put(BlockId{1}, kNoAru, Meta(10), 10, 10);
+  index.Put(BlockId{1}, AruId{2}, Meta(20), 20, 20);
+  index.Put(BlockId{5}, AruId{2}, Meta(21), 21, 21);
+  std::uint64_t dropped = 0;
+  index.DropState(AruId{2}, [&dropped](const BlockMeta&) { ++dropped; });
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(index.LookupVisible(BlockId{1}, AruId{2})->meta.ts, 10u);
+  EXPECT_EQ(index.LookupVisible(BlockId{5}, kNoAru), nullptr);
+  EXPECT_TRUE(index.Validate());
+}
+
+TEST(VersionIndexTest, RemoveUnlinksFromBothChains) {
+  BlockVersions index;
+  index.Put(BlockId{1}, kNoAru, Meta(10), 10, 10);
+  index.Put(BlockId{1}, AruId{2}, Meta(20), 20, 20);
+  auto* node = index.FindExact(BlockId{1}, kNoAru);
+  index.Remove(node);
+  EXPECT_EQ(index.committed_size(), 0u);
+  EXPECT_EQ(index.LookupVisible(BlockId{1}, kNoAru), nullptr);
+  EXPECT_EQ(index.LookupVisible(BlockId{1}, AruId{2})->meta.ts, 20u);
+  EXPECT_TRUE(index.Validate());
+}
+
+TEST(VersionIndexTest, ClearCommittedKeepsShadows) {
+  BlockVersions index;
+  index.Put(BlockId{1}, kNoAru, Meta(10), 10, 10);
+  index.Put(BlockId{2}, kNoAru, Meta(11), 11, 11);
+  index.Put(BlockId{1}, AruId{3}, Meta(30), 30, 30);
+  index.ClearCommitted();
+  EXPECT_EQ(index.committed_size(), 0u);
+  EXPECT_EQ(index.shadow_size(AruId{3}), 1u);
+  EXPECT_EQ(index.LookupVisible(BlockId{1}, AruId{3})->meta.ts, 30u);
+  EXPECT_TRUE(index.Validate());
+}
+
+TEST(VersionIndexTest, ForEachAllVisitsEverything) {
+  BlockVersions index;
+  index.Put(BlockId{1}, kNoAru, Meta(1), 1, 1);
+  index.Put(BlockId{2}, AruId{7}, Meta(2), 2, 2);
+  index.Put(BlockId{3}, AruId{8}, Meta(3), 3, 3);
+  std::size_t seen = 0;
+  index.ForEachAll([&seen](const BlockVersions::Node&) { ++seen; });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(VersionIndexTest, ChainStepsInstrumentation) {
+  BlockVersions index;
+  index.Put(BlockId{1}, kNoAru, Meta(1), 1, 1);
+  const std::uint64_t before = index.chain_steps();
+  (void)index.LookupVisible(BlockId{1}, kNoAru);
+  EXPECT_GT(index.chain_steps(), before);
+}
+
+TEST(VersionIndexTest, ManyStatesManyIdsStressValidate) {
+  BlockVersions index;
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const BlockId id{rng.Range(1, 64)};
+    const AruId owner{rng.Below(5)};  // 0 = committed
+    index.Put(id, owner, Meta(static_cast<std::uint64_t>(i)),
+              static_cast<lld::Lsn>(i), static_cast<lld::Lsn>(i));
+    if (rng.Chance(1, 20)) {
+      std::vector<BlockId> touched;
+      index.MergeIntoCommitted(AruId{rng.Range(1, 4)},
+                               static_cast<lld::Lsn>(i), [](const BlockMeta&) {},
+                               [](BlockId, const BlockMeta&) { return false; },
+                               touched);
+    }
+    if (rng.Chance(1, 40)) {
+      index.DropState(AruId{rng.Range(1, 4)}, [](const BlockMeta&) {});
+    }
+  }
+  EXPECT_TRUE(index.Validate());
+}
+
+}  // namespace
+}  // namespace aru::testing
