@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aru_latency.dir/bench_aru_latency.cc.o"
+  "CMakeFiles/bench_aru_latency.dir/bench_aru_latency.cc.o.d"
+  "bench_aru_latency"
+  "bench_aru_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aru_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cleaner.dir/bench_cleaner.cc.o"
+  "CMakeFiles/bench_cleaner.dir/bench_cleaner.cc.o.d"
+  "bench_cleaner"
+  "bench_cleaner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cleaner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_multiblock.cc" "bench/CMakeFiles/bench_multiblock.dir/bench_multiblock.cc.o" "gcc" "bench/CMakeFiles/bench_multiblock.dir/bench_multiblock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_support/CMakeFiles/aru_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lld/CMakeFiles/aru_lld.dir/DependInfo.cmake"
+  "/root/repo/build/src/minixfs/CMakeFiles/aru_minixfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/aru_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aru_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

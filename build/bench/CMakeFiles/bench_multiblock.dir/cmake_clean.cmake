@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiblock.dir/bench_multiblock.cc.o"
+  "CMakeFiles/bench_multiblock.dir/bench_multiblock.cc.o.d"
+  "bench_multiblock"
+  "bench_multiblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predecessor_search.dir/bench_predecessor_search.cc.o"
+  "CMakeFiles/bench_predecessor_search.dir/bench_predecessor_search.cc.o.d"
+  "bench_predecessor_search"
+  "bench_predecessor_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predecessor_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

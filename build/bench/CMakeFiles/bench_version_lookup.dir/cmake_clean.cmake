@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_version_lookup.dir/bench_version_lookup.cc.o"
+  "CMakeFiles/bench_version_lookup.dir/bench_version_lookup.cc.o.d"
+  "bench_version_lookup"
+  "bench_version_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_version_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_atomicity.dir/crash_atomicity.cpp.o"
+  "CMakeFiles/crash_atomicity.dir/crash_atomicity.cpp.o.d"
+  "crash_atomicity"
+  "crash_atomicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_demo.dir/fs_demo.cpp.o"
+  "CMakeFiles/fs_demo.dir/fs_demo.cpp.o.d"
+  "fs_demo"
+  "fs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

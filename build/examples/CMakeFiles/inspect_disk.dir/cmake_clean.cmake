@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_disk.dir/inspect_disk.cpp.o"
+  "CMakeFiles/inspect_disk.dir/inspect_disk.cpp.o.d"
+  "inspect_disk"
+  "inspect_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aru_bench_support.dir/report.cc.o"
+  "CMakeFiles/aru_bench_support.dir/report.cc.o.d"
+  "CMakeFiles/aru_bench_support.dir/rig.cc.o"
+  "CMakeFiles/aru_bench_support.dir/rig.cc.o.d"
+  "CMakeFiles/aru_bench_support.dir/workloads.cc.o"
+  "CMakeFiles/aru_bench_support.dir/workloads.cc.o.d"
+  "libaru_bench_support.a"
+  "libaru_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aru_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockdev/block_device.cc" "src/blockdev/CMakeFiles/aru_blockdev.dir/block_device.cc.o" "gcc" "src/blockdev/CMakeFiles/aru_blockdev.dir/block_device.cc.o.d"
+  "/root/repo/src/blockdev/disk_model.cc" "src/blockdev/CMakeFiles/aru_blockdev.dir/disk_model.cc.o" "gcc" "src/blockdev/CMakeFiles/aru_blockdev.dir/disk_model.cc.o.d"
+  "/root/repo/src/blockdev/fault_disk.cc" "src/blockdev/CMakeFiles/aru_blockdev.dir/fault_disk.cc.o" "gcc" "src/blockdev/CMakeFiles/aru_blockdev.dir/fault_disk.cc.o.d"
+  "/root/repo/src/blockdev/file_disk.cc" "src/blockdev/CMakeFiles/aru_blockdev.dir/file_disk.cc.o" "gcc" "src/blockdev/CMakeFiles/aru_blockdev.dir/file_disk.cc.o.d"
+  "/root/repo/src/blockdev/mem_disk.cc" "src/blockdev/CMakeFiles/aru_blockdev.dir/mem_disk.cc.o" "gcc" "src/blockdev/CMakeFiles/aru_blockdev.dir/mem_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aru_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

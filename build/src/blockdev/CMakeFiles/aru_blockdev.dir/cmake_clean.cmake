@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aru_blockdev.dir/block_device.cc.o"
+  "CMakeFiles/aru_blockdev.dir/block_device.cc.o.d"
+  "CMakeFiles/aru_blockdev.dir/disk_model.cc.o"
+  "CMakeFiles/aru_blockdev.dir/disk_model.cc.o.d"
+  "CMakeFiles/aru_blockdev.dir/fault_disk.cc.o"
+  "CMakeFiles/aru_blockdev.dir/fault_disk.cc.o.d"
+  "CMakeFiles/aru_blockdev.dir/file_disk.cc.o"
+  "CMakeFiles/aru_blockdev.dir/file_disk.cc.o.d"
+  "CMakeFiles/aru_blockdev.dir/mem_disk.cc.o"
+  "CMakeFiles/aru_blockdev.dir/mem_disk.cc.o.d"
+  "libaru_blockdev.a"
+  "libaru_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aru_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aru_btree.dir/btree.cc.o"
+  "CMakeFiles/aru_btree.dir/btree.cc.o.d"
+  "libaru_btree.a"
+  "libaru_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aru_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaru_btree.a"
+)

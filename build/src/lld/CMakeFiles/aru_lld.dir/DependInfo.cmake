@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lld/checkpoint.cc" "src/lld/CMakeFiles/aru_lld.dir/checkpoint.cc.o" "gcc" "src/lld/CMakeFiles/aru_lld.dir/checkpoint.cc.o.d"
+  "/root/repo/src/lld/layout.cc" "src/lld/CMakeFiles/aru_lld.dir/layout.cc.o" "gcc" "src/lld/CMakeFiles/aru_lld.dir/layout.cc.o.d"
+  "/root/repo/src/lld/lld.cc" "src/lld/CMakeFiles/aru_lld.dir/lld.cc.o" "gcc" "src/lld/CMakeFiles/aru_lld.dir/lld.cc.o.d"
+  "/root/repo/src/lld/lld_cleaner.cc" "src/lld/CMakeFiles/aru_lld.dir/lld_cleaner.cc.o" "gcc" "src/lld/CMakeFiles/aru_lld.dir/lld_cleaner.cc.o.d"
+  "/root/repo/src/lld/lld_consistency.cc" "src/lld/CMakeFiles/aru_lld.dir/lld_consistency.cc.o" "gcc" "src/lld/CMakeFiles/aru_lld.dir/lld_consistency.cc.o.d"
+  "/root/repo/src/lld/lld_recovery.cc" "src/lld/CMakeFiles/aru_lld.dir/lld_recovery.cc.o" "gcc" "src/lld/CMakeFiles/aru_lld.dir/lld_recovery.cc.o.d"
+  "/root/repo/src/lld/segment_writer.cc" "src/lld/CMakeFiles/aru_lld.dir/segment_writer.cc.o" "gcc" "src/lld/CMakeFiles/aru_lld.dir/segment_writer.cc.o.d"
+  "/root/repo/src/lld/summary.cc" "src/lld/CMakeFiles/aru_lld.dir/summary.cc.o" "gcc" "src/lld/CMakeFiles/aru_lld.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aru_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/aru_blockdev.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aru_lld.dir/checkpoint.cc.o"
+  "CMakeFiles/aru_lld.dir/checkpoint.cc.o.d"
+  "CMakeFiles/aru_lld.dir/layout.cc.o"
+  "CMakeFiles/aru_lld.dir/layout.cc.o.d"
+  "CMakeFiles/aru_lld.dir/lld.cc.o"
+  "CMakeFiles/aru_lld.dir/lld.cc.o.d"
+  "CMakeFiles/aru_lld.dir/lld_cleaner.cc.o"
+  "CMakeFiles/aru_lld.dir/lld_cleaner.cc.o.d"
+  "CMakeFiles/aru_lld.dir/lld_consistency.cc.o"
+  "CMakeFiles/aru_lld.dir/lld_consistency.cc.o.d"
+  "CMakeFiles/aru_lld.dir/lld_recovery.cc.o"
+  "CMakeFiles/aru_lld.dir/lld_recovery.cc.o.d"
+  "CMakeFiles/aru_lld.dir/segment_writer.cc.o"
+  "CMakeFiles/aru_lld.dir/segment_writer.cc.o.d"
+  "CMakeFiles/aru_lld.dir/summary.cc.o"
+  "CMakeFiles/aru_lld.dir/summary.cc.o.d"
+  "libaru_lld.a"
+  "libaru_lld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aru_lld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minixfs/check.cc" "src/minixfs/CMakeFiles/aru_minixfs.dir/check.cc.o" "gcc" "src/minixfs/CMakeFiles/aru_minixfs.dir/check.cc.o.d"
+  "/root/repo/src/minixfs/format.cc" "src/minixfs/CMakeFiles/aru_minixfs.dir/format.cc.o" "gcc" "src/minixfs/CMakeFiles/aru_minixfs.dir/format.cc.o.d"
+  "/root/repo/src/minixfs/minix_fs.cc" "src/minixfs/CMakeFiles/aru_minixfs.dir/minix_fs.cc.o" "gcc" "src/minixfs/CMakeFiles/aru_minixfs.dir/minix_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aru_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

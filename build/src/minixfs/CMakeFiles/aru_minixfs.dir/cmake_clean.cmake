@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aru_minixfs.dir/check.cc.o"
+  "CMakeFiles/aru_minixfs.dir/check.cc.o.d"
+  "CMakeFiles/aru_minixfs.dir/format.cc.o"
+  "CMakeFiles/aru_minixfs.dir/format.cc.o.d"
+  "CMakeFiles/aru_minixfs.dir/minix_fs.cc.o"
+  "CMakeFiles/aru_minixfs.dir/minix_fs.cc.o.d"
+  "libaru_minixfs.a"
+  "libaru_minixfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aru_minixfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aru_minixfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aru_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/aru_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/aru_txn.dir/txn.cc.o"
+  "CMakeFiles/aru_txn.dir/txn.cc.o.d"
+  "libaru_txn.a"
+  "libaru_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aru_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

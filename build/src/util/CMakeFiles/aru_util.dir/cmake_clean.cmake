@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aru_util.dir/crc32.cc.o"
+  "CMakeFiles/aru_util.dir/crc32.cc.o.d"
+  "CMakeFiles/aru_util.dir/log.cc.o"
+  "CMakeFiles/aru_util.dir/log.cc.o.d"
+  "CMakeFiles/aru_util.dir/status.cc.o"
+  "CMakeFiles/aru_util.dir/status.cc.o.d"
+  "libaru_util.a"
+  "libaru_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aru_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

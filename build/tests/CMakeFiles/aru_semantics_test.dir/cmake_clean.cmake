@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aru_semantics_test.dir/aru_semantics_test.cc.o"
+  "CMakeFiles/aru_semantics_test.dir/aru_semantics_test.cc.o.d"
+  "aru_semantics_test"
+  "aru_semantics_test.pdb"
+  "aru_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aru_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lld_basic_test.dir/lld_basic_test.cc.o"
+  "CMakeFiles/lld_basic_test.dir/lld_basic_test.cc.o.d"
+  "lld_basic_test"
+  "lld_basic_test.pdb"
+  "lld_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lld_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

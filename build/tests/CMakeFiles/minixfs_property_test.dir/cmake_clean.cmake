@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minixfs_property_test.dir/minixfs_property_test.cc.o"
+  "CMakeFiles/minixfs_property_test.dir/minixfs_property_test.cc.o.d"
+  "minixfs_property_test"
+  "minixfs_property_test.pdb"
+  "minixfs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minixfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

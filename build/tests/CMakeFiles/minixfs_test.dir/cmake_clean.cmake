@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minixfs_test.dir/minixfs_test.cc.o"
+  "CMakeFiles/minixfs_test.dir/minixfs_test.cc.o.d"
+  "minixfs_test"
+  "minixfs_test.pdb"
+  "minixfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minixfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/move_block_test.cc" "tests/CMakeFiles/move_block_test.dir/move_block_test.cc.o" "gcc" "tests/CMakeFiles/move_block_test.dir/move_block_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lld/CMakeFiles/aru_lld.dir/DependInfo.cmake"
+  "/root/repo/build/src/minixfs/CMakeFiles/aru_minixfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/aru_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/aru_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/aru_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aru_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

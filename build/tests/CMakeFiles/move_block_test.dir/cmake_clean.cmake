@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_block_test.dir/move_block_test.cc.o"
+  "CMakeFiles/move_block_test.dir/move_block_test.cc.o.d"
+  "move_block_test"
+  "move_block_test.pdb"
+  "move_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

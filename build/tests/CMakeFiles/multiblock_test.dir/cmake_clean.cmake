@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiblock_test.dir/multiblock_test.cc.o"
+  "CMakeFiles/multiblock_test.dir/multiblock_test.cc.o.d"
+  "multiblock_test"
+  "multiblock_test.pdb"
+  "multiblock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

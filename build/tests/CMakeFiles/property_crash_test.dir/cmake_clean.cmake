@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_crash_test.dir/property_crash_test.cc.o"
+  "CMakeFiles/property_crash_test.dir/property_crash_test.cc.o.d"
+  "property_crash_test"
+  "property_crash_test.pdb"
+  "property_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_writer_test.dir/segment_writer_test.cc.o"
+  "CMakeFiles/segment_writer_test.dir/segment_writer_test.cc.o.d"
+  "segment_writer_test"
+  "segment_writer_test.pdb"
+  "segment_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_pin_test.dir/semantics_pin_test.cc.o"
+  "CMakeFiles/semantics_pin_test.dir/semantics_pin_test.cc.o.d"
+  "semantics_pin_test"
+  "semantics_pin_test.pdb"
+  "semantics_pin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_pin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_index_test.dir/version_index_test.cc.o"
+  "CMakeFiles/version_index_test.dir/version_index_test.cc.o.d"
+  "version_index_test"
+  "version_index_test.pdb"
+  "version_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lld_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/aru_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/minixfs_test[1]_include.cmake")
+include("/root/repo/build/tests/property_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/blockdev_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/version_index_test[1]_include.cmake")
+include("/root/repo/build/tests/cleaner_test[1]_include.cmake")
+include("/root/repo/build/tests/threads_test[1]_include.cmake")
+include("/root/repo/build/tests/fsck_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/read_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/multiblock_test[1]_include.cmake")
+include("/root/repo/build/tests/minixfs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/segment_writer_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/semantics_pin_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/api_surface_test[1]_include.cmake")
+include("/root/repo/build/tests/move_block_test[1]_include.cmake")
