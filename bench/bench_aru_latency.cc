@@ -16,6 +16,13 @@ namespace {
 int Main(int argc, char** argv) {
   const std::uint64_t arus = FlagU64(argc, argv, "arus", 500000);
 
+  BenchArtifact artifact("aru_latency");
+  artifact.AddScalar("arus", static_cast<double>(arus));
+
+  // Kept alive past the loop so the artifact can embed the "new"
+  // configuration's full metrics registry.
+  std::unique_ptr<Rig> new_rig;
+
   for (const MinixLldConfig& config : {NewConfig(), OldConfig()}) {
     auto rig = MakeRig(config);
     if (!rig.ok()) {
@@ -49,9 +56,28 @@ int Main(int argc, char** argv) {
                 config.name.c_str(), static_cast<unsigned long long>(arus),
                 us / static_cast<double>(arus),
                 static_cast<unsigned long long>(segments));
+
+    artifact.AddScalar(config.name + "_us_per_aru",
+                       us / static_cast<double>(arus));
+    artifact.AddScalar(config.name + "_segments",
+                       static_cast<double>(segments));
+    if (const obs::Histogram* h =
+            disk.registry().FindHistogram("aru_lld_commit_us")) {
+      const obs::Histogram::Snapshot snap = h->TakeSnapshot();
+      artifact.AddScalar(config.name + "_commit_p50_us", snap.Percentile(50));
+      artifact.AddScalar(config.name + "_commit_p99_us", snap.Percentile(99));
+      std::printf("%-12s: commit latency p50 %.1f us, p99 %.1f us\n",
+                  config.name.c_str(), snap.Percentile(50),
+                  snap.Percentile(99));
+    }
+    if (config.name == NewConfig().name) new_rig = std::move(*rig);
   }
+  if (new_rig != nullptr) artifact.SetRegistry(&new_rig->registry);
   std::printf("[paper: 78.47 usec per ARU on a 70 MHz SPARC-5/70; "
               "24 segments for 500,000 ARUs]\n");
+  if (const Status s = artifact.WriteFile(); !s.ok()) {
+    std::fprintf(stderr, "artifact: %s\n", s.ToString().c_str());
+  }
   return 0;
 }
 

@@ -90,6 +90,9 @@ int Main(int argc, char** argv) {
               "overwrites of 8 KB files on a tight 48 MB disk)\n",
               static_cast<unsigned long long>(rounds),
               static_cast<unsigned long long>(overwrites));
+  BenchArtifact artifact("cleaner");
+  artifact.AddScalar("rounds", static_cast<double>(rounds));
+  artifact.AddScalar("overwrites", static_cast<double>(overwrites));
   Table table({"policy", "wall s", "cleaner passes", "segments cleaned",
                "live blocks copied"});
   for (const auto& [name, policy] :
@@ -105,8 +108,19 @@ int Main(int argc, char** argv) {
                   std::to_string(result->cleaner_passes),
                   std::to_string(result->segments_cleaned),
                   std::to_string(result->blocks_copied)});
+    const std::string key = std::string(name) == "greedy" ? "greedy" : "cb";
+    artifact.AddScalar(key + "_wall_s", result->wall_s);
+    artifact.AddScalar(key + "_cleaner_passes",
+                       static_cast<double>(result->cleaner_passes));
+    artifact.AddScalar(key + "_segments_cleaned",
+                       static_cast<double>(result->segments_cleaned));
+    artifact.AddScalar(key + "_blocks_copied",
+                       static_cast<double>(result->blocks_copied));
   }
   table.Print();
+  if (const Status s = artifact.WriteFile(); !s.ok()) {
+    std::fprintf(stderr, "artifact: %s\n", s.ToString().c_str());
+  }
   std::printf(
       "\nExpected shape: greedy minimizes copies this instant (emptiest\n"
       "victim first); cost-benefit deliberately also cleans old, fuller\n"

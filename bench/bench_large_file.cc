@@ -141,6 +141,25 @@ int Main(int argc, char** argv) {
     }
     modeled_table.Print();
   }
+
+  BenchArtifact artifact("large_file");
+  artifact.AddScalar("file_mb", static_cast<double>(mb));
+  artifact.AddScalar("repeats", static_cast<double>(repeats));
+  artifact.AddString("modeled_disk", model ? "true" : "false");
+  for (const Series& s : series) {
+    const std::string key = s.name == "old" ? "old" : "new";
+    for (int p = 0; p < 5; ++p) {
+      const auto idx = static_cast<std::size_t>(p);
+      artifact.AddScalar(key + "_" + phase_names[p] + "_mbps", s.mbps[idx]);
+      if (model) {
+        artifact.AddScalar(key + "_" + phase_names[p] + "_modeled_mbps",
+                           s.modeled_mbps[idx]);
+      }
+    }
+  }
+  if (const Status s = artifact.WriteFile(); !s.ok()) {
+    std::fprintf(stderr, "artifact: %s\n", s.ToString().c_str());
+  }
   return 0;
 }
 

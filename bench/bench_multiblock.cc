@@ -46,6 +46,8 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(count));
   Table table({"method", "device reads", "modeled I/O s", "modeled MB/s",
                "wall ms"});
+  BenchArtifact artifact("multiblock");
+  artifact.AddScalar("blocks", static_cast<double>(count));
 
   for (const bool many : {false, true}) {
     const std::uint64_t reads_before = device->stats().read_ops;
@@ -70,8 +72,17 @@ int Main(int argc, char** argv) {
                   std::to_string(device_reads), FormatDouble(io_s, 2),
                   FormatDouble(static_cast<double>(mb) / io_s, 2),
                   FormatDouble(wall_ms, 1)});
+    const std::string key = many ? "read_many" : "read_per_block";
+    artifact.AddScalar(key + "_device_reads",
+                       static_cast<double>(device_reads));
+    artifact.AddScalar(key + "_modeled_io_s", io_s);
+    artifact.AddScalar(key + "_modeled_mbps",
+                       static_cast<double>(mb) / io_s);
   }
   table.Print();
+  if (const Status s = artifact.WriteFile(); !s.ok()) {
+    std::fprintf(stderr, "artifact: %s\n", s.ToString().c_str());
+  }
   std::printf("\nExpected shape: coalescing collapses ~%llu per-block\n"
               "requests into ~one per segment, taking the modeled disk\n"
               "from overhead-bound to media-rate.\n",

@@ -86,7 +86,12 @@ int Main(int argc, char** argv) {
       {"cache, hot set fits", cache, files / 10},
       {"cache, hot set does not fit", files / 25, files / 10},
   };
-  for (const Config& config : configs) {
+  BenchArtifact artifact("read_cache");
+  artifact.AddScalar("files", static_cast<double>(files));
+  artifact.AddScalar("reads", static_cast<double>(reads));
+  const char* keys[] = {"no_cache", "cache_fits", "cache_thrash"};
+  for (std::size_t c = 0; c < 3; ++c) {
+    const Config& config = configs[c];
     auto result = RunOne(config.cache_blocks, files, reads, config.hot);
     if (!result.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", config.name,
@@ -94,14 +99,23 @@ int Main(int argc, char** argv) {
       return 1;
     }
     const std::uint64_t lookups = result->hits + result->misses;
+    const double hit_rate =
+        lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(result->hits) /
+                           static_cast<double>(lookups);
     table.AddRow({config.name, FormatDouble(result->wall_s, 3),
                   FormatDouble(result->virtual_io_s, 2),
-                  lookups == 0
-                      ? std::string("-")
-                      : FormatDouble(100.0 * static_cast<double>(result->hits) /
-                                         static_cast<double>(lookups)) + "%"});
+                  lookups == 0 ? std::string("-")
+                               : FormatDouble(hit_rate) + "%"});
+    artifact.AddScalar(std::string(keys[c]) + "_wall_s", result->wall_s);
+    artifact.AddScalar(std::string(keys[c]) + "_modeled_io_s",
+                       result->virtual_io_s);
+    artifact.AddScalar(std::string(keys[c]) + "_hit_rate_percent", hit_rate);
   }
   table.Print();
+  if (const Status s = artifact.WriteFile(); !s.ok()) {
+    std::fprintf(stderr, "artifact: %s\n", s.ToString().c_str());
+  }
   std::printf("\nExpected shape: a cache that holds the hot set absorbs\n"
               "~90%% of reads (each saved read is a saved seek on the\n"
               "modeled 1993 disk); an undersized cache thrashes.\n");

@@ -122,6 +122,27 @@ int Main(int argc, char** argv) {
   }
   figure.Print();
 
+  BenchArtifact artifact("small_files");
+  artifact.AddScalar("files_1k", static_cast<double>(files_1k));
+  artifact.AddScalar("files_10k", static_cast<double>(files_10k));
+  artifact.AddScalar("repeats", static_cast<double>(repeats));
+  artifact.AddString("modeled_disk", model ? "true" : "false");
+  for (const Row& row : rows) {
+    std::string key = row.config;
+    for (char& c : key) {
+      if (c == ',' || c == ' ') c = '_';
+    }
+    artifact.AddScalar(key + "_cw_1k_files_s", row.cw_1k);
+    artifact.AddScalar(key + "_r_1k_files_s", row.r_1k);
+    artifact.AddScalar(key + "_d_1k_files_s", row.d_1k);
+    artifact.AddScalar(key + "_cw_10k_files_s", row.cw_10k);
+    artifact.AddScalar(key + "_r_10k_files_s", row.r_10k);
+    artifact.AddScalar(key + "_d_10k_files_s", row.d_10k);
+  }
+  if (const Status s = artifact.WriteFile(); !s.ok()) {
+    std::fprintf(stderr, "artifact: %s\n", s.ToString().c_str());
+  }
+
   const Row& old_row = rows[0];
   const Row& new_row = rows[1];
   const Row& new_delete = rows[2];

@@ -182,6 +182,10 @@ int Main(int argc, char** argv) {
 
   Table table({"version", "wall s", "ops/s", "segments", "cleaner passes",
                "pred-search steps", "link-log replays"});
+  BenchArtifact artifact("trace");
+  artifact.AddScalar("ops", static_cast<double>(total_ops));
+  artifact.AddString("trace",
+                     trace_file.empty() ? "synthetic" : trace_file);
   for (const MinixLldConfig& config :
        {OldConfig(), NewConfig(), NewDeleteConfig()}) {
     auto rig = MakeRig(config);
@@ -204,8 +208,19 @@ int Main(int argc, char** argv) {
                   std::to_string(stats.cleaner_passes),
                   std::to_string(stats.predecessor_search_steps),
                   std::to_string(stats.link_log_entries_replayed)});
+    std::string key = config.name;
+    for (char& c : key) {
+      if (c == ',' || c == ' ') c = '_';
+    }
+    artifact.AddScalar(key + "_ops_s",
+                       static_cast<double>(ops.size()) / seconds);
+    artifact.AddScalar(key + "_segments",
+                       static_cast<double>(stats.segments_written));
   }
   table.Print();
+  if (const Status s = artifact.WriteFile(); !s.ok()) {
+    std::fprintf(stderr, "artifact: %s\n", s.ToString().c_str());
+  }
   return 0;
 }
 

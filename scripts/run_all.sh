@@ -3,28 +3,55 @@
 # benchmark, capturing the outputs the repository documents:
 #   test_output.txt   — ctest results
 #   bench_output.txt  — all benchmark tables (paper figures + ablations)
-set -u
+#
+# Exits non-zero if the build, any test, any example, or any benchmark
+# fails (individual failures are reported and counted rather than
+# aborting the sweep, so one bad benchmark still leaves a full report).
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+# Prefer Ninja for fresh trees; an existing build/ keeps its generator
+# (passing -G into it would be a hard CMake error).
+if [ -d build ]; then
+  cmake -B build
+else
+  cmake -B build -G Ninja
+fi
 cmake --build build
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+failures=0
+
+if ! ctest --test-dir build 2>&1 | tee test_output.txt; then
+  echo "TESTS FAILED"
+  failures=$((failures + 1))
+fi
 
 for example in build/examples/*; do
-  [ -x "$example" ] || continue
+  # -f: directories like CMakeFiles/ pass -x alone
+  [ -f "$example" ] && [ -x "$example" ] || continue
   echo "=== $example ==="
-  "$example" || echo "EXAMPLE FAILED: $example"
+  if ! "$example"; then
+    echo "EXAMPLE FAILED: $example"
+    failures=$((failures + 1))
+  fi
 done
 
-{
-  for bench in build/bench/*; do
-    [ -x "$bench" ] || continue
-    case "$bench" in
-      *CMake*|*cmake*|*CTest*) continue ;;
-    esac
-    echo "===== $(basename "$bench") ====="
-    "$bench"
-    echo
-  done
-} 2>&1 | tee bench_output.txt
+: > bench_output.txt
+for bench in build/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  case "$bench" in
+    *CMake*|*cmake*|*CTest*) continue ;;
+  esac
+  { echo "===== $(basename "$bench") ====="; } | tee -a bench_output.txt
+  if ! "$bench" 2>&1 | tee -a bench_output.txt; then
+    echo "BENCH FAILED: $bench" | tee -a bench_output.txt
+    failures=$((failures + 1))
+  fi
+  echo | tee -a bench_output.txt
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "run_all: $failures step(s) FAILED"
+  exit 1
+fi
+echo "run_all: all green"

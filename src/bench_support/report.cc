@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <numeric>
+#include <sstream>
 
 namespace aru::bench {
 
@@ -89,6 +91,75 @@ bool FlagBool(int argc, char** argv, const std::string& key, bool fallback) {
     if (argv[i] == off || argv[i] == on + "=false") return false;
   }
   return fallback;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchArtifact::AddScalar(const std::string& key, double value) {
+  scalars_.emplace_back(key, value);
+}
+
+void BenchArtifact::AddString(const std::string& key,
+                              const std::string& value) {
+  strings_.emplace_back(key, value);
+}
+
+std::string BenchArtifact::ToJson() const {
+  std::ostringstream out;
+  out << "{\"name\":\"" << JsonEscape(name_) << "\"";
+  if (!strings_.empty()) {
+    out << ",\"config\":{";
+    bool first = true;
+    for (const auto& [key, value] : strings_) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+    }
+    out << "}";
+  }
+  out << ",\"scalars\":{";
+  bool first = true;
+  for (const auto& [key, value] : scalars_) {
+    if (!first) out << ",";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out << "\"" << JsonEscape(key) << "\":" << buf;
+  }
+  out << "}";
+  if (registry_ != nullptr) {
+    out << ",\"metrics\":" << registry_->DumpJson();
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Status BenchArtifact::WriteFile() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return IoError("cannot open " + path);
+  file << ToJson();
+  file.flush();
+  if (!file) return IoError("write failed: " + path);
+  return Status::Ok();
 }
 
 }  // namespace aru::bench

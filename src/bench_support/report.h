@@ -4,7 +4,11 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
 
 namespace aru::bench {
 
@@ -48,5 +52,30 @@ std::string FormatDouble(double value, int precision = 1);
 std::uint64_t FlagU64(int argc, char** argv, const std::string& key,
                       std::uint64_t fallback);
 bool FlagBool(int argc, char** argv, const std::string& key, bool fallback);
+
+// Machine-readable benchmark result: named scalars plus (optionally)
+// the full obs::Registry dump of the run, written to
+// BENCH_<name>.json in the current directory so CI and comparison
+// scripts don't have to scrape the human-readable tables.
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name) : name_(std::move(name)) {}
+
+  void AddScalar(const std::string& key, double value);
+  void AddString(const std::string& key, const std::string& value);
+
+  // Registry whose DumpJson() is embedded under "metrics" at write
+  // time; not owned, must outlive WriteFile().
+  void SetRegistry(const obs::Registry* registry) { registry_ = registry; }
+
+  std::string ToJson() const;
+  Status WriteFile() const;  // BENCH_<name_>.json
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, std::string>> strings_;
+  const obs::Registry* registry_ = nullptr;
+};
 
 }  // namespace aru::bench

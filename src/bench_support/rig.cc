@@ -38,7 +38,8 @@ Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
   auto mem = std::make_unique<MemDisk>(sectors);
   if (options.model_disk_time) {
     rig->device = std::make_unique<ModeledDisk>(
-        std::move(mem), DiskModelParams::HpC3010(), &rig->clock);
+        std::move(mem), DiskModelParams::HpC3010(), &rig->clock,
+        &rig->registry);
   } else {
     rig->device = std::move(mem);
   }
@@ -48,6 +49,7 @@ Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
   lld_options.segment_size = options.segment_size;
   lld_options.aru_mode = config.aru_mode;
   lld_options.capacity_blocks = options.capacity_blocks;
+  lld_options.registry = &rig->registry;
   ARU_RETURN_IF_ERROR(lld::Lld::Format(*rig->device, lld_options));
   ARU_ASSIGN_OR_RETURN(rig->disk, lld::Lld::Open(*rig->device, lld_options));
 

@@ -24,6 +24,7 @@
 #include "blockdev/mem_disk.h"
 #include "lld/lld.h"
 #include "minixfs/minix_fs.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 
 namespace aru::bench {
@@ -41,6 +42,9 @@ MinixLldConfig NewDeleteConfig();
 
 struct Rig {
   MinixLldConfig config;
+  // All layers (disk model, LLD) report into this registry; declared
+  // first so it outlives everything that records into it.
+  obs::Registry registry;
   VirtualClock clock;                     // advanced by the disk model
   std::unique_ptr<BlockDevice> device;    // MemDisk, optionally modeled
   std::unique_ptr<lld::Lld> disk;

@@ -23,4 +23,20 @@ Status BlockDevice::CheckRange(std::uint64_t first_sector,
   return Status::Ok();
 }
 
+void ExportDeviceStats(const DeviceStats& stats, obs::Registry& registry,
+                       const std::string& prefix) {
+  const auto set = [&registry](const std::string& name, const char* help,
+                               std::uint64_t value) {
+    obs::Counter* counter = registry.GetCounter(name, help);
+    counter->Reset();
+    counter->Add(value);
+  };
+  set(prefix + "_read_ops_total", "Device read requests", stats.read_ops);
+  set(prefix + "_write_ops_total", "Device write requests", stats.write_ops);
+  set(prefix + "_sectors_read_total", "Sectors read", stats.sectors_read);
+  set(prefix + "_sectors_written_total", "Sectors written",
+      stats.sectors_written);
+  set(prefix + "_syncs_total", "Device sync requests", stats.syncs);
+}
+
 }  // namespace aru

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -27,6 +29,13 @@ struct DeviceStats {
   std::uint64_t sectors_written = 0;
   std::uint64_t syncs = 0;
 };
+
+// Mirrors a DeviceStats snapshot into `registry` as the counters
+// <prefix>_{read_ops,write_ops,sectors_read,sectors_written,syncs}_total
+// (each reset to the snapshot value), so device-level I/O accounting
+// shows up in the same DumpText/DumpJson output as everything else.
+void ExportDeviceStats(const DeviceStats& stats, obs::Registry& registry,
+                       const std::string& prefix = "aru_device");
 
 class BlockDevice {
  public:

@@ -35,24 +35,33 @@ std::uint64_t DiskModel::ServiceUs(std::uint64_t first_sector,
 }
 
 ModeledDisk::ModeledDisk(std::unique_ptr<BlockDevice> inner,
-                         DiskModelParams params, VirtualClock* clock)
+                         DiskModelParams params, VirtualClock* clock,
+                         obs::Registry* registry)
     : inner_(std::move(inner)),
       model_(params, inner_->sector_count()),
-      clock_(clock) {}
+      clock_(clock),
+      read_service_vus_(obs::Registry::OrDefault(registry).GetHistogram(
+          "aru_device_read_service_vus",
+          "Modeled read service time (virtual microseconds)")),
+      write_service_vus_(obs::Registry::OrDefault(registry).GetHistogram(
+          "aru_device_write_service_vus",
+          "Modeled write service time (virtual microseconds)")) {}
 
 Status ModeledDisk::Read(std::uint64_t first_sector, MutableByteSpan out) {
   ARU_RETURN_IF_ERROR(inner_->Read(first_sector, out));
-  clock_->Advance(
-      model_.ServiceUs(first_sector, out.size() / sector_size(),
-                       sector_size()));
+  const std::uint64_t service = model_.ServiceUs(
+      first_sector, out.size() / sector_size(), sector_size());
+  read_service_vus_->Record(service);
+  clock_->Advance(service);
   return Status::Ok();
 }
 
 Status ModeledDisk::Write(std::uint64_t first_sector, ByteSpan data) {
   ARU_RETURN_IF_ERROR(inner_->Write(first_sector, data));
-  clock_->Advance(
-      model_.ServiceUs(first_sector, data.size() / sector_size(),
-                       sector_size()));
+  const std::uint64_t service = model_.ServiceUs(
+      first_sector, data.size() / sector_size(), sector_size());
+  write_service_vus_->Record(service);
+  clock_->Advance(service);
   return Status::Ok();
 }
 

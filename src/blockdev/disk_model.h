@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "blockdev/block_device.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 
 namespace aru {
@@ -53,11 +54,14 @@ class DiskModel {
 };
 
 // Decorator: delegates all I/O to `inner` and advances a virtual clock
-// by the modeled service time of each request.
+// by the modeled service time of each request. Per-request modeled
+// service times land in the aru_device_{read,write}_service_vus
+// histograms (virtual microseconds) of `registry`
+// (obs::Registry::Default() when nullptr).
 class ModeledDisk final : public BlockDevice {
  public:
   ModeledDisk(std::unique_ptr<BlockDevice> inner, DiskModelParams params,
-              VirtualClock* clock);
+              VirtualClock* clock, obs::Registry* registry = nullptr);
 
   std::uint32_t sector_size() const override { return inner_->sector_size(); }
   std::uint64_t sector_count() const override { return inner_->sector_count(); }
@@ -72,6 +76,8 @@ class ModeledDisk final : public BlockDevice {
   std::unique_ptr<BlockDevice> inner_;
   DiskModel model_;
   VirtualClock* clock_;  // not owned
+  obs::Histogram* read_service_vus_;
+  obs::Histogram* write_service_vus_;
 };
 
 }  // namespace aru

@@ -6,8 +6,18 @@
 namespace aru {
 
 FaultInjectionDisk::FaultInjectionDisk(std::unique_ptr<BlockDevice> inner,
-                                       std::uint64_t seed)
-    : inner_(std::move(inner)), rng_(seed) {}
+                                       std::uint64_t seed,
+                                       obs::Registry* registry)
+    : inner_(std::move(inner)),
+      rng_(seed),
+      power_cuts_(obs::Registry::OrDefault(registry).GetCounter(
+          "aru_fault_power_cuts_total", "Simulated power failures fired")),
+      torn_sectors_(obs::Registry::OrDefault(registry).GetCounter(
+          "aru_fault_torn_sectors_total",
+          "Garbage sectors written by torn-write injection")),
+      bad_sector_reads_(obs::Registry::OrDefault(registry).GetCounter(
+          "aru_fault_bad_sector_reads_total",
+          "Reads failed by simulated media errors")) {}
 
 void FaultInjectionDisk::SchedulePowerCut(std::uint64_t sectors, bool tear) {
   cut_after_ = sectors_written_ + sectors;
@@ -21,6 +31,7 @@ Status FaultInjectionDisk::Read(std::uint64_t first_sector,
   const std::uint64_t sectors = out.size() / sector_size();
   for (std::uint64_t s = first_sector; s < first_sector + sectors; ++s) {
     if (bad_sectors_.contains(s)) {
+      bad_sector_reads_->Increment();
       return IoError("media failure at sector " + std::to_string(s));
     }
   }
@@ -35,7 +46,10 @@ Status FaultInjectionDisk::Write(std::uint64_t first_sector, ByteSpan data) {
 
   if (sectors_written_ + sectors <= cut_after_) {
     sectors_written_ += sectors;
-    if (sectors_written_ == cut_after_) dead_ = true;
+    if (sectors_written_ == cut_after_) {
+      dead_ = true;
+      power_cuts_->Increment();
+    }
     return inner_->Write(first_sector, data);
   }
 
@@ -51,9 +65,11 @@ Status FaultInjectionDisk::Write(std::uint64_t first_sector, ByteSpan data) {
       b = static_cast<std::byte>(rng_.Next() & 0xff);
     }
     (void)inner_->Write(first_sector + keep, garbage);
+    torn_sectors_->Increment();
   }
   sectors_written_ = cut_after_;
   dead_ = true;
+  power_cuts_->Increment();
   return UnavailableError("power failed during write");
 }
 

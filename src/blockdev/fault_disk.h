@@ -16,14 +16,19 @@
 #include <unordered_set>
 
 #include "blockdev/block_device.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace aru {
 
 class FaultInjectionDisk final : public BlockDevice {
  public:
+  // Injected faults are counted into `registry`
+  // (obs::Registry::Default() when nullptr) as
+  // aru_fault_{power_cuts,torn_sectors,bad_sector_reads}_total.
   explicit FaultInjectionDisk(std::unique_ptr<BlockDevice> inner,
-                              std::uint64_t seed = 42);
+                              std::uint64_t seed = 42,
+                              obs::Registry* registry = nullptr);
 
   std::uint32_t sector_size() const override { return inner_->sector_size(); }
   std::uint64_t sector_count() const override { return inner_->sector_count(); }
@@ -55,6 +60,9 @@ class FaultInjectionDisk final : public BlockDevice {
   bool tear_ = false;
   bool dead_ = false;
   std::unordered_set<std::uint64_t> bad_sectors_;
+  obs::Counter* power_cuts_;
+  obs::Counter* torn_sectors_;
+  obs::Counter* bad_sector_reads_;
 };
 
 }  // namespace aru

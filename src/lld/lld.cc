@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace aru::lld {
@@ -25,8 +26,14 @@ Lld::Lld(BlockDevice& device, const Options& options, const Geometry& geometry)
     : device_(device),
       options_(options),
       geometry_(geometry),
+      owned_registry_(options.registry == nullptr
+                          ? std::make_unique<obs::Registry>()
+                          : nullptr),
+      registry_(options.registry != nullptr ? *options.registry
+                                            : *owned_registry_),
+      metrics_(registry_),
       slots_(geometry.slot_count),
-      writer_(device, geometry_, slots_, stats_),
+      writer_(device, geometry_, slots_, metrics_),
       read_cache_(options.read_cache_blocks, geometry.block_size) {}
 
 Lld::~Lld() = default;
@@ -176,7 +183,7 @@ Status Lld::ExecUnlink(AruId state, BlockId block, BlockMeta& bmeta,
     BlockMeta cmeta;
     bool found = false;
     while (cur.valid()) {
-      ++stats_.predecessor_search_steps;
+      metrics_.predecessor_search_steps->Increment();
       cmeta = VisibleBlock(cur, state);
       if (!cmeta.allocated) {
         return CorruptionError("list " + std::to_string(list.value()) +
@@ -312,6 +319,8 @@ void Lld::PushPromotions(const Touched& touched, Lsn eff_lsn,
 
 void Lld::MaybePromoteLocked() {
   const Lsn horizon = writer_.persisted_lsn();
+  metrics_.promotion_lag_lsn->Set(
+      static_cast<std::int64_t>(next_lsn_ - 1 - horizon));
   while (!promotion_fifo_.empty() &&
          promotion_fifo_.front().eff_lsn <= horizon) {
     const PromotionEntry entry = promotion_fifo_.front();
@@ -340,6 +349,8 @@ void Lld::MaybePromoteLocked() {
       }
     }
   }
+  metrics_.promotion_fifo_depth->Set(
+      static_cast<std::int64_t>(promotion_fifo_.size()));
 }
 
 void Lld::PromoteAllCommittedLocked() {
@@ -596,6 +607,7 @@ Status Lld::Write(BlockId block, ByteSpan data, AruId aru) {
                                 " != block size " +
                                 std::to_string(geometry_.block_size));
   }
+  obs::SpanTimer latency(nullptr, "lld", "write", metrics_.op_write_us);
   const std::lock_guard<std::mutex> lock(mu_);
   AruState* state = nullptr;
   if (aru.valid()) {
@@ -633,19 +645,20 @@ Status Lld::Read(BlockId block, MutableByteSpan out, AruId aru) {
   if (out.size() != geometry_.block_size) {
     return InvalidArgumentError("read size != block size");
   }
+  obs::SpanTimer latency(nullptr, "lld", "read", metrics_.op_read_us);
   const std::lock_guard<std::mutex> lock(mu_);
   if (aru.valid()) {
     ARU_RETURN_IF_ERROR(FindAru(aru).status());
   }
   const BlockMeta meta = VisibleBlock(block, aru);
   if (!meta.allocated) return BlockNotFound(block);
-  ++stats_.blocks_read;
+  metrics_.blocks_read->Increment();
   if (!meta.phys.valid()) {
     std::fill(out.begin(), out.end(), std::byte{0});
     return Status::Ok();
   }
   if (writer_.InOpenSegment(meta.phys)) {
-    ++stats_.reads_from_open_segment;
+    metrics_.reads_from_open_segment->Increment();
     writer_.ReadOpenBlock(meta.phys, out);
     return Status::Ok();
   }
@@ -683,7 +696,7 @@ Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
     if (!meta.allocated) return BlockNotFound(blocks[i]);
     targets[i].phys = meta.phys;
     targets[i].from_open_segment = writer_.InOpenSegment(meta.phys);
-    ++stats_.blocks_read;
+    metrics_.blocks_read->Increment();
   }
 
   const std::uint32_t sectors_per_block = bs / geometry_.sector_size;
@@ -697,7 +710,7 @@ Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
       continue;
     }
     if (target.from_open_segment) {
-      ++stats_.reads_from_open_segment;
+      metrics_.reads_from_open_segment->Increment();
       writer_.ReadOpenBlock(target.phys, slice);
       ++i;
       continue;
@@ -743,19 +756,30 @@ Result<AruId> Lld::BeginARU() {
   AruState state;
   state.id = aru;
   state.begin_lsn = NextLsn();
+  state.begin_us = obs::NowUs();
   active_arus_.emplace(aru, std::move(state));
-  ++stats_.arus_begun;
+  metrics_.arus_begun->Increment();
+  metrics_.active_arus->Set(static_cast<std::int64_t>(active_arus_.size()));
   return aru;
 }
 
 Status Lld::EndARU(AruId aru) {
   const std::lock_guard<std::mutex> lock(mu_);
   ARU_ASSIGN_OR_RETURN(AruState * state, FindAru(aru));
+  const std::uint64_t begin_us = state->begin_us;
+  obs::SpanTimer commit_span(nullptr, "lld", "end_aru", metrics_.commit_us);
   const Status status = options_.aru_mode == AruMode::kConcurrent
                             ? EndAruConcurrentLocked(*state)
                             : EndAruSequentialLocked(*state);
+  commit_span.Finish();
   active_arus_.erase(aru);
-  if (status.ok()) ++stats_.arus_committed;
+  metrics_.active_arus->Set(static_cast<std::int64_t>(active_arus_.size()));
+  if (status.ok()) {
+    metrics_.arus_committed->Increment();
+    const std::uint64_t lifetime = obs::NowUs() - begin_us;
+    metrics_.aru_lifetime_us->Record(lifetime);
+    obs::Tracer::Default().RecordComplete("lld", "aru", begin_us, lifetime);
+  }
   MaybePromoteLocked();
   ARU_RETURN_IF_ERROR(status);
   return ParanoidCheck();
@@ -769,7 +793,7 @@ Status Lld::EndAruConcurrentLocked(AruState& state) {
   //    at kLsnMax until the commit record's LSN is known.
   Touched touched;
   for (const LinkOp& op : state.link_log) {
-    ++stats_.link_log_entries_replayed;
+    metrics_.link_log_entries_replayed->Increment();
     const Lsn lsn = NextLsn();
     Status applied;
     switch (op.kind) {
@@ -938,7 +962,8 @@ Status Lld::AbortARU(AruId aru) {
   }
 
   active_arus_.erase(aru);
-  ++stats_.arus_aborted;
+  metrics_.arus_aborted->Increment();
+  metrics_.active_arus->Set(static_cast<std::int64_t>(active_arus_.size()));
   MaybePromoteLocked();
   return ParanoidCheck();
 }
@@ -948,7 +973,7 @@ Status Lld::Flush() {
   ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
   ARU_RETURN_IF_ERROR(device_.Sync());
   MaybePromoteLocked();
-  ++stats_.flushes;
+  metrics_.flushes->Increment();
   return ParanoidCheck();
 }
 
@@ -1072,7 +1097,7 @@ Status Lld::TakeCheckpointLocked() {
   for (const std::uint32_t slot : slots_.ReleasePending(covered)) {
     read_cache_.InvalidateSlot(slot);
   }
-  ++stats_.checkpoints;
+  metrics_.checkpoints->Increment();
   return Status::Ok();
 }
 

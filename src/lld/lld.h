@@ -41,6 +41,7 @@
 #include "lld/block_cache.h"
 #include "lld/checkpoint.h"
 #include "lld/layout.h"
+#include "lld/lld_metrics.h"
 #include "lld/segment_writer.h"
 #include "lld/slot_table.h"
 #include "lld/tables.h"
@@ -68,6 +69,15 @@ struct RecoveryReport {
   std::uint64_t orphan_blocks_reclaimed = 0;
   std::uint64_t orphan_lists_reclaimed = 0;
   std::uint64_t ops_skipped = 0;  // inapplicable records (conflicts)
+
+  // Per-phase wall-clock timing of the recovery pipeline (also recorded
+  // as aru_lld_recovery_*_us histograms and trace spans).
+  std::uint64_t checkpoint_load_us = 0;  // newest checkpoint read
+  std::uint64_t summary_scan_us = 0;     // footer scan + summary validate
+  std::uint64_t replay_us = 0;           // event build + replay + promote
+  std::uint64_t orphan_reclaim_us = 0;   // consistency sweep
+  std::uint64_t checkpoint_us = 0;       // bounding checkpoint + check
+  std::uint64_t total_us = 0;
 };
 
 class Lld final : public ld::Disk {
@@ -129,11 +139,18 @@ class Lld final : public ld::Disk {
   // Deep structural validation of tables, version indexes and lists.
   Status CheckConsistency() const;
 
-  const LldStats& stats() const {
-    stats_.version_chain_steps =
-        block_versions_.chain_steps() + list_versions_.chain_steps();
-    return stats_;
+  // Consistent snapshot of the registry-backed counters, taken under
+  // the operation mutex (concurrent mutating streams cannot race it).
+  LldStats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    metrics_.version_chain_steps->Set(static_cast<std::int64_t>(
+        block_versions_.chain_steps() + list_versions_.chain_steps()));
+    return metrics_.Snapshot();
   }
+  // The registry holding this disk's counters, gauges and latency
+  // histograms (obs::DumpText/DumpJson-able). Private to this disk
+  // unless Options.registry supplied a shared one.
+  obs::Registry& registry() const { return registry_; }
   const RecoveryReport& recovery_report() const { return recovery_report_; }
   const BlockCacheStats& read_cache_stats() const {
     return read_cache_.stats();
@@ -151,6 +168,7 @@ class Lld final : public ld::Disk {
   struct AruState {
     AruId id;
     Lsn begin_lsn = kNoLsn;
+    std::uint64_t begin_us = 0;  // obs::NowUs() at BeginARU
     std::vector<LinkOp> link_log;
     // Blocks/lists allocated inside this ARU (freed again on abort).
     std::vector<BlockId> allocated_blocks;
@@ -231,6 +249,11 @@ class Lld final : public ld::Disk {
   Options options_;
   Geometry geometry_;
 
+  // Declared before writer_ (which records into metrics_).
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry& registry_;
+  LldMetrics metrics_;
+
   mutable std::mutex mu_;
 
   BlockMap block_map_;
@@ -253,7 +276,6 @@ class Lld final : public ld::Disk {
   std::uint64_t checkpoint_stamp_ = 0;
   std::uint64_t last_covered_seq_ = 0;
 
-  mutable LldStats stats_;
   RecoveryReport recovery_report_;
 };
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "lld/lld.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/log.h"
 
@@ -43,7 +44,11 @@ Status Lld::MaybeCleanLocked() {
 }
 
 Status Lld::RunCleanerLocked() {
-  ++stats_.cleaner_passes;
+  metrics_.cleaner_passes->Increment();
+  obs::SpanTimer pass_span(&obs::Tracer::Default(), "lld", "cleaner_pass",
+                           metrics_.cleaner_pass_us);
+  const std::uint64_t copied_before =
+      metrics_.blocks_copied_by_cleaner->value();
 
   // Liveness per slot, from the persistent map; pinned slots carry
   // not-yet-persistent version data.
@@ -138,13 +143,18 @@ Status Lld::RunCleanerLocked() {
                            writer_.AppendRewrite(rewrite, block_buf));
       // The move is physical only: update the persistent map in place.
       block_map_.FindMutable(block)->phys = new_phys;
-      ++stats_.blocks_copied_by_cleaner;
+      metrics_.blocks_copied_by_cleaner->Increment();
     }
 
     slots_[victim.slot].state = SlotState::kPendingFree;
     ++gained;
-    ++stats_.segments_cleaned;
+    metrics_.segments_cleaned->Increment();
   }
+
+  const std::uint64_t copied =
+      metrics_.blocks_copied_by_cleaner->value() - copied_before;
+  metrics_.cleaner_copied_blocks->Record(copied);
+  pass_span.SetArg("copied_blocks", copied);
 
   // Seal the copies and checkpoint: captures the moved addresses and
   // releases the victims.

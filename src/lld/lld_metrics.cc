@@ -1,0 +1,111 @@
+#include "lld/lld_metrics.h"
+
+namespace aru::lld {
+
+LldMetrics::LldMetrics(obs::Registry& registry) {
+  auto counter = [&registry](const char* name, const char* help) {
+    return registry.GetCounter(name, help);
+  };
+  segments_written = counter("aru_lld_segments_written_total",
+                             "segments sealed and written to disk");
+  partial_segments_written =
+      counter("aru_lld_partial_segments_written_total",
+              "segments sealed by Flush before they were full");
+  bytes_written_to_disk = counter("aru_lld_bytes_written_to_disk_total",
+                                  "segment bytes written to the device");
+  blocks_written =
+      counter("aru_lld_blocks_written_total", "logical block writes");
+  blocks_read = counter("aru_lld_blocks_read_total", "logical block reads");
+  reads_from_open_segment =
+      counter("aru_lld_reads_from_open_segment_total",
+              "reads served from the in-memory open segment");
+  arus_begun = counter("aru_lld_arus_begun_total", "BeginARU calls");
+  arus_committed = counter("aru_lld_arus_committed_total", "committed ARUs");
+  arus_aborted = counter("aru_lld_arus_aborted_total", "aborted ARUs");
+  link_log_entries_replayed =
+      counter("aru_lld_link_log_entries_replayed_total",
+              "list operations re-executed at EndARU");
+  predecessor_search_steps =
+      counter("aru_lld_predecessor_search_steps_total",
+              "list-walk steps during unlink predecessor searches");
+  flushes = counter("aru_lld_flushes_total", "Flush calls");
+  checkpoints = counter("aru_lld_checkpoints_total", "checkpoints taken");
+  cleaner_passes = counter("aru_lld_cleaner_passes_total", "cleaner passes");
+  segments_cleaned =
+      counter("aru_lld_segments_cleaned_total", "victim segments reclaimed");
+  blocks_copied_by_cleaner = counter("aru_lld_blocks_copied_by_cleaner_total",
+                                     "live blocks copied by the cleaner");
+  orphan_blocks_reclaimed =
+      counter("aru_lld_orphan_blocks_reclaimed_total",
+              "allocated-but-listless blocks freed (abort/recovery)");
+
+  version_chain_steps =
+      registry.GetGauge("aru_lld_version_chain_steps",
+                        "same-id version chain traversals (cumulative)");
+  promotion_fifo_depth =
+      registry.GetGauge("aru_lld_promotion_fifo_depth",
+                        "committed records awaiting promotion");
+  promotion_lag_lsn = registry.GetGauge(
+      "aru_lld_promotion_lag_lsn",
+      "LSNs between the operation stream and the persisted horizon");
+  active_arus = registry.GetGauge("aru_lld_active_arus", "open ARUs");
+
+  op_write_us = registry.GetHistogram("aru_lld_op_write_us",
+                                      "Write() latency, wall microseconds");
+  op_read_us = registry.GetHistogram("aru_lld_op_read_us",
+                                     "Read() latency, wall microseconds");
+  commit_us = registry.GetHistogram(
+      "aru_lld_commit_us",
+      "EndARU latency (link-log replay + commit record), wall microseconds");
+  aru_lifetime_us =
+      registry.GetHistogram("aru_lld_aru_lifetime_us",
+                            "BeginARU to EndARU/AbortARU, wall microseconds");
+  seal_us = registry.GetHistogram(
+      "aru_lld_seal_us", "segment seal incl. device write, wall microseconds");
+  segment_fill_percent = registry.GetHistogram(
+      "aru_lld_segment_fill_percent", "payload fill ratio of sealed segments");
+  cleaner_pass_us = registry.GetHistogram("aru_lld_cleaner_pass_us",
+                                          "cleaner pass, wall microseconds");
+  cleaner_copied_blocks = registry.GetHistogram(
+      "aru_lld_cleaner_copied_blocks", "blocks copied per cleaner pass");
+  recovery_checkpoint_load_us =
+      registry.GetHistogram("aru_lld_recovery_checkpoint_load_us",
+                            "recovery: newest checkpoint load");
+  recovery_summary_scan_us =
+      registry.GetHistogram("aru_lld_recovery_summary_scan_us",
+                            "recovery: footer scan + summary read/validate");
+  recovery_replay_us = registry.GetHistogram(
+      "aru_lld_recovery_replay_us", "recovery: event build + replay + promote");
+  recovery_orphan_reclaim_us =
+      registry.GetHistogram("aru_lld_recovery_orphan_reclaim_us",
+                            "recovery: orphan block/list reclamation");
+  recovery_checkpoint_us =
+      registry.GetHistogram("aru_lld_recovery_checkpoint_us",
+                            "recovery: bounding checkpoint + consistency");
+}
+
+LldStats LldMetrics::Snapshot() const {
+  LldStats stats;
+  stats.segments_written = segments_written->value();
+  stats.partial_segments_written = partial_segments_written->value();
+  stats.bytes_written_to_disk = bytes_written_to_disk->value();
+  stats.blocks_written = blocks_written->value();
+  stats.blocks_read = blocks_read->value();
+  stats.reads_from_open_segment = reads_from_open_segment->value();
+  stats.arus_begun = arus_begun->value();
+  stats.arus_committed = arus_committed->value();
+  stats.arus_aborted = arus_aborted->value();
+  stats.link_log_entries_replayed = link_log_entries_replayed->value();
+  stats.predecessor_search_steps = predecessor_search_steps->value();
+  stats.version_chain_steps =
+      static_cast<std::uint64_t>(version_chain_steps->value());
+  stats.flushes = flushes->value();
+  stats.checkpoints = checkpoints->value();
+  stats.cleaner_passes = cleaner_passes->value();
+  stats.segments_cleaned = segments_cleaned->value();
+  stats.blocks_copied_by_cleaner = blocks_copied_by_cleaner->value();
+  stats.orphan_blocks_reclaimed = orphan_blocks_reclaimed->value();
+  return stats;
+}
+
+}  // namespace aru::lld

@@ -1,0 +1,66 @@
+// LldMetrics: the LLD's named handles into an obs::Registry.
+//
+// Every counter that used to live as a plain field in LldStats is now a
+// registry counter (so it shows up in DumpText/DumpJson and benchmark
+// artifacts); LldStats survives as a snapshot struct assembled by
+// Lld::stats(), keeping the existing tests and paper-comparison numbers
+// untouched. Histograms carry the latency distributions the paper's
+// evaluation reasons about, and gauges expose current levels (promotion
+// FIFO depth, promotion-horizon lag in LSNs, active ARUs).
+#pragma once
+
+#include "lld/types.h"
+#include "obs/metrics.h"
+
+namespace aru::lld {
+
+struct LldMetrics {
+  explicit LldMetrics(obs::Registry& registry);
+
+  // Counters backing the LldStats façade (names: aru_lld_<field>_total).
+  obs::Counter* segments_written;
+  obs::Counter* partial_segments_written;
+  obs::Counter* bytes_written_to_disk;
+  obs::Counter* blocks_written;
+  obs::Counter* blocks_read;
+  obs::Counter* reads_from_open_segment;
+  obs::Counter* arus_begun;
+  obs::Counter* arus_committed;
+  obs::Counter* arus_aborted;
+  obs::Counter* link_log_entries_replayed;
+  obs::Counter* predecessor_search_steps;
+  obs::Counter* flushes;
+  obs::Counter* checkpoints;
+  obs::Counter* cleaner_passes;
+  obs::Counter* segments_cleaned;
+  obs::Counter* blocks_copied_by_cleaner;
+  obs::Counter* orphan_blocks_reclaimed;
+
+  // Gauges.
+  obs::Gauge* version_chain_steps;   // refreshed by Lld::stats()
+  obs::Gauge* promotion_fifo_depth;
+  obs::Gauge* promotion_lag_lsn;     // next LSN - persisted LSN horizon
+  obs::Gauge* active_arus;
+
+  // Latency/size distributions (wall-clock microseconds unless noted).
+  obs::Histogram* op_write_us;
+  obs::Histogram* op_read_us;
+  obs::Histogram* commit_us;         // EndARU: replay + commit record
+  obs::Histogram* aru_lifetime_us;   // BeginARU → EndARU/AbortARU
+  obs::Histogram* seal_us;           // segment seal incl. device write
+  obs::Histogram* segment_fill_percent;
+  obs::Histogram* cleaner_pass_us;
+  obs::Histogram* cleaner_copied_blocks;  // per pass
+  obs::Histogram* recovery_checkpoint_load_us;
+  obs::Histogram* recovery_summary_scan_us;
+  obs::Histogram* recovery_replay_us;
+  obs::Histogram* recovery_orphan_reclaim_us;
+  obs::Histogram* recovery_checkpoint_us;
+
+  // The façade: LldStats rebuilt from the registry counters
+  // (version_chain_steps is filled in by Lld::stats(), which owns the
+  // version indexes the number comes from).
+  LldStats Snapshot() const;
+};
+
+}  // namespace aru::lld

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "lld/lld.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/log.h"
 
@@ -42,9 +43,18 @@ struct Event {
 }  // namespace
 
 Status Lld::RecoverLocked() {
+  const std::uint64_t recover_start = obs::NowUs();
+  obs::SpanTimer total_span(&obs::Tracer::Default(), "lld", "recovery");
+
   CheckpointData ckpt;
-  ARU_RETURN_IF_ERROR(ReadNewestCheckpoint(device_, geometry_, ckpt,
-                                           block_map_, list_table_));
+  {
+    obs::SpanTimer span(&obs::Tracer::Default(), "lld",
+                        "recovery_checkpoint_load",
+                        metrics_.recovery_checkpoint_load_us);
+    ARU_RETURN_IF_ERROR(ReadNewestCheckpoint(device_, geometry_, ckpt,
+                                             block_map_, list_table_));
+    recovery_report_.checkpoint_load_us = span.ElapsedUs();
+  }
   next_lsn_ = ckpt.next_lsn;
   next_block_id_ = ckpt.next_block_id;
   next_list_id_ = ckpt.next_list_id;
@@ -54,6 +64,9 @@ Status Lld::RecoverLocked() {
 
   // ------------------------------------------------------------------
   // Scan slot footers; collect the roll-forward segments.
+  obs::SpanTimer scan_span(&obs::Tracer::Default(), "lld",
+                           "recovery_summary_scan",
+                           metrics_.recovery_summary_scan_us);
   std::uint64_t max_seq = ckpt.covered_seq;
   std::vector<ReplaySegment> replay;
   {
@@ -105,6 +118,12 @@ Status Lld::RecoverLocked() {
       }
     }
   }
+  recovery_report_.summary_scan_us = scan_span.ElapsedUs();
+  scan_span.SetArg("segments", replay.size());
+  scan_span.Finish();
+
+  obs::SpanTimer replay_span(&obs::Tracer::Default(), "lld",
+                             "recovery_replay", metrics_.recovery_replay_us);
 
   // ------------------------------------------------------------------
   // Pass 1: which ARUs committed? Also restore the id/LSN counters
@@ -239,6 +258,9 @@ Status Lld::RecoverLocked() {
   for (const AruId aru : seen_arus) {
     if (!commit_lsn.contains(aru)) ++recovery_report_.uncommitted_arus_undone;
   }
+  recovery_report_.replay_us = replay_span.ElapsedUs();
+  replay_span.SetArg("records", recovery_report_.records_replayed);
+  replay_span.Finish();
 
   // ------------------------------------------------------------------
   // Consistency check: free blocks an interrupted ARU left allocated
@@ -247,6 +269,9 @@ Status Lld::RecoverLocked() {
   // immediately; the insertion that would have populated the list was
   // part of the shadow state and did not survive).
   if (options_.reclaim_orphans_on_recovery) {
+    obs::SpanTimer reclaim_span(&obs::Tracer::Default(), "lld",
+                                "recovery_orphan_reclaim",
+                                metrics_.recovery_orphan_reclaim_us);
     std::vector<BlockId> orphans;
     block_map_.ForEach([&orphans](BlockId id, const BlockMeta& meta) {
       if (!meta.list.valid()) orphans.push_back(id);
@@ -255,7 +280,7 @@ Status Lld::RecoverLocked() {
       block_map_.Erase(id);
     }
     recovery_report_.orphan_blocks_reclaimed = orphans.size();
-    stats_.orphan_blocks_reclaimed += orphans.size();
+    metrics_.orphan_blocks_reclaimed->Add(orphans.size());
 
     std::vector<ListId> undone_lists;
     for (const ReplaySegment& seg : replay) {
@@ -274,6 +299,7 @@ Status Lld::RecoverLocked() {
         ++recovery_report_.orphan_lists_reclaimed;
       }
     }
+    recovery_report_.orphan_reclaim_us = reclaim_span.ElapsedUs();
   }
   allocated_blocks_ = block_map_.size();
   list_count_ = list_table_.size();
@@ -281,6 +307,9 @@ Status Lld::RecoverLocked() {
   // ------------------------------------------------------------------
   // Restore the writer, free dead slots, and bound the next recovery
   // with a fresh checkpoint (its covered horizon includes everything).
+  obs::SpanTimer ckpt_span(&obs::Tracer::Default(), "lld",
+                           "recovery_checkpoint",
+                           metrics_.recovery_checkpoint_us);
   writer_.Restore(max_seq + 1, next_lsn_ - 1, 0);
 
   std::vector<std::uint64_t> live_per_slot(geometry_.slot_count, 0);
@@ -295,7 +324,10 @@ Status Lld::RecoverLocked() {
   }
 
   ARU_RETURN_IF_ERROR(TakeCheckpointLocked());
-  return CheckConsistencyLocked();
+  ARU_RETURN_IF_ERROR(CheckConsistencyLocked());
+  recovery_report_.checkpoint_us = ckpt_span.ElapsedUs();
+  recovery_report_.total_us = obs::NowUs() - recover_start;
+  return Status::Ok();
 }
 
 }  // namespace aru::lld

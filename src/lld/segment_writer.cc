@@ -3,13 +3,14 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/crc32.h"
 
 namespace aru::lld {
 
 SegmentWriter::SegmentWriter(BlockDevice& device, const Geometry& geometry,
-                             SlotTable& slots, LldStats& stats)
-    : device_(device), geometry_(geometry), slots_(slots), stats_(stats) {
+                             SlotTable& slots, LldMetrics& metrics)
+    : device_(device), geometry_(geometry), slots_(slots), metrics_(metrics) {
   buffer_.resize(geometry_.segment_size);
 }
 
@@ -53,6 +54,10 @@ Status SegmentWriter::Seal() {
     return Status::Ok();
   }
 
+  obs::SpanTimer span(&obs::Tracer::Default(), "lld", "segment_seal",
+                      metrics_.seal_us);
+  span.SetArg("records", record_count_);
+
   // Place the summary directly before the footer.
   const std::size_t summary_at =
       geometry_.segment_size - kFooterSize - records_.size();
@@ -76,12 +81,15 @@ Status SegmentWriter::Seal() {
   info.last_lsn = footer.last_lsn;
 
   if (last_lsn_in_segment_ != kNoLsn) persisted_lsn_ = last_lsn_in_segment_;
-  ++stats_.segments_written;
+  metrics_.segments_written->Increment();
+  const std::size_t usable = geometry_.segment_size - kFooterSize;
+  metrics_.segment_fill_percent->Record(
+      (data_bytes_ + records_.size()) * 100 / usable);
   const std::uint32_t max_blocks = geometry_.blocks_per_segment_max();
   if (data_blocks_ < max_blocks && open_room() > geometry_.block_size) {
-    ++stats_.partial_segments_written;
+    metrics_.partial_segments_written->Increment();
   }
-  stats_.bytes_written_to_disk += geometry_.segment_size;
+  metrics_.bytes_written_to_disk->Add(geometry_.segment_size);
   open_ = false;
   return Status::Ok();
 }
@@ -119,7 +127,7 @@ Result<PhysAddr> SegmentWriter::AppendDataAndRecord(Record record,
 
 Result<PhysAddr> SegmentWriter::AppendWrite(WriteRecord record,
                                             ByteSpan data) {
-  ++stats_.blocks_written;
+  metrics_.blocks_written->Increment();
   return AppendDataAndRecord(record, data);
 }
 

@@ -13,6 +13,7 @@
 
 #include "blockdev/block_device.h"
 #include "lld/layout.h"
+#include "lld/lld_metrics.h"
 #include "lld/slot_table.h"
 #include "lld/summary.h"
 #include "lld/types.h"
@@ -23,7 +24,7 @@ namespace aru::lld {
 class SegmentWriter {
  public:
   SegmentWriter(BlockDevice& device, const Geometry& geometry,
-                SlotTable& slots, LldStats& stats);
+                SlotTable& slots, LldMetrics& metrics);
 
   // Restores counters after recovery.
   void Restore(std::uint64_t next_seq, Lsn persisted_lsn,
@@ -76,7 +77,7 @@ class SegmentWriter {
   BlockDevice& device_;
   const Geometry& geometry_;
   SlotTable& slots_;
-  LldStats& stats_;
+  LldMetrics& metrics_;
 
   bool open_ = false;
   std::uint32_t open_slot_ = 0;

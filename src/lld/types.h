@@ -7,6 +7,10 @@
 
 #include "ld/ids.h"
 
+namespace aru::obs {
+class Registry;
+}  // namespace aru::obs
+
 namespace aru::lld {
 
 using ld::AruId;
@@ -92,6 +96,9 @@ enum class CleanerPolicy {
 
 // Counters exposed for tests and the benchmark harness (e.g. the paper
 // reports "24 segments are written" for the 500,000-ARU experiment).
+// A consistent snapshot assembled by Lld::stats() from the disk's
+// obs::Registry counters (see lld_metrics.h); the registry is the
+// source of truth and additionally carries latency histograms.
 struct LldStats {
   std::uint64_t segments_written = 0;
   std::uint64_t partial_segments_written = 0;  // sealed by Flush before full
@@ -134,6 +141,11 @@ struct Options {
   // Read-cache capacity in blocks (0 = disabled). Keyed by physical
   // address; coherent by construction on a log-structured disk.
   std::size_t read_cache_blocks = 0;
+  // Metrics registry the disk reports into. nullptr gives the disk a
+  // private registry (reachable via Lld::registry()), so counters from
+  // independent disks in one process never bleed into each other; pass
+  // &obs::Registry::Default() (or any shared instance) to aggregate.
+  obs::Registry* registry = nullptr;
 };
 
 }  // namespace aru::lld

@@ -1,0 +1,284 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+namespace aru::obs {
+namespace {
+
+std::string FormatF(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::uint64_t NowUs() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  const auto elapsed = std::chrono::steady_clock::now() - epoch;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+// ---------------------------------------------------------------------
+// Histogram.
+
+std::size_t Histogram::BucketFor(std::uint64_t value) {
+  if (value == 0) return 0;
+  const auto index = static_cast<std::size_t>(std::bit_width(value));
+  return std::min(index, kOverflowBucket);
+}
+
+std::uint64_t Histogram::BucketUpperBound(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= kOverflowBucket) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = min == ~0ull ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets[i] == 0) continue;
+    const auto next = static_cast<double>(cumulative + buckets[i]);
+    if (next >= target) {
+      // Interpolate linearly inside the bucket [lower, upper].
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(BucketUpperBound(i - 1)) + 1.0;
+      const double upper = i >= kOverflowBucket
+                               ? static_cast<double>(max)
+                               : static_cast<double>(BucketUpperBound(i));
+      const double within =
+          std::clamp((target - static_cast<double>(cumulative)) /
+                         static_cast<double>(buckets[i]),
+                     0.0, 1.0);
+      const double estimate = lower + (upper - lower) * within;
+      return std::clamp(estimate, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cumulative += buckets[i];
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+
+Registry& Registry::Default() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Registry::Entry* Registry::GetEntry(std::string_view name,
+                                    std::string_view help, Kind kind) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == kind ? &it->second : nullptr;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = std::string(help);
+  switch (kind) {
+    case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entries_.emplace(std::string(name), std::move(entry)).first->second;
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view help) {
+  Entry* entry = GetEntry(name, help, Kind::kCounter);
+  return entry != nullptr ? entry->counter.get() : nullptr;
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view help) {
+  Entry* entry = GetEntry(name, help, Kind::kGauge);
+  return entry != nullptr ? entry->gauge.get() : nullptr;
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::string_view help) {
+  Entry* entry = GetEntry(name, help, Kind::kHistogram);
+  return entry != nullptr ? entry->histogram.get() : nullptr;
+}
+
+const Counter* Registry::FindCounter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kCounter
+             ? it->second.counter.get()
+             : nullptr;
+}
+
+const Gauge* Registry::FindGauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kGauge
+             ? it->second.gauge.get()
+             : nullptr;
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kHistogram
+             ? it->second.histogram.get()
+             : nullptr;
+}
+
+void Registry::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->Reset(); break;
+      case Kind::kGauge: entry.gauge->Reset(); break;
+      case Kind::kHistogram: entry.histogram->Reset(); break;
+    }
+  }
+}
+
+std::string Registry::DumpText() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.help.empty()) {
+      out += "# HELP " + name + " " + entry.help + "\n";
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(entry.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(entry.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot snap = entry.histogram->TakeSnapshot();
+        out += "# TYPE " + name + " summary\n";
+        out += name + "_count " + std::to_string(snap.count) + "\n";
+        out += name + "_sum " + std::to_string(snap.sum) + "\n";
+        for (const double q : {50.0, 95.0, 99.0}) {
+          out += name + "{quantile=\"" + FormatF(q / 100.0) + "\"} " +
+                 FormatF(snap.Percentile(q)) + "\n";
+        }
+        out += name + "_min " + std::to_string(snap.min) + "\n";
+        out += name + "_max " + std::to_string(snap.max) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::DumpJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ",";
+        AppendJsonString(counters, name);
+        counters += ":" + std::to_string(entry.counter->value());
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        AppendJsonString(gauges, name);
+        gauges += ":" + std::to_string(entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot snap = entry.histogram->TakeSnapshot();
+        if (!histograms.empty()) histograms += ",";
+        AppendJsonString(histograms, name);
+        histograms += ":{\"count\":" + std::to_string(snap.count) +
+                      ",\"sum\":" + std::to_string(snap.sum) +
+                      ",\"min\":" + std::to_string(snap.min) +
+                      ",\"max\":" + std::to_string(snap.max) +
+                      ",\"mean\":" + FormatF(snap.mean()) +
+                      ",\"p50\":" + FormatF(snap.Percentile(50)) +
+                      ",\"p95\":" + FormatF(snap.Percentile(95)) +
+                      ",\"p99\":" + FormatF(snap.Percentile(99)) +
+                      ",\"buckets\":[";
+        bool first = true;
+        for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          if (snap.buckets[i] == 0) continue;
+          if (!first) histograms += ",";
+          first = false;
+          histograms += "{\"le\":" +
+                        std::to_string(Histogram::BucketUpperBound(i)) +
+                        ",\"count\":" + std::to_string(snap.buckets[i]) + "}";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+}  // namespace aru::obs

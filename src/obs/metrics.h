@@ -1,0 +1,167 @@
+// aru::obs — process-wide observability primitives for the LLD stack.
+//
+// A Registry names and owns three metric kinds:
+//
+//   Counter    monotone u64 (suffix `_total`, or `_us`/`_bytes` sums);
+//   Gauge      settable i64 snapshot of a current level (queue depth,
+//              promotion-horizon lag, ...);
+//   Histogram  log2-bucketed latency/size distribution with
+//              p50/p95/p99/max. Values are dimensionless integers; the
+//              metric name carries the unit (`_us` = wall-clock
+//              microseconds, `_vus` = VirtualClock modeled-disk
+//              microseconds, `_percent`, `_blocks`, ...).
+//
+// All mutators are lock-free atomics, safe to call from concurrent
+// client threads (the multi-stream ARU API is thread-safe; its metrics
+// must be too). Snapshots and dumps are weakly consistent: they may
+// observe a count without the matching sum under concurrent recording,
+// which is fine for reporting.
+//
+// Registry::Default() is the process-wide instance. Components accept a
+// Registry* and fall back to Default() when given nullptr, so tests and
+// benchmark rigs can isolate their numbers by supplying their own.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aru::obs {
+
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Power-of-two buckets: bucket 0 holds the value 0, bucket i (1..47)
+// holds [2^(i-1), 2^i), and the last bucket is the overflow for
+// everything >= 2^47 (~4.5 years in microseconds — effectively "too
+// large to bucket, see max").
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 49;
+  static constexpr std::size_t kOverflowBucket = kBucketCount - 1;
+
+  // Upper bound (inclusive) of bucket `i`; u64 max for the overflow.
+  static std::uint64_t BucketUpperBound(std::size_t i);
+
+  void Record(std::uint64_t value);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  // 0 when empty
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBucketCount> buckets{};
+
+    // Percentile estimate in [0, 100], interpolated within the bucket
+    // and clamped to [min, max]; 0 when the histogram is empty.
+    double Percentile(double p) const;
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+  Snapshot TakeSnapshot() const;
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  static std::size_t BucketFor(std::uint64_t value);
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The process-wide registry.
+  static Registry& Default();
+
+  // Resolves `registry`: nullptr means the process-wide default.
+  static Registry& OrDefault(Registry* registry) {
+    return registry != nullptr ? *registry : Default();
+  }
+
+  // Find-or-create. The returned pointer is stable for the lifetime of
+  // the registry. Re-registering an existing name with a different
+  // metric kind returns nullptr (a programming error worth surfacing).
+  Counter* GetCounter(std::string_view name, std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view help = "");
+
+  // Lookup without creating; nullptr when absent or of another kind.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  // Zeroes every metric (the metrics stay registered).
+  void Reset();
+
+  // Prometheus-style text exposition.
+  std::string DumpText() const;
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":
+  // {name:{count,sum,min,max,mean,p50,p95,p99,buckets:[{le,count}]}}}.
+  std::string DumpJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetEntry(std::string_view name, std::string_view help, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+// Microseconds on the steady clock since process start; the timebase
+// for every `_us` histogram and every trace-event timestamp.
+std::uint64_t NowUs();
+
+}  // namespace aru::obs

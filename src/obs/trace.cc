@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+namespace aru::obs {
+namespace {
+
+std::uint32_t ThisThreadId() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+void AppendEscaped(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
+
+Tracer& Tracer::Default() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+void Tracer::RecordComplete(const char* category, const char* name,
+                            std::uint64_t ts_us, std::uint64_t dur_us,
+                            const char* arg_name, std::uint64_t arg_value) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = ThisThreadId();
+  event.arg_name = arg_name;
+  event.arg_value = arg_value;
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  slots_[next_ % slots_.size()] = event;
+  ++next_;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  const std::uint64_t capacity = slots_.size();
+  const std::uint64_t first = next_ > capacity ? next_ - capacity : 0;
+  events.reserve(static_cast<std::size_t>(next_ - first));
+  for (std::uint64_t i = first; i < next_; ++i) {
+    events.push_back(slots_[i % capacity]);
+  }
+  return events;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t capacity = slots_.size();
+  return next_ > capacity ? next_ - capacity : 0;
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(
+      next_ < slots_.size() ? next_ : slots_.size());
+}
+
+void Tracer::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+}
+
+std::string Tracer::DumpChromeJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    AppendEscaped(out, event.name);
+    out += ",\"cat\":";
+    AppendEscaped(out, event.category);
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(event.tid) +
+           ",\"ts\":" + std::to_string(event.ts_us) +
+           ",\"dur\":" + std::to_string(event.dur_us);
+    if (event.arg_name != nullptr) {
+      out += ",\"args\":{";
+      AppendEscaped(out, event.arg_name);
+      out += ":" + std::to_string(event.arg_value) + "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void SpanTimer::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  const std::uint64_t elapsed = NowUs() - start_us_;
+  if (histogram_ != nullptr) histogram_->Record(elapsed);
+  if (tracer_ != nullptr) {
+    tracer_->RecordComplete(category_, name_, start_us_, elapsed, arg_name_,
+                            arg_value_);
+  }
+}
+
+}  // namespace aru::obs

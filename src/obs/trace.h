@@ -1,0 +1,111 @@
+// Bounded ring-buffer event tracer with Chrome trace_event export.
+//
+// Spans (segment seals, cleaner passes, recovery phases, ARU
+// Begin→End lifetimes) are recorded as complete events ("ph":"X") into
+// a fixed-capacity ring; once full, the newest event overwrites the
+// oldest, so a tracer never grows and the tail of history is always
+// available. DumpChromeJson() emits the Trace Event Format that
+// chrome://tracing and Perfetto load directly.
+//
+// Event name/category strings must be string literals (the ring stores
+// the pointers, not copies).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace aru::obs {
+
+struct TraceEvent {
+  const char* category = "";
+  const char* name = "";
+  std::uint64_t ts_us = 0;   // start, NowUs() timebase
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  const char* arg_name = nullptr;  // optional single numeric argument
+  std::uint64_t arg_value = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 8192);
+
+  // The process-wide tracer used by the built-in instrumentation.
+  static Tracer& Default();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void RecordComplete(const char* category, const char* name,
+                      std::uint64_t ts_us, std::uint64_t dur_us,
+                      const char* arg_name = nullptr,
+                      std::uint64_t arg_value = 0);
+
+  // Events currently held, oldest first (wraparound resolved).
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Events overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const;
+
+  void Clear();
+
+  // {"displayTimeUnit":"ms","traceEvents":[{"ph":"X",...},...]}
+  std::string DumpChromeJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> slots_;
+  std::uint64_t next_ = 0;  // monotone; slot = next_ % capacity
+  std::atomic<bool> enabled_{true};
+};
+
+// RAII span: measures wall time from construction to destruction,
+// records it into `histogram` (if any) and into `tracer` (if any and
+// enabled). Both sinks are optional so call sites read uniformly.
+class SpanTimer {
+ public:
+  SpanTimer(Tracer* tracer, const char* category, const char* name,
+            Histogram* histogram = nullptr)
+      : tracer_(tracer),
+        category_(category),
+        name_(name),
+        histogram_(histogram),
+        start_us_(NowUs()) {}
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  ~SpanTimer() { Finish(); }
+
+  // Attaches one numeric argument to the trace event.
+  void SetArg(const char* name, std::uint64_t value) {
+    arg_name_ = name;
+    arg_value_ = value;
+  }
+
+  std::uint64_t ElapsedUs() const { return NowUs() - start_us_; }
+
+  // Records now instead of at destruction (idempotent).
+  void Finish();
+
+ private:
+  Tracer* tracer_;
+  const char* category_;
+  const char* name_;
+  Histogram* histogram_;
+  std::uint64_t start_us_;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_value_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace aru::obs

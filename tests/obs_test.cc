@@ -1,0 +1,321 @@
+// Unit tests for the obs layer: metrics registry, histograms, and the
+// event tracer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aru::obs {
+namespace {
+
+// --- Counter / Gauge ---------------------------------------------------
+
+TEST(CounterTest, IncrementAndAdd) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndNegative) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Add(-20);
+  EXPECT_EQ(gauge.value(), -13);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+// --- Histogram ---------------------------------------------------------
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram histogram;
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.Percentile(50), 0.0);
+  EXPECT_EQ(snap.Percentile(99), 0.0);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsExact) {
+  Histogram histogram;
+  histogram.Record(777);
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 777u);
+  EXPECT_EQ(snap.min, 777u);
+  EXPECT_EQ(snap.max, 777u);
+  // Percentiles of a single sample are clamped to [min, max], so they
+  // are exact regardless of the bucket's width.
+  EXPECT_EQ(snap.Percentile(0), 777.0);
+  EXPECT_EQ(snap.Percentile(50), 777.0);
+  EXPECT_EQ(snap.Percentile(100), 777.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds {0}; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+
+  Histogram histogram;
+  histogram.Record(0);  // bucket 0
+  histogram.Record(1);  // bucket 1
+  histogram.Record(2);  // bucket 2
+  histogram.Record(3);  // bucket 2
+  histogram.Record(4);  // bucket 3
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 4u);
+}
+
+TEST(HistogramTest, OverflowBucket) {
+  Histogram histogram;
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  histogram.Record(huge);
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.buckets[Histogram::kOverflowBucket], 1u);
+  EXPECT_EQ(snap.max, huge);
+  // The percentile estimate is clamped to the observed max, so even an
+  // overflow-bucket sample reports a finite, exact value.
+  EXPECT_EQ(snap.Percentile(99), static_cast<double>(huge));
+}
+
+TEST(HistogramTest, PercentilesAreMonotonicAndBounded) {
+  Histogram histogram;
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  const double p50 = snap.Percentile(50);
+  const double p95 = snap.Percentile(95);
+  const double p99 = snap.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, static_cast<double>(snap.min));
+  EXPECT_LE(p99, static_cast<double>(snap.max));
+  // Log2 buckets are coarse, but the median of 1..1000 must land well
+  // inside the middle of the range.
+  EXPECT_GT(p50, 100.0);
+  EXPECT_LT(p50, 1000.0);
+  EXPECT_EQ(snap.sum, 500500u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 500.5);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram histogram;
+  histogram.Record(5);
+  histogram.Record(9);
+  EXPECT_EQ(histogram.count(), 2u);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.Percentile(50), 0.0);
+}
+
+// --- Registry ----------------------------------------------------------
+
+TEST(RegistryTest, FindOrCreateReturnsSamePointer) {
+  Registry registry;
+  Counter* a = registry.GetCounter("ops_total", "operations");
+  Counter* b = registry.GetCounter("ops_total");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1u);
+}
+
+TEST(RegistryTest, KindMismatchReturnsNull) {
+  Registry registry;
+  ASSERT_NE(registry.GetCounter("metric"), nullptr);
+  EXPECT_EQ(registry.GetGauge("metric"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("metric"), nullptr);
+}
+
+TEST(RegistryTest, FindAbsentReturnsNull) {
+  Registry registry;
+  EXPECT_EQ(registry.FindCounter("nope"), nullptr);
+  EXPECT_EQ(registry.FindGauge("nope"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("nope"), nullptr);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsRegistration) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* histogram = registry.GetHistogram("h");
+  counter->Add(3);
+  gauge->Set(-2);
+  histogram->Record(99);
+  registry.Reset();
+  EXPECT_EQ(registry.FindCounter("c"), counter);
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->count(), 0u);
+}
+
+TEST(RegistryTest, OrDefaultResolvesNull) {
+  Registry registry;
+  EXPECT_EQ(&Registry::OrDefault(&registry), &registry);
+  EXPECT_EQ(&Registry::OrDefault(nullptr), &Registry::Default());
+}
+
+// A tiny structural check: every brace/bracket balances and the
+// expected keys appear. Not a full JSON parser, but enough to catch
+// broken escaping or truncation.
+void ExpectBalancedJson(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(RegistryTest, DumpJsonIsWellFormed) {
+  Registry registry;
+  registry.GetCounter("reads_total", "total reads")->Add(7);
+  registry.GetGauge("active", "active things")->Set(-4);
+  Histogram* histogram = registry.GetHistogram("latency_us", "latency");
+  histogram->Record(12);
+  histogram->Record(120000);
+
+  const std::string json = registry.DumpJson();
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"reads_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"active\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("-4"), std::string::npos);
+}
+
+TEST(RegistryTest, DumpTextListsMetrics) {
+  Registry registry;
+  registry.GetCounter("widgets_total", "widget count")->Add(5);
+  const std::string text = registry.DumpText();
+  EXPECT_NE(text.find("widgets_total"), std::string::npos);
+  EXPECT_NE(text.find("5"), std::string::npos);
+}
+
+// --- Tracer ------------------------------------------------------------
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer tracer(8);
+  tracer.set_enabled(false);
+  tracer.RecordComplete("test", "event", 0, 1);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, RingWraparoundKeepsNewestOldestFirst) {
+  Tracer tracer(4);
+  tracer.set_enabled(true);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tracer.RecordComplete("test", "event", /*ts_us=*/i * 10, /*dur_us=*/1);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The two oldest events (ts 0, 10) were evicted; the survivors come
+  // back oldest first.
+  EXPECT_EQ(events[0].ts_us, 20u);
+  EXPECT_EQ(events[1].ts_us, 30u);
+  EXPECT_EQ(events[2].ts_us, 40u);
+  EXPECT_EQ(events[3].ts_us, 50u);
+}
+
+TEST(TracerTest, ClearResets) {
+  Tracer tracer(4);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 6; ++i) tracer.RecordComplete("t", "e", 0, 0);
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.capacity(), 4u);
+}
+
+TEST(TracerTest, ChromeJsonIsWellFormed) {
+  Tracer tracer(16);
+  tracer.set_enabled(true);
+  tracer.RecordComplete("lld", "aru", 100, 50);
+  tracer.RecordComplete("lld", "cleaner_pass", 200, 25, "copied_blocks", 7);
+  const std::string json = tracer.DumpChromeJson();
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cleaner_pass\""), std::string::npos);
+  EXPECT_NE(json.find("\"copied_blocks\""), std::string::npos);
+  // Complete events use phase "X".
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// --- SpanTimer ---------------------------------------------------------
+
+TEST(SpanTimerTest, RecordsIntoHistogramAndTracer) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  Histogram histogram;
+  {
+    SpanTimer span(&tracer, "test", "work", &histogram);
+    span.SetArg("items", 3);
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "work");
+  ASSERT_NE(events[0].arg_name, nullptr);
+  EXPECT_STREQ(events[0].arg_name, "items");
+  EXPECT_EQ(events[0].arg_value, 3u);
+}
+
+TEST(SpanTimerTest, FinishIsIdempotent) {
+  Histogram histogram;
+  SpanTimer span(nullptr, "test", "work", &histogram);
+  span.Finish();
+  span.Finish();  // second call must not record again
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(SpanTimerTest, HistogramOnlyWithNullTracer) {
+  Histogram histogram;
+  { SpanTimer span(nullptr, "test", "work", &histogram); }
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+}  // namespace
+}  // namespace aru::obs

@@ -4,9 +4,11 @@
 
 #include "blockdev/mem_disk.h"
 #include "lld/layout.h"
+#include "lld/lld_metrics.h"
 #include "lld/segment_writer.h"
 #include "lld/slot_table.h"
 #include "lld/summary.h"
+#include "obs/metrics.h"
 #include "tests/test_util.h"
 #include "util/crc32.h"
 
@@ -15,7 +17,7 @@ namespace {
 
 using lld::Geometry;
 using lld::kFooterSize;
-using lld::LldStats;
+using lld::LldMetrics;
 using lld::SegmentWriter;
 using lld::SlotInfo;
 using lld::SlotState;
@@ -23,10 +25,11 @@ using lld::SlotTable;
 
 struct WriterRig {
   WriterRig()
-      : device(32768),
+      : metrics(registry),
+        device(32768),
         geometry(Derive(device)),
         slots(geometry.slot_count),
-        writer(device, geometry, slots, stats) {}
+        writer(device, geometry, slots, metrics) {}
 
   static Geometry Derive(MemDisk& device) {
     lld::Options options;
@@ -37,10 +40,11 @@ struct WriterRig {
     return *geometry;
   }
 
+  obs::Registry registry;
+  LldMetrics metrics;
   MemDisk device;
   Geometry geometry;
   SlotTable slots;
-  LldStats stats;
   SegmentWriter writer;
 };
 
@@ -68,7 +72,7 @@ TEST(SegmentWriterTest, SegmentSealsWhenFull) {
     ASSERT_OK(phys.status());
     if (i == 0) first_slot = phys->slot();
   }
-  EXPECT_EQ(rig.stats.segments_written, 1u);
+  EXPECT_EQ(rig.metrics.segments_written->value(), 1u);
   EXPECT_EQ(rig.slots[first_slot].state, SlotState::kWritten);
   EXPECT_GT(rig.slots[first_slot].seq, 0u);
 }
@@ -108,7 +112,7 @@ TEST(SegmentWriterTest, EmptySealReturnsSlot) {
   const std::uint32_t free_before = rig.slots.free_count();
   ASSERT_OK(rig.writer.SealIfOpen());  // nothing open: no-op
   EXPECT_EQ(rig.slots.free_count(), free_before);
-  EXPECT_EQ(rig.stats.segments_written, 1u);
+  EXPECT_EQ(rig.metrics.segments_written->value(), 1u);
 }
 
 TEST(SegmentWriterTest, PersistedLsnAdvancesOnSeal) {

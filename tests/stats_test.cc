@@ -92,5 +92,128 @@ TEST(StatsTest, PartialSegmentCounterOnFlush) {
   EXPECT_GE(t.disk->stats().partial_segments_written, 1u);
 }
 
+TEST(StatsTest, RegistryCountersBackTheFacade) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, 7), kNoAru));
+  }
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK(t.disk->EndARU(aru));
+  ASSERT_OK(t.disk->Flush());
+
+  // The LldStats façade and the registry are two views of one store.
+  const lld::LldStats stats = t.disk->stats();
+  const obs::Registry& registry = t.disk->registry();
+  const auto counter = [&registry](const char* name) {
+    const obs::Counter* c = registry.FindCounter(name);
+    EXPECT_NE(c, nullptr) << name;
+    return c == nullptr ? 0 : c->value();
+  };
+  EXPECT_EQ(counter("aru_lld_blocks_written_total"), stats.blocks_written);
+  EXPECT_EQ(counter("aru_lld_segments_written_total"), stats.segments_written);
+  EXPECT_EQ(counter("aru_lld_arus_begun_total"), stats.arus_begun);
+  EXPECT_EQ(counter("aru_lld_arus_committed_total"), stats.arus_committed);
+  EXPECT_EQ(counter("aru_lld_flushes_total"), stats.flushes);
+  EXPECT_EQ(counter("aru_lld_bytes_written_to_disk_total"),
+            stats.bytes_written_to_disk);
+
+  // Latency histograms on the hot paths must have collected samples.
+  const obs::Histogram* writes = registry.FindHistogram("aru_lld_op_write_us");
+  ASSERT_NE(writes, nullptr);
+  EXPECT_EQ(writes->count(), 8u);
+  const obs::Histogram* commits = registry.FindHistogram("aru_lld_commit_us");
+  ASSERT_NE(commits, nullptr);
+  EXPECT_EQ(commits->count(), 1u);
+}
+
+TEST(StatsTest, PrivateRegistryPerDiskByDefault) {
+  // With Options.registry unset, each Lld gets its own registry, so two
+  // disks never mix their counters.
+  TestDisk a;
+  TestDisk b;
+  ASSERT_NE(&a.disk->registry(), &b.disk->registry());
+  ASSERT_OK_AND_ASSIGN(const AruId aru, a.disk->BeginARU());
+  ASSERT_OK(a.disk->EndARU(aru));
+  EXPECT_EQ(a.disk->stats().arus_begun, 1u);
+  EXPECT_EQ(b.disk->stats().arus_begun, 0u);
+}
+
+TEST(StatsTest, DumpJsonGolden) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  ASSERT_OK_AND_ASSIGN(const BlockId block,
+                       t.disk->NewBlock(list, kListHead, kNoAru));
+  ASSERT_OK(t.disk->Write(block, TestPattern(4096, 3), kNoAru));
+  ASSERT_OK(t.disk->Flush());
+
+  const std::string json = t.disk->registry().DumpJson();
+  // Structurally balanced...
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      ASSERT_GT(depth, 0);
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  // ...and carries the metric families every layer registers.
+  for (const char* name :
+       {"aru_lld_blocks_written_total", "aru_lld_segments_written_total",
+        "aru_lld_op_write_us", "aru_lld_seal_us",
+        "aru_lld_segment_fill_percent", "aru_lld_active_arus"}) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
+        << name;
+  }
+}
+
+TEST(StatsTest, RecoveryPopulatesReportAndRegistry) {
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, 11), kNoAru));
+  }
+  // Leave an ARU in flight so recovery has an undo to do.
+  ASSERT_OK_AND_ASSIGN(const AruId aru, t.disk->BeginARU());
+  ASSERT_OK_AND_ASSIGN(const ListId alist, t.disk->NewList(aru));
+  ASSERT_OK_AND_ASSIGN(const BlockId ablock,
+                       t.disk->NewBlock(alist, kListHead, aru));
+  ASSERT_OK(t.disk->Write(ablock, TestPattern(4096, 12), aru));
+  ASSERT_OK(t.disk->Flush());
+  t.CrashAndRecover();
+
+  const lld::RecoveryReport& report = t.disk->recovery_report();
+  EXPECT_GE(report.uncommitted_arus_undone, 1u);
+  EXPECT_GT(report.total_us, 0u);
+  EXPECT_LE(report.checkpoint_load_us, report.total_us);
+  EXPECT_LE(report.replay_us, report.total_us);
+
+  // Each recovery phase histogram saw exactly this one recovery (the
+  // re-opened Lld has a fresh private registry).
+  const obs::Registry& registry = t.disk->registry();
+  for (const char* name :
+       {"aru_lld_recovery_checkpoint_load_us",
+        "aru_lld_recovery_summary_scan_us", "aru_lld_recovery_replay_us",
+        "aru_lld_recovery_checkpoint_us"}) {
+    const obs::Histogram* histogram = registry.FindHistogram(name);
+    ASSERT_NE(histogram, nullptr) << name;
+    EXPECT_EQ(histogram->count(), 1u) << name;
+  }
+}
+
 }  // namespace
 }  // namespace aru::testing
