@@ -21,6 +21,11 @@ cmake --build build
 
 failures=0
 
+if ! scripts/lint.sh build; then
+  echo "LINT FAILED"
+  failures=$((failures + 1))
+fi
+
 if ! ctest --test-dir build 2>&1 | tee test_output.txt; then
   echo "TESTS FAILED"
   failures=$((failures + 1))

@@ -62,7 +62,9 @@ class BlockDevice {
 
   virtual Status Sync() = 0;
 
-  virtual const DeviceStats& stats() const = 0;
+  // Snapshot of the I/O counters. By value: implementations guard their
+  // counters with a mutex, and a returned reference would escape it.
+  virtual DeviceStats stats() const = 0;
 
  protected:
   BlockDevice() = default;

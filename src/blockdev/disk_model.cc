@@ -49,8 +49,12 @@ ModeledDisk::ModeledDisk(std::unique_ptr<BlockDevice> inner,
 
 Status ModeledDisk::Read(std::uint64_t first_sector, MutableByteSpan out) {
   ARU_RETURN_IF_ERROR(inner_->Read(first_sector, out));
-  const std::uint64_t service = model_.ServiceUs(
-      first_sector, out.size() / sector_size(), sector_size());
+  std::uint64_t service = 0;
+  {
+    const MutexLock lock(mu_);
+    service = model_.ServiceUs(first_sector, out.size() / sector_size(),
+                               sector_size());
+  }
   read_service_vus_->Record(service);
   clock_->Advance(service);
   return Status::Ok();
@@ -58,8 +62,12 @@ Status ModeledDisk::Read(std::uint64_t first_sector, MutableByteSpan out) {
 
 Status ModeledDisk::Write(std::uint64_t first_sector, ByteSpan data) {
   ARU_RETURN_IF_ERROR(inner_->Write(first_sector, data));
-  const std::uint64_t service = model_.ServiceUs(
-      first_sector, data.size() / sector_size(), sector_size());
+  std::uint64_t service = 0;
+  {
+    const MutexLock lock(mu_);
+    service = model_.ServiceUs(first_sector, data.size() / sector_size(),
+                               sector_size());
+  }
   write_service_vus_->Record(service);
   clock_->Advance(service);
   return Status::Ok();

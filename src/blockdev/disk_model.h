@@ -17,6 +17,8 @@
 #include "blockdev/block_device.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aru {
 
@@ -66,16 +68,19 @@ class ModeledDisk final : public BlockDevice {
   std::uint32_t sector_size() const override { return inner_->sector_size(); }
   std::uint64_t sector_count() const override { return inner_->sector_count(); }
 
-  Status Read(std::uint64_t first_sector, MutableByteSpan out) override;
-  Status Write(std::uint64_t first_sector, ByteSpan data) override;
+  Status Read(std::uint64_t first_sector, MutableByteSpan out) override
+      ARU_EXCLUDES(mu_);
+  Status Write(std::uint64_t first_sector, ByteSpan data) override
+      ARU_EXCLUDES(mu_);
   Status Sync() override { return inner_->Sync(); }
 
-  const DeviceStats& stats() const override { return inner_->stats(); }
+  DeviceStats stats() const override { return inner_->stats(); }
 
  private:
   std::unique_ptr<BlockDevice> inner_;
-  DiskModel model_;
-  VirtualClock* clock_;  // not owned
+  Mutex mu_;
+  DiskModel model_ ARU_GUARDED_BY(mu_);  // head position mutates per request
+  VirtualClock* clock_;  // not owned; atomic internally
   obs::Histogram* read_service_vus_;
   obs::Histogram* write_service_vus_;
 };

@@ -20,12 +20,14 @@ FaultInjectionDisk::FaultInjectionDisk(std::unique_ptr<BlockDevice> inner,
           "Reads failed by simulated media errors")) {}
 
 void FaultInjectionDisk::SchedulePowerCut(std::uint64_t sectors, bool tear) {
+  const MutexLock lock(mu_);
   cut_after_ = sectors_written_ + sectors;
   tear_ = tear;
 }
 
 Status FaultInjectionDisk::Read(std::uint64_t first_sector,
                                 MutableByteSpan out) {
+  const MutexLock lock(mu_);
   if (dead_) return UnavailableError("device is powered off");
   ARU_RETURN_IF_ERROR(CheckRange(first_sector, out.size()));
   const std::uint64_t sectors = out.size() / sector_size();
@@ -39,6 +41,7 @@ Status FaultInjectionDisk::Read(std::uint64_t first_sector,
 }
 
 Status FaultInjectionDisk::Write(std::uint64_t first_sector, ByteSpan data) {
+  const MutexLock lock(mu_);
   if (dead_) return UnavailableError("device is powered off");
   ARU_RETURN_IF_ERROR(CheckRange(first_sector, data.size()));
   const std::uint32_t ssz = sector_size();
@@ -64,6 +67,8 @@ Status FaultInjectionDisk::Write(std::uint64_t first_sector, ByteSpan data) {
     for (auto& b : garbage) {
       b = static_cast<std::byte>(rng_.Next() & 0xff);
     }
+    // Discarded: the torn sector is best-effort garbage — the injected
+    // power failure below is the authoritative outcome either way.
     (void)inner_->Write(first_sector + keep, garbage);
     torn_sectors_->Increment();
   }
@@ -74,6 +79,7 @@ Status FaultInjectionDisk::Write(std::uint64_t first_sector, ByteSpan data) {
 }
 
 Status FaultInjectionDisk::Sync() {
+  const MutexLock lock(mu_);
   if (dead_) return UnavailableError("device is powered off");
   return inner_->Sync();
 }

@@ -17,7 +17,9 @@
 
 #include "blockdev/block_device.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace aru {
 
@@ -33,33 +35,47 @@ class FaultInjectionDisk final : public BlockDevice {
   std::uint32_t sector_size() const override { return inner_->sector_size(); }
   std::uint64_t sector_count() const override { return inner_->sector_count(); }
 
-  Status Read(std::uint64_t first_sector, MutableByteSpan out) override;
-  Status Write(std::uint64_t first_sector, ByteSpan data) override;
-  Status Sync() override;
+  Status Read(std::uint64_t first_sector, MutableByteSpan out) override
+      ARU_EXCLUDES(mu_);
+  Status Write(std::uint64_t first_sector, ByteSpan data) override
+      ARU_EXCLUDES(mu_);
+  Status Sync() override ARU_EXCLUDES(mu_);
 
-  const DeviceStats& stats() const override { return inner_->stats(); }
+  DeviceStats stats() const override { return inner_->stats(); }
 
   // Schedules a power failure after `sectors` more sectors have been
   // written. With `tear`, the first unpersisted sector of the interrupted
   // request is additionally filled with garbage (a torn write).
-  void SchedulePowerCut(std::uint64_t sectors, bool tear = false);
+  void SchedulePowerCut(std::uint64_t sectors, bool tear = false)
+      ARU_EXCLUDES(mu_);
 
   // Marks a sector as unreadable (simulated partial media failure).
-  void AddBadSector(std::uint64_t sector) { bad_sectors_.insert(sector); }
+  void AddBadSector(std::uint64_t sector) ARU_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    bad_sectors_.insert(sector);
+  }
 
-  bool dead() const { return dead_; }
-  std::uint64_t sectors_written() const { return sectors_written_; }
+  bool dead() const ARU_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return dead_;
+  }
+  std::uint64_t sectors_written() const ARU_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return sectors_written_;
+  }
 
   BlockDevice& inner() { return *inner_; }
 
  private:
   std::unique_ptr<BlockDevice> inner_;
-  Rng rng_;
-  std::uint64_t sectors_written_ = 0;
-  std::uint64_t cut_after_ = std::numeric_limits<std::uint64_t>::max();
-  bool tear_ = false;
-  bool dead_ = false;
-  std::unordered_set<std::uint64_t> bad_sectors_;
+  mutable Mutex mu_;
+  Rng rng_ ARU_GUARDED_BY(mu_);
+  std::uint64_t sectors_written_ ARU_GUARDED_BY(mu_) = 0;
+  std::uint64_t cut_after_ ARU_GUARDED_BY(mu_) =
+      std::numeric_limits<std::uint64_t>::max();
+  bool tear_ ARU_GUARDED_BY(mu_) = false;
+  bool dead_ ARU_GUARDED_BY(mu_) = false;
+  std::unordered_set<std::uint64_t> bad_sectors_ ARU_GUARDED_BY(mu_);
   obs::Counter* power_cuts_;
   obs::Counter* torn_sectors_;
   obs::Counter* bad_sector_reads_;

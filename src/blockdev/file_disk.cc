@@ -70,6 +70,7 @@ Status FileDisk::Read(std::uint64_t first_sector, MutableByteSpan out) {
     if (n == 0) return IoError("pread: unexpected EOF");
     done += static_cast<std::size_t>(n);
   }
+  const MutexLock lock(mu_);
   ++stats_.read_ops;
   stats_.sectors_read += out.size() / sector_size_;
   return Status::Ok();
@@ -88,6 +89,7 @@ Status FileDisk::Write(std::uint64_t first_sector, ByteSpan data) {
     }
     done += static_cast<std::size_t>(n);
   }
+  const MutexLock lock(mu_);
   ++stats_.write_ops;
   stats_.sectors_written += data.size() / sector_size_;
   return Status::Ok();
@@ -95,6 +97,7 @@ Status FileDisk::Write(std::uint64_t first_sector, ByteSpan data) {
 
 Status FileDisk::Sync() {
   if (::fsync(fd_) != 0) return Errno("fsync");
+  const MutexLock lock(mu_);
   ++stats_.syncs;
   return Status::Ok();
 }

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "blockdev/block_device.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aru {
 
@@ -26,11 +28,16 @@ class FileDisk final : public BlockDevice {
   std::uint32_t sector_size() const override { return sector_size_; }
   std::uint64_t sector_count() const override { return sector_count_; }
 
+  // I/O goes through pread/pwrite on a fixed offset per call, so the
+  // data path needs no lock; mu_ guards only the stats counters.
   Status Read(std::uint64_t first_sector, MutableByteSpan out) override;
   Status Write(std::uint64_t first_sector, ByteSpan data) override;
   Status Sync() override;
 
-  const DeviceStats& stats() const override { return stats_; }
+  DeviceStats stats() const override ARU_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return stats_;
+  }
 
  private:
   FileDisk(int fd, std::uint64_t sector_count, std::uint32_t sector_size)
@@ -39,7 +46,8 @@ class FileDisk final : public BlockDevice {
   int fd_;
   std::uint32_t sector_size_;
   std::uint64_t sector_count_;
-  DeviceStats stats_;
+  mutable Mutex mu_;
+  DeviceStats stats_ ARU_GUARDED_BY(mu_);
 };
 
 }  // namespace aru

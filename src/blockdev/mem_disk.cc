@@ -18,12 +18,14 @@ std::unique_ptr<MemDisk> MemDisk::FromImage(Bytes image,
   assert(image.size() % sector_size == 0);
   auto disk = std::make_unique<MemDisk>(image.size() / sector_size,
                                         sector_size);
+  const MutexLock lock(disk->mu_);
   disk->data_ = std::move(image);
   return disk;
 }
 
 Status MemDisk::Read(std::uint64_t first_sector, MutableByteSpan out) {
   ARU_RETURN_IF_ERROR(CheckRange(first_sector, out.size()));
+  const MutexLock lock(mu_);
   std::memcpy(out.data(), data_.data() + first_sector * sector_size_,
               out.size());
   ++stats_.read_ops;
@@ -33,6 +35,7 @@ Status MemDisk::Read(std::uint64_t first_sector, MutableByteSpan out) {
 
 Status MemDisk::Write(std::uint64_t first_sector, ByteSpan data) {
   ARU_RETURN_IF_ERROR(CheckRange(first_sector, data.size()));
+  const MutexLock lock(mu_);
   std::memcpy(data_.data() + first_sector * sector_size_, data.data(),
               data.size());
   ++stats_.write_ops;
@@ -41,6 +44,7 @@ Status MemDisk::Write(std::uint64_t first_sector, ByteSpan data) {
 }
 
 Status MemDisk::Sync() {
+  const MutexLock lock(mu_);
   ++stats_.syncs;
   return Status::Ok();
 }

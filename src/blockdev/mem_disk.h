@@ -6,6 +6,8 @@
 #include <memory>
 
 #include "blockdev/block_device.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aru {
 
@@ -25,16 +27,23 @@ class MemDisk final : public BlockDevice {
   Status Write(std::uint64_t first_sector, ByteSpan data) override;
   Status Sync() override;
 
-  const DeviceStats& stats() const override { return stats_; }
+  DeviceStats stats() const override ARU_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return stats_;
+  }
 
   // Copies the current on-disk image (what a crash would leave behind).
-  Bytes CopyImage() const { return data_; }
+  Bytes CopyImage() const ARU_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return data_;
+  }
 
  private:
   std::uint32_t sector_size_;
   std::uint64_t sector_count_;
-  Bytes data_;
-  DeviceStats stats_;
+  mutable Mutex mu_;
+  Bytes data_ ARU_GUARDED_BY(mu_);
+  DeviceStats stats_ ARU_GUARDED_BY(mu_);
 };
 
 }  // namespace aru

@@ -149,6 +149,8 @@ class AruScope {
   }
 
   ~AruScope() {
+    // Discarded: destructors cannot propagate; an abort that fails
+    // leaves the ARU uncommitted — the same all-or-nothing outcome.
     if (id_.valid() && !committed_) (void)disk_.AbortARU(id_);
   }
 

@@ -8,6 +8,11 @@
 // The only re-use of a physical address is a segment slot being
 // recycled after cleaning, so the owner invalidates a slot's entries
 // when the slot is released for reuse.
+//
+// Thread-compatibility: not internally synchronized. The cache is owned
+// by an Lld and reached only under Lld::mu_ — the owning member carries
+// ARU_GUARDED_BY(mu_), so clang's -Wthread-safety checks every access
+// path (see util/thread_annotations.h).
 #pragma once
 
 #include <cstdint>

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
 #include "blockdev/block_device.h"
@@ -35,6 +36,13 @@ struct CheckpointData {
   std::uint64_t next_aru_id = 1;
   std::uint64_t allocated_blocks = 0;
 };
+
+// Format pin: the checkpoint header codec writes these eight fields at
+// fixed offsets; recovery falls back to the *older* region when the
+// newer one fails validation, so silent layout drift here would read
+// old checkpoints wrong rather than fail loudly.
+static_assert(std::is_trivially_copyable_v<CheckpointData>);
+static_assert(sizeof(CheckpointData) == 64);
 
 Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
                        const ListTable& lists);

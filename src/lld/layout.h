@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #include "blockdev/block_device.h"
 #include "lld/types.h"
@@ -51,6 +52,13 @@ struct Geometry {
   }
 };
 
+// Format pins: the superblock codec reads/writes these fields at fixed
+// offsets, so the in-memory struct must stay a fixed-size POD. A failing
+// assert means the on-disk format changed — bump kFormatVersion and
+// write a migration before re-pinning.
+static_assert(std::is_trivially_copyable_v<Geometry>);
+static_assert(sizeof(Geometry) == 64);
+
 // Derives the geometry for a device under the given options. Fails if
 // the device is too small to hold at least a handful of segments.
 Result<Geometry> DeriveGeometry(const BlockDevice& device,
@@ -76,6 +84,12 @@ struct SegmentFooter {
   std::uint32_t summary_crc = 0;
 };
 
+// Format pin (recovery decodes footers from raw slot trailers).
+static_assert(std::is_trivially_copyable_v<SegmentFooter>);
+static_assert(sizeof(SegmentFooter) == 32);
+
+// Encoded trailer size: the five footer fields plus magic and self-CRC
+// (field-by-field codec; distinct from sizeof(SegmentFooter)).
 inline constexpr std::size_t kFooterSize = 40;
 
 void EncodeFooter(const SegmentFooter& footer, MutableByteSpan out);

@@ -68,21 +68,22 @@ Result<std::unique_ptr<Lld>> Lld::Open(BlockDevice& device,
   if (g.sector_size != device.sector_size()) {
     return CorruptionError("superblock sector size mismatch");
   }
+  // arulint: allow(raw-new) private constructor, immediately owned
   std::unique_ptr<Lld> lld(new Lld(device, options, g));
   {
-    const std::lock_guard<std::mutex> lock(lld->mu_);
+    const MutexLock lock(lld->mu_);
     ARU_RETURN_IF_ERROR(lld->RecoverLocked());
   }
   return lld;
 }
 
 std::uint64_t Lld::free_blocks() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return geometry_.capacity_blocks - allocated_blocks_;
 }
 
 std::uint64_t Lld::free_slots() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return slots_.free_count();
 }
 
@@ -303,6 +304,7 @@ Status Lld::ExecDeleteList(AruId state, ListId list, Lsn gating_lsn,
 void Lld::PushPromotions(const Touched& touched, Lsn eff_lsn,
                          AruState* staged) {
   auto push = [&](bool is_list, std::uint64_t id) {
+    mu_.AssertHeld();
     const PromotionEntry entry{is_list, id, eff_lsn};
     if (staged != nullptr) {
       staged->staged.push_back(entry);
@@ -355,6 +357,7 @@ void Lld::MaybePromoteLocked() {
 
 void Lld::PromoteAllCommittedLocked() {
   block_versions_.ForEachCommitted([this](const BlockVersions::Node& node) {
+    mu_.AssertHeld();
     if (node.meta.allocated) {
       block_map_.Set(node.id, node.meta);
     } else {
@@ -363,6 +366,7 @@ void Lld::PromoteAllCommittedLocked() {
   });
   block_versions_.ClearCommitted();
   list_versions_.ForEachCommitted([this](const ListVersions::Node& node) {
+    mu_.AssertHeld();
     if (node.meta.exists) {
       list_table_.Set(node.id, node.meta);
     } else {
@@ -386,7 +390,7 @@ Result<Lld::AruState*> Lld::FindAru(AruId aru) {
 }
 
 Result<ListId> Lld::NewList(AruId aru) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   AruState* state = nullptr;
   if (aru.valid()) {
     ARU_ASSIGN_OR_RETURN(state, FindAru(aru));
@@ -416,7 +420,7 @@ Result<ListId> Lld::NewList(AruId aru) {
 }
 
 Status Lld::DeleteList(ListId list, AruId aru) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   ARU_RETURN_IF_ERROR(MaybeCleanLocked());
 
   if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
@@ -447,7 +451,7 @@ Status Lld::DeleteList(ListId list, AruId aru) {
 }
 
 Result<std::vector<BlockId>> Lld::ListBlocks(ListId list, AruId aru) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (aru.valid()) {
     ARU_RETURN_IF_ERROR(FindAru(aru).status());
   }
@@ -467,7 +471,7 @@ Result<std::vector<BlockId>> Lld::ListBlocks(ListId list, AruId aru) {
 }
 
 Result<ListId> Lld::ListOf(BlockId block, AruId aru) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (aru.valid()) {
     ARU_RETURN_IF_ERROR(FindAru(aru).status());
   }
@@ -480,7 +484,7 @@ Result<ListId> Lld::ListOf(BlockId block, AruId aru) {
 // Blocks.
 
 Result<BlockId> Lld::NewBlock(ListId list, BlockId predecessor, AruId aru) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   AruState* state = nullptr;
   if (aru.valid()) {
     ARU_ASSIGN_OR_RETURN(state, FindAru(aru));
@@ -538,7 +542,7 @@ Result<BlockId> Lld::NewBlock(ListId list, BlockId predecessor, AruId aru) {
 }
 
 Status Lld::DeleteBlock(BlockId block, AruId aru) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   ARU_RETURN_IF_ERROR(MaybeCleanLocked());
 
   if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
@@ -570,7 +574,7 @@ Status Lld::DeleteBlock(BlockId block, AruId aru) {
 
 Status Lld::MoveBlock(BlockId block, ListId to_list, BlockId predecessor,
                       AruId aru) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   ARU_RETURN_IF_ERROR(MaybeCleanLocked());
 
   if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
@@ -608,7 +612,7 @@ Status Lld::Write(BlockId block, ByteSpan data, AruId aru) {
                                 std::to_string(geometry_.block_size));
   }
   obs::SpanTimer latency(nullptr, "lld", "write", metrics_.op_write_us);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   AruState* state = nullptr;
   if (aru.valid()) {
     ARU_ASSIGN_OR_RETURN(state, FindAru(aru));
@@ -646,7 +650,7 @@ Status Lld::Read(BlockId block, MutableByteSpan out, AruId aru) {
     return InvalidArgumentError("read size != block size");
   }
   obs::SpanTimer latency(nullptr, "lld", "read", metrics_.op_read_us);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (aru.valid()) {
     ARU_RETURN_IF_ERROR(FindAru(aru).status());
   }
@@ -678,7 +682,7 @@ Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
   if (out.size() != blocks.size() * bs) {
     return InvalidArgumentError("ReadMany buffer size mismatch");
   }
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (aru.valid()) {
     ARU_RETURN_IF_ERROR(FindAru(aru).status());
   }
@@ -747,7 +751,7 @@ Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
 // ARUs.
 
 Result<AruId> Lld::BeginARU() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (options_.aru_mode == AruMode::kSequential && !active_arus_.empty()) {
     return FailedPreconditionError(
         "sequential-ARU mode supports one ARU at a time");
@@ -764,7 +768,7 @@ Result<AruId> Lld::BeginARU() {
 }
 
 Status Lld::EndARU(AruId aru) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   ARU_ASSIGN_OR_RETURN(AruState * state, FindAru(aru));
   const std::uint64_t begin_us = state->begin_us;
   obs::SpanTimer commit_span(nullptr, "lld", "end_aru", metrics_.commit_us);
@@ -855,6 +859,7 @@ Status Lld::EndAruConcurrentLocked(AruState& state) {
   block_versions_.MergeIntoCommitted(
       aru, commit_lsn, [](const BlockMeta&) {},
       [this](BlockId id, const BlockMeta& shadow_meta) {
+        mu_.AssertHeld();
         // A shadow deletion of an already-deleted block is a no-op;
         // a shadow write/insert of a deleted block must not resurrect
         // it. Either way: if the committed view says the block no
@@ -869,6 +874,7 @@ Status Lld::EndAruConcurrentLocked(AruState& state) {
   list_versions_.MergeIntoCommitted(
       aru, commit_lsn, [](const ListMeta&) {},
       [this](ListId id, const ListMeta& shadow_meta) {
+        mu_.AssertHeld();
         return shadow_meta.exists && !VisibleList(id, ld::kNoAru).exists;
       },
       merged_lists);
@@ -921,7 +927,7 @@ Status Lld::EndAruSequentialLocked(AruState& state) {
 }
 
 Status Lld::AbortARU(AruId aru) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (options_.aru_mode == AruMode::kSequential) {
     return FailedPreconditionError(
         "the sequential-ARU prototype cannot abort (operations were "
@@ -969,7 +975,7 @@ Status Lld::AbortARU(AruId aru) {
 }
 
 Status Lld::Flush() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
   ARU_RETURN_IF_ERROR(device_.Sync());
   MaybePromoteLocked();
@@ -981,25 +987,25 @@ Status Lld::Flush() {
 // Administration.
 
 Status Lld::Checkpoint() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return TakeCheckpointLocked();
 }
 
 Status Lld::Clean() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return RunCleanerLocked();
 }
 
 Status Lld::Close() {
   std::vector<AruId> to_abort;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     for (const auto& [id, state] : active_arus_) to_abort.push_back(id);
   }
   for (const AruId aru : to_abort) {
     ARU_RETURN_IF_ERROR(AbortARU(aru));
   }
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
   ARU_RETURN_IF_ERROR(device_.Sync());
   MaybePromoteLocked();

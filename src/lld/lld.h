@@ -32,7 +32,6 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +46,8 @@
 #include "lld/tables.h"
 #include "lld/types.h"
 #include "lld/version_index.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aru::lld {
 
@@ -128,21 +129,21 @@ class Lld final : public ld::Disk {
   // Administration.
 
   // Flushes, checkpoints, and leaves the disk cleanly closed.
-  Status Close();
+  Status Close() ARU_EXCLUDES(mu_);
 
   // Takes a checkpoint now (also releases cleaned slots for reuse).
-  Status Checkpoint();
+  Status Checkpoint() ARU_EXCLUDES(mu_);
 
   // Runs a cleaning pass now regardless of free-space pressure.
-  Status Clean();
+  Status Clean() ARU_EXCLUDES(mu_);
 
   // Deep structural validation of tables, version indexes and lists.
-  Status CheckConsistency() const;
+  Status CheckConsistency() const ARU_EXCLUDES(mu_);
 
   // Consistent snapshot of the registry-backed counters, taken under
   // the operation mutex (concurrent mutating streams cannot race it).
-  LldStats stats() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+  LldStats stats() const ARU_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     metrics_.version_chain_steps->Set(static_cast<std::int64_t>(
         block_versions_.chain_steps() + list_versions_.chain_steps()));
     return metrics_.Snapshot();
@@ -152,11 +153,12 @@ class Lld final : public ld::Disk {
   // unless Options.registry supplied a shared one.
   obs::Registry& registry() const { return registry_; }
   const RecoveryReport& recovery_report() const { return recovery_report_; }
-  const BlockCacheStats& read_cache_stats() const {
+  BlockCacheStats read_cache_stats() const ARU_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return read_cache_.stats();
   }
   const Geometry& geometry() const { return geometry_; }
-  std::uint64_t free_slots() const;
+  std::uint64_t free_slots() const ARU_EXCLUDES(mu_);
 
  private:
   struct PromotionEntry {
@@ -186,62 +188,66 @@ class Lld final : public ld::Disk {
 
   Lld(BlockDevice& device, const Options& options, const Geometry& geometry);
 
-  Lsn NextLsn() { return next_lsn_++; }
+  Lsn NextLsn() ARU_REQUIRES(mu_) { return next_lsn_++; }
 
   // Newest version of an id visible to `aru` (shadow → committed →
   // persistent). Returns meta with allocated/exists == false when the
   // id does not exist in that view.
-  BlockMeta VisibleBlock(BlockId id, AruId aru) const;
-  ListMeta VisibleList(ListId id, AruId aru) const;
+  BlockMeta VisibleBlock(BlockId id, AruId aru) const ARU_REQUIRES(mu_);
+  ListMeta VisibleList(ListId id, AruId aru) const ARU_REQUIRES(mu_);
 
   // Writes a version record into state `state`. `gating_lsn` controls
   // promotion (kLsnMax = held until commit restamps it).
   void PutBlock(BlockId id, AruId state, const BlockMeta& meta,
-                Lsn gating_lsn, Lsn source_lsn);
+                Lsn gating_lsn, Lsn source_lsn) ARU_REQUIRES(mu_);
   void PutList(ListId id, AruId state, const ListMeta& meta, Lsn gating_lsn,
-               Lsn source_lsn);
+               Lsn source_lsn) ARU_REQUIRES(mu_);
 
   // List-operation executors. They mutate version state `state`
   // (kNoAru = committed), looking through to deeper states, and collect
   // the ids they touch. `source_lsn` backs the records they create.
   Status ExecInsert(AruId state, ListId list, BlockId block, BlockId pred,
-                    Lsn gating_lsn, Lsn source_lsn, Touched& touched);
+                    Lsn gating_lsn, Lsn source_lsn, Touched& touched)
+      ARU_REQUIRES(mu_);
   Status ExecDeleteBlock(AruId state, BlockId block, Lsn gating_lsn,
-                         Lsn source_lsn, Touched& touched);
+                         Lsn source_lsn, Touched& touched) ARU_REQUIRES(mu_);
   Status ExecMove(AruId state, BlockId block, ListId to_list, BlockId pred,
-                  Lsn gating_lsn, Lsn source_lsn, Touched& touched);
+                  Lsn gating_lsn, Lsn source_lsn, Touched& touched)
+      ARU_REQUIRES(mu_);
   // Unlinks `block` (with current meta `bmeta`) from its list without
   // de-allocating it; shared by delete and move.
   Status ExecUnlink(AruId state, BlockId block, BlockMeta& bmeta,
-                    Lsn gating_lsn, Lsn source_lsn, Touched& touched);
+                    Lsn gating_lsn, Lsn source_lsn, Touched& touched)
+      ARU_REQUIRES(mu_);
   Status ExecDeleteList(AruId state, ListId list, Lsn gating_lsn,
-                        Lsn source_lsn, Touched& touched);
+                        Lsn source_lsn, Touched& touched) ARU_REQUIRES(mu_);
 
   // Routes promotion entries for committed-state mutations: straight to
   // the FIFO (simple ops / commit-time) or staged on the ARU
   // (sequential mode).
-  void PushPromotions(const Touched& touched, Lsn eff_lsn, AruState* staged);
+  void PushPromotions(const Touched& touched, Lsn eff_lsn, AruState* staged)
+      ARU_REQUIRES(mu_);
 
   // Applies committed records whose effective LSN has reached disk to
   // the persistent tables.
-  void MaybePromoteLocked();
-  void PromoteAllCommittedLocked();
+  void MaybePromoteLocked() ARU_REQUIRES(mu_);
+  void PromoteAllCommittedLocked() ARU_REQUIRES(mu_);
 
-  Status MaybeCleanLocked();
-  Status RunCleanerLocked();
-  Status TakeCheckpointLocked();
+  Status MaybeCleanLocked() ARU_REQUIRES(mu_);
+  Status RunCleanerLocked() ARU_REQUIRES(mu_);
+  Status TakeCheckpointLocked() ARU_REQUIRES(mu_);
   // Re-homes on-disk shadow-write sources so they stop pinning
   // checkpoint coverage (see the definition for the full story).
-  Status RelocateShadowSourcesLocked();
+  Status RelocateShadowSourcesLocked() ARU_REQUIRES(mu_);
 
-  Status EndAruConcurrentLocked(AruState& state);
-  Status EndAruSequentialLocked(AruState& state);
+  Status EndAruConcurrentLocked(AruState& state) ARU_REQUIRES(mu_);
+  Status EndAruSequentialLocked(AruState& state) ARU_REQUIRES(mu_);
 
-  Result<AruState*> FindAru(AruId aru);
+  Result<AruState*> FindAru(AruId aru) ARU_REQUIRES(mu_);
 
-  Status RecoverLocked();
-  Status CheckConsistencyLocked() const;
-  Status ParanoidCheck() const {
+  Status RecoverLocked() ARU_REQUIRES(mu_);
+  Status CheckConsistencyLocked() const ARU_REQUIRES(mu_);
+  Status ParanoidCheck() const ARU_REQUIRES(mu_) {
     return options_.paranoid_checks ? CheckConsistencyLocked() : Status::Ok();
   }
 
@@ -254,28 +260,30 @@ class Lld final : public ld::Disk {
   obs::Registry& registry_;
   LldMetrics metrics_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
 
-  BlockMap block_map_;
-  ListTable list_table_;
-  BlockVersions block_versions_;
-  ListVersions list_versions_;
-  SlotTable slots_;
-  SegmentWriter writer_;
-  BlockCache read_cache_;
+  BlockMap block_map_ ARU_GUARDED_BY(mu_);
+  ListTable list_table_ ARU_GUARDED_BY(mu_);
+  BlockVersions block_versions_ ARU_GUARDED_BY(mu_);
+  ListVersions list_versions_ ARU_GUARDED_BY(mu_);
+  SlotTable slots_ ARU_GUARDED_BY(mu_);
+  SegmentWriter writer_ ARU_GUARDED_BY(mu_);
+  BlockCache read_cache_ ARU_GUARDED_BY(mu_);
 
-  std::deque<PromotionEntry> promotion_fifo_;
-  std::unordered_map<AruId, AruState> active_arus_;
+  std::deque<PromotionEntry> promotion_fifo_ ARU_GUARDED_BY(mu_);
+  std::unordered_map<AruId, AruState> active_arus_ ARU_GUARDED_BY(mu_);
 
-  Lsn next_lsn_ = 1;
-  std::uint64_t next_block_id_ = 1;
-  std::uint64_t next_list_id_ = 1;
-  std::uint64_t next_aru_id_ = 1;
-  std::uint64_t allocated_blocks_ = 0;
-  std::uint64_t list_count_ = 0;
-  std::uint64_t checkpoint_stamp_ = 0;
-  std::uint64_t last_covered_seq_ = 0;
+  Lsn next_lsn_ ARU_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_block_id_ ARU_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_list_id_ ARU_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_aru_id_ ARU_GUARDED_BY(mu_) = 1;
+  std::uint64_t allocated_blocks_ ARU_GUARDED_BY(mu_) = 0;
+  std::uint64_t list_count_ ARU_GUARDED_BY(mu_) = 0;
+  std::uint64_t checkpoint_stamp_ ARU_GUARDED_BY(mu_) = 0;
+  std::uint64_t last_covered_seq_ ARU_GUARDED_BY(mu_) = 0;
 
+  // Written once by RecoverLocked before Open returns the disk; read
+  // lock-free afterwards through recovery_report().
   RecoveryReport recovery_report_;
 };
 

@@ -114,7 +114,7 @@ Status Lld::CheckConsistencyLocked() const {
 }
 
 Status Lld::CheckConsistency() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return CheckConsistencyLocked();
 }
 

@@ -6,6 +6,11 @@
 // seal time. A kWrite/kRewrite record is kept in the same segment as
 // the data it describes — the cleaner and recovery rely on a segment's
 // summary describing exactly the blocks stored in that segment.
+//
+// Thread-compatibility: not internally synchronized. The writer is
+// owned by an Lld and reached only under Lld::mu_ — the owning member
+// carries ARU_GUARDED_BY(mu_), so clang's -Wthread-safety checks every
+// access path (see util/thread_annotations.h).
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,11 @@
 // A cleaned slot stays PendingFree until the next checkpoint: its
 // summary records may still be needed for roll-forward recovery, so it
 // must not be overwritten before a checkpoint captures their effects.
+//
+// Thread-compatibility: not internally synchronized. The table is owned
+// by an Lld and reached only under Lld::mu_ — the owning member carries
+// ARU_GUARDED_BY(mu_), so clang's -Wthread-safety checks every access
+// path (see util/thread_annotations.h).
 #pragma once
 
 #include <cstdint>

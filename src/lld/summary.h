@@ -18,6 +18,7 @@
 // are the paper's.
 #pragma once
 
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -104,6 +105,32 @@ struct MoveRecord {
   AruId aru;
   Lsn lsn = kNoLsn;
 };
+
+// Format pins: every record alternative is serialized field-by-field
+// into segment summaries that crash recovery replays, so the in-memory
+// structs must stay fixed-size PODs. A failing assert means the on-disk
+// log format changed — that breaks replay of existing disks; extend the
+// codec compatibly (new record type) instead of mutating these.
+static_assert(std::is_trivially_copyable_v<WriteRecord>);
+static_assert(sizeof(WriteRecord) == 32);
+static_assert(std::is_trivially_copyable_v<AllocBlockRecord>);
+static_assert(sizeof(AllocBlockRecord) == 32);
+static_assert(std::is_trivially_copyable_v<AllocListRecord>);
+static_assert(sizeof(AllocListRecord) == 24);
+static_assert(std::is_trivially_copyable_v<InsertRecord>);
+static_assert(sizeof(InsertRecord) == 40);
+static_assert(std::is_trivially_copyable_v<DeleteBlockRecord>);
+static_assert(sizeof(DeleteBlockRecord) == 24);
+static_assert(std::is_trivially_copyable_v<DeleteListRecord>);
+static_assert(sizeof(DeleteListRecord) == 24);
+static_assert(std::is_trivially_copyable_v<CommitRecord>);
+static_assert(sizeof(CommitRecord) == 16);
+static_assert(std::is_trivially_copyable_v<AbortRecord>);
+static_assert(sizeof(AbortRecord) == 16);
+static_assert(std::is_trivially_copyable_v<RewriteRecord>);
+static_assert(sizeof(RewriteRecord) == 32);
+static_assert(std::is_trivially_copyable_v<MoveRecord>);
+static_assert(sizeof(MoveRecord) == 40);
 
 using Record =
     std::variant<WriteRecord, AllocBlockRecord, AllocListRecord, InsertRecord,

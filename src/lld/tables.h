@@ -6,6 +6,11 @@
 // Only live entries are stored: an absent block-map entry means the
 // block id is unallocated, an absent list-table entry that the list
 // does not exist.
+//
+// Thread-compatibility: not internally synchronized. Instances are
+// owned by an Lld and reached only under Lld::mu_ — the owning members
+// carry ARU_GUARDED_BY(mu_), so clang's -Wthread-safety checks every
+// access path (see util/thread_annotations.h).
 #pragma once
 
 #include <unordered_map>

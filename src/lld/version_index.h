@@ -10,6 +10,11 @@
 // A record is a member of such a list only if it differs from the
 // record with the same identifier in the persistent state.
 //
+// Thread-compatibility: not internally synchronized. Both indexes are
+// owned by an Lld and reached only under Lld::mu_ — the owning members
+// carry ARU_GUARDED_BY(mu_), so clang's -Wthread-safety checks every
+// access path (see util/thread_annotations.h).
+//
 // Faithful to the paper, each state keeps at most the *most recent*
 // version of an identifier: writing twice in one ARU replaces the
 // ARU's record in place, and merging on commit replaces the committed

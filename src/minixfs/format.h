@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <type_traits>
 
 #include "ld/ids.h"
 #include "util/bytes.h"
@@ -44,11 +46,20 @@ struct Inode {
   std::uint64_t mtime = 0;      // logical modification counter
 };
 
+// Format pin: i-nodes are encoded into fixed 64-byte table slots; the
+// in-memory struct must stay a fixed-size POD so fsck and recovery read
+// old images correctly.
+static_assert(std::is_trivially_copyable_v<Inode>);
+static_assert(sizeof(Inode) == 32);
+
 // 64-byte directory entry: 8-byte i-node field (0 = free slot, else
 // i-node number + 1), 55-byte name, NUL.
 inline constexpr std::size_t kDirEntrySize = 64;
 inline constexpr std::size_t kMaxNameLen = 55;
 
+// arulint: allow(on-disk-pin) decoded view, not the serialized layout —
+// the 64-byte slot format is pinned by kDirEntrySize and the codec; the
+// name field is an owning copy of the NUL-terminated on-disk bytes.
 struct DirEntry {
   InodeNum inode = kNoInode;
   std::string name;
@@ -58,6 +69,11 @@ struct SuperBlock {
   ld::ListId inode_list;
   InodeNum root = 0;
 };
+
+// Format pin: the superblock codec writes these fields at fixed offsets
+// in block 0 of the superblock list.
+static_assert(std::is_trivially_copyable_v<SuperBlock>);
+static_assert(sizeof(SuperBlock) == 16);
 
 // Codecs: fixed offsets within a block buffer.
 void EncodeInode(const Inode& inode, MutableByteSpan slot64);

@@ -126,13 +126,14 @@ double Histogram::Snapshot::Percentile(double p) const {
 // Registry.
 
 Registry& Registry::Default() {
+  // arulint: allow(raw-new) leaky singleton, intentionally never destroyed
   static Registry* instance = new Registry();
   return *instance;
 }
 
 Registry::Entry* Registry::GetEntry(std::string_view name,
                                     std::string_view help, Kind kind) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = entries_.find(name);
   if (it != entries_.end()) {
     return it->second.kind == kind ? &it->second : nullptr;
@@ -167,7 +168,7 @@ Histogram* Registry::GetHistogram(std::string_view name,
 }
 
 const Counter* Registry::FindCounter(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second.kind == Kind::kCounter
              ? it->second.counter.get()
@@ -175,7 +176,7 @@ const Counter* Registry::FindCounter(std::string_view name) const {
 }
 
 const Gauge* Registry::FindGauge(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second.kind == Kind::kGauge
              ? it->second.gauge.get()
@@ -183,7 +184,7 @@ const Gauge* Registry::FindGauge(std::string_view name) const {
 }
 
 const Histogram* Registry::FindHistogram(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second.kind == Kind::kHistogram
              ? it->second.histogram.get()
@@ -191,7 +192,7 @@ const Histogram* Registry::FindHistogram(std::string_view name) const {
 }
 
 void Registry::Reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& [name, entry] : entries_) {
     switch (entry.kind) {
       case Kind::kCounter: entry.counter->Reset(); break;
@@ -202,7 +203,7 @@ void Registry::Reset() {
 }
 
 std::string Registry::DumpText() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, entry] : entries_) {
     if (!entry.help.empty()) {
@@ -236,7 +237,7 @@ std::string Registry::DumpText() const {
 }
 
 std::string Registry::DumpJson() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::string counters, gauges, histograms;
   for (const auto& [name, entry] : entries_) {
     switch (entry.kind) {

@@ -27,10 +27,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aru::obs {
 
@@ -125,24 +127,28 @@ class Registry {
   // Find-or-create. The returned pointer is stable for the lifetime of
   // the registry. Re-registering an existing name with a different
   // metric kind returns nullptr (a programming error worth surfacing).
-  Counter* GetCounter(std::string_view name, std::string_view help = "");
-  Gauge* GetGauge(std::string_view name, std::string_view help = "");
-  Histogram* GetHistogram(std::string_view name, std::string_view help = "");
+  Counter* GetCounter(std::string_view name, std::string_view help = "")
+      ARU_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name, std::string_view help = "")
+      ARU_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name, std::string_view help = "")
+      ARU_EXCLUDES(mu_);
 
   // Lookup without creating; nullptr when absent or of another kind.
-  const Counter* FindCounter(std::string_view name) const;
-  const Gauge* FindGauge(std::string_view name) const;
-  const Histogram* FindHistogram(std::string_view name) const;
+  const Counter* FindCounter(std::string_view name) const ARU_EXCLUDES(mu_);
+  const Gauge* FindGauge(std::string_view name) const ARU_EXCLUDES(mu_);
+  const Histogram* FindHistogram(std::string_view name) const
+      ARU_EXCLUDES(mu_);
 
   // Zeroes every metric (the metrics stay registered).
-  void Reset();
+  void Reset() ARU_EXCLUDES(mu_);
 
   // Prometheus-style text exposition.
-  std::string DumpText() const;
+  std::string DumpText() const ARU_EXCLUDES(mu_);
 
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":
   // {name:{count,sum,min,max,mean,p50,p95,p99,buckets:[{le,count}]}}}.
-  std::string DumpJson() const;
+  std::string DumpJson() const ARU_EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -154,10 +160,13 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* GetEntry(std::string_view name, std::string_view help, Kind kind);
+  Entry* GetEntry(std::string_view name, std::string_view help, Kind kind)
+      ARU_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  // Guards the name→entry map only; the metric objects themselves are
+  // lock-free and are mutated through the stable pointers handed out.
+  mutable Mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_ ARU_GUARDED_BY(mu_);
 };
 
 // Microseconds on the steady clock since process start; the timebase

@@ -22,9 +22,11 @@ void AppendEscaped(std::string& out, const char* s) {
 
 }  // namespace
 
-Tracer::Tracer(std::size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {}
 
 Tracer& Tracer::Default() {
+  // arulint: allow(raw-new) leaky singleton, intentionally never destroyed
   static Tracer* instance = new Tracer();
   return *instance;
 }
@@ -42,13 +44,13 @@ void Tracer::RecordComplete(const char* category, const char* name,
   event.arg_name = arg_name;
   event.arg_value = arg_value;
 
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   slots_[next_ % slots_.size()] = event;
   ++next_;
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<TraceEvent> events;
   const std::uint64_t capacity = slots_.size();
   const std::uint64_t first = next_ > capacity ? next_ - capacity : 0;
@@ -60,19 +62,19 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 }
 
 std::uint64_t Tracer::dropped() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const std::uint64_t capacity = slots_.size();
   return next_ > capacity ? next_ - capacity : 0;
 }
 
 std::size_t Tracer::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return static_cast<std::size_t>(
       next_ < slots_.size() ? next_ : slots_.size());
 }
 
 void Tracer::Clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   next_ = 0;
 }
 

@@ -13,11 +13,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aru::obs {
 
@@ -46,25 +47,27 @@ class Tracer {
   void RecordComplete(const char* category, const char* name,
                       std::uint64_t ts_us, std::uint64_t dur_us,
                       const char* arg_name = nullptr,
-                      std::uint64_t arg_value = 0);
+                      std::uint64_t arg_value = 0) ARU_EXCLUDES(mu_);
 
   // Events currently held, oldest first (wraparound resolved).
-  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> Snapshot() const ARU_EXCLUDES(mu_);
 
   // Events overwritten because the ring was full.
-  std::uint64_t dropped() const;
-  std::size_t capacity() const { return slots_.size(); }
-  std::size_t size() const;
+  std::uint64_t dropped() const ARU_EXCLUDES(mu_);
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const ARU_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() ARU_EXCLUDES(mu_);
 
   // {"displayTimeUnit":"ms","traceEvents":[{"ph":"X",...},...]}
-  std::string DumpChromeJson() const;
+  std::string DumpChromeJson() const ARU_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> slots_;
-  std::uint64_t next_ = 0;  // monotone; slot = next_ % capacity
+  mutable Mutex mu_;
+  const std::size_t capacity_;  // fixed at construction; lock-free reads
+  std::vector<TraceEvent> slots_ ARU_GUARDED_BY(mu_);
+  // Monotone event count; the slot written is next_ % capacity_.
+  std::uint64_t next_ ARU_GUARDED_BY(mu_) = 0;
   std::atomic<bool> enabled_{true};
 };
 

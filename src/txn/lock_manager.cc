@@ -29,7 +29,7 @@ bool LockManager::MayWait(const ResourceState& state, TxnId txn,
 }
 
 Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   ResourceState& state = resources_[resource];
 
   // Already held? Upgrade if needed.
@@ -47,7 +47,7 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode) {
           " must abort (conflicting lock held by an older transaction)");
     }
     ++state.waiters;
-    released_.wait(lock);
+    released_.Wait(mu_);
     --state.waiters;
   }
   LockMode& held = state.holders[txn];
@@ -57,7 +57,7 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode) {
 
 void LockManager::ReleaseAll(TxnId txn) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     for (auto it = resources_.begin(); it != resources_.end();) {
       it->second.holders.erase(txn);
       if (it->second.holders.empty() && it->second.waiters == 0) {
@@ -67,11 +67,11 @@ void LockManager::ReleaseAll(TxnId txn) {
       }
     }
   }
-  released_.notify_all();
+  released_.NotifyAll();
 }
 
 std::size_t LockManager::LockedResources() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return resources_.size();
 }
 

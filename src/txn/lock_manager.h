@@ -15,15 +15,15 @@
 // form.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "ld/ids.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace aru::txn {
 
@@ -49,14 +49,15 @@ class LockManager {
   // Acquires (or upgrades to) `mode` on `resource` for `txn`.
   // Returns kFailedPrecondition when wait-die kills the request; the
   // caller is expected to abort and retry the whole transaction.
-  Status Acquire(TxnId txn, ResourceId resource, LockMode mode);
+  Status Acquire(TxnId txn, ResourceId resource, LockMode mode)
+      ARU_EXCLUDES(mu_);
 
   // Releases every lock `txn` holds (commit or abort time — strict 2PL
   // releases nothing earlier).
-  void ReleaseAll(TxnId txn);
+  void ReleaseAll(TxnId txn) ARU_EXCLUDES(mu_);
 
   // Introspection for tests.
-  std::size_t LockedResources() const;
+  std::size_t LockedResources() const ARU_EXCLUDES(mu_);
 
  private:
   struct ResourceState {
@@ -71,9 +72,9 @@ class LockManager {
   // allowed under wait-die).
   static bool MayWait(const ResourceState& state, TxnId txn, LockMode mode);
 
-  mutable std::mutex mu_;
-  std::condition_variable released_;
-  std::map<ResourceId, ResourceState> resources_;
+  mutable Mutex mu_;
+  CondVar released_;
+  std::map<ResourceId, ResourceState> resources_ ARU_GUARDED_BY(mu_);
 };
 
 }  // namespace aru::txn

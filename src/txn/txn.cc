@@ -8,6 +8,8 @@
 namespace aru::txn {
 
 Transaction::~Transaction() {
+  // Discarded: destructors cannot propagate; a failed abort leaves the
+  // ARU uncommitted, which a crash-equivalent recovery discards anyway.
   if (!finished_) (void)Abort();
 }
 
@@ -135,6 +137,8 @@ Status TransactionManager::RunTransaction(
       status = txn->Commit(durability);
       if (status.ok()) return Status::Ok();
     }
+    // Discarded: the retry decision is driven by `status` from the body
+    // or commit; abort failure cannot make the outcome worse.
     (void)txn->Abort();
     if (status.code() != StatusCode::kFailedPrecondition) {
       return status;  // a real error, not a wait-die conflict

@@ -4,27 +4,38 @@
 // SCSI disk) deterministically and independent of host speed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace aru {
 
-// Monotone virtual clock with microsecond resolution.
+// Monotone virtual clock with microsecond resolution. Atomic so that
+// concurrent streams over one ModeledDisk advance it without tearing;
+// relaxed ordering suffices — readers only need *a* monotone value, not
+// ordering against other memory.
 class VirtualClock {
  public:
-  std::uint64_t now_us() const { return now_us_; }
+  std::uint64_t now_us() const {
+    return now_us_.load(std::memory_order_relaxed);
+  }
 
-  void Advance(std::uint64_t delta_us) { now_us_ += delta_us; }
+  void Advance(std::uint64_t delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_relaxed);
+  }
 
   // Moves the clock to `t` if `t` is in the future (e.g. the disk arm is
   // busy until `t`); no-op otherwise.
   void AdvanceTo(std::uint64_t t_us) {
-    if (t_us > now_us_) now_us_ = t_us;
+    std::uint64_t now = now_us_.load(std::memory_order_relaxed);
+    while (t_us > now && !now_us_.compare_exchange_weak(
+                             now, t_us, std::memory_order_relaxed)) {
+    }
   }
 
-  void Reset() { now_us_ = 0; }
+  void Reset() { now_us_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t now_us_ = 0;
+  std::atomic<std::uint64_t> now_us_{0};
 };
 
 }  // namespace aru

@@ -2,11 +2,13 @@
 
 #include <atomic>
 
+#include "util/mutex.h"
+
 namespace aru {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_output_mutex;
+Mutex g_output_mutex;  // serializes whole messages onto stderr
 
 std::string_view LevelName(LogLevel level) {
   switch (level) {
@@ -39,7 +41,7 @@ LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
 }
 
 LogMessage::~LogMessage() {
-  const std::lock_guard<std::mutex> lock(g_output_mutex);
+  const MutexLock lock(g_output_mutex);
   std::cerr << stream_.str() << '\n';
 }
 

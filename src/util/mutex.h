@@ -1,0 +1,85 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no thread-safety
+// attributes, so -Wthread-safety cannot see through them. These thin
+// wrappers add the attributes without changing behavior: Mutex is a
+// std::mutex with a capability annotation, MutexLock is a lock_guard the
+// analysis understands, and CondVar is a condition variable that waits
+// on a Mutex (the analysis knows the mutex is held again when Wait
+// returns).
+//
+// AssertHeld() is the escape hatch for lambdas: the analysis treats a
+// lambda body as a separate function with no knowledge of the enclosing
+// scope's locks, so a lambda touching guarded state states its
+// precondition with mu_.AssertHeld() (a no-op at runtime).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace aru {
+
+class ARU_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ARU_ACQUIRE() { mu_.lock(); }
+  void Unlock() ARU_RELEASE() { mu_.unlock(); }
+  bool TryLock() ARU_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Declares (to the analysis only) that this mutex is held. No-op at
+  // runtime; used inside lambdas that run under the enclosing lock.
+  void AssertHeld() const ARU_ASSERT_CAPABILITY(this) {}
+
+  // BasicLockable surface so std::condition_variable_any can wait on a
+  // Mutex directly. Intentionally unannotated: only CondVar::Wait uses
+  // these, and it carries the REQUIRES annotation itself.
+  void lock() ARU_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() ARU_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock holder; the annotated equivalent of std::lock_guard.
+class ARU_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ARU_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() ARU_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to an annotated Mutex at each wait site.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks, and re-acquires `mu` before
+  // returning — so from the analysis's view the capability is held
+  // throughout (REQUIRES, not RELEASE+ACQUIRE).
+  void Wait(Mutex& mu) ARU_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) ARU_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace aru

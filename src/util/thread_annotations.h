@@ -1,0 +1,58 @@
+// Clang Thread Safety Analysis annotations.
+//
+// The LLD serializes its public API behind a single mutex, the lock
+// manager implements wait-die under another, and the obs registry has a
+// third — the lock discipline is simple, but "simple and unchecked"
+// rots. These macros let clang's -Wthread-safety prove, at compile
+// time, that every access to a guarded member happens with the right
+// mutex held. Under other compilers (the default toolchain here is
+// gcc) they expand to nothing; CI runs the clang build.
+//
+// Vocabulary (see docs/STATIC_ANALYSIS.md for the full catalogue):
+//   ARU_CAPABILITY        — marks a class as a lockable capability.
+//   ARU_SCOPED_CAPABILITY — marks an RAII lock holder.
+//   ARU_GUARDED_BY(mu)    — data member readable/writable only with mu.
+//   ARU_PT_GUARDED_BY(mu) — pointee guarded (the pointer itself is not).
+//   ARU_REQUIRES(mu)      — caller must hold mu to call this function.
+//   ARU_ACQUIRE(mu) / ARU_RELEASE(mu) — function takes / drops mu.
+//   ARU_TRY_ACQUIRE(ok, mu) — conditional acquisition.
+//   ARU_EXCLUDES(mu)      — caller must NOT hold mu (deadlock guard).
+//   ARU_ASSERT_CAPABILITY(mu) — runtime assertion the analysis trusts;
+//                               the escape hatch for lambdas, which the
+//                               analysis treats as separate functions.
+//   ARU_RETURN_CAPABILITY(mu) — accessor returning a reference to mu.
+//   ARU_NO_THREAD_SAFETY_ANALYSIS — opt a function out entirely.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ARU_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ARU_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define ARU_CAPABILITY(name) ARU_THREAD_ANNOTATION(capability(name))
+#define ARU_SCOPED_CAPABILITY ARU_THREAD_ANNOTATION(scoped_lockable)
+#define ARU_GUARDED_BY(x) ARU_THREAD_ANNOTATION(guarded_by(x))
+#define ARU_PT_GUARDED_BY(x) ARU_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ARU_ACQUIRED_BEFORE(...) \
+  ARU_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ARU_ACQUIRED_AFTER(...) \
+  ARU_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define ARU_REQUIRES(...) \
+  ARU_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ARU_REQUIRES_SHARED(...) \
+  ARU_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ARU_ACQUIRE(...) ARU_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ARU_ACQUIRE_SHARED(...) \
+  ARU_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define ARU_RELEASE(...) ARU_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ARU_RELEASE_SHARED(...) \
+  ARU_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define ARU_TRY_ACQUIRE(...) \
+  ARU_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ARU_EXCLUDES(...) ARU_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ARU_ASSERT_CAPABILITY(x) \
+  ARU_THREAD_ANNOTATION(assert_capability(x))
+#define ARU_RETURN_CAPABILITY(x) ARU_THREAD_ANNOTATION(lock_returned(x))
+#define ARU_NO_THREAD_SAFETY_ANALYSIS \
+  ARU_THREAD_ANNOTATION(no_thread_safety_analysis)

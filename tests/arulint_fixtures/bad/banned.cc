@@ -1,0 +1,24 @@
+// Seeded-violation fixture for arulint_test: nondeterminism and raw
+// ownership, one violation per statement.
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+struct Widget {
+  int v = 0;
+};
+
+int Roll() {
+  return rand() % 6;
+}
+
+long Stamp() {
+  return static_cast<long>(time(nullptr));
+}
+
+Widget* Make() {
+  return new Widget();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Seeded-violation fixture for arulint_test: an on-disk struct in a
+// format header with no trivially-copyable / sizeof pin.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct UnpinnedHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t crc;
+};
+
+struct PinnedRecord {
+  std::uint64_t lsn;
+  std::uint64_t id;
+};
+static_assert(sizeof(PinnedRecord) == 16);
+// PinnedRecord is still missing the trivially-copyable half of the pin,
+// so arulint must flag it too (a size pin alone does not prove the
+// bytes can be memcpy'd).
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Seeded-violation fixture for arulint_test: an assert() in a
+// recovery-path file. Recovery digests disk-derived data, so the real
+// code must return StatusCode::kCorruption instead.
+#include <cassert>
+#include <cstdint>
+
+namespace fixture {
+
+void ReplaySegment(const std::uint8_t* bytes, std::uint64_t magic) {
+  assert(bytes != nullptr);
+  (void)magic;  // Discarded: fixture stub, the value is unused here.
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Seeded-violation fixture for arulint_test: a (void)-discarded call
+// with no justification comment near it.
+namespace fixture {
+
+int Flush();
+
+void Close() {
+  int x = 0;
+  x = x + 1;
+  (void)x;
+
+  (void)Flush();
+}
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Clean fixture for arulint_test: exercises every pattern the rules
+// look for, but only inside comments, strings, or with the sanctioned
+// escape hatches. arulint must report zero findings here.
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+struct Widget {
+  int v = 0;
+};
+
+int Flush();
+
+// A comment mentioning rand() and time(nullptr) and (void)Flush() and
+// `new Widget` must not trip the lexical rules.
+void Comments() {
+  const std::string s = "rand() time(nullptr) (void)Flush( new Widget";
+  (void)s.size();  // Discarded: size only forces the string to exist.
+}
+
+void Justified() {
+  // Discarded: fixture stub — Flush() cannot fail here.
+  (void)Flush();
+}
+
+void Suppressed() {
+  // arulint: allow(raw-new) exercising the suppression syntax.
+  Widget* w = new Widget();
+  delete w;
+}
+
+std::unique_ptr<Widget> SmartSameLine() {
+  return std::unique_ptr<Widget>(new Widget());
+}
+
+std::unique_ptr<Widget> SmartWrapped() {
+  return std::unique_ptr<Widget>(
+      new Widget());
+}
+
+}  // namespace fixture

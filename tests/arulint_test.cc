@@ -1,0 +1,259 @@
+// Tests for tools/arulint: the stripper, each rule (via inline sources
+// and seeded-violation fixture files with golden expectations), the
+// suppression window, and the meta-check that the repo's own src/ tree
+// is clean. ARU_ARULINT_FIXTURE_DIR and ARU_SRC_DIR are injected by
+// tests/CMakeLists.txt.
+#include "tools/arulint/arulint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace aru::arulint {
+namespace {
+
+std::string Fixture(const std::string& rel) {
+  return std::string(ARU_ARULINT_FIXTURE_DIR) + "/" + rel;
+}
+
+// Compact (rule, line) view of findings for golden comparisons.
+std::vector<std::pair<std::string, std::size_t>> RulesAndLines(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.emplace_back(f.rule, f.line);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// StripCommentsAndStrings
+
+// The stripper replaces comment/literal bytes with spaces one-for-one,
+// so it must preserve total length and every newline position.
+void ExpectStripped(const std::string& input,
+                    const std::vector<std::string>& gone,
+                    const std::vector<std::string>& kept) {
+  const std::string stripped = StripCommentsAndStrings(input);
+  EXPECT_EQ(stripped.size(), input.size()) << stripped;
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(input.begin(), input.end(), '\n'))
+      << stripped;
+  for (const std::string& g : gone) {
+    EXPECT_EQ(stripped.find(g), std::string::npos)
+        << "'" << g << "' survived: " << stripped;
+  }
+  for (const std::string& k : kept) {
+    EXPECT_NE(stripped.find(k), std::string::npos)
+        << "'" << k << "' lost: " << stripped;
+  }
+}
+
+TEST(StripTest, BlanksLineComments) {
+  ExpectStripped("int x;  // rand()\nint y;", {"rand"}, {"int x;", "int y;"});
+}
+
+TEST(StripTest, BlockCommentPreservesLineStructure) {
+  ExpectStripped("a /* new X\n   time(nullptr) */ b", {"new", "time"},
+                 {"a ", " b"});
+}
+
+TEST(StripTest, BlanksStringAndCharLiterals) {
+  ExpectStripped("f(\"(void)g(\");", {"(void)g"}, {"f(", ");"});
+  ExpectStripped("char c = '\"';", {"\""}, {"char c =", ";"});
+}
+
+TEST(StripTest, EscapedQuoteStaysInsideString) {
+  // The \" does not end the literal; the trailing code survives.
+  ExpectStripped("f(\"a\\\"b\") + g()", {"a", "b"}, {"f(", ") + g()"});
+}
+
+TEST(StripTest, CommentMarkersInsideStringsAreLiteral) {
+  // The // inside the literal is string content, not a comment: the
+  // code after the literal must survive.
+  ExpectStripped("url(\"http://x\"); code();", {"http"},
+                 {"url(", "code();"});
+}
+
+// ---------------------------------------------------------------------
+// Rules via inline sources
+
+TEST(OnDiskPinTest, OnlyAppliesToFormatHeaders) {
+  const std::string source = "struct Foo {\n  int v;\n};\n";
+  EXPECT_EQ(CheckSource("src/lld/lld.h", source).size(), 0u);
+  const auto findings = CheckSource("src/lld/layout.h", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "on-disk-pin");
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(OnDiskPinTest, NeedsBothHalvesOfThePin) {
+  const std::string size_only =
+      "struct Foo {\n  int v;\n};\nstatic_assert(sizeof(Foo) == 4);\n";
+  EXPECT_EQ(CheckSource("src/lld/summary.h", size_only).size(), 1u);
+  const std::string both =
+      "struct Foo {\n  int v;\n};\n"
+      "static_assert(std::is_trivially_copyable_v<Foo>);\n"
+      "static_assert(sizeof(Foo) == 4);\n";
+  EXPECT_EQ(CheckSource("src/lld/summary.h", both).size(), 0u);
+}
+
+TEST(StatusDiscardTest, JustificationCommentSilences) {
+  EXPECT_EQ(CheckSource("src/a.cc", "void F() { (void)G(); }\n").size(), 1u);
+  EXPECT_EQ(CheckSource("src/a.cc",
+                        "void F() {\n"
+                        "  // Discarded: G is best-effort here.\n"
+                        "  (void)G();\n"
+                        "}\n")
+                .size(),
+            0u);
+}
+
+TEST(StatusDiscardTest, VariableDiscardIsNotACall) {
+  // (void)x; silences an unused variable — no Status is being dropped.
+  EXPECT_EQ(CheckSource("src/a.cc", "void F(int x) { (void)x; }\n").size(),
+            0u);
+}
+
+TEST(BannedCallTest, FlagsRandAndTimeButNotLookalikes) {
+  const auto findings = CheckSource(
+      "src/a.cc",
+      "int a = rand();\n"
+      "long b = time(nullptr);\n"
+      "int c = grand();\n"       // suffix match must not fire
+      "int d = rng.rand();\n"    // member call on the seeded RNG is fine
+      "long e = time(clock);\n"  // only the null-epoch form is banned
+  );
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"banned-call", 1}, {"banned-call", 2}}));
+}
+
+TEST(RawNewTest, SmartPointerConstructionIsExempt) {
+  EXPECT_EQ(CheckSource("src/a.cc", "auto* p = new Foo();\n").size(), 1u);
+  EXPECT_EQ(
+      CheckSource("src/a.cc", "auto p = std::make_unique<Foo>();\n").size(),
+      0u);
+  EXPECT_EQ(
+      CheckSource("src/a.cc", "std::unique_ptr<Foo> p(new Foo());\n").size(),
+      0u);
+  // Wrapped across two lines: the smart-pointer type sits on the line
+  // above the `new`.
+  EXPECT_EQ(CheckSource("src/a.cc",
+                        "auto p = std::unique_ptr<Foo>(\n"
+                        "    new Foo());\n")
+                .size(),
+            0u);
+}
+
+TEST(RecoveryAssertTest, OnlyAppliesToRecoveryFiles) {
+  const std::string source = "void F(int v) { assert(v > 0); }\n";
+  EXPECT_EQ(CheckSource("src/lld/lld.cc", source).size(), 0u);
+  const auto findings = CheckSource("src/lld/lld_recovery.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "recovery-assert");
+  const auto consistency =
+      CheckSource("src/lld/lld_consistency.cc", source);
+  ASSERT_EQ(consistency.size(), 1u);
+  EXPECT_EQ(consistency[0].rule, "recovery-assert");
+}
+
+TEST(SuppressionTest, AllowMarkerWorksWithinThreeLines) {
+  EXPECT_EQ(CheckSource("src/a.cc",
+                        "// arulint: allow(raw-new) pool allocator.\n"
+                        "auto* p = new Foo();\n")
+                .size(),
+            0u);
+  // Marker names a different rule: no effect.
+  EXPECT_EQ(CheckSource("src/a.cc",
+                        "// arulint: allow(banned-call) wrong rule.\n"
+                        "auto* p = new Foo();\n")
+                .size(),
+            1u);
+  // Marker four lines above the flagged line: outside the window.
+  EXPECT_EQ(CheckSource("src/a.cc",
+                        "// arulint: allow(raw-new) too far away.\n"
+                        "\n"
+                        "\n"
+                        "\n"
+                        "auto* p = new Foo();\n")
+                .size(),
+            1u);
+}
+
+TEST(FormatTest, FindingRendersAsFileLineRuleMessage) {
+  EXPECT_EQ(FormatFinding({"src/a.cc", 7, "raw-new", "msg"}),
+            "src/a.cc:7: [raw-new] msg");
+}
+
+TEST(CheckFileTest, MissingFileIsAnIoErrorFinding) {
+  const auto findings = CheckFile(Fixture("no_such_file.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io-error");
+  EXPECT_EQ(findings[0].line, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Seeded-violation fixtures: golden (rule, line) expectations.
+
+TEST(FixtureTest, UnpinnedOnDiskStructs) {
+  const auto findings = CheckFile(Fixture("bad/lld/layout.h"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"on-disk-pin", 9},     // UnpinnedHeader: no pin at all
+                {"on-disk-pin", 15}}))  // PinnedRecord: size pin only
+      << "fixture bad/lld/layout.h drifted from the golden expectation";
+}
+
+TEST(FixtureTest, UnjustifiedStatusDiscard) {
+  const auto findings = CheckFile(Fixture("bad/status_discard.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"status-discard", 12}}));
+}
+
+TEST(FixtureTest, AssertInRecoveryPath) {
+  const auto findings = CheckFile(Fixture("bad/lld_recovery.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"recovery-assert", 10}}));
+}
+
+TEST(FixtureTest, BannedCallsAndRawNew) {
+  const auto findings = CheckFile(Fixture("bad/banned.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"banned-call", 13},   // rand()
+                {"banned-call", 17},   // time(nullptr)
+                {"raw-new", 21}}));    // new Widget()
+}
+
+TEST(FixtureTest, CleanFileHasZeroFindings) {
+  const auto findings = CheckFile(Fixture("clean/clean.cc"));
+  EXPECT_TRUE(findings.empty()) << FormatFinding(findings.front());
+}
+
+TEST(FixtureTest, BadTreeAggregatesEveryViolationClass) {
+  const auto findings = CheckTree(Fixture("bad"));
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  std::sort(rules.begin(), rules.end());
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+  EXPECT_EQ(rules,
+            (std::vector<std::string>{"banned-call", "on-disk-pin",
+                                      "raw-new", "recovery-assert",
+                                      "status-discard"}));
+}
+
+// ---------------------------------------------------------------------
+// The repository lints itself.
+
+TEST(RepoTest, SrcTreeIsClean) {
+  const auto findings = CheckTree(ARU_SRC_DIR);
+  for (const Finding& f : findings) ADD_FAILURE() << FormatFinding(f);
+}
+
+}  // namespace
+}  // namespace aru::arulint

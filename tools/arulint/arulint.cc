@@ -1,0 +1,335 @@
+#include "tools/arulint/arulint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace aru::arulint {
+namespace {
+
+// How far above a flagged line a justification / allow marker may sit.
+constexpr std::size_t kCommentLookback = 3;
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// True if raw line `line` (1-based) or one of the kCommentLookback lines
+// above it carries `// arulint: allow(<rule>)`.
+bool IsAllowed(const std::vector<std::string>& raw, std::size_t line,
+               std::string_view rule) {
+  const std::string needle = "arulint: allow(" + std::string(rule) + ")";
+  const std::size_t first = line > kCommentLookback ? line - kCommentLookback
+                                                    : 1;
+  for (std::size_t i = first; i <= line && i <= raw.size(); ++i) {
+    if (raw[i - 1].find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// True if the raw line or one of the lines above holds a non-marker
+// comment (the justification for a discarded Status).
+bool HasJustification(const std::vector<std::string>& raw, std::size_t line) {
+  const std::size_t first = line > kCommentLookback ? line - kCommentLookback
+                                                    : 1;
+  for (std::size_t i = first; i <= line && i <= raw.size(); ++i) {
+    const std::size_t pos = raw[i - 1].find("//");
+    if (pos == std::string::npos) continue;
+    // Require some text after the slashes.
+    const std::string_view rest = std::string_view(raw[i - 1]).substr(pos + 2);
+    if (rest.find_first_not_of(" \t") != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Rules. Each receives the raw lines (for comments/markers) and the
+// stripped lines (for code patterns).
+
+struct RuleInput {
+  const std::string& path;
+  const std::vector<std::string>& raw;
+  const std::vector<std::string>& code;
+};
+
+// on-disk-pin: in the format headers, every top-level `struct X {` needs
+// static_assert(std::is_trivially_copyable_v<X>) and
+// static_assert(sizeof(X) == N) somewhere in the same file.
+void CheckOnDiskPins(const RuleInput& in, std::vector<Finding>& findings) {
+  static const std::regex kStructRe(R"(^struct\s+([A-Za-z_]\w*)\s*\{)");
+  std::string all;
+  for (const std::string& line : in.code) {
+    all += line;
+    all += '\n';
+  }
+  for (std::size_t i = 0; i < in.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(in.code[i], m, kStructRe)) continue;
+    const std::string name = m[1].str();
+    if (IsAllowed(in.raw, i + 1, "on-disk-pin")) continue;
+    const bool has_trivial =
+        all.find("is_trivially_copyable_v<" + name + ">") !=
+        std::string::npos;
+    const bool has_size =
+        all.find("sizeof(" + name + ")") != std::string::npos;
+    if (!has_trivial || !has_size) {
+      findings.push_back(
+          {in.path, i + 1, "on-disk-pin",
+           "on-disk struct '" + name +
+               "' must be pinned with "
+               "static_assert(std::is_trivially_copyable_v<" +
+               name + ">) and static_assert(sizeof(" + name +
+               ") == <bytes>); layout drift silently corrupts recovery "
+               "of existing images"});
+    }
+  }
+}
+
+// status-discard: `(void)` before a call expression needs a comment
+// saying why dropping the result is sound.
+void CheckStatusDiscards(const RuleInput& in, std::vector<Finding>& findings) {
+  static const std::regex kDiscardRe(
+      R"(\(void\)\s*[A-Za-z_][\w.:]*(->[\w.:]*)*\s*\()");
+  for (std::size_t i = 0; i < in.code.size(); ++i) {
+    if (!std::regex_search(in.code[i], kDiscardRe)) continue;
+    if (IsAllowed(in.raw, i + 1, "status-discard")) continue;
+    if (HasJustification(in.raw, i + 1)) continue;
+    findings.push_back(
+        {in.path, i + 1, "status-discard",
+         "(void)-discarded call result needs a justification comment on "
+         "this line or directly above (why is ignoring the Status "
+         "sound?)"});
+  }
+}
+
+// banned-call: rand() and time(nullptr) break the deterministic replay
+// the crash-injection tests depend on.
+void CheckBannedCalls(const RuleInput& in, std::vector<Finding>& findings) {
+  static const std::regex kRandRe(R"((^|[^\w:.>])rand\s*\()");
+  static const std::regex kTimeRe(
+      R"((^|[^\w:.>])time\s*\(\s*(nullptr|NULL|0)\s*\))");
+  for (std::size_t i = 0; i < in.code.size(); ++i) {
+    const std::string& line = in.code[i];
+    if (std::regex_search(line, kRandRe) &&
+        !IsAllowed(in.raw, i + 1, "banned-call")) {
+      findings.push_back({in.path, i + 1, "banned-call",
+                          "rand() is banned: use util/rng.h (seeded, "
+                          "deterministic) so crash schedules replay"});
+    }
+    if (std::regex_search(line, kTimeRe) &&
+        !IsAllowed(in.raw, i + 1, "banned-call")) {
+      findings.push_back({in.path, i + 1, "banned-call",
+                          "time(nullptr) is banned: use obs::NowUs() or "
+                          "the VirtualClock so runs are reproducible"});
+    }
+  }
+}
+
+// raw-new: `new` outside smart-pointer construction leaks on the error
+// paths Status-based code takes; wrap or justify.
+void CheckRawNew(const RuleInput& in, std::vector<Finding>& findings) {
+  static const std::regex kNewRe(R"((^|[^\w_])new\s+[A-Za-z_(])");
+  static const std::regex kSmartRe(
+      R"(unique_ptr|shared_ptr|make_unique|make_shared)");
+  for (std::size_t i = 0; i < in.code.size(); ++i) {
+    if (!std::regex_search(in.code[i], kNewRe)) continue;
+    if (std::regex_search(in.code[i], kSmartRe)) continue;
+    // The smart-pointer wrapper may sit on the previous line when the
+    // expression wraps: `std::unique_ptr<T>(\n    new T(...));`.
+    if (i > 0 && std::regex_search(in.code[i - 1], kSmartRe)) continue;
+    if (IsAllowed(in.raw, i + 1, "raw-new")) continue;
+    findings.push_back(
+        {in.path, i + 1, "raw-new",
+         "raw `new` is banned: construct through std::make_unique / "
+         "std::unique_ptr (error paths return Status and would leak)"});
+  }
+}
+
+// recovery-assert: recovery and the consistency checker digest
+// disk-derived data; corruption must return kCorruption, never abort.
+void CheckRecoveryAsserts(const RuleInput& in,
+                          std::vector<Finding>& findings) {
+  static const std::regex kAssertRe(R"((^|[^\w_])assert\s*\()");
+  for (std::size_t i = 0; i < in.code.size(); ++i) {
+    if (!std::regex_search(in.code[i], kAssertRe)) continue;
+    if (IsAllowed(in.raw, i + 1, "recovery-assert")) continue;
+    findings.push_back(
+        {in.path, i + 1, "recovery-assert",
+         "assert() in a recovery/consistency path: these functions "
+         "consume disk-derived data, so corruption must surface as "
+         "StatusCode::kCorruption, not a process abort"});
+  }
+}
+
+bool IsFormatHeader(const std::string& path) {
+  return EndsWith(path, "lld/layout.h") || EndsWith(path, "lld/summary.h") ||
+         EndsWith(path, "lld/checkpoint.h") ||
+         EndsWith(path, "minixfs/format.h");
+}
+
+bool IsRecoveryPath(const std::string& path) {
+  return EndsWith(path, "lld_recovery.cc") ||
+         EndsWith(path, "lld_consistency.cc");
+}
+
+}  // namespace
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+     << finding.message;
+  return os.str();
+}
+
+std::string StripCommentsAndStrings(std::string_view source) {
+  std::string out;
+  out.reserve(source.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+  };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> CheckSource(const std::string& path,
+                                 std::string_view content) {
+  const std::vector<std::string> raw = SplitLines(content);
+  const std::vector<std::string> code =
+      SplitLines(StripCommentsAndStrings(content));
+  const RuleInput in{path, raw, code};
+
+  std::vector<Finding> findings;
+  if (IsFormatHeader(path)) CheckOnDiskPins(in, findings);
+  CheckStatusDiscards(in, findings);
+  CheckBannedCalls(in, findings);
+  CheckRawNew(in, findings);
+  if (IsRecoveryPath(path)) CheckRecoveryAsserts(in, findings);
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> CheckFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return {{path, 0, "io-error", "cannot open file"}};
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return CheckSource(path, buffer.str());
+}
+
+std::vector<Finding> CheckTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    const std::string p = it->path().string();
+    if (EndsWith(p, ".h") || EndsWith(p, ".cc")) files.push_back(p);
+  }
+  if (ec) {
+    return {{root, 0, "io-error", "cannot walk tree: " + ec.message()}};
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    std::vector<Finding> f = CheckFile(file);
+    findings.insert(findings.end(), f.begin(), f.end());
+  }
+  return findings;
+}
+
+}  // namespace aru::arulint

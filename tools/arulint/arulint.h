@@ -1,0 +1,63 @@
+// arulint: project-invariant checker for the ARU/LLD sources.
+//
+// The compiler proves lock discipline (thread annotations) and memory
+// errors (sanitizers); arulint covers the invariants neither can see,
+// all of which trace back to crash atomicity:
+//
+//   on-disk-pin      every on-disk struct (lld/layout.h, lld/summary.h,
+//                    lld/checkpoint.h, minixfs/format.h) is trivially
+//                    copyable and has a static_assert pinning its byte
+//                    size — silent layout drift corrupts recovery of
+//                    existing disk images;
+//   status-discard   a `(void)`-discarded call must carry a comment
+//                    justifying why the Status does not matter;
+//   banned-call      no rand()/time(nullptr) (determinism: crash tests
+//                    replay exact schedules) and no raw `new` outside
+//                    smart-pointer construction;
+//   recovery-assert  lld_recovery.cc / lld_consistency.cc never assert:
+//                    they consume disk-derived data, and corruption must
+//                    surface as StatusCode::kCorruption, not abort().
+//
+// Suppression: a comment `// arulint: allow(<rule>) <reason>` on the
+// flagged line or up to three lines above it silences that rule there.
+//
+// The checks are lexical (no compiler front-end): comments and string
+// literals are blanked before pattern matching, so the rules see only
+// code. See docs/STATIC_ANALYSIS.md for the catalogue and rationale.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aru::arulint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+// "file:line: [rule] message"
+std::string FormatFinding(const Finding& finding);
+
+// Replaces comments, string literals and character literals with
+// spaces, preserving line structure. Exposed for tests.
+std::string StripCommentsAndStrings(std::string_view source);
+
+// Runs every rule applicable to `path` (rules key on the basename /
+// path suffix) over `content`. Findings are ordered by line.
+std::vector<Finding> CheckSource(const std::string& path,
+                                 std::string_view content);
+
+// Reads and checks one file; IO failures are reported as a finding on
+// line 0 with rule "io-error".
+std::vector<Finding> CheckFile(const std::string& path);
+
+// Recursively checks every .h/.cc file under `root`, in sorted order.
+std::vector<Finding> CheckTree(const std::string& root);
+
+}  // namespace aru::arulint

@@ -1,0 +1,58 @@
+// arulint CLI. Usage:
+//
+//   arulint [--root <dir>]... [<file>]...
+//
+// Checks every .h/.cc under each --root plus any explicitly listed
+// files. Prints one line per finding; exits 0 when clean, 1 when any
+// finding was reported, 2 on usage errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/arulint/arulint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "arulint: --root needs a directory\n");
+        return 2;
+      }
+      roots.emplace_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: arulint [--root <dir>]... [<file>]...\n");
+      return 2;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "arulint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (roots.empty() && files.empty()) {
+    std::fprintf(stderr, "usage: arulint [--root <dir>]... [<file>]...\n");
+    return 2;
+  }
+
+  std::vector<aru::arulint::Finding> findings;
+  for (const std::string& root : roots) {
+    auto f = aru::arulint::CheckTree(root);
+    findings.insert(findings.end(), f.begin(), f.end());
+  }
+  for (const std::string& file : files) {
+    auto f = aru::arulint::CheckFile(file);
+    findings.insert(findings.end(), f.begin(), f.end());
+  }
+
+  for (const auto& finding : findings) {
+    std::printf("%s\n", aru::arulint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "arulint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
