@@ -22,6 +22,7 @@
 #include "lld/tables.h"
 #include "lld/types.h"
 #include "util/bytes.h"
+#include "util/protocol_annotations.h"
 #include "util/status.h"
 
 namespace aru::lld {
@@ -48,8 +49,12 @@ Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
                        const ListTable& lists);
 
 // Decodes into `data` and repopulates the tables (cleared first).
+// ARU_MUTATES_TABLES: callers passing their *live* tables must hold a
+// log position covering everything the checkpoint image replaces
+// (recovery does — it replays forward from covered_seq afterwards).
 Status DecodeCheckpoint(ByteSpan encoded, CheckpointData& data,
-                        BlockMap& blocks, ListTable& lists);
+                        BlockMap& blocks, ListTable& lists)
+    ARU_MUTATES_TABLES;
 
 // Writes a checkpoint into region A or B (chosen by stamp parity).
 Status WriteCheckpointRegion(BlockDevice& device, const Geometry& geometry,
@@ -60,6 +65,6 @@ Status WriteCheckpointRegion(BlockDevice& device, const Geometry& geometry,
 // Fails with kCorruption if neither region holds a valid checkpoint.
 Status ReadNewestCheckpoint(BlockDevice& device, const Geometry& geometry,
                             CheckpointData& data, BlockMap& blocks,
-                            ListTable& lists);
+                            ListTable& lists) ARU_MUTATES_TABLES;
 
 }  // namespace aru::lld

@@ -82,6 +82,7 @@ struct SegmentFooter {
   std::uint32_t summary_len = 0;
   std::uint32_t record_count = 0;
   std::uint32_t summary_crc = 0;
+  std::uint32_t reserved = 0;  // explicit tail padding (codec writes it)
 };
 
 // Format pin (recovery decodes footers from raw slot trailers).

@@ -47,6 +47,7 @@
 #include "lld/types.h"
 #include "lld/version_index.h"
 #include "util/mutex.h"
+#include "util/protocol_annotations.h"
 #include "util/thread_annotations.h"
 
 namespace aru::lld {
@@ -229,9 +230,13 @@ class Lld final : public ld::Disk {
       ARU_REQUIRES(mu_);
 
   // Applies committed records whose effective LSN has reached disk to
-  // the persistent tables.
-  void MaybePromoteLocked() ARU_REQUIRES(mu_);
-  void PromoteAllCommittedLocked() ARU_REQUIRES(mu_);
+  // the persistent tables. ARU_MUTATES_TABLES moves arulint's
+  // crash-order obligation to the call sites: every caller must have
+  // appended the records it is about to promote (they all have — the
+  // promotion FIFO only holds entries whose eff_lsn is assigned at
+  // append time).
+  void MaybePromoteLocked() ARU_MUTATES_TABLES ARU_REQUIRES(mu_);
+  void PromoteAllCommittedLocked() ARU_MUTATES_TABLES ARU_REQUIRES(mu_);
 
   Status MaybeCleanLocked() ARU_REQUIRES(mu_);
   Status RunCleanerLocked() ARU_REQUIRES(mu_);

@@ -23,6 +23,7 @@
 #include "lld/summary.h"
 #include "lld/types.h"
 #include "util/bytes.h"
+#include "util/protocol_annotations.h"
 
 namespace aru::lld {
 
@@ -41,16 +42,18 @@ class SegmentWriter {
 
   // Appends one block of data together with its kWrite record.
   // `record.phys` is filled in. May seal the current segment first.
-  Result<PhysAddr> AppendWrite(WriteRecord record, ByteSpan data);
+  Result<PhysAddr> AppendWrite(WriteRecord record, ByteSpan data)
+      ARU_APPENDS_SUMMARY;
 
   // Appends a cleaner copy: data plus its kRewrite record.
-  Result<PhysAddr> AppendRewrite(RewriteRecord record, ByteSpan data);
+  Result<PhysAddr> AppendRewrite(RewriteRecord record, ByteSpan data)
+      ARU_APPENDS_SUMMARY;
 
   // Appends a meta-data record (alloc/insert/delete/commit/abort).
-  Status AppendRecord(const Record& record);
+  Status AppendRecord(const Record& record) ARU_APPENDS_SUMMARY;
 
   // Seals and writes the current segment, if it has any content.
-  Status SealIfOpen();
+  Status SealIfOpen() ARU_APPENDS_SUMMARY;
 
   // True if `phys` refers to a block in the not-yet-written open
   // segment; Read serves such blocks from memory.

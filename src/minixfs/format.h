@@ -41,6 +41,7 @@ inline constexpr InodeNum kNoInode = 0xffffffffu;
 struct Inode {
   InodeType type = InodeType::kFree;
   std::uint16_t links = 0;
+  std::uint32_t reserved = 0;   // explicit padding before `size`
   std::uint64_t size = 0;       // bytes
   ld::ListId data_list;         // the file's LD list
   std::uint64_t mtime = 0;      // logical modification counter
@@ -68,6 +69,7 @@ struct DirEntry {
 struct SuperBlock {
   ld::ListId inode_list;
   InodeNum root = 0;
+  std::uint32_t reserved = 0;  // explicit tail padding (codec writes it)
 };
 
 // Format pin: the superblock codec writes these fields at fixed offsets

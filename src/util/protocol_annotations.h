@@ -1,0 +1,33 @@
+// Write-ordering protocol annotations, checked by tools/arulint.
+//
+// The ARU commit protocol orders every metadata change behind the log:
+// the summary / commit record describing a mutation must reach the
+// segment before the in-memory block-number map or list table reflects
+// it, because recovery rebuilds those tables by replaying the log —
+// state the log never saw cannot be rebuilt after a crash.
+//
+// The macros expand to nothing; they are declarations of intent that
+// arulint's crash-order rule enforces over the intra-file call graph:
+//
+//   ARU_APPENDS_SUMMARY   this function durably appends a summary /
+//                         commit record to the segment log. Calls to it
+//                         (direct or transitive) satisfy the ordering
+//                         obligation for mutations later on the path.
+//
+//   ARU_MUTATES_TABLES    this function mutates the block-number map or
+//                         list table. Its own body is exempt from the
+//                         append-first check; instead every CALLER must
+//                         have appended (or itself be annotated, moving
+//                         the obligation further up).
+//
+// Place the macro on the declaration, after the parameter list:
+//
+//   void PromoteAllCommittedLocked() ARU_MUTATES_TABLES
+//       ARU_EXCLUSIVE_LOCKS_REQUIRED(mu_);
+//
+// Suppress a deliberate violation at the call site with
+// `// arulint: allow(crash-order) <reason>`.
+#pragma once
+
+#define ARU_MUTATES_TABLES
+#define ARU_APPENDS_SUMMARY

@@ -1,0 +1,69 @@
+// Seeded-violation fixture for arulint_test: table mutations that run
+// ahead of the log. The write-ordering protocol requires the summary /
+// commit record to reach the segment before the block-number map
+// changes; recovery replays the log, so state the log never saw cannot
+// be rebuilt.
+#include <cstdint>
+
+#include "util/protocol_annotations.h"
+
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+class BlockMap {
+ public:
+  void Set(std::uint64_t key, std::uint64_t value);
+  void Erase(std::uint64_t key);
+};
+
+class Volume {
+ public:
+  Status AppendSummary() ARU_APPENDS_SUMMARY;
+  void Promote(std::uint64_t id) ARU_MUTATES_TABLES;
+
+  void MutateBeforeAppend(std::uint64_t id);
+  void MutateAfterAppend(std::uint64_t id);
+  void UnorderedCaller(std::uint64_t id);
+  void OrderedCaller(std::uint64_t id);
+
+ private:
+  BlockMap block_map_;
+};
+
+void Volume::Promote(std::uint64_t id) {
+  // Exempt: ARU_MUTATES_TABLES moves the obligation to the callers.
+  block_map_.Set(id, id);
+}
+
+void Volume::MutateBeforeAppend(std::uint64_t id) {
+  block_map_.Set(id, id);
+  Status s = AppendSummary();
+  if (!s.ok()) {
+    block_map_.Erase(id);
+  }
+}
+
+void Volume::MutateAfterAppend(std::uint64_t id) {
+  Status s = AppendSummary();
+  if (!s.ok()) {
+    return;
+  }
+  block_map_.Set(id, id);
+}
+
+void Volume::UnorderedCaller(std::uint64_t id) {
+  Promote(id);
+}
+
+void Volume::OrderedCaller(std::uint64_t id) {
+  Status s = AppendSummary();
+  if (!s.ok()) {
+    return;
+  }
+  Promote(id);
+}
+
+}  // namespace fixture

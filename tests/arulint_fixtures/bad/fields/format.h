@@ -1,0 +1,34 @@
+// Seeded-violation fixture for arulint_test: pinned on-disk structs
+// whose fields are not fixed-width or carry implicit padding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace fixture {
+
+struct BadFields {
+  bool flag;
+  std::uint32_t count;
+  std::size_t bytes;
+  char* name;
+};
+static_assert(std::is_trivially_copyable_v<BadFields>);
+static_assert(sizeof(BadFields) == 24);
+
+struct Padded {
+  std::uint16_t tag;
+  std::uint64_t value;
+};
+static_assert(std::is_trivially_copyable_v<Padded>);
+static_assert(sizeof(Padded) == 16);
+
+struct TailPadded {
+  std::uint64_t base;
+  std::uint32_t extra;
+};
+static_assert(std::is_trivially_copyable_v<TailPadded>);
+static_assert(sizeof(TailPadded) == 16);
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Seeded-violation fixture for arulint_test: AB–BA lock acquisition.
+// Two functions take the same pair of mutexes in opposite orders; two
+// threads running them concurrently deadlock.
+#include "util/mutex.h"
+
+namespace fixture {
+
+class LockMutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(LockMutex& mu);
+};
+
+class Pair {
+ public:
+  void Forward();
+  void Backward();
+
+ private:
+  LockMutex a_;
+  LockMutex b_;
+};
+
+void Pair::Forward() {
+  MutexLock hold_a(a_);
+  MutexLock hold_b(b_);
+}
+
+void Pair::Backward() {
+  MutexLock hold_b(b_);
+  MutexLock hold_a(a_);
+}
+
+}  // namespace fixture

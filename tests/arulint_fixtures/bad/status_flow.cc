@@ -1,0 +1,28 @@
+// Seeded-violation fixture for arulint_test: Status values that leak —
+// a (void)-discard with no justification, a bare-statement call whose
+// Status is dropped, and a Status local that is never examined.
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status Flush();
+
+void Close() {
+  int x = 0;
+  x = x + 1;
+  (void)x;
+
+  (void)Flush();
+}
+
+void Drop() {
+  Flush();
+}
+
+void Unused() {
+  Status s = Flush();
+}
+
+}  // namespace fixture

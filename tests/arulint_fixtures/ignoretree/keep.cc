@@ -1,0 +1,8 @@
+// The only file CollectFiles may return from this tree. Clean.
+namespace fixture {
+
+int Keep() {
+  return 1;
+}
+
+}  // namespace fixture

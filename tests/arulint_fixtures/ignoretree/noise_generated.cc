@@ -1,0 +1,9 @@
+// Matched by *_generated.cc in .arulintignore: the raw-new below must
+// never be reported because the file is never collected.
+namespace fixture {
+
+int* Make() {
+  return new int(7);
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Matched by skip/ in .arulintignore: the violation below must never
+// be reported because the subtree is never collected.
+#include <cstdlib>
+
+namespace fixture {
+
+int Roll() {
+  return rand() % 6;
+}
+
+}  // namespace fixture

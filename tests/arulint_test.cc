@@ -1,8 +1,9 @@
 // Tests for tools/arulint: the stripper, each rule (via inline sources
 // and seeded-violation fixture files with golden expectations), the
-// suppression window, and the meta-check that the repo's own src/ tree
-// is clean. ARU_ARULINT_FIXTURE_DIR and ARU_SRC_DIR are injected by
-// tests/CMakeLists.txt.
+// suppression window, SARIF output, .arulintignore collection, and the
+// meta-check that the repo's own src/ and tools/ trees are clean.
+// ARU_ARULINT_FIXTURE_DIR, ARU_SRC_DIR and ARU_TOOLS_DIR are injected
+// by tests/CMakeLists.txt.
 #include "tools/arulint/arulint.h"
 
 #include <algorithm>
@@ -76,6 +77,13 @@ TEST(StripTest, CommentMarkersInsideStringsAreLiteral) {
                  {"url(", "code();"});
 }
 
+TEST(StripTest, RawStringLiteralIsBlanked) {
+  // No escape processing inside R"(...)": only the close sequence ends
+  // it, and the code after it survives.
+  ExpectStripped("auto s = R\"(new X // time(nullptr))\"; g();",
+                 {"new", "time"}, {"auto s =", "g();"});
+}
+
 // ---------------------------------------------------------------------
 // Rules via inline sources
 
@@ -90,16 +98,81 @@ TEST(OnDiskPinTest, OnlyAppliesToFormatHeaders) {
 
 TEST(OnDiskPinTest, NeedsBothHalvesOfThePin) {
   const std::string size_only =
-      "struct Foo {\n  int v;\n};\nstatic_assert(sizeof(Foo) == 4);\n";
+      "struct Foo {\n  std::uint32_t v;\n};\n"
+      "static_assert(sizeof(Foo) == 4);\n";
   EXPECT_EQ(CheckSource("src/lld/summary.h", size_only).size(), 1u);
   const std::string both =
-      "struct Foo {\n  int v;\n};\n"
+      "struct Foo {\n  std::uint32_t v;\n};\n"
       "static_assert(std::is_trivially_copyable_v<Foo>);\n"
       "static_assert(sizeof(Foo) == 4);\n";
   EXPECT_EQ(CheckSource("src/lld/summary.h", both).size(), 0u);
 }
 
-TEST(StatusDiscardTest, JustificationCommentSilences) {
+TEST(OnDiskFieldTest, NonFixedWidthFieldOfPinnedStruct) {
+  const std::string source =
+      "struct Rec {\n"
+      "  bool live;\n"
+      "  std::uint8_t pad[7];\n"
+      "};\n"
+      "static_assert(std::is_trivially_copyable_v<Rec>);\n"
+      "static_assert(sizeof(Rec) == 8);\n";
+  const auto findings = CheckSource("src/minixfs/format.h", source);
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"on-disk-field", 2}}));  // bool live
+  // Outside a format header the rule does not apply.
+  EXPECT_EQ(CheckSource("src/minixfs/minixfs.h", source).size(), 0u);
+}
+
+TEST(OnDiskFieldTest, ImplicitPaddingIsFlaggedAndSuppressible) {
+  const std::string padded =
+      "struct Rec {\n"
+      "  std::uint16_t tag;\n"
+      "  std::uint64_t value;\n"
+      "};\n"
+      "static_assert(std::is_trivially_copyable_v<Rec>);\n"
+      "static_assert(sizeof(Rec) == 16);\n";
+  const auto findings = CheckSource("src/lld/layout.h", padded);
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"on-disk-field", 3}}));  // 6 bytes of padding before value
+  const std::string allowed =
+      "struct Rec {\n"
+      "  std::uint16_t tag;\n"
+      "  // arulint: allow(on-disk-field) codec writes the pad bytes.\n"
+      "  std::uint64_t value;\n"
+      "};\n"
+      "static_assert(std::is_trivially_copyable_v<Rec>);\n"
+      "static_assert(sizeof(Rec) == 16);\n";
+  EXPECT_EQ(CheckSource("src/lld/layout.h", allowed).size(), 0u);
+}
+
+TEST(OnDiskFieldTest, AliasAndEnumResolveToFixedWidth) {
+  // `using` aliases and fixed-underlying enums are fixed-width; an enum
+  // without an underlying type is not.
+  const std::string source =
+      "using Lsn = std::uint64_t;\n"
+      "enum class Kind : std::uint8_t { kA };\n"
+      "enum Loose { kB };\n"
+      "struct Rec {\n"
+      "  Lsn lsn;\n"
+      "  Kind kind;\n"
+      "  std::uint8_t pad[7];\n"
+      "};\n"
+      "static_assert(std::is_trivially_copyable_v<Rec>);\n"
+      "static_assert(sizeof(Rec) == 16);\n"
+      "struct Bad {\n"
+      "  Loose loose;\n"
+      "};\n"
+      "static_assert(std::is_trivially_copyable_v<Bad>);\n"
+      "static_assert(sizeof(Bad) == 4);\n";
+  const auto findings = CheckSource("src/lld/summary.h", source);
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"on-disk-field", 12}}));  // Loose has no fixed underlying
+}
+
+TEST(StatusFlowTest, JustificationCommentSilencesVoidDiscard) {
   EXPECT_EQ(CheckSource("src/a.cc", "void F() { (void)G(); }\n").size(), 1u);
   EXPECT_EQ(CheckSource("src/a.cc",
                         "void F() {\n"
@@ -110,10 +183,162 @@ TEST(StatusDiscardTest, JustificationCommentSilences) {
             0u);
 }
 
-TEST(StatusDiscardTest, VariableDiscardIsNotACall) {
+TEST(StatusFlowTest, VariableDiscardIsNotACall) {
   // (void)x; silences an unused variable — no Status is being dropped.
   EXPECT_EQ(CheckSource("src/a.cc", "void F(int x) { (void)x; }\n").size(),
             0u);
+}
+
+TEST(StatusFlowTest, BareStatementCallDroppingStatus) {
+  const std::string source =
+      "struct Status { bool ok() const; };\n"
+      "Status Write();\n"
+      "void A() { Write(); }\n"
+      "Status B() { return Write(); }\n"
+      "void C() {\n"
+      "  Status s = Write();\n"
+      "  if (s.ok()) { return; }\n"
+      "}\n";
+  const auto findings = CheckSource("src/a.cc", source);
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"status-flow", 3}}));  // A drops the Status; B and C don't
+}
+
+TEST(StatusFlowTest, StatusLocalNeverExamined) {
+  const std::string source =
+      "struct Status { bool ok() const; };\n"
+      "Status Write();\n"
+      "void F() {\n"
+      "  Status s = Write();\n"
+      "}\n";
+  const auto findings = CheckSource("src/a.cc", source);
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"status-flow", 4}}));
+}
+
+TEST(CrashOrderTest, MutationMustFollowAppendOrBeAnnotated) {
+  const std::string source =
+      "struct BlockMap { void Set(int k, int v); };\n"
+      "class V {\n"
+      " public:\n"
+      "  int Append() ARU_APPENDS_SUMMARY;\n"
+      "  void Bad(int id);\n"
+      "  void Good(int id);\n"
+      " private:\n"
+      "  BlockMap map_;\n"
+      "};\n"
+      "void V::Bad(int id) { map_.Set(id, id); }\n"
+      "void V::Good(int id) {\n"
+      "  int r = Append();\n"
+      "  (void)r;  // Discarded: test stub.\n"
+      "  map_.Set(id, id);\n"
+      "}\n";
+  const auto findings = CheckSource("src/lld/lld.cc", source);
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"crash-order", 10}}));
+}
+
+TEST(CrashOrderTest, AnnotatedMutatorMovesObligationToCallers) {
+  const std::string source =
+      "struct BlockMap { void Set(int k, int v); };\n"
+      "class V {\n"
+      " public:\n"
+      "  int Append() ARU_APPENDS_SUMMARY;\n"
+      "  void Promote(int id) ARU_MUTATES_TABLES;\n"
+      "  void Bad(int id);\n"
+      "  void Good(int id);\n"
+      " private:\n"
+      "  BlockMap map_;\n"
+      "};\n"
+      "void V::Promote(int id) { map_.Set(id, id); }\n"
+      "void V::Bad(int id) { Promote(id); }\n"
+      "void V::Good(int id) {\n"
+      "  int r = Append();\n"
+      "  (void)r;  // Discarded: test stub.\n"
+      "  Promote(id);\n"
+      "}\n";
+  const auto findings = CheckSource("src/lld/lld.cc", source);
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"crash-order", 12}}));  // Promote's own body is exempt
+}
+
+TEST(CrashOrderTest, RecoveryFilesAreExempt) {
+  // Recovery rebuilds the tables FROM the log; the same body that is a
+  // violation elsewhere is the whole point there.
+  const std::string source =
+      "struct BlockMap { void Set(int k, int v); };\n"
+      "class V {\n"
+      " public:\n"
+      "  void Replay(int id);\n"
+      " private:\n"
+      "  BlockMap map_;\n"
+      "};\n"
+      "void V::Replay(int id) { map_.Set(id, id); }\n";
+  EXPECT_EQ(CheckSource("src/lld/lld_recovery.cc", source).size(), 0u);
+  EXPECT_EQ(CheckSource("src/lld/lld.cc", source).size(), 1u);
+}
+
+TEST(LockOrderTest, OppositeAcquisitionOrdersAreACycle) {
+  const std::string cyclic =
+      "class M {};\n"
+      "class MutexLock { public: explicit MutexLock(M& m); };\n"
+      "class P {\n"
+      " public:\n"
+      "  void F();\n"
+      "  void G();\n"
+      " private:\n"
+      "  M a_;\n"
+      "  M b_;\n"
+      "};\n"
+      "void P::F() { MutexLock la(a_); MutexLock lb(b_); }\n"
+      "void P::G() { MutexLock lb(b_); MutexLock la(a_); }\n";
+  const auto findings = CheckSource("src/a.cc", cyclic);
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"lock-order", 11}, {"lock-order", 12}}));
+  const std::string consistent =
+      "class M {};\n"
+      "class MutexLock { public: explicit MutexLock(M& m); };\n"
+      "class P {\n"
+      " public:\n"
+      "  void F();\n"
+      "  void G();\n"
+      " private:\n"
+      "  M a_;\n"
+      "  M b_;\n"
+      "};\n"
+      "void P::F() { MutexLock la(a_); MutexLock lb(b_); }\n"
+      "void P::G() { MutexLock la(a_); MutexLock lb(b_); }\n";
+  EXPECT_EQ(CheckSource("src/a.cc", consistent).size(), 0u);
+}
+
+TEST(LockOrderTest, CycleThroughACalleeIsDetected) {
+  // F holds a_ and calls H, which acquires b_; G takes them in the
+  // opposite order directly. The edge a_->b_ exists only through the
+  // call graph.
+  const std::string source =
+      "class M {};\n"
+      "class MutexLock { public: explicit MutexLock(M& m); };\n"
+      "class P {\n"
+      " public:\n"
+      "  void F();\n"
+      "  void G();\n"
+      "  void H();\n"
+      " private:\n"
+      "  M a_;\n"
+      "  M b_;\n"
+      "};\n"
+      "void P::H() { MutexLock lb(b_); }\n"
+      "void P::F() { MutexLock la(a_); H(); }\n"
+      "void P::G() { MutexLock lb(b_); MutexLock la(a_); }\n";
+  const auto findings = CheckSource("src/a.cc", source);
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"lock-order", 13}, {"lock-order", 14}}));
 }
 
 TEST(BannedCallTest, FlagsRandAndTimeButNotLookalikes) {
@@ -195,6 +420,42 @@ TEST(CheckFileTest, MissingFileIsAnIoErrorFinding) {
 }
 
 // ---------------------------------------------------------------------
+// SARIF output
+
+TEST(SarifTest, ReportCarriesRulesResultsAndLocations) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "raw-new", "msg \"quoted\""},
+      {"src/b.cc", 7, "lock-order", "cycle"}};
+  const std::string sarif = SarifReport(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"arulint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"raw-new\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"lock-order\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/a.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+  // JSON string escaping of the embedded quotes.
+  EXPECT_NE(sarif.find("msg \\\"quoted\\\""), std::string::npos);
+}
+
+TEST(SarifTest, EmptyFindingsIsStillAValidRun) {
+  const std::string sarif = SarifReport({});
+  EXPECT_NE(sarif.find("\"results\": ["), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// .arulintignore
+
+TEST(IgnoreTest, ArulintignoreFiltersCollection) {
+  const auto files = CollectFiles(Fixture("ignoretree"));
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_NE(files[0].find("keep.cc"), std::string::npos);
+  // The ignored files carry seeded violations; the tree must be clean
+  // because they are never collected.
+  EXPECT_TRUE(CheckTree(Fixture("ignoretree")).empty());
+}
+
+// ---------------------------------------------------------------------
 // Seeded-violation fixtures: golden (rule, line) expectations.
 
 TEST(FixtureTest, UnpinnedOnDiskStructs) {
@@ -206,11 +467,40 @@ TEST(FixtureTest, UnpinnedOnDiskStructs) {
       << "fixture bad/lld/layout.h drifted from the golden expectation";
 }
 
-TEST(FixtureTest, UnjustifiedStatusDiscard) {
-  const auto findings = CheckFile(Fixture("bad/status_discard.cc"));
+TEST(FixtureTest, OnDiskFieldViolations) {
+  const auto findings = CheckFile(Fixture("bad/fields/format.h"));
   EXPECT_EQ(RulesAndLines(findings),
             (std::vector<std::pair<std::string, std::size_t>>{
-                {"status-discard", 12}}));
+                {"on-disk-field", 12},   // bool flag
+                {"on-disk-field", 14},   // std::size_t bytes
+                {"on-disk-field", 15},   // char* name
+                {"on-disk-field", 22},   // 6 bytes of padding before value
+                {"on-disk-field", 27}}));  // TailPadded tail padding
+}
+
+TEST(FixtureTest, StatusFlowViolations) {
+  const auto findings = CheckFile(Fixture("bad/status_flow.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"status-flow", 17},     // unjustified (void)Flush()
+                {"status-flow", 21},     // bare Flush() statement
+                {"status-flow", 25}}));  // Status local never examined
+}
+
+TEST(FixtureTest, CrashOrderViolations) {
+  const auto findings = CheckFile(Fixture("bad/crash_order.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"crash-order", 42},     // mutation before the append
+                {"crash-order", 58}}));  // un-appended call to Promote
+}
+
+TEST(FixtureTest, LockOrderCycle) {
+  const auto findings = CheckFile(Fixture("bad/lock_cycle.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"lock-order", 27},     // Forward: a_ then b_
+                {"lock-order", 32}}));  // Backward: b_ then a_
 }
 
 TEST(FixtureTest, AssertInRecoveryPath) {
@@ -242,9 +532,10 @@ TEST(FixtureTest, BadTreeAggregatesEveryViolationClass) {
   std::sort(rules.begin(), rules.end());
   rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
   EXPECT_EQ(rules,
-            (std::vector<std::string>{"banned-call", "on-disk-pin",
-                                      "raw-new", "recovery-assert",
-                                      "status-discard"}));
+            (std::vector<std::string>{"banned-call", "crash-order",
+                                      "lock-order", "on-disk-field",
+                                      "on-disk-pin", "raw-new",
+                                      "recovery-assert", "status-flow"}));
 }
 
 // ---------------------------------------------------------------------
@@ -252,6 +543,11 @@ TEST(FixtureTest, BadTreeAggregatesEveryViolationClass) {
 
 TEST(RepoTest, SrcTreeIsClean) {
   const auto findings = CheckTree(ARU_SRC_DIR);
+  for (const Finding& f : findings) ADD_FAILURE() << FormatFinding(f);
+}
+
+TEST(RepoTest, ToolsTreeIsClean) {
+  const auto findings = CheckTree(ARU_TOOLS_DIR);
   for (const Finding& f : findings) ADD_FAILURE() << FormatFinding(f);
 }
 

@@ -1,0 +1,314 @@
+// Body scan: extracts the ordered event stream (calls, table
+// mutations, lock acquisitions) and Status-local usage from one
+// function body. Rules replay these events; the linear token order of
+// the events is the dominance approximation described in
+// docs/STATIC_ANALYSIS.md.
+#include <map>
+#include <set>
+#include <string>
+
+#include "tools/arulint/model.h"
+
+namespace aru::arulint {
+namespace {
+
+bool IsCallKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "catch" || s == "assert" || s == "static_assert" ||
+         s == "decltype" || s == "noexcept" || s == "alignas";
+}
+
+bool IsMutatorMethod(const std::string& s) {
+  return s == "Set" || s == "Erase" || s == "Clear" || s == "FindMutable";
+}
+
+struct BodyScanner {
+  const FileModel& m;
+  const FunctionInfo& fn;
+  const ProjectIndex& index;
+  const std::vector<Token>& t;
+  BodySummary out;
+
+  // Locks held per open brace scope.
+  std::vector<std::vector<std::string>> scopes;
+  // Declared local name -> type head (seeded with the parameters).
+  std::map<std::string, std::string> locals;
+  // Expressions that denote the *real* tables this function is
+  // responsible for: table-typed members of the enclosing class and
+  // non-const table reference parameters. By-value table locals are
+  // scratch copies and intentionally excluded.
+  std::set<std::string> real_tables;
+  std::size_t stmt_start = 0;  // token index of the current statement
+
+  std::set<std::string> Held() const {
+    std::set<std::string> held;
+    for (const auto& scope : scopes) {
+      held.insert(scope.begin(), scope.end());
+    }
+    return held;
+  }
+
+  std::string TypeOf(const std::string& name) const {
+    const auto it = locals.find(name);
+    if (it != locals.end()) return it->second;
+    return index.MemberType(fn.cls, name);
+  }
+
+  void Seed() {
+    for (const Param& p : fn.params) {
+      if (p.name.empty()) continue;
+      locals[p.name] = p.type_head;
+      if (index.IsTableType(p.type_head) && p.is_ref && !p.is_const) {
+        real_tables.insert(p.name);
+      }
+    }
+    const auto cit = index.members.find(fn.cls);
+    if (cit != index.members.end()) {
+      for (const auto& [name, head] : cit->second) {
+        if (index.IsTableType(head)) real_tables.insert(name);
+      }
+    }
+  }
+
+  // Matching close paren for t[open] == "(", bounded by the body.
+  std::size_t CloseOf(std::size_t open) const {
+    const std::size_t close = MatchForward(t, open);
+    return close >= fn.body_end ? fn.body_end : close;
+  }
+
+  void Run() {
+    Seed();
+    for (std::size_t i = fn.body_begin; i <= fn.body_end && i < t.size();
+         ++i) {
+      const Token& tok = t[i];
+      if (tok.Is("{")) {
+        scopes.emplace_back();
+        stmt_start = i + 1;
+        continue;
+      }
+      if (tok.Is("}")) {
+        if (!scopes.empty()) scopes.pop_back();
+        stmt_start = i + 1;
+        continue;
+      }
+      if (tok.Is(";")) {
+        stmt_start = i + 1;
+        continue;
+      }
+      if (!tok.IsIdent()) continue;
+      if (tok.text == "MutexLock" && i + 2 < t.size() &&
+          t[i + 1].IsIdent() && t[i + 2].Is("(")) {
+        i = HandleAcquire(i);
+        continue;
+      }
+      HandleLocalDecl(i);
+      HandleMutation(i);
+      if (i + 1 < t.size() && t[i + 1].Is("(") &&
+          !IsCallKeyword(tok.text) &&
+          tok.text.rfind("ARU_", 0) != 0) {
+        HandleCall(i);
+      }
+    }
+    MarkStatusLocalUse();
+  }
+
+  std::size_t HandleAcquire(std::size_t i) {
+    const std::size_t open = i + 2;
+    const std::size_t close = CloseOf(open);
+    BodyEvent e;
+    e.kind = BodyEvent::Kind::kAcquire;
+    e.line = t[i].line;
+    e.held_locks = Held();
+    e.lock_key = ResolveLockExpr(open + 1, close);
+    out.events.push_back(e);
+    if (!scopes.empty() && !e.lock_key.empty()) {
+      scopes.back().push_back(e.lock_key);
+    }
+    return close;
+  }
+
+  std::string ResolveLockExpr(std::size_t first, std::size_t last) {
+    std::size_t i = first;
+    while (i < last && (t[i].Is("*") || t[i].Is("&") || t[i].Is("("))) ++i;
+    if (i >= last || !t[i].IsIdent()) return JoinText(first, last);
+    const std::string& head = t[i].text;
+    if (i + 2 < last && (t[i + 1].Is("->") || t[i + 1].Is(".")) &&
+        t[i + 2].IsIdent()) {
+      const std::string type = TypeOf(head);
+      if (!type.empty()) return type + "::" + t[i + 2].text;
+      return JoinText(first, last);
+    }
+    if (i + 1 >= last || t[i + 1].Is(")")) {
+      // Bare name: a member of the enclosing class, or a global.
+      if (!fn.cls.empty() && !index.MemberType(fn.cls, head).empty()) {
+        return fn.cls + "::" + head;
+      }
+      return head;
+    }
+    return JoinText(first, last);
+  }
+
+  std::string JoinText(std::size_t first, std::size_t last) const {
+    std::string s;
+    for (std::size_t i = first; i < last && i < t.size(); ++i) {
+      s += t[i].text;
+    }
+    return s;
+  }
+
+  void HandleLocalDecl(std::size_t i) {
+    // `Type name =|;|(|{` — also `...> name` after template args.
+    if (i + 2 >= t.size() || !t[i + 1].IsIdent()) return;
+    const std::string& next2 = t[i + 2].text;
+    if (next2 != "=" && next2 != ";" && next2 != "(" && next2 != "{") return;
+    const std::string& type = t[i].text;
+    const std::string& name = t[i + 1].text;
+    if (IsCallKeyword(type) || type == "const" || type == "auto" ||
+        type == "else" || type == "do" || type == "new" ||
+        type == "delete" || type == "case" || type == "goto" ||
+        type == "co_return" || type == "throw" || type == "operator" ||
+        type == "struct" || type == "typename" || type == "using") {
+      return;
+    }
+    // `Status G();` is a function declaration, not a local.
+    const bool empty_parens =
+        next2 == "(" && i + 3 < t.size() && t[i + 3].Is(")");
+    if (empty_parens) return;
+    locals[name] = type;
+    if (type == "Status") {
+      out.status_locals.push_back({t[i + 1].line, name, false});
+    }
+  }
+
+  void HandleMutation(std::size_t i) {
+    if (real_tables.count(t[i].text) == 0) return;
+    // Only a bare table expression counts (not `x.block_map_`).
+    if (i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->") ||
+                  t[i - 1].Is("::"))) {
+      return;
+    }
+    if (i + 1 >= t.size()) return;
+    bool mutation = false;
+    if (t[i + 1].Is("=")) {
+      mutation = true;  // whole-table assignment
+    } else if ((t[i + 1].Is(".") || t[i + 1].Is("->")) && i + 3 < t.size() &&
+               t[i + 2].IsIdent() && IsMutatorMethod(t[i + 2].text) &&
+               t[i + 3].Is("(")) {
+      mutation = true;
+    }
+    if (!mutation) return;
+    BodyEvent e;
+    e.kind = BodyEvent::Kind::kMutation;
+    e.line = t[i].line;
+    e.table_expr = t[i].text;
+    e.held_locks = Held();
+    out.events.push_back(e);
+  }
+
+  void HandleCall(std::size_t i) {
+    BodyEvent e;
+    e.kind = BodyEvent::Kind::kCall;
+    e.line = t[i].line;
+    e.callee_base = t[i].text;
+    e.held_locks = Held();
+    // Receiver resolution (conservative: unresolved stays "").
+    std::string receiver_type;
+    bool have_receiver = false;
+    if (i >= 2 && (t[i - 1].Is(".") || t[i - 1].Is("->"))) {
+      have_receiver = true;
+      const Token& r = t[i - 2];
+      if (r.IsIdent()) {
+        receiver_type = r.text == "this" ? fn.cls : TypeOf(r.text);
+      } else if (r.Is(")")) {
+        // Chained off a static call: `X::F().G(...)` — treat the
+        // receiver as X (heuristic for singleton accessors).
+        std::size_t depth = 0;
+        std::size_t j = i - 2;
+        while (j > 0) {
+          if (t[j].Is(")")) ++depth;
+          if (t[j].Is("(")) {
+            if (--depth == 0) break;
+          }
+          --j;
+        }
+        if (j >= 3 && t[j - 1].IsIdent() && t[j - 2].Is("::") &&
+            t[j - 3].IsIdent()) {
+          receiver_type = t[j - 3].text;
+        }
+      }
+    } else if (i >= 2 && t[i - 1].Is("::") && t[i - 2].IsIdent()) {
+      have_receiver = true;
+      receiver_type = t[i - 2].text;
+    }
+    if (have_receiver) {
+      if (!receiver_type.empty()) {
+        const std::string qname = receiver_type + "::" + e.callee_base;
+        if (index.by_qname.count(qname) > 0) e.callee_qname = qname;
+      }
+    } else {
+      if (!fn.cls.empty() &&
+          index.by_qname.count(fn.cls + "::" + e.callee_base) > 0) {
+        e.callee_qname = fn.cls + "::" + e.callee_base;
+        e.implicit_this = true;
+      } else if (index.by_qname.count(e.callee_base) > 0) {
+        e.callee_qname = e.callee_base;
+      }
+    }
+    // Bare statement: the statement consists solely of this call.
+    std::size_t chain_first = i;
+    while (chain_first >= 2 &&
+           (t[chain_first - 1].Is("::") || t[chain_first - 1].Is(".") ||
+            t[chain_first - 1].Is("->")) &&
+           t[chain_first - 2].IsIdent()) {
+      chain_first -= 2;
+    }
+    const std::size_t close = CloseOf(i + 1);
+    e.stmt_bare = chain_first == stmt_start && close + 1 < t.size() &&
+                  t[close + 1].Is(";");
+    // Does any argument name a real table?
+    for (std::size_t a = i + 2; a < close; ++a) {
+      if (t[a].IsIdent() && real_tables.count(t[a].text) > 0 &&
+          (a == 0 || (!t[a - 1].Is(".") && !t[a - 1].Is("->") &&
+                      !t[a - 1].Is("::")))) {
+        e.real_table_arg = true;
+        break;
+      }
+    }
+    out.events.push_back(std::move(e));
+  }
+
+  void MarkStatusLocalUse() {
+    for (StatusLocal& local : out.status_locals) {
+      std::size_t decl_idx = fn.body_end;
+      for (std::size_t i = fn.body_begin; i <= fn.body_end && i < t.size();
+           ++i) {
+        if (t[i].IsIdent() && t[i].text == local.name &&
+            t[i].line == local.line && i > fn.body_begin &&
+            t[i - 1].IsIdent()) {
+          decl_idx = i;
+          break;
+        }
+      }
+      for (std::size_t i = decl_idx + 1;
+           i <= fn.body_end && i < t.size(); ++i) {
+        if (t[i].IsIdent() && t[i].text == local.name) {
+          local.used_later = true;
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+BodySummary AnalyzeBody(const FileModel& model, const FunctionInfo& fn,
+                        const ProjectIndex& index) {
+  BodyScanner scanner{model, fn, index, model.tokens, {}, {}, {}, {}, 0};
+  scanner.out.fn = &fn;
+  scanner.Run();
+  return scanner.out;
+}
+
+}  // namespace aru::arulint

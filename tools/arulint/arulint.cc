@@ -1,11 +1,15 @@
 #include "tools/arulint/arulint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <regex>
+#include <map>
+#include <set>
 #include <sstream>
+#include <utility>
+
+#include "tools/arulint/lexer.h"
+#include "tools/arulint/model.h"
 
 namespace aru::arulint {
 namespace {
@@ -16,21 +20,6 @@ constexpr std::size_t kCommentLookback = 3;
 bool EndsWith(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-std::vector<std::string> SplitLines(std::string_view text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t nl = text.find('\n', start);
-    if (nl == std::string_view::npos) {
-      lines.emplace_back(text.substr(start));
-      break;
-    }
-    lines.emplace_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
 }
 
 // True if raw line `line` (1-based) or one of the kCommentLookback lines
@@ -61,134 +50,674 @@ bool HasJustification(const std::vector<std::string>& raw, std::size_t line) {
   return false;
 }
 
-// ---------------------------------------------------------------------
-// Rules. Each receives the raw lines (for comments/markers) and the
-// stripped lines (for code patterns).
+std::string Basename(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
 
-struct RuleInput {
-  const std::string& path;
-  const std::vector<std::string>& raw;
-  const std::vector<std::string>& code;
+// Format headers hold on-disk layouts. Matched by basename so that new
+// format headers anywhere under a scanned root are covered without
+// touching the tool.
+bool IsFormatHeader(const std::string& path) {
+  const std::string base = Basename(path);
+  return base == "layout.h" || base == "summary.h" ||
+         base == "checkpoint.h" || base == "format.h";
+}
+
+// Recovery rebuilds the tables FROM the log, so the crash-ordering
+// obligation is trivially met there (and asserts are separately
+// banned).
+bool IsRecoveryPath(const std::string& path) {
+  return EndsWith(path, "lld_recovery.cc") ||
+         EndsWith(path, "lld_consistency.cc");
+}
+
+std::string BaseOf(const std::string& qname) {
+  const std::size_t sep = qname.rfind("::");
+  return sep == std::string::npos ? qname : qname.substr(sep + 2);
+}
+
+// ---------------------------------------------------------------------
+// Whole-analysis state: models + index + body summaries + lock graph.
+
+struct LockEdge {
+  std::size_t file = 0;  // model index of the edge's site
+  std::size_t line = 0;
+  std::string held;
+  std::string acquired;
 };
 
-// on-disk-pin: in the format headers, every top-level `struct X {` needs
-// static_assert(std::is_trivially_copyable_v<X>) and
-// static_assert(sizeof(X) == N) somewhere in the same file.
-void CheckOnDiskPins(const RuleInput& in, std::vector<Finding>& findings) {
-  static const std::regex kStructRe(R"(^struct\s+([A-Za-z_]\w*)\s*\{)");
-  std::string all;
-  for (const std::string& line : in.code) {
-    all += line;
-    all += '\n';
+struct Analysis {
+  std::vector<FileModel> models;
+  ProjectIndex index;
+  std::vector<BodySummary> bodies;
+  // Derived helper sets for the crash-order fallback resolution.
+  std::set<std::string> appender_bases;   // bases of may_append qnames
+  std::set<std::string> mutator_bases;    // bases that ONLY name mutators
+  std::vector<LockEdge> lock_edges;
+};
+
+bool TargetAppends(const Analysis& a, const BodyEvent& e) {
+  if (!e.callee_qname.empty()) {
+    return a.index.may_append.count(e.callee_qname) > 0;
   }
-  for (std::size_t i = 0; i < in.code.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(in.code[i], m, kStructRe)) continue;
-    const std::string name = m[1].str();
-    if (IsAllowed(in.raw, i + 1, "on-disk-pin")) continue;
-    const bool has_trivial =
-        all.find("is_trivially_copyable_v<" + name + ">") !=
-        std::string::npos;
-    const bool has_size =
-        all.find("sizeof(" + name + ")") != std::string::npos;
-    if (!has_trivial || !has_size) {
-      findings.push_back(
-          {in.path, i + 1, "on-disk-pin",
-           "on-disk struct '" + name +
-               "' must be pinned with "
-               "static_assert(std::is_trivially_copyable_v<" +
-               name + ">) and static_assert(sizeof(" + name +
-               ") == <bytes>); layout drift silently corrupts recovery "
-               "of existing images"});
+  // Unresolved: fall back to the base name. Generous on purpose — the
+  // fallback can only mark more paths as appending, which weakens
+  // crash-order findings, never fabricates one.
+  return a.appender_bases.count(e.callee_base) > 0;
+}
+
+// Is this call an obligation site (a call into an annotated table
+// mutator that operates on the caller's real tables)?
+bool IsMutatorObligation(const Analysis& a, const BodyEvent& e) {
+  std::string qname;
+  if (!e.callee_qname.empty()) {
+    if (a.index.annotated_mutators.count(e.callee_qname) == 0) return false;
+    qname = e.callee_qname;
+  } else {
+    // Unresolved: only when the base name unambiguously means an
+    // annotated mutator (strict on purpose — ambiguity must not invent
+    // findings).
+    if (a.mutator_bases.count(e.callee_base) == 0) return false;
+    for (const std::string& q : a.index.annotated_mutators) {
+      if (BaseOf(q) == e.callee_base) {
+        qname = q;
+        break;
+      }
+    }
+    if (qname.empty()) return false;
+  }
+  // A mutator taking the tables as reference parameters mutates only
+  // what the caller passes: if every table argument at this site is a
+  // scratch local (recovery candidates, fsck shadows), the caller's
+  // real tables are untouched and no ordering obligation arises.
+  const auto it = a.index.by_qname.find(qname);
+  if (it != a.index.by_qname.end()) {
+    bool takes_table_ref = false;
+    for (const FunctionInfo* fn : it->second) {
+      for (const Param& p : fn->params) {
+        if (a.index.IsTableType(p.type_head) && p.is_ref && !p.is_const) {
+          takes_table_ref = true;
+        }
+      }
+    }
+    if (takes_table_ref && !e.real_table_arg) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// crash-order: within each body, a table mutation (or a call into an
+// annotated mutator) must be preceded — in statement order, the
+// dominance approximation — by a summary/commit append, unless the
+// enclosing function is itself annotated ARU_MUTATES_TABLES (moving
+// the obligation to ITS callers) or the site carries allow(crash-order).
+void CheckCrashOrder(const Analysis& a, const FileModel& m,
+                     const BodySummary& body, std::vector<Finding>& out) {
+  const bool self_mutator =
+      a.index.annotated_mutators.count(body.fn->qname) > 0;
+  bool append_seen = false;
+  for (const BodyEvent& e : body.events) {
+    if (e.kind == BodyEvent::Kind::kCall) {
+      if (!append_seen && !self_mutator && IsMutatorObligation(a, e) &&
+          !IsAllowed(m.raw, e.line, "crash-order")) {
+        out.push_back(
+            {m.path, e.line, "crash-order",
+             "call to table mutator '" + e.callee_base +
+                 "' is not preceded by a summary/commit-record append on "
+                 "this path; annotate the enclosing function "
+                 "ARU_MUTATES_TABLES or append first (the write-ordering "
+                 "protocol: the log entry must reach the segment before "
+                 "the tables change)"});
+      }
+      if (TargetAppends(a, e)) append_seen = true;
+    } else if (e.kind == BodyEvent::Kind::kMutation) {
+      if (!append_seen && !self_mutator &&
+          !IsAllowed(m.raw, e.line, "crash-order")) {
+        out.push_back(
+            {m.path, e.line, "crash-order",
+             "mutation of table '" + e.table_expr +
+                 "' is not preceded by a summary/commit-record append on "
+                 "this path; annotate the enclosing function "
+                 "ARU_MUTATES_TABLES or append first (recovery replays "
+                 "the log — state the log never saw cannot be rebuilt)"});
+      }
     }
   }
 }
 
-// status-discard: `(void)` before a call expression needs a comment
-// saying why dropping the result is sound.
-void CheckStatusDiscards(const RuleInput& in, std::vector<Finding>& findings) {
-  static const std::regex kDiscardRe(
-      R"(\(void\)\s*[A-Za-z_][\w.:]*(->[\w.:]*)*\s*\()");
-  for (std::size_t i = 0; i < in.code.size(); ++i) {
-    if (!std::regex_search(in.code[i], kDiscardRe)) continue;
-    if (IsAllowed(in.raw, i + 1, "status-discard")) continue;
-    if (HasJustification(in.raw, i + 1)) continue;
-    findings.push_back(
-        {in.path, i + 1, "status-discard",
+// ---------------------------------------------------------------------
+// status-flow (body half): bare-statement calls that drop a Status /
+// Result, and Status locals that are never read back.
+void CheckStatusFlow(const Analysis& a, const FileModel& m,
+                     const BodySummary& body, std::vector<Finding>& out) {
+  for (const BodyEvent& e : body.events) {
+    if (e.kind != BodyEvent::Kind::kCall || !e.stmt_bare) continue;
+    bool returns_status = false;
+    if (!e.callee_qname.empty()) {
+      returns_status = a.index.ReturnsStatus(e.callee_qname);
+    } else {
+      const auto it = a.index.base_status.find(e.callee_base);
+      returns_status = it != a.index.base_status.end() &&
+                       it->second.first > 0 && it->second.second == 0;
+    }
+    if (!returns_status) continue;
+    if (IsAllowed(m.raw, e.line, "status-flow")) continue;
+    out.push_back(
+        {m.path, e.line, "status-flow",
+         "result of Status-returning call '" + e.callee_base +
+             "' is dropped: return it, check it, or (void)-discard it "
+             "with a justification comment"});
+  }
+  for (const StatusLocal& local : body.status_locals) {
+    if (local.used_later) continue;
+    if (IsAllowed(m.raw, local.line, "status-flow")) continue;
+    out.push_back(
+        {m.path, local.line, "status-flow",
+         "Status local '" + local.name +
+             "' is never examined after initialization: the error it may "
+             "carry is silently lost"});
+  }
+}
+
+// status-flow (lexical half, kept from v1's status-discard): a
+// (void)-discarded call needs a justification comment nearby.
+void CheckVoidDiscards(const FileModel& m, std::vector<Finding>& out) {
+  const std::vector<Token>& t = m.tokens;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (!t[i].Is("(") || !t[i + 1].Is("void") || !t[i + 2].Is(")") ||
+        !t[i + 3].IsIdent()) {
+      continue;
+    }
+    // Walk the callee chain; a call paren must follow.
+    std::size_t j = i + 3;
+    while (j + 2 < t.size() &&
+           (t[j + 1].Is("::") || t[j + 1].Is(".") || t[j + 1].Is("->")) &&
+           t[j + 2].IsIdent()) {
+      j += 2;
+    }
+    if (j + 1 >= t.size() || !t[j + 1].Is("(")) continue;
+    const std::size_t line = t[i].line;
+    if (IsAllowed(m.raw, line, "status-flow")) continue;
+    if (HasJustification(m.raw, line)) continue;
+    out.push_back(
+        {m.path, line, "status-flow",
          "(void)-discarded call result needs a justification comment on "
          "this line or directly above (why is ignoring the Status "
          "sound?)"});
   }
 }
 
-// banned-call: rand() and time(nullptr) break the deterministic replay
-// the crash-injection tests depend on.
-void CheckBannedCalls(const RuleInput& in, std::vector<Finding>& findings) {
-  static const std::regex kRandRe(R"((^|[^\w:.>])rand\s*\()");
-  static const std::regex kTimeRe(
-      R"((^|[^\w:.>])time\s*\(\s*(nullptr|NULL|0)\s*\))");
-  for (std::size_t i = 0; i < in.code.size(); ++i) {
-    const std::string& line = in.code[i];
-    if (std::regex_search(line, kRandRe) &&
-        !IsAllowed(in.raw, i + 1, "banned-call")) {
-      findings.push_back({in.path, i + 1, "banned-call",
-                          "rand() is banned: use util/rng.h (seeded, "
-                          "deterministic) so crash schedules replay"});
+// ---------------------------------------------------------------------
+// banned-call / raw-new / recovery-assert (token rewrites of v1).
+
+bool PrevIsMemberAccess(const std::vector<Token>& t, std::size_t i) {
+  if (i == 0) return false;
+  return t[i - 1].Is(".") || t[i - 1].Is("->") || t[i - 1].Is("::");
+}
+
+void CheckBannedCalls(const FileModel& m, std::vector<Finding>& out) {
+  const std::vector<Token>& t = m.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].IsIdent()) continue;
+    if (t[i].text == "rand" && t[i + 1].Is("(") &&
+        !PrevIsMemberAccess(t, i)) {
+      if (!IsAllowed(m.raw, t[i].line, "banned-call")) {
+        out.push_back({m.path, t[i].line, "banned-call",
+                       "rand() is banned: use util/rng.h (seeded, "
+                       "deterministic) so crash schedules replay"});
+      }
     }
-    if (std::regex_search(line, kTimeRe) &&
-        !IsAllowed(in.raw, i + 1, "banned-call")) {
-      findings.push_back({in.path, i + 1, "banned-call",
-                          "time(nullptr) is banned: use obs::NowUs() or "
-                          "the VirtualClock so runs are reproducible"});
+    if (t[i].text == "time" && t[i + 1].Is("(") && i + 3 < t.size() &&
+        (t[i + 2].Is("nullptr") || t[i + 2].Is("NULL") ||
+         t[i + 2].Is("0")) &&
+        t[i + 3].Is(")") && !PrevIsMemberAccess(t, i)) {
+      if (!IsAllowed(m.raw, t[i].line, "banned-call")) {
+        out.push_back({m.path, t[i].line, "banned-call",
+                       "time(nullptr) is banned: use obs::NowUs() or "
+                       "the VirtualClock so runs are reproducible"});
+      }
     }
   }
 }
 
-// raw-new: `new` outside smart-pointer construction leaks on the error
-// paths Status-based code takes; wrap or justify.
-void CheckRawNew(const RuleInput& in, std::vector<Finding>& findings) {
-  static const std::regex kNewRe(R"((^|[^\w_])new\s+[A-Za-z_(])");
-  static const std::regex kSmartRe(
-      R"(unique_ptr|shared_ptr|make_unique|make_shared)");
-  for (std::size_t i = 0; i < in.code.size(); ++i) {
-    if (!std::regex_search(in.code[i], kNewRe)) continue;
-    if (std::regex_search(in.code[i], kSmartRe)) continue;
-    // The smart-pointer wrapper may sit on the previous line when the
-    // expression wraps: `std::unique_ptr<T>(\n    new T(...));`.
-    if (i > 0 && std::regex_search(in.code[i - 1], kSmartRe)) continue;
-    if (IsAllowed(in.raw, i + 1, "raw-new")) continue;
-    findings.push_back(
-        {in.path, i + 1, "raw-new",
+bool LineHasSmartPointer(const FileModel& m, std::size_t line) {
+  if (line == 0 || line > m.code.size()) return false;
+  const std::string& s = m.code[line - 1];
+  return s.find("unique_ptr") != std::string::npos ||
+         s.find("shared_ptr") != std::string::npos ||
+         s.find("make_unique") != std::string::npos ||
+         s.find("make_shared") != std::string::npos;
+}
+
+void CheckRawNew(const FileModel& m, std::vector<Finding>& out) {
+  const std::vector<Token>& t = m.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].IsIdent() || t[i].text != "new") continue;
+    if (!t[i + 1].IsIdent() && !t[i + 1].Is("(")) continue;
+    const std::size_t line = t[i].line;
+    // The smart-pointer wrapper may sit on the same or previous line
+    // when the expression wraps: `std::unique_ptr<T>(\n    new T(...))`.
+    if (LineHasSmartPointer(m, line) || LineHasSmartPointer(m, line - 1)) {
+      continue;
+    }
+    if (IsAllowed(m.raw, line, "raw-new")) continue;
+    out.push_back(
+        {m.path, line, "raw-new",
          "raw `new` is banned: construct through std::make_unique / "
          "std::unique_ptr (error paths return Status and would leak)"});
   }
 }
 
-// recovery-assert: recovery and the consistency checker digest
-// disk-derived data; corruption must return kCorruption, never abort.
-void CheckRecoveryAsserts(const RuleInput& in,
-                          std::vector<Finding>& findings) {
-  static const std::regex kAssertRe(R"((^|[^\w_])assert\s*\()");
-  for (std::size_t i = 0; i < in.code.size(); ++i) {
-    if (!std::regex_search(in.code[i], kAssertRe)) continue;
-    if (IsAllowed(in.raw, i + 1, "recovery-assert")) continue;
-    findings.push_back(
-        {in.path, i + 1, "recovery-assert",
+void CheckRecoveryAsserts(const FileModel& m, std::vector<Finding>& out) {
+  const std::vector<Token>& t = m.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].IsIdent() || t[i].text != "assert" || !t[i + 1].Is("(")) {
+      continue;
+    }
+    if (IsAllowed(m.raw, t[i].line, "recovery-assert")) continue;
+    out.push_back(
+        {m.path, t[i].line, "recovery-assert",
          "assert() in a recovery/consistency path: these functions "
          "consume disk-derived data, so corruption must surface as "
          "StatusCode::kCorruption, not a process abort"});
   }
 }
 
-bool IsFormatHeader(const std::string& path) {
-  return EndsWith(path, "lld/layout.h") || EndsWith(path, "lld/summary.h") ||
-         EndsWith(path, "lld/checkpoint.h") ||
-         EndsWith(path, "minixfs/format.h");
+// ---------------------------------------------------------------------
+// on-disk-pin + on-disk-field.
+
+struct PinIndex {
+  std::set<std::string> trivially_copyable;
+  std::set<std::string> sizeof_pinned;
+};
+
+PinIndex CollectPins(const FileModel& m) {
+  PinIndex pins;
+  const std::vector<Token>& t = m.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].Is("is_trivially_copyable_v") && t[i + 1].Is("<") &&
+        t[i + 2].IsIdent()) {
+      pins.trivially_copyable.insert(t[i + 2].text);
+    }
+    if (t[i].Is("sizeof") && t[i + 1].Is("(") && t[i + 2].IsIdent() &&
+        i + 3 < t.size() && t[i + 3].Is(")")) {
+      pins.sizeof_pinned.insert(t[i + 2].text);
+    }
+  }
+  return pins;
 }
 
-bool IsRecoveryPath(const std::string& path) {
-  return EndsWith(path, "lld_recovery.cc") ||
-         EndsWith(path, "lld_consistency.cc");
+void CheckOnDiskPins(const FileModel& m, const PinIndex& pins,
+                     std::vector<Finding>& out) {
+  for (const StructInfo& s : m.structs) {
+    if (!s.namespace_scope) continue;
+    if (IsAllowed(m.raw, s.line, "on-disk-pin")) continue;
+    const bool has_trivial = pins.trivially_copyable.count(s.name) > 0;
+    const bool has_size = pins.sizeof_pinned.count(s.name) > 0;
+    if (has_trivial && has_size) continue;
+    out.push_back(
+        {m.path, s.line, "on-disk-pin",
+         "on-disk struct '" + s.name +
+             "' must be pinned with "
+             "static_assert(std::is_trivially_copyable_v<" +
+             s.name + ">) and static_assert(sizeof(" + s.name +
+             ") == <bytes>); layout drift silently corrupts recovery "
+             "of existing images"});
+  }
+}
+
+struct FieldType {
+  bool ok = false;
+  std::size_t size = 0;
+  std::size_t align = 0;
+  std::string bad_reason;
+};
+
+FieldType ResolveFieldType(const ProjectIndex& index, std::string head) {
+  FieldType result;
+  // Resolve `using` aliases (Lsn -> uint64_t, InodeNum -> uint32_t).
+  for (int depth = 0; depth < 8; ++depth) {
+    // The 8-byte id/address wrappers from ld/ids.h and lld/types.h are
+    // single-u64 trivially-copyable classes; the codec pins their
+    // width.
+    if (head == "BlockId" || head == "ListId" || head == "AruId" ||
+        head == "PhysAddr") {
+      result.ok = true;
+      result.size = result.align = 8;
+      return result;
+    }
+    static const std::map<std::string_view, std::size_t> kFixed = {
+        {"uint8_t", 1},  {"int8_t", 1},  {"uint16_t", 2}, {"int16_t", 2},
+        {"uint32_t", 4}, {"int32_t", 4}, {"uint64_t", 8}, {"int64_t", 8},
+    };
+    const auto fit = kFixed.find(head);
+    if (fit != kFixed.end()) {
+      result.ok = true;
+      result.size = result.align = fit->second;
+      return result;
+    }
+    const auto eit = index.enums.find(head);
+    if (eit != index.enums.end()) {
+      if (eit->second.empty()) {
+        result.bad_reason =
+            "enum '" + head + "' has no fixed underlying type";
+        return result;
+      }
+      head = eit->second;
+      continue;
+    }
+    const auto ait = index.aliases.find(head);
+    if (ait != index.aliases.end()) {
+      head = ait->second;
+      continue;
+    }
+    break;
+  }
+  static const std::set<std::string_view> kBanned = {
+      "bool",    "int",      "unsigned", "long",     "short",   "signed",
+      "char",    "wchar_t",  "float",    "double",   "size_t",  "ssize_t",
+      "ptrdiff_t", "intptr_t", "uintptr_t", "string", "vector",
+  };
+  if (kBanned.count(head) > 0) {
+    result.bad_reason = "'" + head +
+                        "' is not a fixed-width on-disk type (width or "
+                        "representation varies by platform)";
+  } else {
+    result.bad_reason = "type '" + head +
+                        "' is not a recognized fixed-width on-disk type";
+  }
+  return result;
+}
+
+// Fields of *pinned* structs (both pin halves present, no allow()
+// marker) must be fixed-width and introduce no implicit padding. The
+// offsets are computed with natural alignment, which is what the
+// static_assert(sizeof) pins already force the compiler to agree with.
+void CheckOnDiskFields(const FileModel& m, const ProjectIndex& index,
+                       const PinIndex& pins, std::vector<Finding>& out) {
+  for (const StructInfo& s : m.structs) {
+    if (!s.namespace_scope) continue;
+    if (pins.trivially_copyable.count(s.name) == 0 ||
+        pins.sizeof_pinned.count(s.name) == 0) {
+      continue;  // unpinned: on-disk-pin already flags it
+    }
+    if (IsAllowed(m.raw, s.line, "on-disk-pin") ||
+        IsAllowed(m.raw, s.line, "on-disk-field")) {
+      continue;
+    }
+    std::size_t offset = 0;
+    std::size_t max_align = 1;
+    bool layout_known = true;
+    for (const FieldInfo& f : s.fields) {
+      if (f.is_pointer || f.is_reference) {
+        if (!IsAllowed(m.raw, f.line, "on-disk-field")) {
+          out.push_back({m.path, f.line, "on-disk-field",
+                         "field '" + f.name + "' of on-disk struct '" +
+                             s.name +
+                             "' is a pointer/reference: on-disk records "
+                             "hold values, never addresses"});
+        }
+        layout_known = false;
+        continue;
+      }
+      const FieldType type = ResolveFieldType(index, f.type_head);
+      if (!type.ok) {
+        if (!IsAllowed(m.raw, f.line, "on-disk-field")) {
+          out.push_back({m.path, f.line, "on-disk-field",
+                         "field '" + f.name + "' of on-disk struct '" +
+                             s.name + "': " + type.bad_reason});
+        }
+        layout_known = false;
+        continue;
+      }
+      if (!layout_known) continue;
+      const std::size_t pad =
+          (type.align - offset % type.align) % type.align;
+      if (pad > 0 && !IsAllowed(m.raw, f.line, "on-disk-field")) {
+        out.push_back(
+            {m.path, f.line, "on-disk-field",
+             "field '" + f.name + "' of on-disk struct '" + s.name +
+                 "' sits after " + std::to_string(pad) +
+                 " byte(s) of implicit padding: make the padding an "
+                 "explicit reserved field so the serialized bytes are "
+                 "fully specified"});
+      }
+      offset += pad + type.size * f.array_len;
+      max_align = std::max(max_align, type.align);
+    }
+    if (layout_known && !s.fields.empty()) {
+      const std::size_t tail =
+          (max_align - offset % max_align) % max_align;
+      if (tail > 0 && !IsAllowed(m.raw, s.line, "on-disk-field")) {
+        out.push_back(
+            {m.path, s.line, "on-disk-field",
+             "on-disk struct '" + s.name + "' carries " +
+                 std::to_string(tail) +
+                 " byte(s) of implicit tail padding: add an explicit "
+                 "reserved field so sizeof covers only specified bytes"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// lock-order: collect edges (held -> acquired) from every body, then
+// flag every edge that participates in a cycle.
+
+void CollectLockEdges(const Analysis& a, std::size_t file,
+                      const BodySummary& body, std::vector<LockEdge>& out) {
+  for (const BodyEvent& e : body.events) {
+    if (e.kind == BodyEvent::Kind::kAcquire) {
+      for (const std::string& held : e.held_locks) {
+        out.push_back({file, e.line, held, e.lock_key});
+      }
+    } else if (e.kind == BodyEvent::Kind::kCall && !e.held_locks.empty() &&
+               !e.callee_qname.empty()) {
+      const auto it = a.index.may_acquire.find(e.callee_qname);
+      if (it == a.index.may_acquire.end()) continue;
+      for (const std::string& acquired : it->second) {
+        for (const std::string& held : e.held_locks) {
+          out.push_back({file, e.line, held, acquired});
+        }
+      }
+    }
+  }
+}
+
+void CheckLockOrder(const Analysis& a,
+                    std::vector<std::vector<Finding>>& per_file) {
+  // Deduplicate edges, keeping the first site seen.
+  std::map<std::pair<std::string, std::string>, const LockEdge*> edges;
+  std::map<std::string, std::set<std::string>> adj;
+  for (const LockEdge& e : a.lock_edges) {
+    edges.emplace(std::make_pair(e.held, e.acquired), &e);
+    adj[e.held].insert(e.acquired);
+  }
+  const auto reaches = [&adj](const std::string& from,
+                              const std::string& to) {
+    std::set<std::string> seen;
+    std::vector<std::string> stack{from};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      if (cur == to) return true;
+      if (!seen.insert(cur).second) continue;
+      const auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const std::string& next : it->second) stack.push_back(next);
+    }
+    return false;
+  };
+  for (const auto& [key, edge] : edges) {
+    const auto& [held, acquired] = key;
+    const bool cyclic = held == acquired || reaches(acquired, held);
+    if (!cyclic) continue;
+    const FileModel& m = a.models[edge->file];
+    if (IsAllowed(m.raw, edge->line, "lock-order")) continue;
+    per_file[edge->file].push_back(
+        {m.path, edge->line, "lock-order",
+         held == acquired
+             ? "acquiring mutex '" + acquired +
+                   "' while it is already held: self-deadlock"
+             : "acquiring mutex '" + acquired + "' while holding '" + held +
+                   "' closes a cycle in the lock acquisition graph: "
+                   "another thread taking them in the opposite order "
+                   "deadlocks"});
+  }
+}
+
+// ---------------------------------------------------------------------
+// Orchestration.
+
+Analysis Analyze(std::vector<std::pair<std::string, std::string>> sources) {
+  Analysis a;
+  a.models.reserve(sources.size());
+  for (auto& [path, content] : sources) {
+    a.models.push_back(BuildFileModel(path, content));
+  }
+  for (std::size_t f = 0; f < a.models.size(); ++f) {
+    for (FunctionInfo& fn : a.models[f].functions) fn.file = f;
+  }
+  a.index = BuildIndex(a.models);
+  for (const FileModel& m : a.models) {
+    for (const FunctionInfo& fn : m.functions) {
+      if (!fn.has_body || fn.is_ctor) continue;
+      a.bodies.push_back(AnalyzeBody(m, fn, a.index));
+    }
+  }
+  FinishIndex(a.index, a.bodies);
+  for (const std::string& q : a.index.may_append) {
+    a.appender_bases.insert(BaseOf(q));
+  }
+  // A base name maps to mutators only when NO non-mutator shares it.
+  std::set<std::string> non_mutator_bases;
+  for (const auto& [qname, fns] : a.index.by_qname) {
+    if (a.index.annotated_mutators.count(qname) == 0) {
+      non_mutator_bases.insert(BaseOf(qname));
+    }
+  }
+  for (const std::string& q : a.index.annotated_mutators) {
+    const std::string base = BaseOf(q);
+    if (non_mutator_bases.count(base) == 0) a.mutator_bases.insert(base);
+  }
+  for (const BodySummary& body : a.bodies) {
+    CollectLockEdges(a, body.fn->file, body, a.lock_edges);
+  }
+  return a;
+}
+
+std::vector<Finding> RunRules(Analysis& a) {
+  std::vector<std::vector<Finding>> per_file(a.models.size());
+  for (std::size_t f = 0; f < a.models.size(); ++f) {
+    const FileModel& m = a.models[f];
+    std::vector<Finding>& out = per_file[f];
+    if (IsFormatHeader(m.path)) {
+      const PinIndex pins = CollectPins(m);
+      CheckOnDiskPins(m, pins, out);
+      CheckOnDiskFields(m, a.index, pins, out);
+    }
+    CheckVoidDiscards(m, out);
+    CheckBannedCalls(m, out);
+    CheckRawNew(m, out);
+    if (IsRecoveryPath(m.path)) CheckRecoveryAsserts(m, out);
+  }
+  for (const BodySummary& body : a.bodies) {
+    const FileModel& m = a.models[body.fn->file];
+    if (!IsRecoveryPath(m.path)) {
+      CheckCrashOrder(a, m, body, per_file[body.fn->file]);
+    }
+    CheckStatusFlow(a, m, body, per_file[body.fn->file]);
+  }
+  CheckLockOrder(a, per_file);
+  std::vector<Finding> findings;
+  for (std::vector<Finding>& f : per_file) {
+    std::stable_sort(f.begin(), f.end(),
+                     [](const Finding& x, const Finding& y) {
+                       return std::tie(x.line, x.rule) <
+                              std::tie(y.line, y.rule);
+                     });
+    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
+                    std::make_move_iterator(f.end()));
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------
+// .arulintignore: one glob per line relative to the ignore file's
+// directory; '*' matches any run of characters (including '/'), '?'
+// one character, '#' starts a comment, a trailing '/' ignores the
+// subtree.
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  std::size_t p = 0, s = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (s < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[s])) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = s;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      s = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+struct IgnoreFile {
+  std::filesystem::path base;
+  std::vector<std::string> patterns;
+};
+
+IgnoreFile LoadIgnore(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  IgnoreFile ignore;
+  std::error_code ec;
+  fs::path dir = fs::absolute(root, ec);
+  if (ec) return ignore;
+  while (true) {
+    const fs::path candidate = dir / ".arulintignore";
+    if (fs::exists(candidate, ec) && !ec) {
+      ignore.base = dir;
+      std::ifstream in(candidate);
+      std::string line;
+      while (std::getline(in, line)) {
+        const std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        const std::size_t last = line.find_last_not_of(" \t\r");
+        std::string pattern = line.substr(first, last - first + 1);
+        if (pattern.empty() || pattern[0] == '#') continue;
+        if (pattern.back() == '/') pattern += "*";
+        ignore.patterns.push_back(std::move(pattern));
+      }
+      return ignore;
+    }
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) return ignore;
+    dir = parent;
+  }
+}
+
+bool Ignored(const IgnoreFile& ignore, const std::filesystem::path& file) {
+  if (ignore.patterns.empty()) return false;
+  std::error_code ec;
+  const std::filesystem::path abs = std::filesystem::absolute(file, ec);
+  if (ec) return false;
+  const std::filesystem::path rel =
+      std::filesystem::relative(abs, ignore.base, ec);
+  if (ec) return false;
+  const std::string rel_str = rel.generic_string();
+  for (const std::string& pattern : ignore.patterns) {
+    if (GlobMatch(pattern, rel_str)) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -224,6 +753,24 @@ std::string StripCommentsAndStrings(std::string_view source) {
           state = State::kBlockComment;
           out += "  ";
           ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   source[i - 1])) &&
+                               source[i - 1] != '_'))) {
+          // Raw string literal R"delim( ... )delim": no escapes inside,
+          // ends only at the exact close sequence.
+          std::size_t d = i + 2;
+          while (d < source.size() && source[d] != '(') ++d;
+          const std::string close =
+              ")" + std::string(source.substr(i + 2, d - (i + 2))) + "\"";
+          std::size_t end = source.find(close, d);
+          if (end == std::string_view::npos) end = source.size();
+          const std::size_t stop =
+              std::min(source.size(), end + close.size());
+          for (std::size_t k = i; k < stop; ++k) {
+            out += source[k] == '\n' ? '\n' : ' ';
+          }
+          i = stop - 1;
         } else if (c == '"') {
           state = State::kString;
           out += ' ';
@@ -280,37 +827,36 @@ std::string StripCommentsAndStrings(std::string_view source) {
 
 std::vector<Finding> CheckSource(const std::string& path,
                                  std::string_view content) {
-  const std::vector<std::string> raw = SplitLines(content);
-  const std::vector<std::string> code =
-      SplitLines(StripCommentsAndStrings(content));
-  const RuleInput in{path, raw, code};
-
-  std::vector<Finding> findings;
-  if (IsFormatHeader(path)) CheckOnDiskPins(in, findings);
-  CheckStatusDiscards(in, findings);
-  CheckBannedCalls(in, findings);
-  CheckRawNew(in, findings);
-  if (IsRecoveryPath(path)) CheckRecoveryAsserts(in, findings);
-
-  std::stable_sort(findings.begin(), findings.end(),
-                   [](const Finding& a, const Finding& b) {
-                     return a.line < b.line;
-                   });
-  return findings;
+  Analysis a = Analyze({{path, std::string(content)}});
+  return RunRules(a);
 }
 
 std::vector<Finding> CheckFile(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    return {{path, 0, "io-error", "cannot open file"}};
-  }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return CheckSource(path, buffer.str());
+  return CheckFiles({path});
 }
 
-std::vector<Finding> CheckTree(const std::string& root) {
+std::vector<Finding> CheckFiles(const std::vector<std::string>& paths) {
+  std::vector<Finding> io_errors;
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const std::string& path : paths) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      io_errors.push_back({path, 0, "io-error", "cannot open file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    sources.emplace_back(path, buffer.str());
+  }
+  Analysis a = Analyze(std::move(sources));
+  std::vector<Finding> findings = RunRules(a);
+  findings.insert(findings.end(), io_errors.begin(), io_errors.end());
+  return findings;
+}
+
+std::vector<std::string> CollectFiles(const std::string& root) {
   namespace fs = std::filesystem;
+  const IgnoreFile ignore = LoadIgnore(root);
   std::vector<std::string> files;
   std::error_code ec;
   for (fs::recursive_directory_iterator it(root, ec), end; it != end;
@@ -318,18 +864,20 @@ std::vector<Finding> CheckTree(const std::string& root) {
     if (ec) break;
     if (!it->is_regular_file()) continue;
     const std::string p = it->path().string();
-    if (EndsWith(p, ".h") || EndsWith(p, ".cc")) files.push_back(p);
-  }
-  if (ec) {
-    return {{root, 0, "io-error", "cannot walk tree: " + ec.message()}};
+    if (!EndsWith(p, ".h") && !EndsWith(p, ".cc")) continue;
+    if (Ignored(ignore, it->path())) continue;
+    files.push_back(p);
   }
   std::sort(files.begin(), files.end());
-  std::vector<Finding> findings;
-  for (const std::string& file : files) {
-    std::vector<Finding> f = CheckFile(file);
-    findings.insert(findings.end(), f.begin(), f.end());
+  return files;
+}
+
+std::vector<Finding> CheckTree(const std::string& root) {
+  std::error_code ec;
+  if (!std::filesystem::exists(root, ec) || ec) {
+    return {{root, 0, "io-error", "cannot walk tree"}};
   }
-  return findings;
+  return CheckFiles(CollectFiles(root));
 }
 
 }  // namespace aru::arulint

@@ -1,19 +1,32 @@
-// arulint: project-invariant checker for the ARU/LLD sources.
+// arulint: flow-aware project-invariant checker for the ARU/LLD
+// sources.
 //
 // The compiler proves lock discipline (thread annotations) and memory
 // errors (sanitizers); arulint covers the invariants neither can see,
-// all of which trace back to crash atomicity:
+// all of which trace back to crash atomicity. v2 parses a C++ subset
+// (tokenizer + scope tracking + per-function statement model, see
+// tools/arulint/model.h) so the rules reason about functions, call
+// paths and ordering instead of single lines:
 //
-//   on-disk-pin      every on-disk struct (lld/layout.h, lld/summary.h,
-//                    lld/checkpoint.h, minixfs/format.h) is trivially
-//                    copyable and has a static_assert pinning its byte
-//                    size — silent layout drift corrupts recovery of
-//                    existing disk images;
-//   status-discard   a `(void)`-discarded call must carry a comment
-//                    justifying why the Status does not matter;
+//   crash-order      every path that mutates the block-number map or
+//                    list table must first append the summary/commit
+//                    record describing it (the paper's write-ordering
+//                    protocol), or be annotated ARU_MUTATES_TABLES so
+//                    the obligation moves to its callers;
+//   lock-order       the Mutex acquisition graph derived from
+//                    MutexLock sites must be acyclic;
+//   status-flow      a Status/Result-returning call must be returned,
+//                    checked, or (void)-discarded with justification;
+//                    a Status local must be read after initialization;
+//   on-disk-pin      every on-disk struct in a format header is
+//                    trivially copyable and has a static_assert
+//                    pinning its byte size;
+//   on-disk-field    fields of pinned on-disk structs are fixed-width
+//                    integers / wrappers with no implicit padding, no
+//                    bool/pointers/size_t;
 //   banned-call      no rand()/time(nullptr) (determinism: crash tests
 //                    replay exact schedules) and no raw `new` outside
-//                    smart-pointer construction;
+//                    smart-pointer construction (raw-new);
 //   recovery-assert  lld_recovery.cc / lld_consistency.cc never assert:
 //                    they consume disk-derived data, and corruption must
 //                    surface as StatusCode::kCorruption, not abort().
@@ -21,9 +34,8 @@
 // Suppression: a comment `// arulint: allow(<rule>) <reason>` on the
 // flagged line or up to three lines above it silences that rule there.
 //
-// The checks are lexical (no compiler front-end): comments and string
-// literals are blanked before pattern matching, so the rules see only
-// code. See docs/STATIC_ANALYSIS.md for the catalogue and rationale.
+// See docs/STATIC_ANALYSIS.md for the catalogue, the annotation
+// macros, and the approximations the model makes.
 #pragma once
 
 #include <string>
@@ -44,12 +56,14 @@ struct Finding {
 // "file:line: [rule] message"
 std::string FormatFinding(const Finding& finding);
 
-// Replaces comments, string literals and character literals with
-// spaces, preserving line structure. Exposed for tests.
+// Replaces comments, string literals (including raw strings) and
+// character literals with spaces, preserving line structure. Exposed
+// for tests.
 std::string StripCommentsAndStrings(std::string_view source);
 
-// Runs every rule applicable to `path` (rules key on the basename /
-// path suffix) over `content`. Findings are ordered by line.
+// Runs every rule over `content` as a single-file project (rules that
+// need cross-file knowledge see only this file). Findings are ordered
+// by line.
 std::vector<Finding> CheckSource(const std::string& path,
                                  std::string_view content);
 
@@ -57,7 +71,20 @@ std::vector<Finding> CheckSource(const std::string& path,
 // line 0 with rule "io-error".
 std::vector<Finding> CheckFile(const std::string& path);
 
-// Recursively checks every .h/.cc file under `root`, in sorted order.
+// Checks a set of files as ONE project: annotations, Status return
+// types, member declarations and the lock graph are indexed across all
+// of them before any rule runs. Findings are ordered by (file, line).
+std::vector<Finding> CheckFiles(const std::vector<std::string>& paths);
+
+// Every .h/.cc under `root` (sorted), minus paths matched by the
+// nearest .arulintignore found in `root` or a parent directory.
+std::vector<std::string> CollectFiles(const std::string& root);
+
+// CheckFiles over CollectFiles(root).
 std::vector<Finding> CheckTree(const std::string& root);
+
+// Serializes findings as a SARIF 2.1.0 document (one run, one rule
+// entry per distinct rule id).
+std::string SarifReport(const std::vector<Finding>& findings);
 
 }  // namespace aru::arulint

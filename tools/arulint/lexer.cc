@@ -1,0 +1,165 @@
+#include "tools/arulint/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace aru::arulint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators the rules care about, longest first.
+// Anything not listed lexes as a single character, which is fine: the
+// analyses never need to distinguish e.g. "^=" from "^" "=".
+constexpr std::array<std::string_view, 19> kPuncts = {
+    "->*", "<<=", ">>=", "...", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>", "+=", "-=", "*=", "/=", "|=",
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view stripped) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = stripped.size();
+  while (i < n) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring backslash
+    // continuations (macro bodies are not surface syntax).
+    if (c == '#') {
+      while (i < n) {
+        const std::size_t nl = stripped.find('\n', i);
+        if (nl == std::string_view::npos) {
+          i = n;
+          break;
+        }
+        // A trailing backslash (possibly followed by spaces the
+        // stripper left behind) continues the directive.
+        std::size_t last = nl;
+        while (last > i && (stripped[last - 1] == ' ' ||
+                            stripped[last - 1] == '\t' ||
+                            stripped[last - 1] == '\r')) {
+          --last;
+        }
+        const bool continued = last > i && stripped[last - 1] == '\\';
+        i = nl + 1;
+        ++line;
+        if (!continued) break;
+      }
+      continue;
+    }
+    // [[attribute]] blocks: drop them (e.g. [[nodiscard]] before a
+    // class name would otherwise confuse the declaration parser).
+    if (c == '[' && i + 1 < n && stripped[i + 1] == '[') {
+      std::size_t depth = 0;
+      while (i < n) {
+        if (stripped[i] == '\n') ++line;
+        if (stripped[i] == '[') ++depth;
+        if (stripped[i] == ']') {
+          --depth;
+          if (depth == 0) {
+            ++i;
+            break;
+          }
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(stripped[j])) ++j;
+      tokens.push_back(
+          {Token::Kind::kIdent, std::string(stripped.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Numbers need no internal structure; consume the maximal run of
+      // characters that can appear in a literal (hex, separators,
+      // suffixes, exponent signs).
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = stripped[j];
+        if (IsIdentChar(d) || d == '\'' || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (stripped[j - 1] == 'e' || stripped[j - 1] == 'E' ||
+                    stripped[j - 1] == 'p' || stripped[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back(
+          {Token::Kind::kNumber, std::string(stripped.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    std::string_view matched;
+    for (const std::string_view p : kPuncts) {
+      if (stripped.substr(i, p.size()) == p) {
+        matched = p;
+        break;
+      }
+    }
+    if (matched.empty()) matched = stripped.substr(i, 1);
+    tokens.push_back({Token::Kind::kPunct, std::string(matched), line});
+    i += matched.size();
+  }
+  return tokens;
+}
+
+std::size_t MatchForward(const std::vector<Token>& tokens, std::size_t open) {
+  if (open >= tokens.size()) return tokens.size();
+  const std::string& opener = tokens[open].text;
+  std::string closer;
+  if (opener == "(") {
+    closer = ")";
+  } else if (opener == "{") {
+    closer = "}";
+  } else if (opener == "[") {
+    closer = "]";
+  } else if (opener == "<") {
+    closer = ">";
+  } else {
+    return tokens.size();
+  }
+  // Template-argument matching must treat ">>" as two closers; for the
+  // other bracket kinds angle tokens are ordinary operators.
+  const bool angles = opener == "<";
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == opener) {
+      ++depth;
+    } else if (t == closer) {
+      if (--depth == 0) return i;
+    } else if (angles && t == ">>") {
+      if (depth <= 2) return i;
+      depth -= 2;
+    } else if (angles && (t == ";" || t == "{")) {
+      // Not a template argument list after all (e.g. `a < b;`).
+      return tokens.size();
+    }
+  }
+  return tokens.size();
+}
+
+}  // namespace aru::arulint

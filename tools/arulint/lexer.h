@@ -1,0 +1,42 @@
+// Tokenizer for the arulint C++-subset front-end.
+//
+// Operates on *stripped* source (comments/strings already blanked by
+// StripCommentsAndStrings, which preserves line structure), so the
+// lexer only ever sees code. Preprocessor directives — including
+// multi-line macro definitions continued with backslashes — are
+// skipped entirely: arulint analyzes the un-preprocessed surface
+// syntax, and macro bodies are not part of it. `[[...]]` attribute
+// blocks are dropped for the same reason.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aru::arulint {
+
+struct Token {
+  enum class Kind {
+    kIdent,  // identifiers and keywords
+    kNumber,
+    kPunct,  // operators and punctuation, longest-match (e.g. "::")
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based
+
+  bool Is(std::string_view t) const { return text == t; }
+  bool IsIdent() const { return kind == Kind::kIdent; }
+};
+
+// Tokenizes stripped source. Never fails: unrecognized bytes become
+// single-character punctuation tokens.
+std::vector<Token> Lex(std::string_view stripped);
+
+// Index of the token matching the opener at `open` ("(", "{", "[", or
+// "<" for template argument lists, where ">>" closes two levels), or
+// tokens.size() when unbalanced.
+std::size_t MatchForward(const std::vector<Token>& tokens, std::size_t open);
+
+}  // namespace aru::arulint

@@ -1,11 +1,15 @@
 // arulint CLI. Usage:
 //
-//   arulint [--root <dir>]... [<file>]...
+//   arulint [--root <dir>]... [--sarif <out.sarif>] [<file>]...
 //
-// Checks every .h/.cc under each --root plus any explicitly listed
-// files. Prints one line per finding; exits 0 when clean, 1 when any
-// finding was reported, 2 on usage errors.
+// Checks every .h/.cc under each --root (minus .arulintignore matches)
+// plus any explicitly listed files, all indexed as ONE project so
+// cross-file rules (crash-order annotations on header declarations,
+// the lock graph) see the whole picture. Prints one line per finding;
+// with --sarif also writes a SARIF 2.1.0 report. Exits 0 when clean,
+// 1 when any finding was reported, 2 on usage errors.
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +18,7 @@
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::vector<std::string> files;
+  std::string sarif_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
@@ -22,8 +27,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       roots.emplace_back(argv[++i]);
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "arulint: --sarif needs an output path\n");
+        return 2;
+      }
+      sarif_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr, "usage: arulint [--root <dir>]... [<file>]...\n");
+      std::fprintf(stderr,
+                   "usage: arulint [--root <dir>]... [--sarif <out>] "
+                   "[<file>]...\n");
       return 2;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "arulint: unknown option '%s'\n", arg.c_str());
@@ -33,22 +46,32 @@ int main(int argc, char** argv) {
     }
   }
   if (roots.empty() && files.empty()) {
-    std::fprintf(stderr, "usage: arulint [--root <dir>]... [<file>]...\n");
+    std::fprintf(stderr,
+                 "usage: arulint [--root <dir>]... [--sarif <out>] "
+                 "[<file>]...\n");
     return 2;
   }
 
-  std::vector<aru::arulint::Finding> findings;
+  std::vector<std::string> all_files;
   for (const std::string& root : roots) {
-    auto f = aru::arulint::CheckTree(root);
-    findings.insert(findings.end(), f.begin(), f.end());
+    auto collected = aru::arulint::CollectFiles(root);
+    all_files.insert(all_files.end(), collected.begin(), collected.end());
   }
-  for (const std::string& file : files) {
-    auto f = aru::arulint::CheckFile(file);
-    findings.insert(findings.end(), f.begin(), f.end());
-  }
+  all_files.insert(all_files.end(), files.begin(), files.end());
+  const std::vector<aru::arulint::Finding> findings =
+      aru::arulint::CheckFiles(all_files);
 
   for (const auto& finding : findings) {
     std::printf("%s\n", aru::arulint::FormatFinding(finding).c_str());
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "arulint: cannot write SARIF to '%s'\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << aru::arulint::SarifReport(findings);
   }
   if (!findings.empty()) {
     std::fprintf(stderr, "arulint: %zu finding(s)\n", findings.size());

@@ -1,0 +1,665 @@
+#include "tools/arulint/model.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+#include "tools/arulint/arulint.h"
+
+namespace aru::arulint {
+namespace {
+
+bool IsKeyword(const std::string& s) {
+  static const std::array<std::string_view, 24> kWords = {
+      "if",       "else",     "for",      "while",    "do",       "switch",
+      "case",     "return",   "sizeof",   "alignof",  "decltype", "new",
+      "delete",   "throw",    "catch",    "goto",     "operator", "co_await",
+      "co_yield", "co_return", "static_assert", "requires", "this", "default",
+  };
+  return std::find(kWords.begin(), kWords.end(), s) != kWords.end();
+}
+
+bool IsAruMacro(const std::string& s) {
+  return s.rfind("ARU_", 0) == 0;
+}
+
+// Skips a balanced group opened at `i` ("(", "{", "[", "<"); returns
+// the index just past the closer (or tokens.size() when unbalanced).
+std::size_t SkipGroup(const std::vector<Token>& t, std::size_t i) {
+  const std::size_t close = MatchForward(t, i);
+  return close >= t.size() ? t.size() : close + 1;
+}
+
+// Reverse template-argument match: `close` indexes a ">" or ">>"
+// token; returns the index of the matching "<", or npos.
+std::size_t MatchAngleBackward(const std::vector<Token>& t,
+                               std::size_t close) {
+  std::size_t depth = 0;
+  std::size_t i = close + 1;
+  while (i > 0) {
+    --i;
+    const std::string& s = t[i].text;
+    if (s == ">") {
+      ++depth;
+    } else if (s == ">>") {
+      depth += 2;
+    } else if (s == "<") {
+      if (depth <= 1) return i;
+      --depth;
+    } else if (s == ";" || s == "{" || s == "}") {
+      return std::string::npos;
+    }
+  }
+  return std::string::npos;
+}
+
+// The last identifier in [first, last), or "".
+std::string LastIdent(const std::vector<Token>& t, std::size_t first,
+                      std::size_t last) {
+  std::string out;
+  for (std::size_t i = first; i < last && i < t.size(); ++i) {
+    if (t[i].IsIdent() && t[i].text != "const" && t[i].text != "mutable" &&
+        t[i].text != "volatile" && t[i].text != "struct" &&
+        t[i].text != "typename") {
+      out = t[i].text;
+    }
+  }
+  return out;
+}
+
+struct Parser {
+  FileModel& m;
+  const std::vector<Token>& t;
+
+  struct Ctx {
+    enum class Kind { kNamespace, kClass, kOther };
+    Kind kind = Kind::kOther;
+    std::string name;
+    std::size_t struct_index = std::string::npos;  // into m.structs
+  };
+  std::vector<Ctx> stack;
+
+  std::string EnclosingClass() const {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->kind == Ctx::Kind::kClass) return it->name;
+    }
+    return "";
+  }
+
+  StructInfo* EnclosingStruct() {
+    if (stack.empty()) return nullptr;
+    const Ctx& top = stack.back();
+    if (top.kind != Ctx::Kind::kClass ||
+        top.struct_index == std::string::npos) {
+      return nullptr;
+    }
+    return &m.structs[top.struct_index];
+  }
+
+  void Run() {
+    std::size_t i = 0;
+    const std::size_t n = t.size();
+    while (i < n) {
+      const Token& tok = t[i];
+      if (tok.Is("}")) {
+        if (!stack.empty()) stack.pop_back();
+        ++i;
+        continue;
+      }
+      if (tok.Is("{")) {
+        stack.push_back({Ctx::Kind::kOther, "", std::string::npos});
+        ++i;
+        continue;
+      }
+      if (!tok.IsIdent()) {
+        ++i;
+        continue;
+      }
+      const std::string& s = tok.text;
+      if (s == "namespace") {
+        i = ParseNamespace(i);
+      } else if (s == "template") {
+        i = (i + 1 < n && t[i + 1].Is("<")) ? SkipGroup(t, i + 1) : i + 1;
+      } else if (s == "using") {
+        i = ParseUsing(i);
+      } else if (s == "enum") {
+        i = ParseEnum(i);
+      } else if (s == "class" || s == "struct") {
+        i = ParseClass(i);
+      } else if ((s == "public" || s == "private" || s == "protected") &&
+                 i + 1 < n && t[i + 1].Is(":")) {
+        i += 2;
+      } else if (s == "typedef" || s == "friend" || s == "static_assert" ||
+                 s == "extern") {
+        i = SkipToSemi(i);
+      } else {
+        i = ParseDeclaration(i);
+      }
+    }
+  }
+
+  std::size_t SkipToSemi(std::size_t i) {
+    const std::size_t n = t.size();
+    while (i < n) {
+      if (t[i].Is(";")) return i + 1;
+      if (t[i].Is("(") || t[i].Is("{") || t[i].Is("[")) {
+        i = SkipGroup(t, i);
+        continue;
+      }
+      ++i;
+    }
+    return n;
+  }
+
+  std::size_t ParseNamespace(std::size_t i) {
+    const std::size_t n = t.size();
+    std::size_t j = i + 1;
+    while (j < n && (t[j].IsIdent() || t[j].Is("::"))) ++j;
+    if (j < n && t[j].Is("{")) {
+      stack.push_back({Ctx::Kind::kNamespace, "", std::string::npos});
+      return j + 1;
+    }
+    return SkipToSemi(i);  // namespace alias
+  }
+
+  std::size_t ParseUsing(std::size_t i) {
+    const std::size_t n = t.size();
+    // using NAME = <tokens> ;  (using-declarations are skipped)
+    if (i + 2 < n && t[i + 1].IsIdent() && t[i + 2].Is("=")) {
+      const std::string name = t[i + 1].text;
+      const std::size_t semi = SkipToSemi(i + 2);
+      // Head: the identifier before the first "<" when the RHS is a
+      // template, else the last identifier.
+      std::string head;
+      for (std::size_t k = i + 3; k + 1 < semi; ++k) {
+        if (t[k].Is("<")) break;
+        if (t[k].IsIdent()) head = t[k].text;
+      }
+      if (!head.empty()) m.aliases[name] = head;
+      return semi;
+    }
+    return SkipToSemi(i);
+  }
+
+  std::size_t ParseEnum(std::size_t i) {
+    const std::size_t n = t.size();
+    std::size_t j = i + 1;
+    if (j < n && (t[j].Is("class") || t[j].Is("struct"))) ++j;
+    std::string name;
+    if (j < n && t[j].IsIdent()) name = t[j++].text;
+    std::string underlying;
+    if (j < n && t[j].Is(":")) {
+      ++j;
+      while (j < n && !t[j].Is("{") && !t[j].Is(";")) {
+        if (t[j].IsIdent()) underlying = t[j].text;
+        ++j;
+      }
+    }
+    if (!name.empty()) m.enums[name] = underlying;
+    if (j < n && t[j].Is("{")) j = SkipGroup(t, j);
+    if (j < n && t[j].Is(";")) ++j;
+    return j;
+  }
+
+  std::size_t ParseClass(std::size_t i) {
+    const std::size_t n = t.size();
+    const bool is_struct = t[i].Is("struct");
+    const std::size_t kw_line = t[i].line;
+    std::size_t j = i + 1;
+    // Skip capability macros: `class ARU_CAPABILITY("mutex") Mutex`.
+    while (j < n && t[j].IsIdent() && IsAruMacro(t[j].text)) {
+      ++j;
+      if (j < n && t[j].Is("(")) j = SkipGroup(t, j);
+    }
+    std::string name;
+    if (j < n && t[j].IsIdent() && !IsKeyword(t[j].text)) name = t[j++].text;
+    // Scan for the body or a forward-declaration semicolon, hopping
+    // over template arguments and base-clause groups.
+    while (j < n && !t[j].Is("{") && !t[j].Is(";")) {
+      if (t[j].Is("<")) {
+        const std::size_t close = MatchForward(t, j);
+        j = close >= n ? j + 1 : close + 1;
+        continue;
+      }
+      if (t[j].Is("(")) {
+        j = SkipGroup(t, j);
+        continue;
+      }
+      ++j;
+    }
+    if (j >= n || t[j].Is(";")) return j >= n ? n : j + 1;
+    std::size_t struct_index = std::string::npos;
+    if (is_struct && !name.empty()) {
+      StructInfo info;
+      info.line = kw_line;
+      info.name = name;
+      info.namespace_scope = EnclosingClass().empty();
+      struct_index = m.structs.size();
+      m.structs.push_back(std::move(info));
+    }
+    stack.push_back({Ctx::Kind::kClass, name, struct_index});
+    return j + 1;
+  }
+
+  // A declaration at namespace/class scope: scans to its end, and en
+  // route either hands off to ParseFunction (name followed by a
+  // parameter list) or records a data member / struct field.
+  std::size_t ParseDeclaration(std::size_t start) {
+    const std::size_t n = t.size();
+    std::size_t j = start;
+    bool saw_paren_group = false;
+    while (j < n) {
+      const Token& tok = t[j];
+      if (tok.Is(";")) {
+        RecordMember(start, j);
+        return j + 1;
+      }
+      if (tok.Is("=")) {
+        // Everything to the ";" is an initializer (or = default /
+        // = delete on an operator we are skipping).
+        const std::size_t semi = SkipToSemi(j);
+        RecordMember(start, j);
+        return semi;
+      }
+      if (tok.Is("(")) {
+        if (j > start && t[j - 1].IsIdent()) {
+          const std::string& name = t[j - 1].text;
+          if (IsAruMacro(name) || name == "noexcept" || name == "alignas" ||
+              name == "decltype" || IsKeyword(name)) {
+            j = SkipGroup(t, j);
+            saw_paren_group = true;
+            continue;
+          }
+          return ParseFunction(start, j - 1, j);
+        }
+        j = SkipGroup(t, j);
+        saw_paren_group = true;
+        continue;
+      }
+      if (tok.Is("{")) {
+        if (saw_paren_group) return SkipGroup(t, j);  // un-modeled body
+        j = SkipGroup(t, j);  // brace initializer
+        continue;
+      }
+      if (tok.Is("[")) {
+        j = SkipGroup(t, j);
+        continue;
+      }
+      if (tok.Is("<") && j > start && t[j - 1].IsIdent()) {
+        const std::size_t close = MatchForward(t, j);
+        if (close < n) {
+          j = close + 1;
+          continue;
+        }
+      }
+      if (tok.Is("}")) return j;  // stray — let the main loop handle it
+      ++j;
+    }
+    return n;
+  }
+
+  // Records a data member (class scope) / struct field from the
+  // declaration tokens [start, end) where t[end] is ";" or "=".
+  void RecordMember(std::size_t start, std::size_t end) {
+    const std::string cls = EnclosingClass();
+    if (cls.empty()) return;
+    // Re-tokenize the declaration without annotation groups.
+    std::vector<Token> decl;
+    for (std::size_t i = start; i < end && i < t.size(); ++i) {
+      if (t[i].IsIdent() && IsAruMacro(t[i].text)) {
+        if (i + 1 < end && t[i + 1].Is("(")) {
+          const std::size_t close = MatchForward(t, i + 1);
+          i = close >= t.size() ? end : close;
+        }
+        continue;
+      }
+      decl.push_back(t[i]);
+    }
+    if (decl.empty()) return;
+    for (const Token& d : decl) {
+      if (d.Is("static") || d.Is("using") || d.Is("friend") ||
+          d.Is("typedef") || d.Is("operator")) {
+        return;
+      }
+    }
+    // Field name: the last identifier before the first array bracket,
+    // else the last identifier overall.
+    std::size_t name_idx = std::string::npos;
+    std::size_t bracket = std::string::npos;
+    for (std::size_t i = 0; i < decl.size(); ++i) {
+      if (decl[i].Is("[")) {
+        bracket = i;
+        break;
+      }
+      if (decl[i].IsIdent() && !IsKeyword(decl[i].text)) name_idx = i;
+    }
+    if (name_idx == std::string::npos) return;
+    FieldInfo field;
+    field.name = decl[name_idx].text;
+    field.line = decl[name_idx].line;
+    for (std::size_t i = 0; i < name_idx; ++i) {
+      if (decl[i].Is("*")) field.is_pointer = true;
+      if (decl[i].Is("&") || decl[i].Is("&&")) field.is_reference = true;
+      if (decl[i].IsIdent() && decl[i].text != "const" &&
+          decl[i].text != "mutable" && decl[i].text != "volatile" &&
+          decl[i].text != "constexpr" && decl[i].text != "inline") {
+        field.type_head = decl[i].text;
+      }
+    }
+    if (field.type_head.empty() || field.type_head == field.name) return;
+    if (bracket != std::string::npos && bracket + 1 < decl.size() &&
+        decl[bracket + 1].kind == Token::Kind::kNumber) {
+      field.array_len = static_cast<std::size_t>(
+          std::strtoull(decl[bracket + 1].text.c_str(), nullptr, 0));
+      if (field.array_len == 0) field.array_len = 1;
+    }
+    m.members[cls][field.name] = field.type_head;
+    if (StructInfo* s = EnclosingStruct()) s->fields.push_back(field);
+  }
+
+  std::size_t ParseFunction(std::size_t decl_start, std::size_t name_idx,
+                            std::size_t paren) {
+    const std::size_t n = t.size();
+    FunctionInfo fn;
+    fn.base = t[name_idx].text;
+    fn.line = t[name_idx].line;
+    bool is_dtor = name_idx > 0 && t[name_idx - 1].Is("~");
+    std::size_t chain_start = name_idx;
+    if (is_dtor) chain_start = name_idx - 1;
+    if (chain_start >= 2 && t[chain_start - 1].Is("::") &&
+        t[chain_start - 2].IsIdent()) {
+      fn.cls = t[chain_start - 2].text;
+      chain_start -= 2;
+      while (chain_start >= 2 && t[chain_start - 1].Is("::") &&
+             t[chain_start - 2].IsIdent()) {
+        chain_start -= 2;  // deeper qualifiers are namespaces
+      }
+    }
+    if (fn.cls.empty()) fn.cls = EnclosingClass();
+    fn.is_ctor = is_dtor || (!fn.cls.empty() && fn.base == fn.cls);
+    // Return type: walk back from the name chain.
+    if (!fn.is_ctor && chain_start > decl_start) {
+      std::size_t r = chain_start - 1;
+      while (r > decl_start &&
+             (t[r].Is("&") || t[r].Is("&&") || t[r].Is("*") ||
+              t[r].Is("const"))) {
+        --r;
+      }
+      if (t[r].IsIdent()) {
+        if (t[r].text == "Status") fn.returns_status = true;
+      } else if (t[r].Is(">") || t[r].Is(">>")) {
+        const std::size_t open = MatchAngleBackward(t, r);
+        if (open != std::string::npos && open > decl_start &&
+            t[open - 1].IsIdent()) {
+          const std::string& head = t[open - 1].text;
+          if (head == "Result" || head == "StatusOr") {
+            fn.returns_status = true;
+          }
+        }
+      }
+    }
+    // Parameters.
+    const std::size_t close = MatchForward(t, paren);
+    if (close >= n) return n;
+    ParseParams(paren + 1, close, fn);
+    // Trailer: qualifiers, annotations, trailing return, ctor-init.
+    std::size_t pos = close + 1;
+    std::size_t guard = 0;
+    while (pos < n && ++guard < 4096) {
+      const Token& tok = t[pos];
+      if (tok.Is(";")) {
+        ++pos;
+        break;
+      }
+      if (tok.Is("{")) {
+        fn.has_body = true;
+        fn.body_begin = pos;
+        fn.body_end = MatchForward(t, pos);
+        if (fn.body_end >= n) fn.body_end = n - 1;
+        pos = fn.body_end + 1;
+        break;
+      }
+      if (tok.Is("=")) {  // = default / = delete / = 0
+        pos = SkipToSemi(pos);
+        break;
+      }
+      if (tok.Is(":")) {  // ctor initializer list
+        ++pos;
+        while (pos < n) {
+          if (t[pos].Is("(")) {
+            pos = SkipGroup(t, pos);
+            continue;
+          }
+          if (t[pos].Is("{")) {
+            if (pos > 0 && t[pos - 1].IsIdent()) {
+              pos = SkipGroup(t, pos);  // member brace-init
+              continue;
+            }
+            break;  // the body
+          }
+          if (t[pos].Is(";")) break;
+          ++pos;
+        }
+        continue;
+      }
+      if (tok.Is("->")) {  // trailing return type
+        ++pos;
+        while (pos < n && !t[pos].Is("{") && !t[pos].Is(";") &&
+               !t[pos].Is("=")) {
+          if (t[pos].IsIdent() &&
+              (t[pos].text == "Status" || t[pos].text == "Result" ||
+               t[pos].text == "StatusOr")) {
+            fn.returns_status = true;
+          }
+          ++pos;
+        }
+        continue;
+      }
+      if (tok.IsIdent() && IsAruMacro(tok.text)) {
+        if (tok.text == "ARU_MUTATES_TABLES") fn.mutates_tables = true;
+        if (tok.text == "ARU_APPENDS_SUMMARY") fn.appends_summary = true;
+        ++pos;
+        if (pos < n && t[pos].Is("(")) pos = SkipGroup(t, pos);
+        continue;
+      }
+      ++pos;  // const, noexcept, override, final, &, &&, ...
+    }
+    if (!is_dtor && !fn.base.empty() && !IsKeyword(fn.base)) {
+      fn.qname = fn.cls.empty() ? fn.base : fn.cls + "::" + fn.base;
+      m.functions.push_back(std::move(fn));
+    }
+    return pos;
+  }
+
+  void ParseParams(std::size_t first, std::size_t last, FunctionInfo& fn) {
+    std::size_t chunk_start = first;
+    std::size_t depth = 0;
+    for (std::size_t i = first; i <= last && i < t.size(); ++i) {
+      const bool at_end = i == last;
+      const std::string& s = t[i].text;
+      if (!at_end) {
+        if (s == "(" || s == "{" || s == "[") {
+          ++depth;
+          continue;
+        }
+        if (s == ")" || s == "}" || s == "]") {
+          if (depth > 0) --depth;
+          continue;
+        }
+        if (s == "<" && i > first && t[i - 1].IsIdent()) {
+          const std::size_t close = MatchForward(t, i);
+          if (close < last) {
+            i = close;
+            continue;
+          }
+        }
+      }
+      if (at_end || (s == "," && depth == 0)) {
+        if (i > chunk_start) AddParam(chunk_start, i, fn);
+        chunk_start = i + 1;
+      }
+    }
+  }
+
+  void AddParam(std::size_t first, std::size_t last, FunctionInfo& fn) {
+    // Cut default arguments.
+    std::size_t end = last;
+    for (std::size_t i = first; i < last; ++i) {
+      if (t[i].Is("=")) {
+        end = i;
+        break;
+      }
+    }
+    Param p;
+    std::size_t last_ident = std::string::npos;
+    std::size_t ident_count = 0;
+    for (std::size_t i = first; i < end; ++i) {
+      const Token& tok = t[i];
+      if (tok.Is("&") || tok.Is("&&")) p.is_ref = true;
+      if (tok.Is("const")) p.is_const = true;
+      if (tok.IsIdent() && tok.text != "const" && tok.text != "struct" &&
+          tok.text != "typename" && tok.text != "volatile") {
+        last_ident = i;
+        ++ident_count;
+      }
+    }
+    if (last_ident == std::string::npos) return;
+    if (ident_count >= 2) {
+      p.name = t[last_ident].text;
+      p.type_head = LastIdent(t, first, last_ident);
+    } else {
+      p.type_head = t[last_ident].text;  // unnamed parameter
+    }
+    fn.params.push_back(std::move(p));
+  }
+};
+
+}  // namespace
+
+FileModel BuildFileModel(const std::string& path, std::string_view content) {
+  FileModel m;
+  m.path = path;
+  const std::string stripped = StripCommentsAndStrings(content);
+  // Split raw and stripped into lines.
+  const auto split = [](std::string_view text) {
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t nl = text.find('\n', start);
+      if (nl == std::string_view::npos) {
+        lines.emplace_back(text.substr(start));
+        break;
+      }
+      lines.emplace_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+    return lines;
+  };
+  m.raw = split(content);
+  m.code = split(stripped);
+  m.tokens = Lex(stripped);
+  Parser parser{m, m.tokens, {}};
+  parser.Run();
+  return m;
+}
+
+bool ProjectIndex::ReturnsStatus(const std::string& qname) const {
+  const auto it = by_qname.find(qname);
+  if (it == by_qname.end()) return false;
+  for (const FunctionInfo* fn : it->second) {
+    if (fn->returns_status) return true;
+  }
+  return false;
+}
+
+std::string ProjectIndex::MemberType(const std::string& cls,
+                                     const std::string& member) const {
+  const auto cit = members.find(cls);
+  if (cit == members.end()) return "";
+  const auto mit = cit->second.find(member);
+  return mit == cit->second.end() ? "" : mit->second;
+}
+
+ProjectIndex BuildIndex(const std::vector<FileModel>& models) {
+  ProjectIndex index;
+  index.models = &models;
+  for (std::size_t f = 0; f < models.size(); ++f) {
+    const FileModel& m = models[f];
+    for (const FunctionInfo& fn : m.functions) {
+      index.by_qname[fn.qname].push_back(&fn);
+      if (!fn.is_ctor) {
+        auto& counts = index.base_status[fn.base];
+        (fn.returns_status ? counts.first : counts.second) += 1;
+      }
+      if (fn.mutates_tables) index.annotated_mutators.insert(fn.qname);
+      if (fn.appends_summary) index.annotated_appenders.insert(fn.qname);
+    }
+    for (const auto& [cls, members] : m.members) {
+      for (const auto& [name, head] : members) {
+        index.members[cls].emplace(name, head);
+      }
+    }
+    for (const auto& [name, head] : m.aliases) {
+      index.aliases.emplace(name, head);
+    }
+    for (const auto& [name, head] : m.enums) {
+      index.enums.emplace(name, head);
+    }
+  }
+  return index;
+}
+
+void FinishIndex(ProjectIndex& index, const std::vector<BodySummary>& bodies) {
+  // may_append: transitive "calls something that appends a summary /
+  // commit record". Seed with the annotated appenders, iterate to a
+  // fixpoint. Unresolved calls fall back to matching any appender's
+  // base name (generously: the fallback can only mark more functions
+  // as appending, which weakens crash-order findings, never invents
+  // one).
+  index.may_append = index.annotated_appenders;
+  // may_acquire: direct lock keys per function, then closure over
+  // *resolved* calls only (an unresolved call contributing nothing is
+  // an under-approximation, documented in STATIC_ANALYSIS.md).
+  for (const BodySummary& body : bodies) {
+    for (const BodyEvent& e : body.events) {
+      if (e.kind == BodyEvent::Kind::kAcquire && !e.lock_key.empty()) {
+        index.may_acquire[body.fn->qname].insert(e.lock_key);
+      }
+    }
+  }
+  bool changed = true;
+  std::size_t rounds = 0;
+  while (changed && ++rounds < 64) {
+    changed = false;
+    std::set<std::string> appender_bases;
+    for (const std::string& q : index.may_append) {
+      const std::size_t sep = q.rfind("::");
+      appender_bases.insert(sep == std::string::npos ? q : q.substr(sep + 2));
+    }
+    for (const BodySummary& body : bodies) {
+      const std::string& self = body.fn->qname;
+      for (const BodyEvent& e : body.events) {
+        if (e.kind != BodyEvent::Kind::kCall) continue;
+        const bool target_appends =
+            (!e.callee_qname.empty() &&
+             index.may_append.count(e.callee_qname) > 0) ||
+            (e.callee_qname.empty() &&
+             appender_bases.count(e.callee_base) > 0);
+        if (target_appends && index.may_append.insert(self).second) {
+          changed = true;
+        }
+        if (!e.callee_qname.empty()) {
+          const auto it = index.may_acquire.find(e.callee_qname);
+          if (it != index.may_acquire.end()) {
+            auto& mine = index.may_acquire[self];
+            for (const std::string& key : it->second) {
+              if (mine.insert(key).second) changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace aru::arulint

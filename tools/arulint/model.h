@@ -1,0 +1,161 @@
+// Per-file syntactic model and project-wide index for arulint v2.
+//
+// The model is a C++-subset parse: enough structure to know, for every
+// file, which functions exist (qualified name, parameters, annotation
+// macros, body token range, whether the return type is Status/Result),
+// which class members exist and what their declared types are, which
+// structs with which fields appear at namespace scope, and which
+// `using` aliases / fixed-underlying-type enums are in scope. It is
+// deliberately NOT a compiler front-end: templates, overload sets and
+// macros are approximated, and every approximation is chosen so that
+// imprecision produces *missed* findings, never false ones (see
+// docs/STATIC_ANALYSIS.md for the catalogue of approximations).
+//
+// A ProjectIndex merges the models of every file in one lint
+// invocation, so rules that need cross-file knowledge (annotation on a
+// declaration in a header, the lock graph spanning src/) see the whole
+// picture.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/arulint/lexer.h"
+
+namespace aru::arulint {
+
+struct Param {
+  std::string name;
+  std::string type_head;  // last type identifier, smart pointers unwrapped
+  bool is_ref = false;
+  bool is_const = false;
+};
+
+struct FunctionInfo {
+  std::size_t file = 0;  // index into the model list owning this entry
+  std::size_t line = 0;  // line of the function name
+  std::string cls;       // enclosing / qualifying class ("" for free)
+  std::string base;      // unqualified name
+  std::string qname;     // "Cls::base" or "base"
+  bool returns_status = false;  // Status / Result<...> / StatusOr<...>
+  bool is_ctor = false;
+  bool mutates_tables = false;   // ARU_MUTATES_TABLES on this decl/def
+  bool appends_summary = false;  // ARU_APPENDS_SUMMARY on this decl/def
+  bool has_body = false;
+  std::size_t body_begin = 0;  // token index of the body "{"
+  std::size_t body_end = 0;    // token index of the matching "}"
+  std::vector<Param> params;
+};
+
+struct FieldInfo {
+  std::size_t line = 0;
+  std::string name;
+  std::string type_head;
+  bool is_pointer = false;
+  bool is_reference = false;
+  std::size_t array_len = 1;  // [N] multiplier; 1 when not an array
+};
+
+struct StructInfo {
+  std::size_t line = 0;  // line of the `struct` keyword
+  std::string name;
+  bool namespace_scope = false;  // not nested inside another class
+  bool fields_parsed = true;     // false when a member defeated the parser
+  std::vector<FieldInfo> fields;
+};
+
+struct FileModel {
+  std::string path;
+  std::vector<std::string> raw;   // raw source lines (comments intact)
+  std::vector<std::string> code;  // stripped source lines
+  std::vector<Token> tokens;      // lexed from the stripped source
+  std::vector<FunctionInfo> functions;  // declarations and definitions
+  std::vector<StructInfo> structs;      // `struct` keyword only
+  // class name -> member name -> declared type head.
+  std::map<std::string, std::map<std::string, std::string>> members;
+  std::map<std::string, std::string> aliases;  // using X = <head>;
+  std::map<std::string, std::string> enums;    // enum X : <head> ("" if none)
+};
+
+// Parses one file. `content` is the raw source.
+FileModel BuildFileModel(const std::string& path, std::string_view content);
+
+struct ProjectIndex {
+  const std::vector<FileModel>* models = nullptr;
+  // qname -> every FunctionInfo (decl or def) carrying that name.
+  std::map<std::string, std::vector<const FunctionInfo*>> by_qname;
+  // base name -> count of status / non-status entries (for resolving
+  // calls whose receiver type is unknown).
+  std::map<std::string, std::pair<std::size_t, std::size_t>> base_status;
+  // class -> member -> type head, merged across files.
+  std::map<std::string, std::map<std::string, std::string>> members;
+  std::map<std::string, std::string> aliases;
+  std::map<std::string, std::string> enums;
+  // qnames whose decl or def carries the annotation.
+  std::set<std::string> annotated_appenders;
+  std::set<std::string> annotated_mutators;
+  // Transitive closure: qnames that (may) reach an annotated appender.
+  std::set<std::string> may_append;
+  // qname -> transitive set of lock keys the function may acquire.
+  std::map<std::string, std::set<std::string>> may_acquire;
+
+  bool ReturnsStatus(const std::string& qname) const;
+  // Declared type of Class::member, "" when unknown.
+  std::string MemberType(const std::string& cls,
+                         const std::string& member) const;
+  bool IsTableType(const std::string& type_head) const {
+    return type_head == "BlockMap" || type_head == "ListTable";
+  }
+};
+
+// Everything a body scan learns that rules need. Events keep the
+// body's linear statement order, which is the dominance approximation:
+// "append A dominates mutation M" is modelled as "A's event precedes
+// M's event in the same body".
+struct BodyEvent {
+  enum class Kind {
+    kCall,      // any call expression
+    kMutation,  // table mutator method / assignment on a real table
+    kAcquire,   // MutexLock construction
+  };
+  Kind kind = Kind::kCall;
+  std::size_t line = 0;
+  // kCall: resolution of the callee.
+  std::string callee_qname;  // "" when unresolved
+  std::string callee_base;
+  bool stmt_bare = false;       // entire statement is this call
+  bool real_table_arg = false;  // an argument names a real table
+  bool implicit_this = false;   // bare call on the enclosing class
+  std::set<std::string> held_locks;  // lock keys held at this point
+  // kMutation: what was mutated.
+  std::string table_expr;
+  // kAcquire: the lock key.
+  std::string lock_key;
+};
+
+struct StatusLocal {
+  std::size_t line = 0;
+  std::string name;
+  bool used_later = false;
+};
+
+struct BodySummary {
+  const FunctionInfo* fn = nullptr;
+  std::vector<BodyEvent> events;
+  std::vector<StatusLocal> status_locals;
+};
+
+// Scans one function body (model.tokens[fn.body_begin..body_end]).
+BodySummary AnalyzeBody(const FileModel& model, const FunctionInfo& fn,
+                        const ProjectIndex& index);
+
+// Builds the merged index (without closures); FinishIndex computes the
+// may_append / may_acquire closures from the body summaries.
+ProjectIndex BuildIndex(const std::vector<FileModel>& models);
+void FinishIndex(ProjectIndex& index, const std::vector<BodySummary>& bodies);
+
+}  // namespace aru::arulint

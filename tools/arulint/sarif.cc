@@ -1,0 +1,147 @@
+// SARIF 2.1.0 output: one run, one reportingDescriptor per distinct
+// rule id, one result per finding. Consumed by GitHub code scanning
+// (codeql-action/upload-sarif) and archived as a CI artifact.
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "tools/arulint/arulint.h"
+
+namespace aru::arulint {
+namespace {
+
+// Minimal JSON string escape (control chars, quote, backslash).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string_view RuleDescription(std::string_view rule) {
+  if (rule == "crash-order") {
+    return "Table mutations must be preceded by a summary/commit-record "
+           "append (the ARU write-ordering protocol).";
+  }
+  if (rule == "lock-order") {
+    return "The mutex acquisition graph must be acyclic.";
+  }
+  if (rule == "status-flow") {
+    return "Status-returning calls must be returned, checked, or "
+           "(void)-discarded with a justification.";
+  }
+  if (rule == "on-disk-pin") {
+    return "On-disk structs must be pinned with trivially-copyable and "
+           "sizeof static_asserts.";
+  }
+  if (rule == "on-disk-field") {
+    return "Fields of pinned on-disk structs must be fixed-width with no "
+           "implicit padding.";
+  }
+  if (rule == "banned-call") {
+    return "rand()/time(nullptr) are banned; runs must be reproducible.";
+  }
+  if (rule == "raw-new") {
+    return "Raw new is banned outside smart-pointer construction.";
+  }
+  if (rule == "recovery-assert") {
+    return "Recovery paths must surface corruption as Status, not "
+           "assert().";
+  }
+  if (rule == "io-error") {
+    return "A file handed to the linter could not be read.";
+  }
+  return "arulint finding.";
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<Finding>& findings) {
+  std::set<std::string> rule_ids;
+  for (const Finding& f : findings) rule_ids.insert(f.rule);
+  std::map<std::string, std::size_t> rule_index;
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"arulint\",\n"
+     << "          \"informationUri\": "
+        "\"docs/STATIC_ANALYSIS.md\",\n"
+     << "          \"version\": \"2.0.0\",\n"
+     << "          \"rules\": [";
+  bool first = true;
+  for (const std::string& rule : rule_ids) {
+    rule_index.emplace(rule, rule_index.size());
+    os << (first ? "\n" : ",\n")
+       << "            {\n"
+       << "              \"id\": \"" << JsonEscape(rule) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << JsonEscape(RuleDescription(rule)) << "\" }\n"
+       << "            }";
+    first = false;
+  }
+  os << "\n          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    os << (first ? "\n" : ",\n")
+       << "        {\n"
+       << "          \"ruleId\": \"" << JsonEscape(f.rule) << "\",\n"
+       << "          \"ruleIndex\": " << rule_index[f.rule] << ",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \"" << JsonEscape(f.message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << JsonEscape(f.file) << "\" },\n"
+       << "                \"region\": { \"startLine\": "
+       << (f.line == 0 ? 1 : f.line) << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }";
+    first = false;
+  }
+  os << "\n      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace aru::arulint

@@ -1,0 +1,39 @@
+# Runs arulint --sarif over the seeded-violation fixtures and checks
+# the report: the run must find violations (exit 1), the output must be
+# valid JSON (python3, when available), and every rule family seeded in
+# the fixtures must appear.
+#
+# Inputs: -DARULINT=<path> -DFIXTURES=<dir> -DOUT=<file>
+execute_process(
+  COMMAND ${ARULINT} --root ${FIXTURES}/bad --sarif ${OUT}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "arulint over seeded fixtures exited ${rc}, want 1")
+endif()
+if(NOT EXISTS ${OUT})
+  message(FATAL_ERROR "arulint did not write ${OUT}")
+endif()
+
+file(READ ${OUT} sarif)
+foreach(needle
+        "\"version\": \"2.1.0\""
+        "\"name\": \"arulint\""
+        "crash-order" "lock-order" "status-flow" "on-disk-pin"
+        "on-disk-field" "banned-call" "raw-new" "recovery-assert")
+  string(FIND "${sarif}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "SARIF report is missing '${needle}'")
+  endif()
+endforeach()
+
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  execute_process(
+    COMMAND ${PYTHON3} -m json.tool ${OUT}
+    RESULT_VARIABLE json_rc
+    OUTPUT_QUIET ERROR_VARIABLE json_err)
+  if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR "SARIF report is not valid JSON: ${json_err}")
+  endif()
+endif()
