@@ -128,10 +128,7 @@ int Main(int argc, char** argv) {
   artifact.AddScalar("repeats", static_cast<double>(repeats));
   artifact.AddString("modeled_disk", model ? "true" : "false");
   for (const Row& row : rows) {
-    std::string key = row.config;
-    for (char& c : key) {
-      if (c == ',' || c == ' ') c = '_';
-    }
+    const std::string key = row.config;  // AddScalar sanitizes
     artifact.AddScalar(key + "_cw_1k_files_s", row.cw_1k);
     artifact.AddScalar(key + "_r_1k_files_s", row.r_1k);
     artifact.AddScalar(key + "_d_1k_files_s", row.d_1k);

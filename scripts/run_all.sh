@@ -47,8 +47,13 @@ for bench in build/bench/*; do
   case "$bench" in
     *CMake*|*cmake*|*CTest*) continue ;;
   esac
+  # Pinned arguments so CI artifacts are comparable across runs.
+  args=()
+  case "$(basename "$bench")" in
+    bench_commit_batch) args=(--streams=4 --arus=300) ;;
+  esac
   { echo "===== $(basename "$bench") ====="; } | tee -a bench_output.txt
-  if ! "$bench" 2>&1 | tee -a bench_output.txt; then
+  if ! "$bench" "${args[@]}" 2>&1 | tee -a bench_output.txt; then
     echo "BENCH FAILED: $bench" | tee -a bench_output.txt
     failures=$((failures + 1))
   fi

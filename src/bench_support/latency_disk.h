@@ -1,0 +1,55 @@
+// Wall-clock write-latency decorator for benchmarks: every Write
+// sleeps a fixed duration before reaching the inner (RAM-backed)
+// device, modeling a storage device whose writes take real time
+// without consuming CPU — the regime where moving the segment write
+// off-thread (write-behind) and sharing it across committers (group
+// commit) pays off. Unlike ModeledDisk this costs *wall* time, so
+// multi-threaded throughput benchmarks feel it; the latency is
+// settable after setup so Format/Mkfs are not padded.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "blockdev/block_device.h"
+
+namespace aru::bench {
+
+class LatencyDisk final : public BlockDevice {
+ public:
+  explicit LatencyDisk(std::unique_ptr<BlockDevice> inner)
+      : inner_(std::move(inner)) {}
+
+  std::uint32_t sector_size() const override { return inner_->sector_size(); }
+  std::uint64_t sector_count() const override {
+    return inner_->sector_count();
+  }
+
+  Status Read(std::uint64_t first_sector, MutableByteSpan out) override {
+    return inner_->Read(first_sector, out);
+  }
+
+  Status Write(std::uint64_t first_sector, ByteSpan data) override {
+    const std::uint64_t us = write_latency_us_.load(std::memory_order_relaxed);
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return inner_->Write(first_sector, data);
+  }
+
+  Status Sync() override { return inner_->Sync(); }
+
+  DeviceStats stats() const override { return inner_->stats(); }
+
+  void set_write_latency_us(std::uint64_t us) {
+    write_latency_us_.store(us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<BlockDevice> inner_;
+  std::atomic<std::uint64_t> write_latency_us_{0};
+};
+
+}  // namespace aru::bench

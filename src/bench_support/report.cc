@@ -93,6 +93,24 @@ bool FlagBool(int argc, char** argv, const std::string& key, bool fallback) {
   return fallback;
 }
 
+std::string SanitizeKey(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  bool pending_sep = false;
+  for (const char c : raw) {
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9');
+    if (alnum) {
+      if (pending_sep && !out.empty()) out += '_';
+      pending_sep = false;
+      out += c;
+    } else {
+      pending_sep = true;  // collapse the run; trim at the edges
+    }
+  }
+  return out;
+}
+
 namespace {
 
 std::string JsonEscape(const std::string& s) {
@@ -114,12 +132,12 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 void BenchArtifact::AddScalar(const std::string& key, double value) {
-  scalars_.emplace_back(key, value);
+  scalars_.emplace_back(SanitizeKey(key), value);
 }
 
 void BenchArtifact::AddString(const std::string& key,
                               const std::string& value) {
-  strings_.emplace_back(key, value);
+  strings_.emplace_back(SanitizeKey(key), value);
 }
 
 std::string BenchArtifact::ToJson() const {

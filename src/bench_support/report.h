@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -47,6 +48,12 @@ class Table {
 };
 
 std::string FormatDouble(double value, int precision = 1);
+
+// Canonical scalar-key form: runs of non-alphanumeric characters
+// collapse to a single '_', trimmed at both ends ("new, delete" →
+// "new_delete"). Applied to every BenchArtifact key so comparison
+// scripts see stable identifiers regardless of display labels.
+std::string SanitizeKey(std::string_view raw);
 
 // Parses "--key=value" style flags; returns fallback when absent.
 std::uint64_t FlagU64(int argc, char** argv, const std::string& key,

@@ -40,6 +40,10 @@ Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
     rig->device = std::make_unique<ModeledDisk>(
         std::move(mem), DiskModelParams::HpC3010(), &rig->clock,
         &rig->registry);
+  } else if (options.device_write_latency_us > 0) {
+    auto latency = std::make_unique<LatencyDisk>(std::move(mem));
+    rig->latency_disk = latency.get();  // latency enabled after setup
+    rig->device = std::move(latency);
   } else {
     rig->device = std::move(mem);
   }
@@ -49,6 +53,8 @@ Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
   lld_options.segment_size = options.segment_size;
   lld_options.aru_mode = config.aru_mode;
   lld_options.capacity_blocks = options.capacity_blocks;
+  lld_options.write_behind_segments = options.write_behind_segments;
+  lld_options.durable_commits = options.durable_commits;
   lld_options.registry = &rig->registry;
   ARU_RETURN_IF_ERROR(lld::Lld::Format(*rig->device, lld_options));
   ARU_ASSIGN_OR_RETURN(rig->disk, lld::Lld::Open(*rig->device, lld_options));
@@ -56,8 +62,12 @@ Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
   ARU_RETURN_IF_ERROR(minixfs::MinixFs::Mkfs(*rig->disk));
   ARU_ASSIGN_OR_RETURN(rig->fs,
                        minixfs::MinixFs::Mount(*rig->disk, config.policy));
-  // Start the clock after setup so phases measure only workload I/O.
+  // Start the clock (and any write latency) after setup so phases
+  // measure only workload I/O.
   rig->clock.Reset();
+  if (rig->latency_disk != nullptr) {
+    rig->latency_disk->set_write_latency_us(options.device_write_latency_us);
+  }
   return rig;
 }
 

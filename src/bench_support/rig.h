@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_support/latency_disk.h"
 #include "blockdev/disk_model.h"
 #include "blockdev/mem_disk.h"
 #include "lld/lld.h"
@@ -46,7 +47,8 @@ struct Rig {
   // first so it outlives everything that records into it.
   obs::Registry registry;
   VirtualClock clock;                     // advanced by the disk model
-  std::unique_ptr<BlockDevice> device;    // MemDisk, optionally modeled
+  std::unique_ptr<BlockDevice> device;    // MemDisk, optionally decorated
+  LatencyDisk* latency_disk = nullptr;    // set when write latency requested
   std::unique_ptr<lld::Lld> disk;
   std::unique_ptr<minixfs::MinixFs> fs;
 
@@ -58,6 +60,13 @@ struct RigOptions {
   std::uint64_t capacity_blocks = 100000;  // paper: 100,000 4 KB blocks
   std::uint32_t segment_size = 512 * 1024;
   bool model_disk_time = false;  // wrap the device in the HP C3010 model
+  // Write-behind pipeline knobs (lld::Options passthrough): in-flight
+  // segment pool depth (0 = synchronous seal) and group-commit EndARU.
+  std::uint32_t write_behind_segments = 0;
+  bool durable_commits = false;
+  // Wall-clock sleep per device write (LatencyDisk), enabled after
+  // setup so Format/Mkfs run at memory speed. 0 = no decorator.
+  std::uint64_t device_write_latency_us = 0;
 };
 
 // Builds a formatted LLD + mounted MinixFS per the config.

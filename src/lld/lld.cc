@@ -32,8 +32,9 @@ Lld::Lld(BlockDevice& device, const Options& options, const Geometry& geometry)
       registry_(options.registry != nullptr ? *options.registry
                                             : *owned_registry_),
       metrics_(registry_),
+      pipeline_(device, geometry_, metrics_, options.write_behind_segments),
       slots_(geometry.slot_count),
-      writer_(device, geometry_, slots_, metrics_),
+      writer_(geometry_, slots_, pipeline_, metrics_),
       read_cache_(options.read_cache_blocks, geometry.block_size) {}
 
 Lld::~Lld() = default;
@@ -666,6 +667,12 @@ Status Lld::Read(BlockId block, MutableByteSpan out, AruId aru) {
     writer_.ReadOpenBlock(meta.phys, out);
     return Status::Ok();
   }
+  // Sealed but not yet durable: serve from the pinned in-flight buffer
+  // (the write-behind extension of the open-segment path above).
+  if (pipeline_.ReadBuffered(meta.phys, out)) {
+    metrics_.reads_from_inflight_segment->Increment();
+    return Status::Ok();
+  }
   if (read_cache_.Lookup(meta.phys, out)) return Status::Ok();
   const std::uint64_t sector =
       geometry_.slot_first_sector(meta.phys.slot()) +
@@ -693,6 +700,7 @@ Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
   struct Target {
     PhysAddr phys;  // invalid ⇒ zero-fill
     bool from_open_segment = false;
+    bool maybe_in_flight = false;  // sealed segment still behind the device
   };
   std::vector<Target> targets(blocks.size());
   for (std::size_t i = 0; i < blocks.size(); ++i) {
@@ -700,6 +708,9 @@ Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
     if (!meta.allocated) return BlockNotFound(blocks[i]);
     targets[i].phys = meta.phys;
     targets[i].from_open_segment = writer_.InOpenSegment(meta.phys);
+    targets[i].maybe_in_flight = !targets[i].from_open_segment &&
+                                 meta.phys.valid() &&
+                                 pipeline_.InFlightSlot(meta.phys.slot());
     metrics_.blocks_read->Increment();
   }
 
@@ -719,15 +730,26 @@ Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
       ++i;
       continue;
     }
+    if (target.maybe_in_flight && pipeline_.ReadBuffered(target.phys, slice)) {
+      metrics_.reads_from_inflight_segment->Increment();
+      ++i;
+      continue;
+    }
     if (read_cache_.Lookup(target.phys, slice)) {
       ++i;
       continue;
     }
-    // Extend the run while blocks are physically consecutive.
+    // Extend the run while blocks are physically consecutive. Runs stop
+    // at possibly-in-flight targets: their segment may not be on the
+    // device yet, so each is served individually above (or, if its
+    // write completed meanwhile, by a single-block device read).
     std::size_t run = 1;
     while (i + run < targets.size()) {
       const Target& next = targets[i + run];
-      if (next.from_open_segment || !next.phys.valid()) break;
+      if (next.from_open_segment || next.maybe_in_flight ||
+          !next.phys.valid()) {
+        break;
+      }
       if (next.phys.slot() != target.phys.slot() ||
           next.phys.index() != target.phys.index() + run) {
         break;
@@ -768,16 +790,48 @@ Result<AruId> Lld::BeginARU() {
 }
 
 Status Lld::EndARU(AruId aru) {
+  const std::uint64_t commit_start_us = obs::NowUs();
+  std::uint64_t begin_us = 0;
+  Lsn durable_target = kNoLsn;
+  Status status;
+  {
+    const MutexLock lock(mu_);
+    ARU_ASSIGN_OR_RETURN(AruState * state, FindAru(aru));
+    begin_us = state->begin_us;
+    status = options_.aru_mode == AruMode::kConcurrent
+                 ? EndAruConcurrentLocked(*state)
+                 : EndAruSequentialLocked(*state);
+    active_arus_.erase(aru);
+    metrics_.active_arus->Set(static_cast<std::int64_t>(active_arus_.size()));
+    if (status.ok() && options_.durable_commits) {
+      durable_target = writer_.last_appended_lsn();
+    }
+  }
+  if (status.ok() && durable_target != kNoLsn) {
+    // Group commit, leader/follower: the commit record was appended
+    // above; the seal is deferred until the pipeline is idle. While a
+    // segment write is in flight every committer blocks in WaitDurable
+    // (which also wakes when the queue drains), and their commit
+    // records accumulate in the open segment; when the write completes,
+    // whichever uncovered committer wakes first becomes the leader and
+    // seals once, covering the whole batch with one device write.
+    while (true) {
+      const Status waited = pipeline_.WaitDurable(durable_target);
+      if (!waited.ok()) {
+        status = waited;
+        break;
+      }
+      if (pipeline_.durable_lsn() >= durable_target) break;
+      const MutexLock lock(mu_);
+      if (writer_.enqueued_lsn() < durable_target) {
+        status = writer_.SealIfOpen();
+        if (!status.ok()) break;
+      }
+    }
+  }
+  metrics_.commit_us->Record(obs::NowUs() - commit_start_us);
+
   const MutexLock lock(mu_);
-  ARU_ASSIGN_OR_RETURN(AruState * state, FindAru(aru));
-  const std::uint64_t begin_us = state->begin_us;
-  obs::SpanTimer commit_span(nullptr, "lld", "end_aru", metrics_.commit_us);
-  const Status status = options_.aru_mode == AruMode::kConcurrent
-                            ? EndAruConcurrentLocked(*state)
-                            : EndAruSequentialLocked(*state);
-  commit_span.Finish();
-  active_arus_.erase(aru);
-  metrics_.active_arus->Set(static_cast<std::int64_t>(active_arus_.size()));
   if (status.ok()) {
     metrics_.arus_committed->Increment();
     const std::uint64_t lifetime = obs::NowUs() - begin_us;
@@ -975,9 +1029,19 @@ Status Lld::AbortARU(AruId aru) {
 }
 
 Status Lld::Flush() {
-  const MutexLock lock(mu_);
-  ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
+  // Seal under the lock, then wait for the durable horizon with the
+  // lock released: concurrent streams keep appending into the next
+  // segment while this caller's segments drain through the flusher
+  // (and any number of Flush callers ride the same device writes).
+  Lsn target = kNoLsn;
+  {
+    const MutexLock lock(mu_);
+    ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
+    target = writer_.enqueued_lsn();
+  }
+  ARU_RETURN_IF_ERROR(pipeline_.WaitDurable(target));
   ARU_RETURN_IF_ERROR(device_.Sync());
+  const MutexLock lock(mu_);
   MaybePromoteLocked();
   metrics_.flushes->Increment();
   return ParanoidCheck();
@@ -1007,6 +1071,7 @@ Status Lld::Close() {
   }
   const MutexLock lock(mu_);
   ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
+  ARU_RETURN_IF_ERROR(pipeline_.Drain());
   ARU_RETURN_IF_ERROR(device_.Sync());
   MaybePromoteLocked();
   return TakeCheckpointLocked();
@@ -1071,6 +1136,10 @@ Status Lld::RelocateShadowSourcesLocked() {
 Status Lld::TakeCheckpointLocked() {
   ARU_RETURN_IF_ERROR(RelocateShadowSourcesLocked());
   ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
+  // Drain barrier: checkpoint coverage walks kWritten slots, and a
+  // covered slot may be released for reuse — both require the segments
+  // to actually be on the device, not queued behind the flusher.
+  ARU_RETURN_IF_ERROR(pipeline_.Drain());
   MaybePromoteLocked();
 
   // A checkpoint may cover a segment only if no live in-memory record

@@ -41,6 +41,7 @@
 #include "lld/checkpoint.h"
 #include "lld/layout.h"
 #include "lld/lld_metrics.h"
+#include "lld/segment_pipeline.h"
 #include "lld/segment_writer.h"
 #include "lld/slot_table.h"
 #include "lld/tables.h"
@@ -264,6 +265,14 @@ class Lld final : public ld::Disk {
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry& registry_;
   LldMetrics metrics_;
+
+  // Internally synchronized (flush_mu_), so deliberately not guarded by
+  // mu_: durability waits run with mu_ released so concurrent streams
+  // keep operating while a committer blocks on the horizon. Declared
+  // before writer_ (which holds a reference) so it is destroyed after —
+  // the flusher thread drains and joins in ~SegmentPipeline. The lock
+  // order is strictly mu_ → flush_mu_; the flusher takes only flush_mu_.
+  SegmentPipeline pipeline_;
 
   mutable Mutex mu_;
 

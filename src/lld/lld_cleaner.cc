@@ -47,6 +47,10 @@ Status Lld::RunCleanerLocked() {
   metrics_.cleaner_passes->Increment();
   obs::SpanTimer pass_span(&obs::Tracer::Default(), "lld", "cleaner_pass",
                            metrics_.cleaner_pass_us);
+  // Drain barrier: victim segments are read back from the device below,
+  // so every sealed segment must actually be there first (a kWritten
+  // slot may still be queued behind the write-behind flusher).
+  ARU_RETURN_IF_ERROR(pipeline_.Drain());
   const std::uint64_t copied_before =
       metrics_.blocks_copied_by_cleaner->value();
 

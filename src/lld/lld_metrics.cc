@@ -19,6 +19,9 @@ LldMetrics::LldMetrics(obs::Registry& registry) {
   reads_from_open_segment =
       counter("aru_lld_reads_from_open_segment_total",
               "reads served from the in-memory open segment");
+  reads_from_inflight_segment =
+      counter("aru_lld_reads_from_inflight_segment_total",
+              "reads served from sealed segments still in flight");
   arus_begun = counter("aru_lld_arus_begun_total", "BeginARU calls");
   arus_committed = counter("aru_lld_arus_committed_total", "committed ARUs");
   arus_aborted = counter("aru_lld_arus_aborted_total", "aborted ARUs");
@@ -49,6 +52,12 @@ LldMetrics::LldMetrics(obs::Registry& registry) {
       "aru_lld_promotion_lag_lsn",
       "LSNs between the operation stream and the persisted horizon");
   active_arus = registry.GetGauge("aru_lld_active_arus", "open ARUs");
+  inflight_segments =
+      registry.GetGauge("aru_lld_inflight_segments",
+                        "sealed segments queued behind the device write");
+  durable_lag_lsn = registry.GetGauge(
+      "aru_lld_durable_lag_lsn",
+      "LSNs between the last enqueued segment and the durable horizon");
 
   op_write_us = registry.GetHistogram("aru_lld_op_write_us",
                                       "Write() latency, wall microseconds");
@@ -62,6 +71,15 @@ LldMetrics::LldMetrics(obs::Registry& registry) {
                             "BeginARU to EndARU/AbortARU, wall microseconds");
   seal_us = registry.GetHistogram(
       "aru_lld_seal_us", "segment seal incl. device write, wall microseconds");
+  seal_handoff_us = registry.GetHistogram(
+      "aru_lld_seal_handoff_us",
+      "async seal hand-off to the flusher (incl. backpressure waits)");
+  device_write_us =
+      registry.GetHistogram("aru_lld_device_write_us",
+                            "segment device write alone, wall microseconds");
+  flush_wait_us = registry.GetHistogram(
+      "aru_lld_flush_wait_us",
+      "waits for the durable-LSN horizon (Flush / durable EndARU)");
   segment_fill_percent = registry.GetHistogram(
       "aru_lld_segment_fill_percent", "payload fill ratio of sealed segments");
   cleaner_pass_us = registry.GetHistogram("aru_lld_cleaner_pass_us",

@@ -24,6 +24,7 @@ struct LldMetrics {
   obs::Counter* blocks_written;
   obs::Counter* blocks_read;
   obs::Counter* reads_from_open_segment;
+  obs::Counter* reads_from_inflight_segment;
   obs::Counter* arus_begun;
   obs::Counter* arus_committed;
   obs::Counter* arus_aborted;
@@ -41,6 +42,8 @@ struct LldMetrics {
   obs::Gauge* promotion_fifo_depth;
   obs::Gauge* promotion_lag_lsn;     // next LSN - persisted LSN horizon
   obs::Gauge* active_arus;
+  obs::Gauge* inflight_segments;     // sealed segments queued behind device
+  obs::Gauge* durable_lag_lsn;       // enqueued LSN - durable LSN horizon
 
   // Latency/size distributions (wall-clock microseconds unless noted).
   obs::Histogram* op_write_us;
@@ -48,6 +51,9 @@ struct LldMetrics {
   obs::Histogram* commit_us;         // EndARU: replay + commit record
   obs::Histogram* aru_lifetime_us;   // BeginARU → EndARU/AbortARU
   obs::Histogram* seal_us;           // segment seal incl. device write
+  obs::Histogram* seal_handoff_us;   // async seal: hand-off to the flusher
+  obs::Histogram* device_write_us;   // segment device write alone
+  obs::Histogram* flush_wait_us;     // durability waits on the horizon
   obs::Histogram* segment_fill_percent;
   obs::Histogram* cleaner_pass_us;
   obs::Histogram* cleaner_copied_blocks;  // per pass

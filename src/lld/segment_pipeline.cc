@@ -1,0 +1,192 @@
+#include "lld/segment_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace aru::lld {
+
+SegmentPipeline::SegmentPipeline(BlockDevice& device, const Geometry& geometry,
+                                 LldMetrics& metrics,
+                                 std::uint32_t max_in_flight)
+    : device_(device),
+      geometry_(geometry),
+      metrics_(metrics),
+      max_in_flight_(max_in_flight) {
+  if (max_in_flight_ > 0) {
+    flusher_ = std::thread([this] { FlusherMain(); });
+  }
+}
+
+SegmentPipeline::~SegmentPipeline() {
+  if (!flusher_.joinable()) return;
+  {
+    const MutexLock lock(flush_mu_);
+    shutdown_ = true;
+  }
+  work_cv_.NotifyOne();
+  flusher_.join();
+}
+
+void SegmentPipeline::UpdateGaugesLocked() {
+  metrics_.inflight_segments->Set(static_cast<std::int64_t>(queue_.size()));
+  metrics_.durable_lag_lsn->Set(
+      static_cast<std::int64_t>(enqueued_lsn_ - durable_lsn_));
+}
+
+Status SegmentPipeline::Enqueue(std::uint64_t first_sector, Lsn last_lsn,
+                                std::uint32_t slot, std::uint32_t data_blocks,
+                                Bytes& buffer) {
+  if (max_in_flight_ == 0) {
+    // Synchronous mode: the caller's thread is the flusher.
+    const std::uint64_t start = obs::NowUs();
+    const Status written = device_.Write(first_sector, buffer);
+    metrics_.device_write_us->Record(obs::NowUs() - start);
+    ARU_RETURN_IF_ERROR(written);
+    const MutexLock lock(flush_mu_);
+    if (last_lsn != kNoLsn) {
+      enqueued_lsn_ = std::max(enqueued_lsn_, last_lsn);
+      durable_lsn_ = std::max(durable_lsn_, last_lsn);
+    }
+    UpdateGaugesLocked();
+    return Status::Ok();
+  }
+
+  const std::uint64_t start = obs::NowUs();
+  InFlight job;
+  job.first_sector = first_sector;
+  job.last_lsn = last_lsn;
+  job.slot = slot;
+  job.data_blocks = data_blocks;
+  {
+    const MutexLock lock(flush_mu_);
+    // Backpressure: the pool is bounded so a stalled device cannot
+    // accumulate unbounded dirty segments.
+    space_cv_.Wait(flush_mu_, [this] {
+      flush_mu_.AssertHeld();
+      return queue_.size() < max_in_flight_ || !error_.ok() || shutdown_;
+    });
+    if (!error_.ok()) return error_;
+    if (shutdown_) return UnavailableError("segment pipeline shut down");
+    job.buffer = std::move(buffer);
+    queue_.push_back(std::move(job));
+    if (last_lsn != kNoLsn) enqueued_lsn_ = std::max(enqueued_lsn_, last_lsn);
+    UpdateGaugesLocked();
+    // Replace the caller's buffer so the next segment can fill while
+    // this one is in flight.
+    if (!spare_buffers_.empty()) {
+      buffer = std::move(spare_buffers_.back());
+      spare_buffers_.pop_back();
+    } else {
+      buffer.resize(geometry_.segment_size);
+    }
+  }
+  work_cv_.NotifyOne();
+  metrics_.seal_handoff_us->Record(obs::NowUs() - start);
+  return Status::Ok();
+}
+
+Lsn SegmentPipeline::durable_lsn() const {
+  const MutexLock lock(flush_mu_);
+  return durable_lsn_;
+}
+
+Status SegmentPipeline::WaitDurable(Lsn target) {
+  if (target == kNoLsn) return Status::Ok();
+  const std::uint64_t start = obs::NowUs();
+  const MutexLock lock(flush_mu_);
+  durable_cv_.Wait(flush_mu_, [this, target] {
+    flush_mu_.AssertHeld();
+    return durable_lsn_ >= target || !error_.ok() || queue_.empty();
+  });
+  metrics_.flush_wait_us->Record(obs::NowUs() - start);
+  if (durable_lsn_ >= target) return Status::Ok();
+  return error_;
+}
+
+Status SegmentPipeline::Drain() {
+  const MutexLock lock(flush_mu_);
+  durable_cv_.Wait(flush_mu_, [this] {
+    flush_mu_.AssertHeld();
+    return queue_.empty();
+  });
+  return error_;
+}
+
+bool SegmentPipeline::ReadBuffered(PhysAddr phys, MutableByteSpan out) const {
+  if (max_in_flight_ == 0 || !phys.valid()) return false;
+  const MutexLock lock(flush_mu_);
+  for (const InFlight& job : queue_) {
+    if (job.slot != phys.slot()) continue;
+    if (phys.index() >= job.data_blocks) return false;
+    const std::size_t offset =
+        static_cast<std::size_t>(phys.index()) * geometry_.block_size;
+    assert(offset + out.size() <= job.buffer.size());
+    std::memcpy(out.data(), job.buffer.data() + offset, out.size());
+    return true;
+  }
+  return false;
+}
+
+bool SegmentPipeline::InFlightSlot(std::uint32_t slot) const {
+  if (max_in_flight_ == 0) return false;
+  const MutexLock lock(flush_mu_);
+  for (const InFlight& job : queue_) {
+    if (job.slot == slot) return true;
+  }
+  return false;
+}
+
+void SegmentPipeline::Restore(Lsn durable_lsn) {
+  const MutexLock lock(flush_mu_);
+  assert(queue_.empty());
+  durable_lsn_ = durable_lsn;
+  enqueued_lsn_ = durable_lsn;
+  UpdateGaugesLocked();
+}
+
+void SegmentPipeline::FlusherMain() {
+  for (;;) {
+    const InFlight* job = nullptr;
+    bool skip = false;
+    {
+      const MutexLock lock(flush_mu_);
+      work_cv_.Wait(flush_mu_, [this] {
+        flush_mu_.AssertHeld();
+        return shutdown_ || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // shutdown with nothing pending
+      job = &queue_.front();
+      skip = !error_.ok();  // after a write failure: discard, don't write
+    }
+
+    // The device write runs without the lock. `job` stays valid — only
+    // this thread pops, and deque push_back does not invalidate
+    // references — and the buffer bytes are immutable after Enqueue
+    // (concurrent ReadBuffered calls are read-read).
+    Status written = Status::Ok();
+    if (!skip) {
+      const std::uint64_t start = obs::NowUs();
+      written = device_.Write(job->first_sector, job->buffer);
+      metrics_.device_write_us->Record(obs::NowUs() - start);
+    }
+
+    {
+      const MutexLock lock(flush_mu_);
+      InFlight done = std::move(queue_.front());
+      queue_.pop_front();
+      if (!skip && !written.ok() && error_.ok()) error_ = written;
+      if (!skip && written.ok() && done.last_lsn != kNoLsn) {
+        durable_lsn_ = std::max(durable_lsn_, done.last_lsn);
+      }
+      spare_buffers_.push_back(std::move(done.buffer));
+      UpdateGaugesLocked();
+    }
+    durable_cv_.NotifyAll();
+    space_cv_.NotifyAll();
+  }
+}
+
+}  // namespace aru::lld

@@ -1,0 +1,126 @@
+// SegmentPipeline: write-behind stage between the SegmentWriter and the
+// device. Sealed segments are handed off (buffer and all) to a single
+// background flusher thread through a bounded in-flight queue, so the
+// next segment fills while the device write runs off-thread.
+//
+// The pipeline publishes a monotone durable-LSN horizon: the flusher
+// writes segments strictly in seal order and advances `durable_lsn()`
+// only after a segment's device write completes, so every record with
+// lsn <= durable_lsn() is on disk. Promotion (committed → persistent)
+// gates on this horizon exactly as it gated on the synchronous writer's
+// persisted LSN; group commit falls out of WaitDurable — any number of
+// committers whose commit LSNs share a segment ride one device write.
+//
+// Depth 0 (the default) keeps the paper's synchronous behavior: Enqueue
+// writes inline on the caller's thread and no flusher is started.
+//
+// Thread-safety: internally synchronized by flush_mu_. The lock order
+// with the owning Lld is strictly mu_ → flush_mu_ (the flusher never
+// touches Lld state), so callers may hold Lld::mu_ across any method.
+// A device write failure is sticky: the flusher stops writing, and
+// every later Enqueue/WaitDurable/Drain returns the error instead of
+// blocking forever on a horizon that can no longer advance.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "lld/layout.h"
+#include "lld/lld_metrics.h"
+#include "lld/types.h"
+#include "util/bytes.h"
+#include "util/mutex.h"
+#include "util/protocol_annotations.h"
+#include "util/thread_annotations.h"
+
+namespace aru::lld {
+
+class SegmentPipeline {
+ public:
+  // `max_in_flight` == 0 disables the flusher thread (synchronous
+  // writes); otherwise at most that many sealed segments may be queued
+  // behind the device at once (Enqueue blocks when the pool is full).
+  SegmentPipeline(BlockDevice& device, const Geometry& geometry,
+                  LldMetrics& metrics, std::uint32_t max_in_flight);
+  ~SegmentPipeline();
+
+  SegmentPipeline(const SegmentPipeline&) = delete;
+  SegmentPipeline& operator=(const SegmentPipeline&) = delete;
+
+  // Hands a sealed segment to the flusher. On success `buffer` is
+  // replaced with a recycled (or fresh) segment-sized buffer the caller
+  // can start filling; on failure it is left untouched and the segment
+  // was not queued. This is the durability hand-off point of the seal
+  // protocol — the summary records in `buffer` are what crash recovery
+  // replays — so the crash-order obligation lives here.
+  Status Enqueue(std::uint64_t first_sector, Lsn last_lsn, std::uint32_t slot,
+                 std::uint32_t data_blocks, Bytes& buffer)
+      ARU_APPENDS_SUMMARY ARU_EXCLUDES(flush_mu_);
+
+  // The durable horizon: every record with lsn <= durable_lsn() has
+  // reached the device.
+  Lsn durable_lsn() const ARU_EXCLUDES(flush_mu_);
+
+  // Blocks until durable_lsn() >= target (group commit: many callers
+  // ride the same segment write), the pipeline empties, or a sticky
+  // write error surfaces. `target` must already be enqueued.
+  Status WaitDurable(Lsn target) ARU_EXCLUDES(flush_mu_);
+
+  // Blocks until no segment is in flight. Barrier for the checkpoint
+  // (coverage must not include undurable segments), the cleaner
+  // (victims are read back from the device), and Close.
+  Status Drain() ARU_EXCLUDES(flush_mu_);
+
+  // Serves a read of a sealed-but-not-yet-durable block from the
+  // pinned in-flight buffer. Returns false if `phys` is not in flight
+  // (never true at depth 0).
+  bool ReadBuffered(PhysAddr phys, MutableByteSpan out) const
+      ARU_EXCLUDES(flush_mu_);
+
+  // True if `slot` currently has a segment in flight. Conservative
+  // membership probe for read planning: a true answer may turn stale
+  // (the write completes), but false is definitive while the caller
+  // holds Lld::mu_ — new segments enqueue only under that lock.
+  bool InFlightSlot(std::uint32_t slot) const ARU_EXCLUDES(flush_mu_);
+
+  // Resets the horizon after recovery (the queue is empty then).
+  void Restore(Lsn durable_lsn) ARU_EXCLUDES(flush_mu_);
+
+  std::uint32_t max_in_flight() const { return max_in_flight_; }
+
+ private:
+  struct InFlight {
+    std::uint64_t first_sector = 0;
+    Lsn last_lsn = kNoLsn;
+    std::uint32_t slot = 0;
+    std::uint32_t data_blocks = 0;
+    Bytes buffer;
+  };
+
+  void FlusherMain();
+  void UpdateGaugesLocked() ARU_REQUIRES(flush_mu_);
+
+  BlockDevice& device_;
+  const Geometry& geometry_;
+  LldMetrics& metrics_;
+  const std::uint32_t max_in_flight_;
+
+  mutable Mutex flush_mu_;
+  CondVar work_cv_;     // producer → flusher: segments queued / shutdown
+  CondVar durable_cv_;  // flusher → waiters: horizon advanced / drained
+  CondVar space_cv_;    // flusher → producer: pool has room again
+
+  std::deque<InFlight> queue_ ARU_GUARDED_BY(flush_mu_);
+  std::vector<Bytes> spare_buffers_ ARU_GUARDED_BY(flush_mu_);
+  Lsn durable_lsn_ ARU_GUARDED_BY(flush_mu_) = kNoLsn;
+  Lsn enqueued_lsn_ ARU_GUARDED_BY(flush_mu_) = kNoLsn;
+  Status error_ ARU_GUARDED_BY(flush_mu_);  // sticky first write failure
+  bool shutdown_ ARU_GUARDED_BY(flush_mu_) = false;
+
+  std::thread flusher_;  // started only when max_in_flight_ > 0
+};
+
+}  // namespace aru::lld

@@ -8,9 +8,12 @@
 
 namespace aru::lld {
 
-SegmentWriter::SegmentWriter(BlockDevice& device, const Geometry& geometry,
-                             SlotTable& slots, LldMetrics& metrics)
-    : device_(device), geometry_(geometry), slots_(slots), metrics_(metrics) {
+SegmentWriter::SegmentWriter(const Geometry& geometry, SlotTable& slots,
+                             SegmentPipeline& pipeline, LldMetrics& metrics)
+    : geometry_(geometry),
+      slots_(slots),
+      pipeline_(pipeline),
+      metrics_(metrics) {
   buffer_.resize(geometry_.segment_size);
 }
 
@@ -72,15 +75,24 @@ Status SegmentWriter::Seal() {
   footer.summary_crc = Crc32c(records_);
   EncodeFooter(footer, MutableByteSpan(buffer_).last(kFooterSize));
 
+  // Hand-off point: the pipeline takes the buffer (writing it inline at
+  // depth 0, or queueing it for the flusher thread) and gives back a
+  // replacement so the next segment can fill immediately. On failure
+  // the segment stays open and re-sealable, as before.
   ARU_RETURN_IF_ERROR(
-      device_.Write(geometry_.slot_first_sector(open_slot_), buffer_));
+      pipeline_.Enqueue(geometry_.slot_first_sector(open_slot_),
+                        last_lsn_in_segment_, open_slot_, data_blocks_,
+                        buffer_));
+  if (last_lsn_in_segment_ != kNoLsn) enqueued_lsn_ = last_lsn_in_segment_;
 
+  // The slot is accounted written from the moment of hand-off. It
+  // cannot be re-opened while the segment is still in flight: release
+  // requires a checkpoint, and checkpoints drain the pipeline first.
   SlotInfo& info = slots_[open_slot_];
   info.state = SlotState::kWritten;
   info.seq = footer.seq;
   info.last_lsn = footer.last_lsn;
 
-  if (last_lsn_in_segment_ != kNoLsn) persisted_lsn_ = last_lsn_in_segment_;
   metrics_.segments_written->Increment();
   const std::size_t usable = geometry_.segment_size - kFooterSize;
   metrics_.segment_fill_percent->Record(
@@ -122,6 +134,7 @@ Result<PhysAddr> SegmentWriter::AppendDataAndRecord(Record record,
   EncodeRecord(record, records_);
   ++record_count_;
   last_lsn_in_segment_ = RecordLsn(record);
+  last_appended_lsn_ = last_lsn_in_segment_;
   return phys;
 }
 
@@ -146,6 +159,7 @@ Status SegmentWriter::AppendRecord(const Record& record) {
   EncodeRecord(record, records_);
   ++record_count_;
   last_lsn_in_segment_ = RecordLsn(record);
+  last_appended_lsn_ = last_lsn_in_segment_;
   return Status::Ok();
 }
 

@@ -1,4 +1,4 @@
-// SegmentWriter: fills segments in main memory and writes each to its
+// SegmentWriter: fills segments in main memory and seals each into its
 // slot in a single device operation (paper §2).
 //
 // Data blocks grow from the front of the slot buffer; summary records
@@ -6,6 +6,13 @@
 // seal time. A kWrite/kRewrite record is kept in the same segment as
 // the data it describes — the cleaner and recovery rely on a segment's
 // summary describing exactly the blocks stored in that segment.
+//
+// Seal hands the finished buffer to the SegmentPipeline (write-behind:
+// the device write may run on a background flusher thread) and
+// immediately takes a replacement buffer, so filling the next segment
+// overlaps the previous segment's device write. The durable-LSN
+// horizon (`persisted_lsn()`) is owned by the pipeline and advances
+// only once a segment's write completes.
 //
 // Thread-compatibility: not internally synchronized. The writer is
 // owned by an Lld and reached only under Lld::mu_ — the owning member
@@ -19,6 +26,7 @@
 #include "blockdev/block_device.h"
 #include "lld/layout.h"
 #include "lld/lld_metrics.h"
+#include "lld/segment_pipeline.h"
 #include "lld/slot_table.h"
 #include "lld/summary.h"
 #include "lld/types.h"
@@ -29,15 +37,17 @@ namespace aru::lld {
 
 class SegmentWriter {
  public:
-  SegmentWriter(BlockDevice& device, const Geometry& geometry,
-                SlotTable& slots, LldMetrics& metrics);
+  SegmentWriter(const Geometry& geometry, SlotTable& slots,
+                SegmentPipeline& pipeline, LldMetrics& metrics);
 
-  // Restores counters after recovery.
+  // Restores counters after recovery (the pipeline is empty then).
   void Restore(std::uint64_t next_seq, Lsn persisted_lsn,
                std::uint32_t slot_hint) {
     next_seq_ = next_seq;
-    persisted_lsn_ = persisted_lsn;
     slot_hint_ = slot_hint;
+    last_appended_lsn_ = persisted_lsn;
+    enqueued_lsn_ = persisted_lsn;
+    pipeline_.Restore(persisted_lsn);
   }
 
   // Appends one block of data together with its kWrite record.
@@ -65,7 +75,17 @@ class SegmentWriter {
   void ReadOpenBlock(PhysAddr phys, MutableByteSpan out) const;
 
   // LSN horizon: all records with lsn <= persisted_lsn() are on disk.
-  Lsn persisted_lsn() const { return persisted_lsn_; }
+  // Owned by the pipeline; with write-behind it trails enqueued_lsn()
+  // until the flusher completes the corresponding device writes.
+  Lsn persisted_lsn() const { return pipeline_.durable_lsn(); }
+
+  // The highest LSN handed to the pipeline by a seal: the wait target
+  // for Flush ("everything appended so far" after SealIfOpen).
+  Lsn enqueued_lsn() const { return enqueued_lsn_; }
+
+  // The LSN of the most recent append (may still sit in the open
+  // segment): the wait target for durable commits.
+  Lsn last_appended_lsn() const { return last_appended_lsn_; }
 
   std::uint64_t next_seq() const { return next_seq_; }
   bool has_open_segment() const { return open_; }
@@ -82,9 +102,9 @@ class SegmentWriter {
 
   Result<PhysAddr> AppendDataAndRecord(Record record, ByteSpan data);
 
-  BlockDevice& device_;
   const Geometry& geometry_;
   SlotTable& slots_;
+  SegmentPipeline& pipeline_;
   LldMetrics& metrics_;
 
   bool open_ = false;
@@ -98,7 +118,8 @@ class SegmentWriter {
   Lsn last_lsn_in_segment_ = kNoLsn;
 
   std::uint64_t next_seq_ = 1;
-  Lsn persisted_lsn_ = kNoLsn;
+  Lsn last_appended_lsn_ = kNoLsn;
+  Lsn enqueued_lsn_ = kNoLsn;
 };
 
 }  // namespace aru::lld

@@ -141,6 +141,19 @@ struct Options {
   // Read-cache capacity in blocks (0 = disabled). Keyed by physical
   // address; coherent by construction on a log-structured disk.
   std::size_t read_cache_blocks = 0;
+  // Write-behind pipeline depth: how many sealed segments may be in
+  // flight behind a background flusher thread while the next segment
+  // fills. 0 (the default) seals synchronously on the caller's thread,
+  // matching the paper's prototype. Promotion always gates on the
+  // durable-LSN horizon, so crash atomicity is identical either way;
+  // only the window of buffered-but-unflushed data grows.
+  std::uint32_t write_behind_segments = 0;
+  // Make EndARU wait until the ARU's commit record is durable (sealing
+  // the open segment if needed) before reporting success. Concurrent
+  // committers whose commit records share a segment ride one device
+  // write — group commit. Off by default: the paper's prototype treats
+  // commit as an in-memory event ordered by the log.
+  bool durable_commits = false;
   // Metrics registry the disk reports into. nullptr gives the disk a
   // private registry (reachable via Lld::registry()), so counters from
   // independent disks in one process never bleed into each other; pass

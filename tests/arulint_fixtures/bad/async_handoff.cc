@@ -1,0 +1,71 @@
+// Seeded-violation fixture for arulint_test: the write-behind hand-off.
+// With an asynchronous seal the summary/commit append obligation moves
+// to the pipeline enqueue site (ARU_APPENDS_SUMMARY on Enqueue), and
+// the crash-order rule must still fire across the thread boundary:
+// promoting tables before the segment is even handed to the flusher,
+// or mutating tables from the flusher body itself (which never
+// appends), both let recovery see table state the log never recorded.
+#include <cstdint>
+
+#include "util/protocol_annotations.h"
+
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+class BlockMap {
+ public:
+  void Set(std::uint64_t key, std::uint64_t value);
+  void Erase(std::uint64_t key);
+};
+
+class Pipeline {
+ public:
+  // The seal hands the filled segment buffer to the flusher here; the
+  // append obligation lives at the enqueue site, not the device write.
+  Status Enqueue() ARU_APPENDS_SUMMARY;
+};
+
+class Volume {
+ public:
+  void Promote(std::uint64_t id) ARU_MUTATES_TABLES;
+
+  void SealAndPromote(std::uint64_t id);
+  void PromoteBeforeHandOff(std::uint64_t id);
+  void FlusherBodyTouchesTables(std::uint64_t id);
+
+ private:
+  Pipeline pipeline_;
+  BlockMap block_map_;
+};
+
+void Volume::Promote(std::uint64_t id) {
+  // Exempt: ARU_MUTATES_TABLES moves the obligation to the callers.
+  block_map_.Set(id, id);
+}
+
+void Volume::SealAndPromote(std::uint64_t id) {
+  Status s = pipeline_.Enqueue();
+  if (!s.ok()) {
+    return;
+  }
+  Promote(id);
+}
+
+void Volume::PromoteBeforeHandOff(std::uint64_t id) {
+  Promote(id);
+  Status s = pipeline_.Enqueue();
+  if (!s.ok()) {
+    block_map_.Erase(id);
+  }
+}
+
+void Volume::FlusherBodyTouchesTables(std::uint64_t id) {
+  // The flusher only writes buffers to the device; it must never
+  // publish table state (nothing here ever appends).
+  block_map_.Set(id, id);
+}
+
+}  // namespace fixture

@@ -495,6 +495,18 @@ TEST(FixtureTest, CrashOrderViolations) {
                 {"crash-order", 58}}));  // un-appended call to Promote
 }
 
+TEST(FixtureTest, CrashOrderAcrossAsyncHandOff) {
+  // The write-behind seal moves the append obligation to the pipeline
+  // enqueue site; the rule must keep firing when promotion runs ahead
+  // of the hand-off or when the flusher body touches tables directly,
+  // and must stay quiet for enqueue-then-promote.
+  const auto findings = CheckFile(Fixture("bad/async_handoff.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"crash-order", 58},     // Promote before the enqueue
+                {"crash-order", 68}}));  // table mutation in the flusher
+}
+
 TEST(FixtureTest, LockOrderCycle) {
   const auto findings = CheckFile(Fixture("bad/lock_cycle.cc"));
   EXPECT_EQ(RulesAndLines(findings),

@@ -121,6 +121,91 @@ TEST(FailureInjection, DeviceDeathMidOperationLeavesErrorNotCorruption) {
   ASSERT_OK(recovered->CheckConsistency());
 }
 
+TEST(FailureInjection, AsyncSealCrashSweepYieldsAllOrNothingArus) {
+  // Sweep the power cut across the asynchronous seal path. With
+  // write-behind enabled the segment device write happens on the
+  // flusher thread, so the cut lands at every stage of the hand-off:
+  // before the enqueued segment reaches the device, mid-segment (torn),
+  // and after. At every crash point recovery must surface each ARU
+  // all-or-nothing, and every durably-acked ARU (EndARU returned OK
+  // under durable_commits) must be wholly present.
+  lld::Options options = TestDisk::SmallOptions();
+  options.write_behind_segments = 4;
+  options.durable_commits = true;
+
+  struct AruRun {
+    ListId list;
+    std::uint64_t seed = 0;
+    bool end_called = false;  // all writes appended, EndARU invoked
+    bool acked = false;       // EndARU returned OK: durably committed
+  };
+
+  for (std::uint64_t cut = 5; cut < 700; cut += 37) {
+    SCOPED_TRACE("cut_after_sectors=" + std::to_string(cut));
+    auto inner = std::make_unique<MemDisk>(TestDisk::kDefaultSectors);
+    auto* mem = inner.get();
+    FaultInjectionDisk device(std::move(inner));
+    ASSERT_OK(lld::Lld::Format(device, options));
+    ASSERT_OK_AND_ASSIGN(auto disk, lld::Lld::Open(device, options));
+    device.SchedulePowerCut(cut, /*tear=*/(cut % 2) == 1);
+
+    std::vector<AruRun> runs;
+    for (int i = 0; i < 64 && !device.dead(); ++i) {
+      const auto aru = disk->BeginARU();
+      if (!aru.ok()) break;
+      AruRun run;
+      run.seed = cut * 1000 + static_cast<std::uint64_t>(i) * 10;
+      const auto list = disk->NewList(*aru);
+      if (!list.ok()) break;  // nothing visible to check yet
+      run.list = *list;
+      bool append_failed = false;
+      BlockId pred = kListHead;
+      for (std::uint64_t b = 0; b < 2 && !append_failed; ++b) {
+        const auto block = disk->NewBlock(run.list, pred, *aru);
+        if (!block.ok()) {
+          append_failed = true;
+          break;
+        }
+        pred = *block;
+        if (!disk->Write(pred, TestPattern(4096, run.seed + b), *aru).ok()) {
+          append_failed = true;
+        }
+      }
+      if (!append_failed) {
+        run.end_called = true;
+        run.acked = disk->EndARU(*aru).ok();
+      }
+      runs.push_back(run);
+      if (!run.acked) break;  // the device is dying; stop issuing work
+    }
+    disk.reset();  // shuts the flusher down against the dead device
+
+    auto survivor = MemDisk::FromImage(mem->CopyImage());
+    ASSERT_OK_AND_ASSIGN(auto recovered, lld::Lld::Open(*survivor, options));
+    ASSERT_OK(recovered->CheckConsistency());
+
+    Bytes out(4096);
+    for (const AruRun& run : runs) {
+      SCOPED_TRACE("list=" + std::to_string(run.list.value()));
+      const auto blocks = recovered->ListBlocks(run.list, kNoAru);
+      if (!blocks.ok()) {
+        // Wholly absent is fine unless the commit was durably acked.
+        EXPECT_EQ(blocks.status().code(), StatusCode::kNotFound);
+        EXPECT_FALSE(run.acked);
+        continue;
+      }
+      // Visible at all means the commit record survived, which requires
+      // every append before it: the ARU must be wholly present.
+      EXPECT_TRUE(run.end_called);
+      ASSERT_EQ(blocks->size(), 2u);
+      for (std::uint64_t b = 0; b < 2; ++b) {
+        ASSERT_OK(recovered->Read((*blocks)[b], out, kNoAru));
+        EXPECT_EQ(out, TestPattern(4096, run.seed + b));
+      }
+    }
+  }
+}
+
 TEST(FailureInjection, CrashDuringCheckpointFallsBackToOlder) {
   auto inner = std::make_unique<MemDisk>(TestDisk::kDefaultSectors);
   auto* mem = inner.get();
