@@ -1,11 +1,12 @@
-// Wall-clock write-latency decorator for benchmarks: every Write
-// sleeps a fixed duration before reaching the inner (RAM-backed)
-// device, modeling a storage device whose writes take real time
-// without consuming CPU — the regime where moving the segment write
-// off-thread (write-behind) and sharing it across committers (group
-// commit) pays off. Unlike ModeledDisk this costs *wall* time, so
-// multi-threaded throughput benchmarks feel it; the latency is
-// settable after setup so Format/Mkfs are not padded.
+// Wall-clock latency decorator for benchmarks: every Write (and,
+// when enabled, every Read) sleeps a fixed duration before reaching
+// the inner (RAM-backed) device, modeling a storage device whose I/O
+// takes real time without consuming CPU — the regime where moving the
+// segment write off-thread (write-behind, group commit) and letting
+// readers overlap device reads (shared-mode read path) pay off.
+// Unlike ModeledDisk this costs *wall* time, so multi-threaded
+// throughput benchmarks feel it; the latencies are settable after
+// setup so Format/Mkfs are not padded.
 #pragma once
 
 #include <atomic>
@@ -30,6 +31,8 @@ class LatencyDisk final : public BlockDevice {
   }
 
   Status Read(std::uint64_t first_sector, MutableByteSpan out) override {
+    const std::uint64_t us = read_latency_us_.load(std::memory_order_relaxed);
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
     return inner_->Read(first_sector, out);
   }
 
@@ -47,9 +50,14 @@ class LatencyDisk final : public BlockDevice {
     write_latency_us_.store(us, std::memory_order_relaxed);
   }
 
+  void set_read_latency_us(std::uint64_t us) {
+    read_latency_us_.store(us, std::memory_order_relaxed);
+  }
+
  private:
   std::unique_ptr<BlockDevice> inner_;
   std::atomic<std::uint64_t> write_latency_us_{0};
+  std::atomic<std::uint64_t> read_latency_us_{0};
 };
 
 }  // namespace aru::bench

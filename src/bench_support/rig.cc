@@ -40,7 +40,8 @@ Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
     rig->device = std::make_unique<ModeledDisk>(
         std::move(mem), DiskModelParams::HpC3010(), &rig->clock,
         &rig->registry);
-  } else if (options.device_write_latency_us > 0) {
+  } else if (options.device_write_latency_us > 0 ||
+             options.device_read_latency_us > 0) {
     auto latency = std::make_unique<LatencyDisk>(std::move(mem));
     rig->latency_disk = latency.get();  // latency enabled after setup
     rig->device = std::move(latency);
@@ -55,6 +56,8 @@ Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
   lld_options.capacity_blocks = options.capacity_blocks;
   lld_options.write_behind_segments = options.write_behind_segments;
   lld_options.durable_commits = options.durable_commits;
+  lld_options.read_cache_blocks = options.read_cache_blocks;
+  lld_options.read_cache_shards = options.read_cache_shards;
   lld_options.registry = &rig->registry;
   ARU_RETURN_IF_ERROR(lld::Lld::Format(*rig->device, lld_options));
   ARU_ASSIGN_OR_RETURN(rig->disk, lld::Lld::Open(*rig->device, lld_options));
@@ -67,6 +70,7 @@ Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
   rig->clock.Reset();
   if (rig->latency_disk != nullptr) {
     rig->latency_disk->set_write_latency_us(options.device_write_latency_us);
+    rig->latency_disk->set_read_latency_us(options.device_read_latency_us);
   }
   return rig;
 }

@@ -64,9 +64,14 @@ struct RigOptions {
   // segment pool depth (0 = synchronous seal) and group-commit EndARU.
   std::uint32_t write_behind_segments = 0;
   bool durable_commits = false;
-  // Wall-clock sleep per device write (LatencyDisk), enabled after
-  // setup so Format/Mkfs run at memory speed. 0 = no decorator.
+  // Wall-clock sleep per device write/read (LatencyDisk), enabled
+  // after setup so Format/Mkfs run at memory speed. 0/0 = no decorator.
   std::uint64_t device_write_latency_us = 0;
+  std::uint64_t device_read_latency_us = 0;
+  // Read-path knobs (lld::Options passthrough): read cache capacity in
+  // blocks (0 disables) and LRU shard count (0 = library default).
+  std::size_t read_cache_blocks = 0;
+  std::size_t read_cache_shards = 0;
 };
 
 // Builds a formatted LLD + mounted MinixFS per the config.

@@ -9,79 +9,147 @@
 // recycled after cleaning, so the owner invalidates a slot's entries
 // when the slot is released for reuse.
 //
-// Thread-compatibility: not internally synchronized. The cache is owned
-// by an Lld and reached only under Lld::mu_ — the owning member carries
-// ARU_GUARDED_BY(mu_), so clang's -Wthread-safety checks every access
-// path (see util/thread_annotations.h).
+// Thread-safety: internally synchronized, and sharded so that it can
+// absorb the full parallel read path without becoming the next global
+// lock. Entries hash by PhysAddr onto N independent LRU shards, each
+// with its own Mutex — a cache hit takes exactly one shard lock and
+// never touches Lld::mu_. InvalidateSlot fans out across every shard
+// (slot recycle is rare; hits are not). The shard mutex is a leaf in
+// the lock order: no call made while holding it acquires another lock.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "lld/types.h"
 #include "util/bytes.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aru::lld {
 
+struct BlockCacheShardStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t invalidated = 0;
+  std::size_t entries = 0;
+};
+
+// Aggregate across shards, plus the per-shard breakdown (a skewed
+// breakdown with a flat aggregate means the shard hash is unbalanced).
 struct BlockCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t invalidated = 0;
+  std::size_t shard_count = 0;
+  std::vector<BlockCacheShardStats> shards;
 };
 
 class BlockCache {
  public:
-  // capacity = number of cached blocks (0 disables the cache).
-  BlockCache(std::size_t capacity, std::uint32_t block_size)
-      : capacity_(capacity), block_size_(block_size) {}
+  // capacity = total number of cached blocks (0 disables the cache),
+  // split evenly across shards (rounded up, so the effective total can
+  // exceed `capacity` by up to shard_count-1 blocks). shard_count is
+  // clamped to [1, capacity] so a tiny cache keeps exact LRU order.
+  BlockCache(std::size_t capacity, std::uint32_t block_size,
+             std::size_t shard_count = 1)
+      : block_size_(block_size),
+        shard_count_(capacity == 0
+                         ? 1
+                         : std::clamp<std::size_t>(shard_count, 1, capacity)),
+        shard_capacity_((capacity + shard_count_ - 1) / shard_count_),
+        shards_(shard_count_) {}
 
-  bool enabled() const { return capacity_ > 0; }
+  bool enabled() const { return shard_capacity_ > 0; }
+  std::size_t shard_count() const { return shard_count_; }
 
   // Copies the cached block into `out` on a hit.
   bool Lookup(PhysAddr phys, MutableByteSpan out) {
     if (!enabled()) return false;
-    const auto it = map_.find(phys.encoded());
-    if (it == map_.end()) {
-      ++stats_.misses;
+    Shard& shard = ShardFor(phys);
+    MutexLock lock(shard.mu);
+    const auto it = shard.map.find(phys.encoded());
+    if (it == shard.map.end()) {
+      ++shard.stats.misses;
       return false;
     }
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     std::copy(it->second->data.begin(), it->second->data.end(), out.begin());
-    ++stats_.hits;
+    ++shard.stats.hits;
     return true;
   }
 
   void Insert(PhysAddr phys, ByteSpan data) {
     if (!enabled()) return;
-    if (map_.contains(phys.encoded())) return;
-    lru_.push_front(Entry{phys, Bytes(data.begin(), data.end())});
-    map_[phys.encoded()] = lru_.begin();
-    ++stats_.insertions;
-    while (lru_.size() > capacity_) {
-      map_.erase(lru_.back().phys.encoded());
-      lru_.pop_back();
+    Shard& shard = ShardFor(phys);
+    MutexLock lock(shard.mu);
+    const auto it = shard.map.find(phys.encoded());
+    if (it != shard.map.end()) {
+      // Re-insertion of a present key is a hotness signal: promote the
+      // entry to MRU (and refresh the bytes) instead of leaving it to
+      // age out as cold.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      it->second->data.assign(data.begin(), data.end());
+      return;
+    }
+    shard.lru.push_front(Entry{phys, Bytes(data.begin(), data.end())});
+    shard.map[phys.encoded()] = shard.lru.begin();
+    ++shard.stats.insertions;
+    while (shard.lru.size() > shard_capacity_) {
+      shard.map.erase(shard.lru.back().phys.encoded());
+      shard.lru.pop_back();
     }
   }
 
   // Drops every entry whose data lives in `slot` (the slot is being
-  // recycled; its old contents are about to be overwritten).
+  // recycled; its old contents are about to be overwritten). Fans out
+  // across all shards — any of them may hold blocks of this slot.
   void InvalidateSlot(std::uint32_t slot) {
     if (!enabled()) return;
-    for (auto it = lru_.begin(); it != lru_.end();) {
-      if (it->phys.slot() == slot) {
-        map_.erase(it->phys.encoded());
-        it = lru_.erase(it);
-        ++stats_.invalidated;
-      } else {
-        ++it;
+    for (Shard& shard : shards_) {
+      MutexLock lock(shard.mu);
+      for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+        if (it->phys.slot() == slot) {
+          shard.map.erase(it->phys.encoded());
+          it = shard.lru.erase(it);
+          ++shard.stats.invalidated;
+        } else {
+          ++it;
+        }
       }
     }
   }
 
-  std::size_t size() const { return lru_.size(); }
-  const BlockCacheStats& stats() const { return stats_; }
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& shard : shards_) {
+      MutexLock lock(shard.mu);
+      n += shard.lru.size();
+    }
+    return n;
+  }
+
+  BlockCacheStats stats() const {
+    BlockCacheStats out;
+    out.shard_count = shard_count_;
+    out.shards.reserve(shards_.size());
+    for (const Shard& shard : shards_) {
+      MutexLock lock(shard.mu);
+      BlockCacheShardStats s = shard.stats;
+      s.entries = shard.lru.size();
+      out.hits += s.hits;
+      out.misses += s.misses;
+      out.insertions += s.insertions;
+      out.invalidated += s.invalidated;
+      out.shards.push_back(s);
+    }
+    return out;
+  }
 
  private:
   struct Entry {
@@ -89,11 +157,25 @@ class BlockCache {
     Bytes data;
   };
 
-  std::size_t capacity_;
-  std::uint32_t block_size_;
-  std::list<Entry> lru_;
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
-  BlockCacheStats stats_;
+  struct Shard {
+    mutable Mutex mu;
+    std::list<Entry> lru ARU_GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map
+        ARU_GUARDED_BY(mu);
+    BlockCacheShardStats stats ARU_GUARDED_BY(mu);  // `entries` unused here
+  };
+
+  Shard& ShardFor(PhysAddr phys) {
+    // Fibonacci-multiplicative hash of the encoded address; the high
+    // bits mix slot and index so consecutive blocks spread out.
+    const std::uint64_t h = phys.encoded() * 0x9E3779B97F4A7C15ull;
+    return shards_[(h >> 32) % shard_count_];
+  }
+
+  const std::uint32_t block_size_;
+  const std::size_t shard_count_;
+  const std::size_t shard_capacity_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace aru::lld

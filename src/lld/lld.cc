@@ -20,6 +20,37 @@ Status ListNotFound(ListId id) {
                        " does not exist in this view");
 }
 
+// Default shard count for the read cache when Options leaves it 0
+// (BlockCache clamps it to the capacity).
+constexpr std::size_t kDefaultReadCacheShards = 8;
+
+// Bound on stale-generation retries in Read/ReadMany. With today's
+// cleaner every release happens under exclusive mu_ while pins are
+// taken under (at least) shared mu_, so a retry is already a
+// can't-happen; the bound guards the protocol against a future
+// concurrent cleaner misbehaving rather than a load pattern.
+constexpr int kMaxPinRetries = 8;
+
+// Unpins every recorded slot on scope exit — after the generation
+// checks and cache insertions, so a slot is never released (and its
+// bytes never overwritten) while a read that resolved into it is
+// still using them.
+class PinGuard {
+ public:
+  explicit PinGuard(SlotPins& pins) : pins_(pins) {}
+  ~PinGuard() {
+    for (const std::uint32_t slot : slots_) pins_.Unpin(slot);
+  }
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+
+  void Add(std::uint32_t slot) { slots_.push_back(slot); }
+
+ private:
+  SlotPins& pins_;
+  std::vector<std::uint32_t> slots_;
+};
+
 }  // namespace
 
 Lld::Lld(BlockDevice& device, const Options& options, const Geometry& geometry)
@@ -33,9 +64,15 @@ Lld::Lld(BlockDevice& device, const Options& options, const Geometry& geometry)
                                             : *owned_registry_),
       metrics_(registry_),
       pipeline_(device, geometry_, metrics_, options.write_behind_segments),
+      read_cache_(options.read_cache_blocks, geometry.block_size,
+                  options.read_cache_shards == 0 ? kDefaultReadCacheShards
+                                                 : options.read_cache_shards),
+      slot_pins_(geometry.slot_count),
       slots_(geometry.slot_count),
-      writer_(geometry_, slots_, pipeline_, metrics_),
-      read_cache_(options.read_cache_blocks, geometry.block_size) {}
+      writer_(geometry_, slots_, pipeline_, metrics_) {
+  metrics_.read_cache_shard_count->Set(
+      static_cast<std::int64_t>(read_cache_.shard_count()));
+}
 
 Lld::~Lld() = default;
 
@@ -72,19 +109,19 @@ Result<std::unique_ptr<Lld>> Lld::Open(BlockDevice& device,
   // arulint: allow(raw-new) private constructor, immediately owned
   std::unique_ptr<Lld> lld(new Lld(device, options, g));
   {
-    const MutexLock lock(lld->mu_);
+    const WriterMutexLock lock(lld->mu_);
     ARU_RETURN_IF_ERROR(lld->RecoverLocked());
   }
   return lld;
 }
 
 std::uint64_t Lld::free_blocks() const {
-  const MutexLock lock(mu_);
+  const ReaderMutexLock lock(mu_);
   return geometry_.capacity_blocks - allocated_blocks_;
 }
 
 std::uint64_t Lld::free_slots() const {
-  const MutexLock lock(mu_);
+  const ReaderMutexLock lock(mu_);
   return slots_.free_count();
 }
 
@@ -390,8 +427,14 @@ Result<Lld::AruState*> Lld::FindAru(AruId aru) {
   return &it->second;
 }
 
+Status Lld::CheckAruActiveLocked(AruId aru) const {
+  if (active_arus_.contains(aru)) return Status::Ok();
+  return NotFoundError("ARU " + std::to_string(aru.value()) +
+                       " is not active");
+}
+
 Result<ListId> Lld::NewList(AruId aru) {
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   AruState* state = nullptr;
   if (aru.valid()) {
     ARU_ASSIGN_OR_RETURN(state, FindAru(aru));
@@ -421,7 +464,7 @@ Result<ListId> Lld::NewList(AruId aru) {
 }
 
 Status Lld::DeleteList(ListId list, AruId aru) {
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   ARU_RETURN_IF_ERROR(MaybeCleanLocked());
 
   if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
@@ -452,9 +495,9 @@ Status Lld::DeleteList(ListId list, AruId aru) {
 }
 
 Result<std::vector<BlockId>> Lld::ListBlocks(ListId list, AruId aru) {
-  const MutexLock lock(mu_);
+  const ReaderMutexLock lock(mu_);
   if (aru.valid()) {
-    ARU_RETURN_IF_ERROR(FindAru(aru).status());
+    ARU_RETURN_IF_ERROR(CheckAruActiveLocked(aru));
   }
   const ListMeta lmeta = VisibleList(list, aru);
   if (!lmeta.exists) return ListNotFound(list);
@@ -472,9 +515,9 @@ Result<std::vector<BlockId>> Lld::ListBlocks(ListId list, AruId aru) {
 }
 
 Result<ListId> Lld::ListOf(BlockId block, AruId aru) {
-  const MutexLock lock(mu_);
+  const ReaderMutexLock lock(mu_);
   if (aru.valid()) {
-    ARU_RETURN_IF_ERROR(FindAru(aru).status());
+    ARU_RETURN_IF_ERROR(CheckAruActiveLocked(aru));
   }
   const BlockMeta meta = VisibleBlock(block, aru);
   if (!meta.allocated) return BlockNotFound(block);
@@ -485,7 +528,7 @@ Result<ListId> Lld::ListOf(BlockId block, AruId aru) {
 // Blocks.
 
 Result<BlockId> Lld::NewBlock(ListId list, BlockId predecessor, AruId aru) {
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   AruState* state = nullptr;
   if (aru.valid()) {
     ARU_ASSIGN_OR_RETURN(state, FindAru(aru));
@@ -543,7 +586,7 @@ Result<BlockId> Lld::NewBlock(ListId list, BlockId predecessor, AruId aru) {
 }
 
 Status Lld::DeleteBlock(BlockId block, AruId aru) {
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   ARU_RETURN_IF_ERROR(MaybeCleanLocked());
 
   if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
@@ -575,7 +618,7 @@ Status Lld::DeleteBlock(BlockId block, AruId aru) {
 
 Status Lld::MoveBlock(BlockId block, ListId to_list, BlockId predecessor,
                       AruId aru) {
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   ARU_RETURN_IF_ERROR(MaybeCleanLocked());
 
   if (aru.valid() && options_.aru_mode == AruMode::kConcurrent) {
@@ -613,7 +656,7 @@ Status Lld::Write(BlockId block, ByteSpan data, AruId aru) {
                                 std::to_string(geometry_.block_size));
   }
   obs::SpanTimer latency(nullptr, "lld", "write", metrics_.op_write_us);
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   AruState* state = nullptr;
   if (aru.valid()) {
     ARU_ASSIGN_OR_RETURN(state, FindAru(aru));
@@ -646,41 +689,79 @@ Status Lld::Write(BlockId block, ByteSpan data, AruId aru) {
   return ParanoidCheck();
 }
 
+Status Lld::ReadBlockAt(PhysAddr phys, MutableByteSpan out) {
+  const std::uint64_t sector =
+      geometry_.slot_first_sector(phys.slot()) +
+      static_cast<std::uint64_t>(phys.index()) *
+          (geometry_.block_size / geometry_.sector_size);
+  return device_.Read(sector, out);
+}
+
+// The parallel read path. The shared critical section covers only
+// metadata resolution (visibility lookup, open-segment / in-flight
+// serving — cheap memcpys) and the slot pin; the cache probe and the
+// blocking device read run with no lock held, so readers overlap with
+// each other and with mutators. Coherence out of the lock:
+//   - the pin (taken under the shared lock, before it drops) keeps the
+//     slot from being released, so its bytes cannot be overwritten;
+//   - the generation is validated after the device read and before the
+//     cache insert, so a recycled slot's stale bytes are neither
+//     returned nor cached — the reader re-resolves instead (bounded by
+//     kMaxPinRetries, counted in aru_lld_slot_pin_retries_total);
+//   - cache entries themselves are coherent because InvalidateSlot runs
+//     (under exclusive mu_) before a released slot can be rewritten,
+//     and inserts only happen while the slot is pinned and gen-checked.
 Status Lld::Read(BlockId block, MutableByteSpan out, AruId aru) {
   if (out.size() != geometry_.block_size) {
     return InvalidArgumentError("read size != block size");
   }
   obs::SpanTimer latency(nullptr, "lld", "read", metrics_.op_read_us);
-  const MutexLock lock(mu_);
-  if (aru.valid()) {
-    ARU_RETURN_IF_ERROR(FindAru(aru).status());
+  for (int attempt = 0; attempt < kMaxPinRetries; ++attempt) {
+    PinGuard pins(slot_pins_);
+    PhysAddr phys;
+    std::uint64_t gen = 0;
+    {
+      const std::uint64_t lock_start_us = obs::NowUs();
+      const ReaderMutexLock lock(mu_);
+      if (aru.valid()) {
+        ARU_RETURN_IF_ERROR(CheckAruActiveLocked(aru));
+      }
+      const BlockMeta meta = VisibleBlock(block, aru);
+      if (!meta.allocated) return BlockNotFound(block);
+      if (attempt == 0) metrics_.blocks_read->Increment();
+      if (!meta.phys.valid()) {
+        std::fill(out.begin(), out.end(), std::byte{0});
+        return Status::Ok();
+      }
+      if (writer_.InOpenSegment(meta.phys)) {
+        metrics_.reads_from_open_segment->Increment();
+        writer_.ReadOpenBlock(meta.phys, out);
+        return Status::Ok();
+      }
+      // Sealed but not yet durable: serve from the pinned in-flight
+      // buffer (the write-behind extension of the open-segment path
+      // above; ReadBuffered is internally synchronized by flush_mu_).
+      if (pipeline_.ReadBuffered(meta.phys, out)) {
+        metrics_.reads_from_inflight_segment->Increment();
+        return Status::Ok();
+      }
+      phys = meta.phys;
+      gen = slot_pins_.generation(phys.slot());
+      slot_pins_.Pin(phys.slot());
+      pins.Add(phys.slot());
+      metrics_.read_lock_shared_us->Record(obs::NowUs() - lock_start_us);
+    }
+    // mu_ is dropped; the pin keeps the slot's bytes in place.
+    if (read_cache_.Lookup(phys, out)) return Status::Ok();
+    ARU_RETURN_IF_ERROR(ReadBlockAt(phys, out));
+    if (slot_pins_.generation(phys.slot()) == gen) {
+      read_cache_.Insert(phys, out);
+      return Status::Ok();
+    }
+    metrics_.slot_pin_retries->Increment();
   }
-  const BlockMeta meta = VisibleBlock(block, aru);
-  if (!meta.allocated) return BlockNotFound(block);
-  metrics_.blocks_read->Increment();
-  if (!meta.phys.valid()) {
-    std::fill(out.begin(), out.end(), std::byte{0});
-    return Status::Ok();
-  }
-  if (writer_.InOpenSegment(meta.phys)) {
-    metrics_.reads_from_open_segment->Increment();
-    writer_.ReadOpenBlock(meta.phys, out);
-    return Status::Ok();
-  }
-  // Sealed but not yet durable: serve from the pinned in-flight buffer
-  // (the write-behind extension of the open-segment path above).
-  if (pipeline_.ReadBuffered(meta.phys, out)) {
-    metrics_.reads_from_inflight_segment->Increment();
-    return Status::Ok();
-  }
-  if (read_cache_.Lookup(meta.phys, out)) return Status::Ok();
-  const std::uint64_t sector =
-      geometry_.slot_first_sector(meta.phys.slot()) +
-      static_cast<std::uint64_t>(meta.phys.index()) *
-          (geometry_.block_size / geometry_.sector_size);
-  ARU_RETURN_IF_ERROR(device_.Read(sector, out));
-  read_cache_.Insert(meta.phys, out);
-  return Status::Ok();
+  return UnavailableError("read retries exhausted: slot generation kept "
+                          "changing under a resolved physical address");
 }
 
 Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
@@ -689,91 +770,130 @@ Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
   if (out.size() != blocks.size() * bs) {
     return InvalidArgumentError("ReadMany buffer size mismatch");
   }
-  const MutexLock lock(mu_);
-  if (aru.valid()) {
-    ARU_RETURN_IF_ERROR(FindAru(aru).status());
-  }
 
-  // Resolve all physical addresses up front, then coalesce consecutive
-  // on-disk runs (same slot, adjacent block indexes) into single device
-  // requests.
+  // Same protocol as Read, vectorized. Each attempt: (1) under the
+  // shared lock, resolve every unfinished block, serve the in-memory
+  // sources (zero-fill / open segment / in-flight buffer) inline, and
+  // pin + generation-stamp the rest; (2) with no lock held, probe the
+  // cache, coalesce consecutive on-disk runs (same slot, adjacent
+  // block indexes) into single device requests, and read; (3) validate
+  // generations — stale targets stay unfinished and re-resolve on the
+  // next attempt.
   struct Target {
-    PhysAddr phys;  // invalid ⇒ zero-fill
-    bool from_open_segment = false;
-    bool maybe_in_flight = false;  // sealed segment still behind the device
+    PhysAddr phys;
+    std::uint64_t gen = 0;
+    bool pending = false;  // pinned this attempt, awaiting device data
+    bool done = false;
   };
   std::vector<Target> targets(blocks.size());
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
-    const BlockMeta meta = VisibleBlock(blocks[i], aru);
-    if (!meta.allocated) return BlockNotFound(blocks[i]);
-    targets[i].phys = meta.phys;
-    targets[i].from_open_segment = writer_.InOpenSegment(meta.phys);
-    targets[i].maybe_in_flight = !targets[i].from_open_segment &&
-                                 meta.phys.valid() &&
-                                 pipeline_.InFlightSlot(meta.phys.slot());
-    metrics_.blocks_read->Increment();
-  }
-
   const std::uint32_t sectors_per_block = bs / geometry_.sector_size;
-  std::size_t i = 0;
-  while (i < targets.size()) {
-    const Target& target = targets[i];
-    MutableByteSpan slice = out.subspan(i * bs, bs);
-    if (!target.phys.valid()) {
-      std::fill(slice.begin(), slice.end(), std::byte{0});
-      ++i;
-      continue;
-    }
-    if (target.from_open_segment) {
-      metrics_.reads_from_open_segment->Increment();
-      writer_.ReadOpenBlock(target.phys, slice);
-      ++i;
-      continue;
-    }
-    if (target.maybe_in_flight && pipeline_.ReadBuffered(target.phys, slice)) {
-      metrics_.reads_from_inflight_segment->Increment();
-      ++i;
-      continue;
-    }
-    if (read_cache_.Lookup(target.phys, slice)) {
-      ++i;
-      continue;
-    }
-    // Extend the run while blocks are physically consecutive. Runs stop
-    // at possibly-in-flight targets: their segment may not be on the
-    // device yet, so each is served individually above (or, if its
-    // write completed meanwhile, by a single-block device read).
-    std::size_t run = 1;
-    while (i + run < targets.size()) {
-      const Target& next = targets[i + run];
-      if (next.from_open_segment || next.maybe_in_flight ||
-          !next.phys.valid()) {
-        break;
+
+  for (int attempt = 0; attempt < kMaxPinRetries; ++attempt) {
+    PinGuard pins(slot_pins_);
+    bool any_pending = false;
+    {
+      const std::uint64_t lock_start_us = obs::NowUs();
+      const ReaderMutexLock lock(mu_);
+      if (aru.valid()) {
+        ARU_RETURN_IF_ERROR(CheckAruActiveLocked(aru));
       }
-      if (next.phys.slot() != target.phys.slot() ||
-          next.phys.index() != target.phys.index() + run) {
-        break;
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        Target& target = targets[i];
+        if (target.done) continue;
+        MutableByteSpan slice = out.subspan(i * bs, bs);
+        const BlockMeta meta = VisibleBlock(blocks[i], aru);
+        if (!meta.allocated) return BlockNotFound(blocks[i]);
+        if (attempt == 0) metrics_.blocks_read->Increment();
+        if (!meta.phys.valid()) {
+          std::fill(slice.begin(), slice.end(), std::byte{0});
+          target.done = true;
+          continue;
+        }
+        if (writer_.InOpenSegment(meta.phys)) {
+          metrics_.reads_from_open_segment->Increment();
+          writer_.ReadOpenBlock(meta.phys, slice);
+          target.done = true;
+          continue;
+        }
+        if (pipeline_.ReadBuffered(meta.phys, slice)) {
+          metrics_.reads_from_inflight_segment->Increment();
+          target.done = true;
+          continue;
+        }
+        target.phys = meta.phys;
+        target.gen = slot_pins_.generation(meta.phys.slot());
+        slot_pins_.Pin(meta.phys.slot());
+        pins.Add(meta.phys.slot());
+        target.pending = true;
+        any_pending = true;
       }
-      ++run;
+      metrics_.read_lock_shared_us->Record(obs::NowUs() - lock_start_us);
     }
-    const std::uint64_t sector =
-        geometry_.slot_first_sector(target.phys.slot()) +
-        static_cast<std::uint64_t>(target.phys.index()) * sectors_per_block;
-    ARU_RETURN_IF_ERROR(
-        device_.Read(sector, out.subspan(i * bs, run * bs)));
-    for (std::size_t k = 0; k < run; ++k) {
-      read_cache_.Insert(targets[i + k].phys, out.subspan((i + k) * bs, bs));
+    if (!any_pending) return Status::Ok();
+
+    // Out of the lock: cache probes first (a hit needs no generation
+    // check — entries are invalidated before a slot can be rewritten,
+    // and inserted only while pinned and gen-validated).
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      Target& target = targets[i];
+      if (!target.pending) continue;
+      if (read_cache_.Lookup(target.phys, out.subspan(i * bs, bs))) {
+        target.pending = false;
+        target.done = true;
+      }
     }
-    i += run;
+
+    // Device reads, coalescing runs of physically-consecutive pending
+    // targets into one request.
+    std::size_t i = 0;
+    while (i < targets.size()) {
+      const Target& target = targets[i];
+      if (!target.pending) {
+        ++i;
+        continue;
+      }
+      std::size_t run = 1;
+      while (i + run < targets.size()) {
+        const Target& next = targets[i + run];
+        if (!next.pending || next.phys.slot() != target.phys.slot() ||
+            next.phys.index() != target.phys.index() + run) {
+          break;
+        }
+        ++run;
+      }
+      const std::uint64_t sector =
+          geometry_.slot_first_sector(target.phys.slot()) +
+          static_cast<std::uint64_t>(target.phys.index()) * sectors_per_block;
+      ARU_RETURN_IF_ERROR(device_.Read(sector, out.subspan(i * bs, run * bs)));
+      i += run;
+    }
+
+    // Generation validation: good targets are cached and finished;
+    // stale ones re-resolve next attempt with fresh pins.
+    bool all_done = true;
+    for (std::size_t i2 = 0; i2 < targets.size(); ++i2) {
+      Target& target = targets[i2];
+      if (!target.pending) continue;
+      target.pending = false;
+      if (slot_pins_.generation(target.phys.slot()) == target.gen) {
+        read_cache_.Insert(target.phys, out.subspan(i2 * bs, bs));
+        target.done = true;
+      } else {
+        metrics_.slot_pin_retries->Increment();
+        all_done = false;
+      }
+    }
+    if (all_done) return Status::Ok();
   }
-  return Status::Ok();
+  return UnavailableError("ReadMany retries exhausted: slot generation kept "
+                          "changing under resolved physical addresses");
 }
 
 // ---------------------------------------------------------------------
 // ARUs.
 
 Result<AruId> Lld::BeginARU() {
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   if (options_.aru_mode == AruMode::kSequential && !active_arus_.empty()) {
     return FailedPreconditionError(
         "sequential-ARU mode supports one ARU at a time");
@@ -795,7 +915,7 @@ Status Lld::EndARU(AruId aru) {
   Lsn durable_target = kNoLsn;
   Status status;
   {
-    const MutexLock lock(mu_);
+    const WriterMutexLock lock(mu_);
     ARU_ASSIGN_OR_RETURN(AruState * state, FindAru(aru));
     begin_us = state->begin_us;
     status = options_.aru_mode == AruMode::kConcurrent
@@ -822,7 +942,7 @@ Status Lld::EndARU(AruId aru) {
         break;
       }
       if (pipeline_.durable_lsn() >= durable_target) break;
-      const MutexLock lock(mu_);
+      const WriterMutexLock lock(mu_);
       if (writer_.enqueued_lsn() < durable_target) {
         status = writer_.SealIfOpen();
         if (!status.ok()) break;
@@ -831,7 +951,7 @@ Status Lld::EndARU(AruId aru) {
   }
   metrics_.commit_us->Record(obs::NowUs() - commit_start_us);
 
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   if (status.ok()) {
     metrics_.arus_committed->Increment();
     const std::uint64_t lifetime = obs::NowUs() - begin_us;
@@ -981,7 +1101,7 @@ Status Lld::EndAruSequentialLocked(AruState& state) {
 }
 
 Status Lld::AbortARU(AruId aru) {
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   if (options_.aru_mode == AruMode::kSequential) {
     return FailedPreconditionError(
         "the sequential-ARU prototype cannot abort (operations were "
@@ -1035,13 +1155,13 @@ Status Lld::Flush() {
   // (and any number of Flush callers ride the same device writes).
   Lsn target = kNoLsn;
   {
-    const MutexLock lock(mu_);
+    const WriterMutexLock lock(mu_);
     ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
     target = writer_.enqueued_lsn();
   }
   ARU_RETURN_IF_ERROR(pipeline_.WaitDurable(target));
   ARU_RETURN_IF_ERROR(device_.Sync());
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   MaybePromoteLocked();
   metrics_.flushes->Increment();
   return ParanoidCheck();
@@ -1051,25 +1171,25 @@ Status Lld::Flush() {
 // Administration.
 
 Status Lld::Checkpoint() {
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   return TakeCheckpointLocked();
 }
 
 Status Lld::Clean() {
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   return RunCleanerLocked();
 }
 
 Status Lld::Close() {
   std::vector<AruId> to_abort;
   {
-    const MutexLock lock(mu_);
+    const WriterMutexLock lock(mu_);
     for (const auto& [id, state] : active_arus_) to_abort.push_back(id);
   }
   for (const AruId aru : to_abort) {
     ARU_RETURN_IF_ERROR(AbortARU(aru));
   }
-  const MutexLock lock(mu_);
+  const WriterMutexLock lock(mu_);
   ARU_RETURN_IF_ERROR(writer_.SealIfOpen());
   ARU_RETURN_IF_ERROR(pipeline_.Drain());
   ARU_RETURN_IF_ERROR(device_.Sync());
@@ -1169,7 +1289,13 @@ Status Lld::TakeCheckpointLocked() {
                                             block_map_, list_table_));
   ARU_RETURN_IF_ERROR(device_.Sync());
   last_covered_seq_ = covered;
-  for (const std::uint32_t slot : slots_.ReleasePending(covered)) {
+  // Release covered PendingFree slots for reuse. ReleasePending skips
+  // slots still pinned by in-flight readers (they stay PendingFree for
+  // a later checkpoint) and bumps the generation of each released slot;
+  // the cache invalidation below runs before the slot can be re-opened
+  // (both happen under exclusive mu_), so no stale entry survives into
+  // the slot's next life.
+  for (const std::uint32_t slot : slots_.ReleasePending(covered, slot_pins_)) {
     read_cache_.InvalidateSlot(slot);
   }
   metrics_.checkpoints->Increment();

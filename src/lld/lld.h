@@ -21,9 +21,16 @@
 // persisted that LSN. This makes the in-memory persistent tables agree,
 // at all times, with what crash recovery would reconstruct from disk.
 //
-// Concurrency: all public operations are serialized by one mutex (the
-// paper's prototype is single-threaded; the mutex makes the multi-
-// stream API safe for multi-threaded clients). ARUs provide failure
+// Concurrency: all public operations synchronize on one reader/writer
+// mutex (the paper's prototype is single-threaded; the mutex makes the
+// multi-stream API safe for multi-threaded clients). Mutators hold it
+// exclusively; the read-only operations (Read/ReadMany/ListBlocks/
+// ListOf/stats) take it shared, so readers run in parallel — and the
+// device read itself happens with no lock held at all, bridged by the
+// SlotPins pin/generation protocol (slot_table.h, DESIGN.md §8): a
+// reader pins the slot backing its resolved PhysAddr under the shared
+// lock, reads the device lock-free, then validates the slot generation
+// before trusting (or caching) the bytes. ARUs provide failure
 // atomicity, not concurrency control: clients that touch the same
 // blocks or lists from concurrent streams must lock at their own level;
 // with unsynchronized conflicting streams, commit order decides and
@@ -143,9 +150,10 @@ class Lld final : public ld::Disk {
   Status CheckConsistency() const ARU_EXCLUDES(mu_);
 
   // Consistent snapshot of the registry-backed counters, taken under
-  // the operation mutex (concurrent mutating streams cannot race it).
+  // the operation mutex in shared mode (mutating streams cannot race
+  // it; concurrent readers need not drain).
   LldStats stats() const ARU_EXCLUDES(mu_) {
-    const MutexLock lock(mu_);
+    const ReaderMutexLock lock(mu_);
     metrics_.version_chain_steps->Set(static_cast<std::int64_t>(
         block_versions_.chain_steps() + list_versions_.chain_steps()));
     return metrics_.Snapshot();
@@ -155,10 +163,8 @@ class Lld final : public ld::Disk {
   // unless Options.registry supplied a shared one.
   obs::Registry& registry() const { return registry_; }
   const RecoveryReport& recovery_report() const { return recovery_report_; }
-  BlockCacheStats read_cache_stats() const ARU_EXCLUDES(mu_) {
-    const MutexLock lock(mu_);
-    return read_cache_.stats();
-  }
+  // The cache is internally synchronized; no table lock involved.
+  BlockCacheStats read_cache_stats() const { return read_cache_.stats(); }
   const Geometry& geometry() const { return geometry_; }
   std::uint64_t free_slots() const ARU_EXCLUDES(mu_);
 
@@ -194,9 +200,11 @@ class Lld final : public ld::Disk {
 
   // Newest version of an id visible to `aru` (shadow → committed →
   // persistent). Returns meta with allocated/exists == false when the
-  // id does not exist in that view.
-  BlockMeta VisibleBlock(BlockId id, AruId aru) const ARU_REQUIRES(mu_);
-  ListMeta VisibleList(ListId id, AruId aru) const ARU_REQUIRES(mu_);
+  // id does not exist in that view. Pure lookups: shared mode
+  // suffices, so parallel readers resolve concurrently.
+  BlockMeta VisibleBlock(BlockId id, AruId aru) const
+      ARU_REQUIRES_SHARED(mu_);
+  ListMeta VisibleList(ListId id, AruId aru) const ARU_REQUIRES_SHARED(mu_);
 
   // Writes a version record into state `state`. `gating_lsn` controls
   // promotion (kLsnMax = held until commit restamps it).
@@ -250,9 +258,17 @@ class Lld final : public ld::Disk {
   Status EndAruSequentialLocked(AruState& state) ARU_REQUIRES(mu_);
 
   Result<AruState*> FindAru(AruId aru) ARU_REQUIRES(mu_);
+  // Read-only existence check, for paths that hold mu_ shared (FindAru
+  // hands out a mutable AruState* and so demands exclusive mode).
+  Status CheckAruActiveLocked(AruId aru) const ARU_REQUIRES_SHARED(mu_);
+
+  // Reads the block at `phys` from the device. Called with NO lock
+  // held: the caller pinned phys's slot (slot_pins_) first, which keeps
+  // the bytes in place — see SlotPins for the protocol.
+  Status ReadBlockAt(PhysAddr phys, MutableByteSpan out) ARU_EXCLUDES(mu_);
 
   Status RecoverLocked() ARU_REQUIRES(mu_);
-  Status CheckConsistencyLocked() const ARU_REQUIRES(mu_);
+  Status CheckConsistencyLocked() const ARU_REQUIRES_SHARED(mu_);
   Status ParanoidCheck() const ARU_REQUIRES(mu_) {
     return options_.paranoid_checks ? CheckConsistencyLocked() : Status::Ok();
   }
@@ -274,7 +290,19 @@ class Lld final : public ld::Disk {
   // order is strictly mu_ → flush_mu_; the flusher takes only flush_mu_.
   SegmentPipeline pipeline_;
 
-  mutable Mutex mu_;
+  // Internally synchronized (sharded, one Mutex per LRU shard), so
+  // deliberately not guarded by mu_: cache hits on the parallel read
+  // path never touch the table lock. The shard mutexes are leaves in
+  // the lock order (nothing is acquired while one is held).
+  BlockCache read_cache_;
+
+  // Lock-free pin counts + generations, one per segment slot. Pins are
+  // taken under mu_ (shared suffices) but released and re-checked with
+  // no lock held, so this lives outside the guarded set — see SlotPins
+  // in slot_table.h for the protocol and memory-ordering story.
+  SlotPins slot_pins_;
+
+  mutable SharedMutex mu_;
 
   BlockMap block_map_ ARU_GUARDED_BY(mu_);
   ListTable list_table_ ARU_GUARDED_BY(mu_);
@@ -282,7 +310,6 @@ class Lld final : public ld::Disk {
   ListVersions list_versions_ ARU_GUARDED_BY(mu_);
   SlotTable slots_ ARU_GUARDED_BY(mu_);
   SegmentWriter writer_ ARU_GUARDED_BY(mu_);
-  BlockCache read_cache_ ARU_GUARDED_BY(mu_);
 
   std::deque<PromotionEntry> promotion_fifo_ ARU_GUARDED_BY(mu_);
   std::unordered_map<AruId, AruState> active_arus_ ARU_GUARDED_BY(mu_);

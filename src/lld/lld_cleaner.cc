@@ -73,6 +73,12 @@ Status Lld::RunCleanerLocked() {
     const SlotInfo& info = slots_[slot];
     if (info.state != SlotState::kWritten) continue;
     if (pinned.contains(slot)) continue;
+    // Reader-pinned slots (SlotPins) are skipped too: a reader is
+    // mid-device-read in this slot right now. Relocating its live
+    // blocks would only strand the copy under the reader as dead —
+    // release would be deferred by the pin anyway — so the pass picks
+    // a quieter victim. Pins last one device read; transient.
+    if (slot_pins_.pins(slot) != 0) continue;
     const double u =
         static_cast<double>(live[slot]) / static_cast<double>(max_blocks);
     if (u > 0.95) continue;  // no meaningful gain

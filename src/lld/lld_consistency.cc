@@ -114,7 +114,7 @@ Status Lld::CheckConsistencyLocked() const {
 }
 
 Status Lld::CheckConsistency() const {
-  const MutexLock lock(mu_);
+  const ReaderMutexLock lock(mu_);
   return CheckConsistencyLocked();
 }
 

@@ -41,6 +41,9 @@ LldMetrics::LldMetrics(obs::Registry& registry) {
   orphan_blocks_reclaimed =
       counter("aru_lld_orphan_blocks_reclaimed_total",
               "allocated-but-listless blocks freed (abort/recovery)");
+  slot_pin_retries =
+      counter("aru_lld_slot_pin_retries_total",
+              "out-of-lock reads retried after a slot generation changed");
 
   version_chain_steps =
       registry.GetGauge("aru_lld_version_chain_steps",
@@ -58,11 +61,17 @@ LldMetrics::LldMetrics(obs::Registry& registry) {
   durable_lag_lsn = registry.GetGauge(
       "aru_lld_durable_lag_lsn",
       "LSNs between the last enqueued segment and the durable horizon");
+  read_cache_shard_count = registry.GetGauge(
+      "aru_lld_read_cache_shard_count",
+      "independent LRU shards (each with its own mutex) in the read cache");
 
   op_write_us = registry.GetHistogram("aru_lld_op_write_us",
                                       "Write() latency, wall microseconds");
   op_read_us = registry.GetHistogram("aru_lld_op_read_us",
                                      "Read() latency, wall microseconds");
+  read_lock_shared_us = registry.GetHistogram(
+      "aru_lld_read_lock_shared_us",
+      "shared-mode mu_ hold during read resolution, wall microseconds");
   commit_us = registry.GetHistogram(
       "aru_lld_commit_us",
       "EndARU latency (link-log replay + commit record), wall microseconds");

@@ -36,6 +36,7 @@ struct LldMetrics {
   obs::Counter* segments_cleaned;
   obs::Counter* blocks_copied_by_cleaner;
   obs::Counter* orphan_blocks_reclaimed;
+  obs::Counter* slot_pin_retries;  // stale-generation read retries
 
   // Gauges.
   obs::Gauge* version_chain_steps;   // refreshed by Lld::stats()
@@ -44,10 +45,12 @@ struct LldMetrics {
   obs::Gauge* active_arus;
   obs::Gauge* inflight_segments;     // sealed segments queued behind device
   obs::Gauge* durable_lag_lsn;       // enqueued LSN - durable LSN horizon
+  obs::Gauge* read_cache_shard_count;  // set once at construction
 
   // Latency/size distributions (wall-clock microseconds unless noted).
   obs::Histogram* op_write_us;
   obs::Histogram* op_read_us;
+  obs::Histogram* read_lock_shared_us;  // shared-mode mu_ hold in reads
   obs::Histogram* commit_us;         // EndARU: replay + commit record
   obs::Histogram* aru_lifetime_us;   // BeginARU → EndARU/AbortARU
   obs::Histogram* seal_us;           // segment seal incl. device write

@@ -15,8 +15,10 @@
 // writes inline on the caller's thread and no flusher is started.
 //
 // Thread-safety: internally synchronized by flush_mu_. The lock order
-// with the owning Lld is strictly mu_ → flush_mu_ (the flusher never
-// touches Lld state), so callers may hold Lld::mu_ across any method.
+// with the owning Lld is strictly mu_ (shared or exclusive) →
+// flush_mu_ (the flusher never touches Lld state), so callers may hold
+// Lld::mu_ in either mode across any method — the shared-mode read
+// path calls ReadBuffered under a reader hold of mu_.
 // A device write failure is sticky: the flusher stops writing, and
 // every later Enqueue/WaitDurable/Drain returns the error instead of
 // blocking forever on a horizon that can no longer advance.

@@ -10,14 +10,77 @@
 // by an Lld and reached only under Lld::mu_ — the owning member carries
 // ARU_GUARDED_BY(mu_), so clang's -Wthread-safety checks every access
 // path (see util/thread_annotations.h).
+//
+// SlotPins is the exception: it is the lock-free side table that lets a
+// reader hold a reference to a slot's on-disk bytes *after* dropping
+// the (shared) table lock — see the protocol comment on the class.
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "lld/types.h"
 
 namespace aru::lld {
+
+// Per-slot pin counts and generations, enabling device reads outside
+// Lld::mu_ (DESIGN.md "parallel read path"):
+//
+//   1. Under mu_ (shared suffices) a reader resolves its PhysAddr,
+//      records generation(slot), and Pin()s the slot.
+//   2. It drops mu_ and reads the device. A pinned slot is never
+//      released for reuse: ReleasePending skips it and the cleaner
+//      won't pick it as a victim, so the bytes under the reader are
+//      stable even though no lock is held.
+//   3. After the read it re-checks generation(slot) against the value
+//      from step 1, then Unpin()s. A changed generation means the slot
+//      was recycled between resolution and pin taking effect — the
+//      reader discards the bytes and retries through the tables.
+//
+// Because every transition toward reuse (cleaner marking PendingFree,
+// checkpoint releasing, writer re-opening) happens under exclusive mu_
+// while pins are only taken under (at least shared) mu_, a pin taken
+// before the exclusive section is visible to it — the generation check
+// is defense-in-depth for future lock-free resolution, not the primary
+// guard. Counts and generations are atomics; the class is safe to
+// touch without any lock and is deliberately NOT ARU_GUARDED_BY(mu_).
+class SlotPins {
+ public:
+  explicit SlotPins(std::uint32_t slot_count) : slots_(slot_count) {}
+
+  void Pin(std::uint32_t slot) {
+    slots_[slot].pins.fetch_add(1, std::memory_order_acquire);
+  }
+  void Unpin(std::uint32_t slot) {
+    const std::uint32_t prev =
+        slots_[slot].pins.fetch_sub(1, std::memory_order_release);
+    assert(prev > 0 && "unpin without pin");
+    (void)prev;
+  }
+
+  std::uint32_t pins(std::uint32_t slot) const {
+    return slots_[slot].pins.load(std::memory_order_acquire);
+  }
+  std::uint64_t generation(std::uint32_t slot) const {
+    return slots_[slot].gen.load(std::memory_order_acquire);
+  }
+
+  // Called (under exclusive mu_) when a slot is released for reuse:
+  // in-flight readers that resolved into the old contents fail their
+  // post-read generation check.
+  void BumpGeneration(std::uint32_t slot) {
+    slots_[slot].gen.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  struct PerSlot {
+    std::atomic<std::uint32_t> pins{0};
+    std::atomic<std::uint64_t> gen{0};
+  };
+  std::vector<PerSlot> slots_;
+};
 
 enum class SlotState : std::uint8_t {
   kFree,
@@ -68,13 +131,19 @@ class SlotTable {
   // The PendingFree → Free transition, legal only for slots whose
   // summary records a checkpoint now covers. Returns the released
   // slots (their old contents may now be overwritten — cache owners
-  // must invalidate).
-  std::vector<std::uint32_t> ReleasePending(std::uint64_t covered_seq) {
+  // must invalidate). A slot still pinned by an in-flight reader is
+  // skipped — it stays PendingFree and is released by a later
+  // checkpoint once the pin drops; each actually-released slot gets
+  // its generation bumped so late readers detect the recycle.
+  std::vector<std::uint32_t> ReleasePending(std::uint64_t covered_seq,
+                                            SlotPins& pins) {
     std::vector<std::uint32_t> released;
     for (std::uint32_t slot = 0; slot < size(); ++slot) {
       SlotInfo& s = slots_[slot];
       if (s.state == SlotState::kPendingFree && s.seq <= covered_seq) {
+        if (pins.pins(slot) != 0) continue;
         s = SlotInfo{};
+        pins.BumpGeneration(slot);
         released.push_back(slot);
       }
     }

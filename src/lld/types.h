@@ -141,6 +141,10 @@ struct Options {
   // Read-cache capacity in blocks (0 = disabled). Keyed by physical
   // address; coherent by construction on a log-structured disk.
   std::size_t read_cache_blocks = 0;
+  // Independent LRU shards the read cache splits into, each with its
+  // own mutex, so parallel readers' cache hits never contend on one
+  // lock. 0 derives a default (8, clamped to the cache capacity).
+  std::size_t read_cache_shards = 0;
   // Write-behind pipeline depth: how many sealed segments may be in
   // flight behind a background flusher thread while the next segment
   // fills. 0 (the default) seals synchronously on the caller's thread,

@@ -13,7 +13,10 @@
 // Thread-compatibility: not internally synchronized. Both indexes are
 // owned by an Lld and reached only under Lld::mu_ — the owning members
 // carry ARU_GUARDED_BY(mu_), so clang's -Wthread-safety checks every
-// access path (see util/thread_annotations.h).
+// access path (see util/thread_annotations.h). Since mu_ is a
+// SharedMutex, the const lookups also run concurrently under shared
+// mode; they touch no index state besides the chain-step statistic,
+// which is atomic for exactly that reason.
 //
 // Faithful to the paper, each state keeps at most the *most recent*
 // version of an identifier: writing twice in one ARU replaces the
@@ -29,6 +32,7 @@
 // therefore always safe.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <list>
@@ -65,7 +69,7 @@ class VersionIndex {
     auto it = same_id_head_.find(id);
     if (it == same_id_head_.end()) return nullptr;
     for (Node* n = it->second; n != nullptr; n = n->next_same_id) {
-      ++chain_steps_;
+      chain_steps_.fetch_add(1, std::memory_order_relaxed);
       if (n->owner == owner) return n;
     }
     return nullptr;
@@ -83,7 +87,7 @@ class VersionIndex {
     if (it == same_id_head_.end()) return nullptr;
     const Node* committed = nullptr;
     for (const Node* n = it->second; n != nullptr; n = n->next_same_id) {
-      ++chain_steps_;
+      chain_steps_.fetch_add(1, std::memory_order_relaxed);
       if (aru.valid() && n->owner == aru) return n;
       if (!n->owner.valid()) committed = n;
     }
@@ -239,7 +243,9 @@ class VersionIndex {
   }
 
   // Cumulative same-id chain traversal steps (ablation instrumentation).
-  std::uint64_t chain_steps() const { return chain_steps_; }
+  std::uint64_t chain_steps() const {
+    return chain_steps_.load(std::memory_order_relaxed);
+  }
 
   // Internal structure validation, used by the consistency checker.
   bool Validate() const {
@@ -266,7 +272,7 @@ class VersionIndex {
     auto it = same_id_head_.find(id);
     if (it == same_id_head_.end()) return nullptr;
     for (Node* n = it->second; n != nullptr; n = n->next_same_id) {
-      ++chain_steps_;
+      chain_steps_.fetch_add(1, std::memory_order_relaxed);
       if (n != skip && n->owner == owner) return n;
     }
     return nullptr;
@@ -287,7 +293,10 @@ class VersionIndex {
   std::list<Node> committed_;
   std::unordered_map<AruId, std::list<Node>> shadow_;
   std::unordered_map<Id, Node*> same_id_head_;
-  mutable std::uint64_t chain_steps_ = 0;
+  // Atomic (relaxed): const lookups run under Lld::mu_ held in *shared*
+  // mode, so concurrent readers bump this counter in parallel. Relaxed
+  // is enough — it is a statistic, ordered by nothing.
+  mutable std::atomic<std::uint64_t> chain_steps_{0};
 };
 
 using BlockVersions = VersionIndex<BlockId, BlockMeta>;

@@ -12,10 +12,19 @@
 // lambda body as a separate function with no knowledge of the enclosing
 // scope's locks, so a lambda touching guarded state states its
 // precondition with mu_.AssertHeld() (a no-op at runtime).
+//
+// SharedMutex is the reader/writer variant: ReaderMutexLock takes it in
+// shared mode (many readers in parallel, reads of guarded state only),
+// WriterMutexLock takes it exclusively. There is no upgrade path — a
+// thread holding shared mode that calls Lock() deadlocks against
+// itself, which both -Wthread-safety and arulint's lock-order rule
+// flag. CondVar only waits on plain Mutex; code paths that need to
+// block under a SharedMutex must drop it and re-validate instead.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 #include "util/thread_annotations.h"
 
@@ -56,6 +65,64 @@ class ARU_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+// Reader/writer mutex: std::shared_mutex with capability annotations.
+// Exclusive mode uses the same Lock/Unlock vocabulary as Mutex so
+// WriterMutexLock reads identically to MutexLock at call sites.
+class ARU_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ARU_ACQUIRE() { mu_.lock(); }
+  void Unlock() ARU_RELEASE() { mu_.unlock(); }
+  bool TryLock() ARU_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void ReaderLock() ARU_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() ARU_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  // Lambda escape hatches, mirroring Mutex::AssertHeld: no-ops at
+  // runtime that state the (exclusive / at-least-shared) precondition.
+  void AssertHeld() const ARU_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const ARU_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive holder for SharedMutex; the writer-side MutexLock.
+class ARU_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ARU_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() ARU_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII shared holder for SharedMutex. Reads of ARU_GUARDED_BY state are
+// permitted while one of these is live; writes are not.
+class ARU_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ARU_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  // Generic release: the analysis pairs it with whichever mode the
+  // constructor acquired.
+  ~ReaderMutexLock() ARU_RELEASE() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 // Condition variable bound to an annotated Mutex at each wait site.

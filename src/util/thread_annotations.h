@@ -20,6 +20,11 @@
 //   ARU_ASSERT_CAPABILITY(mu) — runtime assertion the analysis trusts;
 //                               the escape hatch for lambdas, which the
 //                               analysis treats as separate functions.
+//   ARU_SHARED_* vocabulary   — reader/writer capabilities. A shared
+//       acquisition (ARU_ACQUIRE_SHARED / ARU_REQUIRES_SHARED /
+//       ARU_ASSERT_SHARED_CAPABILITY) permits reads of guarded state;
+//       writes still demand the exclusive forms. Holding a capability
+//       exclusively satisfies a shared requirement, never vice versa.
 //   ARU_RETURN_CAPABILITY(mu) — accessor returning a reference to mu.
 //   ARU_NO_THREAD_SAFETY_ANALYSIS — opt a function out entirely.
 #pragma once
@@ -53,6 +58,8 @@
 #define ARU_EXCLUDES(...) ARU_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 #define ARU_ASSERT_CAPABILITY(x) \
   ARU_THREAD_ANNOTATION(assert_capability(x))
+#define ARU_ASSERT_SHARED_CAPABILITY(x) \
+  ARU_THREAD_ANNOTATION(assert_shared_capability(x))
 #define ARU_RETURN_CAPABILITY(x) ARU_THREAD_ANNOTATION(lock_returned(x))
 #define ARU_NO_THREAD_SAFETY_ANALYSIS \
   ARU_THREAD_ANNOTATION(no_thread_safety_analysis)

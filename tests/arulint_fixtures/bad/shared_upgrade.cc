@@ -1,0 +1,42 @@
+// Seeded-violation fixture for arulint_test: lock upgrade under a
+// shared hold. Taking the same SharedMutex exclusively while already
+// holding it in reader mode self-deadlocks — SharedMutex has no
+// upgrade path, so the writer acquisition waits forever on our own
+// reader hold. A shared re-acquire under a shared hold is benign and
+// must NOT be flagged (Nested below pins that).
+#include "util/mutex.h"
+
+namespace fixture {
+
+class UpgradeMutex {};
+
+class ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(UpgradeMutex& mu);
+};
+
+class WriterMutexLock {
+ public:
+  explicit WriterMutexLock(UpgradeMutex& mu);
+};
+
+class Table {
+ public:
+  void Upgrade();
+  void Nested();
+
+ private:
+  UpgradeMutex mu_;
+};
+
+void Table::Upgrade() {
+  ReaderMutexLock read_lock(mu_);
+  WriterMutexLock write_lock(mu_);  // upgrade: self-deadlock
+}
+
+void Table::Nested() {
+  ReaderMutexLock outer(mu_);
+  ReaderMutexLock inner(mu_);  // shared-after-shared: not flagged
+}
+
+}  // namespace fixture

@@ -341,6 +341,34 @@ TEST(LockOrderTest, CycleThroughACalleeIsDetected) {
                 {"lock-order", 13}, {"lock-order", 14}}));
 }
 
+TEST(LockOrderTest, SharedModeUpgradeThroughACallee) {
+  // F holds m_ in shared mode and calls H, which takes m_ exclusively:
+  // an upgrade mediated by the call graph. G shows the benign shape —
+  // a callee that re-acquires the same mutex in shared mode under a
+  // shared hold is not flagged.
+  const std::string source =
+      "class M {};\n"
+      "class ReaderMutexLock { public: explicit ReaderMutexLock(M& m); };\n"
+      "class WriterMutexLock { public: explicit WriterMutexLock(M& m); };\n"
+      "class P {\n"
+      " public:\n"
+      "  void F();\n"
+      "  void G();\n"
+      "  void H();\n"
+      "  void S();\n"
+      " private:\n"
+      "  M m_;\n"
+      "};\n"
+      "void P::H() { WriterMutexLock lw(m_); }\n"
+      "void P::S() { ReaderMutexLock lr(m_); }\n"
+      "void P::F() { ReaderMutexLock lr(m_); H(); }\n"
+      "void P::G() { ReaderMutexLock lr(m_); S(); }\n";
+  const auto findings = CheckSource("src/a.cc", source);
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"lock-order", 15}}));  // F: call into the upgrade
+}
+
 TEST(BannedCallTest, FlagsRandAndTimeButNotLookalikes) {
   const auto findings = CheckSource(
       "src/a.cc",
@@ -513,6 +541,17 @@ TEST(FixtureTest, LockOrderCycle) {
             (std::vector<std::pair<std::string, std::size_t>>{
                 {"lock-order", 27},     // Forward: a_ then b_
                 {"lock-order", 32}}));  // Backward: b_ then a_
+}
+
+TEST(FixtureTest, SharedUpgradeSelfDeadlock) {
+  // Only the exclusive-under-shared site fires; the shared-after-shared
+  // re-acquire in Nested() stays quiet.
+  const auto findings = CheckFile(Fixture("bad/shared_upgrade.cc"));
+  ASSERT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"lock-order", 34}}));  // WriterMutexLock under reader hold
+  EXPECT_NE(findings.front().message.find("upgrade"), std::string::npos)
+      << findings.front().message;
 }
 
 TEST(FixtureTest, AssertInRecoveryPath) {

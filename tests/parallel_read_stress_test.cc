@@ -1,0 +1,234 @@
+// Multi-threaded stress for the shared-mode read path: reader threads
+// resolve under a shared lock, pin the slot, and read the device with
+// no LLD lock held, racing overwriting writers, the cleaner, and the
+// write-behind flusher. TSan runs this suite in CI, so the pin/
+// generation protocol, the sharded read cache, and the out-of-lock
+// device reads are race-checked, not just correctness-checked.
+//
+// Content stability trick: every overwrite of block i rewrites the
+// SAME TestPattern(i) payload, so a reader may race any number of
+// relocations (overwrite or cleaner copy) and still knows exactly what
+// bytes a successful Read must return.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_support/latency_disk.h"
+#include "blockdev/mem_disk.h"
+#include "lld/lld.h"
+#include "tests/test_util.h"
+
+namespace aru::testing {
+namespace {
+
+using ld::BlockId;
+using ld::kListHead;
+using ld::kNoAru;
+using ld::ListId;
+
+// Deterministic per-thread picker (tests must not use rand()).
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  }
+};
+
+TEST(ParallelReadStressTest, ReadersRaceOverwritesAndCleaner) {
+  lld::Options opts = TestDisk::SmallOptions();
+  opts.paranoid_checks = false;     // checked explicitly at the end
+  opts.read_cache_blocks = 32;      // small: hits AND misses race
+  opts.read_cache_shards = 4;
+  TestDisk t(opts);
+
+  constexpr std::uint64_t kBlocks = 48;
+  constexpr int kReaders = 4;
+  constexpr int kReadsPerReader = 4000;
+
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  std::vector<BlockId> blocks;
+  BlockId pred = kListHead;
+  for (std::uint64_t i = 0; i < kBlocks; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, i), kNoAru));
+    blocks.push_back(pred);
+  }
+  // Land the working set on the device so readers start on the full
+  // pin-and-read path rather than the open-segment fast path.
+  ASSERT_OK(t.disk->Flush());
+  ASSERT_OK(t.disk->Checkpoint());
+
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::vector<Status> failures;
+
+  // Writer: relocate blocks continuously (same content, new PhysAddr)
+  // so the log churns and the cleaner has garbage to reclaim.
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t b = i++ % kBlocks;
+      const Status status =
+          t.disk->Write(blocks[b], TestPattern(4096, b), kNoAru);
+      if (!status.ok() && status.code() != StatusCode::kOutOfSpace) {
+        const std::lock_guard<std::mutex> lock(mu);
+        failures.push_back(status);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Admin: flush / checkpoint / clean barriers racing the readers.
+  std::thread admin([&] {
+    int round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Status status;
+      switch (round++ % 3) {
+        case 0: status = t.disk->Flush(); break;
+        case 1: status = t.disk->Checkpoint(); break;
+        default: status = t.disk->Clean(); break;
+      }
+      // Clean legitimately reports OutOfSpace with nothing to reclaim.
+      if (!status.ok() && status.code() != StatusCode::kOutOfSpace) {
+        const std::lock_guard<std::mutex> lock(mu);
+        failures.push_back(status);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Bytes out(4096);
+      Lcg rng{static_cast<std::uint64_t>(r) * 977 + 13};
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        const std::uint64_t b = rng.Next() % kBlocks;
+        const Status status = t.disk->Read(blocks[b], out, kNoAru);
+        if (!status.ok()) {
+          const std::lock_guard<std::mutex> lock(mu);
+          failures.push_back(status);
+          return;
+        }
+        if (out != TestPattern(4096, b)) {
+          const std::lock_guard<std::mutex> lock(mu);
+          failures.push_back(
+              CorruptionError("reader observed torn or stale block " +
+                            std::to_string(b)));
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  admin.join();
+
+  for (const Status& failure : failures) {
+    ADD_FAILURE() << "thread failure: " << failure.ToString();
+  }
+  const lld::LldStats stats = t.disk->stats();
+  EXPECT_GT(stats.cleaner_passes, 0u);
+  // The sharded cache saw traffic from every reader.
+  const lld::BlockCacheStats cache = t.disk->read_cache_stats();
+  EXPECT_EQ(cache.shard_count, 4u);
+  EXPECT_GT(cache.hits + cache.misses, 0u);
+  ASSERT_OK(t.disk->CheckConsistency());
+  ASSERT_OK(t.disk->Close());
+}
+
+TEST(ParallelReadStressTest, ConcurrentReadsOfInflightSegments) {
+  // Write-behind pipeline + slow device writes: sealed segments linger
+  // in flight, and concurrent readers must be served from the buffered
+  // copy (under the shared lock) while the flusher races the device.
+  lld::Options opts = TestDisk::SmallOptions();
+  opts.paranoid_checks = false;
+  opts.write_behind_segments = 4;
+  opts.read_cache_blocks = 0;  // no cache: buffered serving or device
+
+  auto latency = std::make_unique<bench::LatencyDisk>(
+      std::make_unique<MemDisk>(TestDisk::kDefaultSectors));
+  bench::LatencyDisk& device = *latency;
+  ASSERT_OK(lld::Lld::Format(device, opts));
+  ASSERT_OK_AND_ASSIGN(const std::unique_ptr<lld::Lld> disk,
+                       lld::Lld::Open(device, opts));
+  device.set_write_latency_us(3000);
+
+  const obs::Counter* inflight_reads = disk->registry().FindCounter(
+      "aru_lld_reads_from_inflight_segment_total");
+  ASSERT_NE(inflight_reads, nullptr);
+
+  ASSERT_OK_AND_ASSIGN(const ListId list, disk->NewList(kNoAru));
+  constexpr std::uint64_t kBlocks = 96;  // ~3 segments at 128 KB / 4 KB
+  std::vector<BlockId> blocks;
+  BlockId pred = kListHead;
+  for (std::uint64_t i = 0; i < kBlocks; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, disk->NewBlock(list, pred, kNoAru));
+    blocks.push_back(pred);
+  }
+
+  // Rounds of burst-write + concurrent read-back: each round seals a
+  // few segments (3 ms of device time apiece), and four readers sweep
+  // the freshly written blocks while those seals are still queued. The
+  // main thread keeps re-bursting the same stable patterns while the
+  // readers run, so seals keep entering the pipeline during the sweep —
+  // the buffered-read hit cannot be lost to reader-startup latency.
+  for (int round = 0; round < 10 && inflight_reads->value() == 0; ++round) {
+    for (std::uint64_t i = 0; i < kBlocks; ++i) {
+      ASSERT_OK(disk->Write(blocks[i], TestPattern(4096, i), kNoAru));
+    }
+    std::mutex mu;
+    std::vector<Status> failures;
+    std::vector<std::thread> readers;
+    readers.reserve(4);
+    for (int r = 0; r < 4; ++r) {
+      readers.emplace_back([&, r] {
+        Bytes out(4096);
+        for (int sweep = 0; sweep < 2; ++sweep) {
+          for (std::uint64_t i = static_cast<std::uint64_t>(r); i < kBlocks;
+               i += 4) {
+            const Status status = disk->Read(blocks[i], out, kNoAru);
+            if (!status.ok()) {
+              const std::lock_guard<std::mutex> lock(mu);
+              failures.push_back(status);
+              return;
+            }
+            if (out != TestPattern(4096, i)) {
+              const std::lock_guard<std::mutex> lock(mu);
+              failures.push_back(CorruptionError(
+                  "in-flight read returned wrong bytes for block " +
+                  std::to_string(i)));
+              return;
+            }
+          }
+        }
+      });
+    }
+    Status rewrite_status;  // checked only after the readers join
+    for (std::uint64_t i = 0; i < kBlocks && rewrite_status.ok(); ++i) {
+      rewrite_status = disk->Write(blocks[i], TestPattern(4096, i), kNoAru);
+    }
+    for (std::thread& r : readers) r.join();
+    ASSERT_OK(rewrite_status);
+    for (const Status& failure : failures) {
+      ADD_FAILURE() << "reader failure: " << failure.ToString();
+    }
+    ASSERT_OK(disk->Flush());
+  }
+  EXPECT_GT(inflight_reads->value(), 0u);
+  ASSERT_OK(disk->CheckConsistency());
+  ASSERT_OK(disk->Close());
+}
+
+}  // namespace
+}  // namespace aru::testing

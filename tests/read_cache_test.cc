@@ -50,6 +50,70 @@ TEST(BlockCacheUnitTest, InvalidateSlot) {
   EXPECT_EQ(cache.stats().invalidated, 2u);
 }
 
+TEST(BlockCacheUnitTest, DuplicateInsertPromotesToMru) {
+  lld::BlockCache cache(2, 16);
+  Bytes a(16, std::byte{1}), b(16, std::byte{2}), c(16, std::byte{3});
+  Bytes out(16);
+  cache.Insert(lld::PhysAddr(0, 0), a);
+  cache.Insert(lld::PhysAddr(0, 1), b);
+  // Re-inserting (0,0) must promote it — previously this early-returned
+  // without an LRU touch, leaving the hot block as the eviction victim.
+  cache.Insert(lld::PhysAddr(0, 0), a);
+  cache.Insert(lld::PhysAddr(1, 0), c);  // evicts LRU, which is now (0,1)
+  EXPECT_TRUE(cache.Lookup(lld::PhysAddr(0, 0), out));
+  EXPECT_EQ(out, a);
+  EXPECT_FALSE(cache.Lookup(lld::PhysAddr(0, 1), out));
+  EXPECT_EQ(cache.stats().insertions, 3u);  // the duplicate is not counted
+}
+
+TEST(BlockCacheUnitTest, ShardsPartitionTheKeySpace) {
+  lld::BlockCache cache(64, 16, /*shard_count=*/4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  Bytes out(16);
+  for (std::uint32_t slot = 0; slot < 8; ++slot) {
+    for (std::uint32_t index = 0; index < 8; ++index) {
+      cache.Insert(lld::PhysAddr(slot, index), Bytes(16, std::byte{1}));
+    }
+  }
+  EXPECT_EQ(cache.size(), 64u);
+  for (std::uint32_t slot = 0; slot < 8; ++slot) {
+    for (std::uint32_t index = 0; index < 8; ++index) {
+      EXPECT_TRUE(cache.Lookup(lld::PhysAddr(slot, index), out));
+    }
+  }
+  const lld::BlockCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.shard_count, 4u);
+  ASSERT_EQ(stats.shards.size(), 4u);
+  std::uint64_t shard_hits = 0, shard_entries = 0;
+  for (const lld::BlockCacheShardStats& s : stats.shards) {
+    shard_hits += s.hits;
+    shard_entries += s.entries;
+  }
+  EXPECT_EQ(shard_hits, stats.hits);  // aggregate == sum of shards
+  EXPECT_EQ(shard_hits, 64u);
+  EXPECT_EQ(shard_entries, 64u);
+}
+
+TEST(BlockCacheUnitTest, InvalidateSlotFansOutAcrossShards) {
+  lld::BlockCache cache(64, 16, /*shard_count=*/4);
+  for (std::uint32_t index = 0; index < 16; ++index) {
+    cache.Insert(lld::PhysAddr(3, index), Bytes(16, std::byte{1}));
+    cache.Insert(lld::PhysAddr(4, index), Bytes(16, std::byte{2}));
+  }
+  cache.InvalidateSlot(3);
+  Bytes out(16);
+  for (std::uint32_t index = 0; index < 16; ++index) {
+    EXPECT_FALSE(cache.Lookup(lld::PhysAddr(3, index), out));
+    EXPECT_TRUE(cache.Lookup(lld::PhysAddr(4, index), out));
+  }
+  EXPECT_EQ(cache.stats().invalidated, 16u);
+}
+
+TEST(BlockCacheUnitTest, ShardCountClampedToCapacity) {
+  lld::BlockCache cache(2, 16, /*shard_count=*/64);
+  EXPECT_EQ(cache.shard_count(), 2u);
+}
+
 TEST(BlockCacheUnitTest, DisabledCacheIsInert) {
   lld::BlockCache cache(0, 16);
   cache.Insert(lld::PhysAddr(0, 0), Bytes(16));

@@ -22,6 +22,7 @@ using lld::LldMetrics;
 using lld::SegmentPipeline;
 using lld::SegmentWriter;
 using lld::SlotInfo;
+using lld::SlotPins;
 using lld::SlotState;
 using lld::SlotTable;
 
@@ -230,15 +231,52 @@ TEST(SlotTableTest, NextFreeWrapsAround) {
 
 TEST(SlotTableTest, ReleasePendingHonorsCoverage) {
   SlotTable slots(3);
+  SlotPins pins(3);
   slots[0] = SlotInfo{SlotState::kPendingFree, 5, 100};
   slots[1] = SlotInfo{SlotState::kPendingFree, 9, 200};
   slots[2] = SlotInfo{SlotState::kWritten, 7, 150};
-  const auto released = slots.ReleasePending(/*covered_seq=*/6);
+  const auto released = slots.ReleasePending(/*covered_seq=*/6, pins);
   ASSERT_EQ(released.size(), 1u);
   EXPECT_EQ(released[0], 0u);
   EXPECT_EQ(slots[0].state, SlotState::kFree);
   EXPECT_EQ(slots[1].state, SlotState::kPendingFree);  // seq 9 > 6
   EXPECT_EQ(slots[2].state, SlotState::kWritten);
+  EXPECT_EQ(pins.generation(0), 1u);  // bumped on release
+  EXPECT_EQ(pins.generation(1), 0u);
+}
+
+TEST(SlotTableTest, ReleasePendingSkipsPinnedSlots) {
+  SlotTable slots(3);
+  SlotPins pins(3);
+  slots[0] = SlotInfo{SlotState::kPendingFree, 3, 100};
+  slots[1] = SlotInfo{SlotState::kPendingFree, 4, 200};
+  pins.Pin(0);
+  auto released = slots.ReleasePending(/*covered_seq=*/10, pins);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], 1u);
+  // The pinned slot stays PendingFree — an in-flight reader still
+  // depends on its bytes — and its generation is untouched.
+  EXPECT_EQ(slots[0].state, SlotState::kPendingFree);
+  EXPECT_EQ(pins.generation(0), 0u);
+  // A later checkpoint (pin dropped) releases it and bumps the gen.
+  pins.Unpin(0);
+  released = slots.ReleasePending(/*covered_seq=*/10, pins);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], 0u);
+  EXPECT_EQ(slots[0].state, SlotState::kFree);
+  EXPECT_EQ(pins.generation(0), 1u);
+}
+
+TEST(SlotTableTest, SlotPinsCountNestedPins) {
+  SlotPins pins(2);
+  pins.Pin(1);
+  pins.Pin(1);
+  EXPECT_EQ(pins.pins(1), 2u);
+  EXPECT_EQ(pins.pins(0), 0u);
+  pins.Unpin(1);
+  EXPECT_EQ(pins.pins(1), 1u);
+  pins.Unpin(1);
+  EXPECT_EQ(pins.pins(1), 0u);
 }
 
 TEST(SlotTableTest, CountState) {

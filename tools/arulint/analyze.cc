@@ -30,8 +30,8 @@ struct BodyScanner {
   const std::vector<Token>& t;
   BodySummary out;
 
-  // Locks held per open brace scope.
-  std::vector<std::vector<std::string>> scopes;
+  // Locks held per open brace scope: (lock key, shared-mode).
+  std::vector<std::vector<std::pair<std::string, bool>>> scopes;
   // Declared local name -> type head (seeded with the parameters).
   std::map<std::string, std::string> locals;
   // Expressions that denote the *real* tables this function is
@@ -44,9 +44,26 @@ struct BodyScanner {
   std::set<std::string> Held() const {
     std::set<std::string> held;
     for (const auto& scope : scopes) {
-      held.insert(scope.begin(), scope.end());
+      for (const auto& [key, shared] : scope) held.insert(key);
     }
     return held;
+  }
+
+  // Keys held only in shared mode: an exclusive hold anywhere wins.
+  std::set<std::string> HeldShared() const {
+    std::set<std::string> shared_only;
+    std::set<std::string> exclusive;
+    for (const auto& scope : scopes) {
+      for (const auto& [key, shared] : scope) {
+        if (shared) {
+          shared_only.insert(key);
+        } else {
+          exclusive.insert(key);
+        }
+      }
+    }
+    for (const std::string& key : exclusive) shared_only.erase(key);
+    return shared_only;
   }
 
   std::string TypeOf(const std::string& name) const {
@@ -97,9 +114,10 @@ struct BodyScanner {
         continue;
       }
       if (!tok.IsIdent()) continue;
-      if (tok.text == "MutexLock" && i + 2 < t.size() &&
-          t[i + 1].IsIdent() && t[i + 2].Is("(")) {
-        i = HandleAcquire(i);
+      if ((tok.text == "MutexLock" || tok.text == "WriterMutexLock" ||
+           tok.text == "ReaderMutexLock") &&
+          i + 2 < t.size() && t[i + 1].IsIdent() && t[i + 2].Is("(")) {
+        i = HandleAcquire(i, /*shared=*/tok.text == "ReaderMutexLock");
         continue;
       }
       HandleLocalDecl(i);
@@ -113,17 +131,19 @@ struct BodyScanner {
     MarkStatusLocalUse();
   }
 
-  std::size_t HandleAcquire(std::size_t i) {
+  std::size_t HandleAcquire(std::size_t i, bool shared) {
     const std::size_t open = i + 2;
     const std::size_t close = CloseOf(open);
     BodyEvent e;
     e.kind = BodyEvent::Kind::kAcquire;
     e.line = t[i].line;
     e.held_locks = Held();
+    e.held_shared = HeldShared();
     e.lock_key = ResolveLockExpr(open + 1, close);
+    e.acquire_shared = shared;
     out.events.push_back(e);
     if (!scopes.empty() && !e.lock_key.empty()) {
-      scopes.back().push_back(e.lock_key);
+      scopes.back().emplace_back(e.lock_key, shared);
     }
     return close;
   }
@@ -203,6 +223,7 @@ struct BodyScanner {
     e.line = t[i].line;
     e.table_expr = t[i].text;
     e.held_locks = Held();
+    e.held_shared = HeldShared();
     out.events.push_back(e);
   }
 
@@ -212,6 +233,7 @@ struct BodyScanner {
     e.line = t[i].line;
     e.callee_base = t[i].text;
     e.held_locks = Held();
+    e.held_shared = HeldShared();
     // Receiver resolution (conservative: unresolved stays "").
     std::string receiver_type;
     bool have_receiver = false;

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "tools/arulint/lexer.h"
@@ -85,6 +86,8 @@ struct LockEdge {
   std::size_t line = 0;
   std::string held;
   std::string acquired;
+  bool held_shared = false;      // held only via ReaderMutexLock
+  bool acquired_shared = false;  // acquisition is ReaderMutexLock
 };
 
 struct Analysis {
@@ -510,15 +513,17 @@ void CollectLockEdges(const Analysis& a, std::size_t file,
   for (const BodyEvent& e : body.events) {
     if (e.kind == BodyEvent::Kind::kAcquire) {
       for (const std::string& held : e.held_locks) {
-        out.push_back({file, e.line, held, e.lock_key});
+        out.push_back({file, e.line, held, e.lock_key,
+                       e.held_shared.count(held) > 0, e.acquire_shared});
       }
     } else if (e.kind == BodyEvent::Kind::kCall && !e.held_locks.empty() &&
                !e.callee_qname.empty()) {
       const auto it = a.index.may_acquire.find(e.callee_qname);
       if (it == a.index.may_acquire.end()) continue;
-      for (const std::string& acquired : it->second) {
+      for (const auto& [acquired, acquired_shared] : it->second) {
         for (const std::string& held : e.held_locks) {
-          out.push_back({file, e.line, held, acquired});
+          out.push_back({file, e.line, held, acquired,
+                         e.held_shared.count(held) > 0, acquired_shared});
         }
       }
     }
@@ -527,11 +532,18 @@ void CollectLockEdges(const Analysis& a, std::size_t file,
 
 void CheckLockOrder(const Analysis& a,
                     std::vector<std::vector<Finding>>& per_file) {
-  // Deduplicate edges, keeping the first site seen.
-  std::map<std::pair<std::string, std::string>, const LockEdge*> edges;
+  // Deduplicate edges per (held, acquired, modes), keeping the first
+  // site seen. Modes are part of the key so that a shared-shared
+  // re-acquire (benign, see below) does not swallow an exclusive
+  // re-acquire of the same mutex elsewhere.
+  std::map<std::tuple<std::string, std::string, bool, bool>,
+           const LockEdge*>
+      edges;
   std::map<std::string, std::set<std::string>> adj;
   for (const LockEdge& e : a.lock_edges) {
-    edges.emplace(std::make_pair(e.held, e.acquired), &e);
+    edges.emplace(
+        std::make_tuple(e.held, e.acquired, e.held_shared, e.acquired_shared),
+        &e);
     adj[e.held].insert(e.acquired);
   }
   const auto reaches = [&adj](const std::string& from,
@@ -550,20 +562,33 @@ void CheckLockOrder(const Analysis& a,
     return false;
   };
   for (const auto& [key, edge] : edges) {
-    const auto& [held, acquired] = key;
+    const auto& [held, acquired, held_shared, acquired_shared] = key;
+    // Shared re-acquire under a shared hold of the same mutex does not
+    // self-deadlock (both holds are reader-mode); it is not flagged.
+    // Every other same-key combination is: SharedMutex has no upgrade
+    // path, so exclusive-after-shared blocks on our own reader hold.
+    if (held == acquired && held_shared && acquired_shared) continue;
     const bool cyclic = held == acquired || reaches(acquired, held);
     if (!cyclic) continue;
     const FileModel& m = a.models[edge->file];
     if (IsAllowed(m.raw, edge->line, "lock-order")) continue;
+    std::string message;
+    if (held == acquired && held_shared && !acquired_shared) {
+      message = "acquiring mutex '" + acquired +
+                "' exclusively while holding it in shared mode: lock "
+                "upgrade is a self-deadlock (SharedMutex has no upgrade "
+                "path; release the reader lock and re-acquire exclusive)";
+    } else if (held == acquired) {
+      message = "acquiring mutex '" + acquired +
+                "' while it is already held: self-deadlock";
+    } else {
+      message = "acquiring mutex '" + acquired + "' while holding '" + held +
+                "' closes a cycle in the lock acquisition graph: "
+                "another thread taking them in the opposite order "
+                "deadlocks";
+    }
     per_file[edge->file].push_back(
-        {m.path, edge->line, "lock-order",
-         held == acquired
-             ? "acquiring mutex '" + acquired +
-                   "' while it is already held: self-deadlock"
-             : "acquiring mutex '" + acquired + "' while holding '" + held +
-                   "' closes a cycle in the lock acquisition graph: "
-                   "another thread taking them in the opposite order "
-                   "deadlocks"});
+        {m.path, edge->line, "lock-order", std::move(message)});
   }
 }
 

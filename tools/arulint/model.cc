@@ -623,7 +623,10 @@ void FinishIndex(ProjectIndex& index, const std::vector<BodySummary>& bodies) {
   for (const BodySummary& body : bodies) {
     for (const BodyEvent& e : body.events) {
       if (e.kind == BodyEvent::Kind::kAcquire && !e.lock_key.empty()) {
-        index.may_acquire[body.fn->qname].insert(e.lock_key);
+        auto& modes = index.may_acquire[body.fn->qname];
+        const auto [it, fresh] = modes.emplace(e.lock_key, e.acquire_shared);
+        // Exclusive anywhere wins over shared.
+        if (!fresh && !e.acquire_shared) it->second = false;
       }
     }
   }
@@ -652,8 +655,14 @@ void FinishIndex(ProjectIndex& index, const std::vector<BodySummary>& bodies) {
           const auto it = index.may_acquire.find(e.callee_qname);
           if (it != index.may_acquire.end()) {
             auto& mine = index.may_acquire[self];
-            for (const std::string& key : it->second) {
-              if (mine.insert(key).second) changed = true;
+            for (const auto& [key, shared] : it->second) {
+              const auto [mit, fresh] = mine.emplace(key, shared);
+              if (fresh) {
+                changed = true;
+              } else if (mit->second && !shared) {
+                mit->second = false;  // exclusive wins
+                changed = true;
+              }
             }
           }
         }

@@ -100,8 +100,11 @@ struct ProjectIndex {
   std::set<std::string> annotated_mutators;
   // Transitive closure: qnames that (may) reach an annotated appender.
   std::set<std::string> may_append;
-  // qname -> transitive set of lock keys the function may acquire.
-  std::map<std::string, std::set<std::string>> may_acquire;
+  // qname -> transitive lock keys the function may acquire. The mapped
+  // bool is true when every known acquisition of that key (direct or
+  // through callees) is shared-mode (ReaderMutexLock); one exclusive
+  // acquisition anywhere turns it false.
+  std::map<std::string, std::map<std::string, bool>> may_acquire;
 
   bool ReturnsStatus(const std::string& qname) const;
   // Declared type of Class::member, "" when unknown.
@@ -120,7 +123,7 @@ struct BodyEvent {
   enum class Kind {
     kCall,      // any call expression
     kMutation,  // table mutator method / assignment on a real table
-    kAcquire,   // MutexLock construction
+    kAcquire,   // MutexLock / WriterMutexLock / ReaderMutexLock
   };
   Kind kind = Kind::kCall;
   std::size_t line = 0;
@@ -131,10 +134,14 @@ struct BodyEvent {
   bool real_table_arg = false;  // an argument names a real table
   bool implicit_this = false;   // bare call on the enclosing class
   std::set<std::string> held_locks;  // lock keys held at this point
+  // Subset of held_locks held ONLY in shared mode at this point (a key
+  // also held exclusively in any enclosing scope is excluded).
+  std::set<std::string> held_shared;
   // kMutation: what was mutated.
   std::string table_expr;
-  // kAcquire: the lock key.
+  // kAcquire: the lock key and mode.
   std::string lock_key;
+  bool acquire_shared = false;  // ReaderMutexLock (shared-mode) site
 };
 
 struct StatusLocal {
