@@ -12,17 +12,25 @@
 // leaves the critical section and concurrent streams ride one shared
 // segment write (group commit).
 //
-// Flags: --streams=4 --arus=300, then google-benchmark's own.
+// The artifact embeds the metrics registry and a "timeseries" section
+// (background sampler ring: durable lag, in-flight segments, commit
+// counts, lock contention) from the deepest pipeline point, and the
+// Chrome trace of the sweep lands in TRACE_commit_batch.json.
+//
+// Flags: --streams=4 --arus=300 --sampler_period_ms=5, then
+// google-benchmark's own.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_support/report.h"
 #include "bench_support/rig.h"
+#include "obs/trace.h"
 
 namespace aru::bench {
 namespace {
@@ -120,10 +128,12 @@ struct SweepPoint {
 int PipelineSweep(int argc, char** argv) {
   const std::uint64_t streams = FlagU64(argc, argv, "streams", 4);
   const std::uint64_t arus = FlagU64(argc, argv, "arus", 300);
+  const std::uint64_t sampler_ms = FlagU64(argc, argv, "sampler_period_ms", 5);
 
   BenchArtifact artifact("commit_batch");
   artifact.AddScalar("streams", static_cast<double>(streams));
   artifact.AddScalar("arus_per_stream", static_cast<double>(arus));
+  artifact.AddScalar("sampler_period_ms", static_cast<double>(sampler_ms));
 
   std::printf("Write-behind sweep: %llu streams x %llu durable ARU "
               "commits (4 writes each)\n",
@@ -133,6 +143,11 @@ int PipelineSweep(int argc, char** argv) {
 
   double sync_throughput = 0.0;
   double best_async = 0.0;
+  // The deepest pipeline point's rig survives the loop so the artifact
+  // can embed its registry and sampler ring (each point builds a fresh
+  // rig; the last one — wb8 — is where lag/in-flight dynamics are most
+  // interesting).
+  std::unique_ptr<Rig> last_rig;
   for (const SweepPoint& point :
        {SweepPoint{"sync", 0}, SweepPoint{"wb1", 1}, SweepPoint{"wb2", 2},
         SweepPoint{"wb4", 4}, SweepPoint{"wb8", 8}}) {
@@ -146,6 +161,7 @@ int PipelineSweep(int argc, char** argv) {
     options.durable_commits = true;
     options.device_write_latency_us =
         FlagU64(argc, argv, "write_latency_us", 400);
+    options.sampler_period_ms = sampler_ms;
     auto rig = MakeRig(NewConfig(), options);
     if (!rig.ok()) {
       std::fprintf(stderr, "rig failed: %s\n",
@@ -194,6 +210,7 @@ int PipelineSweep(int argc, char** argv) {
     } else {
       best_async = std::max(best_async, arus_per_s);
     }
+    last_rig = std::move(*rig);
   }
   table.Print();
   if (sync_throughput > 0.0) {
@@ -201,8 +218,19 @@ int PipelineSweep(int argc, char** argv) {
     std::printf("best write-behind vs sync: %.2fx throughput\n", speedup);
     artifact.AddScalar("write_behind_speedup", speedup);
   }
+  if (last_rig != nullptr) {
+    artifact.SetRegistry(&last_rig->registry);
+    if (obs::Sampler* sampler = last_rig->disk->sampler()) {
+      sampler->Stop();
+      artifact.SetTimeseries(sampler->ToJson());
+    }
+  }
   if (const Status s = artifact.WriteFile(); !s.ok()) {
     std::fprintf(stderr, "artifact: %s\n", s.ToString().c_str());
+  }
+  {
+    std::ofstream trace("TRACE_commit_batch.json", std::ios::trunc);
+    trace << obs::Tracer::Default().DumpChromeJson();
   }
   return 0;
 }

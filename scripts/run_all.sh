@@ -3,6 +3,9 @@
 # benchmark, capturing the outputs the repository documents:
 #   test_output.txt   — ctest results
 #   bench_output.txt  — all benchmark tables (paper figures + ablations)
+#   ARU_REPORT.md     — aru_report over the BENCH_*.json / TRACE_*.json
+#                       the benchmarks left behind (lock contention by
+#                       site, timeseries, span critical paths)
 #
 # Exits non-zero if the build, any test, any example, or any benchmark
 # fails (individual failures are reported and counted rather than
@@ -60,6 +63,22 @@ for bench in build/bench/*; do
   fi
   echo | tee -a bench_output.txt
 done
+
+# Render the machine-readable outputs the benches just wrote into one
+# markdown report. Benches run from the repo root, so the artifacts
+# land here; traces are optional (only the concurrency benches write
+# them).
+bench_artifacts=(BENCH_*.json)
+if [ -e "${bench_artifacts[0]}" ]; then
+  report_args=(--out=ARU_REPORT.md)
+  for trace in TRACE_*.json; do
+    [ -e "$trace" ] && report_args+=("--trace=$trace")
+  done
+  if ! build/tools/aru_report/aru_report "${report_args[@]}" "${bench_artifacts[@]}"; then
+    echo "REPORT FAILED"
+    failures=$((failures + 1))
+  fi
+fi
 
 if [ "$failures" -ne 0 ]; then
   echo "run_all: $failures step(s) FAILED"

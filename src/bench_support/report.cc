@@ -166,6 +166,9 @@ std::string BenchArtifact::ToJson() const {
   if (registry_ != nullptr) {
     out << ",\"metrics\":" << registry_->DumpJson();
   }
+  if (!timeseries_.empty()) {
+    out << ",\"timeseries\":" << timeseries_;
+  }
   out << "}\n";
   return out.str();
 }

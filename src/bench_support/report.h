@@ -75,6 +75,13 @@ class BenchArtifact {
   // time; not owned, must outlive WriteFile().
   void SetRegistry(const obs::Registry* registry) { registry_ = registry; }
 
+  // Pre-serialized JSON object embedded verbatim under "timeseries" —
+  // an obs::Sampler::ToJson() ring, so the artifact carries how the
+  // tracked gauges/counters evolved over the run.
+  void SetTimeseries(std::string json_object) {
+    timeseries_ = std::move(json_object);
+  }
+
   std::string ToJson() const;
   Status WriteFile() const;  // BENCH_<name_>.json
 
@@ -83,6 +90,7 @@ class BenchArtifact {
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<std::pair<std::string, std::string>> strings_;
   const obs::Registry* registry_ = nullptr;
+  std::string timeseries_;  // empty = no section
 };
 
 }  // namespace aru::bench

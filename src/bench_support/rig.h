@@ -72,6 +72,9 @@ struct RigOptions {
   // blocks (0 disables) and LRU shard count (0 = library default).
   std::size_t read_cache_blocks = 0;
   std::size_t read_cache_shards = 0;
+  // Time-series sampler period (lld::Options passthrough); 0 = off.
+  // The ring is reachable as rig->disk->sampler() for SetTimeseries.
+  std::uint64_t sampler_period_ms = 0;
 };
 
 // Builds a formatted LLD + mounted MinixFS per the config.

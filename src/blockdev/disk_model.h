@@ -78,7 +78,7 @@ class ModeledDisk final : public BlockDevice {
 
  private:
   std::unique_ptr<BlockDevice> inner_;
-  Mutex mu_;
+  Mutex mu_{"blockdev_disk_model"};
   DiskModel model_ ARU_GUARDED_BY(mu_);  // head position mutates per request
   VirtualClock* clock_;  // not owned; atomic internally
   obs::Histogram* read_service_vus_;

@@ -68,7 +68,7 @@ class FaultInjectionDisk final : public BlockDevice {
 
  private:
   std::unique_ptr<BlockDevice> inner_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"blockdev_fault_disk"};
   Rng rng_ ARU_GUARDED_BY(mu_);
   std::uint64_t sectors_written_ ARU_GUARDED_BY(mu_) = 0;
   std::uint64_t cut_after_ ARU_GUARDED_BY(mu_) =

@@ -46,7 +46,7 @@ class FileDisk final : public BlockDevice {
   int fd_;
   std::uint32_t sector_size_;
   std::uint64_t sector_count_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"blockdev_file_disk"};
   DeviceStats stats_ ARU_GUARDED_BY(mu_);
 };
 

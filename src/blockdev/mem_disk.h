@@ -41,7 +41,7 @@ class MemDisk final : public BlockDevice {
  private:
   std::uint32_t sector_size_;
   std::uint64_t sector_count_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"blockdev_mem_disk"};
   Bytes data_ ARU_GUARDED_BY(mu_);
   DeviceStats stats_ ARU_GUARDED_BY(mu_);
 };

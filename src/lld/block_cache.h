@@ -68,6 +68,15 @@ class BlockCache {
   bool enabled() const { return shard_capacity_ > 0; }
   std::size_t shard_count() const { return shard_count_; }
 
+  // Contention attribution: hands every shard mutex to `bind` (e.g.
+  // LldMetrics::BindLock). All shards share the "lld_cache_shard" site
+  // name, so their waits aggregate into one metric pair — per-shard
+  // skew shows up in stats(), not in the lock histograms.
+  template <typename Binder>
+  void BindLockSites(Binder&& bind) {
+    for (Shard& shard : shards_) bind(shard.mu);
+  }
+
   // Copies the cached block into `out` on a hit.
   bool Lookup(PhysAddr phys, MutableByteSpan out) {
     if (!enabled()) return false;
@@ -158,7 +167,7 @@ class BlockCache {
   };
 
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{"lld_cache_shard"};
     std::list<Entry> lru ARU_GUARDED_BY(mu);
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map
         ARU_GUARDED_BY(mu);

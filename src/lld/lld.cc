@@ -72,6 +72,28 @@ Lld::Lld(BlockDevice& device, const Options& options, const Geometry& geometry)
       writer_(geometry_, slots_, pipeline_, metrics_) {
   metrics_.read_cache_shard_count->Set(
       static_cast<std::int64_t>(read_cache_.shard_count()));
+  // Contention attribution: every lock this disk owns reports blocked
+  // acquires into the registry, keyed by site name. (flush_mu_ was
+  // bound by the pipeline's constructor.)
+  metrics_.BindLock(mu_);
+  read_cache_.BindLockSites([this](Mutex& mu) { metrics_.BindLock(mu); });
+  if (options_.sampler_period_ms > 0) {
+    obs::SamplerOptions sampler_options;
+    sampler_options.period_ms = options_.sampler_period_ms;
+    sampler_ = std::make_unique<obs::Sampler>(&registry_, sampler_options);
+    for (const char* series :
+         {"aru_lld_durable_lag_lsn", "aru_lld_inflight_segments",
+          "aru_lld_active_arus", "aru_lld_blocks_read_total",
+          "aru_lld_blocks_written_total", "aru_lld_arus_committed_total",
+          "aru_lld_read_cache_hits_total", "aru_lld_read_cache_misses_total",
+          "aru_lock_contended_total_lld_mu_exclusive",
+          "aru_lock_contended_total_lld_mu_shared",
+          "aru_lock_contended_total_lld_flush_mu_exclusive",
+          "aru_lock_contended_total_lld_cache_shard_exclusive"}) {
+      sampler_->Track(series);
+    }
+    sampler_->Start();
+  }
 }
 
 Lld::~Lld() = default;
@@ -752,7 +774,11 @@ Status Lld::Read(BlockId block, MutableByteSpan out, AruId aru) {
       metrics_.read_lock_shared_us->Record(obs::NowUs() - lock_start_us);
     }
     // mu_ is dropped; the pin keeps the slot's bytes in place.
-    if (read_cache_.Lookup(phys, out)) return Status::Ok();
+    if (read_cache_.Lookup(phys, out)) {
+      metrics_.read_cache_hits->Increment();
+      return Status::Ok();
+    }
+    metrics_.read_cache_misses->Increment();
     ARU_RETURN_IF_ERROR(ReadBlockAt(phys, out));
     if (slot_pins_.generation(phys.slot()) == gen) {
       read_cache_.Insert(phys, out);
@@ -838,8 +864,11 @@ Status Lld::ReadMany(std::span<const BlockId> blocks, MutableByteSpan out,
       Target& target = targets[i];
       if (!target.pending) continue;
       if (read_cache_.Lookup(target.phys, out.subspan(i * bs, bs))) {
+        metrics_.read_cache_hits->Increment();
         target.pending = false;
         target.done = true;
+      } else {
+        metrics_.read_cache_misses->Increment();
       }
     }
 
@@ -910,7 +939,13 @@ Result<AruId> Lld::BeginARU() {
 }
 
 Status Lld::EndARU(AruId aru) {
-  const std::uint64_t commit_start_us = obs::NowUs();
+  // Root span of the commit path: the group-commit wait, any seal this
+  // thread performs (with its hand-off / synchronous device write), and
+  // the flusher's device write for segments this commit enqueued all
+  // nest under it — SpanBreakdown over a trace snapshot gives the
+  // commit's critical path.
+  obs::Span commit_span(&obs::Tracer::Default(), "lld", "end_aru",
+                        metrics_.commit_us);
   std::uint64_t begin_us = 0;
   Lsn durable_target = kNoLsn;
   Status status;
@@ -949,7 +984,7 @@ Status Lld::EndARU(AruId aru) {
       }
     }
   }
-  metrics_.commit_us->Record(obs::NowUs() - commit_start_us);
+  commit_span.Finish();
 
   const WriterMutexLock lock(mu_);
   if (status.ok()) {
@@ -1181,6 +1216,10 @@ Status Lld::Clean() {
 }
 
 Status Lld::Close() {
+  // A closed disk samples nothing (and the final checkpoint below must
+  // not race a sampler reading the registry mid-teardown in tests that
+  // destroy the registry right after Close).
+  if (sampler_ != nullptr) sampler_->Stop();
   std::vector<AruId> to_abort;
   {
     const WriterMutexLock lock(mu_);

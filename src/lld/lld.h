@@ -54,6 +54,7 @@
 #include "lld/tables.h"
 #include "lld/types.h"
 #include "lld/version_index.h"
+#include "obs/sampler.h"
 #include "util/mutex.h"
 #include "util/protocol_annotations.h"
 #include "util/thread_annotations.h"
@@ -162,6 +163,10 @@ class Lld final : public ld::Disk {
   // histograms (obs::DumpText/DumpJson-able). Private to this disk
   // unless Options.registry supplied a shared one.
   obs::Registry& registry() const { return registry_; }
+  // The background time-series sampler, nullptr unless
+  // Options::sampler_period_ms > 0. Its ring (obs::Sampler::ToJson)
+  // becomes the "timeseries" section of benchmark artifacts.
+  obs::Sampler* sampler() const { return sampler_.get(); }
   const RecoveryReport& recovery_report() const { return recovery_report_; }
   // The cache is internally synchronized; no table lock involved.
   BlockCacheStats read_cache_stats() const { return read_cache_.stats(); }
@@ -302,7 +307,7 @@ class Lld final : public ld::Disk {
   // in slot_table.h for the protocol and memory-ordering story.
   SlotPins slot_pins_;
 
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{"lld_mu"};
 
   BlockMap block_map_ ARU_GUARDED_BY(mu_);
   ListTable list_table_ ARU_GUARDED_BY(mu_);
@@ -326,6 +331,10 @@ class Lld final : public ld::Disk {
   // Written once by RecoverLocked before Open returns the disk; read
   // lock-free afterwards through recovery_report().
   RecoveryReport recovery_report_;
+
+  // Declared last so it is destroyed (and its thread joined) before
+  // the registry and metrics it samples. Internally synchronized.
+  std::unique_ptr<obs::Sampler> sampler_;
 };
 
 }  // namespace aru::lld

@@ -2,7 +2,7 @@
 
 namespace aru::lld {
 
-LldMetrics::LldMetrics(obs::Registry& registry) {
+LldMetrics::LldMetrics(obs::Registry& registry) : registry_(&registry) {
   auto counter = [&registry](const char* name, const char* help) {
     return registry.GetCounter(name, help);
   };
@@ -44,6 +44,10 @@ LldMetrics::LldMetrics(obs::Registry& registry) {
   slot_pin_retries =
       counter("aru_lld_slot_pin_retries_total",
               "out-of-lock reads retried after a slot generation changed");
+  read_cache_hits = counter("aru_lld_read_cache_hits_total",
+                            "device reads avoided by the read cache");
+  read_cache_misses = counter("aru_lld_read_cache_misses_total",
+                              "read-cache probes that went to the device");
 
   version_chain_steps =
       registry.GetGauge("aru_lld_version_chain_steps",
@@ -133,6 +137,16 @@ LldStats LldMetrics::Snapshot() const {
   stats.blocks_copied_by_cleaner = blocks_copied_by_cleaner->value();
   stats.orphan_blocks_reclaimed = orphan_blocks_reclaimed->value();
   return stats;
+}
+
+void LldMetrics::BindLock(Mutex& mu) {
+  auto sink = obs::BindLockSite(registry_, mu);
+  if (sink != nullptr) lock_sites_.push_back(std::move(sink));
+}
+
+void LldMetrics::BindLock(SharedMutex& mu) {
+  auto sink = obs::BindLockSite(registry_, mu);
+  if (sink != nullptr) lock_sites_.push_back(std::move(sink));
 }
 
 }  // namespace aru::lld

@@ -9,8 +9,13 @@
 // FIFO depth, promotion-horizon lag in LSNs, active ARUs).
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "lld/types.h"
+#include "obs/lock_metrics.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
 
 namespace aru::lld {
 
@@ -37,6 +42,8 @@ struct LldMetrics {
   obs::Counter* blocks_copied_by_cleaner;
   obs::Counter* orphan_blocks_reclaimed;
   obs::Counter* slot_pin_retries;  // stale-generation read retries
+  obs::Counter* read_cache_hits;    // device reads avoided by the cache
+  obs::Counter* read_cache_misses;  // cache probes that went to the device
 
   // Gauges.
   obs::Gauge* version_chain_steps;   // refreshed by Lld::stats()
@@ -70,6 +77,19 @@ struct LldMetrics {
   // (version_chain_steps is filled in by Lld::stats(), which owns the
   // version indexes the number comes from).
   LldStats Snapshot() const;
+
+  // Contention attribution: binds a named mutex to this registry so
+  // its contended acquires land in aru_lock_wait_us_<site>_* (see
+  // obs/lock_metrics.h). The sink lives here, so LldMetrics must
+  // outlive the mutex's last contended acquire — it does: Lld owns the
+  // metrics and every lock it binds (mu_, the pipeline's flush_mu_,
+  // the read-cache shard locks). Unnamed mutexes are a no-op.
+  void BindLock(Mutex& mu);
+  void BindLock(SharedMutex& mu);
+
+ private:
+  obs::Registry* registry_;
+  std::vector<std::unique_ptr<obs::LockSiteMetrics>> lock_sites_;
 };
 
 }  // namespace aru::lld

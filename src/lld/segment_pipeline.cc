@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace aru::lld {
 
@@ -15,6 +16,7 @@ SegmentPipeline::SegmentPipeline(BlockDevice& device, const Geometry& geometry,
       geometry_(geometry),
       metrics_(metrics),
       max_in_flight_(max_in_flight) {
+  metrics_.BindLock(flush_mu_);
   if (max_in_flight_ > 0) {
     flusher_ = std::thread([this] { FlusherMain(); });
   }
@@ -40,10 +42,12 @@ Status SegmentPipeline::Enqueue(std::uint64_t first_sector, Lsn last_lsn,
                                 std::uint32_t slot, std::uint32_t data_blocks,
                                 Bytes& buffer) {
   if (max_in_flight_ == 0) {
-    // Synchronous mode: the caller's thread is the flusher.
-    const std::uint64_t start = obs::NowUs();
+    // Synchronous mode: the caller's thread is the flusher. The span
+    // nests under the caller's seal span implicitly.
+    obs::Span write_span(&obs::Tracer::Default(), "lld", "device_write",
+                         metrics_.device_write_us);
     const Status written = device_.Write(first_sector, buffer);
-    metrics_.device_write_us->Record(obs::NowUs() - start);
+    write_span.Finish();
     ARU_RETURN_IF_ERROR(written);
     const MutexLock lock(flush_mu_);
     if (last_lsn != kNoLsn) {
@@ -54,12 +58,18 @@ Status SegmentPipeline::Enqueue(std::uint64_t first_sector, Lsn last_lsn,
     return Status::Ok();
   }
 
-  const std::uint64_t start = obs::NowUs();
+  // Parent the asynchronous device write on the seal span active here,
+  // not on the hand-off span created below: the write is the seal's
+  // deferred second half, and the hand-off is over before it starts.
+  const std::uint64_t seal_span = obs::Tracer::CurrentSpanId();
+  obs::Span handoff_span(&obs::Tracer::Default(), "lld", "seal_handoff",
+                         metrics_.seal_handoff_us);
   InFlight job;
   job.first_sector = first_sector;
   job.last_lsn = last_lsn;
   job.slot = slot;
   job.data_blocks = data_blocks;
+  job.parent_span = seal_span;
   {
     const MutexLock lock(flush_mu_);
     // Backpressure: the pool is bounded so a stalled device cannot
@@ -84,7 +94,7 @@ Status SegmentPipeline::Enqueue(std::uint64_t first_sector, Lsn last_lsn,
     }
   }
   work_cv_.NotifyOne();
-  metrics_.seal_handoff_us->Record(obs::NowUs() - start);
+  handoff_span.Finish();
   return Status::Ok();
 }
 
@@ -95,13 +105,15 @@ Lsn SegmentPipeline::durable_lsn() const {
 
 Status SegmentPipeline::WaitDurable(Lsn target) {
   if (target == kNoLsn) return Status::Ok();
-  const std::uint64_t start = obs::NowUs();
+  // Nests under the caller's span (EndARU's commit, or Flush), so the
+  // trace shows how much of a commit was group-commit riding.
+  const obs::Span wait_span(&obs::Tracer::Default(), "lld",
+                            "group_commit_wait", metrics_.flush_wait_us);
   const MutexLock lock(flush_mu_);
   durable_cv_.Wait(flush_mu_, [this, target] {
     flush_mu_.AssertHeld();
     return durable_lsn_ >= target || !error_.ok() || queue_.empty();
   });
-  metrics_.flush_wait_us->Record(obs::NowUs() - start);
   if (durable_lsn_ >= target) return Status::Ok();
   return error_;
 }
@@ -168,9 +180,12 @@ void SegmentPipeline::FlusherMain() {
     // (concurrent ReadBuffered calls are read-read).
     Status written = Status::Ok();
     if (!skip) {
-      const std::uint64_t start = obs::NowUs();
+      // Cross-thread child: nests under the seal span captured at
+      // Enqueue, so a trace shows which operation's segment this is.
+      obs::Span write_span(&obs::Tracer::Default(), "lld", "device_write",
+                           job->parent_span, metrics_.device_write_us);
       written = device_.Write(job->first_sector, job->buffer);
-      metrics_.device_write_us->Record(obs::NowUs() - start);
+      write_span.Finish();
     }
 
     {

@@ -99,6 +99,10 @@ class SegmentPipeline {
     Lsn last_lsn = kNoLsn;
     std::uint32_t slot = 0;
     std::uint32_t data_blocks = 0;
+    // Span active on the enqueuing thread (the seal span), so the
+    // flusher's device_write span nests under the operation that
+    // sealed the segment even though it runs on another thread.
+    std::uint64_t parent_span = 0;
     Bytes buffer;
   };
 
@@ -110,7 +114,7 @@ class SegmentPipeline {
   LldMetrics& metrics_;
   const std::uint32_t max_in_flight_;
 
-  mutable Mutex flush_mu_;
+  mutable Mutex flush_mu_{"lld_flush_mu"};
   CondVar work_cv_;     // producer → flusher: segments queued / shutdown
   CondVar durable_cv_;  // flusher → waiters: horizon advanced / drained
   CondVar space_cv_;    // flusher → producer: pool has room again

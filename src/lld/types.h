@@ -163,6 +163,13 @@ struct Options {
   // independent disks in one process never bleed into each other; pass
   // &obs::Registry::Default() (or any shared instance) to aggregate.
   obs::Registry* registry = nullptr;
+  // Background time-series sampler period in milliseconds. 0 (the
+  // default) starts no sampler. When > 0 the disk owns an obs::Sampler
+  // thread snapshotting durable lag, in-flight segments, read/commit
+  // counters and lock-contention totals into a bounded ring (reachable
+  // via Lld::sampler(); exported as the "timeseries" section of bench
+  // artifacts). Stopped at Close and destruction.
+  std::uint64_t sampler_period_ms = 0;
 };
 
 }  // namespace aru::lld

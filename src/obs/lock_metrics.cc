@@ -1,0 +1,62 @@
+#include "obs/lock_metrics.h"
+
+#include <string>
+
+namespace aru::obs {
+namespace {
+
+std::string MetricName(std::string_view prefix, std::string_view site,
+                       std::string_view mode) {
+  std::string name(prefix);
+  name += site;
+  name += mode;
+  return name;
+}
+
+}  // namespace
+
+LockSiteMetrics::LockSiteMetrics(Registry* registry, std::string_view site,
+                                 bool with_shared) {
+  Registry& r = Registry::OrDefault(registry);
+  contended_exclusive_ = r.GetCounter(
+      MetricName("aru_lock_contended_total_", site, "_exclusive"),
+      "Exclusive acquires of this lock site that blocked");
+  wait_exclusive_ =
+      r.GetHistogram(MetricName("aru_lock_wait_us_", site, "_exclusive"),
+                     "Blocked time of contended exclusive acquires");
+  if (with_shared) {
+    contended_shared_ = r.GetCounter(
+        MetricName("aru_lock_contended_total_", site, "_shared"),
+        "Shared acquires of this lock site that blocked");
+    wait_shared_ =
+        r.GetHistogram(MetricName("aru_lock_wait_us_", site, "_shared"),
+                       "Blocked time of contended shared acquires");
+  }
+}
+
+void LockSiteMetrics::RecordContendedWait(bool shared,
+                                          std::uint64_t wait_us) {
+  Counter* counter = shared ? contended_shared_ : contended_exclusive_;
+  Histogram* histogram = shared ? wait_shared_ : wait_exclusive_;
+  if (counter != nullptr) counter->Increment();
+  if (histogram != nullptr) histogram->Record(wait_us);
+}
+
+std::unique_ptr<LockSiteMetrics> BindLockSite(Registry* registry, Mutex& mu) {
+  if (mu.site() == nullptr) return nullptr;
+  auto sink = std::make_unique<LockSiteMetrics>(registry, mu.site(),
+                                                /*with_shared=*/false);
+  mu.SetWaitSink(sink.get());
+  return sink;
+}
+
+std::unique_ptr<LockSiteMetrics> BindLockSite(Registry* registry,
+                                              SharedMutex& mu) {
+  if (mu.site() == nullptr) return nullptr;
+  auto sink = std::make_unique<LockSiteMetrics>(registry, mu.site(),
+                                                /*with_shared=*/true);
+  mu.SetWaitSink(sink.get());
+  return sink;
+}
+
+}  // namespace aru::obs

@@ -1,0 +1,59 @@
+// Lock-contention attribution: the obs-side implementation of
+// aru::LockWaitSink (declared in util/mutex.h, where the instrumented
+// Mutex/SharedMutex live — util cannot depend on obs, so the mutex
+// only sees the interface).
+//
+// One LockSiteMetrics publishes a named lock site into a Registry as
+//
+//   aru_lock_contended_total_<site>_exclusive   counter
+//   aru_lock_wait_us_<site>_exclusive           histogram
+//   aru_lock_contended_total_<site>_shared      counter   (SharedMutex)
+//   aru_lock_wait_us_<site>_shared              histogram (SharedMutex)
+//
+// so shared and exclusive waits on the same mutex are distinguishable
+// in every dump, artifact, and time-series. RecordContendedWait only
+// touches lock-free metric atomics — it is safe to call while the
+// reporting mutex itself is being handed over, and it can never
+// re-enter the registry (handles are resolved once, at bind time).
+//
+// Binding is explicit: the component that owns both the mutex and the
+// registry (LldMetrics for the LLD's locks) constructs the sink and
+// calls mu.SetWaitSink(...), keeping ownership. Uncontended acquires
+// never reach the sink; see util/mutex.h for the fast-path contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "util/mutex.h"
+
+namespace aru::obs {
+
+class LockSiteMetrics final : public LockWaitSink {
+ public:
+  // Registers the per-site metrics in `registry` (nullptr: the default
+  // registry). `with_shared` controls whether the shared-mode pair is
+  // created; plain Mutex sites omit it so dumps stay noise-free.
+  LockSiteMetrics(Registry* registry, std::string_view site,
+                  bool with_shared);
+
+  void RecordContendedWait(bool shared, std::uint64_t wait_us) override;
+
+ private:
+  Counter* contended_exclusive_ = nullptr;
+  Histogram* wait_exclusive_ = nullptr;
+  Counter* contended_shared_ = nullptr;
+  Histogram* wait_shared_ = nullptr;
+};
+
+// Creates the sink for `mu.site()` in `registry` and binds it to the
+// mutex. Returns the sink for the caller to own (it must outlive the
+// mutex's last contended acquire); returns nullptr when the mutex has
+// no site name.
+std::unique_ptr<LockSiteMetrics> BindLockSite(Registry* registry, Mutex& mu);
+std::unique_ptr<LockSiteMetrics> BindLockSite(Registry* registry,
+                                              SharedMutex& mu);
+
+}  // namespace aru::obs

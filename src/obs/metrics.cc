@@ -60,9 +60,13 @@ std::uint64_t Histogram::BucketUpperBound(std::size_t i) {
 }
 
 void Histogram::Record(std::uint64_t value) {
-  count_.fetch_add(1, std::memory_order_relaxed);
+  // Publish the sum contribution (and bucket) before the count so a
+  // snapshot that reads sum-then-count pairs every counted sample with
+  // a sum that already includes it; see the weak-consistency note in
+  // metrics.h.
   sum_.fetch_add(value, std::memory_order_relaxed);
   buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t seen = min_.load(std::memory_order_relaxed);
   while (value < seen &&
          !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
@@ -83,8 +87,13 @@ void Histogram::Reset() {
 
 Histogram::Snapshot Histogram::TakeSnapshot() const {
   Snapshot snap;
-  snap.count = count_.load(std::memory_order_relaxed);
+  // sum before count, mirroring Record's count-last publication order:
+  // a snapshot must never pair a sample's bucket/count with a stale sum
+  // that excludes it (mean would be biased high under concurrent
+  // recording). Reading sum first can only *under*-report in-flight
+  // samples, which the weak-consistency bound in metrics.h documents.
   snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
   const std::uint64_t min = min_.load(std::memory_order_relaxed);
   snap.min = min == ~0ull ? 0 : min;
   snap.max = max_.load(std::memory_order_relaxed);
@@ -244,12 +253,14 @@ std::string Registry::DumpJson() const {
       case Kind::kCounter:
         if (!counters.empty()) counters += ",";
         AppendJsonString(counters, name);
-        counters += ":" + std::to_string(entry.counter->value());
+        counters += ":";
+        counters += std::to_string(entry.counter->value());
         break;
       case Kind::kGauge:
         if (!gauges.empty()) gauges += ",";
         AppendJsonString(gauges, name);
-        gauges += ":" + std::to_string(entry.gauge->value());
+        gauges += ":";
+        gauges += std::to_string(entry.gauge->value());
         break;
       case Kind::kHistogram: {
         const Histogram::Snapshot snap = entry.histogram->TakeSnapshot();

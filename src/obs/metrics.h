@@ -13,9 +13,10 @@
 //
 // All mutators are lock-free atomics, safe to call from concurrent
 // client threads (the multi-stream ARU API is thread-safe; its metrics
-// must be too). Snapshots and dumps are weakly consistent: they may
-// observe a count without the matching sum under concurrent recording,
-// which is fine for reporting.
+// must be too). Snapshots and dumps are weakly consistent — they may
+// trail in-flight recordings — but the read order is chosen so a
+// histogram mean is never biased high (see the Histogram class comment
+// for the exact bound).
 //
 // Registry::Default() is the process-wide instance. Components accept a
 // Registry* and fall back to Default() when given nullptr, so tests and
@@ -68,6 +69,16 @@ class Gauge {
 // holds [2^(i-1), 2^i), and the last bucket is the overflow for
 // everything >= 2^47 (~4.5 years in microseconds — effectively "too
 // large to bucket, see max").
+//
+// Weak-consistency bound: recording publishes sum, then bucket, then
+// count (all relaxed), and TakeSnapshot reads sum before count. A
+// snapshot taken under concurrent recording may therefore miss up to
+// one in-flight sample per recording thread from any individual field,
+// but it never pairs a counted sample with a sum that excludes it on
+// TSO hardware — mean() is exact or biased low by at most
+// (max in-flight sample) / count, never high. Bucket totals may lag
+// `count` by the same in-flight margin; Percentile() tolerates this by
+// clamping to the scanned mass.
 class Histogram {
  public:
   static constexpr std::size_t kBucketCount = 49;
@@ -165,7 +176,10 @@ class Registry {
 
   // Guards the name→entry map only; the metric objects themselves are
   // lock-free and are mutated through the stable pointers handed out.
-  mutable Mutex mu_;
+  // Named but never bound to a LockWaitSink: the registry is its own
+  // metrics store, so reporting its contention into itself would be
+  // circular.
+  mutable Mutex mu_{"obs_registry"};
   std::map<std::string, Entry, std::less<>> entries_ ARU_GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,123 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace aru::obs {
+
+Sampler::Sampler(Registry* registry, SamplerOptions options)
+    : registry_(Registry::OrDefault(registry)), options_(options) {
+  const MutexLock lock(mu_);
+  slots_.resize(std::max<std::size_t>(options_.ring_slots, 1));
+}
+
+Sampler::~Sampler() { Stop(); }
+
+std::uint64_t Sampler::Now() const {
+  return options_.now_us != nullptr ? options_.now_us() : NowUs();
+}
+
+void Sampler::Track(std::string_view name) {
+  const MutexLock lock(mu_);
+  for (const std::string& existing : names_) {
+    if (existing == name) return;
+  }
+  names_.emplace_back(name);
+}
+
+void Sampler::SampleLocked() {
+  Row row;
+  row.ts_us = Now();
+  row.values.reserve(names_.size());
+  for (const std::string& name : names_) {
+    std::int64_t value = 0;
+    if (const Counter* c = registry_.FindCounter(name); c != nullptr) {
+      value = static_cast<std::int64_t>(c->value());
+    } else if (const Gauge* g = registry_.FindGauge(name); g != nullptr) {
+      value = g->value();
+    } else if (const Histogram* h = registry_.FindHistogram(name);
+               h != nullptr) {
+      value = static_cast<std::int64_t>(h->count());
+    }
+    row.values.push_back(value);
+  }
+  slots_[static_cast<std::size_t>(next_ % slots_.size())] = std::move(row);
+  ++next_;
+}
+
+void Sampler::SampleOnce() {
+  const MutexLock lock(mu_);
+  SampleLocked();
+}
+
+void Sampler::Start() {
+  if (running_.exchange(true)) return;
+  stop_.store(false);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Sampler::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    const MutexLock lock(mu_);
+    stop_.store(true);
+  }
+  cv_.NotifyAll();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Sampler::Run() {
+  const auto period = std::chrono::milliseconds(options_.period_ms);
+  MutexLock lock(mu_);
+  while (true) {
+    SampleLocked();
+    // Interruptible sleep: Stop() flips stop_ under mu_ and notifies,
+    // so shutdown never waits out a full period.
+    if (cv_.WaitFor(mu_, period,
+                    [this] { return stop_.load(std::memory_order_relaxed); })) {
+      return;
+    }
+  }
+}
+
+std::size_t Sampler::size() const {
+  const MutexLock lock(mu_);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(next_, slots_.size()));
+}
+
+std::uint64_t Sampler::dropped() const {
+  const MutexLock lock(mu_);
+  const std::uint64_t capacity = slots_.size();
+  return next_ > capacity ? next_ - capacity : 0;
+}
+
+std::string Sampler::ToJson() const {
+  const MutexLock lock(mu_);
+  const std::uint64_t capacity = slots_.size();
+  const std::uint64_t first = next_ > capacity ? next_ - capacity : 0;
+  std::string out = "{\"period_ms\":" + std::to_string(options_.period_ms) +
+                    ",\"dropped\":" +
+                    std::to_string(next_ > capacity ? next_ - capacity : 0) +
+                    ",\"ts_us\":[";
+  for (std::uint64_t i = first; i < next_; ++i) {
+    if (i != first) out += ",";
+    out += std::to_string(slots_[static_cast<std::size_t>(i % capacity)].ts_us);
+  }
+  out += "],\"series\":{";
+  for (std::size_t s = 0; s < names_.size(); ++s) {
+    if (s != 0) out += ",";
+    out += "\"" + names_[s] + "\":[";
+    for (std::uint64_t i = first; i < next_; ++i) {
+      if (i != first) out += ",";
+      const Row& row = slots_[static_cast<std::size_t>(i % capacity)];
+      // Rows sampled before this name was tracked are padded with 0.
+      out += std::to_string(s < row.values.size() ? row.values[s] : 0);
+    }
+    out += "]";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace aru::obs

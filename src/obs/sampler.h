@@ -1,0 +1,103 @@
+// Background time-series sampler: a thread that snapshots a selected
+// set of registry metrics at a fixed period into a bounded in-memory
+// ring, so a benchmark artifact can show how durable lag, in-flight
+// segments, cache hit counts, and lock-wait totals *evolved* over a
+// run instead of only their end-of-run totals.
+//
+// Each tracked name is resolved against the registry at sample time
+// (so metrics registered after Track() still appear once they exist)
+// and reduced to one signed value per sample:
+//
+//   counter    cumulative value (plot deltas to get a rate)
+//   gauge      current value
+//   histogram  cumulative sample count
+//
+// The ring holds the most recent `ring_slots` samples; older rows are
+// overwritten and counted in dropped(). Sampling takes the registry
+// lock only for name resolution — metric reads are lock-free — so the
+// sampler never stalls the I/O path.
+//
+// SampleOnce() is public and the clock is injectable, so unit tests
+// drive the sampler deterministically without the thread; production
+// callers Start() it and Stop() before tearing down the registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace aru::obs {
+
+struct SamplerOptions {
+  // Sampling period for the background thread (Start/Stop).
+  std::uint64_t period_ms = 100;
+  // Ring capacity in samples; the newest overwrite the oldest.
+  std::size_t ring_slots = 512;
+  // Timestamp source; nullptr means obs::NowUs. Tests inject a fake.
+  std::uint64_t (*now_us)() = nullptr;
+};
+
+class Sampler {
+ public:
+  // `registry` may be nullptr for the process-wide default.
+  explicit Sampler(Registry* registry, SamplerOptions options = {});
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+  ~Sampler();
+
+  // Adds a metric name to the sampled set. Duplicate names are ignored.
+  // Values recorded before a Track() call are not back-filled; rows
+  // sampled while the name was untracked report 0 for it.
+  void Track(std::string_view name) ARU_EXCLUDES(mu_);
+
+  // Starts the background thread; no-op if already running.
+  void Start() ARU_EXCLUDES(mu_);
+
+  // Stops and joins the background thread; no-op if not running. The
+  // ring contents survive Stop so they can still be exported.
+  void Stop() ARU_EXCLUDES(mu_);
+
+  // Takes one sample immediately (also what the thread calls each
+  // period). Safe concurrently with the thread.
+  void SampleOnce() ARU_EXCLUDES(mu_);
+
+  // Samples currently held / overwritten because the ring was full.
+  std::size_t size() const ARU_EXCLUDES(mu_);
+  std::uint64_t dropped() const ARU_EXCLUDES(mu_);
+
+  // One JSON object, rows oldest-first:
+  //   {"period_ms":N,"dropped":N,"ts_us":[...],
+  //    "series":{"<name>":[...], ...}}
+  // Emitted as the "timeseries" section of BENCH_*.json artifacts.
+  std::string ToJson() const ARU_EXCLUDES(mu_);
+
+ private:
+  struct Row {
+    std::uint64_t ts_us = 0;
+    std::vector<std::int64_t> values;  // parallel to names_
+  };
+
+  std::uint64_t Now() const;
+  void SampleLocked() ARU_REQUIRES(mu_);
+  void Run();
+
+  Registry& registry_;
+  const SamplerOptions options_;
+
+  mutable Mutex mu_{"obs_sampler"};
+  CondVar cv_;
+  std::vector<std::string> names_ ARU_GUARDED_BY(mu_);
+  std::vector<Row> slots_ ARU_GUARDED_BY(mu_);
+  // Monotone sample count; the slot written is next_ % ring_slots.
+  std::uint64_t next_ ARU_GUARDED_BY(mu_) = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace aru::obs

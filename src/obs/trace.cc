@@ -1,6 +1,9 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <atomic>
+#include <map>
+#include <string_view>
 
 namespace aru::obs {
 namespace {
@@ -9,6 +12,14 @@ std::uint32_t ThisThreadId() {
   static std::atomic<std::uint32_t> next{1};
   thread_local const std::uint32_t id = next.fetch_add(1);
   return id;
+}
+
+// Per-thread stack of unfinished span ids, innermost last. Spans from
+// every tracer share it: ids are process-unique, and "what encloses me
+// on this thread" is a property of the thread, not of any one ring.
+std::vector<std::uint64_t>& SpanStack() {
+  thread_local std::vector<std::uint64_t> stack;
+  return stack;
 }
 
 void AppendEscaped(std::string& out, const char* s) {
@@ -31,16 +42,51 @@ Tracer& Tracer::Default() {
   return *instance;
 }
 
+std::uint64_t Tracer::NextSpanId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::CurrentSpanId() {
+  const auto& stack = SpanStack();
+  return stack.empty() ? 0 : stack.back();
+}
+
+void Tracer::PushSpan(std::uint64_t id) { SpanStack().push_back(id); }
+
+void Tracer::PopSpan(std::uint64_t id) {
+  auto& stack = SpanStack();
+  // Almost always the innermost frame; the scan handles spans finished
+  // out of stack order (a long-lived span Finish()ed while an inner
+  // sibling is still open) by removing only the matching frame.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (*it == id) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
 void Tracer::RecordComplete(const char* category, const char* name,
                             std::uint64_t ts_us, std::uint64_t dur_us,
                             const char* arg_name, std::uint64_t arg_value) {
-  if (!enabled_) return;
+  RecordSpan(category, name, ts_us, dur_us, /*id=*/0, /*parent_id=*/0,
+             arg_name, arg_value);
+}
+
+void Tracer::RecordSpan(const char* category, const char* name,
+                        std::uint64_t ts_us, std::uint64_t dur_us,
+                        std::uint64_t id, std::uint64_t parent_id,
+                        const char* arg_name, std::uint64_t arg_value) {
+  if (!enabled()) return;
   TraceEvent event;
   event.category = category;
   event.name = name;
   event.ts_us = ts_us;
   event.dur_us = dur_us;
   event.tid = ThisThreadId();
+  event.id = id;
+  event.parent_id = parent_id;
   event.arg_name = arg_name;
   event.arg_value = arg_value;
 
@@ -92,10 +138,21 @@ std::string Tracer::DumpChromeJson() const {
     out += ",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(event.tid) +
            ",\"ts\":" + std::to_string(event.ts_us) +
            ",\"dur\":" + std::to_string(event.dur_us);
-    if (event.arg_name != nullptr) {
+    const bool has_arg = event.arg_name != nullptr;
+    if (has_arg || event.id != 0) {
       out += ",\"args\":{";
-      AppendEscaped(out, event.arg_name);
-      out += ":" + std::to_string(event.arg_value) + "}";
+      bool first_arg = true;
+      if (event.id != 0) {
+        out += "\"span_id\":" + std::to_string(event.id) +
+               ",\"parent_id\":" + std::to_string(event.parent_id);
+        first_arg = false;
+      }
+      if (has_arg) {
+        if (!first_arg) out += ",";
+        AppendEscaped(out, event.arg_name);
+        out += ":" + std::to_string(event.arg_value);
+      }
+      out += "}";
     }
     out += "}";
   }
@@ -103,15 +160,93 @@ std::string Tracer::DumpChromeJson() const {
   return out;
 }
 
-void SpanTimer::Finish() {
+// ---------------------------------------------------------------------
+// Span.
+
+Span::Span(Tracer* tracer, const char* category, const char* name,
+           Histogram* histogram)
+    : tracer_(tracer),
+      category_(category),
+      name_(name),
+      histogram_(histogram),
+      start_us_(NowUs()) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    id_ = Tracer::NextSpanId();
+    parent_id_ = Tracer::CurrentSpanId();
+    Tracer::PushSpan(id_);
+  }
+}
+
+Span::Span(Tracer* tracer, const char* category, const char* name,
+           std::uint64_t parent_id, Histogram* histogram)
+    : tracer_(tracer),
+      category_(category),
+      name_(name),
+      histogram_(histogram),
+      start_us_(NowUs()) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    id_ = Tracer::NextSpanId();
+    parent_id_ = parent_id;
+    Tracer::PushSpan(id_);
+  }
+}
+
+void Span::Finish() {
   if (finished_) return;
   finished_ = true;
   const std::uint64_t elapsed = NowUs() - start_us_;
   if (histogram_ != nullptr) histogram_->Record(elapsed);
-  if (tracer_ != nullptr) {
+  if (id_ != 0) {
+    Tracer::PopSpan(id_);
+    tracer_->RecordSpan(category_, name_, start_us_, elapsed, id_, parent_id_,
+                        arg_name_, arg_value_);
+  } else if (tracer_ != nullptr) {
+    // Tracing was off when the span started; record flat if it has
+    // been re-enabled so the sample is not silently lost.
     tracer_->RecordComplete(category_, name_, start_us_, elapsed, arg_name_,
                             arg_value_);
   }
+}
+
+// ---------------------------------------------------------------------
+// Critical-path breakdown.
+
+std::vector<SpanBreakdownEntry> SpanBreakdown(
+    const std::vector<TraceEvent>& events, std::uint64_t root_id) {
+  if (root_id == 0) return {};
+  // parent id -> indices of child events. One linear pass; the ring is
+  // bounded so this stays small.
+  std::map<std::uint64_t, std::vector<std::size_t>> children;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].id != 0 && events[i].parent_id != 0) {
+      children[events[i].parent_id].push_back(i);
+    }
+  }
+  std::map<std::string, SpanBreakdownEntry, std::less<>> by_name;
+  std::vector<std::uint64_t> frontier{root_id};
+  while (!frontier.empty()) {
+    const std::uint64_t id = frontier.back();
+    frontier.pop_back();
+    const auto it = children.find(id);
+    if (it == children.end()) continue;
+    for (const std::size_t index : it->second) {
+      const TraceEvent& event = events[index];
+      SpanBreakdownEntry& entry = by_name[event.name];
+      if (entry.name.empty()) entry.name = event.name;
+      entry.total_us += event.dur_us;
+      ++entry.count;
+      frontier.push_back(event.id);
+    }
+  }
+  std::vector<SpanBreakdownEntry> out;
+  out.reserve(by_name.size());
+  for (auto& [name, entry] : by_name) out.push_back(std::move(entry));
+  std::sort(out.begin(), out.end(),
+            [](const SpanBreakdownEntry& a, const SpanBreakdownEntry& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.name < b.name;
+            });
+  return out;
 }
 
 }  // namespace aru::obs

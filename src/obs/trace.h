@@ -1,11 +1,18 @@
-// Bounded ring-buffer event tracer with Chrome trace_event export.
+// Bounded ring-buffer span tracer with Chrome trace_event export.
 //
-// Spans (segment seals, cleaner passes, recovery phases, ARU
-// Begin→End lifetimes) are recorded as complete events ("ph":"X") into
-// a fixed-capacity ring; once full, the newest event overwrites the
-// oldest, so a tracer never grows and the tail of history is always
-// available. DumpChromeJson() emits the Trace Event Format that
-// chrome://tracing and Perfetto load directly.
+// v2 extends the flat complete-event model to hierarchical spans: every
+// Span carries a process-unique id and the id of its parent — the span
+// active on the constructing thread (a thread-local active-span stack),
+// or an explicit id handed across threads (the write-behind flusher
+// parents its device_write span on the seal span that enqueued the
+// segment). The ring stores complete events ("ph":"X") exactly as
+// before; once full, the newest event overwrites the oldest, so a
+// tracer never grows and the tail of history is always available.
+// DumpChromeJson() emits the Trace Event Format that chrome://tracing
+// and Perfetto load directly, with span/parent ids in "args" so the
+// hierarchy survives export. SpanBreakdown() turns a snapshot into a
+// per-operation critical-path table (how an EndARU decomposes into
+// group-commit wait, seal hand-off, and device writes).
 //
 // Event name/category strings must be string literals (the ring stores
 // the pointers, not copies).
@@ -28,6 +35,8 @@ struct TraceEvent {
   std::uint64_t ts_us = 0;   // start, NowUs() timebase
   std::uint64_t dur_us = 0;
   std::uint32_t tid = 0;
+  std::uint64_t id = 0;         // span id; 0 for flat (non-span) events
+  std::uint64_t parent_id = 0;  // enclosing span id; 0 for roots
   const char* arg_name = nullptr;  // optional single numeric argument
   std::uint64_t arg_value = 0;
 };
@@ -44,10 +53,31 @@ class Tracer {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  // Flat complete event (no span identity). Kept for call sites that
+  // time something that is not a nesting scope.
   void RecordComplete(const char* category, const char* name,
                       std::uint64_t ts_us, std::uint64_t dur_us,
                       const char* arg_name = nullptr,
                       std::uint64_t arg_value = 0) ARU_EXCLUDES(mu_);
+
+  // Complete event with span identity; used by Span and by call sites
+  // that record on behalf of a span finished elsewhere (cross-thread
+  // children pass the parent id explicitly).
+  void RecordSpan(const char* category, const char* name,
+                  std::uint64_t ts_us, std::uint64_t dur_us,
+                  std::uint64_t id, std::uint64_t parent_id,
+                  const char* arg_name = nullptr, std::uint64_t arg_value = 0)
+      ARU_EXCLUDES(mu_);
+
+  // Process-unique span id (never 0). Ids are global, not per-tracer,
+  // so parentage is unambiguous even across tracers.
+  static std::uint64_t NextSpanId();
+
+  // The innermost unfinished span started on this thread, 0 if none.
+  // This is the implicit parent for new spans and for flat events that
+  // want attribution (e.g. the pipeline capturing the seal span to
+  // parent an asynchronous device write on another thread).
+  static std::uint64_t CurrentSpanId();
 
   // Events currently held, oldest first (wraparound resolved).
   std::vector<TraceEvent> Snapshot() const ARU_EXCLUDES(mu_);
@@ -60,10 +90,23 @@ class Tracer {
   void Clear() ARU_EXCLUDES(mu_);
 
   // {"displayTimeUnit":"ms","traceEvents":[{"ph":"X",...},...]}
+  // Span events carry {"span_id":...,"parent_id":...} in "args".
   std::string DumpChromeJson() const ARU_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  friend class Span;
+
+  // Thread-local active-span stack maintenance (Span only).
+  static void PushSpan(std::uint64_t id);
+  // Removes `id` from this thread's stack wherever it sits: finishing
+  // out of order removes only that span's frame — children started
+  // under it keep their recorded parentage, and an already-removed id
+  // is a no-op.
+  static void PopSpan(std::uint64_t id);
+
+  // Named but never bound to a LockWaitSink: the tracer is part of the
+  // observability substrate itself.
+  mutable Mutex mu_{"obs_tracer"};
   const std::size_t capacity_;  // fixed at construction; lock-free reads
   std::vector<TraceEvent> slots_ ARU_GUARDED_BY(mu_);
   // Monotone event count; the slot written is next_ % capacity_.
@@ -71,23 +114,28 @@ class Tracer {
   std::atomic<bool> enabled_{true};
 };
 
-// RAII span: measures wall time from construction to destruction,
-// records it into `histogram` (if any) and into `tracer` (if any and
-// enabled). Both sinks are optional so call sites read uniformly.
-class SpanTimer {
+// RAII span: measures wall time from construction to Finish (or
+// destruction), records it into `histogram` (if any) and into `tracer`
+// (if any and enabled) as a parent-linked complete event. On
+// construction the span becomes the innermost active span of the
+// current thread; its parent is whatever was innermost before (or an
+// explicit id for cross-thread children). Both sinks are optional so
+// call sites read uniformly.
+class Span {
  public:
-  SpanTimer(Tracer* tracer, const char* category, const char* name,
-            Histogram* histogram = nullptr)
-      : tracer_(tracer),
-        category_(category),
-        name_(name),
-        histogram_(histogram),
-        start_us_(NowUs()) {}
+  Span(Tracer* tracer, const char* category, const char* name,
+       Histogram* histogram = nullptr);
 
-  SpanTimer(const SpanTimer&) = delete;
-  SpanTimer& operator=(const SpanTimer&) = delete;
+  // Cross-thread child: nests under `parent_id` (from another thread's
+  // Span::id() or Tracer::CurrentSpanId()) instead of this thread's
+  // active span.
+  Span(Tracer* tracer, const char* category, const char* name,
+       std::uint64_t parent_id, Histogram* histogram);
 
-  ~SpanTimer() { Finish(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { Finish(); }
 
   // Attaches one numeric argument to the trace event.
   void SetArg(const char* name, std::uint64_t value) {
@@ -97,7 +145,11 @@ class SpanTimer {
 
   std::uint64_t ElapsedUs() const { return NowUs() - start_us_; }
 
-  // Records now instead of at destruction (idempotent).
+  // 0 when the span is not being traced (null/disabled tracer).
+  std::uint64_t id() const { return id_; }
+
+  // Records now instead of at destruction (idempotent) and pops this
+  // span off the thread's active-span stack.
   void Finish();
 
  private:
@@ -106,9 +158,31 @@ class SpanTimer {
   const char* name_;
   Histogram* histogram_;
   std::uint64_t start_us_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_id_ = 0;
   const char* arg_name_ = nullptr;
   std::uint64_t arg_value_ = 0;
   bool finished_ = false;
 };
+
+// The historical name for the histogram-plus-trace RAII timer; spans
+// are a strict superset, so old call sites compile unchanged.
+using SpanTimer = Span;
+
+// One row of a critical-path breakdown: every descendant of a root
+// span, grouped by event name.
+struct SpanBreakdownEntry {
+  std::string name;
+  std::uint64_t total_us = 0;
+  std::uint64_t count = 0;
+};
+
+// Sums the recorded durations of every descendant of `root_id` in
+// `events` (a Tracer::Snapshot()), grouped by name and ordered by
+// total time descending. Asynchronous children (a device write that
+// completed after its parent finished) are attributed logically, so
+// totals can exceed the root's own duration.
+std::vector<SpanBreakdownEntry> SpanBreakdown(
+    const std::vector<TraceEvent>& events, std::uint64_t root_id);
 
 }  // namespace aru::obs

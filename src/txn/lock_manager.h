@@ -72,7 +72,7 @@ class LockManager {
   // allowed under wait-die).
   static bool MayWait(const ResourceState& state, TxnId txn, LockMode mode);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"txn_lock_manager"};
   CondVar released_;
   std::map<ResourceId, ResourceState> resources_ ARU_GUARDED_BY(mu_);
 };

@@ -8,7 +8,7 @@ namespace aru {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-Mutex g_output_mutex;  // serializes whole messages onto stderr
+Mutex g_output_mutex{"util_log"};  // serializes whole messages onto stderr
 
 std::string_view LevelName(LogLevel level) {
   switch (level) {

@@ -1,4 +1,5 @@
-// Annotated mutex wrappers for Clang Thread Safety Analysis.
+// Annotated mutex wrappers for Clang Thread Safety Analysis, with
+// named lock-site contention instrumentation.
 //
 // libstdc++'s std::mutex and std::lock_guard carry no thread-safety
 // attributes, so -Wthread-safety cannot see through them. These thin
@@ -7,6 +8,20 @@
 // analysis understands, and CondVar is a condition variable that waits
 // on a Mutex (the analysis knows the mutex is held again when Wait
 // returns).
+//
+// Contention attribution: every Mutex/SharedMutex carries a lock-site
+// name (arulint's named-lock rule enforces this at every declaration)
+// and an optional LockWaitSink. Uncontended acquires stay near the
+// bare-std cost: exclusive mode is a try_lock plus one branch, shared
+// mode is a relaxed pending-writer check plus a direct lock_shared
+// (glibc's try_lock_shared is slower than lock_shared, so readers must
+// not probe). Only a *contended* acquire pays for a clock read and a
+// sink callback. util cannot depend on obs, so
+// the sink is an interface here; obs::LockSiteMetrics implements it and
+// publishes `aru_lock_wait_us_<site>_{exclusive,shared}` histograms and
+// `aru_lock_contended_total_<site>_{exclusive,shared}` counters into an
+// obs::Registry (see src/obs/lock_metrics.h). A mutex with no sink
+// bound skips all accounting; the site name still documents the lock.
 //
 // AssertHeld() is the escape hatch for lambdas: the analysis treats a
 // lambda body as a separate function with no knowledge of the enclosing
@@ -20,9 +35,15 @@
 // itself, which both -Wthread-safety and arulint's lock-order rule
 // flag. CondVar only waits on plain Mutex; code paths that need to
 // block under a SharedMutex must drop it and re-validate instead.
+// CondVar re-acquisition goes through the unannotated BasicLockable
+// surface on purpose: time spent parked on a condition is not lock
+// contention and must not pollute the wait histograms.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
@@ -30,28 +51,79 @@
 
 namespace aru {
 
+// Receiver for contended-acquire reports. Implemented by
+// obs::LockSiteMetrics; defined here so util does not depend on obs.
+// RecordContendedWait must be lock-free with respect to the reporting
+// mutex (the obs implementation only touches relaxed atomics).
+class LockWaitSink {
+ public:
+  virtual ~LockWaitSink() = default;
+
+  // One contended acquire completed after blocking for `wait_us`
+  // microseconds; `shared` is true for reader-mode acquisitions.
+  virtual void RecordContendedWait(bool shared, std::uint64_t wait_us) = 0;
+};
+
+namespace internal {
+inline std::uint64_t LockWaitElapsedUs(
+    std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+}  // namespace internal
+
 class ARU_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  // `site` names this lock for contention attribution and must be a
+  // string literal (stored by pointer, like trace categories).
+  explicit Mutex(const char* site) : site_(site) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ARU_ACQUIRE() { mu_.lock(); }
+  void Lock() ARU_ACQUIRE() {
+    if (!mu_.try_lock()) ContendedLock();
+  }
   void Unlock() ARU_RELEASE() { mu_.unlock(); }
   bool TryLock() ARU_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  const char* site() const { return site_; }
+
+  // Binds the contention sink. Not owned; the sink must outlive every
+  // subsequent Lock(). Relaxed atomic so a late bind (after threads
+  // started) is safe — at worst a racing contended acquire goes
+  // unreported.
+  void SetWaitSink(LockWaitSink* sink) {
+    sink_.store(sink, std::memory_order_relaxed);
+  }
 
   // Declares (to the analysis only) that this mutex is held. No-op at
   // runtime; used inside lambdas that run under the enclosing lock.
   void AssertHeld() const ARU_ASSERT_CAPABILITY(this) {}
 
   // BasicLockable surface so std::condition_variable_any can wait on a
-  // Mutex directly. Intentionally unannotated: only CondVar::Wait uses
-  // these, and it carries the REQUIRES annotation itself.
+  // Mutex directly. Intentionally unannotated and uninstrumented: only
+  // CondVar::Wait uses these, it carries the REQUIRES annotation
+  // itself, and condition-wait re-acquires are not contention.
   void lock() ARU_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
   void unlock() ARU_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
 
  private:
+  // Slow path: the try_lock above failed, so this acquire blocks.
+  void ContendedLock() {
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    LockWaitSink* sink = sink_.load(std::memory_order_relaxed);
+    if (sink != nullptr) {
+      sink->RecordContendedWait(/*shared=*/false,
+                                internal::LockWaitElapsedUs(start));
+    }
+  }
+
   std::mutex mu_;
+  const char* site_ = nullptr;
+  std::atomic<LockWaitSink*> sink_{nullptr};
 };
 
 // RAII lock holder; the annotated equivalent of std::lock_guard.
@@ -70,18 +142,59 @@ class ARU_SCOPED_CAPABILITY MutexLock {
 // Reader/writer mutex: std::shared_mutex with capability annotations.
 // Exclusive mode uses the same Lock/Unlock vocabulary as Mutex so
 // WriterMutexLock reads identically to MutexLock at call sites.
+// Contended waits are attributed per mode: a reader blocked behind a
+// writer reports shared, a writer blocked behind anyone reports
+// exclusive.
 class ARU_CAPABILITY("mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  // `site` names this lock for contention attribution and must be a
+  // string literal.
+  explicit SharedMutex(const char* site) : site_(site) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ARU_ACQUIRE() { mu_.lock(); }
-  void Unlock() ARU_RELEASE() { mu_.unlock(); }
-  bool TryLock() ARU_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  // Exclusive acquires bracket themselves in `writers_` so the shared
+  // fast path below can stay a direct lock_shared(): glibc's
+  // try_lock_shared is measurably (~10-20%) slower than lock_shared
+  // even uncontended, so readers must not probe. The two extra relaxed
+  // RMWs here are paid by the (rare, already device-I/O-bound)
+  // exclusive path instead.
+  void Lock() ARU_ACQUIRE() {
+    writers_.fetch_add(1, std::memory_order_relaxed);
+    if (!mu_.try_lock()) ContendedLock();
+  }
+  void Unlock() ARU_RELEASE() {
+    mu_.unlock();
+    writers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  bool TryLock() ARU_TRY_ACQUIRE(true) {
+    writers_.fetch_add(1, std::memory_order_relaxed);
+    if (mu_.try_lock()) return true;
+    writers_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
 
-  void ReaderLock() ARU_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  // Fast path: one relaxed load + branch on top of the baseline
+  // lock_shared() — readers never pay the try_lock_shared penalty.
+  // `writers_` is a hint: a reader racing a writer's increment may
+  // block unrecorded (missed sample, accepted), and a stale nonzero
+  // just detours through the slow path's try, which filters it.
+  void ReaderLock() ARU_ACQUIRE_SHARED() {
+    if (writers_.load(std::memory_order_relaxed) != 0) {
+      ContendedReaderLock();
+      return;
+    }
+    mu_.lock_shared();
+  }
   void ReaderUnlock() ARU_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  const char* site() const { return site_; }
+
+  // See Mutex::SetWaitSink.
+  void SetWaitSink(LockWaitSink* sink) {
+    sink_.store(sink, std::memory_order_relaxed);
+  }
 
   // Lambda escape hatches, mirroring Mutex::AssertHeld: no-ops at
   // runtime that state the (exclusive / at-least-shared) precondition.
@@ -89,7 +202,35 @@ class ARU_CAPABILITY("mutex") SharedMutex {
   void AssertReaderHeld() const ARU_ASSERT_SHARED_CAPABILITY(this) {}
 
  private:
+  void ContendedLock() {
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    LockWaitSink* sink = sink_.load(std::memory_order_relaxed);
+    if (sink != nullptr) {
+      sink->RecordContendedWait(/*shared=*/false,
+                                internal::LockWaitElapsedUs(start));
+    }
+  }
+
+  void ContendedReaderLock() {
+    // The writer hint can be stale (Unlock decrements after release);
+    // keep "contended" meaning "a try failed", not "the hint fired".
+    if (mu_.try_lock_shared()) return;
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock_shared();
+    LockWaitSink* sink = sink_.load(std::memory_order_relaxed);
+    if (sink != nullptr) {
+      sink->RecordContendedWait(/*shared=*/true,
+                                internal::LockWaitElapsedUs(start));
+    }
+  }
+
   std::shared_mutex mu_;
+  const char* site_ = nullptr;
+  std::atomic<LockWaitSink*> sink_{nullptr};
+  // Writers currently holding or waiting for exclusive mode; the
+  // shared fast path's contention hint.
+  std::atomic<std::uint32_t> writers_{0};
 };
 
 // RAII exclusive holder for SharedMutex; the writer-side MutexLock.
@@ -140,6 +281,15 @@ class CondVar {
   template <typename Pred>
   void Wait(Mutex& mu, Pred pred) ARU_REQUIRES(mu) {
     cv_.wait(mu, std::move(pred));
+  }
+
+  // Timed wait: returns the predicate's value when the wait ends
+  // (false on timeout with the predicate still unsatisfied). Used by
+  // periodic workers (obs::Sampler) so Stop() interrupts the sleep.
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+               Pred pred) ARU_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout, std::move(pred));
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,0 +1,35 @@
+// Seeded violations for the named-lock rule: locks constructed
+// without a site-name string cannot attribute contended waits to the
+// per-site aru_lock_contended_total_* / aru_lock_wait_us_* metrics.
+//
+// Golden (rule, line) expectations live in tests/arulint_test.cc
+// (FixtureTest.UnnamedLocks); keep them in sync when editing.
+class Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* site);
+};
+class SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* site);
+};
+
+class Pipeline {
+ public:
+  void Touch(Mutex& external, const SharedMutex* alias);
+
+ private:
+  Mutex mu_;                       // line 23: no site at all
+  SharedMutex rw_;                 // line 24: no site at all
+  Mutex flush_mu_{};               // line 25: initializer, but no string
+  Mutex named_{"good_site"};       // named: quiet
+  SharedMutex wide_{"good_wide"};  // named: quiet
+  // arulint: allow(named-lock) scratch lock in a test double.
+  Mutex allowed_;                  // suppressed: quiet
+};
+
+void Pipeline::Touch(Mutex& external, const SharedMutex* alias) {
+  (void)external;  // Discarded: parameters only exercise type mentions.
+  (void)alias;     // Discarded: parameters only exercise type mentions.
+}

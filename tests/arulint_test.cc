@@ -400,6 +400,59 @@ TEST(RawNewTest, SmartPointerConstructionIsExempt) {
             0u);
 }
 
+TEST(NamedLockTest, UnnamedConstructionIsFlagged) {
+  // Default-constructed and empty-initialized locks have no site name;
+  // a string literal in the initializer is the name.
+  EXPECT_EQ(RulesAndLines(CheckSource("src/a.h",
+                                      "class Pool {\n"
+                                      "  Mutex mu_;\n"
+                                      "  SharedMutex rw_{};\n"
+                                      "};\n")),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"named-lock", 2}, {"named-lock", 3}}));
+  EXPECT_EQ(CheckSource("src/a.h",
+                        "class Pool {\n"
+                        "  Mutex mu_{\"pool_mu\"};\n"
+                        "  SharedMutex rw_{\"pool_rw\"};\n"
+                        "};\n")
+                .size(),
+            0u);
+}
+
+TEST(NamedLockTest, TypeMentionsAreNotDeclarations) {
+  // References, pointers, the class definition itself, qualified
+  // names and constructor declarations are not construction sites.
+  EXPECT_EQ(CheckSource("src/a.h",
+                        "class Mutex {\n"
+                        " public:\n"
+                        "  Mutex() = default;\n"
+                        "  explicit Mutex(const char* site);\n"
+                        "};\n"
+                        "void Bind(Mutex& mu, const Mutex* other);\n"
+                        "util::Mutex* Lookup();\n")
+                .size(),
+            0u);
+}
+
+TEST(NamedLockTest, MultiLineInitializerSeesItsOwnLinesOnly) {
+  // The name may sit on a continuation line of the initializer; a
+  // string on the NEXT declaration must not leak backwards.
+  EXPECT_EQ(CheckSource("src/a.h",
+                        "class Pool {\n"
+                        "  Mutex mu_{\n"
+                        "      \"pool_mu\"};\n"
+                        "};\n")
+                .size(),
+            0u);
+  EXPECT_EQ(RulesAndLines(CheckSource("src/a.h",
+                                      "class Pool {\n"
+                                      "  Mutex mu_{};\n"
+                                      "  Mutex named_{\"pool_mu\"};\n"
+                                      "};\n")),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"named-lock", 2}}));
+}
+
 TEST(RecoveryAssertTest, OnlyAppliesToRecoveryFiles) {
   const std::string source = "void F(int v) { assert(v > 0); }\n";
   EXPECT_EQ(CheckSource("src/lld/lld.cc", source).size(), 0u);
@@ -570,6 +623,15 @@ TEST(FixtureTest, BannedCallsAndRawNew) {
                 {"raw-new", 21}}));    // new Widget()
 }
 
+TEST(FixtureTest, UnnamedLocks) {
+  const auto findings = CheckFile(Fixture("bad/unnamed_lock.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"named-lock", 23},     // Mutex mu_;
+                {"named-lock", 24},     // SharedMutex rw_;
+                {"named-lock", 25}}));  // Mutex flush_mu_{};
+}
+
 TEST(FixtureTest, CleanFileHasZeroFindings) {
   const auto findings = CheckFile(Fixture("clean/clean.cc"));
   EXPECT_TRUE(findings.empty()) << FormatFinding(findings.front());
@@ -584,9 +646,10 @@ TEST(FixtureTest, BadTreeAggregatesEveryViolationClass) {
   rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
   EXPECT_EQ(rules,
             (std::vector<std::string>{"banned-call", "crash-order",
-                                      "lock-order", "on-disk-field",
-                                      "on-disk-pin", "raw-new",
-                                      "recovery-assert", "status-flow"}));
+                                      "lock-order", "named-lock",
+                                      "on-disk-field", "on-disk-pin",
+                                      "raw-new", "recovery-assert",
+                                      "status-flow"}));
 }
 
 // ---------------------------------------------------------------------

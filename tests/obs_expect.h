@@ -1,0 +1,75 @@
+// Test helpers for asserting on obs::Registry state: stress tests
+// check not only that a workload survived, but that the observability
+// layer *saw* it — counters moved, latency histograms filled, lock
+// sites attributed their waits. Absent metrics read as zero/empty so
+// an expectation failure reports the metric name, not a null deref.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace aru::obs_expect {
+
+inline std::uint64_t CounterValue(const obs::Registry& registry,
+                                  std::string_view name) {
+  const obs::Counter* counter = registry.FindCounter(name);
+  return counter != nullptr ? counter->value() : 0;
+}
+
+inline std::uint64_t HistogramCount(const obs::Registry& registry,
+                                    std::string_view name) {
+  const obs::Histogram* histogram = registry.FindHistogram(name);
+  return histogram != nullptr ? histogram->count() : 0;
+}
+
+// The counter exists and is at least `minimum` (use 1 for "moved").
+inline void ExpectCounterAtLeast(const obs::Registry& registry,
+                                 std::string_view name,
+                                 std::uint64_t minimum) {
+  EXPECT_NE(registry.FindCounter(name), nullptr)
+      << "counter '" << name << "' was never registered";
+  EXPECT_GE(CounterValue(registry, name), minimum)
+      << "counter '" << name << "'";
+}
+
+// The histogram exists and recorded at least `minimum` samples, and
+// its snapshot is internally consistent (sum bounded by count*max —
+// the invariant the publish order in Histogram::Record guarantees).
+inline void ExpectHistogramSamples(const obs::Registry& registry,
+                                   std::string_view name,
+                                   std::uint64_t minimum) {
+  const obs::Histogram* histogram = registry.FindHistogram(name);
+  ASSERT_NE(histogram, nullptr)
+      << "histogram '" << name << "' was never registered";
+  const obs::Histogram::Snapshot snap = histogram->TakeSnapshot();
+  EXPECT_GE(snap.count, minimum) << "histogram '" << name << "'";
+  if (snap.count > 0) {
+    EXPECT_GE(snap.sum, static_cast<std::uint64_t>(snap.min))
+        << "histogram '" << name << "'";
+    EXPECT_LE(snap.sum, snap.max * snap.count)
+        << "histogram '" << name << "'";
+  }
+}
+
+// Every contended acquire at `site` must have produced BOTH halves of
+// the attribution: the contended counter and a wait-histogram sample
+// with the same total. Mode is "exclusive" or "shared".
+inline void ExpectLockSiteConsistent(const obs::Registry& registry,
+                                     std::string_view site,
+                                     std::string_view mode) {
+  const std::string suffix = std::string(site) + "_" + std::string(mode);
+  const std::uint64_t contended =
+      CounterValue(registry, "aru_lock_contended_total_" + suffix);
+  const std::uint64_t waits =
+      HistogramCount(registry, "aru_lock_wait_us_" + suffix);
+  EXPECT_EQ(contended, waits)
+      << "lock site '" << suffix
+      << "': contended-acquire counter and wait-histogram sample count "
+         "disagree";
+}
+
+}  // namespace aru::obs_expect

@@ -21,6 +21,8 @@
 #include "bench_support/latency_disk.h"
 #include "blockdev/mem_disk.h"
 #include "lld/lld.h"
+#include "obs/sampler.h"
+#include "tests/obs_expect.h"
 #include "tests/test_util.h"
 
 namespace aru::testing {
@@ -45,6 +47,8 @@ TEST(ParallelReadStressTest, ReadersRaceOverwritesAndCleaner) {
   opts.paranoid_checks = false;     // checked explicitly at the end
   opts.read_cache_blocks = 32;      // small: hits AND misses race
   opts.read_cache_shards = 4;
+  // Fast sampler so TSan races the metrics scrape against every thread.
+  opts.sampler_period_ms = 1;
   TestDisk t(opts);
 
   constexpr std::uint64_t kBlocks = 48;
@@ -143,6 +147,25 @@ TEST(ParallelReadStressTest, ReadersRaceOverwritesAndCleaner) {
   const lld::BlockCacheStats cache = t.disk->read_cache_stats();
   EXPECT_EQ(cache.shard_count, 4u);
   EXPECT_GT(cache.hits + cache.misses, 0u);
+
+  // The obs layer attributed the run: read counters moved, read latency
+  // was timed, and every contended wait on the LLD's named locks kept
+  // its counter/histogram pair in lock-step — in shared mode (readers)
+  // as well as exclusive (writer/admin) and on the cache shards.
+  const obs::Registry& registry = t.disk->registry();
+  obs_expect::ExpectCounterAtLeast(
+      registry, "aru_lld_blocks_read_total",
+      static_cast<std::uint64_t>(kReaders) * kReadsPerReader);
+  obs_expect::ExpectHistogramSamples(
+      registry, "aru_lld_op_read_us",
+      static_cast<std::uint64_t>(kReaders) * kReadsPerReader);
+  obs_expect::ExpectLockSiteConsistent(registry, "lld_mu", "shared");
+  obs_expect::ExpectLockSiteConsistent(registry, "lld_mu", "exclusive");
+  obs_expect::ExpectLockSiteConsistent(registry, "lld_cache_shard",
+                                       "exclusive");
+  ASSERT_NE(t.disk->sampler(), nullptr);
+  EXPECT_GE(t.disk->sampler()->size(), 1u);
+
   ASSERT_OK(t.disk->CheckConsistency());
   ASSERT_OK(t.disk->Close());
 }

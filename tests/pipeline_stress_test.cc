@@ -13,6 +13,8 @@
 
 #include "blockdev/mem_disk.h"
 #include "lld/lld.h"
+#include "obs/sampler.h"
+#include "tests/obs_expect.h"
 #include "tests/test_util.h"
 
 namespace aru::testing {
@@ -29,6 +31,9 @@ lld::Options AsyncOptions(std::uint32_t depth, bool durable_commits) {
   opts.paranoid_checks = false;  // checked explicitly at the end
   opts.write_behind_segments = depth;
   opts.durable_commits = durable_commits;
+  // Run the background sampler at full tilt so TSan races it against
+  // the workload, the flusher, and the admin barriers.
+  opts.sampler_period_ms = 1;
   return opts;
 }
 
@@ -112,6 +117,24 @@ TEST(PipelineStressTest, ConcurrentArusWithAdminBarriers) {
   EXPECT_EQ(committed.size(),
             static_cast<std::size_t>(kThreads * kArusPerThread));
   ASSERT_OK(t.disk->CheckConsistency());
+
+  // The obs layer saw the run: commits counted and timed, every
+  // contended wait on the LLD's named locks attributed to both halves
+  // of its per-site metric pair, and the sampler ring populated.
+  obs_expect::ExpectCounterAtLeast(
+      t.disk->registry(), "aru_lld_arus_committed_total",
+      static_cast<std::uint64_t>(kThreads * kArusPerThread));
+  obs_expect::ExpectHistogramSamples(
+      t.disk->registry(), "aru_lld_commit_us",
+      static_cast<std::uint64_t>(kThreads * kArusPerThread));
+  obs_expect::ExpectLockSiteConsistent(t.disk->registry(), "lld_mu",
+                                       "exclusive");
+  obs_expect::ExpectLockSiteConsistent(t.disk->registry(), "lld_mu",
+                                       "shared");
+  obs_expect::ExpectLockSiteConsistent(t.disk->registry(), "lld_flush_mu",
+                                       "exclusive");
+  ASSERT_NE(t.disk->sampler(), nullptr);
+  EXPECT_GE(t.disk->sampler()->size(), 1u);
 
   // Every committed ARU's effects are fully visible.
   for (const CommittedList& c : committed) {

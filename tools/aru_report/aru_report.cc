@@ -1,0 +1,564 @@
+// aru_report: merges bench artifacts (BENCH_*.json), their embedded
+// metrics registries and sampler time-series, and Chrome trace dumps
+// (TRACE_*.json) into one markdown run report.
+//
+//   aru_report [--out=ARU_REPORT.md] [--trace=TRACE_x.json]... BENCH_*.json
+//
+// The tool is dependency-free on purpose: artifacts are produced by the
+// bench binaries' hand-rolled JSON writers (bench_support/report.cc,
+// obs::Registry::DumpJson, obs::Sampler::ToJson, Tracer::DumpChromeJson),
+// and this parser accepts exactly that dialect (full JSON minus
+// \uXXXX surrogate pairs, which none of the writers emit).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aru::report {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;  // kObject, in order
+
+  const JsonValue* Find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [name, value] : fields) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+  double NumberOr(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  // Returns false (with error()) on malformed input.
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (p_ != end_) return Fail("trailing characters after value");
+    return true;
+  }
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const char* what) {
+    if (error_.empty()) {
+      error_ = std::string(what) + " at byte " +
+               std::to_string(p_ - begin_of_error_marker_);
+    }
+    return false;
+  }
+  void SkipSpace() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (p_ == end_ || *p_ != c) return false;
+    ++p_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (p_ == end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        return ParseLiteral(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++p_;  // '{'
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (p_ == end_ || *p_ != '"' || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->fields.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++p_;  // '['
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->items.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++p_;  // opening quote
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return Fail("truncated escape");
+        switch (*p_) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (end_ - p_ < 5) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p_[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // Writers only escape controls and ASCII; encode as UTF-8
+            // for the BMP and leave surrogates unsupported.
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            p_ += 4;
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        ++p_;
+      } else {
+        *out += *p_;
+        ++p_;
+      }
+    }
+    if (p_ == end_) return Fail("unterminated string");
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    const std::string_view rest(p_, static_cast<std::size_t>(end_ - p_));
+    if (rest.substr(0, 4) == "true") {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      p_ += 4;
+      return true;
+    }
+    if (rest.substr(0, 5) == "false") {
+      out->kind = JsonValue::Kind::kBool;
+      p_ += 5;
+      return true;
+    }
+    if (rest.substr(0, 4) == "null") {
+      out->kind = JsonValue::Kind::kNull;
+      p_ += 4;
+      return true;
+    }
+    return Fail("unknown literal");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    char* after = nullptr;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(p_, &after);
+    if (after == p_) return Fail("expected number");
+    p_ = after;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* begin_of_error_marker_ = p_;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Formatting helpers.
+
+std::string Num(double value) {
+  char buf[64];
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value < 1e15 && value > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Report sections.
+
+void EmitScalars(const JsonValue& scalars, std::ostringstream& out) {
+  if (scalars.fields.empty()) return;
+  out << "| scalar | value |\n|---|---:|\n";
+  for (const auto& [key, value] : scalars.fields) {
+    out << "| " << key << " | " << Num(value.NumberOr(0)) << " |\n";
+  }
+  out << "\n";
+}
+
+void EmitHistograms(const JsonValue& histograms, std::ostringstream& out) {
+  if (histograms.fields.empty()) return;
+  out << "### Histograms\n\n"
+      << "| histogram | count | mean | p50 | p99 | max |\n"
+      << "|---|---:|---:|---:|---:|---:|\n";
+  for (const auto& [name, h] : histograms.fields) {
+    const JsonValue* count = h.Find("count");
+    if (count == nullptr || count->NumberOr(0) == 0) continue;
+    auto cell = [&h](const char* key) {
+      const JsonValue* v = h.Find(key);
+      return v != nullptr ? Num(v->NumberOr(0)) : std::string("-");
+    };
+    out << "| " << name << " | " << Num(count->NumberOr(0)) << " | "
+        << cell("mean") << " | " << cell("p50") << " | " << cell("p99")
+        << " | " << cell("max") << " |\n";
+  }
+  out << "\n";
+}
+
+// Per-site lock waits: pairs aru_lock_contended_total_<site>_<mode>
+// (counter) with aru_lock_wait_us_<site>_<mode> (histogram).
+void EmitLockContention(const JsonValue& metrics, std::ostringstream& out) {
+  const JsonValue* counters = metrics.Find("counters");
+  const JsonValue* histograms = metrics.Find("histograms");
+  if (counters == nullptr) return;
+  constexpr std::string_view kPrefix = "aru_lock_contended_total_";
+  bool any = false;
+  std::ostringstream table;
+  table << "### Lock contention by site\n\n"
+        << "| site | mode | contended | wait p50 us | wait p99 us | wait max us |\n"
+        << "|---|---|---:|---:|---:|---:|\n";
+  for (const auto& [name, value] : counters->fields) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const std::string site_mode = name.substr(kPrefix.size());
+    std::string site = site_mode;
+    std::string mode = "exclusive";
+    for (const char* suffix : {"_exclusive", "_shared"}) {
+      const std::size_t len = std::strlen(suffix);
+      if (site_mode.size() > len &&
+          site_mode.compare(site_mode.size() - len, len, suffix) == 0) {
+        site = site_mode.substr(0, site_mode.size() - len);
+        mode = suffix + 1;
+        break;
+      }
+    }
+    std::string p50 = "-", p99 = "-", max = "-";
+    if (histograms != nullptr) {
+      if (const JsonValue* h =
+              histograms->Find("aru_lock_wait_us_" + site_mode)) {
+        if (const JsonValue* v = h->Find("p50")) p50 = Num(v->NumberOr(0));
+        if (const JsonValue* v = h->Find("p99")) p99 = Num(v->NumberOr(0));
+        if (const JsonValue* v = h->Find("max")) max = Num(v->NumberOr(0));
+      }
+    }
+    table << "| " << site << " | " << mode << " | " << Num(value.NumberOr(0))
+          << " | " << p50 << " | " << p99 << " | " << max << " |\n";
+    any = true;
+  }
+  if (any) out << table.str() << "\n";
+}
+
+void EmitTimeseries(const JsonValue& timeseries, std::ostringstream& out) {
+  const JsonValue* ts = timeseries.Find("ts_us");
+  const JsonValue* series = timeseries.Find("series");
+  if (ts == nullptr || series == nullptr || ts->items.empty()) return;
+  const JsonValue* period = timeseries.Find("period_ms");
+  const JsonValue* dropped = timeseries.Find("dropped");
+  const double span_us = ts->items.back().NumberOr(0) - ts->items.front().NumberOr(0);
+  out << "### Time series ("
+      << Num(static_cast<double>(ts->items.size())) << " samples, period "
+      << (period != nullptr ? Num(period->NumberOr(0)) : "?") << " ms, "
+      << Num(span_us / 1000.0) << " ms window, "
+      << (dropped != nullptr ? Num(dropped->NumberOr(0)) : "0")
+      << " dropped)\n\n"
+      << "| series | first | last | min | max |\n|---|---:|---:|---:|---:|\n";
+  for (const auto& [name, values] : series->fields) {
+    if (values.items.empty()) continue;
+    double min = values.items.front().NumberOr(0);
+    double max = min;
+    for (const JsonValue& v : values.items) {
+      min = std::min(min, v.NumberOr(0));
+      max = std::max(max, v.NumberOr(0));
+    }
+    out << "| " << name << " | " << Num(values.items.front().NumberOr(0))
+        << " | " << Num(values.items.back().NumberOr(0)) << " | " << Num(min)
+        << " | " << Num(max) << " |\n";
+  }
+  out << "\n";
+}
+
+bool EmitBench(const std::string& path, const JsonValue& root,
+               std::ostringstream& out) {
+  const JsonValue* name = root.Find("name");
+  out << "## Bench: " << (name != nullptr ? name->str : path) << "\n\n"
+      << "Source: `" << path << "`\n\n";
+  if (const JsonValue* config = root.Find("config")) {
+    for (const auto& [key, value] : config->fields) {
+      out << "- " << key << ": " << value.str << "\n";
+    }
+    if (!config->fields.empty()) out << "\n";
+  }
+  if (const JsonValue* scalars = root.Find("scalars")) {
+    EmitScalars(*scalars, out);
+  }
+  if (const JsonValue* metrics = root.Find("metrics")) {
+    EmitLockContention(*metrics, out);
+    if (const JsonValue* histograms = metrics->Find("histograms")) {
+      EmitHistograms(*histograms, out);
+    }
+  }
+  if (const JsonValue* timeseries = root.Find("timeseries")) {
+    EmitTimeseries(*timeseries, out);
+  }
+  return true;
+}
+
+// Chrome trace: aggregate span events by name, then break the critical
+// path down under every root span (span_id set, parent_id 0) by
+// summing descendant self-time per name — the offline mirror of
+// obs::SpanBreakdown.
+struct SpanAgg {
+  std::uint64_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+};
+
+void EmitTrace(const std::string& path, const JsonValue& root,
+               std::ostringstream& out) {
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr) return;
+  out << "## Trace: `" << path << "`\n\n";
+
+  std::map<std::string, SpanAgg> by_name;
+  // parent span id -> indices of child span events.
+  std::map<std::uint64_t, std::vector<std::size_t>> children;
+  struct SpanEvent {
+    const JsonValue* event;
+    std::uint64_t id;
+    std::uint64_t parent;
+  };
+  std::vector<SpanEvent> spans;
+  for (const JsonValue& event : events->items) {
+    const JsonValue* name = event.Find("name");
+    const JsonValue* dur = event.Find("dur");
+    if (name == nullptr || dur == nullptr) continue;
+    SpanAgg& agg = by_name[name->str];
+    agg.count += 1;
+    agg.total_us += dur->NumberOr(0);
+    agg.max_us = std::max(agg.max_us, dur->NumberOr(0));
+    if (const JsonValue* args = event.Find("args")) {
+      const JsonValue* id = args->Find("span_id");
+      const JsonValue* parent = args->Find("parent_id");
+      if (id != nullptr && id->NumberOr(0) != 0) {
+        const auto span_id = static_cast<std::uint64_t>(id->NumberOr(0));
+        const auto parent_id = static_cast<std::uint64_t>(
+            parent != nullptr ? parent->NumberOr(0) : 0);
+        spans.push_back({&event, span_id, parent_id});
+        if (parent_id != 0) {
+          children[parent_id].push_back(spans.size() - 1);
+        }
+      }
+    }
+  }
+
+  out << "| event | count | total us | mean us | max us |\n"
+      << "|---|---:|---:|---:|---:|\n";
+  for (const auto& [name, agg] : by_name) {
+    out << "| " << name << " | " << Num(static_cast<double>(agg.count))
+        << " | " << Num(agg.total_us) << " | "
+        << Num(agg.total_us / static_cast<double>(agg.count)) << " | "
+        << Num(agg.max_us) << " |\n";
+  }
+  out << "\n";
+
+  // Critical path: descendants of root spans, grouped by name.
+  std::map<std::string, SpanAgg> under_roots;
+  std::map<std::string, bool> root_names;
+  for (const SpanEvent& span : spans) {
+    if (span.parent != 0) continue;
+    if (const JsonValue* n = span.event->Find("name")) root_names[n->str] = true;
+    std::vector<std::uint64_t> frontier = {span.id};
+    while (!frontier.empty()) {
+      const std::uint64_t id = frontier.back();
+      frontier.pop_back();
+      const auto it = children.find(id);
+      if (it == children.end()) continue;
+      for (const std::size_t child : it->second) {
+        const JsonValue* n = spans[child].event->Find("name");
+        const JsonValue* dur = spans[child].event->Find("dur");
+        if (n != nullptr && dur != nullptr) {
+          SpanAgg& agg = under_roots[n->str];
+          agg.count += 1;
+          agg.total_us += dur->NumberOr(0);
+          agg.max_us = std::max(agg.max_us, dur->NumberOr(0));
+        }
+        frontier.push_back(spans[child].id);
+      }
+    }
+  }
+  if (!under_roots.empty()) {
+    std::vector<std::pair<std::string, SpanAgg>> sorted(under_roots.begin(),
+                                                        under_roots.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.second.total_us > b.second.total_us;
+    });
+    std::string roots;
+    for (const auto& [name, unused] : root_names) {
+      if (!roots.empty()) roots += ", ";
+      roots += name;
+    }
+    out << "### Critical path under root spans (" << roots << ")\n\n"
+        << "| child span | count | total us | mean us |\n"
+        << "|---|---:|---:|---:|\n";
+    for (const auto& [name, agg] : sorted) {
+      out << "| " << name << " | " << Num(static_cast<double>(agg.count))
+          << " | " << Num(agg.total_us) << " | "
+          << Num(agg.total_us / static_cast<double>(agg.count)) << " |\n";
+    }
+    out << "\n";
+  }
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "ARU_REPORT.md";
+  std::vector<std::string> bench_paths;
+  std::vector<std::string> trace_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_paths.emplace_back(arg.substr(8));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: aru_report [--out=ARU_REPORT.md] [--trace=TRACE.json]... "
+          "BENCH_*.json...\n");
+      return 0;
+    } else {
+      bench_paths.emplace_back(arg);
+    }
+  }
+  if (bench_paths.empty() && trace_paths.empty()) {
+    std::fprintf(stderr, "aru_report: no input files (try --help)\n");
+    return 2;
+  }
+
+  std::ostringstream report;
+  report << "# ARU run report\n\n";
+  int failures = 0;
+  for (const std::string& path : bench_paths) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "aru_report: cannot read %s\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    JsonValue root;
+    JsonParser parser(text);
+    if (!parser.Parse(&root)) {
+      std::fprintf(stderr, "aru_report: %s: %s\n", path.c_str(),
+                   parser.error().c_str());
+      ++failures;
+      continue;
+    }
+    EmitBench(path, root, report);
+  }
+  for (const std::string& path : trace_paths) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "aru_report: cannot read %s\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    JsonValue root;
+    JsonParser parser(text);
+    if (!parser.Parse(&root)) {
+      std::fprintf(stderr, "aru_report: %s: %s\n", path.c_str(),
+                   parser.error().c_str());
+      ++failures;
+      continue;
+    }
+    EmitTrace(path, root, report);
+  }
+
+  std::ofstream file(out_path, std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "aru_report: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  file << report.str();
+  std::printf("aru_report: wrote %s\n", out_path.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace aru::report
+
+int main(int argc, char** argv) { return aru::report::Main(argc, argv); }

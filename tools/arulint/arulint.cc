@@ -328,6 +328,79 @@ void CheckRecoveryAsserts(const FileModel& m, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------
+// named-lock: every declared Mutex / SharedMutex must be constructed
+// with a site-name string (`Mutex mu_{"lld_mu"};`) so contended waits
+// attribute to a per-site metric pair instead of vanishing. Lexical
+// rule: the declaration's raw lines (through the end of the
+// initializer) must contain a string literal; tokens come from the
+// stripped source, so the literal itself is invisible there.
+
+void CheckNamedLocks(const FileModel& m, std::vector<Finding>& out) {
+  const std::vector<Token>& t = m.tokens;
+  const auto line_has_quote = [&m](std::size_t line) {
+    return line >= 1 && line <= m.raw.size() &&
+           m.raw[line - 1].find('"') != std::string::npos;
+  };
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!t[i].IsIdent() ||
+        (t[i].text != "Mutex" && t[i].text != "SharedMutex")) {
+      continue;
+    }
+    // Qualified mentions, the class definitions themselves, and
+    // destructors are not variable declarations.
+    if (i > 0 && (t[i - 1].Is("::") || t[i - 1].Is(".") ||
+                  t[i - 1].Is("->") || t[i - 1].Is("~") ||
+                  t[i - 1].Is("class") || t[i - 1].Is("struct") ||
+                  t[i - 1].Is("typename") || t[i - 1].Is("friend"))) {
+      continue;
+    }
+    // A declaration is `Mutex <ident> ...`; anything else (`Mutex&`
+    // parameters, `Mutex*`, `Mutex(` constructors, `Mutex>` template
+    // arguments) is a type mention.
+    if (!t[i + 1].IsIdent()) continue;
+    if (t[i + 1].text.rfind("ARU_", 0) == 0) continue;  // annotation macro
+    const Token& after = t[i + 2];
+    bool unnamed = false;
+    if (after.Is(";")) {
+      unnamed = true;  // default-constructed: no site at all
+    } else if (after.Is("{") || after.Is("(")) {
+      // Initializer present: named iff a string literal appears on the
+      // declaration's raw lines up to the initializer's close.
+      std::size_t close_line = after.line;
+      int depth = 0;
+      for (std::size_t j = i + 2; j < t.size(); ++j) {
+        if (t[j].Is("{") || t[j].Is("(")) {
+          ++depth;
+        } else if (t[j].Is("}") || t[j].Is(")")) {
+          if (--depth == 0) {
+            close_line = t[j].line;
+            break;
+          }
+        }
+      }
+      unnamed = true;
+      for (std::size_t line = t[i].line; line <= close_line; ++line) {
+        if (line_has_quote(line)) {
+          unnamed = false;
+          break;
+        }
+      }
+    }
+    // Other follow tokens (',' ')' '=' ...) are parameter declarations
+    // or type positions — not construction sites.
+    if (!unnamed) continue;
+    if (IsAllowed(m.raw, t[i].line, "named-lock")) continue;
+    out.push_back(
+        {m.path, t[i].line, "named-lock",
+         "lock '" + t[i + 1].text + "' (" + t[i].text +
+             ") is constructed without a site name: pass one "
+             "(`Mutex mu_{\"subsystem_site\"};`) so contended waits "
+             "attribute to aru_lock_contended_total_<site> / "
+             "aru_lock_wait_us_<site> instead of vanishing"});
+  }
+}
+
+// ---------------------------------------------------------------------
 // on-disk-pin + on-disk-field.
 
 struct PinIndex {
@@ -644,6 +717,7 @@ std::vector<Finding> RunRules(Analysis& a) {
     }
     CheckVoidDiscards(m, out);
     CheckBannedCalls(m, out);
+    CheckNamedLocks(m, out);
     CheckRawNew(m, out);
     if (IsRecoveryPath(m.path)) CheckRecoveryAsserts(m, out);
   }

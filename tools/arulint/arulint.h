@@ -27,6 +27,9 @@
 //   banned-call      no rand()/time(nullptr) (determinism: crash tests
 //                    replay exact schedules) and no raw `new` outside
 //                    smart-pointer construction (raw-new);
+//   named-lock       every Mutex/SharedMutex is constructed with a
+//                    site-name string so contended waits attribute to
+//                    the per-site aru_lock_* metrics;
 //   recovery-assert  lld_recovery.cc / lld_consistency.cc never assert:
 //                    they consume disk-derived data, and corruption must
 //                    surface as StatusCode::kCorruption, not abort().

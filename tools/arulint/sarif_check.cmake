@@ -19,8 +19,9 @@ file(READ ${OUT} sarif)
 foreach(needle
         "\"version\": \"2.1.0\""
         "\"name\": \"arulint\""
-        "crash-order" "lock-order" "status-flow" "on-disk-pin"
-        "on-disk-field" "banned-call" "raw-new" "recovery-assert")
+        "crash-order" "lock-order" "named-lock" "status-flow"
+        "on-disk-pin" "on-disk-field" "banned-call" "raw-new"
+        "recovery-assert")
   string(FIND "${sarif}" "${needle}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "SARIF report is missing '${needle}'")
