@@ -28,9 +28,11 @@ if [ ! -x "$arulint_bin" ]; then
     }
 fi
 echo "=== arulint ==="
-if "$arulint_bin" --root src --root tools \
-                  --sarif "$build_dir/arulint.sarif"; then
-  echo "arulint: clean (SARIF: $build_dir/arulint.sarif)"
+if "$arulint_bin" --root src --root tools --stats \
+                  --sarif "$build_dir/arulint.sarif" \
+                  --sarif-dir "$build_dir/arulint-sarif"; then
+  echo "arulint: clean (SARIF: $build_dir/arulint.sarif," \
+       "per-family: $build_dir/arulint-sarif/)"
 else
   echo "arulint: FAILED (SARIF: $build_dir/arulint.sarif)"
   failures=$((failures + 1))
@@ -45,7 +47,8 @@ if command -v "$clang_tidy_bin" > /dev/null 2>&1; then
   echo "=== clang-tidy ($clang_tidy_bin) ==="
   cmake -B "$build_dir" > /dev/null
   if [ ! -f "$build_dir/compile_commands.json" ]; then
-    echo "clang-tidy: no compile database in $build_dir, FAILED"
+    echo "clang-tidy: $build_dir/compile_commands.json missing — run" \
+         "'cmake -B $build_dir' from the repo root to generate it, FAILED"
     failures=$((failures + 1))
   else
     mapfile -t tidy_sources < <(find src tools tests bench -name '*.cc' \
@@ -59,7 +62,8 @@ if command -v "$clang_tidy_bin" > /dev/null 2>&1; then
     fi
   fi
 else
-  echo "lint: $clang_tidy_bin not installed, skipping"
+  echo "lint: $clang_tidy_bin not on PATH — install it (e.g. apt install" \
+       "clang-tidy-18) or point CLANG_TIDY_BIN at one, skipping"
 fi
 
 # --- clang-format: whitespace drift check, no rewriting. The fixture
@@ -78,7 +82,9 @@ if command -v "$clang_format_bin" > /dev/null 2>&1 && \
     echo "clang-format: clean"
   fi
 else
-  echo "lint: $clang_format_bin (or .clang-format) not present, skipping"
+  echo "lint: $clang_format_bin not on PATH (or no repo .clang-format) —" \
+       "install it (e.g. apt install clang-format-18) or point" \
+       "CLANG_FORMAT_BIN at one, skipping"
 fi
 
 if [ "$failures" -ne 0 ]; then

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "blockdev/block_device.h"
+#include "util/protocol_annotations.h"
 
 namespace aru::bench {
 
@@ -56,8 +57,8 @@ class LatencyDisk final : public BlockDevice {
 
  private:
   std::unique_ptr<BlockDevice> inner_;
-  std::atomic<std::uint64_t> write_latency_us_{0};
-  std::atomic<std::uint64_t> read_latency_us_{0};
+  std::atomic<std::uint64_t> write_latency_us_ ARU_ATOMIC_COUNTER{0};
+  std::atomic<std::uint64_t> read_latency_us_ ARU_ATOMIC_COUNTER{0};
 };
 
 }  // namespace aru::bench

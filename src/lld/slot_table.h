@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "lld/types.h"
+#include "util/protocol_annotations.h"
 
 namespace aru::lld {
 
@@ -76,8 +77,8 @@ class SlotPins {
 
  private:
   struct PerSlot {
-    std::atomic<std::uint32_t> pins{0};
-    std::atomic<std::uint64_t> gen{0};
+    std::atomic<std::uint32_t> pins ARU_ATOMIC_PUBLISHES(slot_contents){0};
+    std::atomic<std::uint64_t> gen ARU_ATOMIC_PUBLISHES(slot_reuse){0};
   };
   std::vector<PerSlot> slots_;
 };

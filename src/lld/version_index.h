@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "lld/types.h"
+#include "util/protocol_annotations.h"
 
 namespace aru::lld {
 
@@ -296,7 +297,7 @@ class VersionIndex {
   // Atomic (relaxed): const lookups run under Lld::mu_ held in *shared*
   // mode, so concurrent readers bump this counter in parallel. Relaxed
   // is enough — it is a statistic, ordered by nothing.
-  mutable std::atomic<std::uint64_t> chain_steps_{0};
+  mutable std::atomic<std::uint64_t> chain_steps_ ARU_ATOMIC_COUNTER{0};
 };
 
 using BlockVersions = VersionIndex<BlockId, BlockMeta>;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "util/mutex.h"
+#include "util/protocol_annotations.h"
 #include "util/thread_annotations.h"
 
 namespace aru::obs {
@@ -47,7 +48,7 @@ class Counter {
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::uint64_t> value_ ARU_ATOMIC_COUNTER{0};
 };
 
 class Gauge {
@@ -62,7 +63,7 @@ class Gauge {
   void Reset() { Set(0); }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> value_ ARU_ATOMIC_COUNTER{0};
 };
 
 // Power-of-two buckets: bucket 0 holds the value 0, bucket i (1..47)
@@ -114,11 +115,11 @@ class Histogram {
  private:
   static std::size_t BucketFor(std::uint64_t value);
 
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_{0};
-  std::atomic<std::uint64_t> min_{~0ull};
-  std::atomic<std::uint64_t> max_{0};
-  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_ ARU_ATOMIC_COUNTER{0};
+  std::atomic<std::uint64_t> sum_ ARU_ATOMIC_COUNTER{0};
+  std::atomic<std::uint64_t> min_ ARU_ATOMIC_COUNTER{~0ull};
+  std::atomic<std::uint64_t> max_ ARU_ATOMIC_COUNTER{0};
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_ ARU_ATOMIC_COUNTER{};
 };
 
 class Registry {

@@ -29,6 +29,7 @@
 
 #include "obs/metrics.h"
 #include "util/mutex.h"
+#include "util/protocol_annotations.h"
 #include "util/thread_annotations.h"
 
 namespace aru::obs {
@@ -96,8 +97,8 @@ class Sampler {
   // Monotone sample count; the slot written is next_ % ring_slots.
   std::uint64_t next_ ARU_GUARDED_BY(mu_) = 0;
   std::thread thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_ ARU_ATOMIC_COUNTER{false};
+  std::atomic<bool> stop_ ARU_ATOMIC_COUNTER{false};
 };
 
 }  // namespace aru::obs

@@ -5,11 +5,13 @@
 #include <map>
 #include <string_view>
 
+#include "util/protocol_annotations.h"
+
 namespace aru::obs {
 namespace {
 
 std::uint32_t ThisThreadId() {
-  static std::atomic<std::uint32_t> next{1};
+  static std::atomic<std::uint32_t> next ARU_ATOMIC_COUNTER{1};
   thread_local const std::uint32_t id = next.fetch_add(1);
   return id;
 }
@@ -43,7 +45,7 @@ Tracer& Tracer::Default() {
 }
 
 std::uint64_t Tracer::NextSpanId() {
-  static std::atomic<std::uint64_t> next{1};
+  static std::atomic<std::uint64_t> next ARU_ATOMIC_COUNTER{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 

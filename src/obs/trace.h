@@ -25,6 +25,7 @@
 
 #include "obs/metrics.h"
 #include "util/mutex.h"
+#include "util/protocol_annotations.h"
 #include "util/thread_annotations.h"
 
 namespace aru::obs {
@@ -111,7 +112,7 @@ class Tracer {
   std::vector<TraceEvent> slots_ ARU_GUARDED_BY(mu_);
   // Monotone event count; the slot written is next_ % capacity_.
   std::uint64_t next_ ARU_GUARDED_BY(mu_) = 0;
-  std::atomic<bool> enabled_{true};
+  std::atomic<bool> enabled_ ARU_ATOMIC_COUNTER{true};
 };
 
 // RAII span: measures wall time from construction to Finish (or

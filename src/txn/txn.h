@@ -25,6 +25,7 @@
 
 #include "ld/disk.h"
 #include "txn/lock_manager.h"
+#include "util/protocol_annotations.h"
 
 namespace aru::txn {
 
@@ -101,7 +102,7 @@ class TransactionManager {
  private:
   ld::Disk& disk_;
   LockManager locks_;
-  std::atomic<TxnId> next_id_{1};
+  std::atomic<TxnId> next_id_ ARU_ATOMIC_COUNTER{1};
 };
 
 }  // namespace aru::txn

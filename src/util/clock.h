@@ -7,6 +7,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/protocol_annotations.h"
+
 namespace aru {
 
 // Monotone virtual clock with microsecond resolution. Atomic so that
@@ -35,7 +37,7 @@ class VirtualClock {
   void Reset() { now_us_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::uint64_t> now_us_{0};
+  std::atomic<std::uint64_t> now_us_ ARU_ATOMIC_COUNTER{0};
 };
 
 }  // namespace aru

@@ -3,11 +3,12 @@
 #include <atomic>
 
 #include "util/mutex.h"
+#include "util/protocol_annotations.h"
 
 namespace aru {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<LogLevel> g_level ARU_ATOMIC_COUNTER{LogLevel::kWarning};
 Mutex g_output_mutex{"util_log"};  // serializes whole messages onto stderr
 
 std::string_view LevelName(LogLevel level) {

@@ -47,6 +47,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "util/protocol_annotations.h"
 #include "util/thread_annotations.h"
 
 namespace aru {
@@ -91,11 +92,12 @@ class ARU_CAPABILITY("mutex") Mutex {
   const char* site() const { return site_; }
 
   // Binds the contention sink. Not owned; the sink must outlive every
-  // subsequent Lock(). Relaxed atomic so a late bind (after threads
-  // started) is safe — at worst a racing contended acquire goes
-  // unreported.
+  // subsequent Lock(). The release store publishes the sink object's
+  // construction to contended acquires, whose acquire load makes it
+  // safe to call; a late bind (after threads started) at worst lets a
+  // racing contended acquire go unreported.
   void SetWaitSink(LockWaitSink* sink) {
-    sink_.store(sink, std::memory_order_relaxed);
+    sink_.store(sink, std::memory_order_release);
   }
 
   // Declares (to the analysis only) that this mutex is held. No-op at
@@ -114,7 +116,7 @@ class ARU_CAPABILITY("mutex") Mutex {
   void ContendedLock() {
     const auto start = std::chrono::steady_clock::now();
     mu_.lock();
-    LockWaitSink* sink = sink_.load(std::memory_order_relaxed);
+    LockWaitSink* sink = sink_.load(std::memory_order_acquire);
     if (sink != nullptr) {
       sink->RecordContendedWait(/*shared=*/false,
                                 internal::LockWaitElapsedUs(start));
@@ -123,7 +125,7 @@ class ARU_CAPABILITY("mutex") Mutex {
 
   std::mutex mu_;
   const char* site_ = nullptr;
-  std::atomic<LockWaitSink*> sink_{nullptr};
+  std::atomic<LockWaitSink*> sink_ ARU_ATOMIC_PUBLISHES(lock_site_metrics){nullptr};
 };
 
 // RAII lock holder; the annotated equivalent of std::lock_guard.
@@ -193,7 +195,7 @@ class ARU_CAPABILITY("mutex") SharedMutex {
 
   // See Mutex::SetWaitSink.
   void SetWaitSink(LockWaitSink* sink) {
-    sink_.store(sink, std::memory_order_relaxed);
+    sink_.store(sink, std::memory_order_release);
   }
 
   // Lambda escape hatches, mirroring Mutex::AssertHeld: no-ops at
@@ -205,7 +207,7 @@ class ARU_CAPABILITY("mutex") SharedMutex {
   void ContendedLock() {
     const auto start = std::chrono::steady_clock::now();
     mu_.lock();
-    LockWaitSink* sink = sink_.load(std::memory_order_relaxed);
+    LockWaitSink* sink = sink_.load(std::memory_order_acquire);
     if (sink != nullptr) {
       sink->RecordContendedWait(/*shared=*/false,
                                 internal::LockWaitElapsedUs(start));
@@ -218,7 +220,7 @@ class ARU_CAPABILITY("mutex") SharedMutex {
     if (mu_.try_lock_shared()) return;
     const auto start = std::chrono::steady_clock::now();
     mu_.lock_shared();
-    LockWaitSink* sink = sink_.load(std::memory_order_relaxed);
+    LockWaitSink* sink = sink_.load(std::memory_order_acquire);
     if (sink != nullptr) {
       sink->RecordContendedWait(/*shared=*/true,
                                 internal::LockWaitElapsedUs(start));
@@ -227,10 +229,10 @@ class ARU_CAPABILITY("mutex") SharedMutex {
 
   std::shared_mutex mu_;
   const char* site_ = nullptr;
-  std::atomic<LockWaitSink*> sink_{nullptr};
+  std::atomic<LockWaitSink*> sink_ ARU_ATOMIC_PUBLISHES(lock_site_metrics){nullptr};
   // Writers currently holding or waiting for exclusive mode; the
   // shared fast path's contention hint.
-  std::atomic<std::uint32_t> writers_{0};
+  std::atomic<std::uint32_t> writers_ ARU_ATOMIC_COUNTER{0};
 };
 
 // RAII exclusive holder for SharedMutex; the writer-side MutexLock.

@@ -1,4 +1,4 @@
-// Write-ordering protocol annotations, checked by tools/arulint.
+// Concurrency-protocol annotations, checked by tools/arulint.
 //
 // The ARU commit protocol orders every metadata change behind the log:
 // the summary / commit record describing a mutation must reach the
@@ -27,7 +27,32 @@
 //
 // Suppress a deliberate violation at the call site with
 // `// arulint: allow(crash-order) <reason>`.
+//
+// The atomic-order rule (arulint v3) adds a memory-order vocabulary for
+// every `std::atomic` in src/. Each atomic declaration must state which
+// discipline it follows; an unannotated atomic is flagged:
+//
+//   ARU_ATOMIC_COUNTER      a statistic, hint, or flag whose readers
+//                           tolerate staleness or are ordered by some
+//                           other synchronization (a mutex, a join).
+//                           memory_order_relaxed loads/stores/RMW are
+//                           legal and expected.
+//
+//   ARU_ATOMIC_PUBLISHES(what)  the atomic publishes `what` to readers
+//                           that hold no common lock: the write must
+//                           use release (or stronger) ordering and the
+//                           read acquire (or stronger), so the data the
+//                           value stands for is visible when the value
+//                           is. memory_order_relaxed on such an atomic
+//                           is flagged.
+//
+// Place the macro between the member name and its initializer:
+//
+//   std::atomic<std::uint64_t> gen ARU_ATOMIC_PUBLISHES(slot_reuse){0};
+//   std::atomic<std::uint64_t> hits_ ARU_ATOMIC_COUNTER{0};
 #pragma once
 
 #define ARU_MUTATES_TABLES
 #define ARU_APPENDS_SUMMARY
+#define ARU_ATOMIC_COUNTER
+#define ARU_ATOMIC_PUBLISHES(what)

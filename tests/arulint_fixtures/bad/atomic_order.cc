@@ -1,0 +1,40 @@
+// Seeded violations for the atomic-order rule: every std::atomic must
+// declare its memory-order discipline (ARU_ATOMIC_COUNTER /
+// ARU_ATOMIC_PUBLISHES), and memory_order_relaxed operations on a
+// publishing atomic are flagged — the data the value stands for may
+// not be visible when the value is.
+//
+// Golden (rule, line) expectations live in tests/arulint_test.cc
+// (FixtureTest.AtomicOrder); keep them in sync when editing.
+#include <atomic>
+
+namespace fixture_atomic {
+
+class PublishBox {
+ public:
+  void Publish(int* payload) {
+    data_ = payload;
+    // Relaxed store on a publishing atomic: the reader can observe
+    // ready_ == true before data_ is visible.
+    ready_.store(true, std::memory_order_relaxed);
+  }
+
+  int* Get() {
+    // Relaxed load on a publishing atomic: same race, reader side.
+    if (ready_.load(std::memory_order_relaxed)) return data_;
+    return nullptr;
+  }
+
+  // Relaxed traffic on an annotated counter is the whole point of the
+  // counter vocabulary: not flagged.
+  void Touch() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  int* data_ = nullptr;
+  std::atomic<bool> ready_ ARU_ATOMIC_PUBLISHES(data_block){false};
+  std::atomic<unsigned> hits_ ARU_ATOMIC_COUNTER{0};
+  // Unannotated: the discipline readers rely on is undeclared.
+  std::atomic<unsigned> untracked_{0};
+};
+
+}  // namespace fixture_atomic

@@ -1,0 +1,61 @@
+// Seeded violations for the condvar-wait rule: a CondVar::Wait must
+// use the predicate overload or sit in a loop re-testing guarded
+// state (spurious wakeups), every waiter of one CondVar must pair it
+// with the same mutex, and a notify holding only mutexes no waiter
+// uses hands off the guarded state unsynchronized.
+//
+// Golden (rule, line) expectations live in tests/arulint_test.cc
+// (FixtureTest.CondvarWait); keep them in sync when editing.
+class Mutex {
+ public:
+  explicit Mutex(const char* site);
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class CondVar {
+ public:
+  void Wait(Mutex& mu);
+  void NotifyAll();
+};
+
+namespace fixture_cv {
+
+class WaitState {
+ public:
+  void WaitOnce() {
+    MutexLock lock(mu_);
+    // Single-shot wait, no predicate, no loop: a spurious wakeup
+    // returns before the guarded condition holds.
+    cv_.Wait(mu_);
+  }
+
+  void WaitElsewhere() {
+    MutexLock lock(other_mu_);
+    while (!done_) {
+      // In a loop (so no spurious-wakeup finding), but pairs cv_ with
+      // a different mutex than WaitOnce: both wait sites are flagged.
+      cv_.Wait(other_mu_);
+    }
+  }
+
+  void Signal() {
+    MutexLock lock(aux_mu_);
+    done_ = true;
+    // Notifying while holding only a mutex no waiter of cv_ uses: the
+    // done_ handoff is unsynchronized with the waiters.
+    cv_.NotifyAll();
+  }
+
+ private:
+  Mutex mu_{"fixture_cv_mu"};
+  Mutex other_mu_{"fixture_cv_other"};
+  Mutex aux_mu_{"fixture_cv_aux"};
+  CondVar cv_;
+  bool done_ = false;
+};
+
+}  // namespace fixture_cv

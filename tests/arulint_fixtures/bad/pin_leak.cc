@@ -1,0 +1,69 @@
+// Seeded violations for the pin-protocol rule: a SlotPins::Pin must
+// be released on every path out of the body (a pin leaked on an early
+// return blocks slot reclamation forever), and device bytes read with
+// no lock held must pass a generation re-validation before they are
+// cached (the slot may have been freed and rewritten meanwhile).
+//
+// Golden (rule, line) expectations live in tests/arulint_test.cc
+// (FixtureTest.PinLeak); keep them in sync when editing.
+namespace fixture_pin {
+
+class SlotPins {
+ public:
+  void Pin(unsigned slot);
+  void Unpin(unsigned slot);
+  unsigned long generation(unsigned slot) const;
+};
+
+class StubDevice {
+ public:
+  int Read(unsigned slot);
+};
+
+class StubCache {
+ public:
+  void Insert(unsigned slot);
+};
+
+class PinnedReader {
+ public:
+  int ReadOne(unsigned slot) {
+    slot_pins_.Pin(slot);
+    if (slot > 100) {
+      // Early error return without Unpin: the pin leaks.
+      return -1;
+    }
+    slot_pins_.Unpin(slot);
+    return 0;
+  }
+
+  int CacheStale(unsigned slot) {
+    slot_pins_.Pin(slot);
+    dev_.Read(slot);
+    // Cached without re-checking the generation: a concurrent
+    // free/reuse may have rewritten the slot under the read.
+    cache_.Insert(slot);
+    slot_pins_.Unpin(slot);
+    return 0;
+  }
+
+  // The compliant shape: generation re-validated in the branch
+  // condition before the insert, pin released on both paths. Must NOT
+  // be flagged.
+  int CacheChecked(unsigned slot, unsigned long gen) {
+    slot_pins_.Pin(slot);
+    dev_.Read(slot);
+    if (slot_pins_.generation(slot) == gen) {
+      cache_.Insert(slot);
+    }
+    slot_pins_.Unpin(slot);
+    return 0;
+  }
+
+ private:
+  SlotPins slot_pins_;
+  StubDevice dev_;
+  StubCache cache_;
+};
+
+}  // namespace fixture_pin

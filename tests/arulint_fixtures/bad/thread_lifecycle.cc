@@ -1,0 +1,45 @@
+// Seeded violations for the thread-lifecycle rule: a class owning a
+// std::thread must reach a join on its destructor path — destroying a
+// joinable std::thread calls std::terminate, and a detached worker
+// keeps touching freed members.
+//
+// Golden (rule, line) expectations live in tests/arulint_test.cc
+// (FixtureTest.ThreadLifecycle); keep them in sync when editing.
+#include <thread>
+
+namespace fixture_thread {
+
+class NoJoinWorker {
+ public:
+  ~NoJoinWorker() { count_ = 0; }  // tidies a field, never joins
+  void Start();
+
+ private:
+  std::thread worker_;
+  int count_ = 0;
+};
+
+class NoDtorWorker {
+ public:
+  void Start();
+
+ private:
+  // No destructor anywhere in the class: the implicit one destroys a
+  // possibly-joinable thread.
+  std::thread runner_;
+};
+
+// The compliant shape: the destructor reaches a join through Stop().
+// Must NOT be flagged.
+class JoiningWorker {
+ public:
+  ~JoiningWorker() { Stop(); }
+  void Stop() {
+    if (loop_.joinable()) loop_.join();
+  }
+
+ private:
+  std::thread loop_;
+};
+
+}  // namespace fixture_thread

@@ -645,11 +645,104 @@ TEST(FixtureTest, BadTreeAggregatesEveryViolationClass) {
   std::sort(rules.begin(), rules.end());
   rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
   EXPECT_EQ(rules,
-            (std::vector<std::string>{"banned-call", "crash-order",
-                                      "lock-order", "named-lock",
-                                      "on-disk-field", "on-disk-pin",
-                                      "raw-new", "recovery-assert",
-                                      "status-flow"}));
+            (std::vector<std::string>{
+                "atomic-order", "banned-call", "condvar-wait",
+                "crash-order", "lock-order", "named-lock",
+                "on-disk-field", "on-disk-pin", "pin-protocol",
+                "raw-new", "recovery-assert", "status-flow",
+                "thread-lifecycle"}));
+}
+
+// ---------------------------------------------------------------------
+// v3 concurrency-protocol typestate families.
+
+TEST(FixtureTest, AtomicOrder) {
+  const auto findings = CheckFile(Fixture("bad/atomic_order.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"atomic-order", 19},     // relaxed store on publisher
+                {"atomic-order", 24},     // relaxed load on publisher
+                {"atomic-order", 37}}));  // unannotated atomic member
+}
+
+TEST(FixtureTest, PinLeak) {
+  // CacheChecked (generation re-validated in the branch condition,
+  // pin released on both paths) must stay quiet.
+  const auto findings = CheckFile(Fixture("bad/pin_leak.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"pin-protocol", 34},     // early return leaks the pin
+                {"pin-protocol", 45}}));  // cached without gen re-check
+}
+
+TEST(FixtureTest, CondvarWait) {
+  // The bare single-shot wait draws both the no-predicate finding and
+  // the mixed-mutex finding; the in-loop wait only the latter.
+  const auto findings = CheckFile(Fixture("bad/condvar_wait.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"condvar-wait", 33},     // bare wait, no loop
+                {"condvar-wait", 33},     // waited under 2 mutexes
+                {"condvar-wait", 41},     // waited under 2 mutexes
+                {"condvar-wait", 50}}));  // notify under unrelated mutex
+}
+
+TEST(FixtureTest, ThreadLifecycle) {
+  // JoiningWorker (dtor reaches join through Stop) must stay quiet.
+  const auto findings = CheckFile(Fixture("bad/thread_lifecycle.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"thread-lifecycle", 14},     // dtor never joins
+                {"thread-lifecycle", 29}}));  // no dtor at all
+}
+
+// ---------------------------------------------------------------------
+// Anti-false-positive goldens: the real protocol code is the cleanest
+// exemplar of each protocol, so rule tightening that starts flagging
+// it is a regression in the rule, not the code.
+
+std::string Src(const std::string& rel) {
+  return std::string(ARU_SRC_DIR) + "/" + rel;
+}
+
+std::vector<Finding> FindingsForRule(const std::vector<std::string>& paths,
+                                     const std::string& rule) {
+  std::vector<Finding> out;
+  for (Finding& f : CheckFiles(paths)) {
+    if (f.rule == rule) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+TEST(AntiFalsePositiveTest, AtomicOrderOnRealAtomics) {
+  const auto findings = FindingsForRule(
+      {Src("lld/slot_table.h"), Src("util/mutex.h")}, "atomic-order");
+  for (const Finding& f : findings) ADD_FAILURE() << FormatFinding(f);
+}
+
+TEST(AntiFalsePositiveTest, PinProtocolOnRealReadPath) {
+  const auto findings = FindingsForRule(
+      {Src("lld/slot_table.h"), Src("lld/lld.h"), Src("lld/lld.cc"),
+       Src("util/mutex.h")},
+      "pin-protocol");
+  for (const Finding& f : findings) ADD_FAILURE() << FormatFinding(f);
+}
+
+TEST(AntiFalsePositiveTest, CondvarWaitOnRealWaiters) {
+  const auto findings = FindingsForRule(
+      {Src("lld/segment_pipeline.h"), Src("lld/segment_pipeline.cc"),
+       Src("txn/lock_manager.h"), Src("txn/lock_manager.cc"),
+       Src("obs/sampler.h"), Src("obs/sampler.cc"), Src("util/mutex.h")},
+      "condvar-wait");
+  for (const Finding& f : findings) ADD_FAILURE() << FormatFinding(f);
+}
+
+TEST(AntiFalsePositiveTest, ThreadLifecycleOnRealOwners) {
+  const auto findings = FindingsForRule(
+      {Src("obs/sampler.h"), Src("obs/sampler.cc"),
+       Src("lld/segment_pipeline.h"), Src("lld/segment_pipeline.cc")},
+      "thread-lifecycle");
+  for (const Finding& f : findings) ADD_FAILURE() << FormatFinding(f);
 }
 
 // ---------------------------------------------------------------------

@@ -23,6 +23,15 @@ bool IsMutatorMethod(const std::string& s) {
   return s == "Set" || s == "Erase" || s == "Clear" || s == "FindMutable";
 }
 
+// std::atomic member functions whose memory-order argument the
+// atomic-order rule inspects.
+bool IsAtomicOp(const std::string& s) {
+  return s == "load" || s == "store" || s == "exchange" ||
+         s == "fetch_add" || s == "fetch_sub" || s == "fetch_and" ||
+         s == "fetch_or" || s == "fetch_xor" ||
+         s == "compare_exchange_weak" || s == "compare_exchange_strong";
+}
+
 struct BodyScanner {
   const FileModel& m;
   const FunctionInfo& fn;
@@ -114,6 +123,10 @@ struct BodyScanner {
         continue;
       }
       if (!tok.IsIdent()) continue;
+      if (tok.text == "atomic" && i + 1 < t.size() && t[i + 1].Is("<")) {
+        i = HandleAtomicLocal(i);
+        continue;
+      }
       if ((tok.text == "MutexLock" || tok.text == "WriterMutexLock" ||
            tok.text == "ReaderMutexLock") &&
           i + 2 < t.size() && t[i + 1].IsIdent() && t[i + 2].Is("(")) {
@@ -131,12 +144,46 @@ struct BodyScanner {
     MarkStatusLocalUse();
   }
 
+  // A function-local std::atomic declaration (typically a static used
+  // as a rate limiter). Records it for the atomic-order rule; returns
+  // the index to resume scanning at (just past the declared name).
+  std::size_t HandleAtomicLocal(std::size_t i) {
+    std::size_t j = MatchForward(t, i + 1);  // close of the <...> group
+    if (j >= fn.body_end || j >= t.size()) return i;
+    AtomicDecl decl;
+    decl.cls = fn.qname;  // display only: "declared inside <qname>"
+    for (++j; j < fn.body_end && j < t.size(); ++j) {
+      if (!t[j].IsIdent()) {
+        if (t[j].Is("{") || t[j].Is("=") || t[j].Is(";") || t[j].Is("(")) {
+          break;
+        }
+        continue;
+      }
+      const std::string& s = t[j].text;
+      if (s.rfind("ARU_", 0) == 0) {
+        if (s == "ARU_ATOMIC_COUNTER") decl.ann = AtomicAnn::kCounter;
+        if (s == "ARU_ATOMIC_PUBLISHES") decl.ann = AtomicAnn::kPublishes;
+        if (j + 1 < t.size() && t[j + 1].Is("(")) {
+          j = MatchForward(t, j + 1);
+        }
+        continue;
+      }
+      decl.name = s;
+      decl.line = t[j].line;
+    }
+    if (decl.name.empty()) return i;
+    locals[decl.name] = "atomic";
+    out.atomic_locals.push_back(std::move(decl));
+    return j;
+  }
+
   std::size_t HandleAcquire(std::size_t i, bool shared) {
     const std::size_t open = i + 2;
     const std::size_t close = CloseOf(open);
     BodyEvent e;
     e.kind = BodyEvent::Kind::kAcquire;
     e.line = t[i].line;
+    e.tok = i;
     e.held_locks = Held();
     e.held_shared = HeldShared();
     e.lock_key = ResolveLockExpr(open + 1, close);
@@ -221,6 +268,7 @@ struct BodyScanner {
     BodyEvent e;
     e.kind = BodyEvent::Kind::kMutation;
     e.line = t[i].line;
+    e.tok = i;
     e.table_expr = t[i].text;
     e.held_locks = Held();
     e.held_shared = HeldShared();
@@ -231,6 +279,7 @@ struct BodyScanner {
     BodyEvent e;
     e.kind = BodyEvent::Kind::kCall;
     e.line = t[i].line;
+    e.tok = i;
     e.callee_base = t[i].text;
     e.held_locks = Held();
     e.held_shared = HeldShared();
@@ -241,6 +290,7 @@ struct BodyScanner {
       have_receiver = true;
       const Token& r = t[i - 2];
       if (r.IsIdent()) {
+        e.recv_name = r.text;
         receiver_type = r.text == "this" ? fn.cls : TypeOf(r.text);
       } else if (r.Is(")")) {
         // Chained off a static call: `X::F().G(...)` — treat the
@@ -263,6 +313,7 @@ struct BodyScanner {
       have_receiver = true;
       receiver_type = t[i - 2].text;
     }
+    e.recv_type = receiver_type;
     if (have_receiver) {
       if (!receiver_type.empty()) {
         const std::string qname = receiver_type + "::" + e.callee_base;
@@ -297,6 +348,44 @@ struct BodyScanner {
         break;
       }
     }
+    // Top-level argument count, and the extent of the first argument
+    // (lambda / nested-call groups are opaque to the comma scan).
+    std::size_t depth = 0;
+    std::size_t first_arg_end = close;
+    bool any_arg_tokens = false;
+    for (std::size_t a = i + 2; a < close && a < t.size(); ++a) {
+      const std::string& s = t[a].text;
+      if (s == "(" || s == "{" || s == "[") {
+        ++depth;
+        any_arg_tokens = true;
+        continue;
+      }
+      if (s == ")" || s == "}" || s == "]") {
+        if (depth > 0) --depth;
+        continue;
+      }
+      if (s == "," && depth == 0) {
+        if (e.call_args == 0) first_arg_end = a;
+        ++e.call_args;
+        continue;
+      }
+      any_arg_tokens = true;
+    }
+    if (any_arg_tokens || e.call_args > 0) ++e.call_args;
+    // Atomic op: does a memory-order argument name relaxed?
+    if (IsAtomicOp(e.callee_base)) {
+      for (std::size_t a = i + 2; a < close && a < t.size(); ++a) {
+        if (t[a].IsIdent() && t[a].text == "memory_order_relaxed") {
+          e.atomic_relaxed = true;
+          break;
+        }
+      }
+    }
+    // CondVar wait: resolve the mutex passed as the first argument.
+    if ((e.callee_base == "Wait" || e.callee_base == "WaitFor") &&
+        e.call_args >= 1) {
+      e.cv_mutex = ResolveLockExpr(i + 2, first_arg_end);
+    }
     out.events.push_back(std::move(e));
   }
 
@@ -323,6 +412,208 @@ struct BodyScanner {
   }
 };
 
+// Builds the statement tree for a body: the control-flow shape the
+// path-sensitive rules walk. Constructs the parser does not model
+// (switch, labels, inline asm) collapse into opaque kSimple nodes —
+// an under-approximation that can only hide findings.
+struct StmtParser {
+  const std::vector<Token>& t;
+
+  std::size_t Bounded(std::size_t i) const {
+    return i >= t.size() ? t.size() : i;
+  }
+
+  // Skips past a balanced group opened at i; never loops on a
+  // malformed group.
+  std::size_t PastGroup(std::size_t i) const {
+    const std::size_t close = MatchForward(t, i);
+    return close >= t.size() ? t.size() : close + 1;
+  }
+
+  // First index >= i past the statement's terminating ";", hopping
+  // over nested groups (incl. lambda bodies); stops at an unmatched
+  // "}" so a malformed statement cannot escape its scope.
+  std::size_t PastSemi(std::size_t i, std::size_t last) const {
+    while (i < last && i < t.size()) {
+      if (t[i].Is(";")) return i + 1;
+      if (t[i].Is("}")) return i;  // scope end: treat as terminator
+      if (t[i].Is("(") || t[i].Is("{") || t[i].Is("[")) {
+        i = PastGroup(i);
+        continue;
+      }
+      ++i;
+    }
+    return Bounded(last);
+  }
+
+  std::vector<Stmt> ParseList(std::size_t first, std::size_t last) {
+    std::vector<Stmt> out;
+    std::size_t i = first;
+    std::size_t guard = 0;
+    while (i < last && i < t.size() && ++guard < 65536) {
+      if (t[i].Is(";")) {  // empty statement
+        ++i;
+        continue;
+      }
+      if (t[i].Is("}")) break;  // stray close: caller's scope ends here
+      std::size_t next = i;
+      Stmt s = ParseOne(i, last, next);
+      if (next <= i) next = i + 1;  // forward progress, always
+      out.push_back(std::move(s));
+      i = next;
+    }
+    return out;
+  }
+
+  Stmt ParseOne(std::size_t i, std::size_t last, std::size_t& next) {
+    Stmt s;
+    s.line = t[i].line;
+    s.first = i;
+    if (t[i].Is("{")) {
+      s.kind = Stmt::Kind::kBlock;
+      const std::size_t close = MatchForward(t, i);
+      if (close >= t.size() || close > last) {
+        next = Bounded(last);
+        s.last = next == 0 ? 0 : next - 1;
+        return s;
+      }
+      s.then_stmts = ParseList(i + 1, close);
+      s.last = close;
+      next = close + 1;
+      return s;
+    }
+    const std::string& head = t[i].IsIdent() ? t[i].text : "";
+    if (head == "if") return ParseIf(i, last, next);
+    if (head == "while" || head == "for") return ParseLoop(i, last, next);
+    if (head == "do") return ParseDoWhile(i, last, next);
+    if (head == "return" || head == "break" || head == "continue") {
+      s.kind = head == "return" ? Stmt::Kind::kReturn
+               : head == "break" ? Stmt::Kind::kBreak
+                                 : Stmt::Kind::kContinue;
+      next = PastSemi(i + 1, last);
+      s.last = next == 0 ? 0 : next - 1;
+      return s;
+    }
+    if (head == "switch") {
+      // Opaque: skip the condition group and the body braces.
+      std::size_t j = i + 1;
+      if (j < t.size() && t[j].Is("(")) j = PastGroup(j);
+      if (j < t.size() && t[j].Is("{")) j = PastGroup(j);
+      next = Bounded(j > last ? last : j);
+      s.last = next == 0 ? 0 : next - 1;
+      return s;
+    }
+    next = PastSemi(i, last);
+    s.last = next == 0 ? 0 : next - 1;
+    return s;
+  }
+
+  // One branch arm: a block's contents, or a single statement wrapped
+  // in a list.
+  std::vector<Stmt> ParseArm(std::size_t i, std::size_t last,
+                             std::size_t& next) {
+    if (i < t.size() && t[i].Is("{")) {
+      const std::size_t close = MatchForward(t, i);
+      if (close < t.size() && close <= last) {
+        std::vector<Stmt> arm = ParseList(i + 1, close);
+        next = close + 1;
+        return arm;
+      }
+    }
+    std::vector<Stmt> arm;
+    std::size_t after = i;
+    arm.push_back(ParseOne(i, last, after));
+    if (after <= i) after = i + 1;
+    next = after;
+    return arm;
+  }
+
+  Stmt ParseIf(std::size_t i, std::size_t last, std::size_t& next) {
+    Stmt s;
+    s.kind = Stmt::Kind::kIf;
+    s.line = t[i].line;
+    s.first = i;
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].IsIdent() && t[j].text == "constexpr") ++j;
+    if (j >= t.size() || !t[j].Is("(")) {  // malformed: opaque
+      s.kind = Stmt::Kind::kSimple;
+      next = PastSemi(i + 1, last);
+      s.last = next == 0 ? 0 : next - 1;
+      return s;
+    }
+    const std::size_t cond_close = MatchForward(t, j);
+    if (cond_close >= t.size() || cond_close > last) {
+      s.kind = Stmt::Kind::kSimple;
+      next = Bounded(last);
+      s.last = next == 0 ? 0 : next - 1;
+      return s;
+    }
+    s.head_last = cond_close;
+    std::size_t after = cond_close + 1;
+    s.then_stmts = ParseArm(cond_close + 1, last, after);
+    if (after < last && after < t.size() && t[after].IsIdent() &&
+        t[after].text == "else") {
+      s.has_else = true;
+      std::size_t after_else = after + 1;
+      s.else_stmts = ParseArm(after + 1, last, after_else);
+      after = after_else;
+    }
+    s.last = after == 0 ? 0 : after - 1;
+    next = after;
+    return s;
+  }
+
+  Stmt ParseLoop(std::size_t i, std::size_t last, std::size_t& next) {
+    Stmt s;
+    s.kind = Stmt::Kind::kLoop;
+    s.line = t[i].line;
+    s.first = i;
+    std::size_t j = i + 1;
+    if (j >= t.size() || !t[j].Is("(")) {
+      s.kind = Stmt::Kind::kSimple;
+      next = PastSemi(i + 1, last);
+      s.last = next == 0 ? 0 : next - 1;
+      return s;
+    }
+    const std::size_t cond_close = MatchForward(t, j);
+    if (cond_close >= t.size() || cond_close > last) {
+      s.kind = Stmt::Kind::kSimple;
+      next = Bounded(last);
+      s.last = next == 0 ? 0 : next - 1;
+      return s;
+    }
+    s.head_last = cond_close;
+    std::size_t after = cond_close + 1;
+    s.body = ParseArm(cond_close + 1, last, after);
+    s.last = after == 0 ? 0 : after - 1;
+    next = after;
+    return s;
+  }
+
+  Stmt ParseDoWhile(std::size_t i, std::size_t last, std::size_t& next) {
+    Stmt s;
+    s.kind = Stmt::Kind::kLoop;
+    s.line = t[i].line;
+    s.first = i;
+    std::size_t after = i + 1;
+    s.body = ParseArm(i + 1, last, after);
+    // Trailer: while (...) ;
+    std::size_t j = after;
+    if (j < t.size() && t[j].IsIdent() && t[j].text == "while" &&
+        j + 1 < t.size() && t[j + 1].Is("(")) {
+      const std::size_t cond_close = MatchForward(t, j + 1);
+      if (cond_close < t.size() && cond_close <= last) {
+        s.head_last = cond_close;
+        j = cond_close + 1;
+        if (j < t.size() && t[j].Is(";")) ++j;
+      }
+    }
+    next = Bounded(j > last ? last : j);
+    s.last = next == 0 ? 0 : next - 1;
+    return s;
+  }
+};
+
 }  // namespace
 
 BodySummary AnalyzeBody(const FileModel& model, const FunctionInfo& fn,
@@ -330,6 +621,10 @@ BodySummary AnalyzeBody(const FileModel& model, const FunctionInfo& fn,
   BodyScanner scanner{model, fn, index, model.tokens, {}, {}, {}, {}, 0};
   scanner.out.fn = &fn;
   scanner.Run();
+  if (fn.body_end > fn.body_begin && fn.body_end < model.tokens.size()) {
+    StmtParser sp{model.tokens};
+    scanner.out.stmts = sp.ParseList(fn.body_begin + 1, fn.body_end);
+  }
   return scanner.out;
 }
 

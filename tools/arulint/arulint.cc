@@ -666,6 +666,403 @@ void CheckLockOrder(const Analysis& a,
 }
 
 // ---------------------------------------------------------------------
+// atomic-order: every std::atomic must declare its memory-order
+// discipline (ARU_ATOMIC_COUNTER / ARU_ATOMIC_PUBLISHES), and relaxed
+// operations on a publishing atomic are flagged.
+
+// Resolves the annotation governing atomic ops on `name` inside
+// `body`: function-local statics first, then the project-wide decls —
+// but only when every same-named decl agrees (disagreement means the
+// receiver is ambiguous, and ambiguity must not invent findings).
+AtomicAnn ResolveAtomicAnn(const Analysis& a, const BodySummary& body,
+                           const std::string& name, bool& known) {
+  for (const AtomicDecl& d : body.atomic_locals) {
+    if (d.name == name) {
+      known = true;
+      return d.ann;
+    }
+  }
+  AtomicAnn ann = AtomicAnn::kNone;
+  bool any = false;
+  bool agree = true;
+  for (const AtomicDecl& d : a.index.atomics) {
+    if (d.name != name) continue;
+    if (!any) {
+      ann = d.ann;
+      any = true;
+    } else if (d.ann != ann) {
+      agree = false;
+    }
+  }
+  known = any && agree;
+  return ann;
+}
+
+void CheckAtomicOrder(const Analysis& a,
+                      std::vector<std::vector<Finding>>& per_file) {
+  const auto flag_decl = [&](std::size_t file, const AtomicDecl& d) {
+    const FileModel& m = a.models[file];
+    if (IsAllowed(m.raw, d.line, "atomic-order")) return;
+    const std::string owner =
+        d.cls.empty() ? d.name : d.cls + "::" + d.name;
+    per_file[file].push_back(
+        {m.path, d.line, "atomic-order",
+         "std::atomic '" + owner +
+             "' carries no ARU_ATOMIC_COUNTER / ARU_ATOMIC_PUBLISHES "
+             "annotation: the memory-order discipline its readers rely "
+             "on is undeclared (see util/protocol_annotations.h)"});
+  };
+  for (const AtomicDecl& d : a.index.atomics) {
+    if (d.ann == AtomicAnn::kNone) flag_decl(d.file, d);
+  }
+  for (const BodySummary& body : a.bodies) {
+    for (const AtomicDecl& d : body.atomic_locals) {
+      if (d.ann == AtomicAnn::kNone) flag_decl(body.fn->file, d);
+    }
+    const FileModel& m = a.models[body.fn->file];
+    for (const BodyEvent& e : body.events) {
+      if (e.kind != BodyEvent::Kind::kCall || !e.atomic_relaxed ||
+          e.recv_name.empty()) {
+        continue;
+      }
+      bool known = false;
+      const AtomicAnn ann = ResolveAtomicAnn(a, body, e.recv_name, known);
+      if (!known || ann != AtomicAnn::kPublishes) continue;
+      if (IsAllowed(m.raw, e.line, "atomic-order")) continue;
+      per_file[body.fn->file].push_back(
+          {m.path, e.line, "atomic-order",
+           "memory_order_relaxed " + e.callee_base +
+               " on publishing atomic '" + e.recv_name +
+               "': ARU_ATOMIC_PUBLISHES requires release on the write "
+               "and acquire on the read, or the data the value stands "
+               "for may not be visible when the value is"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// pin-protocol: every SlotPins::Pin must be released (directly or by
+// handing the slot to a PinGuard) on every path out of the body, and
+// device bytes read with no lock held must pass a generation
+// re-validation before they are cached.
+
+void CheckPinProtocol(const Analysis& a,
+                      std::vector<std::vector<Finding>>& per_file) {
+  struct Walker {
+    const FileModel& m;
+    const BodySummary& body;
+    std::vector<Finding>& out;
+    std::set<std::pair<std::size_t, std::string>> emitted;
+
+    struct State {
+      std::set<std::size_t> open;  // lines of unreleased Pin calls
+      bool unvalidated = false;    // post-lock-drop read, gen unchecked
+      bool returned = false;
+    };
+
+    void Emit(std::size_t line, std::string msg) {
+      if (IsAllowed(m.raw, line, "pin-protocol")) return;
+      if (!emitted.insert({line, msg}).second) return;
+      out.push_back({m.path, line, "pin-protocol", std::move(msg)});
+    }
+
+    void Apply(const BodyEvent& e, State& st) {
+      if (e.kind != BodyEvent::Kind::kCall) return;
+      if (e.recv_type == "SlotPins") {
+        if (e.callee_base == "Pin") {
+          st.open.insert(e.line);
+        } else if (e.callee_base.find("Unpin") != std::string::npos) {
+          // One release event clears every open pin: distinguishing
+          // which slot was released is beyond the model, and the
+          // generous reading can only miss leaks, never invent one.
+          st.open.clear();
+        } else if (e.callee_base == "generation") {
+          st.unvalidated = false;
+        }
+      }
+      if (e.recv_type == "PinGuard" && e.callee_base == "Add") {
+        st.open.clear();  // ownership moved to the guard's destructor
+      }
+      if ((e.callee_base == "ReadBlockAt" ||
+           (e.callee_base == "Read" && EndsWith(e.recv_type, "Device"))) &&
+          e.held_locks.empty()) {
+        st.unvalidated = true;
+      }
+      if (e.callee_base == "Insert" &&
+          e.recv_type.find("Cache") != std::string::npos && st.unvalidated) {
+        Emit(e.line,
+             "caching device bytes read after the slot lock was dropped "
+             "without re-validating the slot generation: a concurrent "
+             "free/reuse may have rewritten the slot, poisoning the "
+             "cache with stale data");
+      }
+    }
+
+    void ApplyRange(std::size_t first, std::size_t last, State& st) {
+      if (st.returned || last < first) return;
+      for (const BodyEvent& e : body.events) {
+        if (e.tok >= first && e.tok <= last) Apply(e, st);
+      }
+    }
+
+    void FlagLeaks(const State& st, std::size_t at_line, bool at_return) {
+      for (const std::size_t pin_line : st.open) {
+        Emit(at_return ? at_line : pin_line,
+             "SlotPins::Pin at line " + std::to_string(pin_line) +
+                 " is not released on this path: a leaked pin blocks "
+                 "slot reclamation forever (unpin on every early "
+                 "return, or hand the slot to a PinGuard)");
+      }
+    }
+
+    void Merge(State& st, State&& then_st, State&& else_st) {
+      if (then_st.returned && else_st.returned) {
+        st.returned = true;
+        return;
+      }
+      if (then_st.returned) {
+        st = std::move(else_st);
+        return;
+      }
+      if (else_st.returned) {
+        st = std::move(then_st);
+        return;
+      }
+      st = std::move(then_st);
+      st.open.insert(else_st.open.begin(), else_st.open.end());
+      st.unvalidated = st.unvalidated || else_st.unvalidated;
+    }
+
+    void WalkList(const std::vector<Stmt>& stmts, State& st) {
+      for (const Stmt& s : stmts) {
+        if (st.returned) return;
+        WalkOne(s, st);
+      }
+    }
+
+    void WalkOne(const Stmt& s, State& st) {
+      switch (s.kind) {
+        case Stmt::Kind::kBlock:
+          WalkList(s.then_stmts, st);
+          break;
+        case Stmt::Kind::kIf: {
+          ApplyRange(s.first, s.head_last, st);
+          State then_st = st;
+          State else_st = st;
+          WalkList(s.then_stmts, then_st);
+          if (s.has_else) WalkList(s.else_stmts, else_st);
+          Merge(st, std::move(then_st), std::move(else_st));
+          break;
+        }
+        case Stmt::Kind::kLoop: {
+          if (s.head_last >= s.first) {
+            ApplyRange(s.first, s.head_last, st);
+          }
+          // One symbolic iteration; the exit state merges the
+          // zero-iteration path with the one-iteration path.
+          State body_st = st;
+          WalkList(s.body, body_st);
+          if (!body_st.returned) {
+            st.open.insert(body_st.open.begin(), body_st.open.end());
+            st.unvalidated = st.unvalidated || body_st.unvalidated;
+          }
+          break;
+        }
+        case Stmt::Kind::kReturn:
+          ApplyRange(s.first, s.last, st);
+          FlagLeaks(st, s.line, /*at_return=*/true);
+          st.returned = true;
+          break;
+        case Stmt::Kind::kBreak:
+        case Stmt::Kind::kContinue:
+          break;  // modelled as falling through (under-approximation)
+        default:
+          ApplyRange(s.first, s.last, st);
+          break;
+      }
+    }
+  };
+
+  for (const BodySummary& body : a.bodies) {
+    bool has_pin = false;
+    for (const BodyEvent& e : body.events) {
+      if (e.kind == BodyEvent::Kind::kCall && e.recv_type == "SlotPins" &&
+          e.callee_base == "Pin") {
+        has_pin = true;
+        break;
+      }
+    }
+    if (!has_pin || body.stmts.empty()) continue;
+    Walker w{a.models[body.fn->file], body, per_file[body.fn->file], {}};
+    Walker::State st;
+    w.WalkList(body.stmts, st);
+    if (!st.returned) w.FlagLeaks(st, 0, /*at_return=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------
+// condvar-wait: waits must use the predicate overload or sit in a
+// loop, every waiter of one CondVar must use the same mutex, and a
+// notify holding only unrelated mutexes is flagged.
+
+bool TokInLoop(const std::vector<Stmt>& stmts, std::size_t tok) {
+  for (const Stmt& s : stmts) {
+    if (tok < s.first || tok > s.last) continue;
+    if (s.kind == Stmt::Kind::kLoop) return true;
+    return TokInLoop(s.then_stmts, tok) || TokInLoop(s.else_stmts, tok) ||
+           TokInLoop(s.body, tok);
+  }
+  return false;
+}
+
+void CheckCondvarWait(const Analysis& a,
+                      std::vector<std::vector<Finding>>& per_file) {
+  struct WaitSite {
+    std::size_t file = 0;
+    std::size_t line = 0;
+    std::string mutex;
+  };
+  struct NotifySite {
+    std::size_t file = 0;
+    std::size_t line = 0;
+    std::set<std::string> held;
+  };
+  std::map<std::string, std::vector<WaitSite>> waits;
+  std::map<std::string, std::vector<NotifySite>> notifies;
+  for (const BodySummary& body : a.bodies) {
+    const FileModel& m = a.models[body.fn->file];
+    for (const BodyEvent& e : body.events) {
+      if (e.kind != BodyEvent::Kind::kCall || e.recv_type != "CondVar") {
+        continue;
+      }
+      const std::string key = body.fn->cls + "::" + e.recv_name;
+      if (e.callee_base == "Wait" || e.callee_base == "WaitFor") {
+        // Wait(mu, pred) / WaitFor(mu, timeout, pred).
+        const std::size_t pred_args = e.callee_base == "Wait" ? 2 : 3;
+        if (e.call_args < pred_args && !TokInLoop(body.stmts, e.tok) &&
+            !IsAllowed(m.raw, e.line, "condvar-wait")) {
+          per_file[body.fn->file].push_back(
+              {m.path, e.line, "condvar-wait",
+               "CondVar::" + e.callee_base +
+                   " without a predicate and outside any loop: spurious "
+                   "wakeups make a single-shot wait return before the "
+                   "guarded condition holds (use the predicate overload "
+                   "or re-test the condition in a while loop)"});
+        }
+        waits[key].push_back({body.fn->file, e.line, e.cv_mutex});
+      } else if (e.callee_base == "NotifyOne" ||
+                 e.callee_base == "NotifyAll") {
+        notifies[key].push_back({body.fn->file, e.line, e.held_locks});
+      }
+    }
+  }
+  for (const auto& [key, sites] : waits) {
+    std::set<std::string> mutexes;
+    for (const WaitSite& w : sites) {
+      if (!w.mutex.empty()) mutexes.insert(w.mutex);
+    }
+    if (mutexes.size() > 1) {
+      for (const WaitSite& w : sites) {
+        const FileModel& m = a.models[w.file];
+        if (IsAllowed(m.raw, w.line, "condvar-wait")) continue;
+        per_file[w.file].push_back(
+            {m.path, w.line, "condvar-wait",
+             "CondVar '" + key + "' is waited on under " +
+                 std::to_string(mutexes.size()) +
+                 " different mutexes across the project: wait/notify "
+                 "ordering is only defined when every waiter pairs the "
+                 "CondVar with the same mutex"});
+      }
+    }
+    const auto nit = notifies.find(key);
+    if (nit == notifies.end() || mutexes.empty()) continue;
+    for (const NotifySite& n : nit->second) {
+      if (n.held.empty()) continue;  // notify after unlock: legal
+      bool overlaps = false;
+      for (const std::string& h : n.held) {
+        if (mutexes.count(h) > 0) overlaps = true;
+      }
+      if (overlaps) continue;
+      const FileModel& m = a.models[n.file];
+      if (IsAllowed(m.raw, n.line, "condvar-wait")) continue;
+      per_file[n.file].push_back(
+          {m.path, n.line, "condvar-wait",
+           "notify of CondVar '" + key +
+               "' holds only mutexes no waiter of this CondVar uses: "
+               "the guarded-state handoff to the waiters is "
+               "unsynchronized (update the state under the waiters' "
+               "mutex before notifying)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// thread-lifecycle: a class owning a std::thread must reach a join on
+// its destructor path (and on Close, when it has one) — a joinable
+// std::thread destroyed without join calls std::terminate.
+
+void CheckThreadLifecycle(const Analysis& a,
+                          std::vector<std::vector<Finding>>& per_file) {
+  for (const auto& [cls, members] : a.index.thread_members) {
+    const std::string dtor_q = cls + "::~" + cls;
+    const auto it = a.index.by_qname.find(dtor_q);
+    if (it == a.index.by_qname.end()) {
+      // No destructor declared at all: the implicit one destroys a
+      // possibly-joinable std::thread, which is std::terminate.
+      for (const ThreadMember& tm : members) {
+        const FileModel& m = a.models[tm.file];
+        if (IsAllowed(m.raw, tm.line, "thread-lifecycle")) continue;
+        per_file[tm.file].push_back(
+            {m.path, tm.line, "thread-lifecycle",
+             "class '" + cls + "' owns std::thread '" + tm.name +
+                 "' but declares no destructor: destroying the object "
+                 "while the thread is joinable calls std::terminate "
+                 "(join or stop the thread in a destructor)"});
+      }
+      continue;
+    }
+    const FunctionInfo* dtor_body = nullptr;
+    for (const FunctionInfo* fn : it->second) {
+      if (fn->has_body) dtor_body = fn;
+    }
+    // Declaration-only destructor (defined outside the scanned roots,
+    // or defaulted): skipped — an under-approximation.
+    if (dtor_body != nullptr && a.index.may_join.count(dtor_q) == 0) {
+      const FileModel& m = a.models[dtor_body->file];
+      if (!IsAllowed(m.raw, dtor_body->line, "thread-lifecycle")) {
+        per_file[dtor_body->file].push_back(
+            {m.path, dtor_body->line, "thread-lifecycle",
+             "destructor of '" + cls +
+                 "' never reaches a join of std::thread '" +
+                 members.front().name +
+                 "': a still-joinable thread aborts the process via "
+                 "std::terminate, and a detached one keeps touching "
+                 "freed members"});
+      }
+    }
+    // A Close method is a shutdown path and owes the same join.
+    const std::string close_q = cls + "::Close";
+    const auto cit = a.index.by_qname.find(close_q);
+    if (cit == a.index.by_qname.end() ||
+        a.index.may_join.count(close_q) > 0) {
+      continue;
+    }
+    for (const FunctionInfo* fn : cit->second) {
+      if (!fn->has_body) continue;
+      const FileModel& m = a.models[fn->file];
+      if (IsAllowed(m.raw, fn->line, "thread-lifecycle")) break;
+      per_file[fn->file].push_back(
+          {m.path, fn->line, "thread-lifecycle",
+           "'" + close_q + "' shuts down a class owning std::thread '" +
+               members.front().name +
+               "' without reaching a join: the flusher keeps running "
+               "against a closed object"});
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Orchestration.
 
 Analysis Analyze(std::vector<std::pair<std::string, std::string>> sources) {
@@ -729,6 +1126,10 @@ std::vector<Finding> RunRules(Analysis& a) {
     CheckStatusFlow(a, m, body, per_file[body.fn->file]);
   }
   CheckLockOrder(a, per_file);
+  CheckAtomicOrder(a, per_file);
+  CheckPinProtocol(a, per_file);
+  CheckCondvarWait(a, per_file);
+  CheckThreadLifecycle(a, per_file);
   std::vector<Finding> findings;
   for (std::vector<Finding>& f : per_file) {
     std::stable_sort(f.begin(), f.end(),

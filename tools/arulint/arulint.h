@@ -34,6 +34,24 @@
 //                    they consume disk-derived data, and corruption must
 //                    surface as StatusCode::kCorruption, not abort().
 //
+// v3 adds a path-sensitive statement model (branches, early returns,
+// loops — see Stmt in tools/arulint/model.h) and four
+// concurrency-protocol typestate families:
+//
+//   atomic-order     every std::atomic carries ARU_ATOMIC_COUNTER or
+//                    ARU_ATOMIC_PUBLISHES(what); memory_order_relaxed
+//                    operations on a publishing atomic are flagged;
+//   pin-protocol     every SlotPins::Pin is released on all paths out
+//                    of the body (no leaks on early returns), and
+//                    device bytes read with no lock held pass a slot
+//                    generation re-validation before they are cached;
+//   condvar-wait     CondVar::Wait/WaitFor uses the predicate overload
+//                    or sits in a loop; all waiters of one CondVar use
+//                    the same mutex; a notify holding only unrelated
+//                    mutexes is flagged;
+//   thread-lifecycle a class owning a std::thread reaches a join on
+//                    its destructor path (and on Close, if it has one).
+//
 // Suppression: a comment `// arulint: allow(<rule>) <reason>` on the
 // flagged line or up to three lines above it silences that rule there.
 //
@@ -89,5 +107,14 @@ std::vector<Finding> CheckTree(const std::string& root);
 // Serializes findings as a SARIF 2.1.0 document (one run, one rule
 // entry per distinct rule id).
 std::string SarifReport(const std::vector<Finding>& findings);
+
+struct RuleInfo {
+  std::string id;
+  std::string description;
+};
+
+// Every rule the tool can emit, in catalogue order (--list-rules,
+// --stats).
+std::vector<RuleInfo> RuleCatalog();
 
 }  // namespace aru::arulint

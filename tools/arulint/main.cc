@@ -1,24 +1,61 @@
 // arulint CLI. Usage:
 //
-//   arulint [--root <dir>]... [--sarif <out.sarif>] [<file>]...
+//   arulint [--root <dir>]... [--sarif <out.sarif>]
+//           [--sarif-dir <dir>] [--stats] [--list-rules] [<file>]...
 //
 // Checks every .h/.cc under each --root (minus .arulintignore matches)
 // plus any explicitly listed files, all indexed as ONE project so
 // cross-file rules (crash-order annotations on header declarations,
-// the lock graph) see the whole picture. Prints one line per finding;
-// with --sarif also writes a SARIF 2.1.0 report. Exits 0 when clean,
-// 1 when any finding was reported, 2 on usage errors.
+// the lock graph, CondVar wait/notify pairing) see the whole picture.
+// Prints one line per finding; with --sarif also writes a SARIF 2.1.0
+// report, and with --sarif-dir one SARIF file per rule family
+// (atomic-order, pin-protocol, condvar-wait, thread-lifecycle, core)
+// for per-category upload. --stats prints per-rule finding counts and
+// the analysis wall time to stderr; --list-rules prints the rule
+// catalogue and exits. Exits 0 when clean, 1 when any finding was
+// reported, 2 on usage errors.
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "tools/arulint/arulint.h"
 
+namespace {
+
+constexpr char kUsage[] =
+    "usage: arulint [--root <dir>]... [--sarif <out>] [--sarif-dir <dir>]\n"
+    "               [--stats] [--list-rules] [<file>]...\n"
+    "\n"
+    "  --root <dir>      check every .h/.cc under <dir> (repeatable)\n"
+    "  --sarif <out>     write all findings as one SARIF 2.1.0 report\n"
+    "  --sarif-dir <dir> write one SARIF report per rule family into\n"
+    "                    <dir> (atomic-order, pin-protocol, condvar-wait,\n"
+    "                    thread-lifecycle, core)\n"
+    "  --stats           print per-rule finding counts and analysis time\n"
+    "  --list-rules      print the rule catalogue and exit\n";
+
+// The v3 families that get their own SARIF category; every other rule
+// lands in "core".
+const char* FamilyOf(const std::string& rule) {
+  if (rule == "atomic-order" || rule == "pin-protocol" ||
+      rule == "condvar-wait" || rule == "thread-lifecycle") {
+    return rule.c_str();
+  }
+  return "core";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::vector<std::string> files;
   std::string sarif_path;
+  std::string sarif_dir;
+  bool stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
@@ -33,10 +70,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       sarif_path = argv[++i];
+    } else if (arg == "--sarif-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "arulint: --sarif-dir needs a directory\n");
+        return 2;
+      }
+      sarif_dir = argv[++i];
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--list-rules") {
+      for (const aru::arulint::RuleInfo& rule : aru::arulint::RuleCatalog()) {
+        std::printf("%-18s %s\n", rule.id.c_str(), rule.description.c_str());
+      }
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: arulint [--root <dir>]... [--sarif <out>] "
-                   "[<file>]...\n");
+      std::fputs(kUsage, stderr);
       return 2;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "arulint: unknown option '%s'\n", arg.c_str());
@@ -46,12 +94,11 @@ int main(int argc, char** argv) {
     }
   }
   if (roots.empty() && files.empty()) {
-    std::fprintf(stderr,
-                 "usage: arulint [--root <dir>]... [--sarif <out>] "
-                 "[<file>]...\n");
+    std::fputs(kUsage, stderr);
     return 2;
   }
 
+  const auto start = std::chrono::steady_clock::now();
   std::vector<std::string> all_files;
   for (const std::string& root : roots) {
     auto collected = aru::arulint::CollectFiles(root);
@@ -60,6 +107,8 @@ int main(int argc, char** argv) {
   all_files.insert(all_files.end(), files.begin(), files.end());
   const std::vector<aru::arulint::Finding> findings =
       aru::arulint::CheckFiles(all_files);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
 
   for (const auto& finding : findings) {
     std::printf("%s\n", aru::arulint::FormatFinding(finding).c_str());
@@ -72,6 +121,46 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << aru::arulint::SarifReport(findings);
+  }
+  if (!sarif_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(sarif_dir, ec);
+    std::map<std::string, std::vector<aru::arulint::Finding>> by_family;
+    // Every family gets a file even when empty, so CI uploads are
+    // stable across runs.
+    for (const char* family : {"atomic-order", "pin-protocol",
+                               "condvar-wait", "thread-lifecycle", "core"}) {
+      by_family[family];
+    }
+    for (const aru::arulint::Finding& f : findings) {
+      by_family[FamilyOf(f.rule)].push_back(f);
+    }
+    for (const auto& [family, family_findings] : by_family) {
+      const std::string path = sarif_dir + "/" + family + ".sarif";
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "arulint: cannot write SARIF to '%s'\n",
+                     path.c_str());
+        return 2;
+      }
+      out << aru::arulint::SarifReport(family_findings);
+    }
+  }
+  if (stats) {
+    std::map<std::string, std::size_t> counts;
+    for (const aru::arulint::Finding& f : findings) ++counts[f.rule];
+    std::fprintf(stderr, "arulint: %zu file(s), %zu finding(s), %lld ms\n",
+                 all_files.size(), findings.size(),
+                 static_cast<long long>(elapsed.count()));
+    for (const aru::arulint::RuleInfo& rule : aru::arulint::RuleCatalog()) {
+      const auto it = counts.find(rule.id);
+      std::fprintf(stderr, "arulint:   %-18s %zu\n", rule.id.c_str(),
+                   it == counts.end() ? std::size_t{0} : it->second);
+      counts.erase(rule.id);
+    }
+    for (const auto& [rule, count] : counts) {  // catalogue drift guard
+      std::fprintf(stderr, "arulint:   %-18s %zu\n", rule.c_str(), count);
+    }
   }
   if (!findings.empty()) {
     std::fprintf(stderr, "arulint: %zu finding(s)\n", findings.size());

@@ -264,7 +264,15 @@ struct Parser {
       if (tok.Is("(")) {
         if (j > start && t[j - 1].IsIdent()) {
           const std::string& name = t[j - 1].text;
-          if (IsAruMacro(name) || name == "noexcept" || name == "alignas" ||
+          if (IsAruMacro(name)) {
+            // Annotation argument group (e.g. ARU_ATOMIC_PUBLISHES(x)).
+            // Deliberately does NOT count as a parameter list, so a
+            // following brace initializer is still a member, not an
+            // un-modeled function body.
+            j = SkipGroup(t, j);
+            continue;
+          }
+          if (name == "noexcept" || name == "alignas" ||
               name == "decltype" || IsKeyword(name)) {
             j = SkipGroup(t, j);
             saw_paren_group = true;
@@ -300,8 +308,58 @@ struct Parser {
 
   // Records a data member (class scope) / struct field from the
   // declaration tokens [start, end) where t[end] is ";" or "=".
+  // Records a std::atomic declaration (class member or namespace-scope
+  // global) with its ARU_ATOMIC_* annotation, for the atomic-order
+  // rule. Function-local statics are captured by the body scanner.
+  void RecordAtomic(std::size_t start, std::size_t end,
+                    const std::string& cls) {
+    // First template group of the declared type; `atomic` anywhere
+    // inside it marks the declaration (covers both std::atomic<T> x
+    // and std::array<std::atomic<T>, N> x).
+    std::size_t lt = std::string::npos;
+    for (std::size_t i = start + 1; i < end && i < t.size(); ++i) {
+      if (t[i].Is("<") && t[i - 1].IsIdent()) {
+        lt = i;
+        break;
+      }
+    }
+    if (lt == std::string::npos) return;
+    const std::size_t close = MatchForward(t, lt);
+    if (close >= t.size() || close >= end) return;
+    bool is_atomic = false;
+    for (std::size_t i = start; i <= close; ++i) {
+      if (t[i].IsIdent() && t[i].text == "atomic") is_atomic = true;
+    }
+    if (!is_atomic) return;
+    AtomicDecl decl;
+    decl.cls = cls;
+    for (std::size_t i = close + 1; i < end && i < t.size(); ++i) {
+      if (!t[i].IsIdent()) {
+        if (t[i].Is("{") || t[i].Is("=")) break;  // initializer starts
+        continue;
+      }
+      const std::string& s = t[i].text;
+      if (IsAruMacro(s)) {
+        if (s == "ARU_ATOMIC_COUNTER") decl.ann = AtomicAnn::kCounter;
+        if (s == "ARU_ATOMIC_PUBLISHES") decl.ann = AtomicAnn::kPublishes;
+        if (i + 1 < end && t[i + 1].Is("(")) i = SkipGroup(t, i + 1) - 1;
+        continue;
+      }
+      if (decl.name.empty() && !IsKeyword(s) && s != "const" &&
+          s != "mutable" && s != "static" && s != "inline" &&
+          s != "constexpr") {
+        decl.name = s;
+        decl.line = t[i].line;
+      }
+    }
+    if (!decl.name.empty()) m.atomics.push_back(std::move(decl));
+  }
+
   void RecordMember(std::size_t start, std::size_t end) {
     const std::string cls = EnclosingClass();
+    // Atomic capture runs before the class-scope check so that
+    // namespace-scope atomics (cls "") are still recorded.
+    RecordAtomic(start, end, cls);
     if (cls.empty()) return;
     // Re-tokenize the declaration without annotation groups.
     std::vector<Token> decl;
@@ -354,6 +412,9 @@ struct Parser {
       if (field.array_len == 0) field.array_len = 1;
     }
     m.members[cls][field.name] = field.type_head;
+    if (field.type_head == "thread") {
+      m.thread_members.push_back({0, field.line, cls, field.name});
+    }
     if (StructInfo* s = EnclosingStruct()) s->fields.push_back(field);
   }
 
@@ -376,9 +437,10 @@ struct Parser {
       }
     }
     if (fn.cls.empty()) fn.cls = EnclosingClass();
-    fn.is_ctor = is_dtor || (!fn.cls.empty() && fn.base == fn.cls);
+    fn.is_dtor = is_dtor;
+    fn.is_ctor = !is_dtor && !fn.cls.empty() && fn.base == fn.cls;
     // Return type: walk back from the name chain.
-    if (!fn.is_ctor && chain_start > decl_start) {
+    if (!fn.is_ctor && !fn.is_dtor && chain_start > decl_start) {
       std::size_t r = chain_start - 1;
       while (r > decl_start &&
              (t[r].Is("&") || t[r].Is("&&") || t[r].Is("*") ||
@@ -464,8 +526,11 @@ struct Parser {
       }
       ++pos;  // const, noexcept, override, final, &, &&, ...
     }
-    if (!is_dtor && !fn.base.empty() && !IsKeyword(fn.base)) {
-      fn.qname = fn.cls.empty() ? fn.base : fn.cls + "::" + fn.base;
+    if (!fn.base.empty() && !IsKeyword(fn.base) &&
+        (!is_dtor || !fn.cls.empty())) {
+      fn.qname = is_dtor ? fn.cls + "::~" + fn.base
+                         : (fn.cls.empty() ? fn.base
+                                           : fn.cls + "::" + fn.base);
       m.functions.push_back(std::move(fn));
     }
     return pos;
@@ -587,12 +652,20 @@ ProjectIndex BuildIndex(const std::vector<FileModel>& models) {
     const FileModel& m = models[f];
     for (const FunctionInfo& fn : m.functions) {
       index.by_qname[fn.qname].push_back(&fn);
-      if (!fn.is_ctor) {
+      if (!fn.is_ctor && !fn.is_dtor) {
         auto& counts = index.base_status[fn.base];
         (fn.returns_status ? counts.first : counts.second) += 1;
       }
       if (fn.mutates_tables) index.annotated_mutators.insert(fn.qname);
       if (fn.appends_summary) index.annotated_appenders.insert(fn.qname);
+    }
+    for (AtomicDecl a : m.atomics) {
+      a.file = f;
+      index.atomics.push_back(std::move(a));
+    }
+    for (ThreadMember tm : m.thread_members) {
+      tm.file = f;
+      index.thread_members[tm.cls].push_back(std::move(tm));
     }
     for (const auto& [cls, members] : m.members) {
       for (const auto& [name, head] : members) {
@@ -628,6 +701,12 @@ void FinishIndex(ProjectIndex& index, const std::vector<BodySummary>& bodies) {
         // Exclusive anywhere wins over shared.
         if (!fresh && !e.acquire_shared) it->second = false;
       }
+      // may_join seed: any `.join()` call, regardless of receiver, so a
+      // loop over a vector of threads still counts. The generosity can
+      // only suppress thread-lifecycle findings, never create one.
+      if (e.kind == BodyEvent::Kind::kCall && e.callee_base == "join") {
+        index.may_join.insert(body.fn->qname);
+      }
     }
   }
   bool changed = true;
@@ -639,6 +718,11 @@ void FinishIndex(ProjectIndex& index, const std::vector<BodySummary>& bodies) {
       const std::size_t sep = q.rfind("::");
       appender_bases.insert(sep == std::string::npos ? q : q.substr(sep + 2));
     }
+    std::set<std::string> join_bases;
+    for (const std::string& q : index.may_join) {
+      const std::size_t sep = q.rfind("::");
+      join_bases.insert(sep == std::string::npos ? q : q.substr(sep + 2));
+    }
     for (const BodySummary& body : bodies) {
       const std::string& self = body.fn->qname;
       for (const BodyEvent& e : body.events) {
@@ -649,6 +733,13 @@ void FinishIndex(ProjectIndex& index, const std::vector<BodySummary>& bodies) {
             (e.callee_qname.empty() &&
              appender_bases.count(e.callee_base) > 0);
         if (target_appends && index.may_append.insert(self).second) {
+          changed = true;
+        }
+        const bool target_joins =
+            (!e.callee_qname.empty() &&
+             index.may_join.count(e.callee_qname) > 0) ||
+            (e.callee_qname.empty() && join_bases.count(e.callee_base) > 0);
+        if (target_joins && index.may_join.insert(self).second) {
           changed = true;
         }
         if (!e.callee_qname.empty()) {

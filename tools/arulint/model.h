@@ -39,16 +39,44 @@ struct FunctionInfo {
   std::size_t file = 0;  // index into the model list owning this entry
   std::size_t line = 0;  // line of the function name
   std::string cls;       // enclosing / qualifying class ("" for free)
-  std::string base;      // unqualified name
-  std::string qname;     // "Cls::base" or "base"
+  std::string base;      // unqualified name (the class name for a dtor)
+  std::string qname;     // "Cls::base", "base", or "Cls::~Cls"
   bool returns_status = false;  // Status / Result<...> / StatusOr<...>
   bool is_ctor = false;
+  bool is_dtor = false;
   bool mutates_tables = false;   // ARU_MUTATES_TABLES on this decl/def
   bool appends_summary = false;  // ARU_APPENDS_SUMMARY on this decl/def
   bool has_body = false;
   std::size_t body_begin = 0;  // token index of the body "{"
   std::size_t body_end = 0;    // token index of the matching "}"
   std::vector<Param> params;
+};
+
+// Memory-order discipline declared on a std::atomic (see
+// util/protocol_annotations.h and the atomic-order rule).
+enum class AtomicAnn {
+  kNone,      // unannotated: flagged
+  kCounter,   // ARU_ATOMIC_COUNTER: relaxed ops legal
+  kPublishes  // ARU_ATOMIC_PUBLISHES(what): acquire/release required
+};
+
+// One std::atomic declaration: a class member, a namespace-scope
+// global (cls empty), or a function-local static (recorded on the
+// body's summary instead of the file model).
+struct AtomicDecl {
+  std::size_t file = 0;  // set when merged into the ProjectIndex
+  std::size_t line = 0;
+  std::string cls;
+  std::string name;
+  AtomicAnn ann = AtomicAnn::kNone;
+};
+
+// A std::thread-typed class member (thread-lifecycle rule).
+struct ThreadMember {
+  std::size_t file = 0;  // set when merged into the ProjectIndex
+  std::size_t line = 0;
+  std::string cls;
+  std::string name;
 };
 
 struct FieldInfo {
@@ -79,6 +107,8 @@ struct FileModel {
   std::map<std::string, std::map<std::string, std::string>> members;
   std::map<std::string, std::string> aliases;  // using X = <head>;
   std::map<std::string, std::string> enums;    // enum X : <head> ("" if none)
+  std::vector<AtomicDecl> atomics;             // member / global atomics
+  std::vector<ThreadMember> thread_members;    // std::thread members
 };
 
 // Parses one file. `content` is the raw source.
@@ -105,6 +135,12 @@ struct ProjectIndex {
   // through callees) is shared-mode (ReaderMutexLock); one exclusive
   // acquisition anywhere turns it false.
   std::map<std::string, std::map<std::string, bool>> may_acquire;
+  // Every std::atomic member / global across the project (atomic-order).
+  std::vector<AtomicDecl> atomics;
+  // class -> its std::thread members (thread-lifecycle).
+  std::map<std::string, std::vector<ThreadMember>> thread_members;
+  // Transitive closure: qnames whose body (may) reach a .join() call.
+  std::set<std::string> may_join;
 
   bool ReturnsStatus(const std::string& qname) const;
   // Declared type of Class::member, "" when unknown.
@@ -127,9 +163,21 @@ struct BodyEvent {
   };
   Kind kind = Kind::kCall;
   std::size_t line = 0;
+  std::size_t tok = 0;  // token index of the event head (for Stmt lookup)
   // kCall: resolution of the callee.
   std::string callee_qname;  // "" when unresolved
   std::string callee_base;
+  // kCall: receiver of a member call, when a typed local / member /
+  // implicit-this receiver could be resolved ("" otherwise).
+  std::string recv_type;
+  std::string recv_name;
+  // kCall on an atomic op: an argument names memory_order_relaxed.
+  bool atomic_relaxed = false;
+  // kCall on CondVar::Wait / WaitFor: resolved key of the mutex passed
+  // as the first argument ("" when unresolved).
+  std::string cv_mutex;
+  // kCall: number of top-level arguments in the call's paren group.
+  std::size_t call_args = 0;
   bool stmt_bare = false;       // entire statement is this call
   bool real_table_arg = false;  // an argument names a real table
   bool implicit_this = false;   // bare call on the enclosing class
@@ -150,10 +198,40 @@ struct StatusLocal {
   bool used_later = false;
 };
 
+// Statement tree over a function body: just enough control-flow shape
+// for path-sensitive rules (pin-protocol) and loop-ancestry queries
+// (condvar-wait). `switch` bodies are kept opaque (one kSimple) and
+// break/continue are recorded but treated as no-ops by walkers — both
+// under-approximations that can only miss findings.
+struct Stmt {
+  enum class Kind {
+    kSimple,    // one `;`-terminated statement (incl. opaque constructs)
+    kBlock,     // bare { ... }
+    kIf,        // if (...) then [else ...]
+    kLoop,      // while / for / do-while
+    kReturn,    // return ...;
+    kBreak,
+    kContinue,
+  };
+  Kind kind = Kind::kSimple;
+  std::size_t line = 0;
+  std::size_t first = 0;      // first token of the statement
+  std::size_t last = 0;       // last token (the `;` or closing `}`)
+  std::size_t head_last = 0;  // kIf/kLoop: last token of the condition
+  bool has_else = false;      // kIf
+  std::vector<Stmt> then_stmts;  // kIf then-branch / kBlock contents
+  std::vector<Stmt> else_stmts;  // kIf else-branch
+  std::vector<Stmt> body;        // kLoop body
+};
+
 struct BodySummary {
   const FunctionInfo* fn = nullptr;
   std::vector<BodyEvent> events;
   std::vector<StatusLocal> status_locals;
+  // Function-local static atomics declared in this body (atomic-order).
+  std::vector<AtomicDecl> atomic_locals;
+  // Statement tree of the body (empty when the body failed to parse).
+  std::vector<Stmt> stmts;
 };
 
 // Scans one function body (model.tokens[fn.body_begin..body_end]).

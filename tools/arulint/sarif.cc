@@ -75,6 +75,29 @@ std::string_view RuleDescription(std::string_view rule) {
     return "Recovery paths must surface corruption as Status, not "
            "assert().";
   }
+  if (rule == "named-lock") {
+    return "Every Mutex/SharedMutex must be constructed with a site-name "
+           "string for lock-contention attribution.";
+  }
+  if (rule == "atomic-order") {
+    return "Every std::atomic must carry ARU_ATOMIC_COUNTER or "
+           "ARU_ATOMIC_PUBLISHES; relaxed ops on publishing atomics are "
+           "flagged.";
+  }
+  if (rule == "pin-protocol") {
+    return "Every SlotPins::Pin must be released on all paths, and "
+           "device reads after dropping the lock must re-validate the "
+           "slot generation before bytes are cached.";
+  }
+  if (rule == "condvar-wait") {
+    return "CondVar waits must use the predicate overload or sit in a "
+           "loop, and every waiter/notifier of a CondVar must agree on "
+           "its mutex.";
+  }
+  if (rule == "thread-lifecycle") {
+    return "A class owning a std::thread must join it on every "
+           "destructor/Close path.";
+  }
   if (rule == "io-error") {
     return "A file handed to the linter could not be read.";
   }
@@ -82,6 +105,21 @@ std::string_view RuleDescription(std::string_view rule) {
 }
 
 }  // namespace
+
+std::vector<RuleInfo> RuleCatalog() {
+  static const char* kRules[] = {
+      "crash-order",   "lock-order",     "status-flow",
+      "on-disk-pin",   "on-disk-field",  "banned-call",
+      "raw-new",       "named-lock",     "recovery-assert",
+      "atomic-order",  "pin-protocol",   "condvar-wait",
+      "thread-lifecycle", "io-error",
+  };
+  std::vector<RuleInfo> out;
+  for (const char* rule : kRules) {
+    out.push_back({rule, std::string(RuleDescription(rule))});
+  }
+  return out;
+}
 
 std::string SarifReport(const std::vector<Finding>& findings) {
   std::set<std::string> rule_ids;
@@ -98,7 +136,7 @@ std::string SarifReport(const std::vector<Finding>& findings) {
      << "          \"name\": \"arulint\",\n"
      << "          \"informationUri\": "
         "\"docs/STATIC_ANALYSIS.md\",\n"
-     << "          \"version\": \"2.0.0\",\n"
+     << "          \"version\": \"3.0.0\",\n"
      << "          \"rules\": [";
   bool first = true;
   for (const std::string& rule : rule_ids) {

@@ -21,7 +21,8 @@ foreach(needle
         "\"name\": \"arulint\""
         "crash-order" "lock-order" "named-lock" "status-flow"
         "on-disk-pin" "on-disk-field" "banned-call" "raw-new"
-        "recovery-assert")
+        "recovery-assert" "atomic-order" "pin-protocol"
+        "condvar-wait" "thread-lifecycle")
   string(FIND "${sarif}" "${needle}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "SARIF report is missing '${needle}'")
