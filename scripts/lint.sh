@@ -28,9 +28,14 @@ if [ ! -x "$arulint_bin" ]; then
     }
 fi
 echo "=== arulint ==="
+# The model cache persists across runs of the same build dir (and across
+# CI jobs via actions/cache); --stats output is teed so CI can surface
+# cache hits and the rule table in the job summary.
 if "$arulint_bin" --root src --root tools --stats \
+                  --cache-dir "$build_dir/arulint-cache" \
                   --sarif "$build_dir/arulint.sarif" \
-                  --sarif-dir "$build_dir/arulint-sarif"; then
+                  --sarif-dir "$build_dir/arulint-sarif" \
+                  2> >(tee "$build_dir/arulint-stats.txt" >&2); then
   echo "arulint: clean (SARIF: $build_dir/arulint.sarif," \
        "per-family: $build_dir/arulint-sarif/)"
 else

@@ -46,7 +46,7 @@ static_assert(std::is_trivially_copyable_v<CheckpointData>);
 static_assert(sizeof(CheckpointData) == 64);
 
 Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
-                       const ListTable& lists);
+                       const ListTable& lists) ARU_ENCODES_RECORD;
 
 // Decodes into `data` and repopulates the tables (cleared first).
 // ARU_MUTATES_TABLES: callers passing their *live* tables must hold a
@@ -54,7 +54,7 @@ Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
 // (recovery does — it replays forward from covered_seq afterwards).
 Status DecodeCheckpoint(ByteSpan encoded, CheckpointData& data,
                         BlockMap& blocks, ListTable& lists)
-    ARU_MUTATES_TABLES;
+    ARU_MUTATES_TABLES ARU_DECODES_RECORD;
 
 // Writes a checkpoint into region A or B (chosen by stamp parity).
 Status WriteCheckpointRegion(BlockDevice& device, const Geometry& geometry,

@@ -18,6 +18,7 @@
 #include "blockdev/block_device.h"
 #include "lld/types.h"
 #include "util/bytes.h"
+#include "util/protocol_annotations.h"
 #include "util/status.h"
 
 namespace aru::lld {
@@ -93,9 +94,10 @@ static_assert(sizeof(SegmentFooter) == 32);
 // (field-by-field codec; distinct from sizeof(SegmentFooter)).
 inline constexpr std::size_t kFooterSize = 40;
 
-void EncodeFooter(const SegmentFooter& footer, MutableByteSpan out);
+void EncodeFooter(const SegmentFooter& footer, MutableByteSpan out)
+    ARU_ENCODES_RECORD;
 // Returns the footer if the trailer bytes look like a valid footer
 // (magic + self-CRC); corruption status otherwise.
-Result<SegmentFooter> DecodeFooter(ByteSpan trailer);
+Result<SegmentFooter> DecodeFooter(ByteSpan trailer) ARU_DECODES_RECORD;
 
 }  // namespace aru::lld

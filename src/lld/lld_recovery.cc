@@ -42,7 +42,7 @@ struct Event {
 
 }  // namespace
 
-Status Lld::RecoverLocked() {
+Status Lld::RecoverLocked() ARU_DECODES_RECORD {
   const std::uint64_t recover_start = obs::NowUs();
   obs::SpanTimer total_span(&obs::Tracer::Default(), "lld", "recovery");
 

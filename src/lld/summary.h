@@ -24,6 +24,7 @@
 
 #include "lld/types.h"
 #include "util/bytes.h"
+#include "util/protocol_annotations.h"
 #include "util/status.h"
 
 namespace aru::lld {
@@ -143,12 +144,13 @@ Lsn RecordLsn(const Record& record);
 AruId RecordAru(const Record& record);
 
 // Appends the encoded record to `out`. Returns encoded size.
-std::size_t EncodeRecord(const Record& record, Bytes& out);
+std::size_t EncodeRecord(const Record& record, Bytes& out) ARU_ENCODES_RECORD;
 
 // Upper bound on any record's encoded size (for segment space checks).
 inline constexpr std::size_t kMaxRecordSize = 1 + 5 * 8;
 
 // Decodes all records from a summary byte range.
-Result<std::vector<Record>> DecodeSummary(ByteSpan summary);
+Result<std::vector<Record>> DecodeSummary(ByteSpan summary)
+    ARU_DECODES_RECORD;
 
 }  // namespace aru::lld

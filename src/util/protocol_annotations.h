@@ -50,9 +50,36 @@
 //
 //   std::atomic<std::uint64_t> gen ARU_ATOMIC_PUBLISHES(slot_reuse){0};
 //   std::atomic<std::uint64_t> hits_ ARU_ATOMIC_COUNTER{0};
+//
+// The recovery-symmetry rules (arulint v4) add a codec vocabulary. A
+// record that the runtime persists is only recoverable when its decode
+// path mirrors its encode path, so the two halves are declared and the
+// record-coverage / field-symmetry rules check them against each other:
+//
+//   ARU_ENCODES_RECORD    this function serializes on-disk record
+//                         structs into log / checkpoint bytes. Every
+//                         RecordType enumerator must be handled by an
+//                         encoder reachable from an ARU_APPENDS_SUMMARY
+//                         function, and every record field the encoders
+//                         write must be read back by a decoder.
+//
+//   ARU_DECODES_RECORD    this function parses on-disk record structs
+//                         back out of log / checkpoint bytes (the
+//                         summary decoder, the checkpoint decoder, the
+//                         recovery scan). The decode side of both
+//                         symmetry checks is collected from these
+//                         bodies.
+//
+// Like the crash-order pair, they go on the declaration after the
+// parameter list:
+//
+//   std::size_t EncodeRecord(const Record& r, Bytes& out)
+//       ARU_ENCODES_RECORD;
 #pragma once
 
 #define ARU_MUTATES_TABLES
 #define ARU_APPENDS_SUMMARY
 #define ARU_ATOMIC_COUNTER
 #define ARU_ATOMIC_PUBLISHES(what)
+#define ARU_ENCODES_RECORD
+#define ARU_DECODES_RECORD

@@ -1,0 +1,59 @@
+// Seeded-violation fixture for arulint_test: a commit path that gates
+// on durable_commits, computes the durable target under the gate, and
+// then acknowledges the commit without ever waiting on the durable-LSN
+// horizon. The clean variant waits on the gated target before acking.
+// tests/arulint_test.cc pins the exact (rule, line) finding.
+#include <cstdint>
+
+namespace fixture_durable {
+
+struct CommitOptions {
+  bool durable_commits = false;
+};
+
+class CommitCounter {
+ public:
+  void Increment();
+};
+
+struct CommitMetrics {
+  CommitCounter* arus_committed = nullptr;
+};
+
+class DurablePipeline {
+ public:
+  void WaitDurable(std::uint64_t target);
+};
+
+class Committer {
+ public:
+  void EndWithoutWait();
+  void EndWithWait();
+
+ private:
+  CommitOptions options_;
+  CommitMetrics metrics_;
+  DurablePipeline pipeline_;
+  std::uint64_t last_appended_ = 0;
+};
+
+void Committer::EndWithoutWait() {
+  std::uint64_t target = 0;
+  if (options_.durable_commits) {
+    target = last_appended_;
+  }
+  metrics_.arus_committed->Increment();
+}
+
+void Committer::EndWithWait() {
+  std::uint64_t target = 0;
+  if (options_.durable_commits) {
+    target = last_appended_;
+  }
+  if (target != 0) {
+    pipeline_.WaitDurable(target);
+  }
+  metrics_.arus_committed->Increment();
+}
+
+}  // namespace fixture_durable

@@ -1,0 +1,45 @@
+// Seeded-violation fixture for arulint_test: RecordType enumerators
+// with no replay arm. kDelta is encoded but never decoded (its records
+// reach the segment and are skipped on recovery); kGamma is neither
+// encoded nor decoded (a dead record type the format still reserves).
+// tests/arulint_test.cc pins the exact (rule, line) findings.
+#include "util/protocol_annotations.h"
+
+namespace fixture_records {
+
+enum class RecordType {
+  kAlpha = 1,
+  kDelta = 2,
+  kGamma = 3,
+};
+
+class RecordSink {
+ public:
+  void Put(unsigned value);
+};
+
+void EncodeOne(RecordType type, RecordSink* out) ARU_ENCODES_RECORD;
+void DecodeOne(unsigned value) ARU_DECODES_RECORD;
+void AppendOne(RecordSink* out) ARU_APPENDS_SUMMARY;
+void ApplyAlpha();
+
+void EncodeOne(RecordType type, RecordSink* out) {
+  if (type == RecordType::kAlpha) {
+    out->Put(1);
+  }
+  if (type == RecordType::kDelta) {
+    out->Put(2);
+  }
+}
+
+void DecodeOne(unsigned value) {
+  if (value == static_cast<unsigned>(RecordType::kAlpha)) {
+    ApplyAlpha();
+  }
+}
+
+void AppendOne(RecordSink* out) {
+  EncodeOne(RecordType::kAlpha, out);
+}
+
+}  // namespace fixture_records

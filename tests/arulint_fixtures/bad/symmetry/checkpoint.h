@@ -1,0 +1,46 @@
+// Seeded-violation fixture for arulint_test: a pinned on-disk record
+// struct whose codec is asymmetric. The encoder persists `crc` but no
+// decoder ever reads it back (dead bytes on replay), and the decoder
+// reads `epoch` that no encoder writes (replay consumes bytes nothing
+// persists). tests/arulint_test.cc pins the exact (rule, line)
+// findings.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "util/protocol_annotations.h"
+
+namespace fixture_symmetry {
+
+struct MiniCheckpoint {
+  std::uint64_t stamp = 0;
+  std::uint64_t root = 0;
+  std::uint64_t crc = 0;
+  std::uint64_t epoch = 0;
+};
+static_assert(std::is_trivially_copyable_v<MiniCheckpoint>);
+static_assert(sizeof(MiniCheckpoint) == 32);
+
+class WordBuf {
+ public:
+  void PutU64(std::uint64_t value);
+  std::uint64_t GetU64();
+};
+
+void EncodeMini(const MiniCheckpoint& data, WordBuf* out) ARU_ENCODES_RECORD;
+void DecodeMini(WordBuf* in, MiniCheckpoint* out) ARU_DECODES_RECORD;
+
+inline void EncodeMini(const MiniCheckpoint& data, WordBuf* out) {
+  out->PutU64(data.stamp);
+  out->PutU64(data.root);
+  out->PutU64(data.crc);
+}
+
+inline void DecodeMini(WordBuf* in, MiniCheckpoint* out) {
+  out->stamp = in->GetU64();
+  out->root = in->GetU64();
+  out->epoch = in->GetU64();
+}
+
+}  // namespace fixture_symmetry

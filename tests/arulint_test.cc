@@ -7,10 +7,14 @@
 #include "tools/arulint/arulint.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "tools/arulint/model.h"
 
 namespace aru::arulint {
 namespace {
@@ -647,9 +651,10 @@ TEST(FixtureTest, BadTreeAggregatesEveryViolationClass) {
   EXPECT_EQ(rules,
             (std::vector<std::string>{
                 "atomic-order", "banned-call", "condvar-wait",
-                "crash-order", "lock-order", "named-lock",
-                "on-disk-field", "on-disk-pin", "pin-protocol",
-                "raw-new", "recovery-assert", "status-flow",
+                "crash-order", "durable-ack", "field-symmetry",
+                "lock-order", "named-lock", "on-disk-field",
+                "on-disk-pin", "pin-protocol", "raw-new",
+                "record-coverage", "recovery-assert", "status-flow",
                 "thread-lifecycle"}));
 }
 
@@ -694,6 +699,119 @@ TEST(FixtureTest, ThreadLifecycle) {
             (std::vector<std::pair<std::string, std::size_t>>{
                 {"thread-lifecycle", 14},     // dtor never joins
                 {"thread-lifecycle", 29}}));  // no dtor at all
+}
+
+// ---------------------------------------------------------------------
+// v4 recovery-symmetry families.
+
+TEST(FixtureTest, RecordCoverage) {
+  // kAlpha has both arms and must stay quiet; the appender reaches the
+  // encoder through a call, exercising the reachability walk.
+  const auto findings = CheckFile(Fixture("bad/record_coverage.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"record-coverage", 12},     // kDelta: no decode arm
+                {"record-coverage", 13}}));  // kGamma: neither arm
+}
+
+TEST(FixtureTest, FieldSymmetry) {
+  // stamp and root flow through both halves and must stay quiet.
+  const auto findings = CheckFile(Fixture("bad/symmetry/checkpoint.h"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"field-symmetry", 19},     // crc written, never decoded
+                {"field-symmetry", 20}}));  // epoch decoded, never written
+}
+
+TEST(FixtureTest, DurableAck) {
+  // EndWithWait (gated WaitDurable before the ack) must stay quiet.
+  const auto findings = CheckFile(Fixture("bad/durable_ack.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"durable-ack", 45}}));  // ack never waits on the horizon
+}
+
+// ---------------------------------------------------------------------
+// Incremental engine: model cache and baseline.
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ModelCacheTest, SerializedModelRoundTrips) {
+  const std::string path = Fixture("bad/symmetry/checkpoint.h");
+  const std::string content = ReadAll(path);
+  ASSERT_FALSE(content.empty());
+  const FileModel built = BuildFileModel(path, content);
+  const std::string serialized = SerializeFileModel(built);
+  FileModel loaded;
+  ASSERT_TRUE(DeserializeFileModel(path, content, serialized, loaded));
+  // The reloaded model re-serializes to the identical byte string and
+  // re-splits the same raw/code lines from the content.
+  EXPECT_EQ(SerializeFileModel(loaded), serialized);
+  EXPECT_EQ(loaded.raw, built.raw);
+  EXPECT_EQ(loaded.code, built.code);
+}
+
+TEST(ModelCacheTest, DeserializeRejectsCorruptEntries) {
+  const std::string path = Fixture("bad/durable_ack.cc");
+  const std::string content = ReadAll(path);
+  const std::string serialized =
+      SerializeFileModel(BuildFileModel(path, content));
+  FileModel out;
+  EXPECT_FALSE(DeserializeFileModel(path, content, "", out));
+  EXPECT_FALSE(DeserializeFileModel(
+      path, content, serialized.substr(0, serialized.size() / 2), out));
+  EXPECT_FALSE(DeserializeFileModel(path, content, "garbage\n", out));
+}
+
+TEST(ModelCacheTest, ContentHashSeparatesContents) {
+  EXPECT_EQ(ContentHash("int a;\n"), ContentHash("int a;\n"));
+  EXPECT_NE(ContentHash("int a;\n"), ContentHash("int b;\n"));
+}
+
+TEST(ModelCacheTest, WarmRunHitsCacheWithIdenticalFindings) {
+  const std::vector<std::string> paths = {
+      Fixture("bad/record_coverage.cc"), Fixture("bad/symmetry/checkpoint.h"),
+      Fixture("bad/durable_ack.cc")};
+  CheckOptions options;
+  options.cache_dir = ::testing::TempDir() + "/arulint_model_cache";
+  std::filesystem::remove_all(options.cache_dir);
+  EngineStats cold;
+  const auto first = CheckFiles(paths, options, &cold);
+  EXPECT_EQ(cold.files, paths.size());
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, paths.size());
+  EngineStats warm;
+  const auto second = CheckFiles(paths, options, &warm);
+  EXPECT_EQ(warm.cache_hits, paths.size());
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(RulesAndLines(second), RulesAndLines(first));
+  EXPECT_FALSE(second.empty());
+}
+
+TEST(BaselineTest, UpdateWritesAcceptedFindingsAndSuppressesThem) {
+  const std::vector<std::string> paths = {Fixture("bad/durable_ack.cc")};
+  CheckOptions options;
+  options.baseline_path = ::testing::TempDir() + "/arulint_baseline.txt";
+  options.update_baseline = true;
+  EngineStats stats;
+  const auto updated = CheckFiles(paths, options, &stats);
+  EXPECT_TRUE(updated.empty());
+  EXPECT_EQ(stats.baseline_suppressed, 1u);
+  // The accepted finding stays suppressed on a plain re-run...
+  options.update_baseline = false;
+  const auto rerun = CheckFiles(paths, options, &stats);
+  EXPECT_TRUE(rerun.empty());
+  EXPECT_EQ(stats.baseline_suppressed, 1u);
+  // ...but findings absent from the baseline still surface.
+  const auto other =
+      CheckFiles({Fixture("bad/record_coverage.cc")}, options, &stats);
+  EXPECT_EQ(other.size(), 2u);
+  EXPECT_EQ(stats.baseline_suppressed, 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -743,6 +861,25 @@ TEST(AntiFalsePositiveTest, ThreadLifecycleOnRealOwners) {
        Src("lld/segment_pipeline.h"), Src("lld/segment_pipeline.cc")},
       "thread-lifecycle");
   for (const Finding& f : findings) ADD_FAILURE() << FormatFinding(f);
+}
+
+TEST(AntiFalsePositiveTest, RecoverySymmetryOnRealCodecs) {
+  // The real record codecs, checkpoint codec, appender, commit path and
+  // recovery replay, linted as one project: the three v4 families must
+  // stay silent on the code they were modeled on.
+  const std::vector<std::string> project = {
+      Src("lld/types.h"),          Src("lld/summary.h"),
+      Src("lld/summary.cc"),       Src("lld/layout.h"),
+      Src("lld/layout.cc"),        Src("lld/checkpoint.h"),
+      Src("lld/checkpoint.cc"),    Src("lld/segment_writer.h"),
+      Src("lld/segment_writer.cc"), Src("lld/lld.h"),
+      Src("lld/lld.cc"),           Src("lld/lld_recovery.cc")};
+  for (const std::string rule :
+       {"record-coverage", "field-symmetry", "durable-ack"}) {
+    for (const Finding& f : FindingsForRule(project, rule)) {
+      ADD_FAILURE() << FormatFinding(f);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------

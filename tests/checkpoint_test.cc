@@ -1,8 +1,12 @@
 // Checkpoint administration: explicit Checkpoint(), coverage horizons,
-// recovery-time bounding, and the interplay with open ARUs (source
-// relocation).
+// recovery-time bounding, torn-checkpoint fallback, and the interplay
+// with open ARUs (source relocation).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "lld/layout.h"
 #include "tests/test_util.h"
 
 namespace aru::testing {
@@ -116,6 +120,71 @@ TEST(CheckpointTest2, CloseWritesCheckpointForFastReopen) {
   EXPECT_EQ(t.disk->recovery_report().segments_replayed, 0u);
   ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
   EXPECT_EQ(blocks.size(), 30u);
+}
+
+TEST(CheckpointTest2, CheckpointCutMidRecordFallsBackToSummaryScan) {
+  // A crash mid-checkpoint leaves the newer region cut partway through
+  // a table record: the header sector made it to disk but the tail did
+  // not. Recovery must treat the torn region as never written — fall
+  // back to the older checkpoint and roll forward through the segment
+  // summaries — rather than error out or load a half-decoded table.
+  TestDisk t;
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  std::vector<BlockId> blocks;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, i), kNoAru));
+    blocks.push_back(pred);
+  }
+  ASSERT_OK(t.disk->Checkpoint());
+  const Bytes before = t.device->CopyImage();
+
+  for (std::uint64_t i = 10; i < 20; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, i), kNoAru));
+    blocks.push_back(pred);
+  }
+  ASSERT_OK(t.disk->Flush());  // summaries reach disk before the ckpt
+  ASSERT_OK(t.disk->Checkpoint());
+
+  ASSERT_OK_AND_ASSIGN(const lld::Geometry geo,
+                       lld::ReadSuperblock(*t.device));
+  Bytes image = t.device->CopyImage();
+  t.disk.reset();
+
+  // Consecutive checkpoints alternate regions by stamp parity, so the
+  // newer one lives in whichever region changed between the two calls.
+  const auto region_changed = [&](std::uint64_t first_sector) {
+    const auto off =
+        static_cast<std::ptrdiff_t>(first_sector * geo.sector_size);
+    const auto cap = static_cast<std::ptrdiff_t>(geo.checkpoint_capacity);
+    return !std::equal(before.begin() + off, before.begin() + off + cap,
+                       image.begin() + off);
+  };
+  std::uint64_t newer = geo.checkpoint_a_sector;
+  if (!region_changed(newer)) newer = geo.checkpoint_b_sector;
+  ASSERT_TRUE(region_changed(newer));
+
+  // Keep the newer region's first sector (magic, stamp and the start of
+  // the block table) and lose everything after it: a cut mid-record.
+  const auto off = static_cast<std::ptrdiff_t>(newer * geo.sector_size);
+  std::fill(image.begin() + off + geo.sector_size,
+            image.begin() + off +
+                static_cast<std::ptrdiff_t>(geo.checkpoint_capacity),
+            std::byte{0});
+
+  t.device = MemDisk::FromImage(std::move(image));
+  ASSERT_OK_AND_ASSIGN(t.disk, lld::Lld::Open(*t.device, t.options));
+  EXPECT_GT(t.disk->recovery_report().segments_replayed, 0u);
+  ASSERT_OK_AND_ASSIGN(const auto listed, t.disk->ListBlocks(list, kNoAru));
+  EXPECT_EQ(listed.size(), 20u);
+  Bytes out(4096);
+  for (std::uint64_t i = 0; i < blocks.size(); ++i) {
+    ASSERT_OK(t.disk->Read(blocks[i], out, kNoAru));
+    EXPECT_EQ(out, TestPattern(4096, i)) << "block " << i;
+  }
+  ASSERT_OK(t.disk->CheckConsistency());
 }
 
 TEST(CheckpointTest2, CloseAbortsOpenArus) {

@@ -135,6 +135,7 @@ struct BodyScanner {
       }
       HandleLocalDecl(i);
       HandleMutation(i);
+      HandleMemberAccess(i);
       if (i + 1 < t.size() && t[i + 1].Is("(") &&
           !IsCallKeyword(tok.text) &&
           tok.text.rfind("ARU_", 0) != 0) {
@@ -273,6 +274,25 @@ struct BodyScanner {
     e.held_locks = Held();
     e.held_shared = HeldShared();
     out.events.push_back(e);
+  }
+
+  // A non-call member access `recv.member` / `recv->member` whose
+  // receiver type resolves (field-symmetry). Chained accesses
+  // (`a.b.c`) contribute only the head link — the intermediate type is
+  // unknown, and an unresolved receiver records nothing, so the
+  // under-approximation invariant holds.
+  void HandleMemberAccess(std::size_t i) {
+    if (i + 2 >= t.size() || i + 2 > fn.body_end) return;
+    if (!t[i + 1].Is(".") && !t[i + 1].Is("->")) return;
+    if (!t[i + 2].IsIdent()) return;
+    if (i + 3 < t.size() && t[i + 3].Is("(")) return;  // member call
+    if (i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->") ||
+                  t[i - 1].Is("::"))) {
+      return;  // not the head of the chain
+    }
+    const std::string type = TypeOf(t[i].text);
+    if (type.empty()) return;
+    out.member_accesses.push_back({t[i + 2].line, type, t[i + 2].text});
   }
 
   void HandleCall(std::size_t i) {

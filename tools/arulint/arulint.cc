@@ -1,6 +1,7 @@
 #include "tools/arulint/arulint.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -11,30 +12,13 @@
 
 #include "tools/arulint/lexer.h"
 #include "tools/arulint/model.h"
+#include "tools/arulint/rules_internal.h"
 
 namespace aru::arulint {
 namespace {
 
 // How far above a flagged line a justification / allow marker may sit.
 constexpr std::size_t kCommentLookback = 3;
-
-bool EndsWith(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-// True if raw line `line` (1-based) or one of the kCommentLookback lines
-// above it carries `// arulint: allow(<rule>)`.
-bool IsAllowed(const std::vector<std::string>& raw, std::size_t line,
-               std::string_view rule) {
-  const std::string needle = "arulint: allow(" + std::string(rule) + ")";
-  const std::size_t first = line > kCommentLookback ? line - kCommentLookback
-                                                    : 1;
-  for (std::size_t i = first; i <= line && i <= raw.size(); ++i) {
-    if (raw[i - 1].find(needle) != std::string::npos) return true;
-  }
-  return false;
-}
 
 // True if the raw line or one of the lines above holds a non-marker
 // comment (the justification for a discarded Status).
@@ -54,6 +38,29 @@ bool HasJustification(const std::vector<std::string>& raw, std::size_t line) {
 std::string Basename(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+// Shared helpers (declared in rules_internal.h; symmetry.cc uses them
+// too, so they carry external linkage).
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// True if raw line `line` (1-based) or one of the kCommentLookback lines
+// above it carries `// arulint: allow(<rule>)`.
+bool IsAllowed(const std::vector<std::string>& raw, std::size_t line,
+               std::string_view rule) {
+  const std::string needle = "arulint: allow(" + std::string(rule) + ")";
+  const std::size_t first = line > kCommentLookback ? line - kCommentLookback
+                                                    : 1;
+  for (std::size_t i = first; i <= line && i <= raw.size(); ++i) {
+    if (raw[i - 1].find(needle) != std::string::npos) return true;
+  }
+  return false;
 }
 
 // Format headers hold on-disk layouts. Matched by basename so that new
@@ -78,27 +85,7 @@ std::string BaseOf(const std::string& qname) {
   return sep == std::string::npos ? qname : qname.substr(sep + 2);
 }
 
-// ---------------------------------------------------------------------
-// Whole-analysis state: models + index + body summaries + lock graph.
-
-struct LockEdge {
-  std::size_t file = 0;  // model index of the edge's site
-  std::size_t line = 0;
-  std::string held;
-  std::string acquired;
-  bool held_shared = false;      // held only via ReaderMutexLock
-  bool acquired_shared = false;  // acquisition is ReaderMutexLock
-};
-
-struct Analysis {
-  std::vector<FileModel> models;
-  ProjectIndex index;
-  std::vector<BodySummary> bodies;
-  // Derived helper sets for the crash-order fallback resolution.
-  std::set<std::string> appender_bases;   // bases of may_append qnames
-  std::set<std::string> mutator_bases;    // bases that ONLY name mutators
-  std::vector<LockEdge> lock_edges;
-};
+namespace {
 
 bool TargetAppends(const Analysis& a, const BodyEvent& e) {
   if (!e.callee_qname.empty()) {
@@ -403,11 +390,10 @@ void CheckNamedLocks(const FileModel& m, std::vector<Finding>& out) {
 // ---------------------------------------------------------------------
 // on-disk-pin + on-disk-field.
 
-struct PinIndex {
-  std::set<std::string> trivially_copyable;
-  std::set<std::string> sizeof_pinned;
-};
+}  // namespace
 
+// PinIndex lives in rules_internal.h; field-symmetry scopes itself to
+// pinned structs with the same collector.
 PinIndex CollectPins(const FileModel& m) {
   PinIndex pins;
   const std::vector<Token>& t = m.tokens;
@@ -423,6 +409,8 @@ PinIndex CollectPins(const FileModel& m) {
   }
   return pins;
 }
+
+namespace {
 
 void CheckOnDiskPins(const FileModel& m, const PinIndex& pins,
                      std::vector<Finding>& out) {
@@ -1065,12 +1053,12 @@ void CheckThreadLifecycle(const Analysis& a,
 // ---------------------------------------------------------------------
 // Orchestration.
 
-Analysis Analyze(std::vector<std::pair<std::string, std::string>> sources) {
+// Everything after the per-file model build: indexing, body scans,
+// closures, derived sets. Split out so the incremental engine can feed
+// cache-loaded models straight in.
+Analysis AnalyzeModels(std::vector<FileModel> models) {
   Analysis a;
-  a.models.reserve(sources.size());
-  for (auto& [path, content] : sources) {
-    a.models.push_back(BuildFileModel(path, content));
-  }
+  a.models = std::move(models);
   for (std::size_t f = 0; f < a.models.size(); ++f) {
     for (FunctionInfo& fn : a.models[f].functions) fn.file = f;
   }
@@ -1102,6 +1090,15 @@ Analysis Analyze(std::vector<std::pair<std::string, std::string>> sources) {
   return a;
 }
 
+Analysis Analyze(std::vector<std::pair<std::string, std::string>> sources) {
+  std::vector<FileModel> models;
+  models.reserve(sources.size());
+  for (auto& [path, content] : sources) {
+    models.push_back(BuildFileModel(path, content));
+  }
+  return AnalyzeModels(std::move(models));
+}
+
 std::vector<Finding> RunRules(Analysis& a) {
   std::vector<std::vector<Finding>> per_file(a.models.size());
   for (std::size_t f = 0; f < a.models.size(); ++f) {
@@ -1130,6 +1127,9 @@ std::vector<Finding> RunRules(Analysis& a) {
   CheckPinProtocol(a, per_file);
   CheckCondvarWait(a, per_file);
   CheckThreadLifecycle(a, per_file);
+  CheckRecordCoverage(a, per_file);
+  CheckFieldSymmetry(a, per_file);
+  CheckDurableAck(a, per_file);
   std::vector<Finding> findings;
   for (std::vector<Finding>& f : per_file) {
     std::stable_sort(f.begin(), f.end(),
@@ -1336,21 +1336,112 @@ std::vector<Finding> CheckFile(const std::string& path) {
 }
 
 std::vector<Finding> CheckFiles(const std::vector<std::string>& paths) {
+  return CheckFiles(paths, CheckOptions{}, nullptr);
+}
+
+namespace {
+
+bool ReadFileToString(const std::string& path, std::string& out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+// <dir>/<hex content hash>.model — the key is the content (plus the
+// format version folded into ContentHash), not the path, so identical
+// files share one entry and renames still hit.
+std::string CacheEntryPath(const std::string& dir, std::uint64_t hash) {
+  std::ostringstream name;
+  name << std::hex << hash;
+  return (std::filesystem::path(dir) / (name.str() + ".model")).string();
+}
+
+// tmp-then-rename so a concurrent run never reads a torn entry; any
+// failure just means the next run rebuilds.
+void WriteCacheEntry(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << data;
+    if (!out) return;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+}  // namespace
+
+std::vector<Finding> CheckFiles(const std::vector<std::string>& paths,
+                                const CheckOptions& options,
+                                EngineStats* stats) {
+  EngineStats counters;
+  const bool caching = !options.cache_dir.empty();
+  if (caching) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.cache_dir, ec);
+  }
   std::vector<Finding> io_errors;
-  std::vector<std::pair<std::string, std::string>> sources;
+  std::vector<FileModel> models;
   for (const std::string& path : paths) {
-    std::ifstream file(path, std::ios::binary);
-    if (!file) {
+    std::string content;
+    if (!ReadFileToString(path, content)) {
       io_errors.push_back({path, 0, "io-error", "cannot open file"});
       continue;
     }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    sources.emplace_back(path, buffer.str());
+    ++counters.files;
+    if (!caching) {
+      models.push_back(BuildFileModel(path, content));
+      continue;
+    }
+    const std::string entry =
+        CacheEntryPath(options.cache_dir, ContentHash(content));
+    std::string serialized;
+    FileModel cached;
+    if (ReadFileToString(entry, serialized) &&
+        DeserializeFileModel(path, content, serialized, cached)) {
+      ++counters.cache_hits;
+      models.push_back(std::move(cached));
+      continue;
+    }
+    ++counters.cache_misses;
+    models.push_back(BuildFileModel(path, content));
+    WriteCacheEntry(entry, SerializeFileModel(models.back()));
   }
-  Analysis a = Analyze(std::move(sources));
+  Analysis a = AnalyzeModels(std::move(models));
   std::vector<Finding> findings = RunRules(a);
   findings.insert(findings.end(), io_errors.begin(), io_errors.end());
+  if (!options.baseline_path.empty()) {
+    if (options.update_baseline) {
+      std::ofstream out(options.baseline_path, std::ios::trunc);
+      for (const Finding& f : findings) out << FormatFinding(f) << "\n";
+      counters.baseline_suppressed = findings.size();
+      findings.clear();
+    } else {
+      std::set<std::string> accepted;
+      std::ifstream in(options.baseline_path);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!line.empty()) accepted.insert(line);
+      }
+      std::vector<Finding> kept;
+      kept.reserve(findings.size());
+      for (Finding& f : findings) {
+        if (accepted.count(FormatFinding(f)) > 0) {
+          ++counters.baseline_suppressed;
+        } else {
+          kept.push_back(std::move(f));
+        }
+      }
+      findings = std::move(kept);
+    }
+  }
+  if (stats != nullptr) *stats = counters;
   return findings;
 }
 

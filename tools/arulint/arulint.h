@@ -52,6 +52,24 @@
 //   thread-lifecycle a class owning a std::thread reaches a join on
 //                    its destructor path (and on Close, if it has one).
 //
+// v4 adds the recovery-symmetry families — the encode/decode seam that
+// decides whether recovery can actually replay what the runtime
+// persisted — plus an incremental engine (content-hash model cache,
+// finding baseline):
+//
+//   record-coverage  every enumerator of a `RecordType` enum has an
+//                    encode arm inside an ARU_ENCODES_RECORD function
+//                    reachable from an ARU_APPENDS_SUMMARY appender, a
+//                    decode arm inside an ARU_DECODES_RECORD function,
+//                    and (when the record struct exists) an apply site
+//                    in a recovery-path file;
+//   field-symmetry   for each pinned on-disk record struct, every
+//                    non-reserved field the encoder bodies write is
+//                    read back by the decoder bodies (and vice versa);
+//   durable-ack      a body that gates on `durable_commits` and acks a
+//                    commit (arus_committed increment) must reach a
+//                    WaitDurable call on every path before the ack.
+//
 // Suppression: a comment `// arulint: allow(<rule>) <reason>` on the
 // flagged line or up to three lines above it silences that rule there.
 //
@@ -96,6 +114,36 @@ std::vector<Finding> CheckFile(const std::string& path);
 // types, member declarations and the lock graph are indexed across all
 // of them before any rule runs. Findings are ordered by (file, line).
 std::vector<Finding> CheckFiles(const std::vector<std::string>& paths);
+
+// Per-run counters for the incremental engine (--stats).
+struct EngineStats {
+  std::size_t files = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t baseline_suppressed = 0;
+};
+
+// Engine knobs for CheckFiles.
+struct CheckOptions {
+  // When non-empty: directory holding serialized per-file models keyed
+  // by content hash. Unchanged files skip re-tokenization/re-modeling;
+  // missing/stale/corrupt entries rebuild and rewrite. Created on
+  // first use.
+  std::string cache_dir;
+  // When non-empty: a file of accepted findings (one FormatFinding
+  // line each); findings whose formatted line appears there are
+  // suppressed from the result.
+  std::string baseline_path;
+  // With baseline_path: instead of suppressing, (over)write the
+  // baseline file with the current findings and suppress everything.
+  bool update_baseline = false;
+};
+
+// CheckFiles with the incremental engine. `stats`, when non-null,
+// receives the run's counters.
+std::vector<Finding> CheckFiles(const std::vector<std::string>& paths,
+                                const CheckOptions& options,
+                                EngineStats* stats);
 
 // Every .h/.cc under `root` (sorted), minus paths matched by the
 // nearest .arulintignore found in `root` or a parent directory.

@@ -1,7 +1,9 @@
 // arulint CLI. Usage:
 //
 //   arulint [--root <dir>]... [--sarif <out.sarif>]
-//           [--sarif-dir <dir>] [--stats] [--list-rules] [<file>]...
+//           [--sarif-dir <dir>] [--cache-dir <dir>]
+//           [--baseline <file>] [--update-baseline]
+//           [--stats] [--list-rules] [<file>]...
 //
 // Checks every .h/.cc under each --root (minus .arulintignore matches)
 // plus any explicitly listed files, all indexed as ONE project so
@@ -9,11 +11,17 @@
 // the lock graph, CondVar wait/notify pairing) see the whole picture.
 // Prints one line per finding; with --sarif also writes a SARIF 2.1.0
 // report, and with --sarif-dir one SARIF file per rule family
-// (atomic-order, pin-protocol, condvar-wait, thread-lifecycle, core)
-// for per-category upload. --stats prints per-rule finding counts and
-// the analysis wall time to stderr; --list-rules prints the rule
-// catalogue and exits. Exits 0 when clean, 1 when any finding was
-// reported, 2 on usage errors.
+// (atomic-order, pin-protocol, condvar-wait, thread-lifecycle,
+// record-coverage, field-symmetry, durable-ack, core) for per-category
+// upload. --cache-dir enables the incremental engine: per-file models
+// are serialized there keyed by content hash, so unchanged files skip
+// re-tokenization/re-modeling on the next run. --baseline suppresses
+// findings recorded in the given file (--update-baseline rewrites it
+// from the current run instead). --stats prints per-rule finding
+// counts, engine counters (cache_hits=/cache_misses=/
+// baseline_suppressed=) and the analysis wall time to stderr;
+// --list-rules prints the rule catalogue and exits. Exits 0 when
+// clean, 1 when any finding was reported, 2 on usage errors.
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -28,21 +36,31 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: arulint [--root <dir>]... [--sarif <out>] [--sarif-dir <dir>]\n"
-    "               [--stats] [--list-rules] [<file>]...\n"
+    "               [--cache-dir <dir>] [--baseline <file>]\n"
+    "               [--update-baseline] [--stats] [--list-rules]\n"
+    "               [<file>]...\n"
     "\n"
     "  --root <dir>      check every .h/.cc under <dir> (repeatable)\n"
     "  --sarif <out>     write all findings as one SARIF 2.1.0 report\n"
     "  --sarif-dir <dir> write one SARIF report per rule family into\n"
     "                    <dir> (atomic-order, pin-protocol, condvar-wait,\n"
-    "                    thread-lifecycle, core)\n"
-    "  --stats           print per-rule finding counts and analysis time\n"
+    "                    thread-lifecycle, record-coverage,\n"
+    "                    field-symmetry, durable-ack, core)\n"
+    "  --cache-dir <dir> reuse serialized per-file models for unchanged\n"
+    "                    files (keyed by content hash)\n"
+    "  --baseline <file> suppress findings recorded in <file>\n"
+    "  --update-baseline rewrite the baseline from this run's findings\n"
+    "  --stats           print per-rule finding counts, engine counters\n"
+    "                    and analysis time\n"
     "  --list-rules      print the rule catalogue and exit\n";
 
-// The v3 families that get their own SARIF category; every other rule
-// lands in "core".
+// The v3/v4 families that get their own SARIF category; every other
+// rule lands in "core".
 const char* FamilyOf(const std::string& rule) {
   if (rule == "atomic-order" || rule == "pin-protocol" ||
-      rule == "condvar-wait" || rule == "thread-lifecycle") {
+      rule == "condvar-wait" || rule == "thread-lifecycle" ||
+      rule == "record-coverage" || rule == "field-symmetry" ||
+      rule == "durable-ack") {
     return rule.c_str();
   }
   return "core";
@@ -55,6 +73,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::string sarif_path;
   std::string sarif_dir;
+  aru::arulint::CheckOptions options;
   bool stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,6 +95,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       sarif_dir = argv[++i];
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "arulint: --cache-dir needs a directory\n");
+        return 2;
+      }
+      options.cache_dir = argv[++i];
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "arulint: --baseline needs a file\n");
+        return 2;
+      }
+      options.baseline_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      options.update_baseline = true;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--list-rules") {
@@ -97,6 +130,10 @@ int main(int argc, char** argv) {
     std::fputs(kUsage, stderr);
     return 2;
   }
+  if (options.update_baseline && options.baseline_path.empty()) {
+    std::fprintf(stderr, "arulint: --update-baseline needs --baseline\n");
+    return 2;
+  }
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::string> all_files;
@@ -105,8 +142,9 @@ int main(int argc, char** argv) {
     all_files.insert(all_files.end(), collected.begin(), collected.end());
   }
   all_files.insert(all_files.end(), files.begin(), files.end());
+  aru::arulint::EngineStats engine_stats;
   const std::vector<aru::arulint::Finding> findings =
-      aru::arulint::CheckFiles(all_files);
+      aru::arulint::CheckFiles(all_files, options, &engine_stats);
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
 
@@ -128,8 +166,10 @@ int main(int argc, char** argv) {
     std::map<std::string, std::vector<aru::arulint::Finding>> by_family;
     // Every family gets a file even when empty, so CI uploads are
     // stable across runs.
-    for (const char* family : {"atomic-order", "pin-protocol",
-                               "condvar-wait", "thread-lifecycle", "core"}) {
+    for (const char* family :
+         {"atomic-order", "pin-protocol", "condvar-wait",
+          "thread-lifecycle", "record-coverage", "field-symmetry",
+          "durable-ack", "core"}) {
       by_family[family];
     }
     for (const aru::arulint::Finding& f : findings) {
@@ -152,6 +192,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "arulint: %zu file(s), %zu finding(s), %lld ms\n",
                  all_files.size(), findings.size(),
                  static_cast<long long>(elapsed.count()));
+    std::fprintf(stderr,
+                 "arulint: engine: cache_hits=%zu cache_misses=%zu "
+                 "baseline_suppressed=%zu\n",
+                 engine_stats.cache_hits, engine_stats.cache_misses,
+                 engine_stats.baseline_suppressed);
     for (const aru::arulint::RuleInfo& rule : aru::arulint::RuleCatalog()) {
       const auto it = counts.find(rule.id);
       std::fprintf(stderr, "arulint:   %-18s %zu\n", rule.id.c_str(),

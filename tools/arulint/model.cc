@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <charconv>
+#include <cstdint>
 #include <cstdlib>
 
 #include "tools/arulint/arulint.h"
@@ -186,7 +188,12 @@ struct Parser {
     std::size_t j = i + 1;
     if (j < n && (t[j].Is("class") || t[j].Is("struct"))) ++j;
     std::string name;
-    if (j < n && t[j].IsIdent()) name = t[j++].text;
+    std::size_t name_line = t[i].line;
+    if (j < n && t[j].IsIdent()) {
+      name = t[j].text;
+      name_line = t[j].line;
+      ++j;
+    }
     std::string underlying;
     if (j < n && t[j].Is(":")) {
       ++j;
@@ -196,7 +203,40 @@ struct Parser {
       }
     }
     if (!name.empty()) m.enums[name] = underlying;
-    if (j < n && t[j].Is("{")) j = SkipGroup(t, j);
+    if (j < n && t[j].Is("{")) {
+      if (name.empty()) {
+        j = SkipGroup(t, j);
+      } else {
+        // Walk the body capturing depth-1 enumerator names: the first
+        // identifier after "{" or after a top-level ",". Initializer
+        // expressions (`= expr`) are skipped to the next comma.
+        EnumDef def;
+        def.line = name_line;
+        def.name = name;
+        def.underlying = underlying;
+        const std::size_t close = MatchForward(t, j);
+        std::size_t k = j + 1;
+        bool want_name = true;
+        while (k < n && k < close) {
+          if (t[k].Is("(") || t[k].Is("{") || t[k].Is("[") || t[k].Is("<")) {
+            k = SkipGroup(t, k);
+            continue;
+          }
+          if (t[k].Is(",")) {
+            want_name = true;
+            ++k;
+            continue;
+          }
+          if (want_name && t[k].IsIdent() && !IsAruMacro(t[k].text)) {
+            def.enumerators.push_back({t[k].line, t[k].text});
+            want_name = false;
+          }
+          ++k;
+        }
+        m.enum_defs.push_back(std::move(def));
+        j = close >= n ? n : close + 1;
+      }
+    }
     if (j < n && t[j].Is(";")) ++j;
     return j;
   }
@@ -520,6 +560,8 @@ struct Parser {
       if (tok.IsIdent() && IsAruMacro(tok.text)) {
         if (tok.text == "ARU_MUTATES_TABLES") fn.mutates_tables = true;
         if (tok.text == "ARU_APPENDS_SUMMARY") fn.appends_summary = true;
+        if (tok.text == "ARU_ENCODES_RECORD") fn.encodes_record = true;
+        if (tok.text == "ARU_DECODES_RECORD") fn.decodes_record = true;
         ++pos;
         if (pos < n && t[pos].Is("(")) pos = SkipGroup(t, pos);
         continue;
@@ -599,29 +641,29 @@ struct Parser {
   }
 };
 
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
 }  // namespace
 
 FileModel BuildFileModel(const std::string& path, std::string_view content) {
   FileModel m;
   m.path = path;
   const std::string stripped = StripCommentsAndStrings(content);
-  // Split raw and stripped into lines.
-  const auto split = [](std::string_view text) {
-    std::vector<std::string> lines;
-    std::size_t start = 0;
-    while (start <= text.size()) {
-      const std::size_t nl = text.find('\n', start);
-      if (nl == std::string_view::npos) {
-        lines.emplace_back(text.substr(start));
-        break;
-      }
-      lines.emplace_back(text.substr(start, nl - start));
-      start = nl + 1;
-    }
-    return lines;
-  };
-  m.raw = split(content);
-  m.code = split(stripped);
+  m.raw = SplitLines(content);
+  m.code = SplitLines(stripped);
   m.tokens = Lex(stripped);
   Parser parser{m, m.tokens, {}};
   parser.Run();
@@ -658,6 +700,12 @@ ProjectIndex BuildIndex(const std::vector<FileModel>& models) {
       }
       if (fn.mutates_tables) index.annotated_mutators.insert(fn.qname);
       if (fn.appends_summary) index.annotated_appenders.insert(fn.qname);
+      if (fn.encodes_record) index.annotated_encoders.insert(fn.qname);
+      if (fn.decodes_record) index.annotated_decoders.insert(fn.qname);
+    }
+    for (EnumDef def : m.enum_defs) {
+      def.file = f;
+      index.enum_defs.push_back(std::move(def));
     }
     for (AtomicDecl a : m.atomics) {
       a.file = f;
@@ -680,6 +728,411 @@ ProjectIndex BuildIndex(const std::vector<FileModel>& models) {
     }
   }
   return index;
+}
+
+// --- Model cache serialization ------------------------------------------
+//
+// Line-oriented text. Every string field is written with a leading '='
+// (so the empty string round-trips), and no serialized string ever
+// contains whitespace: identifiers, qualified names and token texts are
+// all whitespace-free by construction. Numbers are decimal. The reader
+// rejects anything malformed — a failed load is a cache miss, never a
+// wrong model.
+
+namespace {
+
+void AppendNum(std::string& out, std::uint64_t v) {
+  out += ' ';
+  out += std::to_string(v);
+}
+
+void AppendStr(std::string& out, const std::string& s) {
+  out += " =";
+  out += s;
+}
+
+void AppendFlags(std::string& out, std::initializer_list<bool> flags) {
+  out += ' ';
+  for (const bool f : flags) out += f ? '1' : '0';
+}
+
+// Splits one line into space-separated fields.
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start < line.size()) {
+    const std::size_t sp = line.find(' ', start);
+    if (sp == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    if (sp > start) fields.push_back(line.substr(start, sp - start));
+    start = sp + 1;
+  }
+  return fields;
+}
+
+bool ParseNum(std::string_view field, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), out);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+bool ParseStr(std::string_view field, std::string& out) {
+  if (field.empty() || field[0] != '=') return false;
+  out.assign(field.substr(1));
+  return true;
+}
+
+bool ParseFlags(std::string_view field, std::initializer_list<bool*> flags) {
+  if (field.size() != flags.size()) return false;
+  std::size_t i = 0;
+  for (bool* f : flags) {
+    if (field[i] != '0' && field[i] != '1') return false;
+    *f = field[i] == '1';
+    ++i;
+  }
+  return true;
+}
+
+// Sequential line cursor over the serialized text.
+struct LineCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool Next(std::vector<std::string_view>& fields) {
+    if (pos > text.size()) return false;
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line;
+    if (nl == std::string_view::npos) {
+      line = text.substr(pos);
+      pos = text.size() + 1;
+    } else {
+      line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    fields = SplitFields(line);
+    return true;
+  }
+
+  // Reads a section header "<tag> <count>".
+  bool Section(std::string_view tag, std::uint64_t& count) {
+    std::vector<std::string_view> f;
+    return Next(f) && f.size() == 2 && f[0] == tag && ParseNum(f[1], count);
+  }
+};
+
+}  // namespace
+
+std::uint64_t ContentHash(std::string_view content) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;  // FNV-1a prime
+    }
+  };
+  mix(kModelCacheVersion);
+  mix("\n");
+  mix(content);
+  return h;
+}
+
+std::string SerializeFileModel(const FileModel& m) {
+  std::string out;
+  out += kModelCacheVersion;
+  out += '\n';
+  out += "tok";
+  AppendNum(out, m.tokens.size());
+  out += '\n';
+  for (const Token& tok : m.tokens) {
+    out += std::to_string(static_cast<int>(tok.kind));
+    AppendNum(out, tok.line);
+    AppendStr(out, tok.text);
+    out += '\n';
+  }
+  out += "fn";
+  AppendNum(out, m.functions.size());
+  out += '\n';
+  for (const FunctionInfo& fn : m.functions) {
+    out += std::to_string(fn.line);
+    AppendFlags(out, {fn.returns_status, fn.is_ctor, fn.is_dtor,
+                      fn.mutates_tables, fn.appends_summary,
+                      fn.encodes_record, fn.decodes_record, fn.has_body});
+    AppendNum(out, fn.body_begin);
+    AppendNum(out, fn.body_end);
+    AppendNum(out, fn.params.size());
+    AppendStr(out, fn.cls);
+    AppendStr(out, fn.base);
+    AppendStr(out, fn.qname);
+    out += '\n';
+    for (const Param& p : fn.params) {
+      out += 'p';
+      AppendFlags(out, {p.is_ref, p.is_const});
+      AppendStr(out, p.name);
+      AppendStr(out, p.type_head);
+      out += '\n';
+    }
+  }
+  out += "st";
+  AppendNum(out, m.structs.size());
+  out += '\n';
+  for (const StructInfo& s : m.structs) {
+    out += std::to_string(s.line);
+    AppendFlags(out, {s.namespace_scope, s.fields_parsed});
+    AppendNum(out, s.fields.size());
+    AppendStr(out, s.name);
+    out += '\n';
+    for (const FieldInfo& f : s.fields) {
+      out += 'f';
+      AppendNum(out, f.line);
+      AppendFlags(out, {f.is_pointer, f.is_reference});
+      AppendNum(out, f.array_len);
+      AppendStr(out, f.name);
+      AppendStr(out, f.type_head);
+      out += '\n';
+    }
+  }
+  std::size_t member_count = 0;
+  for (const auto& [cls, members] : m.members) member_count += members.size();
+  out += "mem";
+  AppendNum(out, member_count);
+  out += '\n';
+  for (const auto& [cls, members] : m.members) {
+    for (const auto& [name, head] : members) {
+      out += 'm';
+      AppendStr(out, cls);
+      AppendStr(out, name);
+      AppendStr(out, head);
+      out += '\n';
+    }
+  }
+  out += "ali";
+  AppendNum(out, m.aliases.size());
+  out += '\n';
+  for (const auto& [name, head] : m.aliases) {
+    out += 'a';
+    AppendStr(out, name);
+    AppendStr(out, head);
+    out += '\n';
+  }
+  out += "enu";
+  AppendNum(out, m.enums.size());
+  out += '\n';
+  for (const auto& [name, head] : m.enums) {
+    out += 'u';
+    AppendStr(out, name);
+    AppendStr(out, head);
+    out += '\n';
+  }
+  out += "ed";
+  AppendNum(out, m.enum_defs.size());
+  out += '\n';
+  for (const EnumDef& def : m.enum_defs) {
+    out += std::to_string(def.line);
+    AppendNum(out, def.enumerators.size());
+    AppendStr(out, def.name);
+    AppendStr(out, def.underlying);
+    out += '\n';
+    for (const Enumerator& e : def.enumerators) {
+      out += 'e';
+      AppendNum(out, e.line);
+      AppendStr(out, e.name);
+      out += '\n';
+    }
+  }
+  out += "at";
+  AppendNum(out, m.atomics.size());
+  out += '\n';
+  for (const AtomicDecl& a : m.atomics) {
+    out += std::to_string(a.line);
+    AppendNum(out, static_cast<std::uint64_t>(a.ann));
+    AppendStr(out, a.cls);
+    AppendStr(out, a.name);
+    out += '\n';
+  }
+  out += "th";
+  AppendNum(out, m.thread_members.size());
+  out += '\n';
+  for (const ThreadMember& tm : m.thread_members) {
+    out += std::to_string(tm.line);
+    AppendStr(out, tm.cls);
+    AppendStr(out, tm.name);
+    out += '\n';
+  }
+  return out;
+}
+
+bool DeserializeFileModel(const std::string& path, std::string_view content,
+                          std::string_view serialized, FileModel& out) {
+  LineCursor cur{serialized, 0};
+  std::vector<std::string_view> f;
+  if (!cur.Next(f) || f.size() != 1 || f[0] != kModelCacheVersion) {
+    return false;
+  }
+  FileModel m;
+  m.path = path;
+  std::uint64_t count = 0;
+  if (!cur.Section("tok", count)) return false;
+  m.tokens.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!cur.Next(f) || f.size() != 3) return false;
+    std::uint64_t kind = 0;
+    std::uint64_t line = 0;
+    Token tok;
+    if (!ParseNum(f[0], kind) || kind > 2 || !ParseNum(f[1], line) ||
+        !ParseStr(f[2], tok.text) || tok.text.empty()) {
+      return false;
+    }
+    tok.kind = static_cast<Token::Kind>(kind);
+    tok.line = line;
+    m.tokens.push_back(std::move(tok));
+  }
+  if (!cur.Section("fn", count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!cur.Next(f) || f.size() != 8) return false;
+    FunctionInfo fn;
+    std::uint64_t line = 0;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint64_t nparams = 0;
+    if (!ParseNum(f[0], line) ||
+        !ParseFlags(f[1], {&fn.returns_status, &fn.is_ctor, &fn.is_dtor,
+                           &fn.mutates_tables, &fn.appends_summary,
+                           &fn.encodes_record, &fn.decodes_record,
+                           &fn.has_body}) ||
+        !ParseNum(f[2], begin) || !ParseNum(f[3], end) ||
+        !ParseNum(f[4], nparams) || !ParseStr(f[5], fn.cls) ||
+        !ParseStr(f[6], fn.base) || !ParseStr(f[7], fn.qname)) {
+      return false;
+    }
+    fn.line = line;
+    fn.body_begin = begin;
+    fn.body_end = end;
+    if (fn.has_body &&
+        (fn.body_begin >= m.tokens.size() || fn.body_end >= m.tokens.size())) {
+      return false;
+    }
+    for (std::uint64_t p = 0; p < nparams; ++p) {
+      if (!cur.Next(f) || f.size() != 4 || f[0] != "p") return false;
+      Param param;
+      if (!ParseFlags(f[1], {&param.is_ref, &param.is_const}) ||
+          !ParseStr(f[2], param.name) || !ParseStr(f[3], param.type_head)) {
+        return false;
+      }
+      fn.params.push_back(std::move(param));
+    }
+    m.functions.push_back(std::move(fn));
+  }
+  if (!cur.Section("st", count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!cur.Next(f) || f.size() != 4) return false;
+    StructInfo s;
+    std::uint64_t line = 0;
+    std::uint64_t nfields = 0;
+    if (!ParseNum(f[0], line) ||
+        !ParseFlags(f[1], {&s.namespace_scope, &s.fields_parsed}) ||
+        !ParseNum(f[2], nfields) || !ParseStr(f[3], s.name)) {
+      return false;
+    }
+    s.line = line;
+    for (std::uint64_t k = 0; k < nfields; ++k) {
+      if (!cur.Next(f) || f.size() != 6 || f[0] != "f") return false;
+      FieldInfo field;
+      std::uint64_t fline = 0;
+      std::uint64_t alen = 0;
+      if (!ParseNum(f[1], fline) ||
+          !ParseFlags(f[2], {&field.is_pointer, &field.is_reference}) ||
+          !ParseNum(f[3], alen) || !ParseStr(f[4], field.name) ||
+          !ParseStr(f[5], field.type_head)) {
+        return false;
+      }
+      field.line = fline;
+      field.array_len = alen;
+      s.fields.push_back(std::move(field));
+    }
+    m.structs.push_back(std::move(s));
+  }
+  if (!cur.Section("mem", count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!cur.Next(f) || f.size() != 4 || f[0] != "m") return false;
+    std::string cls;
+    std::string name;
+    std::string head;
+    if (!ParseStr(f[1], cls) || !ParseStr(f[2], name) ||
+        !ParseStr(f[3], head)) {
+      return false;
+    }
+    m.members[cls][name] = head;
+  }
+  if (!cur.Section("ali", count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!cur.Next(f) || f.size() != 3 || f[0] != "a") return false;
+    std::string name;
+    std::string head;
+    if (!ParseStr(f[1], name) || !ParseStr(f[2], head)) return false;
+    m.aliases[name] = head;
+  }
+  if (!cur.Section("enu", count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!cur.Next(f) || f.size() != 3 || f[0] != "u") return false;
+    std::string name;
+    std::string head;
+    if (!ParseStr(f[1], name) || !ParseStr(f[2], head)) return false;
+    m.enums[name] = head;
+  }
+  if (!cur.Section("ed", count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!cur.Next(f) || f.size() != 4) return false;
+    EnumDef def;
+    std::uint64_t line = 0;
+    std::uint64_t nenum = 0;
+    if (!ParseNum(f[0], line) || !ParseNum(f[1], nenum) ||
+        !ParseStr(f[2], def.name) || !ParseStr(f[3], def.underlying)) {
+      return false;
+    }
+    def.line = line;
+    for (std::uint64_t k = 0; k < nenum; ++k) {
+      if (!cur.Next(f) || f.size() != 3 || f[0] != "e") return false;
+      Enumerator e;
+      std::uint64_t eline = 0;
+      if (!ParseNum(f[1], eline) || !ParseStr(f[2], e.name)) return false;
+      e.line = eline;
+      def.enumerators.push_back(std::move(e));
+    }
+    m.enum_defs.push_back(std::move(def));
+  }
+  if (!cur.Section("at", count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!cur.Next(f) || f.size() != 4) return false;
+    AtomicDecl a;
+    std::uint64_t line = 0;
+    std::uint64_t ann = 0;
+    if (!ParseNum(f[0], line) || !ParseNum(f[1], ann) || ann > 2 ||
+        !ParseStr(f[2], a.cls) || !ParseStr(f[3], a.name)) {
+      return false;
+    }
+    a.line = line;
+    a.ann = static_cast<AtomicAnn>(ann);
+    m.atomics.push_back(std::move(a));
+  }
+  if (!cur.Section("th", count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!cur.Next(f) || f.size() != 3) return false;
+    ThreadMember tm;
+    std::uint64_t line = 0;
+    if (!ParseNum(f[0], line) || !ParseStr(f[1], tm.cls) ||
+        !ParseStr(f[2], tm.name)) {
+      return false;
+    }
+    tm.line = line;
+    m.thread_members.push_back(std::move(tm));
+  }
+  // Lines derive from the content the caller just read, not the cache.
+  m.raw = SplitLines(content);
+  m.code = SplitLines(StripCommentsAndStrings(content));
+  out = std::move(m);
+  return true;
 }
 
 void FinishIndex(ProjectIndex& index, const std::vector<BodySummary>& bodies) {

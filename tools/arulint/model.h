@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -46,6 +47,8 @@ struct FunctionInfo {
   bool is_dtor = false;
   bool mutates_tables = false;   // ARU_MUTATES_TABLES on this decl/def
   bool appends_summary = false;  // ARU_APPENDS_SUMMARY on this decl/def
+  bool encodes_record = false;   // ARU_ENCODES_RECORD on this decl/def
+  bool decodes_record = false;   // ARU_DECODES_RECORD on this decl/def
   bool has_body = false;
   std::size_t body_begin = 0;  // token index of the body "{"
   std::size_t body_end = 0;    // token index of the matching "}"
@@ -96,6 +99,24 @@ struct StructInfo {
   std::vector<FieldInfo> fields;
 };
 
+// One enumerator of a named enum (record-coverage keys off the
+// enumerators of `RecordType`).
+struct Enumerator {
+  std::size_t line = 0;
+  std::string name;
+};
+
+// A named enum with its enumerator list. The underlying-type map in
+// FileModel::enums stays as-is (on-disk-field uses it); this carries
+// the per-enumerator detail the symmetry rules need.
+struct EnumDef {
+  std::size_t file = 0;  // set when merged into the ProjectIndex
+  std::size_t line = 0;  // line of the enum name
+  std::string name;
+  std::string underlying;  // "" when none declared
+  std::vector<Enumerator> enumerators;
+};
+
 struct FileModel {
   std::string path;
   std::vector<std::string> raw;   // raw source lines (comments intact)
@@ -107,12 +128,36 @@ struct FileModel {
   std::map<std::string, std::map<std::string, std::string>> members;
   std::map<std::string, std::string> aliases;  // using X = <head>;
   std::map<std::string, std::string> enums;    // enum X : <head> ("" if none)
+  std::vector<EnumDef> enum_defs;              // named enums, per enumerator
   std::vector<AtomicDecl> atomics;             // member / global atomics
   std::vector<ThreadMember> thread_members;    // std::thread members
 };
 
 // Parses one file. `content` is the raw source.
 FileModel BuildFileModel(const std::string& path, std::string_view content);
+
+// --- Model cache (the incremental engine) -------------------------------
+//
+// A FileModel is a pure function of the file content, so it can be
+// serialized once and reloaded while the content hash matches. The
+// format is line-oriented text; bump kModelCacheVersion whenever the
+// model's shape changes so stale entries fall back to a rebuild.
+
+inline constexpr std::string_view kModelCacheVersion = "arulint-model-v4";
+
+// FNV-1a over the version string + content; the cache key.
+std::uint64_t ContentHash(std::string_view content);
+
+// Serializes everything BuildFileModel derives except `path`, `raw`
+// and `code` (the caller re-splits those from the content it already
+// read — cheaper than storing every source line twice).
+std::string SerializeFileModel(const FileModel& model);
+
+// Rebuilds a FileModel from SerializeFileModel output. `path` and
+// `content` come from the current read. Returns false (leaving `out`
+// unspecified) on any mismatch — caller falls back to BuildFileModel.
+bool DeserializeFileModel(const std::string& path, std::string_view content,
+                          std::string_view serialized, FileModel& out);
 
 struct ProjectIndex {
   const std::vector<FileModel>* models = nullptr;
@@ -128,6 +173,10 @@ struct ProjectIndex {
   // qnames whose decl or def carries the annotation.
   std::set<std::string> annotated_appenders;
   std::set<std::string> annotated_mutators;
+  std::set<std::string> annotated_encoders;
+  std::set<std::string> annotated_decoders;
+  // Named enums merged across files (file index set).
+  std::vector<EnumDef> enum_defs;
   // Transitive closure: qnames that (may) reach an annotated appender.
   std::set<std::string> may_append;
   // qname -> transitive lock keys the function may acquire. The mapped
@@ -198,6 +247,16 @@ struct StatusLocal {
   bool used_later = false;
 };
 
+// A non-call member access `recv.member` / `recv->member` on a
+// receiver whose type resolved through locals / params / members.
+// Field-symmetry compares the accesses made inside encoder bodies with
+// those made inside decoder bodies, per receiver type.
+struct MemberAccess {
+  std::size_t line = 0;
+  std::string recv_type;
+  std::string member;
+};
+
 // Statement tree over a function body: just enough control-flow shape
 // for path-sensitive rules (pin-protocol) and loop-ancestry queries
 // (condvar-wait). `switch` bodies are kept opaque (one kSimple) and
@@ -230,6 +289,8 @@ struct BodySummary {
   std::vector<StatusLocal> status_locals;
   // Function-local static atomics declared in this body (atomic-order).
   std::vector<AtomicDecl> atomic_locals;
+  // Typed non-call member accesses in this body (field-symmetry).
+  std::vector<MemberAccess> member_accesses;
   // Statement tree of the body (empty when the body failed to parse).
   std::vector<Stmt> stmts;
 };

@@ -1,0 +1,73 @@
+// Internal seam between the rule translation units (arulint.cc,
+// symmetry.cc): the whole-analysis state and the helpers both sides
+// share. Not part of the public arulint.h surface.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/arulint/arulint.h"
+#include "tools/arulint/model.h"
+
+namespace aru::arulint {
+
+// --- Shared helpers (defined in arulint.cc) -----------------------------
+
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// True if raw line `line` (1-based) or one of the lookback lines above
+// it carries `// arulint: allow(<rule>)`.
+bool IsAllowed(const std::vector<std::string>& raw, std::size_t line,
+               std::string_view rule);
+
+// Format headers hold on-disk layouts (layout.h / summary.h /
+// checkpoint.h / format.h by basename).
+bool IsFormatHeader(const std::string& path);
+
+// lld_recovery.cc / lld_consistency.cc.
+bool IsRecoveryPath(const std::string& path);
+
+// Unqualified name of a qname.
+std::string BaseOf(const std::string& qname);
+
+// static_assert pins present in one file (on-disk-pin / field-symmetry).
+struct PinIndex {
+  std::set<std::string> trivially_copyable;
+  std::set<std::string> sizeof_pinned;
+};
+
+PinIndex CollectPins(const FileModel& m);
+
+// --- Whole-analysis state -----------------------------------------------
+
+struct LockEdge {
+  std::size_t file = 0;  // model index of the edge's site
+  std::size_t line = 0;
+  std::string held;
+  std::string acquired;
+  bool held_shared = false;      // held only via ReaderMutexLock
+  bool acquired_shared = false;  // acquisition is ReaderMutexLock
+};
+
+struct Analysis {
+  std::vector<FileModel> models;
+  ProjectIndex index;
+  std::vector<BodySummary> bodies;
+  // Derived helper sets for the crash-order fallback resolution.
+  std::set<std::string> appender_bases;  // bases of may_append qnames
+  std::set<std::string> mutator_bases;   // bases that ONLY name mutators
+  std::vector<LockEdge> lock_edges;
+};
+
+// --- v4 recovery-symmetry rules (defined in symmetry.cc) ----------------
+
+void CheckRecordCoverage(const Analysis& a,
+                         std::vector<std::vector<Finding>>& per_file);
+void CheckFieldSymmetry(const Analysis& a,
+                        std::vector<std::vector<Finding>>& per_file);
+void CheckDurableAck(const Analysis& a,
+                     std::vector<std::vector<Finding>>& per_file);
+
+}  // namespace aru::arulint

@@ -98,6 +98,20 @@ std::string_view RuleDescription(std::string_view rule) {
     return "A class owning a std::thread must join it on every "
            "destructor/Close path.";
   }
+  if (rule == "record-coverage") {
+    return "Every RecordType enumerator must have an encode arm reachable "
+           "from an appender, a decode arm, and a recovery-path apply "
+           "site.";
+  }
+  if (rule == "field-symmetry") {
+    return "Every non-reserved field of a pinned record struct written by "
+           "the encode path must be read by the decode path, and vice "
+           "versa.";
+  }
+  if (rule == "durable-ack") {
+    return "A durable_commits-gated commit ack must be dominated by a "
+           "WaitDurable on the durable-LSN horizon.";
+  }
   if (rule == "io-error") {
     return "A file handed to the linter could not be read.";
   }
@@ -112,7 +126,8 @@ std::vector<RuleInfo> RuleCatalog() {
       "on-disk-pin",   "on-disk-field",  "banned-call",
       "raw-new",       "named-lock",     "recovery-assert",
       "atomic-order",  "pin-protocol",   "condvar-wait",
-      "thread-lifecycle", "io-error",
+      "thread-lifecycle", "record-coverage", "field-symmetry",
+      "durable-ack",   "io-error",
   };
   std::vector<RuleInfo> out;
   for (const char* rule : kRules) {
@@ -136,7 +151,7 @@ std::string SarifReport(const std::vector<Finding>& findings) {
      << "          \"name\": \"arulint\",\n"
      << "          \"informationUri\": "
         "\"docs/STATIC_ANALYSIS.md\",\n"
-     << "          \"version\": \"3.0.0\",\n"
+     << "          \"version\": \"4.0.0\",\n"
      << "          \"rules\": [";
   bool first = true;
   for (const std::string& rule : rule_ids) {

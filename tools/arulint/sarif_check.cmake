@@ -22,7 +22,8 @@ foreach(needle
         "crash-order" "lock-order" "named-lock" "status-flow"
         "on-disk-pin" "on-disk-field" "banned-call" "raw-new"
         "recovery-assert" "atomic-order" "pin-protocol"
-        "condvar-wait" "thread-lifecycle")
+        "condvar-wait" "thread-lifecycle" "record-coverage"
+        "field-symmetry" "durable-ack")
   string(FIND "${sarif}" "${needle}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "SARIF report is missing '${needle}'")

@@ -1,0 +1,437 @@
+// v4 recovery-symmetry rules: record-coverage, field-symmetry,
+// durable-ack.
+//
+// All three check the same seam from different directions: what the
+// runtime persists (ARU_ENCODES_RECORD functions fed by
+// ARU_APPENDS_SUMMARY appenders) must be exactly what recovery can
+// consume (ARU_DECODES_RECORD functions and the recovery-path apply
+// sites), and a commit must not be acknowledged before the durable-LSN
+// horizon covers it. Each check follows the house invariant: every
+// approximation under-approximates — a half with no annotated body, an
+// unresolved receiver, or an unresolvable call makes the rule quieter,
+// never louder.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/arulint/arulint.h"
+#include "tools/arulint/lexer.h"
+#include "tools/arulint/model.h"
+#include "tools/arulint/rules_internal.h"
+
+namespace aru::arulint {
+namespace {
+
+// ---------------------------------------------------------------------
+// record-coverage.
+
+// Forward closure over call events starting from the annotated
+// appenders. Unresolved callees fall back to every qname sharing the
+// base name — generous on purpose: over-reaching can only mark more
+// encoders as append-fed, which silences findings.
+std::set<std::string> ReachableFromAppenders(const Analysis& a) {
+  std::map<std::string, std::vector<std::string>> by_base;
+  for (const auto& [qname, fns] : a.index.by_qname) {
+    by_base[BaseOf(qname)].push_back(qname);
+  }
+  std::set<std::string> reach = a.index.annotated_appenders;
+  bool changed = true;
+  for (std::size_t round = 0; changed && round < 64; ++round) {
+    changed = false;
+    for (const BodySummary& body : a.bodies) {
+      if (reach.count(body.fn->qname) == 0) continue;
+      for (const BodyEvent& e : body.events) {
+        if (e.kind != BodyEvent::Kind::kCall) continue;
+        if (!e.callee_qname.empty()) {
+          changed |= reach.insert(e.callee_qname).second;
+          continue;
+        }
+        const auto it = by_base.find(e.callee_base);
+        if (it == by_base.end()) continue;
+        for (const std::string& q : it->second) {
+          changed |= reach.insert(q).second;
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+// Enumerator names mentioned as `<enum_name> :: <ident>` inside fn's
+// body tokens.
+void CollectEnumMentions(const FileModel& m, const FunctionInfo& fn,
+                         const std::string& enum_name,
+                         std::set<std::string>& out) {
+  const std::vector<Token>& t = m.tokens;
+  if (t.empty()) return;
+  for (std::size_t i = fn.body_begin; i + 2 <= fn.body_end && i + 2 < t.size();
+       ++i) {
+    if (t[i].IsIdent() && t[i].text == enum_name && t[i + 1].Is("::") &&
+        t[i + 2].IsIdent()) {
+      out.insert(t[i + 2].text);
+    }
+  }
+}
+
+}  // namespace
+
+void CheckRecordCoverage(const Analysis& a,
+                         std::vector<std::vector<Finding>>& per_file) {
+  std::vector<const EnumDef*> record_enums;
+  for (const EnumDef& d : a.index.enum_defs) {
+    if (d.name == "RecordType") record_enums.push_back(&d);
+  }
+  if (record_enums.empty()) return;
+
+  // The encode half only counts encoders the append path can actually
+  // reach; when the project declares no appender at all (single-header
+  // lints), every encoder counts.
+  std::set<std::string> encoders = a.index.annotated_encoders;
+  if (!a.index.annotated_appenders.empty()) {
+    const std::set<std::string> reach = ReachableFromAppenders(a);
+    std::set<std::string> fed;
+    for (const std::string& q : encoders) {
+      if (reach.count(q) > 0) fed.insert(q);
+    }
+    encoders = std::move(fed);
+  }
+
+  std::set<std::string> encode_arms;
+  std::set<std::string> decode_arms;
+  bool encoder_body_seen = false;
+  bool decoder_body_seen = false;
+  for (const BodySummary& body : a.bodies) {
+    if (encoders.count(body.fn->qname) > 0) {
+      encoder_body_seen = true;
+      CollectEnumMentions(a.models[body.fn->file], *body.fn, "RecordType",
+                          encode_arms);
+    }
+    if (a.index.annotated_decoders.count(body.fn->qname) > 0) {
+      decoder_body_seen = true;
+      CollectEnumMentions(a.models[body.fn->file], *body.fn, "RecordType",
+                          decode_arms);
+    }
+  }
+
+  // Apply half: the record struct (`kWrite` -> `WriteRecord`) must be
+  // named somewhere in a recovery-path file. Checked only when the
+  // project holds a recovery-path file AND declares that struct —
+  // anything less and the half is silently skipped.
+  bool has_recovery_file = false;
+  std::set<std::string> recovery_idents;
+  std::set<std::string> struct_names;
+  for (const FileModel& m : a.models) {
+    for (const StructInfo& s : m.structs) struct_names.insert(s.name);
+    if (!IsRecoveryPath(m.path)) continue;
+    has_recovery_file = true;
+    for (const Token& tok : m.tokens) {
+      if (tok.IsIdent()) recovery_idents.insert(tok.text);
+    }
+  }
+
+  for (const EnumDef* d : record_enums) {
+    const FileModel& m = a.models[d->file];
+    for (const Enumerator& e : d->enumerators) {
+      std::vector<std::string> missing;
+      if (encoder_body_seen && encode_arms.count(e.name) == 0) {
+        missing.push_back(
+            "no encode arm in any ARU_ENCODES_RECORD function reachable "
+            "from an ARU_APPENDS_SUMMARY appender");
+      }
+      if (decoder_body_seen && decode_arms.count(e.name) == 0) {
+        missing.push_back(
+            "no decode arm in any ARU_DECODES_RECORD function");
+      }
+      if (has_recovery_file && e.name.size() > 1 && e.name[0] == 'k') {
+        const std::string record_struct = e.name.substr(1) + "Record";
+        if (struct_names.count(record_struct) > 0 &&
+            recovery_idents.count(record_struct) == 0) {
+          missing.push_back("record struct '" + record_struct +
+                            "' is never applied in a recovery-path file");
+        }
+      }
+      if (missing.empty()) continue;
+      if (IsAllowed(m.raw, e.line, "record-coverage")) continue;
+      std::string msg = "record type '" + e.name + "' cannot be replayed: ";
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        if (i > 0) msg += "; ";
+        msg += missing[i];
+      }
+      msg += " (a record recovery cannot decode and apply is lost state "
+             "after a crash)";
+      per_file[d->file].push_back(
+          {m.path, e.line, "record-coverage", std::move(msg)});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// field-symmetry.
+
+namespace {
+
+bool IsReservedField(const std::string& name) {
+  return name.rfind("reserved", 0) == 0 || name.rfind("pad", 0) == 0 ||
+         name.rfind("unused", 0) == 0;
+}
+
+}  // namespace
+
+void CheckFieldSymmetry(const Analysis& a,
+                        std::vector<std::vector<Finding>>& per_file) {
+  // Receiver type -> members accessed inside encoder / decoder bodies,
+  // project-wide. Only accesses whose receiver type resolved count, so
+  // generic encoders (std::visit lambdas) contribute nothing and their
+  // structs are skipped below — quieter, never louder.
+  std::map<std::string, std::set<std::string>> encode_access;
+  std::map<std::string, std::set<std::string>> decode_access;
+  for (const BodySummary& body : a.bodies) {
+    const bool is_encoder =
+        a.index.annotated_encoders.count(body.fn->qname) > 0;
+    const bool is_decoder =
+        a.index.annotated_decoders.count(body.fn->qname) > 0;
+    if (!is_encoder && !is_decoder) continue;
+    for (const MemberAccess& access : body.member_accesses) {
+      if (is_encoder) encode_access[access.recv_type].insert(access.member);
+      if (is_decoder) decode_access[access.recv_type].insert(access.member);
+    }
+  }
+
+  for (std::size_t f = 0; f < a.models.size(); ++f) {
+    const FileModel& m = a.models[f];
+    if (!IsFormatHeader(m.path)) continue;
+    const PinIndex pins = CollectPins(m);
+    for (const StructInfo& s : m.structs) {
+      if (!s.namespace_scope || !s.fields_parsed) continue;
+      if (pins.trivially_copyable.count(s.name) == 0 ||
+          pins.sizeof_pinned.count(s.name) == 0) {
+        continue;  // unpinned: on-disk-pin's business
+      }
+      // Both halves must touch the type at all; a struct one side never
+      // sees is record-coverage's domain, not a per-field asymmetry.
+      const auto enc_it = encode_access.find(s.name);
+      const auto dec_it = decode_access.find(s.name);
+      if (enc_it == encode_access.end() || dec_it == decode_access.end()) {
+        continue;
+      }
+      if (IsAllowed(m.raw, s.line, "field-symmetry")) continue;
+      for (const FieldInfo& field : s.fields) {
+        if (IsReservedField(field.name)) continue;
+        const bool in_enc = enc_it->second.count(field.name) > 0;
+        const bool in_dec = dec_it->second.count(field.name) > 0;
+        if (in_enc && in_dec) continue;
+        if (IsAllowed(m.raw, field.line, "field-symmetry")) continue;
+        std::string msg;
+        if (in_enc) {
+          msg = "field '" + field.name + "' of record struct '" + s.name +
+                "' is written by the encode path but never read back by "
+                "any ARU_DECODES_RECORD decoder: the persisted bytes are "
+                "dead on replay (decode it, or rename it reserved*)";
+        } else if (in_dec) {
+          msg = "field '" + field.name + "' of record struct '" + s.name +
+                "' is read by the decode path but never written by any "
+                "ARU_ENCODES_RECORD encoder: replay consumes bytes "
+                "nothing persists";
+        } else {
+          msg = "field '" + field.name + "' of record struct '" + s.name +
+                "' is touched by neither the encode nor the decode path "
+                "while its siblings are: the on-disk layout and the "
+                "codec disagree";
+        }
+        per_file[f].push_back(
+            {m.path, field.line, "field-symmetry", std::move(msg)});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// durable-ack.
+
+namespace {
+
+bool IsAckEvent(const BodyEvent& e) {
+  return e.kind == BodyEvent::Kind::kCall &&
+         e.recv_name == "arus_committed" &&
+         (e.callee_base == "Increment" || e.callee_base == "Add");
+}
+
+bool IsWaitEvent(const BodyEvent& e) {
+  return e.kind == BodyEvent::Kind::kCall && e.callee_base == "WaitDurable";
+}
+
+// Path-sensitive walk in the pin-protocol mould. State tracks whether a
+// WaitDurable dominates the current point and which locals were
+// assigned under a durable_commits-gated branch (the durable target /
+// flag); a later branch on a tainted name is itself a durable gate, and
+// a gate whose subtree waits establishes dominance for the code after
+// it. Both taint and the subtree scan are generous: over-tainting can
+// only promote more branches to gates, which silences findings.
+struct DurableWalker {
+  const FileModel& m;
+  const BodySummary& body;
+  std::vector<Finding>& out;
+  std::set<std::size_t> emitted;
+
+  struct State {
+    bool ok = false;  // a durable-horizon wait dominates this point
+    std::set<std::string> tainted;
+    bool returned = false;
+  };
+
+  void Emit(std::size_t line) {
+    if (IsAllowed(m.raw, line, "durable-ack")) return;
+    if (!emitted.insert(line).second) return;
+    out.push_back(
+        {m.path, line, "durable-ack",
+         "commit acknowledged (arus_committed) on a path not dominated "
+         "by a WaitDurable on the durable-LSN horizon: with "
+         "durable_commits set, the caller can observe the commit before "
+         "its records reach stable storage"});
+  }
+
+  bool RangeHasWait(std::size_t first, std::size_t last) const {
+    for (const BodyEvent& e : body.events) {
+      if (e.tok >= first && e.tok <= last && IsWaitEvent(e)) return true;
+    }
+    return false;
+  }
+
+  void ApplyRange(std::size_t first, std::size_t last, State& st) {
+    if (st.returned || last < first) return;
+    for (const BodyEvent& e : body.events) {
+      if (e.tok < first || e.tok > last) continue;
+      if (IsWaitEvent(e)) st.ok = true;
+      if (IsAckEvent(e) && !st.ok) Emit(e.line);
+    }
+  }
+
+  bool CondIsGate(const Stmt& s, const State& st) const {
+    for (std::size_t i = s.first;
+         i <= s.head_last && i < m.tokens.size(); ++i) {
+      const Token& t = m.tokens[i];
+      if (!t.IsIdent()) continue;
+      if (t.text == "durable_commits" || st.tainted.count(t.text) > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void TaintAssigned(std::size_t first, std::size_t last, State& st) {
+    for (std::size_t i = first; i < last && i + 1 < m.tokens.size(); ++i) {
+      if (m.tokens[i].IsIdent() && m.tokens[i + 1].Is("=")) {
+        st.tainted.insert(m.tokens[i].text);
+      }
+    }
+  }
+
+  void Merge(State& st, State&& then_st, State&& else_st) {
+    if (then_st.returned && else_st.returned) {
+      st.returned = true;
+      return;
+    }
+    if (then_st.returned) {
+      st = std::move(else_st);
+      return;
+    }
+    if (else_st.returned) {
+      st = std::move(then_st);
+      return;
+    }
+    st.ok = then_st.ok && else_st.ok;
+    st.tainted = std::move(then_st.tainted);
+    st.tainted.insert(else_st.tainted.begin(), else_st.tainted.end());
+  }
+
+  void WalkList(const std::vector<Stmt>& stmts, State& st) {
+    for (const Stmt& s : stmts) {
+      if (st.returned) return;
+      WalkOne(s, st);
+    }
+  }
+
+  void WalkOne(const Stmt& s, State& st) {
+    switch (s.kind) {
+      case Stmt::Kind::kBlock:
+        WalkList(s.then_stmts, st);
+        break;
+      case Stmt::Kind::kIf: {
+        ApplyRange(s.first, s.head_last, st);
+        const bool gate = CondIsGate(s, st);
+        State then_st = st;
+        State else_st = st;
+        WalkList(s.then_stmts, then_st);
+        if (s.has_else) WalkList(s.else_stmts, else_st);
+        Merge(st, std::move(then_st), std::move(else_st));
+        if (gate && !st.returned) {
+          TaintAssigned(s.head_last + 1, s.last, st);
+          if (RangeHasWait(s.head_last + 1, s.last)) st.ok = true;
+        }
+        break;
+      }
+      case Stmt::Kind::kLoop: {
+        if (s.head_last >= s.first) ApplyRange(s.first, s.head_last, st);
+        // One symbolic iteration; only taint survives the merge with
+        // the zero-iteration path (a wait inside a loop establishes
+        // dominance through the gate subtree scan, not here).
+        State body_st = st;
+        WalkList(s.body, body_st);
+        if (!body_st.returned) {
+          st.tainted.insert(body_st.tainted.begin(), body_st.tainted.end());
+        }
+        break;
+      }
+      case Stmt::Kind::kReturn:
+        ApplyRange(s.first, s.last, st);
+        st.returned = true;
+        break;
+      case Stmt::Kind::kBreak:
+      case Stmt::Kind::kContinue:
+        break;
+      default:
+        ApplyRange(s.first, s.last, st);
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+void CheckDurableAck(const Analysis& a,
+                     std::vector<std::vector<Finding>>& per_file) {
+  for (const BodySummary& body : a.bodies) {
+    const FunctionInfo& fn = *body.fn;
+    const FileModel& m = a.models[fn.file];
+    if (body.stmts.empty()) continue;
+    bool has_ack = false;
+    for (const BodyEvent& e : body.events) {
+      if (IsAckEvent(e)) {
+        has_ack = true;
+        break;
+      }
+    }
+    if (!has_ack) continue;
+    // The rule applies only where durable_commits gates this body at
+    // all; a build that never promises durability acks immediately and
+    // legitimately.
+    bool mentions_durable = false;
+    for (std::size_t i = fn.body_begin;
+         i <= fn.body_end && i < m.tokens.size(); ++i) {
+      if (m.tokens[i].IsIdent() && m.tokens[i].text == "durable_commits") {
+        mentions_durable = true;
+        break;
+      }
+    }
+    if (!mentions_durable) continue;
+    DurableWalker w{m, body, per_file[fn.file], {}};
+    DurableWalker::State st;
+    w.WalkList(body.stmts, st);
+  }
+}
+
+}  // namespace aru::arulint
