@@ -12,6 +12,12 @@
 // leaves the critical section and concurrent streams ride one shared
 // segment write (group commit).
 //
+// A second sweep holds the pipeline at wb4 and scales writer threads
+// (1/2/4/8) to measure multi-writer commit scaling over the sharded
+// persistent tables: writer_scaling_4t is the 4-writer/1-writer
+// throughput ratio, with per-shard table-lock contention scalars
+// alongside so a scaling regression can be attributed.
+//
 // The artifact embeds the metrics registry and a "timeseries" section
 // (background sampler ring: durable lag, in-flight segments, commit
 // counts, lock contention) from the deepest pipeline point, and the
@@ -125,6 +131,113 @@ struct SweepPoint {
   std::uint32_t depth = 0;
 };
 
+// Writer-thread scaling at a fixed pipeline depth (wb4): 1/2/4/8
+// concurrent committers, each running the same durable-ARU stream.
+// With the tables sharded, the exclusive-mu_ hold per operation is
+// narrow (version-index bookkeeping only — the table publication takes
+// per-shard locks) and concurrent committers' commit records ride one
+// group-commit segment write, so throughput should scale with writers
+// until the device write saturates. Emits writersN_arus_per_s scalars,
+// the headline writer_scaling_4t ratio (4-writer vs 1-writer), and the
+// per-shard table-lock contention counters from the 4-writer point.
+int WriterSweep(int argc, char** argv, BenchArtifact& artifact) {
+  const std::uint64_t arus = FlagU64(argc, argv, "arus", 300);
+  const std::uint64_t sampler_ms = FlagU64(argc, argv, "sampler_period_ms", 5);
+
+  std::printf("\nWriter scaling sweep: wb4, %llu durable ARU commits "
+              "per writer\n",
+              static_cast<unsigned long long>(arus));
+  Table table({"writers", "arus/s", "commit p99 us", "shard waits"});
+
+  double one_writer = 0.0;
+  double four_writers = 0.0;
+  for (const std::uint64_t writers : {1u, 2u, 4u, 8u}) {
+    RigOptions options;
+    options.segment_size = 256 * 1024;
+    options.write_behind_segments = 4;
+    options.durable_commits = true;
+    options.read_cache_blocks = 1024;
+    options.device_write_latency_us =
+        FlagU64(argc, argv, "write_latency_us", 400);
+    options.sampler_period_ms = sampler_ms;
+    auto rig = MakeRig(NewConfig(), options);
+    if (!rig.ok()) {
+      std::fprintf(stderr, "rig failed: %s\n",
+                   rig.status().ToString().c_str());
+      return 1;
+    }
+    lld::Lld& disk = *(*rig)->disk;
+
+    std::vector<Status> results(writers, Status::Ok());
+    Stopwatch watch;
+    watch.Start();
+    std::vector<std::thread> workers;
+    workers.reserve(writers);
+    for (std::uint64_t w = 0; w < writers; ++w) {
+      workers.emplace_back(
+          [&disk, &results, w, arus] { results[w] = RunStream(disk, arus); });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double us = static_cast<double>(watch.StopUs());
+    for (const Status& result : results) {
+      if (!result.ok()) {
+        std::fprintf(stderr, "writer stream failed (%llu writers): %s\n",
+                     static_cast<unsigned long long>(writers),
+                     result.ToString().c_str());
+        return 1;
+      }
+    }
+
+    const double total =
+        static_cast<double>(writers) * static_cast<double>(arus);
+    const double arus_per_s = total / (us / 1e6);
+    double p99 = 0.0;
+    if (const obs::Histogram* h =
+            (*rig)->registry.FindHistogram("aru_lld_commit_us")) {
+      p99 = h->TakeSnapshot().Percentile(99);
+    }
+    double shard_waits = 0.0;
+    if (const obs::Counter* c = (*rig)->registry.FindCounter(
+            "aru_lock_contended_total_lld_table_shard_exclusive")) {
+      shard_waits = static_cast<double>(c->value());
+    }
+    table.AddRow({std::to_string(writers), FormatDouble(arus_per_s, 0),
+                  FormatDouble(p99, 1), FormatDouble(shard_waits, 0)});
+    const std::string prefix = "writers" + std::to_string(writers);
+    artifact.AddScalar(prefix + "_arus_per_s", arus_per_s);
+    artifact.AddScalar(prefix + "_commit_p99_us", p99);
+    if (writers == 1) one_writer = arus_per_s;
+    if (writers == 4) {
+      four_writers = arus_per_s;
+      // Lock attribution from the contended point: how often the table
+      // shards vs the global mu_ actually blocked a thread.
+      artifact.AddScalar("table_shard_lock_contended_4t", shard_waits);
+      if (const obs::Histogram* h = (*rig)->registry.FindHistogram(
+              "aru_lock_wait_us_lld_table_shard_exclusive")) {
+        artifact.AddScalar("table_shard_lock_wait_p99_us_4t",
+                           h->TakeSnapshot().Percentile(99));
+      }
+      if (const obs::Counter* c = (*rig)->registry.FindCounter(
+              "aru_lock_contended_total_lld_mu_exclusive")) {
+        artifact.AddScalar("lld_mu_lock_contended_4t",
+                           static_cast<double>(c->value()));
+      }
+      if (const obs::Gauge* g =
+              (*rig)->registry.FindGauge("aru_lld_table_shard_count")) {
+        artifact.AddScalar("table_shard_count",
+                           static_cast<double>(g->value()));
+      }
+    }
+  }
+  table.Print();
+  if (one_writer > 0.0) {
+    const double scaling = four_writers / one_writer;
+    std::printf("4 writers vs 1: %.2fx throughput\n", scaling);
+    artifact.AddScalar("writer_scaling_4t", scaling);
+  }
+  return 0;
+}
+
 int PipelineSweep(int argc, char** argv) {
   const std::uint64_t streams = FlagU64(argc, argv, "streams", 4);
   const std::uint64_t arus = FlagU64(argc, argv, "arus", 300);
@@ -159,6 +272,10 @@ int PipelineSweep(int argc, char** argv) {
     options.segment_size = 256 * 1024;
     options.write_behind_segments = point.depth;
     options.durable_commits = true;
+    // Modest read cache so the shard-count gauges in the embedded
+    // registry reflect the topology-derived defaults rather than the
+    // zero-capacity clamp.
+    options.read_cache_blocks = 1024;
     options.device_write_latency_us =
         FlagU64(argc, argv, "write_latency_us", 400);
     options.sampler_period_ms = sampler_ms;
@@ -218,6 +335,7 @@ int PipelineSweep(int argc, char** argv) {
     std::printf("best write-behind vs sync: %.2fx throughput\n", speedup);
     artifact.AddScalar("write_behind_speedup", speedup);
   }
+  if (const int rc = WriterSweep(argc, argv, artifact); rc != 0) return rc;
   if (last_rig != nullptr) {
     artifact.SetRegistry(&last_rig->registry);
     if (obs::Sampler* sampler = last_rig->disk->sampler()) {

@@ -58,6 +58,7 @@ Result<std::unique_ptr<Rig>> MakeRig(const MinixLldConfig& config,
   lld_options.durable_commits = options.durable_commits;
   lld_options.read_cache_blocks = options.read_cache_blocks;
   lld_options.read_cache_shards = options.read_cache_shards;
+  lld_options.table_shards = options.table_shards;
   lld_options.sampler_period_ms = options.sampler_period_ms;
   lld_options.registry = &rig->registry;
   ARU_RETURN_IF_ERROR(lld::Lld::Format(*rig->device, lld_options));

@@ -72,6 +72,9 @@ struct RigOptions {
   // blocks (0 disables) and LRU shard count (0 = library default).
   std::size_t read_cache_blocks = 0;
   std::size_t read_cache_shards = 0;
+  // Persistent-table shard count (lld::Options passthrough); 0 = the
+  // topology-derived library default (util/topology.h).
+  std::size_t table_shards = 0;
   // Time-series sampler period (lld::Options passthrough); 0 = off.
   // The ring is reachable as rig->disk->sampler() for SetTimeseries.
   std::uint64_t sampler_period_ms = 0;

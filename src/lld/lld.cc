@@ -6,6 +6,7 @@
 
 #include "obs/trace.h"
 #include "util/log.h"
+#include "util/topology.h"
 
 namespace aru::lld {
 namespace {
@@ -20,9 +21,12 @@ Status ListNotFound(ListId id) {
                        " does not exist in this view");
 }
 
-// Default shard count for the read cache when Options leaves it 0
-// (BlockCache clamps it to the capacity).
-constexpr std::size_t kDefaultReadCacheShards = 8;
+// Shard-count knobs resolve 0 to the machine-derived default
+// (util/topology.h); the read cache additionally clamps to capacity,
+// the tables to their own [1, 256] bound.
+std::size_t ResolveShards(std::size_t requested) {
+  return requested == 0 ? util::DefaultShardCount() : requested;
+}
 
 // Bound on stale-generation retries in Read/ReadMany. With today's
 // cleaner every release happens under exclusive mu_ while pins are
@@ -65,18 +69,23 @@ Lld::Lld(BlockDevice& device, const Options& options, const Geometry& geometry)
       metrics_(registry_),
       pipeline_(device, geometry_, metrics_, options.write_behind_segments),
       read_cache_(options.read_cache_blocks, geometry.block_size,
-                  options.read_cache_shards == 0 ? kDefaultReadCacheShards
-                                                 : options.read_cache_shards),
+                  ResolveShards(options.read_cache_shards)),
       slot_pins_(geometry.slot_count),
+      block_map_(ResolveShards(options.table_shards)),
+      list_table_(ResolveShards(options.table_shards)),
       slots_(geometry.slot_count),
       writer_(geometry_, slots_, pipeline_, metrics_) {
   metrics_.read_cache_shard_count->Set(
       static_cast<std::int64_t>(read_cache_.shard_count()));
+  metrics_.table_shard_count->Set(
+      static_cast<std::int64_t>(block_map_.shard_count()));
   // Contention attribution: every lock this disk owns reports blocked
   // acquires into the registry, keyed by site name. (flush_mu_ was
   // bound by the pipeline's constructor.)
   metrics_.BindLock(mu_);
   read_cache_.BindLockSites([this](Mutex& mu) { metrics_.BindLock(mu); });
+  block_map_.BindLockSites([this](Mutex& mu) { metrics_.BindLock(mu); });
+  list_table_.BindLockSites([this](Mutex& mu) { metrics_.BindLock(mu); });
   if (options_.sampler_period_ms > 0) {
     obs::SamplerOptions sampler_options;
     sampler_options.period_ms = options_.sampler_period_ms;
@@ -89,7 +98,8 @@ Lld::Lld(BlockDevice& device, const Options& options, const Geometry& geometry)
           "aru_lock_contended_total_lld_mu_exclusive",
           "aru_lock_contended_total_lld_mu_shared",
           "aru_lock_contended_total_lld_flush_mu_exclusive",
-          "aru_lock_contended_total_lld_cache_shard_exclusive"}) {
+          "aru_lock_contended_total_lld_cache_shard_exclusive",
+          "aru_lock_contended_total_lld_table_shard_exclusive"}) {
       sampler_->Track(series);
     }
     sampler_->Start();
@@ -154,16 +164,18 @@ BlockMeta Lld::VisibleBlock(BlockId id, AruId aru) const {
   if (const auto* node = block_versions_.LookupVisible(id, aru)) {
     return node->meta;
   }
-  if (const BlockMeta* meta = block_map_.Find(id)) return *meta;
-  return BlockMeta{};  // allocated == false
+  BlockMeta meta;  // default: allocated == false
+  block_map_.Get(id, meta);
+  return meta;
 }
 
 ListMeta Lld::VisibleList(ListId id, AruId aru) const {
   if (const auto* node = list_versions_.LookupVisible(id, aru)) {
     return node->meta;
   }
-  if (const ListMeta* meta = list_table_.Find(id)) return *meta;
-  return ListMeta{};  // exists == false
+  ListMeta meta;  // default: exists == false
+  list_table_.Get(id, meta);
+  return meta;
 }
 
 void Lld::PutBlock(BlockId id, AruId state, const BlockMeta& meta,
@@ -379,10 +391,21 @@ void Lld::PushPromotions(const Touched& touched, Lsn eff_lsn,
 // ---------------------------------------------------------------------
 // Promotion: committed → persistent once the backing records hit disk.
 
+// Two-phase promotion (DESIGN.md §9). Phase one, under mu_ alone:
+// drain ready FIFO entries, drop the promoted version nodes, and
+// accumulate per-table update batches — program order within the batch
+// preserves the FIFO's promotion order for same-id entries. Phase two:
+// ApplyBatch groups the updates by shard and publishes them walking
+// the shard array in ascending index order. Crash-order invariant:
+// every update's summary record is already durable (eff_lsn and the
+// node's own lsn are both <= the persisted horizon read at entry), so
+// the tables never get ahead of what recovery would reconstruct.
 void Lld::MaybePromoteLocked() {
   const Lsn horizon = writer_.persisted_lsn();
   metrics_.promotion_lag_lsn->Set(
       static_cast<std::int64_t>(next_lsn_ - 1 - horizon));
+  std::vector<ShardedBlockMap::Update> block_updates;
+  std::vector<ShardedListTable::Update> list_updates;
   while (!promotion_fifo_.empty() &&
          promotion_fifo_.front().eff_lsn <= horizon) {
     const PromotionEntry entry = promotion_fifo_.front();
@@ -391,49 +414,41 @@ void Lld::MaybePromoteLocked() {
       const ListId id{entry.id};
       if (auto* node = list_versions_.FindExact(id, ld::kNoAru);
           node != nullptr && node->lsn <= horizon) {
-        if (node->meta.exists) {
-          list_table_.Set(id, node->meta);
-        } else {
-          list_table_.Erase(id);
-        }
+        list_updates.push_back(
+            ShardedListTable::Update{id, node->meta, !node->meta.exists});
         list_versions_.Remove(node);
       }
     } else {
       const BlockId id{entry.id};
       if (auto* node = block_versions_.FindExact(id, ld::kNoAru);
           node != nullptr && node->lsn <= horizon) {
-        if (node->meta.allocated) {
-          block_map_.Set(id, node->meta);
-        } else {
-          block_map_.Erase(id);
-        }
+        block_updates.push_back(
+            ShardedBlockMap::Update{id, node->meta, !node->meta.allocated});
         block_versions_.Remove(node);
       }
     }
   }
+  block_map_.ApplyBatch(block_updates);
+  list_table_.ApplyBatch(list_updates);
   metrics_.promotion_fifo_depth->Set(
       static_cast<std::int64_t>(promotion_fifo_.size()));
 }
 
 void Lld::PromoteAllCommittedLocked() {
-  block_versions_.ForEachCommitted([this](const BlockVersions::Node& node) {
-    mu_.AssertHeld();
-    if (node.meta.allocated) {
-      block_map_.Set(node.id, node.meta);
-    } else {
-      block_map_.Erase(node.id);
-    }
+  std::vector<ShardedBlockMap::Update> block_updates;
+  block_versions_.ForEachCommitted([&](const BlockVersions::Node& node) {
+    block_updates.push_back(
+        ShardedBlockMap::Update{node.id, node.meta, !node.meta.allocated});
   });
   block_versions_.ClearCommitted();
-  list_versions_.ForEachCommitted([this](const ListVersions::Node& node) {
-    mu_.AssertHeld();
-    if (node.meta.exists) {
-      list_table_.Set(node.id, node.meta);
-    } else {
-      list_table_.Erase(node.id);
-    }
+  std::vector<ShardedListTable::Update> list_updates;
+  list_versions_.ForEachCommitted([&](const ListVersions::Node& node) {
+    list_updates.push_back(
+        ShardedListTable::Update{node.id, node.meta, !node.meta.exists});
   });
   list_versions_.ClearCommitted();
+  block_map_.ApplyBatch(block_updates);
+  list_table_.ApplyBatch(list_updates);
   promotion_fifo_.clear();
 }
 
@@ -1324,8 +1339,16 @@ Status Lld::TakeCheckpointLocked() {
   data.next_list_id = next_list_id_;
   data.next_aru_id = next_aru_id_;
   data.allocated_blocks = allocated_blocks_;
+  // Flat snapshots for the checkpoint codec. Point-in-time consistency:
+  // every table mutator runs under exclusive mu_, which this function
+  // holds, so walking the shards one lock at a time observes a frozen
+  // table.
+  BlockMap block_snapshot;
+  ListTable list_snapshot;
+  block_map_.SnapshotInto(block_snapshot);
+  list_table_.SnapshotInto(list_snapshot);
   ARU_RETURN_IF_ERROR(WriteCheckpointRegion(device_, geometry_, data,
-                                            block_map_, list_table_));
+                                            block_snapshot, list_snapshot));
   ARU_RETURN_IF_ERROR(device_.Sync());
   last_covered_seq_ = covered;
   // Release covered PendingFree slots for reuse. ReleasePending skips

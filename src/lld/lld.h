@@ -307,10 +307,22 @@ class Lld final : public ld::Disk {
   // in slot_table.h for the protocol and memory-ordering story.
   SlotPins slot_pins_;
 
+  // The persistent tables, sharded by id hash with one named Mutex per
+  // shard ("lld_table_shard") and internally synchronized — so, like
+  // pipeline_ and read_cache_, deliberately not guarded by mu_. The
+  // protocol layered on top: point reads (Get) take only the one shard
+  // lock; every mutation happens while the caller also holds mu_
+  // exclusively, which is what makes multi-key invariants (splices,
+  // promotion merges, checkpoint snapshots) atomic across shards.
+  // Promotion is two-phase: gather updates under mu_, then ApplyBatch
+  // walks shards in ascending index order (DESIGN.md §9). Lock order:
+  // mu_ → shard[i<j] → {cache shard, flush_mu_}; shard mutexes are
+  // leaves (nothing else is acquired while one is held).
+  ShardedBlockMap block_map_;
+  ShardedListTable list_table_;
+
   mutable SharedMutex mu_{"lld_mu"};
 
-  BlockMap block_map_ ARU_GUARDED_BY(mu_);
-  ListTable list_table_ ARU_GUARDED_BY(mu_);
   BlockVersions block_versions_ ARU_GUARDED_BY(mu_);
   ListVersions list_versions_ ARU_GUARDED_BY(mu_);
   SlotTable slots_ ARU_GUARDED_BY(mu_);

@@ -138,8 +138,10 @@ Status Lld::RunCleanerLocked() {
       } else {
         continue;
       }
-      const BlockMeta* meta = block_map_.Find(block);
-      if (meta == nullptr || meta->phys != phys) continue;  // dead copy
+      BlockMeta meta;
+      if (!block_map_.Get(block, meta) || meta.phys != phys) {
+        continue;  // dead copy
+      }
 
       const std::size_t offset =
           static_cast<std::size_t>(phys.index()) * geometry_.block_size;
@@ -147,12 +149,15 @@ Status Lld::RunCleanerLocked() {
                   geometry_.block_size, block_buf.begin());
       RewriteRecord rewrite;
       rewrite.block = block;
-      rewrite.orig_ts = meta->ts;
+      rewrite.orig_ts = meta.ts;
       rewrite.lsn = NextLsn();
       ARU_ASSIGN_OR_RETURN(const PhysAddr new_phys,
                            writer_.AppendRewrite(rewrite, block_buf));
       // The move is physical only: update the persistent map in place.
-      block_map_.FindMutable(block)->phys = new_phys;
+      // No lost update despite the copy-out: every mutator runs under
+      // the exclusive mu_ this pass holds.
+      meta.phys = new_phys;
+      block_map_.Set(block, meta);
       metrics_.blocks_copied_by_cleaner->Increment();
     }
 

@@ -68,6 +68,10 @@ LldMetrics::LldMetrics(obs::Registry& registry) : registry_(&registry) {
   read_cache_shard_count = registry.GetGauge(
       "aru_lld_read_cache_shard_count",
       "independent LRU shards (each with its own mutex) in the read cache");
+  table_shard_count = registry.GetGauge(
+      "aru_lld_table_shard_count",
+      "independent shards (each with its own mutex) in the block-number-map "
+      "and list-table");
 
   op_write_us = registry.GetHistogram("aru_lld_op_write_us",
                                       "Write() latency, wall microseconds");

@@ -53,6 +53,7 @@ struct LldMetrics {
   obs::Gauge* inflight_segments;     // sealed segments queued behind device
   obs::Gauge* durable_lag_lsn;       // enqueued LSN - durable LSN horizon
   obs::Gauge* read_cache_shard_count;  // set once at construction
+  obs::Gauge* table_shard_count;       // set once at construction
 
   // Latency/size distributions (wall-clock microseconds unless noted).
   obs::Histogram* op_write_us;

@@ -51,8 +51,15 @@ Status Lld::RecoverLocked() ARU_DECODES_RECORD {
     obs::SpanTimer span(&obs::Tracer::Default(), "lld",
                         "recovery_checkpoint_load",
                         metrics_.recovery_checkpoint_load_us);
+    // The codec speaks the flat table format; stage into locals, then
+    // Load into the sharded tables (single-threaded here — Open has not
+    // returned the disk yet).
+    BlockMap block_staging;
+    ListTable list_staging;
     ARU_RETURN_IF_ERROR(ReadNewestCheckpoint(device_, geometry_, ckpt,
-                                             block_map_, list_table_));
+                                             block_staging, list_staging));
+    block_map_.Load(block_staging);
+    list_table_.Load(list_staging);
     recovery_report_.checkpoint_load_us = span.ElapsedUs();
   }
   next_lsn_ = ckpt.next_lsn;
@@ -293,8 +300,8 @@ Status Lld::RecoverLocked() ARU_DECODES_RECORD {
       }
     }
     for (const ListId list : undone_lists) {
-      const ListMeta* meta = list_table_.Find(list);
-      if (meta != nullptr && !meta->first.valid()) {
+      ListMeta meta;
+      if (list_table_.Get(list, meta) && !meta.first.valid()) {
         list_table_.Erase(list);
         ++recovery_report_.orphan_lists_reclaimed;
       }

@@ -52,7 +52,14 @@ class PhysAddr {
 
   std::string ToString() const {
     if (!valid()) return "(none)";
-    return "(" + std::to_string(slot()) + "," + std::to_string(index()) + ")";
+    // Built by append: the `"(" + std::to_string(...)` spelling trips a
+    // GCC 12 -Wrestrict false positive once inlined into callers.
+    std::string s = "(";
+    s += std::to_string(slot());
+    s += ",";
+    s += std::to_string(index());
+    s += ")";
+    return s;
   }
 
  private:
@@ -143,8 +150,15 @@ struct Options {
   std::size_t read_cache_blocks = 0;
   // Independent LRU shards the read cache splits into, each with its
   // own mutex, so parallel readers' cache hits never contend on one
-  // lock. 0 derives a default (8, clamped to the cache capacity).
+  // lock. 0 derives a topology-aware default (one shard per hardware
+  // thread rounded to a power of two, clamped — util/topology.h),
+  // further clamped to the cache capacity.
   std::size_t read_cache_shards = 0;
+  // Independent shards the block-number-map and list-table split into,
+  // each with its own mutex, so table point-lookups and promotion
+  // batches spread across locks instead of serializing on Lld::mu_.
+  // 0 derives the same topology-aware default as read_cache_shards.
+  std::size_t table_shards = 0;
   // Write-behind pipeline depth: how many sealed segments may be in
   // flight behind a background flusher thread while the next segment
   // fills. 0 (the default) seals synchronously on the caller's thread,

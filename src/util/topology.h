@@ -1,0 +1,53 @@
+// Machine-topology-derived sizing defaults for sharded structures.
+//
+// Shard counts trade memory and cross-shard fan-out cost against lock
+// independence: one shard per thread that can actually contend is
+// enough, and rounding up to a power of two keeps the index mix cheap.
+// Before this helper every shard-count default was a hard-coded
+// constant (the read cache used 8 regardless of the machine); now the
+// read cache and the persistent-table shards both derive their default
+// from the hardware concurrency the process actually sees, so a
+// 4-core CI runner does not pay a 64-shard table and a 64-core server
+// is not serialized onto 8 locks.
+//
+// The core count comes from std::thread::hardware_concurrency(),
+// which already reflects cgroup/affinity restrictions on Linux per
+// libstdc++. Socket count is deliberately not consulted separately: on
+// every topology we care about, hardware_concurrency() already scales
+// with sockets, and reading /sys from library code would drag
+// filesystem access into Lld construction.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+namespace aru::util {
+
+// Smallest power of two >= n (n = 0 or 1 gives 1).
+constexpr std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Default shard count for a `threads`-way machine: one shard per
+// hardware thread, rounded up to a power of two, clamped to [4, 64].
+// The floor keeps small machines from collapsing to a single lock
+// under oversubscription (benchmarks routinely run more streams than
+// cores); the ceiling bounds per-shard bookkeeping and the cost of
+// cross-shard sweeps (snapshots, ForEach) on very wide machines.
+constexpr std::size_t ShardCountForThreads(std::size_t threads) {
+  const std::size_t rounded = RoundUpPow2(threads);
+  if (rounded < 4) return 4;
+  if (rounded > 64) return 64;
+  return rounded;
+}
+
+// ShardCountForThreads over the hardware concurrency of this process.
+// hardware_concurrency() may return 0 when undeterminable; the clamp
+// turns that into the floor of 4.
+inline std::size_t DefaultShardCount() {
+  return ShardCountForThreads(std::thread::hardware_concurrency());
+}
+
+}  // namespace aru::util

@@ -1,0 +1,54 @@
+// Seeded-violation fixture for arulint_test: shard-lock ordering.
+// A sharded table keeps one mutex per shard in an array; nested
+// acquisitions of two elements are only safe when every thread visits
+// them in the same (ascending-index) order. Descending literals and
+// runtime indices are the two shapes the shard-order rule must flag;
+// ascending literals are the sanctioned two-phase promotion shape and
+// must stay quiet.
+#include <cstddef>
+
+namespace fixture {
+
+class ShardMutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(ShardMutex& mu);
+};
+
+struct Shard {
+  ShardMutex mu;
+};
+
+class Table {
+ public:
+  void Ascending();
+  void Descending();
+  void Runtime(std::size_t i, std::size_t j);
+
+ private:
+  Shard shards_[8];
+};
+
+// Ascending literal indices: provably deadlock-free, not flagged.
+void Table::Ascending() {
+  MutexLock low(shards_[1].mu);
+  MutexLock high(shards_[3].mu);
+}
+
+// Descending literals on a pair no other body touches: lock-order's
+// graph has no reverse edge to close a cycle with, but two threads
+// disagreeing on visit order across ANY element pair deadlock.
+void Table::Descending() {
+  MutexLock high(shards_[5].mu);
+  MutexLock low(shards_[2].mu);
+}
+
+// Runtime indices: nothing proves i < j, and two calls with swapped
+// arguments are the AB/BA pair.
+void Table::Runtime(std::size_t i, std::size_t j) {
+  MutexLock first(shards_[i].mu);
+  MutexLock second(shards_[j].mu);
+}
+
+}  // namespace fixture

@@ -373,6 +373,96 @@ TEST(LockOrderTest, SharedModeUpgradeThroughACallee) {
                 {"lock-order", 15}}));  // F: call into the upgrade
 }
 
+TEST(ShardOrderTest, AscendingLiteralsAreQuietOthersFlagged) {
+  const std::string prologue =
+      "class M {};\n"
+      "class MutexLock { public: explicit MutexLock(M& m); };\n"
+      "struct Shard { M mu; };\n"
+      "class T {\n"
+      " public:\n"
+      "  void F(unsigned long i, unsigned long j);\n"
+      " private:\n"
+      "  Shard shards_[8];\n"
+      "};\n";
+  // Ascending literals: the sanctioned shape.
+  EXPECT_EQ(CheckSource("src/a.cc",
+                        prologue +
+                            "void T::F(unsigned long i, unsigned long j) {\n"
+                            "  MutexLock a(shards_[0].mu);\n"
+                            "  MutexLock b(shards_[5].mu);\n"
+                            "}\n")
+                .size(),
+            0u);
+  // Descending literals: the AB/BA pair lock-order's graph cannot see.
+  const auto descending =
+      CheckSource("src/a.cc",
+                  prologue +
+                      "void T::F(unsigned long i, unsigned long j) {\n"
+                      "  MutexLock a(shards_[5].mu);\n"
+                      "  MutexLock b(shards_[0].mu);\n"
+                      "}\n");
+  EXPECT_EQ(RulesAndLines(descending),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"shard-order", 12}}));
+  // Runtime indices: not provable, flagged.
+  const auto runtime =
+      CheckSource("src/a.cc",
+                  prologue +
+                      "void T::F(unsigned long i, unsigned long j) {\n"
+                      "  MutexLock a(shards_[i].mu);\n"
+                      "  MutexLock b(shards_[j].mu);\n"
+                      "}\n");
+  EXPECT_EQ(RulesAndLines(runtime),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"shard-order", 12}}));
+}
+
+TEST(ShardOrderTest, DifferentArraysAndSingleHoldsAreQuiet) {
+  // Holding an element of one array while taking an element of another
+  // is ordinary lock-order territory; a lone shard acquisition (the
+  // one-at-a-time ApplyBatch loop shape) creates no nesting at all.
+  const std::string source =
+      "class M {};\n"
+      "class MutexLock { public: explicit MutexLock(M& m); };\n"
+      "struct Shard { M mu; };\n"
+      "class T {\n"
+      " public:\n"
+      "  void Cross();\n"
+      "  void Loop(unsigned long i);\n"
+      " private:\n"
+      "  Shard shards_[8];\n"
+      "  Shard cache_[8];\n"
+      "};\n"
+      "void T::Cross() {\n"
+      "  MutexLock a(shards_[3].mu);\n"
+      "  MutexLock b(cache_[1].mu);\n"
+      "}\n"
+      "void T::Loop(unsigned long i) {\n"
+      "  MutexLock a(shards_[i].mu);\n"
+      "}\n";
+  EXPECT_EQ(CheckSource("src/a.cc", source).size(), 0u);
+}
+
+TEST(ShardOrderTest, SuppressionComment) {
+  const auto findings =
+      CheckSource("src/a.cc",
+                  "class M {};\n"
+                  "class MutexLock { public: explicit MutexLock(M& m); };\n"
+                  "struct Shard { M mu; };\n"
+                  "class T {\n"
+                  " public:\n"
+                  "  void F();\n"
+                  " private:\n"
+                  "  Shard shards_[4];\n"
+                  "};\n"
+                  "void T::F() {\n"
+                  "  MutexLock a(shards_[2].mu);\n"
+                  "  // arulint: allow(shard-order) proven by caller\n"
+                  "  MutexLock b(shards_[1].mu);\n"
+                  "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
 TEST(BannedCallTest, FlagsRandAndTimeButNotLookalikes) {
   const auto findings = CheckSource(
       "src/a.cc",
@@ -600,6 +690,16 @@ TEST(FixtureTest, LockOrderCycle) {
                 {"lock-order", 32}}));  // Backward: b_ then a_
 }
 
+TEST(FixtureTest, ShardOrderViolations) {
+  // Ascending() must stay quiet; the descending and runtime-indexed
+  // nestings each fire once, on the inner acquisition.
+  const auto findings = CheckFile(Fixture("bad/shard_order.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"shard-order", 44},     // descending literals
+                {"shard-order", 51}}));  // runtime indices
+}
+
 TEST(FixtureTest, SharedUpgradeSelfDeadlock) {
   // Only the exclusive-under-shared site fires; the shared-after-shared
   // re-acquire in Nested() stays quiet.
@@ -654,8 +754,8 @@ TEST(FixtureTest, BadTreeAggregatesEveryViolationClass) {
                 "crash-order", "durable-ack", "field-symmetry",
                 "lock-order", "named-lock", "on-disk-field",
                 "on-disk-pin", "pin-protocol", "raw-new",
-                "record-coverage", "recovery-assert", "status-flow",
-                "thread-lifecycle"}));
+                "record-coverage", "recovery-assert", "shard-order",
+                "status-flow", "thread-lifecycle"}));
 }
 
 // ---------------------------------------------------------------------

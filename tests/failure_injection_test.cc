@@ -129,6 +129,12 @@ TEST(FailureInjection, AsyncSealCrashSweepYieldsAllOrNothingArus) {
   // and after. At every crash point recovery must surface each ARU
   // all-or-nothing, and every durably-acked ARU (EndARU returned OK
   // under durable_commits) must be wholly present.
+  //
+  // The sweep runs at two table-shard counts: degenerate (1, every id
+  // on one shard lock) and wide (8, ids spread across shards). The
+  // two-phase promotion applies shard batches in ascending index order
+  // after the records are durable, so the fan-out must never change
+  // what recovery reconstructs — only the in-memory lock layout.
   lld::Options options = TestDisk::SmallOptions();
   options.write_behind_segments = 4;
   options.durable_commits = true;
@@ -140,8 +146,11 @@ TEST(FailureInjection, AsyncSealCrashSweepYieldsAllOrNothingArus) {
     bool acked = false;       // EndARU returned OK: durably committed
   };
 
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{8}})
   for (std::uint64_t cut = 5; cut < 700; cut += 37) {
-    SCOPED_TRACE("cut_after_sectors=" + std::to_string(cut));
+    options.table_shards = shards;
+    SCOPED_TRACE("table_shards=" + std::to_string(shards) +
+                 " cut_after_sectors=" + std::to_string(cut));
     auto inner = std::make_unique<MemDisk>(TestDisk::kDefaultSectors);
     auto* mem = inner.get();
     FaultInjectionDisk device(std::move(inner));

@@ -1,5 +1,6 @@
 // Unit tests for the util module: Status/Result, byte codecs, CRC-32C,
-// the deterministic RNG, and the virtual clock.
+// the deterministic RNG, the virtual clock, and topology-derived
+// shard sizing.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -10,6 +11,7 @@
 #include "util/crc32.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/topology.h"
 
 namespace aru::testing {
 namespace {
@@ -228,6 +230,39 @@ TEST(VirtualClockTest, AdvanceToNeverGoesBack) {
   EXPECT_EQ(clock.now_us(), 500u);
   clock.Reset();
   EXPECT_EQ(clock.now_us(), 0u);
+}
+
+// --- Topology-derived shard sizing ---
+
+TEST(TopologyTest, RoundUpPow2) {
+  EXPECT_EQ(util::RoundUpPow2(0), 1u);
+  EXPECT_EQ(util::RoundUpPow2(1), 1u);
+  EXPECT_EQ(util::RoundUpPow2(2), 2u);
+  EXPECT_EQ(util::RoundUpPow2(3), 4u);
+  EXPECT_EQ(util::RoundUpPow2(8), 8u);
+  EXPECT_EQ(util::RoundUpPow2(9), 16u);
+  EXPECT_EQ(util::RoundUpPow2(33), 64u);
+}
+
+TEST(TopologyTest, ShardCountClampsAndRounds) {
+  // Undeterminable (0) and tiny machines get the floor.
+  EXPECT_EQ(util::ShardCountForThreads(0), 4u);
+  EXPECT_EQ(util::ShardCountForThreads(1), 4u);
+  EXPECT_EQ(util::ShardCountForThreads(4), 4u);
+  // Mid-size machines round up to a power of two.
+  EXPECT_EQ(util::ShardCountForThreads(6), 8u);
+  EXPECT_EQ(util::ShardCountForThreads(12), 16u);
+  EXPECT_EQ(util::ShardCountForThreads(32), 32u);
+  // Very wide machines hit the ceiling.
+  EXPECT_EQ(util::ShardCountForThreads(96), 64u);
+  EXPECT_EQ(util::ShardCountForThreads(1024), 64u);
+}
+
+TEST(TopologyTest, DefaultShardCountIsPow2InClampRange) {
+  const std::size_t n = util::DefaultShardCount();
+  EXPECT_GE(n, 4u);
+  EXPECT_LE(n, 64u);
+  EXPECT_EQ(n & (n - 1), 0u);  // power of two
 }
 
 }  // namespace

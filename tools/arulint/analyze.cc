@@ -20,7 +20,8 @@ bool IsCallKeyword(const std::string& s) {
 }
 
 bool IsMutatorMethod(const std::string& s) {
-  return s == "Set" || s == "Erase" || s == "Clear" || s == "FindMutable";
+  return s == "Set" || s == "Erase" || s == "Clear" ||
+         s == "FindMutable" || s == "ApplyBatch" || s == "Load";
 }
 
 // std::atomic member functions whose memory-order argument the

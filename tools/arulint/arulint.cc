@@ -654,6 +654,93 @@ void CheckLockOrder(const Analysis& a,
 }
 
 // ---------------------------------------------------------------------
+// shard-order: nested acquisitions of elements of ONE lock array (the
+// sharded-table pattern: `locks_[i].mu` keys, i.e. lock keys of the
+// shape base[index]suffix with a common base and suffix) must be
+// provably ascending by element index. lock-order cannot see this:
+// `shards_[0].mu` and `shards_[1].mu` are distinct graph nodes, so an
+// AB edge only deadlocks once some other body adds the BA edge —
+// which for a dynamically indexed array the graph usually can't
+// witness. The protocol rule is stricter and local: a second element
+// of the same array may only be taken while the first is held when
+// both indices are integer literals in strictly ascending order;
+// anything else (descending, equal, or runtime indices) is flagged,
+// because two threads with opposite index values ARE the AB/BA pair.
+
+struct ShardLockKey {
+  std::string base;    // text before '['
+  std::string index;   // text between the brackets
+  std::string suffix;  // text after ']' (".mu" etc.)
+};
+
+// Accepts exactly one bracket group with a non-empty base and index.
+bool ParseShardLockKey(const std::string& key, ShardLockKey& out) {
+  const std::size_t open = key.find('[');
+  if (open == std::string::npos || open == 0) return false;
+  const std::size_t close = key.find(']', open + 1);
+  if (close == std::string::npos || close == open + 1) return false;
+  if (key.find('[', close + 1) != std::string::npos) return false;
+  out.base = key.substr(0, open);
+  out.index = key.substr(open + 1, close - open - 1);
+  out.suffix = key.substr(close + 1);
+  return true;
+}
+
+bool IsIndexLiteral(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+void CheckShardOrder(const Analysis& a,
+                     std::vector<std::vector<Finding>>& per_file) {
+  // One finding per (held, acquired) pair, first site seen — the same
+  // dedup lock-order applies, minus the modes (shard locks are plain
+  // Mutexes; mode does not change the ordering obligation).
+  std::set<std::pair<std::string, std::string>> reported;
+  for (const LockEdge& e : a.lock_edges) {
+    ShardLockKey held, acquired;
+    if (!ParseShardLockKey(e.held, held) ||
+        !ParseShardLockKey(e.acquired, acquired)) {
+      continue;
+    }
+    if (held.base != acquired.base || held.suffix != acquired.suffix) {
+      continue;  // different arrays: ordinary lock-order territory
+    }
+    const bool provable =
+        IsIndexLiteral(held.index) && IsIndexLiteral(acquired.index);
+    if (provable &&
+        std::stoull(acquired.index) > std::stoull(held.index)) {
+      continue;  // strictly ascending literals: the sanctioned shape
+    }
+    if (!reported.emplace(e.held, e.acquired).second) continue;
+    const FileModel& m = a.models[e.file];
+    if (IsAllowed(m.raw, e.line, "shard-order")) continue;
+    std::string message;
+    if (provable) {
+      message =
+          "acquiring shard lock '" + e.acquired + "' while holding '" +
+          e.held +
+          "': elements of one lock array must be acquired in strictly "
+          "ascending index order (a thread visiting the shards in the "
+          "opposite order deadlocks against this one)";
+    } else {
+      message =
+          "acquiring shard lock '" + e.acquired + "' while holding '" +
+          e.held +
+          "' of the same lock array: ascending order is not provable "
+          "from non-literal indices; hold at most one shard lock at a "
+          "time (group updates per shard, then visit shards in "
+          "ascending index order)";
+    }
+    per_file[e.file].push_back(
+        {m.path, e.line, "shard-order", std::move(message)});
+  }
+}
+
+// ---------------------------------------------------------------------
 // atomic-order: every std::atomic must declare its memory-order
 // discipline (ARU_ATOMIC_COUNTER / ARU_ATOMIC_PUBLISHES), and relaxed
 // operations on a publishing atomic are flagged.
@@ -1123,6 +1210,7 @@ std::vector<Finding> RunRules(Analysis& a) {
     CheckStatusFlow(a, m, body, per_file[body.fn->file]);
   }
   CheckLockOrder(a, per_file);
+  CheckShardOrder(a, per_file);
   CheckAtomicOrder(a, per_file);
   CheckPinProtocol(a, per_file);
   CheckCondvarWait(a, per_file);

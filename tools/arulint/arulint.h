@@ -15,6 +15,11 @@
 //                    the obligation moves to its callers;
 //   lock-order       the Mutex acquisition graph derived from
 //                    MutexLock sites must be acyclic;
+//   shard-order      nested acquisitions of elements of one lock
+//                    array (sharded-table locks, `shards_[i].mu`)
+//                    must be provably ascending: both indices integer
+//                    literals with acquired > held — anything else is
+//                    the AB/BA deadlock lock-order's graph cannot see;
 //   status-flow      a Status/Result-returning call must be returned,
 //                    checked, or (void)-discarded with justification;
 //                    a Status local must be read after initialization;

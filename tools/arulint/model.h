@@ -196,7 +196,8 @@ struct ProjectIndex {
   std::string MemberType(const std::string& cls,
                          const std::string& member) const;
   bool IsTableType(const std::string& type_head) const {
-    return type_head == "BlockMap" || type_head == "ListTable";
+    return type_head == "BlockMap" || type_head == "ListTable" ||
+           type_head == "ShardedBlockMap" || type_head == "ShardedListTable";
   }
 };
 

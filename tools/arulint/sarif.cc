@@ -53,6 +53,11 @@ std::string_view RuleDescription(std::string_view rule) {
   if (rule == "lock-order") {
     return "The mutex acquisition graph must be acyclic.";
   }
+  if (rule == "shard-order") {
+    return "Nested acquisitions of one lock array's elements must be "
+           "provably ascending by literal index (the sharded-table "
+           "two-phase protocol).";
+  }
   if (rule == "status-flow") {
     return "Status-returning calls must be returned, checked, or "
            "(void)-discarded with a justification.";
@@ -122,12 +127,12 @@ std::string_view RuleDescription(std::string_view rule) {
 
 std::vector<RuleInfo> RuleCatalog() {
   static const char* kRules[] = {
-      "crash-order",   "lock-order",     "status-flow",
-      "on-disk-pin",   "on-disk-field",  "banned-call",
-      "raw-new",       "named-lock",     "recovery-assert",
-      "atomic-order",  "pin-protocol",   "condvar-wait",
-      "thread-lifecycle", "record-coverage", "field-symmetry",
-      "durable-ack",   "io-error",
+      "crash-order",   "lock-order",     "shard-order",
+      "status-flow",   "on-disk-pin",    "on-disk-field",
+      "banned-call",   "raw-new",        "named-lock",
+      "recovery-assert", "atomic-order", "pin-protocol",
+      "condvar-wait",  "thread-lifecycle", "record-coverage",
+      "field-symmetry", "durable-ack",   "io-error",
   };
   std::vector<RuleInfo> out;
   for (const char* rule : kRules) {

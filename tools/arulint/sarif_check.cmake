@@ -19,7 +19,7 @@ file(READ ${OUT} sarif)
 foreach(needle
         "\"version\": \"2.1.0\""
         "\"name\": \"arulint\""
-        "crash-order" "lock-order" "named-lock" "status-flow"
+        "crash-order" "lock-order" "shard-order" "named-lock" "status-flow"
         "on-disk-pin" "on-disk-field" "banned-call" "raw-new"
         "recovery-assert" "atomic-order" "pin-protocol"
         "condvar-wait" "thread-lifecycle" "record-coverage"
