@@ -55,6 +55,7 @@ for bench in build/bench/*; do
   case "$(basename "$bench")" in
     bench_commit_batch) args=(--streams=4 --arus=300) ;;
     bench_parallel_reads) args=(--blocks=1024 --reads_per_thread=400) ;;
+    bench_recovery) args=(--max-files=8000 --big-files=100000) ;;
   esac
   { echo "===== $(basename "$bench") ====="; } | tee -a bench_output.txt
   if ! "$bench" "${args[@]}" 2>&1 | tee -a bench_output.txt; then

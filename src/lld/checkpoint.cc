@@ -10,13 +10,10 @@ namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x4c444350;  // "LDCP"
 
-}  // namespace
-
-Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
-                       const ListTable& lists) {
-  Bytes out;
-  PutU32(out, kCheckpointMagic);
-  PutU32(out, 0);  // pad
+// The shared 8-counter header tail both image kinds carry after the
+// magic + format word. Annotated as codec halves so the symmetry rule
+// sees the counter fields on both sides of the wire.
+void PutCounters(Bytes& out, const CheckpointData& data) ARU_ENCODES_RECORD {
   PutU64(out, data.stamp);
   PutU64(out, data.covered_seq);
   PutU64(out, data.next_lsn);
@@ -25,6 +22,35 @@ Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
   PutU64(out, data.next_list_id);
   PutU64(out, data.next_aru_id);
   PutU64(out, data.allocated_blocks);
+}
+
+Status ReadCounters(Decoder& dec, CheckpointData& data) ARU_DECODES_RECORD {
+  ARU_ASSIGN_OR_RETURN(data.stamp, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.covered_seq, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.next_lsn, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.next_seq, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.next_block_id, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.next_list_id, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.next_aru_id, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(data.allocated_blocks, dec.ReadU64());
+  return Status::Ok();
+}
+
+std::uint64_t RoundUpToSectors(std::uint64_t bytes, std::uint32_t sector) {
+  return (bytes + sector - 1) / sector * sector;
+}
+
+}  // namespace
+
+Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
+                       const ListTable& lists) {
+  Bytes out;
+  PutU32(out, kCheckpointMagic);
+  // v1 wrote a zero pad word here; v2 packs version + kind, so a zero
+  // word is the v1 discriminator on decode.
+  PutU32(out, (data.format_version << 8) | data.kind);
+  PutCounters(out, data);
+  PutU64(out, data.parent_stamp);
   PutU64(out, blocks.size());
   PutU64(out, lists.size());
   blocks.ForEach([&out](BlockId id, const BlockMeta& meta) {
@@ -44,25 +70,47 @@ Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
 }
 
 Status DecodeCheckpoint(ByteSpan encoded, CheckpointData& data,
-                        BlockMap& blocks, ListTable& lists) {
+                        BlockMap& blocks, ListTable& lists,
+                        std::size_t* consumed) {
   Decoder dec(encoded);
   ARU_ASSIGN_OR_RETURN(const std::uint32_t magic, dec.ReadU32());
   if (magic != kCheckpointMagic) return CorruptionError("bad checkpoint magic");
-  ARU_ASSIGN_OR_RETURN(std::uint32_t pad, dec.ReadU32());
-  (void)pad;
-  ARU_ASSIGN_OR_RETURN(data.stamp, dec.ReadU64());
-  ARU_ASSIGN_OR_RETURN(data.covered_seq, dec.ReadU64());
-  ARU_ASSIGN_OR_RETURN(data.next_lsn, dec.ReadU64());
-  ARU_ASSIGN_OR_RETURN(data.next_seq, dec.ReadU64());
-  ARU_ASSIGN_OR_RETURN(data.next_block_id, dec.ReadU64());
-  ARU_ASSIGN_OR_RETURN(data.next_list_id, dec.ReadU64());
-  ARU_ASSIGN_OR_RETURN(data.next_aru_id, dec.ReadU64());
-  ARU_ASSIGN_OR_RETURN(data.allocated_blocks, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t word, dec.ReadU32());
+  if (word == 0) {
+    // Pre-delta image: fixed full layout, no parent_stamp field.
+    data.format_version = kCheckpointFormatV1;
+    data.kind = kCheckpointKindFull;
+  } else {
+    data.format_version = word >> 8;
+    data.kind = word & 0xffu;
+    if (data.format_version != kCheckpointFormatV2) {
+      return CorruptionError("unknown checkpoint format version " +
+                             std::to_string(data.format_version));
+    }
+    if (data.kind != kCheckpointKindFull) {
+      return CorruptionError("expected a full checkpoint image, found kind " +
+                             std::to_string(data.kind));
+    }
+  }
+  ARU_RETURN_IF_ERROR(ReadCounters(dec, data));
+  if (data.format_version == kCheckpointFormatV2) {
+    ARU_ASSIGN_OR_RETURN(data.parent_stamp, dec.ReadU64());
+  } else {
+    data.parent_stamp = 0;
+  }
   ARU_ASSIGN_OR_RETURN(const std::uint64_t n_blocks, dec.ReadU64());
   ARU_ASSIGN_OR_RETURN(const std::uint64_t n_lists, dec.ReadU64());
+  // Bound the counts by the bytes actually present before reserving:
+  // a corrupt header must not drive a giant allocation.
+  if (n_blocks > dec.remaining() / (5 * 8) ||
+      n_lists > dec.remaining() / (3 * 8)) {
+    return CorruptionError("checkpoint entry counts exceed image size");
+  }
 
   blocks.Clear();
   lists.Clear();
+  blocks.Reserve(n_blocks);
+  lists.Reserve(n_lists);
   for (std::uint64_t i = 0; i < n_blocks; ++i) {
     ARU_ASSIGN_OR_RETURN(const std::uint64_t id, dec.ReadU64());
     BlockMeta meta;
@@ -90,52 +138,280 @@ Status DecodeCheckpoint(ByteSpan encoded, CheckpointData& data,
   if (crc != Crc32c(encoded.first(dec.position() - 4))) {
     return CorruptionError("checkpoint CRC mismatch");
   }
+  if (consumed != nullptr) *consumed = dec.position();
   return Status::Ok();
+}
+
+Bytes EncodeCheckpointDelta(const CheckpointData& data,
+                            std::span<const ckptfmt::DeltaRecord> records) {
+  Bytes out;
+  PutU32(out, kCheckpointMagic);
+  PutU32(out, (data.format_version << 8) | data.kind);
+  PutCounters(out, data);
+  PutU64(out, data.parent_stamp);
+  PutU64(out, records.size());
+  for (const ckptfmt::DeltaRecord& record : records) {
+    if (const auto* bs = std::get_if<ckptfmt::DeltaBlockSetRecord>(&record)) {
+      out.push_back(
+          static_cast<std::byte>(ckptfmt::RecordType::kDeltaBlockSet));
+      const ckptfmt::DeltaBlockSetRecord r = *bs;
+      PutU64(out, r.block);
+      PutU64(out, r.phys);
+      PutU64(out, r.successor);
+      PutU64(out, r.list);
+      PutU64(out, r.ts);
+    } else if (const auto* be =
+                   std::get_if<ckptfmt::DeltaBlockEraseRecord>(&record)) {
+      out.push_back(
+          static_cast<std::byte>(ckptfmt::RecordType::kDeltaBlockErase));
+      const ckptfmt::DeltaBlockEraseRecord r = *be;
+      PutU64(out, r.block);
+    } else if (const auto* ls =
+                   std::get_if<ckptfmt::DeltaListSetRecord>(&record)) {
+      out.push_back(
+          static_cast<std::byte>(ckptfmt::RecordType::kDeltaListSet));
+      const ckptfmt::DeltaListSetRecord r = *ls;
+      PutU64(out, r.list);
+      PutU64(out, r.first);
+      PutU64(out, r.last);
+    } else if (const auto* le =
+                   std::get_if<ckptfmt::DeltaListEraseRecord>(&record)) {
+      out.push_back(
+          static_cast<std::byte>(ckptfmt::RecordType::kDeltaListErase));
+      const ckptfmt::DeltaListEraseRecord r = *le;
+      PutU64(out, r.list);
+    }
+  }
+  PutU32(out, Crc32c(out));
+  return out;
+}
+
+Status DecodeCheckpointDelta(ByteSpan encoded, CheckpointData& data,
+                             std::vector<ckptfmt::DeltaRecord>& records,
+                             std::size_t* consumed) {
+  records.clear();
+  Decoder dec(encoded);
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t magic, dec.ReadU32());
+  if (magic != kCheckpointMagic) return CorruptionError("bad checkpoint magic");
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t word, dec.ReadU32());
+  data.format_version = word >> 8;
+  data.kind = word & 0xffu;
+  if (data.format_version != kCheckpointFormatV2 ||
+      data.kind != kCheckpointKindDelta) {
+    return CorruptionError("not a checkpoint delta image");
+  }
+  ARU_RETURN_IF_ERROR(ReadCounters(dec, data));
+  ARU_ASSIGN_OR_RETURN(data.parent_stamp, dec.ReadU64());
+  ARU_ASSIGN_OR_RETURN(const std::uint64_t n_records, dec.ReadU64());
+  // Smallest record is a 1-byte tag + one u64; bound before reserving.
+  if (n_records > dec.remaining() / 9) {
+    return CorruptionError("checkpoint delta record count exceeds image size");
+  }
+  records.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    ARU_ASSIGN_OR_RETURN(const std::uint8_t tag, dec.ReadU8());
+    switch (static_cast<ckptfmt::RecordType>(tag)) {
+      case ckptfmt::RecordType::kDeltaBlockSet: {
+        ckptfmt::DeltaBlockSetRecord r;
+        ARU_ASSIGN_OR_RETURN(r.block, dec.ReadU64());
+        ARU_ASSIGN_OR_RETURN(r.phys, dec.ReadU64());
+        ARU_ASSIGN_OR_RETURN(r.successor, dec.ReadU64());
+        ARU_ASSIGN_OR_RETURN(r.list, dec.ReadU64());
+        ARU_ASSIGN_OR_RETURN(r.ts, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      case ckptfmt::RecordType::kDeltaBlockErase: {
+        ckptfmt::DeltaBlockEraseRecord r;
+        ARU_ASSIGN_OR_RETURN(r.block, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      case ckptfmt::RecordType::kDeltaListSet: {
+        ckptfmt::DeltaListSetRecord r;
+        ARU_ASSIGN_OR_RETURN(r.list, dec.ReadU64());
+        ARU_ASSIGN_OR_RETURN(r.first, dec.ReadU64());
+        ARU_ASSIGN_OR_RETURN(r.last, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      case ckptfmt::RecordType::kDeltaListErase: {
+        ckptfmt::DeltaListEraseRecord r;
+        ARU_ASSIGN_OR_RETURN(r.list, dec.ReadU64());
+        records.emplace_back(r);
+        break;
+      }
+      default:
+        return CorruptionError("unknown checkpoint delta record type " +
+                               std::to_string(tag));
+    }
+  }
+  ARU_ASSIGN_OR_RETURN(const std::uint32_t crc, dec.ReadU32());
+  if (crc != Crc32c(encoded.first(dec.position() - 4))) {
+    return CorruptionError("checkpoint delta CRC mismatch");
+  }
+  if (consumed != nullptr) *consumed = dec.position();
+  return Status::Ok();
+}
+
+void ApplyCheckpointDeltas(std::span<const ckptfmt::DeltaRecord> records,
+                           BlockMap& blocks, ListTable& lists) {
+  for (const ckptfmt::DeltaRecord& record : records) {
+    if (const auto* bs = std::get_if<ckptfmt::DeltaBlockSetRecord>(&record)) {
+      BlockMeta meta;
+      meta.allocated = true;
+      meta.phys = PhysAddr::FromEncoded(bs->phys);
+      meta.successor = BlockId{bs->successor};
+      meta.list = ListId{bs->list};
+      meta.ts = bs->ts;
+      blocks.Set(BlockId{bs->block}, meta);
+    } else if (const auto* be =
+                   std::get_if<ckptfmt::DeltaBlockEraseRecord>(&record)) {
+      blocks.Erase(BlockId{be->block});
+    } else if (const auto* ls =
+                   std::get_if<ckptfmt::DeltaListSetRecord>(&record)) {
+      ListMeta meta;
+      meta.exists = true;
+      meta.first = BlockId{ls->first};
+      meta.last = BlockId{ls->last};
+      lists.Set(ListId{ls->list}, meta);
+    } else if (const auto* le =
+                   std::get_if<ckptfmt::DeltaListEraseRecord>(&record)) {
+      lists.Erase(ListId{le->list});
+    }
+  }
+}
+
+Result<std::uint64_t> WriteCheckpointImage(BlockDevice& device,
+                                           const Geometry& geometry,
+                                           std::uint64_t region,
+                                           std::uint64_t offset,
+                                           const Bytes& encoded) {
+  const std::uint32_t ssz = geometry.sector_size;
+  if (offset % ssz != 0) {
+    return InvalidArgumentError("checkpoint image offset " +
+                                std::to_string(offset) +
+                                " is not sector-aligned");
+  }
+  const std::uint64_t padded = RoundUpToSectors(encoded.size(), ssz);
+  if (offset + padded > geometry.checkpoint_capacity) {
+    return OutOfSpaceError("checkpoint larger than its region (" +
+                           std::to_string(offset + padded) + " > " +
+                           std::to_string(geometry.checkpoint_capacity) + ")");
+  }
+  Bytes image = encoded;
+  image.resize(padded);
+  const std::uint64_t base = region == 0 ? geometry.checkpoint_a_sector
+                                         : geometry.checkpoint_b_sector;
+  ARU_RETURN_IF_ERROR(device.Write(base + offset / ssz, image));
+  return padded;
 }
 
 Status WriteCheckpointRegion(BlockDevice& device, const Geometry& geometry,
                              const CheckpointData& data,
                              const BlockMap& blocks, const ListTable& lists) {
-  Bytes encoded = EncodeCheckpoint(data, blocks, lists);
-  if (encoded.size() > geometry.checkpoint_capacity) {
-    return OutOfSpaceError("checkpoint larger than its region (" +
-                           std::to_string(encoded.size()) + " > " +
-                           std::to_string(geometry.checkpoint_capacity) + ")");
-  }
-  // Pad to whole sectors.
-  const std::uint32_t ssz = geometry.sector_size;
-  encoded.resize((encoded.size() + ssz - 1) / ssz * ssz);
-  const std::uint64_t sector = (data.stamp % 2 == 0)
-                                   ? geometry.checkpoint_a_sector
-                                   : geometry.checkpoint_b_sector;
-  return device.Write(sector, encoded);
+  const Bytes encoded = EncodeCheckpoint(data, blocks, lists);
+  // Stamp parity alternates the two regions, so the previous full
+  // image always survives a torn write.
+  const std::uint64_t region = (data.stamp % 2 == 0) ? 0 : 1;
+  return WriteCheckpointImage(device, geometry, region, 0, encoded).status();
 }
 
-Status ReadNewestCheckpoint(BlockDevice& device, const Geometry& geometry,
-                            CheckpointData& data, BlockMap& blocks,
-                            ListTable& lists) {
-  Bytes region(geometry.checkpoint_capacity);
+Result<std::uint64_t> AppendCheckpointDelta(
+    BlockDevice& device, const Geometry& geometry,
+    const CheckpointChainInfo& chain, const CheckpointData& data,
+    std::span<const ckptfmt::DeltaRecord> records) {
+  const Bytes encoded = EncodeCheckpointDelta(data, records);
+  return WriteCheckpointImage(device, geometry, chain.region,
+                              chain.used_bytes, encoded);
+}
+
+namespace {
+
+// Everything ParseChain learns about one region's image chain, minus
+// the tables (which the caller owns as scratch locals).
+struct ParsedChain {
+  bool valid = false;
+  CheckpointData tip;
+  std::vector<ckptfmt::DeltaRecord> deltas;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t delta_images = 0;
+};
+
+// Parses one region as a chain: a full base at byte 0, then zero or
+// more sector-aligned deltas, each admitted only if its parent_stamp
+// names the stamp of the image physically preceding it and its own
+// stamp moves forward. The chain ends at the first image that fails
+// CRC, linkage, or monotonicity — stale bytes from a recycled region
+// may be a CRC-valid delta of some *older* chain, and exact-stamp
+// parent linkage is what keeps them out (stamps are globally unique).
+ParsedChain ParseChain(ByteSpan region, const Geometry& geometry,
+                       BlockMap& blocks, ListTable& lists)
+    ARU_MUTATES_TABLES {
+  ParsedChain chain;
+  std::size_t consumed = 0;
+  if (!DecodeCheckpoint(region, chain.tip, blocks, lists, &consumed).ok()) {
+    return chain;
+  }
+  chain.valid = true;
+  const std::uint32_t ssz = geometry.sector_size;
+  std::uint64_t offset = RoundUpToSectors(consumed, ssz);
+  while (offset < region.size()) {
+    CheckpointData delta;
+    std::vector<ckptfmt::DeltaRecord> records;
+    std::size_t delta_consumed = 0;
+    if (!DecodeCheckpointDelta(region.subspan(offset), delta, records,
+                               &delta_consumed)
+             .ok()) {
+      break;
+    }
+    if (delta.parent_stamp != chain.tip.stamp ||
+        delta.stamp <= chain.tip.stamp) {
+      break;
+    }
+    chain.tip = delta;
+    chain.deltas.reserve(chain.deltas.size() + records.size());
+    for (ckptfmt::DeltaRecord& r : records) {
+      chain.deltas.push_back(std::move(r));
+    }
+    ++chain.delta_images;
+    offset += RoundUpToSectors(delta_consumed, ssz);
+  }
+  chain.used_bytes = offset;
+  return chain;
+}
+
+}  // namespace
+
+Status ReadNewestCheckpointChain(BlockDevice& device, const Geometry& geometry,
+                                 CheckpointData& data, BlockMap& blocks,
+                                 ListTable& lists,
+                                 std::vector<ckptfmt::DeltaRecord>& deltas,
+                                 CheckpointChainInfo& chain) {
+  Bytes region_bytes(geometry.checkpoint_capacity);
   bool found = false;
-  CheckpointData best;
+  ParsedChain best;
+  std::uint64_t best_region = 0;
   BlockMap best_blocks;
   ListTable best_lists;
 
-  for (const std::uint64_t sector :
-       {geometry.checkpoint_a_sector, geometry.checkpoint_b_sector}) {
-    const Status read = device.Read(sector, region);
+  for (const std::uint64_t region : {std::uint64_t{0}, std::uint64_t{1}}) {
+    const std::uint64_t sector = region == 0 ? geometry.checkpoint_a_sector
+                                             : geometry.checkpoint_b_sector;
+    const Status read = device.Read(sector, region_bytes);
     if (!read.ok()) {
       ARU_LOG(kWarning) << "checkpoint region unreadable: " << read;
       continue;
     }
-    CheckpointData candidate;
     BlockMap candidate_blocks;
     ListTable candidate_lists;
-    const Status decoded =
-        DecodeCheckpoint(region, candidate, candidate_blocks, candidate_lists);
-    if (!decoded.ok()) continue;  // torn or never written
-    if (!found || candidate.stamp > best.stamp) {
+    ParsedChain candidate =
+        ParseChain(region_bytes, geometry, candidate_blocks, candidate_lists);
+    if (!candidate.valid) continue;  // torn or never written
+    if (!found || candidate.tip.stamp > best.tip.stamp) {
       found = true;
-      best = candidate;
+      best = std::move(candidate);
+      best_region = region;
       best_blocks = std::move(candidate_blocks);
       best_lists = std::move(candidate_lists);
     }
@@ -143,9 +419,25 @@ Status ReadNewestCheckpoint(BlockDevice& device, const Geometry& geometry,
   if (!found) {
     return CorruptionError("no valid checkpoint found in either region");
   }
-  data = best;
+  data = best.tip;
   blocks = std::move(best_blocks);
   lists = std::move(best_lists);
+  deltas = std::move(best.deltas);
+  chain.region = best_region;
+  chain.tip_stamp = best.tip.stamp;
+  chain.used_bytes = best.used_bytes;
+  chain.delta_images = best.delta_images;
+  return Status::Ok();
+}
+
+Status ReadNewestCheckpoint(BlockDevice& device, const Geometry& geometry,
+                            CheckpointData& data, BlockMap& blocks,
+                            ListTable& lists) {
+  std::vector<ckptfmt::DeltaRecord> deltas;
+  CheckpointChainInfo chain;
+  ARU_RETURN_IF_ERROR(ReadNewestCheckpointChain(device, geometry, data, blocks,
+                                                lists, deltas, chain));
+  ApplyCheckpointDeltas(deltas, blocks, lists);
   return Status::Ok();
 }
 

@@ -9,13 +9,32 @@
 // A checkpoint may only cover segments whose every effect is captured:
 // covered_seq is capped by the earliest on-disk record that any live
 // (committed or shadow) in-memory version record still depends on.
-// The two regions are written alternately; a torn checkpoint write
-// simply loses the newer one and recovery falls back to the older.
+//
+// Image formats (v2, DESIGN §10):
+//
+//   * A FULL image snapshots both tables, exactly like v1 but with a
+//     versioned header word. It always lands at byte 0 of a region and
+//     starts a new chain there; the previous chain in the *other*
+//     region stays intact as the fallback.
+//   * A DELTA image (incremental_checkpoints) carries only the table
+//     entries dirtied since the chain's previous image, as tagged
+//     ckptfmt records. It is appended sector-aligned after the chain
+//     tip in the same region and names its parent by exact stamp, so a
+//     stale or torn delta can never splice onto the wrong base: the
+//     chain ends at the first image whose CRC or parent linkage fails,
+//     and recovery falls back to the prefix plus summary roll-forward.
+//
+// v1 images (header pad word 0, no parent_stamp field) decode
+// unchanged — a disk written before this format reads as a one-image
+// chain.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <type_traits>
 #include <utility>
+#include <variant>
+#include <vector>
 
 #include "blockdev/block_device.h"
 #include "lld/layout.h"
@@ -27,6 +46,14 @@
 
 namespace aru::lld {
 
+// Header-word constants: the v1 format wrote a zero pad word after the
+// magic; v2 packs (format_version << 8) | kind there, so pad == 0 *is*
+// the v1 discriminator.
+inline constexpr std::uint32_t kCheckpointFormatV1 = 1;
+inline constexpr std::uint32_t kCheckpointFormatV2 = 2;
+inline constexpr std::uint32_t kCheckpointKindFull = 0;
+inline constexpr std::uint32_t kCheckpointKindDelta = 1;
+
 struct CheckpointData {
   std::uint64_t stamp = 0;        // monotone checkpoint counter
   std::uint64_t covered_seq = 0;  // segments with seq > this are replayed
@@ -36,33 +63,166 @@ struct CheckpointData {
   std::uint64_t next_list_id = 1;
   std::uint64_t next_aru_id = 1;
   std::uint64_t allocated_blocks = 0;
+  // Stamp of the chain image this one extends; 0 for full images. A
+  // delta is valid only when this names the stamp of the image
+  // physically preceding it in the region (exact match), which is what
+  // keeps stale bytes from a recycled region out of the chain.
+  std::uint64_t parent_stamp = 0;
+  std::uint32_t format_version = kCheckpointFormatV2;
+  std::uint32_t kind = kCheckpointKindFull;
 };
 
-// Format pin: the checkpoint header codec writes these eight fields at
-// fixed offsets; recovery falls back to the *older* region when the
-// newer one fails validation, so silent layout drift here would read
-// old checkpoints wrong rather than fail loudly.
+// Format pin: the checkpoint header codec writes these fields at fixed
+// offsets; recovery falls back to the *older* image when the newer one
+// fails validation, so silent layout drift here would read old
+// checkpoints wrong rather than fail loudly.
 static_assert(std::is_trivially_copyable_v<CheckpointData>);
-static_assert(sizeof(CheckpointData) == 64);
+static_assert(sizeof(CheckpointData) == 80);
 
+// Delta-record vocabulary for incremental checkpoint images. Kept in
+// its own namespace so the enum never collides with the segment
+// summary's RecordType (summary.h); extend compatibly (new record
+// type) instead of mutating these.
+namespace ckptfmt {
+
+enum class RecordType : std::uint8_t {
+  kDeltaBlockSet = 1,    // upsert one block-number-map entry
+  kDeltaBlockErase = 2,  // remove one block-number-map entry
+  kDeltaListSet = 3,     // upsert one list-table entry
+  kDeltaListErase = 4,   // remove one list-table entry
+};
+
+// One block-map entry as of the delta's stamp. `phys` is
+// PhysAddr::encoded() (0 = allocated but never written); the decoded
+// entry is always `allocated` — unallocated ids are absent, which a
+// kDeltaBlockErase expresses.
+struct DeltaBlockSetRecord {
+  std::uint64_t block = 0;
+  std::uint64_t phys = 0;
+  std::uint64_t successor = 0;
+  std::uint64_t list = 0;
+  std::uint64_t ts = 0;
+};
+static_assert(std::is_trivially_copyable_v<DeltaBlockSetRecord>);
+static_assert(sizeof(DeltaBlockSetRecord) == 40);
+
+struct DeltaBlockEraseRecord {
+  std::uint64_t block = 0;
+};
+static_assert(std::is_trivially_copyable_v<DeltaBlockEraseRecord>);
+static_assert(sizeof(DeltaBlockEraseRecord) == 8);
+
+struct DeltaListSetRecord {
+  std::uint64_t list = 0;
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+};
+static_assert(std::is_trivially_copyable_v<DeltaListSetRecord>);
+static_assert(sizeof(DeltaListSetRecord) == 24);
+
+struct DeltaListEraseRecord {
+  std::uint64_t list = 0;
+};
+static_assert(std::is_trivially_copyable_v<DeltaListEraseRecord>);
+static_assert(sizeof(DeltaListEraseRecord) == 8);
+
+using DeltaRecord = std::variant<DeltaBlockSetRecord, DeltaBlockEraseRecord,
+                                 DeltaListSetRecord, DeltaListEraseRecord>;
+
+}  // namespace ckptfmt
+
+// Encodes a FULL image (data.kind must be kCheckpointKindFull).
 Bytes EncodeCheckpoint(const CheckpointData& data, const BlockMap& blocks,
                        const ListTable& lists) ARU_ENCODES_RECORD;
 
-// Decodes into `data` and repopulates the tables (cleared first).
+// Decodes a full image (v1 or v2) into `data` and repopulates the
+// tables (cleared first). `consumed`, when non-null, receives the
+// image's exact byte length within `encoded` (the input may carry
+// trailing chain bytes or region padding).
 // ARU_MUTATES_TABLES: callers passing their *live* tables must hold a
 // log position covering everything the checkpoint image replaces
 // (recovery does — it replays forward from covered_seq afterwards).
 Status DecodeCheckpoint(ByteSpan encoded, CheckpointData& data,
-                        BlockMap& blocks, ListTable& lists)
+                        BlockMap& blocks, ListTable& lists,
+                        std::size_t* consumed = nullptr)
     ARU_MUTATES_TABLES ARU_DECODES_RECORD;
 
-// Writes a checkpoint into region A or B (chosen by stamp parity).
+// Encodes a DELTA image (data.kind must be kCheckpointKindDelta,
+// data.parent_stamp the stamp of the chain tip it extends).
+Bytes EncodeCheckpointDelta(const CheckpointData& data,
+                            std::span<const ckptfmt::DeltaRecord> records)
+    ARU_ENCODES_RECORD;
+
+// Decodes a delta image header + records. Does not touch any table;
+// apply with ApplyCheckpointDeltas (or recovery's staged loop) after
+// validating the parent linkage. `consumed` as for DecodeCheckpoint.
+Status DecodeCheckpointDelta(ByteSpan encoded, CheckpointData& data,
+                             std::vector<ckptfmt::DeltaRecord>& records,
+                             std::size_t* consumed = nullptr)
+    ARU_DECODES_RECORD;
+
+// Replays delta records, in order, onto tables positioned at the
+// parent image's state. ARU_MUTATES_TABLES under the same contract as
+// DecodeCheckpoint.
+void ApplyCheckpointDeltas(std::span<const ckptfmt::DeltaRecord> records,
+                           BlockMap& blocks, ListTable& lists)
+    ARU_MUTATES_TABLES;
+
+// Where recovery found the newest valid chain, so the writer can
+// extend it in place (deltas append at `used_bytes`; a rebase targets
+// region 1 - `region`).
+// arulint: allow(on-disk-pin) in-memory cursor, never serialized
+struct CheckpointChainInfo {
+  std::uint64_t region = 0;        // 0 = A, 1 = B
+  std::uint64_t tip_stamp = 0;     // stamp of the last valid image
+  std::uint64_t used_bytes = 0;    // sector-aligned bytes the chain occupies
+  std::uint64_t delta_images = 0;  // chain length excluding the base
+};
+
+// Encodes `records` as a delta image and appends it at the chain tip
+// (`chain.region`, byte `chain.used_bytes`). ARU_APPENDS_SUMMARY: a
+// delta image is a durable record append — recovery replays it like a
+// log record, and the record-coverage rule traces the delta encode
+// arms from here. Returns the padded byte length the image occupies.
+Result<std::uint64_t> AppendCheckpointDelta(
+    BlockDevice& device, const Geometry& geometry,
+    const CheckpointChainInfo& chain, const CheckpointData& data,
+    std::span<const ckptfmt::DeltaRecord> records) ARU_APPENDS_SUMMARY;
+
+// Pads `encoded` to whole sectors and writes it into checkpoint region
+// `region` (0 = A, 1 = B) at byte offset `offset` (must itself be
+// sector-aligned). Returns the padded byte length on success; errors
+// with kOutOfSpace if the image would overrun the region.
+Result<std::uint64_t> WriteCheckpointImage(BlockDevice& device,
+                                           const Geometry& geometry,
+                                           std::uint64_t region,
+                                           std::uint64_t offset,
+                                           const Bytes& encoded);
+
+// Writes a full checkpoint into region A or B (chosen by stamp
+// parity) at offset 0. The legacy single-image writer: Format and the
+// non-incremental runtime path use it, and consecutive stamps
+// alternate regions so the previous checkpoint always survives a torn
+// write.
 Status WriteCheckpointRegion(BlockDevice& device, const Geometry& geometry,
                              const CheckpointData& data,
                              const BlockMap& blocks, const ListTable& lists);
 
-// Reads both regions and returns the newest valid checkpoint.
-// Fails with kCorruption if neither region holds a valid checkpoint.
+// Reads both regions, parses each as a chain (full base + zero or more
+// parent-linked deltas), and returns the chain with the newest tip:
+// the base tables, the tip's header in `data`, and every delta's
+// records in chain order in `deltas` (not yet applied). Fails with
+// kCorruption if neither region holds a valid base image.
+Status ReadNewestCheckpointChain(BlockDevice& device, const Geometry& geometry,
+                                 CheckpointData& data, BlockMap& blocks,
+                                 ListTable& lists,
+                                 std::vector<ckptfmt::DeltaRecord>& deltas,
+                                 CheckpointChainInfo& chain)
+    ARU_MUTATES_TABLES;
+
+// Chain read + delta replay in one call: `data` is the tip's header
+// and the tables are the tip's state. The compatibility surface for
+// callers that do not track chain placement (inspect_disk, tests).
 Status ReadNewestCheckpoint(BlockDevice& device, const Geometry& geometry,
                             CheckpointData& data, BlockMap& blocks,
                             ListTable& lists) ARU_MUTATES_TABLES;

@@ -430,6 +430,7 @@ void Lld::MaybePromoteLocked() {
   }
   block_map_.ApplyBatch(block_updates);
   list_table_.ApplyBatch(list_updates);
+  MarkDirtyLocked(block_updates, list_updates);
   metrics_.promotion_fifo_depth->Set(
       static_cast<std::int64_t>(promotion_fifo_.size()));
 }
@@ -449,7 +450,21 @@ void Lld::PromoteAllCommittedLocked() {
   list_versions_.ClearCommitted();
   block_map_.ApplyBatch(block_updates);
   list_table_.ApplyBatch(list_updates);
+  MarkDirtyLocked(block_updates, list_updates);
   promotion_fifo_.clear();
+}
+
+// Incremental checkpoints need to know which table entries changed
+// since the chain tip; every promotion batch (and the cleaner's and
+// recovery's direct table writes) records the touched ids here. The
+// sets hold ids, not values — the delta builder re-reads the tables at
+// checkpoint time, so a block rewritten five times costs one record.
+void Lld::MarkDirtyLocked(
+    const std::vector<ShardedBlockMap::Update>& block_updates,
+    const std::vector<ShardedListTable::Update>& list_updates) {
+  if (!options_.incremental_checkpoints) return;
+  for (const auto& u : block_updates) dirty_blocks_.insert(u.id.value());
+  for (const auto& u : list_updates) dirty_lists_.insert(u.id.value());
 }
 
 // ---------------------------------------------------------------------
@@ -1330,6 +1345,7 @@ Status Lld::TakeCheckpointLocked() {
     }
   }
 
+  const std::uint64_t parent_stamp = checkpoint_stamp_;
   CheckpointData data;
   data.stamp = ++checkpoint_stamp_;
   data.covered_seq = covered;
@@ -1339,17 +1355,88 @@ Status Lld::TakeCheckpointLocked() {
   data.next_list_id = next_list_id_;
   data.next_aru_id = next_aru_id_;
   data.allocated_blocks = allocated_blocks_;
-  // Flat snapshots for the checkpoint codec. Point-in-time consistency:
-  // every table mutator runs under exclusive mu_, which this function
-  // holds, so walking the shards one lock at a time observes a frozen
-  // table.
-  BlockMap block_snapshot;
-  ListTable list_snapshot;
-  block_map_.SnapshotInto(block_snapshot);
-  list_table_.SnapshotInto(list_snapshot);
-  ARU_RETURN_IF_ERROR(WriteCheckpointRegion(device_, geometry_, data,
-                                            block_snapshot, list_snapshot));
-  ARU_RETURN_IF_ERROR(device_.Sync());
+
+  // Incremental path: append a delta image carrying only the entries
+  // dirtied since the chain tip. Requires a live chain to extend
+  // (ckpt_used_bytes_ > 0) and a chain shorter than the rebase
+  // interval — a bounded chain bounds both recovery's delta replay and
+  // the blast radius of a corrupt region.
+  bool wrote_delta = false;
+  if (options_.incremental_checkpoints && ckpt_used_bytes_ > 0 &&
+      ckpt_delta_images_ < options_.checkpoint_rebase_interval) {
+    std::vector<ckptfmt::DeltaRecord> records;
+    records.reserve(dirty_blocks_.size() + dirty_lists_.size());
+    for (const std::uint64_t raw : dirty_blocks_) {
+      const BlockId id{raw};
+      BlockMeta meta;
+      if (block_map_.Get(id, meta)) {
+        records.push_back(ckptfmt::DeltaBlockSetRecord{
+            raw, meta.phys.encoded(), meta.successor.value(),
+            meta.list.value(), meta.ts});
+      } else {
+        records.push_back(ckptfmt::DeltaBlockEraseRecord{raw});
+      }
+    }
+    for (const std::uint64_t raw : dirty_lists_) {
+      const ListId id{raw};
+      ListMeta meta;
+      if (list_table_.Get(id, meta)) {
+        records.push_back(ckptfmt::DeltaListSetRecord{
+            raw, meta.first.value(), meta.last.value()});
+      } else {
+        records.push_back(ckptfmt::DeltaListEraseRecord{raw});
+      }
+    }
+    data.kind = kCheckpointKindDelta;
+    data.parent_stamp = parent_stamp;
+    const CheckpointChainInfo chain{ckpt_region_, parent_stamp,
+                                    ckpt_used_bytes_, ckpt_delta_images_};
+    auto appended =
+        AppendCheckpointDelta(device_, geometry_, chain, data, records);
+    if (appended.ok()) {
+      ARU_RETURN_IF_ERROR(device_.Sync());
+      ckpt_used_bytes_ += *appended;
+      ++ckpt_delta_images_;
+      metrics_.checkpoints_delta->Increment();
+      wrote_delta = true;
+    } else if (appended.status().code() != StatusCode::kOutOfSpace) {
+      return appended.status();
+    }
+    // kOutOfSpace: the region cannot hold another delta — fall through
+    // to a full rebase in the other region.
+  }
+
+  if (!wrote_delta) {
+    data.kind = kCheckpointKindFull;
+    data.parent_stamp = 0;
+    // Flat snapshots for the checkpoint codec. Point-in-time
+    // consistency: every table mutator runs under exclusive mu_, which
+    // this function holds, so walking the shards one lock at a time
+    // observes a frozen table.
+    BlockMap block_snapshot;
+    ListTable list_snapshot;
+    block_map_.SnapshotInto(block_snapshot);
+    list_table_.SnapshotInto(list_snapshot);
+    // A full image always starts a fresh chain in the region the
+    // current chain does NOT occupy, so a torn write here can never
+    // destroy the newest durable checkpoint. For pure-full histories
+    // this degenerates to the classic stamp-parity alternation.
+    const std::uint64_t target = 1 - ckpt_region_;
+    const Bytes encoded = EncodeCheckpoint(data, block_snapshot,
+                                           list_snapshot);
+    ARU_ASSIGN_OR_RETURN(const std::uint64_t padded,
+                         WriteCheckpointImage(device_, geometry_, target,
+                                              /*offset=*/0, encoded));
+    ARU_RETURN_IF_ERROR(device_.Sync());
+    ckpt_region_ = target;
+    ckpt_used_bytes_ = padded;
+    ckpt_delta_images_ = 0;
+    metrics_.checkpoints_full->Increment();
+  }
+  dirty_blocks_.clear();
+  dirty_lists_.clear();
+  metrics_.checkpoint_delta_chain->Set(
+      static_cast<std::int64_t>(ckpt_delta_images_));
   last_covered_seq_ = covered;
   // Release covered PendingFree slots for reuse. ReleasePending skips
   // slots still pinned by in-flight readers (they stay PendingFree for

@@ -40,6 +40,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "blockdev/block_device.h"
@@ -80,10 +81,16 @@ struct RecoveryReport {
   std::uint64_t orphan_blocks_reclaimed = 0;
   std::uint64_t orphan_lists_reclaimed = 0;
   std::uint64_t ops_skipped = 0;  // inapplicable records (conflicts)
+  // Incremental-checkpoint chain replay (0/0 when the newest chain is
+  // a single full image).
+  std::uint64_t checkpoint_delta_images = 0;
+  std::uint64_t checkpoint_delta_records = 0;
+  // Workers the summary scan fanned out across (1 = serial scan).
+  std::uint64_t scan_threads = 0;
 
   // Per-phase wall-clock timing of the recovery pipeline (also recorded
   // as aru_lld_recovery_*_us histograms and trace spans).
-  std::uint64_t checkpoint_load_us = 0;  // newest checkpoint read
+  std::uint64_t checkpoint_load_us = 0;  // newest chain read + delta replay
   std::uint64_t summary_scan_us = 0;     // footer scan + summary validate
   std::uint64_t replay_us = 0;           // event build + replay + promote
   std::uint64_t orphan_reclaim_us = 0;   // consistency sweep
@@ -252,6 +259,14 @@ class Lld final : public ld::Disk {
   void MaybePromoteLocked() ARU_MUTATES_TABLES ARU_REQUIRES(mu_);
   void PromoteAllCommittedLocked() ARU_MUTATES_TABLES ARU_REQUIRES(mu_);
 
+  // Records just-applied table updates in the dirty sets feeding the
+  // next incremental checkpoint delta. No-op unless
+  // Options::incremental_checkpoints.
+  void MarkDirtyLocked(
+      const std::vector<ShardedBlockMap::Update>& block_updates,
+      const std::vector<ShardedListTable::Update>& list_updates)
+      ARU_REQUIRES(mu_);
+
   Status MaybeCleanLocked() ARU_REQUIRES(mu_);
   Status RunCleanerLocked() ARU_REQUIRES(mu_);
   Status TakeCheckpointLocked() ARU_REQUIRES(mu_);
@@ -339,6 +354,21 @@ class Lld final : public ld::Disk {
   std::uint64_t list_count_ ARU_GUARDED_BY(mu_) = 0;
   std::uint64_t checkpoint_stamp_ ARU_GUARDED_BY(mu_) = 0;
   std::uint64_t last_covered_seq_ ARU_GUARDED_BY(mu_) = 0;
+
+  // Incremental-checkpoint chain state (DESIGN §10): which region the
+  // active chain occupies, how many sector-aligned bytes it has
+  // consumed, and how many delta images sit on the base. Initialized
+  // by recovery from the chain it loaded; a full rebase always targets
+  // region 1 - ckpt_region_, so a torn rebase leaves the current tip
+  // intact.
+  std::uint64_t ckpt_region_ ARU_GUARDED_BY(mu_) = 0;
+  std::uint64_t ckpt_used_bytes_ ARU_GUARDED_BY(mu_) = 0;
+  std::uint64_t ckpt_delta_images_ ARU_GUARDED_BY(mu_) = 0;
+  // Table ids mutated since the chain tip — exactly the entries the
+  // next delta must carry (present id → Set with current meta, absent
+  // id → Erase). Maintained only when incremental_checkpoints is on.
+  std::unordered_set<std::uint64_t> dirty_blocks_ ARU_GUARDED_BY(mu_);
+  std::unordered_set<std::uint64_t> dirty_lists_ ARU_GUARDED_BY(mu_);
 
   // Written once by RecoverLocked before Open returns the disk; read
   // lock-free afterwards through recovery_report().

@@ -158,6 +158,9 @@ Status Lld::RunCleanerLocked() {
       // the exclusive mu_ this pass holds.
       meta.phys = new_phys;
       block_map_.Set(block, meta);
+      if (options_.incremental_checkpoints) {
+        dirty_blocks_.insert(block.value());
+      }
       metrics_.blocks_copied_by_cleaner->Increment();
     }
 

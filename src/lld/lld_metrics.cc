@@ -48,6 +48,12 @@ LldMetrics::LldMetrics(obs::Registry& registry) : registry_(&registry) {
                             "device reads avoided by the read cache");
   read_cache_misses = counter("aru_lld_read_cache_misses_total",
                               "read-cache probes that went to the device");
+  checkpoints_full = counter(
+      "aru_lld_checkpoints_full_total",
+      "full checkpoint images written (initial bases and chain rebases)");
+  checkpoints_delta =
+      counter("aru_lld_checkpoints_delta_total",
+              "incremental checkpoint delta images appended to a chain");
 
   version_chain_steps =
       registry.GetGauge("aru_lld_version_chain_steps",
@@ -72,6 +78,12 @@ LldMetrics::LldMetrics(obs::Registry& registry) : registry_(&registry) {
       "aru_lld_table_shard_count",
       "independent shards (each with its own mutex) in the block-number-map "
       "and list-table");
+  recovery_scan_threads = registry.GetGauge(
+      "aru_lld_recovery_scan_threads",
+      "workers the last recovery summary scan fanned out across");
+  checkpoint_delta_chain = registry.GetGauge(
+      "aru_lld_checkpoint_delta_chain",
+      "delta images chained onto the current full checkpoint base");
 
   op_write_us = registry.GetHistogram("aru_lld_op_write_us",
                                       "Write() latency, wall microseconds");

@@ -44,6 +44,8 @@ struct LldMetrics {
   obs::Counter* slot_pin_retries;  // stale-generation read retries
   obs::Counter* read_cache_hits;    // device reads avoided by the cache
   obs::Counter* read_cache_misses;  // cache probes that went to the device
+  obs::Counter* checkpoints_full;   // full (base/rebase) checkpoint images
+  obs::Counter* checkpoints_delta;  // incremental delta images appended
 
   // Gauges.
   obs::Gauge* version_chain_steps;   // refreshed by Lld::stats()
@@ -54,6 +56,8 @@ struct LldMetrics {
   obs::Gauge* durable_lag_lsn;       // enqueued LSN - durable LSN horizon
   obs::Gauge* read_cache_shard_count;  // set once at construction
   obs::Gauge* table_shard_count;       // set once at construction
+  obs::Gauge* recovery_scan_threads;   // workers the last recovery scan used
+  obs::Gauge* checkpoint_delta_chain;  // delta images on the current chain
 
   // Latency/size distributions (wall-clock microseconds unless noted).
   obs::Histogram* op_write_us;

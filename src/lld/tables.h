@@ -36,6 +36,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lld/types.h"
@@ -60,6 +61,10 @@ class BlockMap {
   void Set(BlockId id, const BlockMeta& meta) { map_[id] = meta; }
   void Erase(BlockId id) { map_.erase(id); }
   void Clear() { map_.clear(); }
+  // Pre-sizes the table for n additional entries; bulk loaders
+  // (checkpoint decode, delta replay) call this so a 100k-entry load
+  // is one allocation instead of a rehash cascade.
+  void Reserve(std::size_t n) { map_.reserve(map_.size() + n); }
 
   std::size_t size() const { return map_.size(); }
 
@@ -87,6 +92,7 @@ class ListTable {
   void Set(ListId id, const ListMeta& meta) { map_[id] = meta; }
   void Erase(ListId id) { map_.erase(id); }
   void Clear() { map_.clear(); }
+  void Reserve(std::size_t n) { map_.reserve(map_.size() + n); }
 
   std::size_t size() const { return map_.size(); }
 
@@ -214,10 +220,25 @@ class ShardedTable {
   }
 
   // Replaces the whole table with the flat table's contents (recovery
-  // rebuild from a checkpoint + replay staging table).
+  // rebuild from a checkpoint + replay staging table). Entries are
+  // bucketed by shard first so each shard is locked exactly once and
+  // sized up front — at recovery scale (hundreds of thousands of
+  // entries) per-entry Set would pay a lock round-trip and rehash
+  // growth per insert.
   void Load(const Flat& in) {
-    Clear();
-    in.ForEach([this](Id id, const Meta& meta) { Set(id, meta); });
+    std::vector<std::vector<std::pair<Id, Meta>>> by_shard(shard_count_);
+    const std::size_t hint = in.size() / shard_count_ + 1;
+    for (auto& bucket : by_shard) bucket.reserve(hint);
+    in.ForEach([&by_shard, this](Id id, const Meta& meta) {
+      by_shard[ShardIndexFor(id)].emplace_back(id, meta);
+    });
+    for (std::size_t i = 0; i < shard_count_; ++i) {
+      Shard& shard = shards_[i];
+      MutexLock lock(shard.mu);
+      shard.map.clear();
+      shard.map.reserve(by_shard[i].size());
+      for (const auto& [id, meta] : by_shard[i]) shard.map.emplace(id, meta);
+    }
   }
 
   template <typename F>

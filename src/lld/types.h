@@ -172,6 +172,27 @@ struct Options {
   // write — group commit. Off by default: the paper's prototype treats
   // commit as an in-memory event ordered by the log.
   bool durable_commits = false;
+  // Workers the recovery summary scan fans segment reads/decodes
+  // across. 0 (the default) derives a topology-aware width
+  // (util/topology.h PoolThreadsForMachine); 1 scans serially on the
+  // opening thread. Recovered state is byte-identical at any width —
+  // the merge is deterministic in slot order — so this is purely a
+  // wall-clock knob.
+  std::size_t recovery_threads = 0;
+  // Write incremental checkpoints: after a full base image, subsequent
+  // checkpoints persist only table entries dirtied since the previous
+  // one as a delta record chained onto the base, so checkpoint cost
+  // scales with live churn instead of total table size. A periodic
+  // full rebase (checkpoint_rebase_interval) bounds the chain; torn
+  // deltas fall back to the previous chain tip plus summary
+  // roll-forward. Off by default: every checkpoint is a full image in
+  // the original alternating-region format.
+  bool incremental_checkpoints = false;
+  // Maximum delta images chained onto one full base before the next
+  // checkpoint rebases (writes a fresh full image to the other
+  // region). Bounds both recovery's delta replay and the chain's
+  // region footprint. Only meaningful with incremental_checkpoints.
+  std::uint32_t checkpoint_rebase_interval = 8;
   // Metrics registry the disk reports into. nullptr gives the disk a
   // private registry (reachable via Lld::registry()), so counters from
   // independent disks in one process never bleed into each other; pass

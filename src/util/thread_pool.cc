@@ -1,0 +1,64 @@
+#include "util/thread_pool.h"
+
+namespace aru::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? 1 : threads;
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { Run(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    const MutexLock lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.NotifyOne();
+}
+
+void ThreadPool::Wait() {
+  MutexLock lock(mu_);
+  idle_cv_.Wait(mu_, [this] {
+    mu_.AssertHeld();
+    return queue_.empty() && in_flight_ == 0;
+  });
+}
+
+void ThreadPool::Run() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this] {
+        mu_.AssertHeld();
+        return stopping_ || !queue_.empty();
+      });
+      // Even when stopping, drain the queue first so the destructor
+      // never strands submitted work (Wait() would hang on in_flight_
+      // accounting otherwise).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      const MutexLock lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.NotifyAll();
+    }
+  }
+}
+
+}  // namespace aru::util

@@ -1,0 +1,64 @@
+// Fixed-width worker pool for fan-out/join parallelism.
+//
+// Recovery's summary scan (and any future bounded-parallel phase) needs
+// N workers that pull independent chunks off a queue and a caller that
+// blocks until all of them finish. std::async allocates a thread per
+// task and gives no join-all primitive; this pool spawns its threads
+// once, reuses them for every Submit, and exposes Wait() as the
+// fan-in barrier. Width comes from util/topology.h
+// (PoolThreadsForMachine) unless the caller pins it.
+//
+// Semantics:
+//   - Submit() enqueues; any idle worker picks the task up in FIFO
+//     order. Tasks must not throw (the pool runs them bare).
+//   - Wait() blocks until the queue is empty AND no task is mid-run,
+//     then returns with the pool reusable for the next batch.
+//   - The destructor runs any still-queued tasks to completion, then
+//     joins every worker (arulint's thread-lifecycle rule).
+//
+// Error handling stays with the caller: tasks capture per-task result
+// slots (e.g. a Status per chunk) and the caller inspects them after
+// Wait(). The pool itself never sees task outcomes.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace aru::util {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers immediately (0 is clamped to 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  // Enqueues `task` for execution on some worker, FIFO.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished running.
+  void Wait();
+
+ private:
+  void Run();
+
+  Mutex mu_{"util_thread_pool"};
+  CondVar work_cv_;  // workers sleep here for queue_ / stopping_
+  CondVar idle_cv_;  // Wait() sleeps here for drained + nothing in flight
+  std::deque<std::function<void()>> queue_ ARU_GUARDED_BY(mu_);
+  std::size_t in_flight_ ARU_GUARDED_BY(mu_) = 0;
+  bool stopping_ ARU_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace aru::util

@@ -50,4 +50,22 @@ inline std::size_t DefaultShardCount() {
   return ShardCountForThreads(std::thread::hardware_concurrency());
 }
 
+// Worker-pool width for a `threads`-way machine. Unlike shard counts,
+// pool threads pay a real per-thread cost (a stack, a kernel thread,
+// context switches), so there is no power-of-two rounding and no floor
+// above 1: one worker per hardware thread, clamped to [1, 16]. The
+// ceiling bounds fan-out on very wide machines where recovery becomes
+// device-bound long before 16 readers.
+constexpr std::size_t PoolThreadsForMachine(std::size_t threads) {
+  if (threads < 1) return 1;
+  if (threads > 16) return 16;
+  return threads;
+}
+
+// PoolThreadsForMachine over the hardware concurrency of this process
+// (0 when undeterminable is clamped to 1).
+inline std::size_t DefaultPoolThreads() {
+  return PoolThreadsForMachine(std::thread::hardware_concurrency());
+}
+
 }  // namespace aru::util

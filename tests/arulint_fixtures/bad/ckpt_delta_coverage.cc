@@ -1,0 +1,44 @@
+// Seeded-violation fixture for arulint_test: an incremental-checkpoint
+// delta vocabulary whose decoder lost an arm. kBlockSet round-trips
+// and must stay quiet; kListErase is encoded and appended but never
+// decoded — recovery would skip the record and resurrect erased
+// list-table entries. tests/arulint_test.cc pins the (rule, line).
+#include "util/protocol_annotations.h"
+
+namespace fixture_ckpt_delta {
+
+enum class RecordType {
+  kBlockSet = 1,
+  kListErase = 2,
+};
+
+class DeltaSink {
+ public:
+  void Put(unsigned value);
+};
+
+void EncodeDelta(RecordType type, DeltaSink* out) ARU_ENCODES_RECORD;
+void DecodeDelta(unsigned value) ARU_DECODES_RECORD;
+void AppendDelta(DeltaSink* out) ARU_APPENDS_SUMMARY;
+void ApplyBlockSet();
+
+void EncodeDelta(RecordType type, DeltaSink* out) {
+  if (type == RecordType::kBlockSet) {
+    out->Put(1);
+  }
+  if (type == RecordType::kListErase) {
+    out->Put(2);
+  }
+}
+
+void DecodeDelta(unsigned value) {
+  if (value == static_cast<unsigned>(RecordType::kBlockSet)) {
+    ApplyBlockSet();
+  }
+}
+
+void AppendDelta(DeltaSink* out) {
+  EncodeDelta(RecordType::kBlockSet, out);
+}
+
+}  // namespace fixture_ckpt_delta

@@ -814,6 +814,16 @@ TEST(FixtureTest, RecordCoverage) {
                 {"record-coverage", 13}}));  // kGamma: neither arm
 }
 
+TEST(FixtureTest, CkptDeltaCoverage) {
+  // The incremental-checkpoint shape of the same defect: a delta
+  // vocabulary reached through an appender, with one decode arm
+  // missing. kBlockSet round-trips and must stay quiet.
+  const auto findings = CheckFile(Fixture("bad/ckpt_delta_coverage.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"record-coverage", 12}}));  // kListErase: no decode arm
+}
+
 TEST(FixtureTest, FieldSymmetry) {
   // stamp and root flow through both halves and must stay quiet.
   const auto findings = CheckFile(Fixture("bad/symmetry/checkpoint.h"));

@@ -6,8 +6,13 @@
 #include <algorithm>
 #include <vector>
 
+#include "lld/checkpoint.h"
 #include "lld/layout.h"
+#include "obs/metrics.h"
+#include "tests/obs_expect.h"
 #include "tests/test_util.h"
+#include "util/bytes.h"
+#include "util/crc32.h"
 
 namespace aru::testing {
 namespace {
@@ -200,6 +205,210 @@ TEST(CheckpointTest2, CloseAbortsOpenArus) {
   EXPECT_EQ(t.disk->free_blocks(), free_before);
   ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
   EXPECT_TRUE(blocks.empty());
+}
+
+// ---------------------------------------------------------------------
+// Incremental checkpoints: v1 compatibility, delta chains, torn-delta
+// fallback.
+
+// A checkpoint image written by the pre-delta format (pad word 0, no
+// parent_stamp field) must decode unchanged through the v2 decoder.
+// The bytes are crafted by hand, field for field, so this test pins
+// the historical wire layout rather than whatever EncodeCheckpoint
+// currently emits.
+TEST(CheckpointTest2, V1FullImageDecodesUnchanged) {
+  Bytes raw;
+  PutU32(raw, 0x4c444350);  // magic "LDCP"
+  PutU32(raw, 0);           // v1 pad word
+  PutU64(raw, 9);           // stamp
+  PutU64(raw, 4);           // covered_seq
+  PutU64(raw, 500);         // next_lsn
+  PutU64(raw, 6);           // next_seq
+  PutU64(raw, 30);          // next_block_id
+  PutU64(raw, 3);           // next_list_id
+  PutU64(raw, 2);           // next_aru_id
+  PutU64(raw, 1);           // allocated_blocks
+  PutU64(raw, 1);           // n_blocks
+  PutU64(raw, 1);           // n_lists
+  PutU64(raw, 21);                            // block id
+  PutU64(raw, lld::PhysAddr(3, 4).encoded()); // phys
+  PutU64(raw, 0);                             // successor (tail)
+  PutU64(raw, 2);                             // list
+  PutU64(raw, 490);                           // ts
+  PutU64(raw, 2);   // list id
+  PutU64(raw, 21);  // first
+  PutU64(raw, 21);  // last
+  PutU32(raw, Crc32c(raw));
+
+  lld::CheckpointData out;
+  lld::BlockMap blocks;
+  lld::ListTable lists;
+  std::size_t consumed = 0;
+  ASSERT_OK(lld::DecodeCheckpoint(raw, out, blocks, lists, &consumed));
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(out.format_version, lld::kCheckpointFormatV1);
+  EXPECT_EQ(out.kind, lld::kCheckpointKindFull);
+  EXPECT_EQ(out.parent_stamp, 0u);
+  EXPECT_EQ(out.stamp, 9u);
+  EXPECT_EQ(out.covered_seq, 4u);
+  EXPECT_EQ(out.next_lsn, 500u);
+  EXPECT_EQ(out.allocated_blocks, 1u);
+  ASSERT_NE(blocks.Find(BlockId{21}), nullptr);
+  EXPECT_EQ(blocks.Find(BlockId{21})->phys, lld::PhysAddr(3, 4));
+  EXPECT_EQ(blocks.Find(BlockId{21})->list, ListId{2});
+  EXPECT_EQ(blocks.Find(BlockId{21})->ts, 490u);
+  ASSERT_NE(lists.Find(ListId{2}), nullptr);
+  EXPECT_EQ(lists.Find(ListId{2})->first, BlockId{21});
+  EXPECT_EQ(lists.Find(ListId{2})->last, BlockId{21});
+}
+
+TEST(CheckpointTest2, IncrementalChainAppendsDeltasAndRebases) {
+  obs::Registry registry;
+  lld::Options opts = TestDisk::SmallOptions();
+  opts.incremental_checkpoints = true;
+  opts.checkpoint_rebase_interval = 2;
+  opts.registry = &registry;
+  TestDisk t(opts);
+
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  for (std::uint64_t round = 0; round < 5; ++round) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, round), kNoAru));
+    ASSERT_OK(t.disk->Checkpoint());
+  }
+  // Five explicit checkpoints plus recovery's bounding one, at a chain
+  // bound of 2: both kinds must have happened.
+  obs_expect::ExpectCounterAtLeast(registry,
+                                   "aru_lld_checkpoints_delta_total", 2);
+  obs_expect::ExpectCounterAtLeast(registry,
+                                   "aru_lld_checkpoints_full_total", 1);
+
+  t.CrashAndRecover();
+  // The adopted chain respects the rebase bound.
+  EXPECT_LE(t.disk->recovery_report().checkpoint_delta_images,
+            opts.checkpoint_rebase_interval);
+  ASSERT_OK_AND_ASSIGN(const auto blocks, t.disk->ListBlocks(list, kNoAru));
+  EXPECT_EQ(blocks.size(), 5u);
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+TEST(CheckpointTest2, DeltaCheckpointStateSurvivesCrash) {
+  lld::Options opts = TestDisk::SmallOptions();
+  opts.incremental_checkpoints = true;
+  TestDisk t(opts);
+
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  std::vector<BlockId> written;
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, i), kNoAru));
+    written.push_back(pred);
+  }
+  ASSERT_OK(t.disk->Checkpoint());
+
+  t.CrashAndRecover();
+  // The state came back through the chain, not the roll-forward.
+  EXPECT_GE(t.disk->recovery_report().checkpoint_delta_images, 1u);
+  EXPECT_EQ(t.disk->recovery_report().segments_replayed, 0u);
+  for (std::uint64_t i = 0; i < written.size(); ++i) {
+    Bytes out(4096);
+    ASSERT_OK(t.disk->Read(written[i], out, kNoAru));
+    EXPECT_EQ(out, TestPattern(4096, i)) << "block " << i;
+  }
+  ASSERT_OK(t.disk->CheckConsistency());
+}
+
+// A torn (corrupted) delta at the chain tip must not lose durable
+// state: recovery falls back to the chain prefix and re-derives the
+// rest from the segment summaries.
+TEST(CheckpointTest2, TornDeltaFallsBackToPrefixPlusRollForward) {
+  lld::Options opts = TestDisk::SmallOptions();
+  opts.incremental_checkpoints = true;
+  TestDisk t(opts);
+
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  std::vector<BlockId> written;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, i), kNoAru));
+    written.push_back(pred);
+  }
+  ASSERT_OK(t.disk->Checkpoint());
+  for (std::uint64_t i = 12; i < 24; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(4096, i), kNoAru));
+    written.push_back(pred);
+  }
+  ASSERT_OK(t.disk->Checkpoint());
+
+  // Locate the newest chain and its tip delta's byte offset by walking
+  // the region exactly as recovery does.
+  const lld::Geometry g = t.disk->geometry();
+  Bytes image = t.device->CopyImage();
+  t.disk.reset();
+  t.device = MemDisk::FromImage(std::move(image));
+
+  lld::CheckpointData tip;
+  lld::BlockMap blocks;
+  lld::ListTable lists;
+  std::vector<lld::ckptfmt::DeltaRecord> deltas;
+  lld::CheckpointChainInfo chain;
+  ASSERT_OK(lld::ReadNewestCheckpointChain(*t.device, g, tip, blocks, lists,
+                                           deltas, chain));
+  ASSERT_GE(chain.delta_images, 2u);
+
+  const std::uint64_t region_sector = chain.region == 0
+                                          ? g.checkpoint_a_sector
+                                          : g.checkpoint_b_sector;
+  Bytes region(g.checkpoint_capacity);
+  ASSERT_OK(t.device->Read(region_sector, region));
+  const auto round_up = [&](std::size_t bytes) {
+    return (bytes + g.sector_size - 1) / g.sector_size * g.sector_size;
+  };
+  lld::CheckpointData walk;
+  lld::BlockMap walk_blocks;
+  lld::ListTable walk_lists;
+  std::size_t consumed = 0;
+  ASSERT_OK(lld::DecodeCheckpoint(region, walk, walk_blocks, walk_lists,
+                                  &consumed));
+  std::uint64_t offset = round_up(consumed);
+  std::uint64_t tip_offset = 0;
+  while (offset < chain.used_bytes) {
+    tip_offset = offset;
+    lld::CheckpointData delta;
+    std::vector<lld::ckptfmt::DeltaRecord> records;
+    std::size_t delta_consumed = 0;
+    ASSERT_OK(lld::DecodeCheckpointDelta(ByteSpan(region).subspan(offset),
+                                         delta, records, &delta_consumed));
+    offset += round_up(delta_consumed);
+  }
+  ASSERT_GT(tip_offset, 0u);
+
+  // Corrupt the tip delta's first byte (its magic) on the device.
+  Bytes sector(g.sector_size);
+  const std::uint64_t torn_sector =
+      region_sector + tip_offset / g.sector_size;
+  ASSERT_OK(t.device->Read(torn_sector, sector));
+  sector[tip_offset % g.sector_size] ^= std::byte{0xff};
+  ASSERT_OK(t.device->Write(torn_sector, sector));
+
+  // Recovery: shorter chain, longer roll-forward, same state.
+  ASSERT_OK_AND_ASSIGN(t.disk, lld::Lld::Open(*t.device, opts));
+  EXPECT_EQ(t.disk->recovery_report().checkpoint_delta_images,
+            chain.delta_images - 1);
+  EXPECT_GT(t.disk->recovery_report().segments_replayed, 0u);
+  for (std::uint64_t i = 0; i < written.size(); ++i) {
+    Bytes out(4096);
+    ASSERT_OK(t.disk->Read(written[i], out, kNoAru));
+    EXPECT_EQ(out, TestPattern(4096, i)) << "block " << i;
+  }
+  ASSERT_OK_AND_ASSIGN(const auto final_blocks,
+                       t.disk->ListBlocks(list, kNoAru));
+  EXPECT_EQ(final_blocks.size(), written.size());
+  ASSERT_OK(t.disk->CheckConsistency());
 }
 
 }  // namespace

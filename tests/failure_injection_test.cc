@@ -215,6 +215,91 @@ TEST(FailureInjection, AsyncSealCrashSweepYieldsAllOrNothingArus) {
   }
 }
 
+TEST(FailureInjection, CheckpointedCrashSweepIsAtomicWithAndWithoutDeltas) {
+  // Sweep the power cut across a workload that checkpoints as it goes,
+  // so cuts land before, inside, and after checkpoint writes — in
+  // incremental mode that includes mid-delta-append and mid-rebase.
+  // The two modes must satisfy the same contract at every cut point:
+  // recovery succeeds, every ARU surfaces all-or-nothing, and every
+  // durably-acked ARU is wholly present.
+  lld::Options options = TestDisk::SmallOptions();
+  options.durable_commits = true;
+  options.checkpoint_rebase_interval = 3;  // exercise rebases in-sweep
+
+  struct AruRun {
+    ListId list;
+    std::uint64_t seed = 0;
+    bool acked = false;  // EndARU returned OK: durably committed
+  };
+
+  for (const bool incremental : {false, true})
+  for (std::uint64_t cut = 5; cut < 650; cut += 23) {
+    options.incremental_checkpoints = incremental;
+    SCOPED_TRACE("incremental=" + std::to_string(incremental) +
+                 " cut_after_sectors=" + std::to_string(cut));
+    auto inner = std::make_unique<MemDisk>(TestDisk::kDefaultSectors);
+    auto* mem = inner.get();
+    FaultInjectionDisk device(std::move(inner));
+    ASSERT_OK(lld::Lld::Format(device, options));
+    ASSERT_OK_AND_ASSIGN(auto disk, lld::Lld::Open(device, options));
+    device.SchedulePowerCut(cut, /*tear=*/(cut % 2) == 1);
+
+    std::vector<AruRun> runs;
+    for (int i = 0; i < 48 && !device.dead(); ++i) {
+      const auto aru = disk->BeginARU();
+      if (!aru.ok()) break;
+      AruRun run;
+      run.seed = cut * 1000 + static_cast<std::uint64_t>(i) * 10;
+      const auto list = disk->NewList(*aru);
+      if (!list.ok()) break;
+      run.list = *list;
+      bool append_failed = false;
+      BlockId pred = kListHead;
+      for (std::uint64_t b = 0; b < 2 && !append_failed; ++b) {
+        const auto block = disk->NewBlock(run.list, pred, *aru);
+        if (!block.ok()) {
+          append_failed = true;
+          break;
+        }
+        pred = *block;
+        if (!disk->Write(pred, TestPattern(4096, run.seed + b), *aru).ok()) {
+          append_failed = true;
+        }
+      }
+      if (!append_failed) {
+        run.acked = disk->EndARU(*aru).ok();
+      }
+      runs.push_back(run);
+      if (!run.acked) break;  // the device is dying; stop issuing work
+      if (i % 4 == 3) {
+        // Periodic checkpoint; fails only once the device is dying.
+        if (!disk->Checkpoint().ok()) break;
+      }
+    }
+    disk.reset();
+
+    auto survivor = MemDisk::FromImage(mem->CopyImage());
+    ASSERT_OK_AND_ASSIGN(auto recovered, lld::Lld::Open(*survivor, options));
+    ASSERT_OK(recovered->CheckConsistency());
+
+    Bytes out(4096);
+    for (const AruRun& run : runs) {
+      SCOPED_TRACE("list=" + std::to_string(run.list.value()));
+      const auto blocks = recovered->ListBlocks(run.list, kNoAru);
+      if (!blocks.ok()) {
+        EXPECT_EQ(blocks.status().code(), StatusCode::kNotFound);
+        EXPECT_FALSE(run.acked);
+        continue;
+      }
+      ASSERT_EQ(blocks->size(), 2u);
+      for (std::uint64_t b = 0; b < 2; ++b) {
+        ASSERT_OK(recovered->Read((*blocks)[b], out, kNoAru));
+        EXPECT_EQ(out, TestPattern(4096, run.seed + b));
+      }
+    }
+  }
+}
+
 TEST(FailureInjection, CrashDuringCheckpointFallsBackToOlder) {
   auto inner = std::make_unique<MemDisk>(TestDisk::kDefaultSectors);
   auto* mem = inner.get();

@@ -213,6 +213,62 @@ TEST(RecoveryTest, RecoveryIsIdempotent) {
   EXPECT_EQ(out, TestPattern(t.disk->block_size(), 3));
 }
 
+// The summary scan fans out across a thread pool; the recovered state
+// must be byte-identical to the serial scan at any width. Strongest
+// check available: recover the same crashed image at several widths
+// and compare the entire post-recovery device images (recovery ends by
+// writing a bounding checkpoint, so any divergence in recovered tables
+// or replay order shows up in the bytes).
+TEST(RecoveryTest, ParallelScanRecoversByteIdenticalState) {
+  TestDisk t;
+  // A workload with committed ARUs, an uncommitted ARU, simple writes,
+  // and deletes — enough record diversity that replay order matters.
+  ASSERT_OK_AND_ASSIGN(const ListId list, t.disk->NewList(kNoAru));
+  BlockId pred = kListHead;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    ASSERT_OK_AND_ASSIGN(pred, t.disk->NewBlock(list, pred, kNoAru));
+    ASSERT_OK(t.disk->Write(pred, TestPattern(t.disk->block_size(), i),
+                            kNoAru));
+  }
+  ASSERT_OK_AND_ASSIGN(const AruId committed, t.disk->BeginARU());
+  ASSERT_OK_AND_ASSIGN(const ListId aru_list, t.disk->NewList(committed));
+  ASSERT_OK_AND_ASSIGN(const BlockId aru_block,
+                       t.disk->NewBlock(aru_list, kListHead, committed));
+  ASSERT_OK(t.disk->Write(aru_block, TestPattern(t.disk->block_size(), 99),
+                          committed));
+  ASSERT_OK(t.disk->EndARU(committed));
+  ASSERT_OK_AND_ASSIGN(const AruId torn, t.disk->BeginARU());
+  ASSERT_OK_AND_ASSIGN(const BlockId torn_block,
+                       t.disk->NewBlock(list, kListHead, torn));
+  ASSERT_OK(t.disk->Write(torn_block, TestPattern(t.disk->block_size(), 7),
+                          torn));
+  ASSERT_OK(t.disk->Flush());
+  const Bytes crashed = t.device->CopyImage();
+
+  auto recover_at = [&](std::size_t threads, Bytes& image_out) {
+    lld::Options opts = t.options;
+    opts.recovery_threads = threads;
+    auto device = MemDisk::FromImage(Bytes(crashed));
+    auto opened = lld::Lld::Open(*device, opts);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    EXPECT_EQ((*opened)->recovery_report().scan_threads,
+              std::min<std::uint64_t>(threads,
+                                      (*opened)->geometry().slot_count));
+    ASSERT_OK((*opened)->CheckConsistency());
+    opened->reset();
+    image_out = device->CopyImage();
+  };
+  Bytes serial;
+  recover_at(1, serial);
+  ASSERT_FALSE(serial.empty());
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    Bytes parallel;
+    recover_at(threads, parallel);
+    EXPECT_EQ(serial, parallel) << "divergent image at " << threads
+                                << " scan threads";
+  }
+}
+
 TEST(RecoveryTest, SequentialModeAtomicityAfterCrash) {
   lld::Options opts = TestDisk::SmallOptions();
   opts.aru_mode = lld::AruMode::kSequential;

@@ -265,5 +265,24 @@ TEST(TopologyTest, DefaultShardCountIsPow2InClampRange) {
   EXPECT_EQ(n & (n - 1), 0u);  // power of two
 }
 
+TEST(TopologyTest, PoolThreadsForMachineClampsWithoutRounding) {
+  // hardware_concurrency may report 0 on exotic platforms: still 1.
+  EXPECT_EQ(util::PoolThreadsForMachine(0), 1u);
+  EXPECT_EQ(util::PoolThreadsForMachine(1), 1u);
+  // Unlike shard counts, pool widths are not rounded to powers of two
+  // — every thread is a real cost, so 6 cores get 6 workers.
+  EXPECT_EQ(util::PoolThreadsForMachine(6), 6u);
+  EXPECT_EQ(util::PoolThreadsForMachine(12), 12u);
+  // Wide machines hit the ceiling: recovery I/O stops scaling long
+  // before 16 concurrent readers.
+  EXPECT_EQ(util::PoolThreadsForMachine(64), 16u);
+}
+
+TEST(TopologyTest, DefaultPoolThreadsInClampRange) {
+  const std::size_t n = util::DefaultPoolThreads();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 16u);
+}
+
 }  // namespace
 }  // namespace aru::testing
